@@ -1,0 +1,235 @@
+//! The coordination-service interface shared by the baselines.
+//!
+//! The testbed issues the same logical operations to every coordination
+//! backend: ownership reads and compare-and-set updates (migration
+//! metadata), membership changes, and full scans (routing). Marlin itself
+//! needs no such service — its equivalents run through MarlinCommit on
+//! the database's own logs — so this trait is implemented only by the
+//! external baselines.
+
+use marlin_common::{GranuleId, NodeId};
+use marlin_sim::{DetRng, Nanos};
+
+/// A logical coordination request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoordRequest {
+    /// Read a granule's owner.
+    GetOwner { granule: GranuleId },
+    /// Compare-and-set a granule's owner (the migration metadata commit).
+    /// Fails if the current owner is not `from`.
+    UpdateOwner { granule: GranuleId, from: NodeId, to: NodeId },
+    /// Install a granule's initial owner (bootstrap; unconditional).
+    InstallOwner { granule: GranuleId, owner: NodeId },
+    /// Register a node.
+    AddNode { node: NodeId },
+    /// Deregister a node.
+    DeleteNode { node: NodeId },
+    /// Full ownership scan (router refresh).
+    Scan,
+}
+
+impl CoordRequest {
+    /// Whether the request mutates coordination state (write path).
+    #[must_use]
+    pub fn is_write(&self) -> bool {
+        !matches!(self, CoordRequest::GetOwner { .. } | CoordRequest::Scan)
+    }
+}
+
+/// A reply to a coordination request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoordReply {
+    Owner(Option<NodeId>),
+    Updated,
+    /// CAS failure: the actual current owner.
+    Conflict { actual: Option<NodeId> },
+    MembershipOk,
+    /// Add of an existing node / delete of a missing node.
+    MembershipConflict,
+    /// Scan result: the full ownership map.
+    ScanResult(Vec<(GranuleId, NodeId)>),
+}
+
+/// A request's completion: when it finishes inside the service, plus the
+/// reply. (Client↔service network time is priced by the harness on top,
+/// using [`CoordinationService::client_round_trips`].)
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Completion {
+    pub done_at: Nanos,
+    pub reply: CoordReply,
+}
+
+/// A converged coordination service with bounded capacity.
+pub trait CoordinationService {
+    /// Submit a request arriving at the service at `now`.
+    fn submit(&mut self, now: Nanos, req: &CoordRequest, rng: &mut DetRng) -> Completion;
+
+    /// Apply a request to the service state without consuming service
+    /// capacity — bootstrap preloading (the paper warms up the system
+    /// before measurement, §6.1.4).
+    fn preload(&mut self, req: &CoordRequest) -> CoordReply;
+
+    /// Client→service round trips this request needs (1 for ZooKeeper's
+    /// single submit, more for FDB's GetReadVersion + commit pipeline).
+    /// The harness multiplies by the client-to-service-region RTT —
+    /// the dominating term in geo-distributed deployments (§6.5).
+    fn client_round_trips(&self, req: &CoordRequest) -> u32;
+
+    /// VMs the service occupies (3 for both baselines).
+    fn vm_count(&self) -> u32;
+
+    /// Hourly cost of the service cluster in dollars (Meta Cost, §6.1.5).
+    fn hourly_rate(&self) -> f64;
+
+    /// Display name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Shared functional state for both baselines: versioned ownership and
+/// membership maps with CAS semantics.
+#[derive(Clone, Debug, Default)]
+pub struct CoordState {
+    owners: std::collections::BTreeMap<GranuleId, NodeId>,
+    members: std::collections::BTreeSet<NodeId>,
+    /// Write version (ZooKeeper zxid / FDB commit version analogue).
+    version: u64,
+}
+
+impl CoordState {
+    /// Apply a request to the state, producing the reply.
+    pub fn apply(&mut self, req: &CoordRequest) -> CoordReply {
+        match req {
+            CoordRequest::GetOwner { granule } => {
+                CoordReply::Owner(self.owners.get(granule).copied())
+            }
+            CoordRequest::UpdateOwner { granule, from, to } => {
+                match self.owners.get_mut(granule) {
+                    Some(owner) if owner == from => {
+                        *owner = *to;
+                        self.version += 1;
+                        CoordReply::Updated
+                    }
+                    actual => CoordReply::Conflict { actual: actual.map(|o| *o) },
+                }
+            }
+            CoordRequest::InstallOwner { granule, owner } => {
+                self.owners.insert(*granule, *owner);
+                self.version += 1;
+                CoordReply::Updated
+            }
+            CoordRequest::AddNode { node } => {
+                if self.members.insert(*node) {
+                    self.version += 1;
+                    CoordReply::MembershipOk
+                } else {
+                    CoordReply::MembershipConflict
+                }
+            }
+            CoordRequest::DeleteNode { node } => {
+                if self.members.remove(node) {
+                    self.version += 1;
+                    CoordReply::MembershipOk
+                } else {
+                    CoordReply::MembershipConflict
+                }
+            }
+            CoordRequest::Scan => CoordReply::ScanResult(
+                self.owners.iter().map(|(g, n)| (*g, *n)).collect(),
+            ),
+        }
+    }
+
+    /// Current write version.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of registered members.
+    #[must_use]
+    pub fn member_count(&self) -> usize {
+        self.members.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cas_update_semantics() {
+        let mut s = CoordState::default();
+        s.apply(&CoordRequest::InstallOwner { granule: GranuleId(1), owner: NodeId(0) });
+        // Correct expectation: succeeds.
+        assert_eq!(
+            s.apply(&CoordRequest::UpdateOwner {
+                granule: GranuleId(1),
+                from: NodeId(0),
+                to: NodeId(2),
+            }),
+            CoordReply::Updated
+        );
+        // Stale expectation: conflict with the actual owner.
+        assert_eq!(
+            s.apply(&CoordRequest::UpdateOwner {
+                granule: GranuleId(1),
+                from: NodeId(0),
+                to: NodeId(3),
+            }),
+            CoordReply::Conflict { actual: Some(NodeId(2)) }
+        );
+        // Unknown granule: conflict with None.
+        assert_eq!(
+            s.apply(&CoordRequest::UpdateOwner {
+                granule: GranuleId(9),
+                from: NodeId(0),
+                to: NodeId(1),
+            }),
+            CoordReply::Conflict { actual: None }
+        );
+    }
+
+    #[test]
+    fn membership_semantics() {
+        let mut s = CoordState::default();
+        assert_eq!(s.apply(&CoordRequest::AddNode { node: NodeId(1) }), CoordReply::MembershipOk);
+        assert_eq!(
+            s.apply(&CoordRequest::AddNode { node: NodeId(1) }),
+            CoordReply::MembershipConflict
+        );
+        assert_eq!(
+            s.apply(&CoordRequest::DeleteNode { node: NodeId(1) }),
+            CoordReply::MembershipOk
+        );
+        assert_eq!(
+            s.apply(&CoordRequest::DeleteNode { node: NodeId(1) }),
+            CoordReply::MembershipConflict
+        );
+    }
+
+    #[test]
+    fn versions_advance_only_on_writes() {
+        let mut s = CoordState::default();
+        let v0 = s.version();
+        s.apply(&CoordRequest::GetOwner { granule: GranuleId(1) });
+        s.apply(&CoordRequest::Scan);
+        assert_eq!(s.version(), v0);
+        s.apply(&CoordRequest::InstallOwner { granule: GranuleId(1), owner: NodeId(0) });
+        assert_eq!(s.version(), v0 + 1);
+    }
+
+    #[test]
+    fn scan_returns_full_map() {
+        let mut s = CoordState::default();
+        for g in 0..5u64 {
+            s.apply(&CoordRequest::InstallOwner {
+                granule: GranuleId(g),
+                owner: NodeId((g % 2) as u32),
+            });
+        }
+        let CoordReply::ScanResult(entries) = s.apply(&CoordRequest::Scan) else {
+            panic!("scan must return entries")
+        };
+        assert_eq!(entries.len(), 5);
+    }
+}

@@ -1,0 +1,30 @@
+//! Converged coordination baselines (§6.1.2).
+//!
+//! The paper compares Marlin against two external coordination services:
+//!
+//! - **ZooKeeper** (S-ZK on D4s v3 hardware, L-ZK on D8s v3) — a
+//!   single-master configuration store: every write funnels through one
+//!   leader, is sequenced by a ZAB quorum round over three replicas, and
+//!   is bounded by the leader's service rate. [`zk::ZkService`].
+//! - **FoundationDB** 7.3.63 — a distributed transactional KV store used
+//!   as the metadata service by Snowflake-style systems: better internal
+//!   parallelism than ZooKeeper (sharded storage, pipelined commit) but
+//!   fixed resources and a multi-round-trip commit path (GetReadVersion +
+//!   commit), which is what hurts it in geo-distributed deployments
+//!   (§6.5). [`fdb::FdbService`].
+//!
+//! Both services are *functional* models: they maintain real ownership and
+//! membership state with compare-and-set versioning (a migration's
+//! metadata update really does fail if the granule moved), while their
+//! **timing** comes from queueing stations calibrated to the relative
+//! capacities of the paper's hardware profiles. The discrete-event harness
+//! in `marlin-cluster` prices client round trips and regional latencies on
+//! top.
+
+pub mod coordinator;
+pub mod fdb;
+pub mod zk;
+
+pub use coordinator::{CoordReply, CoordRequest, CoordinationService, Completion};
+pub use fdb::{FdbProfile, FdbService};
+pub use zk::{ZkProfile, ZkService};

@@ -1,0 +1,52 @@
+//! Figure 9: real-time user-transaction throughput and abort ratio (YCSB)
+//! during the Figure 8 scale-out.
+//!
+//! Paper: "the throughput of user transactions reaches a higher level of
+//! approximately 12k tps more rapidly than ZooKeeper-based approaches.
+//! Furthermore, Marlin has a lower abort rate for user transactions."
+
+use marlin_bench::{banner, scale};
+use marlin_cluster::params::CoordKind;
+use marlin_cluster::report::{render_rate_series, secs, Table};
+use marlin_cluster::scenarios::scale_out::{run_scale_out, summarize, ScaleOutSpec};
+use marlin_sim::SECOND;
+
+fn main() {
+    banner(
+        "Figure 9 — real-time user txn throughput + abort ratio (YCSB, SO8-16)",
+        "throughput recovers to ~12k tps fastest under Marlin; lowest abort ratio",
+    );
+    let mut rows = Vec::new();
+    for kind in CoordKind::zk_comparison() {
+        let spec = ScaleOutSpec::ycsb_so8_16(kind, scale());
+        let sim = run_scale_out(&spec);
+        println!();
+        print!("{}", render_rate_series(&format!("{} user tps", kind.name()), &sim.metrics.user_commits, 25));
+        // Abort-ratio series (per second).
+        println!("# {} abort ratio", kind.name());
+        for t in (0..50).step_by(5) {
+            let at = t * SECOND;
+            println!("{:8.1}s  {:9.2}%", t as f64, sim.metrics.abort_ratio_at(at) * 100.0);
+        }
+        let s = summarize(&sim);
+        rows.push((
+            kind.name().to_string(),
+            sim.metrics.user_commits.rate_at(8 * SECOND),
+            sim.metrics.user_commits.rate_at(45 * SECOND),
+            s.abort_ratio * 100.0,
+            s.migration_duration,
+        ));
+    }
+    println!();
+    let mut table = Table::new(&["system", "tps@8s", "tps@45s", "abort%", "reconfig"]);
+    for (name, pre, post, abort, dur) in rows {
+        table.row(&[
+            name,
+            format!("{pre:.0}"),
+            format!("{post:.0}"),
+            format!("{abort:.2}"),
+            secs(dur),
+        ]);
+    }
+    print!("{}", table.render());
+}

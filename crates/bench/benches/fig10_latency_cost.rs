@@ -1,0 +1,47 @@
+//! Figure 10: (a) migration latency, (b) cost of user transactions.
+//!
+//! Paper: "Marlin reduces the migration latency by 2.57× and 1.87×
+//! compared to S-ZK and L-ZK ... reduces cost by 1.35× and 1.61×."
+
+use marlin_bench::{banner, scale};
+use marlin_cluster::params::CoordKind;
+use marlin_cluster::report::{ratio, Table};
+use marlin_cluster::scenarios::scale_out::{run_scale_out, summarize, ScaleOutSpec};
+
+fn main() {
+    banner(
+        "Figure 10 — migration latency & cost of UserTxn (YCSB, SO8-16)",
+        "Marlin: 2.57x/1.87x lower migration latency; 1.35x/1.61x lower cost than S-ZK/L-ZK",
+    );
+    let results: Vec<_> = CoordKind::zk_comparison()
+        .into_iter()
+        .map(|kind| summarize(&run_scale_out(&ScaleOutSpec::ycsb_so8_16(kind, scale()))))
+        .collect();
+    let marlin = results[0].clone();
+
+    println!("\n(a) MigrationTxn latency");
+    let mut t = Table::new(&["system", "mean", "p50", "p99", "vs Marlin"]);
+    for r in &results {
+        t.row(&[
+            r.kind.name().into(),
+            format!("{:.2}ms", r.migration_latency.mean / 1e6),
+            format!("{:.2}ms", r.migration_latency.p50 as f64 / 1e6),
+            format!("{:.2}ms", r.migration_latency.p99 as f64 / 1e6),
+            ratio(r.migration_latency.mean, marlin.migration_latency.mean),
+        ]);
+    }
+    print!("{}", t.render());
+
+    println!("\n(b) Cost of UserTxn ($/million txns, DB + Meta split)");
+    let mut t = Table::new(&["system", "DB $", "Meta $", "$/Mtxn", "vs Marlin"]);
+    for r in &results {
+        t.row(&[
+            r.kind.name().into(),
+            format!("{:.4}", r.db_cost),
+            format!("{:.4}", r.meta_cost),
+            format!("{:.4}", r.cost_per_mtxn),
+            ratio(r.cost_per_mtxn, marlin.cost_per_mtxn),
+        ]);
+    }
+    print!("{}", t.render());
+}

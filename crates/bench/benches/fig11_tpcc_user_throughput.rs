@@ -1,0 +1,39 @@
+//! Figure 11: real-time user-transaction throughput and abort ratio
+//! (TPC-C) during a scale-out with 6.4K warehouse migrations.
+//!
+//! Paper: "Marlin completes the migration 2.5× and 1.5× faster than S-ZK
+//! and L-ZK ... incurs less degradation of user transactions."
+
+use marlin_bench::{banner, scale};
+use marlin_cluster::params::CoordKind;
+use marlin_cluster::report::{ratio, render_rate_series, secs, Table};
+use marlin_cluster::scenarios::scale_out::{run_scale_out, summarize, ScaleOutSpec};
+
+fn main() {
+    banner(
+        "Figure 11 — real-time user txn throughput + abort ratio (TPC-C, SO8-16)",
+        "Marlin migrates 2.5x/1.5x faster than S-ZK/L-ZK; less user degradation",
+    );
+    let mut results = Vec::new();
+    for kind in CoordKind::zk_comparison() {
+        let spec = ScaleOutSpec::tpcc_so8_16(kind, scale());
+        let sim = run_scale_out(&spec);
+        println!();
+        print!("{}", render_rate_series(&format!("{} user tps", kind.name()), &sim.metrics.user_commits, 15));
+        results.push(summarize(&sim));
+    }
+    println!();
+    let marlin = results[0].clone();
+    let mut table = Table::new(&["system", "warehouse migs", "duration", "vs Marlin", "abort%", "commits"]);
+    for r in &results {
+        table.row(&[
+            r.kind.name().into(),
+            format!("{}", (r.migration_throughput * (r.migration_duration as f64 / 1e9)).round() as u64),
+            secs(r.migration_duration),
+            ratio(r.migration_duration as f64, marlin.migration_duration as f64),
+            format!("{:.2}", r.abort_ratio * 100.0),
+            format!("{}", r.commits),
+        ]);
+    }
+    print!("{}", table.render());
+}

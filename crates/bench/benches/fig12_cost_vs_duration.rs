@@ -1,0 +1,44 @@
+//! Figure 12: cost vs migration duration across scale-out sizes
+//! (SO1-2, SO2-4, SO4-8, SO8-16), single region, all four systems.
+//!
+//! Paper: "(a) Marlin maintains the lowest cost per user transaction and
+//! shortest migration duration, with up to 4.4× lower cost than L-ZK in
+//! SO1-2 and 2.5× faster migration than S-ZK in SO8-16. (b) Meta Cost
+//! constitutes a decreasing portion (e.g. 75%→28% in L-ZK) of total cost.
+//! (c) Marlin's migration throughput increases linearly with scale while
+//! ZK/FDB show diminishing gains."
+
+use marlin_bench::{banner, scale};
+use marlin_cluster::params::CoordKind;
+use marlin_cluster::report::{secs, Table};
+use marlin_cluster::scenarios::scale_out::{run_scale_out, summarize, ScaleOutSpec};
+
+fn main() {
+    banner(
+        "Figure 12 — cost per Mtxn vs migration duration (SO1-2..SO8-16, single region)",
+        "Marlin best on both axes; up to 4.4x cheaper than L-ZK (SO1-2), 2.5x faster than S-ZK (SO8-16)",
+    );
+    let scales = [1u32, 2, 4, 8];
+    println!("\n(a) cost per Mtxn vs migration duration   (b) cost split   (c) migration tput");
+    let mut t = Table::new(&[
+        "scale", "system", "duration", "$/Mtxn", "DB $", "Meta $", "Meta %", "mig tput/s",
+    ]);
+    for &n in &scales {
+        for kind in CoordKind::all() {
+            let spec = ScaleOutSpec::sweep_point(kind, n, scale());
+            let s = summarize(&run_scale_out(&spec));
+            let total = s.db_cost + s.meta_cost;
+            t.row(&[
+                format!("SO{}-{}", n, 2 * n),
+                s.kind.name().into(),
+                secs(s.migration_duration),
+                format!("{:.4}", s.cost_per_mtxn),
+                format!("{:.4}", s.db_cost),
+                format!("{:.4}", s.meta_cost),
+                format!("{:.0}%", 100.0 * s.meta_cost / total),
+                format!("{:.0}", s.migration_throughput),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+}

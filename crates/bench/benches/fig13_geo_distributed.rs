@@ -1,0 +1,42 @@
+//! Figure 13: cost vs migration duration in the geo-distributed setting
+//! (four regions: US West, East Asia, UK South, Australia East; the
+//! external coordination services are pinned in US West).
+//!
+//! Paper: "Marlin achieved up to 4.9× shorter migration duration than
+//! ZooKeeper-based methods and up to 9.5× shorter than FDB across all
+//! scales ... Marlin remains the most cost-efficient."
+
+use marlin_bench::{banner, scale};
+use marlin_cluster::params::CoordKind;
+use marlin_cluster::report::{ratio, secs, Table};
+use marlin_cluster::scenarios::scale_out::{run_scale_out, summarize, ScaleOutSpec};
+
+fn main() {
+    banner(
+        "Figure 13 — cost per Mtxn vs migration duration (geo-distributed, 4 regions)",
+        "Marlin up to 4.9x faster than ZK-based, up to 9.5x faster than FDB; cheapest",
+    );
+    let scales = [4u32, 8];
+    let mut t = Table::new(&[
+        "scale", "system", "duration", "vs Marlin", "$/Mtxn", "Meta $",
+    ]);
+    for &n in &scales {
+        let mut marlin_dur = 0.0f64;
+        for kind in CoordKind::all() {
+            let spec = ScaleOutSpec::sweep_point(kind, n, scale()).geo();
+            let s = summarize(&run_scale_out(&spec));
+            if kind == CoordKind::Marlin {
+                marlin_dur = s.migration_duration as f64;
+            }
+            t.row(&[
+                format!("SO{}-{}", n, 2 * n),
+                s.kind.name().into(),
+                secs(s.migration_duration),
+                ratio(s.migration_duration as f64, marlin_dur),
+                format!("{:.4}", s.cost_per_mtxn),
+                format!("{:.4}", s.meta_cost),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+}

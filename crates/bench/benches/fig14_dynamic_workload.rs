@@ -1,0 +1,54 @@
+//! Figure 14: real-time performance under a bursty workload
+//! (400→800→400 clients, 8→16→8 nodes).
+//!
+//! Paper: "Marlin completes scale-out 2.6×/2.3× and scale-in 3.8×/2.6×
+//! faster than S-ZK/L-ZK ... reduces compute nodes 12 seconds after the
+//! workload drops, while S-ZK and L-ZK take 45 and 32 seconds."
+
+use marlin_bench::{banner, scale};
+use marlin_cluster::params::CoordKind;
+use marlin_cluster::report::{render_rate_series, render_time_series, Table};
+use marlin_cluster::scenarios::dynamic::{release_lag, run_dynamic, DynamicSpec};
+use marlin_sim::SECOND;
+
+fn main() {
+    banner(
+        "Figure 14 — dynamic workload (400→800→400 clients, 8→16→8 nodes)",
+        "Marlin: fastest scale-out/in; releases nodes ~12s after load drop vs 45s/32s",
+    );
+    let mut rows = Vec::new();
+    for kind in CoordKind::zk_comparison() {
+        let spec = DynamicSpec::paper(kind, scale());
+        let sim = run_dynamic(&spec);
+        println!();
+        print!("{}", render_rate_series(&format!("(a) {} migrations/s", kind.name()), &sim.metrics.migrations, 20));
+        print!("{}", render_time_series(&format!("(b) {} cumulative cost $", kind.name()), &sim.cost_series, 20));
+        print!("{}", render_rate_series(&format!("(c) {} user tps", kind.name()), &sim.metrics.user_commits, 20));
+        println!("(d) {} committed txn latency: mean {:.1}ms p99 {:.1}ms",
+            kind.name(),
+            sim.metrics.user_latency.mean() / 1e6,
+            sim.metrics.user_latency.quantile(0.99) as f64 / 1e6);
+        println!("(e) {} abort ratio: overall {:.2}%, @25s {:.2}%",
+            kind.name(),
+            sim.metrics.abort_ratio() * 100.0,
+            sim.metrics.abort_ratio_at(25 * SECOND) * 100.0);
+        let lag = release_lag(&sim, spec.base_nodes, spec.calm_at);
+        rows.push((
+            kind.name().to_string(),
+            lag,
+            sim.cost.total_cost(),
+            sim.metrics.total_commits(),
+        ));
+    }
+    println!();
+    let mut t = Table::new(&["system", "scale-in release lag", "total $", "commits"]);
+    for (name, lag, cost, commits) in rows {
+        t.row(&[
+            name,
+            lag.map_or("-".into(), |l| format!("{:.1}s", l as f64 / 1e9)),
+            format!("{cost:.4}"),
+            format!("{commits}"),
+        ]);
+    }
+    print!("{}", t.render());
+}

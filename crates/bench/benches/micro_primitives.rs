@@ -1,0 +1,127 @@
+//! Criterion microbenchmarks of the core protocol primitives: the
+//! conditional-append CAS, MarlinCommit driver stepping, the NO_WAIT lock
+//! table, the clock cache, and GTable materialization.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use marlin_common::{GranuleId, KeyRange, LogId, Lsn, NodeId, PageId, TableId, TxnId};
+use marlin_core::drivers::{CommitDriver, Input, Participant, Updates};
+use marlin_core::records::{GRecord, OwnershipSwap};
+use marlin_core::{GTablePartition, LsnTracker};
+use marlin_engine::{ClockCache, LockMode, LockTable, LockTarget};
+use marlin_storage::SharedLog;
+
+fn bench_conditional_append(c: &mut Criterion) {
+    c.bench_function("shared_log_conditional_append", |b| {
+        let log = SharedLog::new();
+        let mut lsn = Lsn::ZERO;
+        b.iter(|| {
+            let out = log.conditional_append(vec![Bytes::from_static(b"rec")], lsn).unwrap();
+            lsn = out.new_lsn;
+        });
+    });
+    c.bench_function("shared_log_cas_failure", |b| {
+        let log = SharedLog::new();
+        log.append(vec![Bytes::from_static(b"r1"), Bytes::from_static(b"r2")]);
+        b.iter(|| log.conditional_append(vec![Bytes::from_static(b"x")], Lsn::ZERO).unwrap_err());
+    });
+}
+
+fn swap(g: u64) -> OwnershipSwap {
+    OwnershipSwap {
+        table: TableId(0),
+        granule: GranuleId(g),
+        range: KeyRange::new(g * 10, (g + 1) * 10),
+        old: NodeId(0),
+        new: NodeId(1),
+    }
+}
+
+fn bench_commit_driver(c: &mut Criterion) {
+    c.bench_function("marlin_commit_1pc", |b| {
+        let tracker = LsnTracker::new();
+        b.iter(|| {
+            let (mut d, _) = CommitDriver::new(
+                TxnId(1),
+                NodeId(0),
+                vec![(Participant::Node(NodeId(0)), Updates::Granule(vec![swap(1)]))],
+                &tracker,
+            );
+            d.on_input(Input::AppendOk { log: LogId::GLog(NodeId(0)), new_lsn: Lsn(1) });
+            assert!(d.is_done());
+        });
+    });
+    c.bench_function("marlin_commit_2pc", |b| {
+        let tracker = LsnTracker::new();
+        b.iter(|| {
+            let (mut d, _) = CommitDriver::new(
+                TxnId(1),
+                NodeId(1),
+                vec![
+                    (Participant::Node(NodeId(0)), Updates::Granule(vec![swap(1)])),
+                    (Participant::Node(NodeId(1)), Updates::Granule(vec![swap(1)])),
+                ],
+                &tracker,
+            );
+            d.on_input(Input::AppendOk { log: LogId::GLog(NodeId(1)), new_lsn: Lsn(1) });
+            d.on_input(Input::VoteResp { from: NodeId(0), yes: true });
+            assert!(d.is_done());
+        });
+    });
+}
+
+fn bench_lock_table(c: &mut Criterion) {
+    c.bench_function("lock_acquire_release", |b| {
+        let lt = LockTable::new();
+        let txn = TxnId(7);
+        b.iter(|| {
+            for k in 0..16u64 {
+                lt.try_lock(txn, LockTarget::Row { table: TableId(0), key: k }, LockMode::Exclusive)
+                    .unwrap();
+            }
+            lt.release_all(txn);
+        });
+    });
+}
+
+fn bench_clock_cache(c: &mut Criterion) {
+    c.bench_function("clock_cache_access_hit", |b| {
+        let mut cache = ClockCache::new(1024);
+        for i in 0..1024u32 {
+            cache.insert(
+                PageId { table: TableId(0), granule: GranuleId(0), index: i },
+                None,
+            );
+        }
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 1024;
+            cache.access(PageId { table: TableId(0), granule: GranuleId(0), index: i })
+        });
+    });
+}
+
+fn bench_gtable_apply(c: &mut Criterion) {
+    c.bench_function("gtable_apply_swap", |b| {
+        b.iter_batched(
+            GTablePartition::new,
+            |mut p| {
+                for i in 0..64u64 {
+                    p.apply(Lsn(i + 1), &GRecord::OnePhase { txn: TxnId(i), swaps: vec![swap(i)] });
+                }
+                p
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_conditional_append,
+    bench_commit_driver,
+    bench_lock_table,
+    bench_clock_cache,
+    bench_gtable_apply
+);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Shared plumbing for the benchmark harness.
+//!
+//! Every figure/table of the paper has a `harness = false` bench target in
+//! `benches/`; `cargo bench --workspace` regenerates all of them, printing
+//! the same rows/series the paper plots. Criterion microbenches cover the
+//! core protocol primitives.
+//!
+//! Set `MARLIN_SCALE=<n>` to divide workload sizes by `n` for quick runs
+//! (default 1 = the paper's full scale).
+
+/// Workload shrink factor from the environment (1 = full scale).
+#[must_use]
+pub fn scale() -> u64 {
+    std::env::var("MARLIN_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&s| s >= 1)
+        .unwrap_or(1)
+}
+
+/// Print the standard experiment banner.
+pub fn banner(id: &str, paper_claim: &str) {
+    println!("==============================================================");
+    println!("{id}");
+    println!("paper: {paper_claim}");
+    if scale() != 1 {
+        println!("NOTE: running at 1/{} workload scale (MARLIN_SCALE)", scale());
+    }
+    println!("==============================================================");
+}

@@ -1,0 +1,131 @@
+//! The §6.1.5 cost model.
+//!
+//! "The total system cost includes data-plane and control-plane costs. DB
+//! Cost accounts for computing servers and cloud storage, while Meta Cost
+//! reflects coordination expenses. Since Marlin eliminates the external
+//! coordination service, its Meta Cost is zero. Computing server costs are
+//! calculated based on the machine's hourly rate. Storage costs are
+//! excluded from comparisons due to their negligible impact."
+
+use marlin_sim::{Nanos, TimeSeries, SECOND};
+
+/// Accumulates node-seconds and coordination-cluster time for one run.
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    /// $/hour for one compute node (D4s v3: $0.192).
+    node_hourly: f64,
+    /// $/hour for the external coordination cluster (0 for Marlin).
+    meta_hourly: f64,
+    /// Compute node-nanoseconds accumulated.
+    node_nanos: u128,
+    /// Time the coordination service has been up.
+    meta_nanos: u128,
+    /// Last accounting timestamp and node count.
+    last_t: Nanos,
+    last_nodes: u32,
+}
+
+impl CostModel {
+    /// Start accounting at time zero with `nodes` compute nodes.
+    #[must_use]
+    pub fn new(node_hourly: f64, meta_hourly: f64, nodes: u32) -> Self {
+        CostModel {
+            node_hourly,
+            meta_hourly,
+            node_nanos: 0,
+            meta_nanos: 0,
+            last_t: 0,
+            last_nodes: nodes,
+        }
+    }
+
+    /// Advance to `now` with the current node count, then apply a change
+    /// to `nodes` (pass the same count for a pure advance).
+    pub fn advance(&mut self, now: Nanos, nodes: u32) {
+        debug_assert!(now >= self.last_t, "cost accounting must move forward");
+        let dt = u128::from(now - self.last_t);
+        self.node_nanos += dt * u128::from(self.last_nodes);
+        self.meta_nanos += dt;
+        self.last_t = now;
+        self.last_nodes = nodes;
+    }
+
+    /// DB cost in dollars accrued so far.
+    #[must_use]
+    pub fn db_cost(&self) -> f64 {
+        self.node_nanos as f64 / (3600.0 * SECOND as f64) * self.node_hourly
+    }
+
+    /// Meta cost in dollars accrued so far.
+    #[must_use]
+    pub fn meta_cost(&self) -> f64 {
+        self.meta_nanos as f64 / (3600.0 * SECOND as f64) * self.meta_hourly
+    }
+
+    /// Total cost.
+    #[must_use]
+    pub fn total_cost(&self) -> f64 {
+        self.db_cost() + self.meta_cost()
+    }
+
+    /// Cost per million committed transactions (Figures 10b, 12).
+    #[must_use]
+    pub fn per_million_txns(&self, commits: u64) -> f64 {
+        if commits == 0 {
+            f64::INFINITY
+        } else {
+            self.total_cost() / (commits as f64 / 1e6)
+        }
+    }
+
+    /// Instantaneous spend rate in dollars per hour.
+    #[must_use]
+    pub fn hourly_rate_now(&self) -> f64 {
+        f64::from(self.last_nodes) * self.node_hourly + self.meta_hourly
+    }
+
+    /// Sample the cumulative total cost into a time series (Figure 14b
+    /// plots real-time cost).
+    pub fn sample_into(&self, series: &mut TimeSeries, now: Nanos) {
+        series.push(now, self.total_cost());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marlin_has_zero_meta_cost() {
+        let mut c = CostModel::new(0.192, 0.0, 8);
+        c.advance(3600 * SECOND, 8);
+        assert!((c.db_cost() - 8.0 * 0.192).abs() < 1e-9);
+        assert_eq!(c.meta_cost(), 0.0);
+    }
+
+    #[test]
+    fn zk_meta_cost_accrues_continuously() {
+        let mut c = CostModel::new(0.192, 0.597, 1);
+        c.advance(1800 * SECOND, 1);
+        assert!((c.meta_cost() - 0.597 / 2.0).abs() < 1e-9);
+        assert!((c.total_cost() - (0.192 / 2.0 + 0.597 / 2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_out_changes_the_burn_rate() {
+        let mut c = CostModel::new(1.0, 0.0, 8);
+        c.advance(3600 * SECOND, 16); // first hour at 8 nodes
+        c.advance(2 * 3600 * SECOND, 16); // second hour at 16
+        assert!((c.db_cost() - (8.0 + 16.0)).abs() < 1e-9);
+        assert_eq!(c.hourly_rate_now(), 16.0);
+    }
+
+    #[test]
+    fn per_million_txn_math() {
+        let mut c = CostModel::new(0.192, 0.0, 10);
+        c.advance(3600 * SECOND, 10);
+        // $1.92 over 4M txns = $0.48/Mtxn.
+        assert!((c.per_million_txns(4_000_000) - 0.48).abs() < 1e-9);
+        assert!(c.per_million_txns(0).is_infinite());
+    }
+}

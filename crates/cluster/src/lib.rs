@@ -1,0 +1,37 @@
+//! The simulated cloud DBMS testbed (§5, §6.1).
+//!
+//! This crate wires everything together into the evaluation harness: a
+//! discrete-event simulation of the paper's Azure deployment where compute
+//! nodes, clients, the disaggregated storage service, and the baseline
+//! coordination services interact in virtual time, while all coordination
+//! *state* (logs, LSN trackers, ownership, membership) is real — the same
+//! `SharedLog` compare-and-swap and `LsnTracker` machinery that
+//! `marlin-core`'s drivers are tested against.
+//!
+//! Layout:
+//!
+//! - [`params`] — every calibrated constant (latencies, service times,
+//!   hardware profiles, prices), each documented against the paper's
+//!   hardware (D4s/D8s v3, 2/4 Gbps, Azure storage).
+//! - [`metrics`] — per-run measurement state feeding the figures.
+//! - [`cost`] — the §6.1.5 cost model (DB Cost + Meta Cost).
+//! - [`sim`] — the cluster simulator: closed-loop interactive clients,
+//!   per-node CPU queueing, group commit, granule warmth (cold-cache
+//!   effects), NO_WAIT conflict handling, migration threads, and the
+//!   coordination backends (Marlin's log CAS vs ZooKeeper/FDB services).
+//! - [`scenarios`] — the experiment drivers behind every figure:
+//!   scale-out (YCSB & TPC-C), cost-vs-duration sweeps, geo-distribution,
+//!   dynamic workloads, and the MTable stress test.
+//! - [`report`] — plain-text series/table rendering for the bench mains.
+
+pub mod cost;
+pub mod metrics;
+pub mod params;
+pub mod report;
+pub mod scenarios;
+pub mod sim;
+
+pub use cost::CostModel;
+pub use metrics::RunMetrics;
+pub use params::{CoordKind, SimParams};
+pub use sim::{ClusterSim, MigrationPlan};

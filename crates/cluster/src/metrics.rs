@@ -1,0 +1,173 @@
+//! Measurement state collected during a run, feeding every figure.
+
+use marlin_sim::{Histogram, Nanos, RateSeries, Summary, TimeSeries, SECOND};
+
+/// All instruments for one simulated run.
+#[derive(Debug)]
+pub struct RunMetrics {
+    /// Committed user transactions per time bucket (Figures 9, 11, 14c).
+    pub user_commits: RateSeries,
+    /// User aborts (NO_WAIT conflicts, misroutes, commit conflicts) per
+    /// bucket (abort-ratio panels).
+    pub user_aborts: RateSeries,
+    /// Committed user transaction latency (Figure 14d).
+    pub user_latency: Histogram,
+    /// Latency of committed transactions bucketed over time (for the
+    /// real-time latency panel).
+    pub latency_over_time: TimeSeries,
+    /// Migration transaction completions per bucket (Figures 8, 14a).
+    pub migrations: RateSeries,
+    /// Migration transaction latency (Figure 10a).
+    pub migration_latency: Histogram,
+    /// Migration aborts/retries (contention with user transactions).
+    pub migration_retries: u64,
+    /// Membership updates committed (Figure 15).
+    pub membership_commits: u64,
+    /// Membership update CAS retries (the OCC contention signal).
+    pub membership_retries: u64,
+    /// Live node count over time (cost accounting, Figure 14b).
+    pub node_count: TimeSeries,
+    /// First and last migration completion (reconfiguration window).
+    pub migration_window: Option<(Nanos, Nanos)>,
+}
+
+impl RunMetrics {
+    /// Fresh instruments with one-second buckets.
+    #[must_use]
+    pub fn new() -> Self {
+        RunMetrics::with_bucket(SECOND)
+    }
+
+    /// Fresh instruments with a custom bucket width.
+    #[must_use]
+    pub fn with_bucket(bucket: Nanos) -> Self {
+        RunMetrics {
+            user_commits: RateSeries::new(bucket),
+            user_aborts: RateSeries::new(bucket),
+            user_latency: Histogram::new(),
+            latency_over_time: TimeSeries::new(),
+            migrations: RateSeries::new(bucket),
+            migration_latency: Histogram::new(),
+            migration_retries: 0,
+            membership_commits: 0,
+            membership_retries: 0,
+            node_count: TimeSeries::new(),
+            migration_window: None,
+        }
+    }
+
+    /// Record a committed user transaction.
+    pub fn commit(&mut self, at: Nanos, latency: Nanos) {
+        self.user_commits.record(at);
+        self.user_latency.record(latency);
+    }
+
+    /// Record a user abort.
+    pub fn abort(&mut self, at: Nanos) {
+        self.user_aborts.record(at);
+    }
+
+    /// Record a completed migration.
+    pub fn migration(&mut self, at: Nanos, latency: Nanos) {
+        self.migrations.record(at);
+        self.migration_latency.record(latency);
+        self.migration_window = Some(match self.migration_window {
+            None => (at, at),
+            Some((first, last)) => (first.min(at), last.max(at)),
+        });
+    }
+
+    /// Duration of the reconfiguration (first to last migration commit).
+    #[must_use]
+    pub fn migration_duration(&self) -> Nanos {
+        match self.migration_window {
+            Some((first, last)) => last - first,
+            None => 0,
+        }
+    }
+
+    /// Total committed user transactions.
+    #[must_use]
+    pub fn total_commits(&self) -> u64 {
+        self.user_commits.total()
+    }
+
+    /// Abort ratio over the whole run.
+    #[must_use]
+    pub fn abort_ratio(&self) -> f64 {
+        let commits = self.user_commits.total();
+        let aborts = self.user_aborts.total();
+        if commits + aborts == 0 {
+            0.0
+        } else {
+            aborts as f64 / (commits + aborts) as f64
+        }
+    }
+
+    /// Abort ratio within one time bucket.
+    #[must_use]
+    pub fn abort_ratio_at(&self, t: Nanos) -> f64 {
+        let c = self.user_commits.rate_at(t);
+        let a = self.user_aborts.rate_at(t);
+        if c + a == 0.0 {
+            0.0
+        } else {
+            a / (c + a)
+        }
+    }
+
+    /// Migration latency summary.
+    #[must_use]
+    pub fn migration_summary(&self) -> Summary {
+        self.migration_latency.summary()
+    }
+
+    /// Mean migration throughput over the reconfiguration window
+    /// (migrations per second).
+    #[must_use]
+    pub fn migration_throughput(&self) -> f64 {
+        let total = self.migrations.total();
+        let dur = self.migration_duration();
+        if dur == 0 {
+            0.0
+        } else {
+            total as f64 / (dur as f64 / SECOND as f64)
+        }
+    }
+}
+
+impl Default for RunMetrics {
+    fn default() -> Self {
+        RunMetrics::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_and_abort_accounting() {
+        let mut m = RunMetrics::new();
+        m.commit(SECOND, 10 * 1_000_000);
+        m.commit(SECOND + 1, 20 * 1_000_000);
+        m.abort(SECOND + 2);
+        assert_eq!(m.total_commits(), 2);
+        assert!((m.abort_ratio() - 1.0 / 3.0).abs() < 1e-9);
+        assert!((m.abort_ratio_at(SECOND) - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(m.abort_ratio_at(10 * SECOND), 0.0);
+    }
+
+    #[test]
+    fn migration_window_tracks_extremes() {
+        let mut m = RunMetrics::new();
+        assert_eq!(m.migration_duration(), 0);
+        m.migration(5 * SECOND, 1_000_000);
+        m.migration(2 * SECOND, 1_000_000);
+        m.migration(9 * SECOND, 1_000_000);
+        assert_eq!(m.migration_window, Some((2 * SECOND, 9 * SECOND)));
+        assert_eq!(m.migration_duration(), 7 * SECOND);
+        let tput = m.migration_throughput();
+        assert!((tput - 3.0 / 7.0).abs() < 1e-9);
+    }
+}

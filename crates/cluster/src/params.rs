@@ -1,0 +1,199 @@
+//! Calibrated simulator constants.
+//!
+//! Each constant is tied to the paper's testbed (§6.1.1): compute nodes
+//! are Standard D4s v3 (4 vCPU, 16 GB, 2 Gbps) in Azure West US 2; the
+//! storage account is standard general-purpose v2 with Append Blobs; the
+//! client runs interactive transactions over gRPC. Absolute values are
+//! calibrated so the *shapes* of the paper's figures reproduce (who wins,
+//! scaling trends, crossover points); EXPERIMENTS.md records the measured
+//! ratios next to the paper's.
+
+use marlin_baselines::{FdbProfile, ZkProfile};
+use marlin_sim::{Nanos, RegionMatrix, MICROSECOND, MILLISECOND};
+
+/// Which coordination mechanism the cluster uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoordKind {
+    /// Marlin: coordination through the database's own logs (no service).
+    Marlin,
+    /// ZooKeeper ensemble on D4s v3 hardware.
+    ZkSmall,
+    /// ZooKeeper ensemble on D8s v3 hardware.
+    ZkLarge,
+    /// FoundationDB cluster on D4s v3-comparable hardware.
+    Fdb,
+}
+
+impl CoordKind {
+    /// Display name used in reports (matches the paper's legends).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CoordKind::Marlin => "Marlin",
+            CoordKind::ZkSmall => "S-ZK",
+            CoordKind::ZkLarge => "L-ZK",
+            CoordKind::Fdb => "FDB",
+        }
+    }
+
+    /// All four systems in the paper's plotting order.
+    #[must_use]
+    pub fn all() -> [CoordKind; 4] {
+        [CoordKind::Marlin, CoordKind::ZkSmall, CoordKind::ZkLarge, CoordKind::Fdb]
+    }
+
+    /// The three systems of Figures 8/9/11/14 (no FDB).
+    #[must_use]
+    pub fn zk_comparison() -> [CoordKind; 3] {
+        [CoordKind::Marlin, CoordKind::ZkSmall, CoordKind::ZkLarge]
+    }
+
+    /// The baseline profile behind this kind, if external.
+    #[must_use]
+    pub fn zk_profile(self) -> Option<ZkProfile> {
+        match self {
+            CoordKind::ZkSmall => Some(ZkProfile::small()),
+            CoordKind::ZkLarge => Some(ZkProfile::large()),
+            _ => None,
+        }
+    }
+
+    /// FDB profile, if this kind is FDB.
+    #[must_use]
+    pub fn fdb_profile(self) -> Option<FdbProfile> {
+        matches!(self, CoordKind::Fdb).then(FdbProfile::paper_default)
+    }
+}
+
+/// All tunable constants of the simulated testbed.
+#[derive(Clone, Debug)]
+pub struct SimParams {
+    // -- network -----------------------------------------------------------
+    /// Intra-region round trip between any two VMs (Azure same-AZ TCP/gRPC
+    /// round trip including serialization: ~1.5-3 ms at the message sizes
+    /// of interactive OLTP; calibrated 3 ms so 800 closed-loop clients
+    /// saturate 8 nodes near the paper's pre-scale-out throughput).
+    pub intra_rtt: Nanos,
+    /// Round trip to the storage service for one append/page read.
+    pub storage_rtt: Nanos,
+    /// Cross-region one-way latencies (geo scenarios); single region by
+    /// default.
+    pub regions: RegionMatrix,
+
+    // -- compute node (Standard D4s v3: 4 vCPU) -----------------------------
+    /// Worker threads per node serving requests.
+    pub cpu_workers: usize,
+    /// CPU service time per user request (parse, index, lock, buffer).
+    pub req_service: Nanos,
+    /// CPU service time per migration step at src/dst.
+    pub migration_service: Nanos,
+    /// Mean extra wait introduced by group commit batching (half the
+    /// paper's batch window).
+    pub group_commit_wait: Nanos,
+
+    // -- storage service -----------------------------------------------------
+    /// Storage-side service time per log append operation (batched group
+    /// commits count as one operation).
+    pub append_service: Nanos,
+    /// GetPage@LSN service time on a cache miss (page store lookup).
+    pub get_page_service: Nanos,
+
+    // -- data / cache ----------------------------------------------------------
+    /// Cold-granule accesses that miss before the granule is warm when no
+    /// proactive warm-up has completed (pages per granule).
+    pub cold_misses_per_granule: u32,
+    /// Time to warm one migrated granule via the Squall-style scan (64 KB
+    /// over a shared 2 Gbps NIC, plus request overhead).
+    pub warmup_per_granule: Nanos,
+
+    // -- client behavior ----------------------------------------------------------
+    /// Requests per YCSB transaction (paper: 16).
+    pub reqs_per_txn: usize,
+    /// Exponential backoff floor after an abort.
+    pub backoff_base: Nanos,
+    /// Backoff cap (paper: 100 ms).
+    pub backoff_cap: Nanos,
+    /// Delay until a migrated granule's new owner appears in the routing
+    /// tier via the periodic ownership broadcast (§4.2). Misrouted
+    /// requests in this window abort with a redirect.
+    pub route_broadcast_delay: Nanos,
+
+    // -- membership ---------------------------------------------------------------
+    /// Cost of refreshing the MTable cache after a SysLog CAS failure
+    /// (read the log suffix from storage).
+    pub mtable_refresh: Nanos,
+
+    // -- cost (§6.1.5) ---------------------------------------------------------------
+    /// Hourly price of one compute node (Standard D4s v3, $0.192/h).
+    pub node_hourly: f64,
+
+    /// RNG seed for the run.
+    pub seed: u64,
+}
+
+impl Default for SimParams {
+    fn default() -> Self {
+        SimParams {
+            intra_rtt: 3 * MILLISECOND,
+            storage_rtt: 800 * MICROSECOND,
+            // Diagonal = intra_rtt/2 so the coordination-service path sees
+            // the same one-way latency as any other intra-region hop.
+            regions: RegionMatrix::single(1_500 * MICROSECOND),
+            cpu_workers: 4,
+            req_service: 180 * MICROSECOND,
+            migration_service: 60 * MICROSECOND,
+            group_commit_wait: 500 * MICROSECOND,
+            append_service: 25 * MICROSECOND,
+            get_page_service: 150 * MICROSECOND,
+            cold_misses_per_granule: 4,
+            warmup_per_granule: 400 * MICROSECOND,
+            reqs_per_txn: 16,
+            backoff_base: MILLISECOND,
+            backoff_cap: 100 * MILLISECOND,
+            route_broadcast_delay: 200 * MILLISECOND,
+            mtable_refresh: 900 * MICROSECOND,
+            node_hourly: 0.192,
+            seed: 42,
+        }
+    }
+}
+
+impl SimParams {
+    /// Parameters for the four-region geo deployment of §6.5.
+    #[must_use]
+    pub fn geo() -> Self {
+        SimParams { regions: RegionMatrix::paper_geo(), ..SimParams::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper_legends() {
+        assert_eq!(CoordKind::Marlin.name(), "Marlin");
+        assert_eq!(CoordKind::ZkSmall.name(), "S-ZK");
+        assert_eq!(CoordKind::ZkLarge.name(), "L-ZK");
+        assert_eq!(CoordKind::Fdb.name(), "FDB");
+    }
+
+    #[test]
+    fn profiles_exist_only_for_matching_kinds() {
+        assert!(CoordKind::Marlin.zk_profile().is_none());
+        assert!(CoordKind::ZkSmall.zk_profile().is_some());
+        assert!(CoordKind::ZkLarge.zk_profile().is_some());
+        assert!(CoordKind::Fdb.zk_profile().is_none());
+        assert!(CoordKind::Fdb.fdb_profile().is_some());
+        assert!(CoordKind::ZkSmall.fdb_profile().is_none());
+    }
+
+    #[test]
+    fn default_params_are_sane() {
+        let p = SimParams::default();
+        assert!(p.intra_rtt > p.storage_rtt / 4);
+        assert!(p.backoff_cap >= p.backoff_base);
+        assert_eq!(p.regions.regions(), 1);
+        assert_eq!(SimParams::geo().regions.regions(), 4);
+    }
+}

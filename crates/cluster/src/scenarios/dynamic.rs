@@ -1,0 +1,156 @@
+//! The dynamic (bursty) workload scenario (§6.6, Figure 14).
+//!
+//! "The workload starts with 400 clients, scales to 800 at the 20th
+//! second, holds for 60 seconds, and drops back to 400 at the 80th second.
+//! The cluster begins with 8 compute nodes, scales out to 16, then returns
+//! to 8. An efficient coordination mechanism enables rapid scale-out and
+//! scale-in."
+
+use crate::params::{CoordKind, SimParams};
+use crate::sim::{ClusterSim, Workload};
+use marlin_sim::{Nanos, SECOND};
+
+/// Scenario parameters.
+#[derive(Clone, Debug)]
+pub struct DynamicSpec {
+    pub kind: CoordKind,
+    pub workload: Workload,
+    pub base_nodes: u32,
+    pub burst_nodes: u32,
+    pub base_clients: u32,
+    pub burst_clients: u32,
+    /// Burst start (paper: 20 s).
+    pub burst_at: Nanos,
+    /// Burst end (paper: 80 s).
+    pub calm_at: Nanos,
+    pub horizon: Nanos,
+    pub threads_per_node: u32,
+    pub params: SimParams,
+}
+
+impl DynamicSpec {
+    /// The Figure 14 configuration (optionally shrunk by `granule_scale`).
+    #[must_use]
+    pub fn paper(kind: CoordKind, granule_scale: u64) -> Self {
+        DynamicSpec {
+            kind,
+            workload: Workload::Ycsb { granules: 200_000 / granule_scale },
+            base_nodes: 8,
+            burst_nodes: 8,
+            base_clients: 400,
+            burst_clients: 800,
+            burst_at: 20 * SECOND,
+            calm_at: 80 * SECOND,
+            horizon: 120 * SECOND,
+            threads_per_node: 16,
+            params: SimParams::default(),
+        }
+    }
+}
+
+/// Run the dynamic scenario: burst → scale-out, calm → scale-in, with the
+/// added nodes released as soon as their granules are drained.
+#[must_use]
+pub fn run_dynamic(spec: &DynamicSpec) -> ClusterSim {
+    let mut sim = ClusterSim::new(
+        spec.params.clone(),
+        spec.kind,
+        &spec.workload,
+        spec.base_nodes,
+        spec.burst_clients, // provision generators for the peak
+        spec.horizon,
+    );
+    // Start at the base load.
+    sim.schedule_client_count(0, spec.base_clients);
+    // Burst: more clients + scale-out.
+    sim.schedule_client_count(spec.burst_at, spec.burst_clients);
+    sim.schedule_scale_out(spec.burst_at, spec.burst_nodes, spec.threads_per_node);
+    // Calm: fewer clients + scale-in of the added nodes.
+    sim.schedule_client_count(spec.calm_at, spec.base_clients);
+    let victims: Vec<u32> = (spec.base_nodes..spec.base_nodes + spec.burst_nodes).collect();
+    sim.schedule_scale_in(spec.calm_at, victims, spec.threads_per_node);
+    sim.run();
+    sim
+}
+
+/// When the node count first returned to `base` after `calm_at` — the
+/// scale-in release lag the paper reports (12 s for Marlin vs 45 s/32 s
+/// for S-ZK/L-ZK).
+#[must_use]
+pub fn release_lag(sim: &ClusterSim, base: u32, calm_at: Nanos) -> Option<Nanos> {
+    sim.metrics
+        .node_count
+        .points()
+        .iter()
+        .find(|&&(t, v)| t >= calm_at && v <= f64::from(base))
+        .map(|&(t, _)| t - calm_at)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dynamic_cycle_scales_out_and_back_in() {
+        let spec = DynamicSpec {
+            kind: CoordKind::Marlin,
+            workload: Workload::Ycsb { granules: 1_000 },
+            base_nodes: 2,
+            burst_nodes: 2,
+            base_clients: 10,
+            burst_clients: 20,
+            burst_at: 5 * SECOND,
+            calm_at: 15 * SECOND,
+            horizon: 40 * SECOND,
+            threads_per_node: 4,
+            params: SimParams::default(),
+        };
+        let sim = run_dynamic(&spec);
+        // Scale-out happened (some point shows 4 nodes)...
+        let peak = sim
+            .metrics
+            .node_count
+            .points()
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(0.0f64, f64::max);
+        assert_eq!(peak, 4.0);
+        // ...and scale-in released the added nodes.
+        assert_eq!(sim.live_nodes(), 2, "victims must be drained and released");
+        let lag = release_lag(&sim, 2, spec.calm_at).expect("release lag observed");
+        assert!(lag > 0);
+        // All granules ended on the surviving nodes.
+        assert!(sim.owners().iter().all(|&o| o < 2));
+        // Both reconfigurations' migrations happened: out (500) + back (500).
+        assert_eq!(sim.metrics.migrations.total(), 1_000);
+    }
+
+    #[test]
+    fn slower_coordination_releases_nodes_later() {
+        // Enough granules that the bulk drain (not the straggler tail of a
+        // last NO_WAIT retry) dominates the release lag, as at paper scale.
+        let run = |kind: CoordKind| {
+            let spec = DynamicSpec {
+                kind,
+                workload: Workload::Ycsb { granules: 20_000 },
+                base_nodes: 2,
+                burst_nodes: 2,
+                base_clients: 10,
+                burst_clients: 20,
+                burst_at: 5 * SECOND,
+                calm_at: 25 * SECOND,
+                horizon: 90 * SECOND,
+                threads_per_node: 24,
+                params: SimParams::default(),
+            };
+            let sim = run_dynamic(&spec);
+            release_lag(&sim, 2, spec.calm_at)
+        };
+        let marlin = run(CoordKind::Marlin).expect("marlin releases");
+        let szk = run(CoordKind::ZkSmall).expect("szk releases");
+        assert!(
+            marlin < szk,
+            "Marlin release lag ({marlin}ns) must beat S-ZK ({szk}ns)"
+        );
+    }
+}

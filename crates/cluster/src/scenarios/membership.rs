@@ -1,0 +1,125 @@
+//! The membership-change stress test (§6.7, Figure 15).
+//!
+//! "We simulate each compute node with one thread continuously issuing
+//! membership update requests, including node additions and removals. We
+//! scale the number of nodes by increasing threads number. Each thread
+//! issues a membership update every 15 seconds."
+//!
+//! Marlin's path is the real SysLog conditional append with per-member
+//! LSN trackers: aligned bursts of CAS attempts collide, losers refresh
+//! the MTable cache and retry — the OCC behavior whose cost shows past
+//! ~160 nodes. ZooKeeper and FDB serialize the same updates through their
+//! services without client-side retries.
+
+use crate::params::{CoordKind, SimParams};
+use crate::sim::{ClusterSim, Workload};
+use marlin_sim::{Nanos, SECOND};
+
+/// Result of one stress run.
+#[derive(Clone, Debug)]
+pub struct MembershipResult {
+    pub kind: CoordKind,
+    pub members: u32,
+    /// Committed membership updates per second (achieved throughput).
+    pub throughput: f64,
+    /// Offered load (members / period).
+    pub offered: f64,
+    /// Mean commit latency of an update.
+    pub mean_latency: Nanos,
+    /// CAS retries (Marlin's OCC contention signal; 0 for baselines).
+    pub retries: u64,
+}
+
+/// Run the stress for `members` virtual nodes at one update per `period`.
+#[must_use]
+pub fn run_membership_stress(
+    kind: CoordKind,
+    members: u32,
+    period: Nanos,
+    horizon: Nanos,
+    params: SimParams,
+) -> MembershipResult {
+    // No user workload: the scenario isolates the metadata path.
+    let mut sim = ClusterSim::new(
+        params,
+        kind,
+        &Workload::Ycsb { granules: 16 },
+        1,
+        0,
+        horizon,
+    );
+    sim.schedule_membership_stress(members, period);
+    sim.run();
+    let commits = sim.metrics.membership_commits;
+    MembershipResult {
+        kind,
+        members,
+        throughput: commits as f64 / (horizon as f64 / SECOND as f64),
+        offered: f64::from(members) / (period as f64 / SECOND as f64),
+        mean_latency: sim.membership_mean_latency() as Nanos,
+        retries: sim.metrics.membership_retries,
+    }
+}
+
+/// Updates expected over the run (bursts fully inside the horizon).
+#[must_use]
+pub fn expected_updates(members: u32, period: Nanos, horizon: Nanos) -> u64 {
+    u64::from(members) * (horizon / period)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marlin_sim::MILLISECOND;
+
+    #[test]
+    fn low_contention_marlin_matches_offered_load() {
+        let (period, horizon) = (15 * SECOND, 50 * SECOND);
+        let r = run_membership_stress(
+            CoordKind::Marlin,
+            8,
+            period,
+            horizon,
+            SimParams::default(),
+        );
+        // Every burst inside the horizon commits fully.
+        let committed = (r.throughput * (horizon as f64 / SECOND as f64)).round() as u64;
+        assert_eq!(committed, expected_updates(8, period, horizon));
+        assert!(r.mean_latency < 50 * MILLISECOND, "latency {}", r.mean_latency);
+    }
+
+    #[test]
+    fn high_contention_marlin_pays_occ_retries() {
+        let quiet = run_membership_stress(
+            CoordKind::Marlin,
+            16,
+            15 * SECOND,
+            45 * SECOND,
+            SimParams::default(),
+        );
+        let stormy = run_membership_stress(
+            CoordKind::Marlin,
+            512,
+            15 * SECOND,
+            45 * SECOND,
+            SimParams::default(),
+        );
+        assert!(stormy.retries > quiet.retries * 10, "retries {} vs {}", stormy.retries, quiet.retries);
+        assert!(stormy.mean_latency > quiet.mean_latency);
+    }
+
+    #[test]
+    fn zk_serializes_without_client_retries() {
+        let (period, horizon) = (15 * SECOND, 50 * SECOND);
+        let r = run_membership_stress(
+            CoordKind::ZkSmall,
+            256,
+            period,
+            horizon,
+            SimParams::default(),
+        );
+        assert_eq!(r.retries, 0, "the leader serializes; clients never retry");
+        let committed = (r.throughput * (horizon as f64 / SECOND as f64)).round() as u64;
+        assert_eq!(committed, expected_updates(256, period, horizon));
+    }
+}

@@ -1,0 +1,246 @@
+//! The scale-out scenario (§6.2–§6.5): a static workload exceeding the
+//! initial cluster's capacity; at `scale_at` the cluster doubles and the
+//! migration storm redistributes granules onto the new nodes.
+
+use crate::params::{CoordKind, SimParams};
+use crate::sim::{ClusterSim, Workload};
+use marlin_sim::{Nanos, Summary, SECOND};
+
+/// Scenario parameters.
+#[derive(Clone, Debug)]
+pub struct ScaleOutSpec {
+    pub kind: CoordKind,
+    pub workload: Workload,
+    pub initial_nodes: u32,
+    pub new_nodes: u32,
+    pub clients: u32,
+    /// When the scale-out triggers (paper: the 10th second).
+    pub scale_at: Nanos,
+    /// Total simulated time.
+    pub horizon: Nanos,
+    /// Migration worker threads per new node (concurrency grows with the
+    /// cluster, §6.1.4; TPC-C uses 80, §6.3).
+    pub threads_per_new_node: u32,
+    pub params: SimParams,
+}
+
+impl ScaleOutSpec {
+    /// The Figure 8/9 configuration: YCSB, 800 clients, 8→16 nodes,
+    /// ~100K granule migrations (24 GB table at ~200K granules, half of
+    /// which move), scale-out at t=10 s. `granule_scale` shrinks the
+    /// granule count for quick runs (1 = full).
+    #[must_use]
+    pub fn ycsb_so8_16(kind: CoordKind, granule_scale: u64) -> Self {
+        ScaleOutSpec {
+            kind,
+            workload: Workload::Ycsb { granules: 200_000 / granule_scale },
+            initial_nodes: 8,
+            new_nodes: 8,
+            clients: 800,
+            scale_at: 10 * SECOND,
+            horizon: 50 * SECOND,
+            threads_per_new_node: 7,
+            params: SimParams::default(),
+        }
+    }
+
+    /// The Figure 11 configuration: TPC-C, 1600 warehouses per server
+    /// (12.8K warehouses at 8 nodes; 6.4K migrate), 80 migration threads
+    /// per new node.
+    #[must_use]
+    pub fn tpcc_so8_16(kind: CoordKind, granule_scale: u64) -> Self {
+        // Warehouse granules are ~1 MB (vs 64 KB for YCSB): each migration
+        // step does substantially more per-node work (locking a whole
+        // warehouse, initiating a 1 MB scan), which is what bounds Marlin's
+        // TPC-C migration rate in Figure 11.
+        let mut params = SimParams::default();
+        params.migration_service = 2_000_000; // 2 ms per side
+        ScaleOutSpec {
+            kind,
+            workload: Workload::Tpcc { warehouses: 12_800 / granule_scale },
+            initial_nodes: 8,
+            new_nodes: 8,
+            clients: 800,
+            scale_at: 10 * SECOND,
+            horizon: 30 * SECOND,
+            threads_per_new_node: 80,
+            params,
+        }
+    }
+
+    /// One of the Figure 12 sweep points: SO1-2 / SO2-4 / SO4-8 / SO8-16.
+    /// Scales clients (100..800), table size (~25K granules per initial
+    /// node — 3 GB..24 GB), and migration concurrency together (§6.4).
+    #[must_use]
+    pub fn sweep_point(kind: CoordKind, initial_nodes: u32, granule_scale: u64) -> Self {
+        let granules = u64::from(initial_nodes) * 25_000 / granule_scale;
+        ScaleOutSpec {
+            kind,
+            workload: Workload::Ycsb { granules },
+            initial_nodes,
+            new_nodes: initial_nodes,
+            clients: 100 * initial_nodes,
+            scale_at: 5 * SECOND,
+            horizon: 120 * SECOND,
+            threads_per_new_node: 7,
+            params: SimParams::default(),
+        }
+    }
+
+    /// Geo-distributed variant (§6.5): same shape, four regions, the
+    /// external coordination service pinned in region 0 (US West). The
+    /// horizon stretches so that baselines paying cross-region round trips
+    /// per metadata commit still finish their storms in-window.
+    #[must_use]
+    pub fn geo(mut self) -> Self {
+        self.params = SimParams { seed: self.params.seed, ..SimParams::geo() };
+        self.horizon = 400 * SECOND;
+        self.threads_per_new_node = 16;
+        self
+    }
+}
+
+/// Headline numbers extracted from a finished run.
+#[derive(Clone, Debug)]
+pub struct ScaleOutSummary {
+    pub kind: CoordKind,
+    /// First-to-last migration commit (the paper's migration duration).
+    pub migration_duration: Nanos,
+    /// Migrations per second over that window.
+    pub migration_throughput: f64,
+    /// MigrationTxn latency stats (Figure 10a).
+    pub migration_latency: Summary,
+    /// Committed user transactions.
+    pub commits: u64,
+    /// Overall abort ratio.
+    pub abort_ratio: f64,
+    /// DB / Meta / total cost in dollars (§6.1.5).
+    pub db_cost: f64,
+    pub meta_cost: f64,
+    /// Cost per million user transactions (Figures 10b, 12a).
+    pub cost_per_mtxn: f64,
+}
+
+/// Run the scenario to completion and return the simulator (full series)
+/// for the bench mains to render.
+#[must_use]
+pub fn run_scale_out(spec: &ScaleOutSpec) -> ClusterSim {
+    let mut sim = ClusterSim::new(
+        spec.params.clone(),
+        spec.kind,
+        &spec.workload,
+        spec.initial_nodes,
+        spec.clients,
+        spec.horizon,
+    );
+    sim.schedule_scale_out(spec.scale_at, spec.new_nodes, spec.threads_per_new_node);
+    sim.run();
+    sim
+}
+
+/// Extract the headline summary from a finished run.
+#[must_use]
+pub fn summarize(sim: &ClusterSim) -> ScaleOutSummary {
+    ScaleOutSummary {
+        kind: sim.kind(),
+        migration_duration: sim.metrics.migration_duration(),
+        migration_throughput: sim.metrics.migration_throughput(),
+        migration_latency: sim.metrics.migration_summary(),
+        commits: sim.metrics.total_commits(),
+        abort_ratio: sim.metrics.abort_ratio(),
+        db_cost: sim.cost.db_cost(),
+        meta_cost: sim.cost.meta_cost(),
+        cost_per_mtxn: sim.cost.per_million_txns(sim.metrics.total_commits()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small smoke-scale run: every granule ends on the right node, all
+    /// migrations complete, the system commits transactions throughout.
+    #[test]
+    fn small_scale_out_completes_and_balances() {
+        let spec = ScaleOutSpec {
+            kind: CoordKind::Marlin,
+            workload: Workload::Ycsb { granules: 800 },
+            initial_nodes: 2,
+            new_nodes: 2,
+            clients: 40,
+            scale_at: 2 * SECOND,
+            horizon: 20 * SECOND,
+            threads_per_new_node: 4,
+            params: SimParams::default(),
+        };
+        let sim = run_scale_out(&spec);
+        let s = summarize(&sim);
+        assert_eq!(sim.live_nodes(), 4);
+        // Half the granules moved (2→4 nodes).
+        assert_eq!(sim.metrics.migrations.total(), 400);
+        assert!(s.commits > 1_000, "commits {}", s.commits);
+        assert!(s.migration_duration > 0);
+        // Ownership balanced: each node owns ~200 granules.
+        let owners = sim.owners();
+        for n in 0..4u32 {
+            let owned = owners.iter().filter(|&&o| o == n).count();
+            assert!((150..=250).contains(&owned), "node {n} owns {owned}");
+        }
+        assert_eq!(s.meta_cost, 0.0, "Marlin has no Meta Cost");
+    }
+
+    /// The headline comparison at smoke scale: Marlin's migration storm
+    /// finishes faster than S-ZK's and costs less per transaction.
+    #[test]
+    fn marlin_beats_szk_on_duration_and_cost() {
+        let run = |kind: CoordKind| {
+            let spec = ScaleOutSpec {
+                kind,
+                workload: Workload::Ycsb { granules: 2_000 },
+                initial_nodes: 2,
+                new_nodes: 2,
+                clients: 40,
+                scale_at: 2 * SECOND,
+                horizon: 30 * SECOND,
+                // Marlin's migration rate scales with worker concurrency
+                // (its advantage grows with cluster size); give the tiny
+                // 2-node cluster enough threads to exceed the ZK leader's
+                // serial capacity, as any real deployment would.
+                threads_per_new_node: 24,
+                params: SimParams::default(),
+            };
+            summarize(&run_scale_out(&spec))
+        };
+        let marlin = run(CoordKind::Marlin);
+        let szk = run(CoordKind::ZkSmall);
+        assert!(
+            marlin.migration_duration < szk.migration_duration,
+            "Marlin {:?} must beat S-ZK {:?}",
+            marlin.migration_duration,
+            szk.migration_duration
+        );
+        assert!(marlin.cost_per_mtxn < szk.cost_per_mtxn);
+        assert!(marlin.meta_cost == 0.0 && szk.meta_cost > 0.0);
+    }
+
+    /// Runs are bit-for-bit reproducible for a fixed seed.
+    #[test]
+    fn determinism_under_fixed_seed() {
+        let spec = ScaleOutSpec {
+            kind: CoordKind::Marlin,
+            workload: Workload::Ycsb { granules: 400 },
+            initial_nodes: 2,
+            new_nodes: 2,
+            clients: 10,
+            scale_at: SECOND,
+            horizon: 10 * SECOND,
+            threads_per_new_node: 2,
+            params: SimParams::default(),
+        };
+        let a = summarize(&run_scale_out(&spec));
+        let b = summarize(&run_scale_out(&spec));
+        assert_eq!(a.commits, b.commits);
+        assert_eq!(a.migration_duration, b.migration_duration);
+        assert_eq!(a.abort_ratio, b.abort_ratio);
+    }
+}

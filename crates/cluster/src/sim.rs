@@ -1,0 +1,1073 @@
+//! The cluster simulator: the paper's testbed in virtual time.
+//!
+//! The simulator combines **real coordination state** with **modeled
+//! time**:
+//!
+//! - Every node owns a real `SharedLog` (its GLog, which doubles as its
+//!   data WAL) and a real `LsnTracker`; Marlin's metadata commits and the
+//!   membership stress test perform actual conditional appends, so CAS
+//!   conflicts, retries, and the Figure 15 contention collapse *emerge*
+//!   from the protocol rather than being scripted.
+//! - Network hops, CPU service, storage appends, page reads, and the
+//!   baseline coordination services are priced through latency models and
+//!   queueing stations ([`marlin_sim`]).
+//!
+//! Transactions are simulated at flow level: each interactive transaction
+//! computes its full timeline (16 request round trips through the node's
+//! CPU station, cold-page fetches, group commit, log CAS) in one event and
+//! schedules its own completion; NO_WAIT conflicts are enforced through
+//! per-granule busy windows and migration marks. This keeps 100K-migration
+//! scale-outs tractable while preserving queueing behavior (stations are
+//! work-conserving across interleaved offers).
+
+use crate::cost::CostModel;
+use crate::metrics::RunMetrics;
+use crate::params::{CoordKind, SimParams};
+use bytes::Bytes;
+use marlin_baselines::{
+    CoordReply, CoordRequest, CoordinationService, FdbService, ZkService,
+};
+use marlin_common::{GranuleId, LogId, NodeId, RegionId, StorageError};
+use marlin_core::LsnTracker;
+use marlin_sim::{ActorId, DetRng, EventQueue, Nanos, TimeSeries, SECOND};
+use marlin_storage::SharedLog;
+use marlin_workload::{TpccConfig, TpccGenerator, TxnTemplate, YcsbConfig, YcsbGenerator};
+
+/// Analytic CPU congestion model for one node.
+///
+/// Transactions compute their full timeline in a single event, which means
+/// CPU demands arrive out of chronological order — a FIFO queue station
+/// would serialize unrelated transactions behind far-future bookings.
+/// Instead the node tracks an exponentially-averaged utilization (offered
+/// work per unit time over `TAU`) and charges each request its service
+/// time plus an M/M/c-style congestion delay `service * rho / (1 - rho)`.
+/// The closed-loop clients then settle into the classic equilibrium: an
+/// overloaded 8-node cluster saturates near its capacity, and the
+/// scale-out to 16 relieves it (the Figure 9 shape).
+struct CpuModel {
+    workers: f64,
+    /// EMA load estimator: expected value = arrival_rate x mean_service.
+    load: f64,
+    last: Nanos,
+}
+
+/// EMA time constant for the CPU load estimator.
+const CPU_TAU: f64 = 0.5e9;
+
+impl CpuModel {
+    fn new(workers: usize) -> Self {
+        CpuModel { workers: workers as f64, load: 0.0, last: 0 }
+    }
+
+    /// Charge `service` work arriving at `at`; returns service + queueing
+    /// delay.
+    fn charge(&mut self, at: Nanos, service: Nanos) -> Nanos {
+        if at > self.last {
+            let dt = (at - self.last) as f64;
+            self.load *= (-dt / CPU_TAU).exp();
+            self.last = at;
+        }
+        self.load += service as f64 / CPU_TAU;
+        let rho = (self.load / self.workers).min(0.98);
+        let delay = service as f64 * rho / (1.0 - rho);
+        service + delay as Nanos
+    }
+}
+
+/// One simulated compute node.
+struct NodeSim {
+    /// Region the node runs in.
+    region: RegionId,
+    /// CPU congestion model (4 vCPU).
+    cpu: CpuModel,
+    /// The node's GLog (metadata + data WAL): real CAS state.
+    glog: SharedLog,
+    /// The node's H-LSN tracker.
+    tracker: LsnTracker,
+    /// Storage-side append station for this log (analytic model: user
+    /// commits book at out-of-order future times, see [`CpuModel`]).
+    append_station: CpuModel,
+    /// Whether the node is a live member.
+    alive: bool,
+}
+
+/// One granule's dynamic state.
+#[derive(Clone, Copy)]
+struct GranuleSim {
+    /// Authoritative owner (node index).
+    owner: u32,
+    /// A migration transaction currently holds this granule.
+    migrating: bool,
+    /// Latest completion time of any user transaction touching it
+    /// (NO_WAIT lock horizon).
+    busy_until: Nanos,
+    /// Cold-page fetches remaining before the granule is warm at its
+    /// current owner (0 = warm).
+    cold_left: u32,
+}
+
+/// The per-client workload stream.
+enum ClientGen {
+    Ycsb(YcsbGenerator),
+    Tpcc(TpccGenerator),
+}
+
+impl ClientGen {
+    fn next_txn(&mut self) -> TxnTemplate {
+        match self {
+            ClientGen::Ycsb(g) => g.next_txn(),
+            ClientGen::Tpcc(g) => g.next_txn(),
+        }
+    }
+}
+
+/// One closed-loop interactive client.
+struct ClientSim {
+    region: RegionId,
+    gen: ClientGen,
+    /// Consecutive aborts (drives exponential backoff, capped 100 ms §6.1.4).
+    strikes: u32,
+    /// Clients beyond the active count idle until re-activated (dynamic
+    /// workload scenario).
+    active: bool,
+    /// First dispatch time of the transaction currently being retried
+    /// (client-perceived latency includes retries).
+    attempt_started: Option<Nanos>,
+}
+
+/// The external coordination service, if any.
+enum CoordBackend {
+    Marlin,
+    Zk(ZkService),
+    Fdb(FdbService),
+}
+
+/// A migration work item: move `granule` from `src` to `dst`.
+#[derive(Clone, Copy, Debug)]
+pub struct MigrationTask {
+    pub granule: u64,
+    pub src: u32,
+    pub dst: u32,
+}
+
+/// A migration plan: tasks partitioned over destination-side worker
+/// threads ("the number of concurrent migration transactions is increased
+/// as the number of compute nodes increases", §6.1.4).
+#[derive(Clone, Debug, Default)]
+pub struct MigrationPlan {
+    /// One queue per worker thread.
+    pub queues: Vec<Vec<MigrationTask>>,
+}
+
+impl MigrationPlan {
+    /// Total tasks in the plan.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.queues.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the plan is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Simulator events.
+enum Event {
+    /// A client dispatches its next transaction (or retries).
+    ClientTxn { client: u32 },
+    /// A migration worker thread picks up its next task.
+    MigWorker { worker: u32 },
+    /// A granule's proactive warm-up finished.
+    WarmupDone { granule: u64 },
+    /// The periodic ownership broadcast reached the routing tier (§4.2:
+    /// "compute nodes can periodically broadcast updates of their owned
+    /// GTable partitions to routers, thereby reducing redirections").
+    RouteUpdate { granule: u64 },
+    /// Periodic cost sampling.
+    CostTick,
+    /// One virtual member fires its membership update (Figure 15).
+    MembershipTick { member: u32 },
+    /// Dynamic scenario: change the number of active clients.
+    SetClients { count: u32 },
+    /// Dynamic scenario: start a migration plan (scale-out or scale-in).
+    StartPlan { plan_idx: usize },
+    /// Dynamic scenario: drain `victims` onto survivors (the plan is built
+    /// at fire time against current ownership).
+    StartDrain { victims: Vec<u32>, threads_per_victim: u32 },
+    /// Scale-in bookkeeping: remove nodes that have been fully drained.
+    ReleaseDrained,
+}
+
+/// The simulated cluster.
+pub struct ClusterSim {
+    params: SimParams,
+    kind: CoordKind,
+    queue: EventQueue<Event>,
+    rng: DetRng,
+    nodes: Vec<NodeSim>,
+    granules: Vec<GranuleSim>,
+    /// Routing-tier cache granule → node index (stale entries fixed by
+    /// redirects, as in §4.2).
+    routes: Vec<u32>,
+    clients: Vec<ClientSim>,
+    active_clients: u32,
+    backend: CoordBackend,
+    /// The global SysLog (membership; real CAS state).
+    syslog: SharedLog,
+    syslog_station: CpuModel,
+    /// Per-virtual-member SysLog trackers (membership stress test).
+    member_trackers: Vec<LsnTracker>,
+    membership_latency_sum: Nanos,
+    /// Membership stress cadence and per-member tick origins.
+    membership_period: Nanos,
+    membership_origins: Vec<Nanos>,
+    /// First attempt time of each member's in-flight update (latency
+    /// includes OCC retries — the Figure 15 degradation signal).
+    membership_starts: Vec<Option<Nanos>>,
+    /// Migration worker state: (queue, cursor, current blocked task).
+    workers: Vec<(Vec<MigrationTask>, usize)>,
+    /// Plans scheduled by the dynamic scenario.
+    pending_plans: Vec<MigrationPlan>,
+    /// Nodes being drained for scale-in.
+    draining: Vec<u32>,
+    /// Granules initially owned by each region's nodes (geo deployments
+    /// keep clients local: "each client accessing only local compute
+    /// nodes", §6.5 — and migrations stay within a region).
+    region_granules: Vec<Vec<u64>>,
+    /// Measurement state.
+    pub metrics: RunMetrics,
+    pub cost: CostModel,
+    /// Cumulative cost over time (Figure 14b).
+    pub cost_series: TimeSeries,
+    /// End of simulated time.
+    horizon: Nanos,
+}
+
+/// Which workload the clients run.
+#[derive(Clone, Debug)]
+pub enum Workload {
+    /// YCSB over `granules` granules (64 tuples each).
+    Ycsb { granules: u64 },
+    /// TPC-C with one warehouse per granule.
+    Tpcc { warehouses: u64 },
+}
+
+impl ClusterSim {
+    /// Build a cluster of `initial_nodes` nodes with the given workload,
+    /// client count, and coordination backend. Granules start contiguously
+    /// assigned (block partitioning) and warm.
+    #[must_use]
+    pub fn new(
+        params: SimParams,
+        kind: CoordKind,
+        workload: &Workload,
+        initial_nodes: u32,
+        clients: u32,
+        horizon: Nanos,
+    ) -> Self {
+        let rng = DetRng::seed(params.seed);
+        let granule_count = match workload {
+            Workload::Ycsb { granules } => *granules,
+            Workload::Tpcc { warehouses } => *warehouses,
+        };
+        let regions = params.regions.regions() as u16;
+
+        // Nodes: spread across regions round-robin (geo scenarios place
+        // equal node counts per region, §6.5).
+        let nodes: Vec<NodeSim> = (0..initial_nodes)
+            .map(|i| NodeSim {
+                region: RegionId(i as u16 % regions),
+                cpu: CpuModel::new(params.cpu_workers),
+                glog: SharedLog::new(),
+                tracker: LsnTracker::new(),
+                append_station: CpuModel::new(1),
+                alive: true,
+            })
+            .collect();
+
+        // Granules: contiguous blocks per node, all warm.
+        let granules: Vec<GranuleSim> = (0..granule_count)
+            .map(|g| {
+                let owner =
+                    (u128::from(g) * u128::from(initial_nodes) / u128::from(granule_count)) as u32;
+                GranuleSim { owner, migrating: false, busy_until: 0, cold_left: 0 }
+            })
+            .collect();
+        let routes = granules.iter().map(|g| g.owner).collect();
+        let mut region_granules: Vec<Vec<u64>> = vec![Vec::new(); regions as usize];
+        for (g, gran) in granules.iter().enumerate() {
+            let r = nodes[gran.owner as usize].region.0 as usize;
+            region_granules[r].push(g as u64);
+        }
+
+        // Clients: one generator stream each, distributed over regions.
+        let client_sims: Vec<ClientSim> = (0..clients)
+            .map(|c| {
+                let gen = match workload {
+                    Workload::Ycsb { granules } => ClientGen::Ycsb(YcsbGenerator::new(
+                        YcsbConfig::paper_default(YcsbConfig::paper_layout(
+                            marlin_common::TableId(0),
+                            *granules,
+                        )),
+                        rng.fork(1000 + u64::from(c)),
+                    )),
+                    Workload::Tpcc { warehouses } => ClientGen::Tpcc(TpccGenerator::new(
+                        TpccConfig::paper_default(*warehouses),
+                        rng.fork(1000 + u64::from(c)),
+                    )),
+                };
+                ClientSim {
+                    region: RegionId(c as u16 % regions),
+                    gen,
+                    strikes: 0,
+                    active: true,
+                    attempt_started: None,
+                }
+            })
+            .collect();
+
+        let backend = match kind {
+            CoordKind::Marlin => CoordBackend::Marlin,
+            CoordKind::ZkSmall | CoordKind::ZkLarge => {
+                let mut svc = ZkService::new(kind.zk_profile().expect("zk profile"));
+                // Pre-install ownership metadata (unmetered: the paper
+                // fully warms up before measuring, §6.1.4).
+                for (g, gran) in granules.iter().enumerate() {
+                    svc.preload(&CoordRequest::InstallOwner {
+                        granule: GranuleId(g as u64),
+                        owner: NodeId(gran.owner),
+                    });
+                }
+                CoordBackend::Zk(svc)
+            }
+            CoordKind::Fdb => {
+                let mut svc = FdbService::new(kind.fdb_profile().expect("fdb profile"));
+                for (g, gran) in granules.iter().enumerate() {
+                    svc.preload(&CoordRequest::InstallOwner {
+                        granule: GranuleId(g as u64),
+                        owner: NodeId(gran.owner),
+                    });
+                }
+                CoordBackend::Fdb(svc)
+            }
+        };
+        let meta_hourly = match &backend {
+            CoordBackend::Marlin => 0.0,
+            CoordBackend::Zk(s) => s.hourly_rate(),
+            CoordBackend::Fdb(s) => s.hourly_rate(),
+        };
+
+        let mut sim = ClusterSim {
+            cost: CostModel::new(params.node_hourly, meta_hourly, initial_nodes),
+            params,
+            kind,
+            queue: EventQueue::new(),
+            rng,
+            nodes,
+            granules,
+            routes,
+            clients: client_sims,
+            active_clients: clients,
+            backend,
+            syslog: SharedLog::new(),
+            syslog_station: CpuModel::new(1),
+            member_trackers: Vec::new(),
+            membership_latency_sum: 0,
+            membership_period: SECOND,
+            membership_origins: Vec::new(),
+            membership_starts: Vec::new(),
+            workers: Vec::new(),
+            pending_plans: Vec::new(),
+            draining: Vec::new(),
+            region_granules,
+            metrics: RunMetrics::new(),
+            cost_series: TimeSeries::new(),
+            horizon,
+        };
+        // Kick off the client loops (staggered within the first 100 ms so
+        // the closed loops don't phase-lock) and cost sampling.
+        for c in 0..clients {
+            let jitter = sim.rng.range(0, 100 * 1_000_000);
+            sim.queue.schedule(jitter, ActorId(0), Event::ClientTxn { client: c });
+        }
+        sim.queue.schedule(SECOND, ActorId(0), Event::CostTick);
+        sim.metrics.node_count.push(0, f64::from(initial_nodes));
+        sim
+    }
+
+    /// Coordination backend name.
+    #[must_use]
+    pub fn kind(&self) -> CoordKind {
+        self.kind
+    }
+
+    /// Live node count.
+    #[must_use]
+    pub fn live_nodes(&self) -> u32 {
+        self.nodes.iter().filter(|n| n.alive).count() as u32
+    }
+
+    /// Current granule owners (for assertions).
+    #[must_use]
+    pub fn owners(&self) -> Vec<u32> {
+        self.granules.iter().map(|g| g.owner).collect()
+    }
+
+    /// Schedule a scale-out at `at`: `new_nodes` nodes join and the plan's
+    /// migrations run with `threads_per_new_node` workers per new node.
+    pub fn schedule_scale_out(&mut self, at: Nanos, new_nodes: u32, threads_per_new_node: u32) {
+        let plan = self.balanced_plan_for_new_nodes(new_nodes, threads_per_new_node);
+        self.pending_plans.push(plan);
+        let idx = self.pending_plans.len() - 1;
+        self.queue.schedule_at(at, ActorId(0), Event::StartPlan { plan_idx: idx });
+    }
+
+    /// Schedule a change of the active client count (dynamic workloads).
+    pub fn schedule_client_count(&mut self, at: Nanos, count: u32) {
+        self.queue.schedule_at(at, ActorId(0), Event::SetClients { count });
+    }
+
+    /// Schedule a scale-in at `at`: drain `victims` onto the survivors and
+    /// release each victim as soon as it is empty.
+    pub fn schedule_scale_in(&mut self, at: Nanos, victims: Vec<u32>, threads_per_victim: u32) {
+        self.queue.schedule_at(
+            at,
+            ActorId(0),
+            Event::StartDrain { victims, threads_per_victim },
+        );
+    }
+
+    /// Build a balanced migration plan that moves granules from existing
+    /// nodes onto `new_nodes` freshly added nodes.
+    fn balanced_plan_for_new_nodes(&mut self, new_nodes: u32, threads_per: u32) -> MigrationPlan {
+        let old_count = self.nodes.len() as u32;
+        // Provision the new nodes now (they join the membership when the
+        // plan starts; provisioning ahead keeps indices stable).
+        let regions = self.params.regions.regions() as u16;
+        for i in 0..new_nodes {
+            self.nodes.push(NodeSim {
+                region: RegionId((old_count + i) as u16 % regions),
+                cpu: CpuModel::new(self.params.cpu_workers),
+                glog: SharedLog::new(),
+                tracker: LsnTracker::new(),
+                append_station: CpuModel::new(1),
+                alive: false, // activates when the plan starts
+            });
+        }
+        let total = old_count + new_nodes;
+        // Target: every node ends with granule_count/total granules; move
+        // the excess from each old node to the new ones, preferring same-
+        // region destinations (the geo setting migrates within regions).
+        let mut tasks: Vec<MigrationTask> = Vec::new();
+        let per_node_target = self.granules.len() as u64 / u64::from(total);
+        let mut surplus: Vec<Vec<u64>> = vec![Vec::new(); old_count as usize];
+        let mut counts = vec![0u64; self.nodes.len()];
+        for (g, gran) in self.granules.iter().enumerate() {
+            counts[gran.owner as usize] += 1;
+            surplus[gran.owner as usize].push(g as u64);
+        }
+        let mut new_node_fill: Vec<u64> = vec![0; new_nodes as usize];
+        let mut next_new = 0usize;
+        for (owner, granules) in surplus.iter().enumerate() {
+            let excess = counts[owner].saturating_sub(per_node_target);
+            for g in granules.iter().rev().take(excess as usize) {
+                // Round-robin over new nodes in the same region if any.
+                let src_region = self.nodes[owner].region;
+                let mut dst = None;
+                for probe in 0..new_nodes as usize {
+                    let cand = (next_new + probe) % new_nodes as usize;
+                    if self.nodes[old_count as usize + cand].region == src_region {
+                        dst = Some(cand);
+                        break;
+                    }
+                }
+                let dst = dst.unwrap_or(next_new % new_nodes as usize);
+                next_new = dst + 1;
+                new_node_fill[dst] += 1;
+                tasks.push(MigrationTask {
+                    granule: *g,
+                    src: owner as u32,
+                    dst: old_count + dst as u32,
+                });
+            }
+        }
+        // Partition tasks into per-thread queues grouped by destination.
+        let threads_total = (new_nodes * threads_per) as usize;
+        let mut queues: Vec<Vec<MigrationTask>> = vec![Vec::new(); threads_total.max(1)];
+        let mut dst_cursor = vec![0usize; new_nodes as usize];
+        for task in tasks {
+            let d = (task.dst - old_count) as usize;
+            let thread = d * threads_per as usize + dst_cursor[d] % threads_per as usize;
+            dst_cursor[d] += 1;
+            queues[thread].push(task);
+        }
+        MigrationPlan { queues }
+    }
+
+    /// Build a drain plan that empties `victims` (node indices) onto the
+    /// remaining live nodes.
+    #[must_use]
+    pub fn drain_plan(&self, victims: &[u32], threads_per_victim: u32) -> MigrationPlan {
+        let survivors: Vec<u32> = (0..self.nodes.len() as u32)
+            .filter(|i| self.nodes[*i as usize].alive && !victims.contains(i))
+            .collect();
+        assert!(!survivors.is_empty(), "drain needs at least one survivor");
+        let mut queues: Vec<Vec<MigrationTask>> =
+            vec![Vec::new(); (victims.len() as u32 * threads_per_victim).max(1) as usize];
+        let mut rr = 0usize;
+        // Per-victim thread cursors: a global counter would alias with the
+        // round-robin ownership pattern and starve most threads.
+        let mut cursor = vec![0usize; victims.len()];
+        for (g, gran) in self.granules.iter().enumerate() {
+            if let Some(vi) = victims.iter().position(|v| *v == gran.owner) {
+                let dst = survivors[rr % survivors.len()];
+                rr += 1;
+                let thread =
+                    vi * threads_per_victim as usize + cursor[vi] % threads_per_victim as usize;
+                cursor[vi] += 1;
+                queues[thread].push(MigrationTask { granule: g as u64, src: gran.owner, dst });
+            }
+        }
+        MigrationPlan { queues }
+    }
+
+    /// Schedule a prepared plan (used by the dynamic scenario for
+    /// scale-in; marks sources as draining so they release once empty).
+    pub fn schedule_plan(&mut self, at: Nanos, plan: MigrationPlan, draining: Vec<u32>) {
+        self.pending_plans.push(plan);
+        let idx = self.pending_plans.len() - 1;
+        self.draining.extend(draining);
+        self.queue.schedule_at(at, ActorId(0), Event::StartPlan { plan_idx: idx });
+    }
+
+    /// Configure the Figure 15 membership stress: `members` virtual nodes
+    /// each committing one membership update every `period`.
+    pub fn schedule_membership_stress(&mut self, members: u32, period: Nanos) {
+        self.member_trackers = (0..members).map(|_| LsnTracker::new()).collect();
+        self.membership_starts = vec![None; members as usize];
+        self.membership_origins = Vec::with_capacity(members as usize);
+        // Monitoring threads share the same period but are phase-spread
+        // over a 500 ms window (process start skew); each keeps its phase
+        // on subsequent ticks. The burst density — and with it the OCC
+        // retry rate — therefore grows with the member count, which is
+        // what produces the Figure 15 knee.
+        let stagger = 500 * 1_000_000;
+        for m in 0..members {
+            let first = period + self.rng.range(0, stagger);
+            self.membership_origins.push(first);
+            self.queue.schedule_at(first, ActorId(0), Event::MembershipTick { member: m });
+        }
+        self.membership_period = period;
+    }
+
+    /// Run to the horizon.
+    pub fn run(&mut self) {
+        while let Some(ev) = self.queue.pop() {
+            if ev.at > self.horizon {
+                break;
+            }
+            self.dispatch(ev.at, ev.msg);
+        }
+        let final_nodes = self.live_nodes();
+        self.cost.advance(self.horizon, final_nodes);
+        self.cost.sample_into(&mut self.cost_series, self.horizon);
+    }
+
+    // ---------------------------------------------------------------------
+    // event handlers
+
+    fn dispatch(&mut self, now: Nanos, ev: Event) {
+        match ev {
+            Event::ClientTxn { client } => self.handle_client_txn(now, client),
+            Event::MigWorker { worker } => self.handle_mig_worker(now, worker),
+            Event::WarmupDone { granule } => {
+                self.granules[granule as usize].cold_left = 0;
+            }
+            Event::RouteUpdate { granule } => {
+                self.routes[granule as usize] = self.granules[granule as usize].owner;
+            }
+            Event::CostTick => {
+                let live = self.live_nodes();
+                self.cost.advance(now, live);
+                self.cost.sample_into(&mut self.cost_series, now);
+                self.metrics.node_count.push(now, f64::from(live));
+                self.queue.schedule(SECOND, ActorId(0), Event::CostTick);
+            }
+            Event::MembershipTick { member } => self.handle_membership(now, member),
+            Event::SetClients { count } => {
+                self.active_clients = count.min(self.clients.len() as u32);
+                for (i, c) in self.clients.iter_mut().enumerate() {
+                    let was = c.active;
+                    c.active = (i as u32) < self.active_clients;
+                    if !was && c.active {
+                        self.queue.schedule(0, ActorId(0), Event::ClientTxn { client: i as u32 });
+                    }
+                }
+            }
+            Event::StartPlan { plan_idx } => {
+                let plan = std::mem::take(&mut self.pending_plans[plan_idx]);
+                // New nodes join the membership now (AddNodeTxn cost).
+                for node in &mut self.nodes {
+                    if !node.alive {
+                        node.alive = true;
+                    }
+                }
+                let live = self.live_nodes();
+                self.cost.advance(now, live);
+                self.metrics.node_count.push(now, f64::from(live));
+                let base = self.workers.len() as u32;
+                for (i, q) in plan.queues.into_iter().enumerate() {
+                    self.workers.push((q, 0));
+                    self.queue.schedule(
+                        0,
+                        ActorId(0),
+                        Event::MigWorker { worker: base + i as u32 },
+                    );
+                }
+            }
+            Event::StartDrain { victims, threads_per_victim } => {
+                let plan = self.drain_plan(&victims, threads_per_victim);
+                self.draining.extend(victims);
+                let base = self.workers.len() as u32;
+                for (i, q) in plan.queues.into_iter().enumerate() {
+                    self.workers.push((q, 0));
+                    self.queue.schedule(
+                        0,
+                        ActorId(0),
+                        Event::MigWorker { worker: base + i as u32 },
+                    );
+                }
+            }
+            Event::ReleaseDrained => self.release_drained(now),
+        }
+    }
+
+    fn one_way(&mut self, a: RegionId, b: RegionId) -> Nanos {
+        if a == b {
+            // Intra-region RTT/2 with 10% jitter.
+            let base = self.params.intra_rtt / 2;
+            base + self.rng.range(0, base / 5 + 1)
+        } else {
+            self.params.regions.link(a, b).sample(&mut self.rng)
+        }
+    }
+
+    fn jittered(&mut self, base: Nanos) -> Nanos {
+        let span = base / 5;
+        if span == 0 {
+            base
+        } else {
+            base - span / 2 + self.rng.range(0, span + 1)
+        }
+    }
+
+    /// Storage append completion for node `n`'s log: half RTT out, station
+    /// service, half RTT back.
+    fn storage_append_done(&mut self, n: usize, at: Nanos) -> Nanos {
+        let service = self.jittered(self.params.append_service);
+        let out = at + self.params.storage_rtt / 2;
+        out + self.nodes[n].append_station.charge(out, service) + self.params.storage_rtt / 2
+    }
+
+    fn backoff(&mut self, strikes: u32) -> Nanos {
+        let exp = self.params.backoff_base.saturating_mul(1 << strikes.min(16));
+        let cap = exp.min(self.params.backoff_cap);
+        self.rng.range(cap / 2, cap + 1)
+    }
+
+    fn handle_client_txn(&mut self, now: Nanos, client: u32) {
+        let c = client as usize;
+        if !self.clients[c].active {
+            self.clients[c].attempt_started = None;
+            return;
+        }
+        let started = *self.clients[c].attempt_started.get_or_insert(now);
+        let template = self.clients[c].gen.next_txn();
+        let (mut anchor_granule, mut touched) = self.granules_of(&template);
+        // Geo deployment: clients only touch data homed in their own
+        // region (§6.5). Remap each granule into the region's set; the
+        // same mapping applies to per-op granules during execution.
+        let remap: Option<std::collections::HashMap<u64, u64>> =
+            (self.region_granules.len() > 1).then(|| {
+                let local = &self.region_granules[self.clients[c].region.0 as usize];
+                let map: std::collections::HashMap<u64, u64> = touched
+                    .iter()
+                    .map(|&g| (g, local[(g % local.len() as u64) as usize]))
+                    .collect();
+                anchor_granule = map[&anchor_granule];
+                for g in &mut touched {
+                    *g = map[g];
+                }
+                touched.sort_unstable();
+                touched.dedup();
+                map
+            });
+        let ag = anchor_granule as usize;
+
+        // Routing (stale cache + redirect, §4.2).
+        let route = self.routes[ag];
+        let owner = self.granules[ag].owner;
+        if route != owner {
+            // Misroute: one round trip to learn the redirect, abort, retry.
+            let rtt = 2 * self.one_way(self.clients[c].region, self.nodes[route as usize].region);
+            self.routes[ag] = owner;
+            self.metrics.abort(now);
+            let strikes = self.clients[c].strikes;
+            self.clients[c].strikes = strikes.saturating_add(1);
+            let delay = rtt + self.backoff(strikes);
+            self.queue.schedule(delay, ActorId(0), Event::ClientTxn { client });
+            return;
+        }
+        // NO_WAIT against in-flight migrations on any touched granule.
+        if touched.iter().any(|&g| self.granules[g as usize].migrating) {
+            let rtt = 2 * self.one_way(self.clients[c].region, self.nodes[owner as usize].region);
+            self.metrics.abort(now);
+            let strikes = self.clients[c].strikes;
+            self.clients[c].strikes = strikes.saturating_add(1);
+            let delay = rtt + self.backoff(strikes);
+            self.queue.schedule(delay, ActorId(0), Event::ClientTxn { client });
+            return;
+        }
+
+        // Execute the interactive request loop.
+        let client_region = self.clients[c].region;
+        let home = owner as usize;
+        let home_region = self.nodes[home].region;
+        let mut t = now;
+        for op in &template.ops {
+            let mut g = self.granule_of_key(&template, op.key);
+            if let Some(map) = &remap {
+                g = map[&g];
+            }
+            let g = g as usize;
+            let serve_node = self.granules[g].owner as usize;
+            t += self.one_way(client_region, home_region);
+            if serve_node != home {
+                // Multi-site access (TPC-C remote warehouse): forwarded
+                // through the home node to the participant.
+                t += self.one_way(home_region, self.nodes[serve_node].region);
+            }
+            let service = self.jittered(self.params.req_service);
+            t += self.nodes[serve_node].cpu.charge(t, service);
+            if self.granules[g].cold_left > 0 {
+                // Cold cache: GetPage@LSN from the page store.
+                t += self.params.storage_rtt + self.jittered(self.params.get_page_service);
+                self.granules[g].cold_left -= 1;
+            }
+            if serve_node != home {
+                t += self.one_way(self.nodes[serve_node].region, home_region);
+            }
+            t += self.one_way(home_region, client_region);
+        }
+
+        // Commit: group commit wait, then the conditional append on the
+        // home node's GLog — a *real* CAS against real LSN state.
+        t += self.jittered(self.params.group_commit_wait);
+        let participants: Vec<usize> = {
+            let mut p: Vec<usize> =
+                touched.iter().map(|&g| self.granules[g as usize].owner as usize).collect();
+            p.sort_unstable();
+            p.dedup();
+            p
+        };
+        if participants.len() > 1 {
+            // Two-phase commit across sites: one vote round trip.
+            t += 2 * self.one_way(home_region, self.nodes[participants[1]].region);
+        }
+        let mut commit_done = t;
+        let mut cas_failed = false;
+        for &p in &participants {
+            let expected = self.nodes[p].tracker.get(LogId::GLog(NodeId(p as u32)));
+            match self.nodes[p].glog.conditional_append(vec![Bytes::new()], expected) {
+                Ok(out) => {
+                    self.nodes[p].tracker.observe(LogId::GLog(NodeId(p as u32)), out.new_lsn);
+                }
+                Err(StorageError::LsnMismatch { current, .. }) => {
+                    self.nodes[p].tracker.observe(LogId::GLog(NodeId(p as u32)), current);
+                    cas_failed = true;
+                }
+                Err(_) => cas_failed = true,
+            }
+            commit_done = commit_done.max(self.storage_append_done(p, t));
+        }
+        if cas_failed {
+            // Cross-node modification detected at commit (Figure 7 race).
+            self.metrics.abort(commit_done);
+            let strikes = self.clients[c].strikes;
+            self.clients[c].strikes = strikes.saturating_add(1);
+            let delay = (commit_done - now) + self.backoff(strikes);
+            self.queue.schedule(delay, ActorId(0), Event::ClientTxn { client });
+            return;
+        }
+        let t_end = commit_done + self.one_way(home_region, client_region);
+        for &g in &touched {
+            let gran = &mut self.granules[g as usize];
+            gran.busy_until = gran.busy_until.max(t_end);
+        }
+        self.metrics.commit(t_end, t_end - started);
+        self.clients[c].strikes = 0;
+        self.clients[c].attempt_started = None;
+        // Closed loop: next transaction immediately after the response.
+        self.queue.schedule_at(t_end, ActorId(0), Event::ClientTxn { client });
+    }
+
+    fn granules_of(&self, template: &TxnTemplate) -> (u64, Vec<u64>) {
+        let anchor = self.granule_of_key(template, template.anchor);
+        let mut touched: Vec<u64> =
+            template.ops.iter().map(|op| self.granule_of_key(template, op.key)).collect();
+        touched.push(anchor);
+        touched.sort_unstable();
+        touched.dedup();
+        (anchor, touched)
+    }
+
+    fn granule_of_key(&self, template: &TxnTemplate, key: u64) -> u64 {
+        if template.kind == 0 {
+            // YCSB: 64 keys per granule (64 KB granules of 1 KB tuples).
+            (key / 64).min(self.granules.len() as u64 - 1)
+        } else {
+            // TPC-C: warehouse-major composite keys.
+            TpccConfig::warehouse_of(key).min(self.granules.len() as u64 - 1)
+        }
+    }
+
+    fn handle_mig_worker(&mut self, now: Nanos, worker: u32) {
+        let w = worker as usize;
+        let (ref queue_tasks, cursor) = self.workers[w];
+        if cursor >= queue_tasks.len() {
+            // Worker done; if a drain finished, release nodes.
+            if !self.draining.is_empty() {
+                self.queue.schedule(0, ActorId(0), Event::ReleaseDrained);
+            }
+            return;
+        }
+        let task = queue_tasks[cursor];
+        let g = task.granule as usize;
+
+        // Data-effectiveness + NO_WAIT lock acquisition at the source:
+        // one node-to-node round trip plus CPU on both sides.
+        let src = task.src as usize;
+        let dst = task.dst as usize;
+        let src_region = self.nodes[src].region;
+        let dst_region = self.nodes[dst].region;
+        let mut t = now + 2 * self.one_way(dst_region, src_region);
+        let svc = self.jittered(self.params.migration_service);
+        t += self.nodes[src].cpu.charge(t, svc);
+        let svc = self.jittered(self.params.migration_service);
+        t += self.nodes[dst].cpu.charge(t, svc);
+
+        // NO_WAIT: an active user transaction on the granule aborts us.
+        if self.granules[g].busy_until > t {
+            self.metrics.migration_retries += 1;
+            let retry = self.granules[g].busy_until - t + self.rng.range(0, 2_000_000);
+            self.queue.schedule_at(t + retry, ActorId(0), Event::MigWorker { worker });
+            return;
+        }
+        debug_assert_eq!(self.granules[g].owner, task.src, "plan consistent with ownership");
+        // The granule lock is held from the effectiveness check through
+        // the metadata commit — the window in which user transactions
+        // NO_WAIT-abort against the migration (Figure 6 step 2/4).
+        self.granules[g].migrating = true;
+
+        // Metadata commit.
+        let commit_done = match &mut self.backend {
+            CoordBackend::Marlin => {
+                // MarlinCommit 2PC: prepared appends on both GLogs in
+                // parallel (the vote request to src rides the RPC already
+                // made); decisions are asynchronous (off the latency path).
+                let d_src = {
+                    let expected = self.nodes[src].tracker.get(LogId::GLog(NodeId(src as u32)));
+                    let out = self.nodes[src]
+                        .glog
+                        .conditional_append(vec![Bytes::new()], expected)
+                        .expect("src GLog CAS: src is the sole writer under its lock");
+                    self.nodes[src].tracker.observe(LogId::GLog(NodeId(src as u32)), out.new_lsn);
+                    // The VOTE-REQ/response legs to the source ride the
+                    // network (Algorithm 2 line 10).
+                    let vote_rtt = 2 * self.one_way(dst_region, src_region);
+                    self.storage_append_done(src, t + vote_rtt / 2) + vote_rtt / 2
+                };
+                let d_dst = {
+                    let expected = self.nodes[dst].tracker.get(LogId::GLog(NodeId(dst as u32)));
+                    let out = self.nodes[dst]
+                        .glog
+                        .conditional_append(vec![Bytes::new()], expected)
+                        .expect("dst GLog CAS: dst is the sole writer");
+                    self.nodes[dst].tracker.observe(LogId::GLog(NodeId(dst as u32)), out.new_lsn);
+                    self.storage_append_done(dst, t)
+                };
+                // Async decisions still consume storage bandwidth.
+                let decide_at = d_src.max(d_dst);
+                self.nodes[src].glog.append(vec![Bytes::new()]);
+                self.nodes[dst].glog.append(vec![Bytes::new()]);
+                let _ = self.storage_append_done(src, decide_at);
+                let _ = self.storage_append_done(dst, decide_at);
+                let n_src = self.nodes[src].glog.end_lsn();
+                self.nodes[src].tracker.observe(LogId::GLog(NodeId(src as u32)), n_src);
+                let n_dst = self.nodes[dst].glog.end_lsn();
+                self.nodes[dst].tracker.observe(LogId::GLog(NodeId(dst as u32)), n_dst);
+                decide_at
+            }
+            CoordBackend::Zk(svc) => {
+                let req = CoordRequest::UpdateOwner {
+                    granule: GranuleId(task.granule),
+                    from: NodeId(task.src),
+                    to: NodeId(task.dst),
+                };
+                // The coordination service lives in region 0.
+                let svc_region = RegionId(0);
+                let to_svc = self.params.regions.link(dst_region, svc_region).mean()
+                    * u64::from(svc.client_round_trips(&req))
+                    * 2;
+                let completion = svc.submit(t + to_svc / 2, &req, &mut self.rng);
+                debug_assert_eq!(completion.reply, CoordReply::Updated);
+                completion.done_at + to_svc / 2
+            }
+            CoordBackend::Fdb(svc) => {
+                let req = CoordRequest::UpdateOwner {
+                    granule: GranuleId(task.granule),
+                    from: NodeId(task.src),
+                    to: NodeId(task.dst),
+                };
+                let svc_region = RegionId(0);
+                let to_svc = self.params.regions.link(dst_region, svc_region).mean()
+                    * u64::from(svc.client_round_trips(&req))
+                    * 2;
+                let completion = svc.submit(t + to_svc / 2, &req, &mut self.rng);
+                debug_assert_eq!(completion.reply, CoordReply::Updated);
+                completion.done_at + to_svc / 2
+            }
+        };
+
+        // Ownership flips; the granule is cold at the destination until
+        // the Squall-style warm-up finishes (same strategy for all
+        // systems, §6.1.2).
+        self.granules[g].owner = task.dst;
+        self.granules[g].migrating = false;
+        self.granules[g].cold_left = self.params.cold_misses_per_granule;
+        self.queue.schedule_at(
+            commit_done + self.params.warmup_per_granule,
+            ActorId(0),
+            Event::WarmupDone { granule: task.granule },
+        );
+        self.queue.schedule_at(
+            commit_done + self.params.route_broadcast_delay,
+            ActorId(0),
+            Event::RouteUpdate { granule: task.granule },
+        );
+        self.metrics.migration(commit_done, commit_done - now);
+        self.workers[w].1 += 1;
+        self.queue.schedule_at(commit_done, ActorId(0), Event::MigWorker { worker });
+    }
+
+    fn release_drained(&mut self, now: Nanos) {
+        let mut released = false;
+        let draining = std::mem::take(&mut self.draining);
+        let mut still = Vec::new();
+        for v in draining {
+            let owns_any = self.granules.iter().any(|g| g.owner == v);
+            if owns_any {
+                still.push(v);
+            } else if self.nodes[v as usize].alive {
+                self.nodes[v as usize].alive = false;
+                released = true;
+            }
+        }
+        self.draining = still;
+        if released {
+            let live = self.live_nodes();
+            self.cost.advance(now, live);
+            self.metrics.node_count.push(now, f64::from(live));
+        }
+    }
+
+    fn handle_membership(&mut self, now: Nanos, member: u32) {
+        // One membership update: Marlin CAS-appends to the SysLog with the
+        // member's tracker (retrying through refreshes on conflicts);
+        // baselines write through the service.
+        let m = member as usize;
+        let started = *self.membership_starts[m].get_or_insert(now);
+        let done = match &mut self.backend {
+            CoordBackend::Marlin => {
+                let expected = self.member_trackers[m].get(LogId::SysLog);
+                match self.syslog.conditional_append(vec![Bytes::new()], expected) {
+                    Ok(out) => {
+                        self.member_trackers[m].observe(LogId::SysLog, out.new_lsn);
+                        let svc = self.jittered(self.params.append_service);
+                        let arrive = now + self.params.storage_rtt / 2;
+                        let station_done = arrive + self.syslog_station.charge(arrive, svc);
+                        Some(station_done + self.params.storage_rtt / 2)
+                    }
+                    Err(StorageError::LsnMismatch { current, .. }) => {
+                        // TryLog failure: refresh the MTable cache and
+                        // retry after backoff (the OCC contention path of
+                        // Figure 15).
+                        self.member_trackers[m].observe(LogId::SysLog, current);
+                        self.metrics.membership_retries += 1;
+                        let retry = self.params.storage_rtt
+                            + self.params.mtable_refresh
+                            + self.rng.range(0, 4 * self.params.storage_rtt);
+                        self.queue
+                            .schedule(retry, ActorId(0), Event::MembershipTick { member });
+                        None
+                    }
+                    Err(_) => None,
+                }
+            }
+            CoordBackend::Zk(svc) => {
+                let req = if member % 2 == 0 {
+                    CoordRequest::AddNode { node: NodeId(10_000 + member) }
+                } else {
+                    CoordRequest::DeleteNode { node: NodeId(10_000 + member) }
+                };
+                Some(svc.submit(now, &req, &mut self.rng).done_at + self.params.intra_rtt)
+            }
+            CoordBackend::Fdb(svc) => {
+                let req = if member % 2 == 0 {
+                    CoordRequest::AddNode { node: NodeId(10_000 + member) }
+                } else {
+                    CoordRequest::DeleteNode { node: NodeId(10_000 + member) }
+                };
+                Some(svc.submit(now, &req, &mut self.rng).done_at + 2 * self.params.intra_rtt)
+            }
+        };
+        if let Some(done) = done {
+            self.metrics.membership_commits += 1;
+            self.membership_latency_sum += done.saturating_sub(started);
+            self.membership_starts[m] = None;
+            // Next update one period after this one *started*.
+            let next = self.membership_tick_origin(member) + self.membership_period;
+            self.set_membership_tick_origin(member, next);
+            self.queue.schedule_at(
+                next.max(done),
+                ActorId(0),
+                Event::MembershipTick { member },
+            );
+        }
+    }
+
+    /// Mean latency of committed membership updates.
+    #[must_use]
+    pub fn membership_mean_latency(&self) -> f64 {
+        if self.metrics.membership_commits == 0 {
+            0.0
+        } else {
+            self.membership_latency_sum as f64 / self.metrics.membership_commits as f64
+        }
+    }
+
+    // Membership tick bookkeeping (origins per member).
+    fn membership_tick_origin(&mut self, member: u32) -> Nanos {
+        while self.membership_origins.len() <= member as usize {
+            let p = self.membership_period;
+            self.membership_origins.push(p);
+        }
+        self.membership_origins[member as usize]
+    }
+
+    fn set_membership_tick_origin(&mut self, member: u32, at: Nanos) {
+        self.membership_origins[member as usize] = at;
+    }
+}

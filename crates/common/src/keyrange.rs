@@ -1,0 +1,168 @@
+//! Half-open key ranges, the unit of range partitioning.
+//!
+//! User tables are range-partitioned into granules (paper §4.1, Figure 5):
+//! each GTable row records a granule's `[lo, hi)` key range together with
+//! its owner node.
+
+use std::fmt;
+
+/// A half-open interval `[lo, hi)` over 64-bit primary keys.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KeyRange {
+    /// Inclusive lower bound.
+    pub lo: u64,
+    /// Exclusive upper bound.
+    pub hi: u64,
+}
+
+impl KeyRange {
+    /// Construct a range. Panics if `lo > hi` (an empty range `lo == hi`
+    /// is permitted and contains nothing).
+    #[must_use]
+    pub fn new(lo: u64, hi: u64) -> Self {
+        assert!(lo <= hi, "KeyRange requires lo <= hi, got [{lo}, {hi})");
+        KeyRange { lo, hi }
+    }
+
+    /// Whether `key` falls inside the range.
+    #[must_use]
+    pub fn contains(&self, key: u64) -> bool {
+        key >= self.lo && key < self.hi
+    }
+
+    /// Number of keys covered by the range.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.hi - self.lo
+    }
+
+    /// Whether the range covers no keys.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Whether two ranges share at least one key.
+    #[must_use]
+    pub fn overlaps(&self, other: &KeyRange) -> bool {
+        self.lo < other.hi && other.lo < self.hi
+    }
+
+    /// Whether `other` is fully contained in `self`.
+    #[must_use]
+    pub fn covers(&self, other: &KeyRange) -> bool {
+        other.lo >= self.lo && other.hi <= self.hi
+    }
+
+    /// Split the range into `parts` near-equal contiguous sub-ranges.
+    ///
+    /// The first `len % parts` sub-ranges are one key larger so the union
+    /// of the result is exactly `self` with no gaps or overlaps.
+    #[must_use]
+    pub fn split(&self, parts: u64) -> Vec<KeyRange> {
+        assert!(parts > 0, "cannot split into zero parts");
+        let total = self.len();
+        let base = total / parts;
+        let extra = total % parts;
+        let mut out = Vec::with_capacity(parts as usize);
+        let mut lo = self.lo;
+        for i in 0..parts {
+            let width = base + u64::from(i < extra);
+            let hi = lo + width;
+            out.push(KeyRange { lo, hi });
+            lo = hi;
+        }
+        debug_assert_eq!(lo, self.hi);
+        out
+    }
+}
+
+impl fmt::Debug for KeyRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.lo, self.hi)
+    }
+}
+
+impl fmt::Display for KeyRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn contains_is_half_open() {
+        let r = KeyRange::new(100, 300);
+        assert!(r.contains(100));
+        assert!(r.contains(299));
+        assert!(!r.contains(300));
+        assert!(!r.contains(99));
+    }
+
+    #[test]
+    fn empty_range_contains_nothing() {
+        let r = KeyRange::new(5, 5);
+        assert!(r.is_empty());
+        assert!(!r.contains(5));
+        assert_eq!(r.len(), 0);
+    }
+
+    #[test]
+    fn overlap_and_cover() {
+        let a = KeyRange::new(0, 10);
+        let b = KeyRange::new(5, 15);
+        let c = KeyRange::new(10, 20);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c)); // half-open: [0,10) and [10,20) are disjoint
+        assert!(a.covers(&KeyRange::new(2, 8)));
+        assert!(!a.covers(&b));
+    }
+
+    #[test]
+    fn split_is_exact_partition() {
+        let r = KeyRange::new(0, 10);
+        let parts = r.split(3);
+        assert_eq!(parts, vec![
+            KeyRange::new(0, 4),
+            KeyRange::new(4, 7),
+            KeyRange::new(7, 10),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo <= hi")]
+    fn inverted_range_panics() {
+        let _ = KeyRange::new(10, 5);
+    }
+
+    proptest! {
+        /// Splitting always yields contiguous, gapless, complete coverage.
+        #[test]
+        fn split_partitions_exactly(lo in 0u64..1_000, width in 0u64..10_000, parts in 1u64..64) {
+            let r = KeyRange::new(lo, lo + width);
+            let pieces = r.split(parts);
+            prop_assert_eq!(pieces.len() as u64, parts);
+            let mut cursor = r.lo;
+            for p in &pieces {
+                prop_assert_eq!(p.lo, cursor);
+                cursor = p.hi;
+            }
+            prop_assert_eq!(cursor, r.hi);
+            let total: u64 = pieces.iter().map(KeyRange::len).sum();
+            prop_assert_eq!(total, r.len());
+        }
+
+        /// Every key in the parent is in exactly one piece.
+        #[test]
+        fn split_covers_each_key_once(key in 0u64..5_000, parts in 1u64..16) {
+            let r = KeyRange::new(0, 5_000);
+            let pieces = r.split(parts);
+            let hits = pieces.iter().filter(|p| p.contains(key)).count();
+            prop_assert_eq!(hits, 1);
+        }
+    }
+}

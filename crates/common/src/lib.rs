@@ -1,0 +1,17 @@
+//! Shared vocabulary types for the Marlin workspace.
+//!
+//! Everything here is deliberately small and dependency-free: strongly typed
+//! identifiers ([`NodeId`], [`GranuleId`], [`Lsn`], ...), key ranges,
+//! error types shared across layers, and cluster/workload configuration.
+
+pub mod config;
+pub mod error;
+pub mod ids;
+pub mod keyrange;
+
+pub use config::{ClusterConfig, GranuleLayout};
+pub use error::{CoordError, StorageError, TxnError};
+pub use ids::{
+    ClientId, GranuleId, LogId, Lsn, NodeId, PageId, RegionId, TableId, TxnId,
+};
+pub use keyrange::KeyRange;

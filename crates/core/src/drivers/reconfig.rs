@@ -1,0 +1,836 @@
+//! The five reconfiguration transactions (Table 1, Algorithm 1).
+//!
+//! Every reconfiguration transaction follows the same three steps (§4.2):
+//!
+//! 1. **Check data effectiveness** — verify the system tables say the
+//!    cluster is in a valid state for this reconfiguration (node exists /
+//!    granule owned by the expected source). This is what prevents
+//!    corruption under concurrent reconfigurations.
+//! 2. **Modify coordination state** — stage the MTable/GTable updates.
+//! 3. **Commit** — run MarlinCommit on the logs backing the touched tables.
+//!
+//! Drivers are sans-io: they emit [`Effect`]s and consume [`Input`]s.
+//! `on_input` takes the coordinator's current [`LsnTracker`] because the
+//! commit phase captures expected LSNs at the moment it starts, which may
+//! be after cache refreshes.
+
+use super::commit::{CommitDriver, CommitOutcome, Participant, Updates};
+use super::{Effect, Input};
+use crate::gtable::{GTablePartition, GranuleMeta};
+use crate::lsn_tracker::LsnTracker;
+use crate::mtable::MTable;
+use crate::records::{OwnershipSwap, SysRecord};
+use marlin_common::{CoordError, GranuleId, LogId, NodeId, TxnError, TxnId};
+
+/// Terminal result of a reconfiguration driver.
+pub type ReconfigResult = Result<(), CoordError>;
+
+// ---------------------------------------------------------------------------
+// AddNodeTxn / DeleteNodeTxn (Algorithm 1 lines 7-18)
+
+/// `AddNodeTxn`: executed on the node joining the cluster; commits one
+/// membership record to the SysLog via one-phase MarlinCommit.
+#[derive(Debug)]
+pub struct AddNodeDriver {
+    commit: Option<CommitDriver>,
+    result: Option<ReconfigResult>,
+}
+
+impl AddNodeDriver {
+    /// Start the transaction. `mtable` is the caller's (fresh) membership
+    /// cache — the data-effectiveness check runs against it.
+    pub fn new(
+        txn: TxnId,
+        new_node: NodeId,
+        addr: String,
+        mtable: &MTable,
+        tracker: &LsnTracker,
+    ) -> (Self, Vec<Effect>) {
+        if mtable.exists(new_node) {
+            return (
+                AddNodeDriver {
+                    commit: None,
+                    result: Some(Err(CoordError::NodeAlreadyExist(new_node))),
+                },
+                Vec::new(),
+            );
+        }
+        let (commit, effects) = CommitDriver::new(
+            txn,
+            new_node,
+            vec![(
+                Participant::Log(LogId::SysLog),
+                Updates::Sys(SysRecord::AddNode { node: new_node, addr }),
+            )],
+            tracker,
+        );
+        (AddNodeDriver { commit: Some(commit), result: None }, effects)
+    }
+
+    /// Feed a runner result.
+    pub fn on_input(&mut self, input: Input) -> Vec<Effect> {
+        let Some(commit) = &mut self.commit else { return Vec::new() };
+        let effects = commit.on_input(input);
+        if let Some(outcome) = commit.outcome() {
+            self.result = Some(match outcome {
+                CommitOutcome::Committed => Ok(()),
+                CommitOutcome::Aborted { conflict } => Err(CoordError::Aborted(
+                    TxnError::CommitConflict {
+                        log: conflict.unwrap_or(LogId::SysLog),
+                        current: marlin_common::Lsn::ZERO,
+                    },
+                )),
+            });
+        }
+        effects
+    }
+
+    /// Terminal result, once reached.
+    #[must_use]
+    pub fn result(&self) -> Option<&ReconfigResult> {
+        self.result.as_ref()
+    }
+}
+
+/// `DeleteNodeTxn`: executed on the leaving node or on the node that
+/// detected a failure (Figure 7 step 4).
+#[derive(Debug)]
+pub struct DeleteNodeDriver {
+    commit: Option<CommitDriver>,
+    result: Option<ReconfigResult>,
+}
+
+impl DeleteNodeDriver {
+    /// Start the transaction on `coordinator` to remove `victim`.
+    pub fn new(
+        txn: TxnId,
+        coordinator: NodeId,
+        victim: NodeId,
+        mtable: &MTable,
+        tracker: &LsnTracker,
+    ) -> (Self, Vec<Effect>) {
+        if !mtable.exists(victim) {
+            return (
+                DeleteNodeDriver {
+                    commit: None,
+                    result: Some(Err(CoordError::NodeNotExist(victim))),
+                },
+                Vec::new(),
+            );
+        }
+        let (commit, effects) = CommitDriver::new(
+            txn,
+            coordinator,
+            vec![(
+                Participant::Log(LogId::SysLog),
+                Updates::Sys(SysRecord::DeleteNode { node: victim }),
+            )],
+            tracker,
+        );
+        (DeleteNodeDriver { commit: Some(commit), result: None }, effects)
+    }
+
+    /// Feed a runner result.
+    pub fn on_input(&mut self, input: Input) -> Vec<Effect> {
+        let Some(commit) = &mut self.commit else { return Vec::new() };
+        let effects = commit.on_input(input);
+        if let Some(outcome) = commit.outcome() {
+            self.result = Some(match outcome {
+                CommitOutcome::Committed => Ok(()),
+                CommitOutcome::Aborted { conflict } => Err(CoordError::Aborted(
+                    TxnError::CommitConflict {
+                        log: conflict.unwrap_or(LogId::SysLog),
+                        current: marlin_common::Lsn::ZERO,
+                    },
+                )),
+            });
+        }
+        effects
+    }
+
+    /// Terminal result, once reached.
+    #[must_use]
+    pub fn result(&self) -> Option<&ReconfigResult> {
+        self.result.as_ref()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MigrationTxn (Algorithm 1 lines 19-26)
+
+#[derive(Debug)]
+enum MigrationPhase {
+    /// Waiting for the source's locked owner read (data-effectiveness).
+    CheckingSource,
+    /// MarlinCommit in flight.
+    Committing(CommitDriver),
+    /// Terminal.
+    Done,
+}
+
+/// `MigrationTxn`: migrate granules from `src` to `dst` (the coordinator,
+/// usually the under-utilized destination — §4.4.1). Cross-node: commits on
+/// the GLogs of both `src` and `dst`.
+#[derive(Debug)]
+pub struct MigrationDriver {
+    txn: TxnId,
+    src: NodeId,
+    dst: NodeId,
+    granules: Vec<GranuleId>,
+    phase: MigrationPhase,
+    result: Option<ReconfigResult>,
+}
+
+impl MigrationDriver {
+    /// Start the transaction on `dst` for `granules` currently owned by
+    /// `src`. The first effect reads (and write-locks) the source's GTable
+    /// entries.
+    pub fn new(
+        txn: TxnId,
+        src: NodeId,
+        dst: NodeId,
+        granules: Vec<GranuleId>,
+    ) -> (Self, Vec<Effect>) {
+        assert!(src != dst, "migration requires distinct nodes");
+        assert!(!granules.is_empty(), "migration needs at least one granule");
+        let effects =
+            vec![Effect::ReadOwnersRemote { at: src, txn, granules: granules.clone() }];
+        (
+            MigrationDriver {
+                txn,
+                src,
+                dst,
+                granules,
+                phase: MigrationPhase::CheckingSource,
+                result: None,
+            },
+            effects,
+        )
+    }
+
+    /// Feed a runner result. `tracker` is the coordinator's current LSN
+    /// tracker (consulted when the commit phase starts).
+    pub fn on_input(&mut self, input: Input, tracker: &LsnTracker) -> Vec<Effect> {
+        match &mut self.phase {
+            MigrationPhase::CheckingSource => match input {
+                Input::OwnersAt { from, owners } if from == self.src => match owners {
+                    Some(entries) => {
+                        // Data-effectiveness (line 21): every granule must
+                        // currently be owned by src per src's own partition.
+                        let mut swaps = Vec::with_capacity(self.granules.len());
+                        for g in &self.granules {
+                            match entries.iter().find(|(gid, _)| gid == g) {
+                                Some((_, meta)) if meta.owner == self.src => {
+                                    swaps.push(OwnershipSwap {
+                                        table: meta.table,
+                                        granule: *g,
+                                        range: meta.range,
+                                        old: self.src,
+                                        new: self.dst,
+                                    });
+                                }
+                                Some((_, meta)) => {
+                                    self.result = Some(Err(CoordError::WrongOwner {
+                                        granule: *g,
+                                        expected: self.src,
+                                        actual: meta.owner,
+                                    }));
+                                    self.phase = MigrationPhase::Done;
+                                    return vec![Effect::ReleaseRemote {
+                                        at: self.src,
+                                        txn: self.txn,
+                                    }];
+                                }
+                                None => {
+                                    self.result = Some(Err(CoordError::WrongOwner {
+                                        granule: *g,
+                                        expected: self.src,
+                                        actual: NodeId(u32::MAX),
+                                    }));
+                                    self.phase = MigrationPhase::Done;
+                                    return vec![Effect::ReleaseRemote {
+                                        at: self.src,
+                                        txn: self.txn,
+                                    }];
+                                }
+                            }
+                        }
+                        // Modify + commit (lines 22-24): swap ownership in
+                        // both partitions, commit on {src, dst}.
+                        let (commit, effects) = CommitDriver::new(
+                            self.txn,
+                            self.dst,
+                            vec![
+                                (Participant::Node(self.src), Updates::Granule(swaps.clone())),
+                                (Participant::Node(self.dst), Updates::Granule(swaps)),
+                            ],
+                            tracker,
+                        );
+                        self.phase = MigrationPhase::Committing(commit);
+                        effects
+                    }
+                    None => {
+                        // NO_WAIT conflict at the source (e.g. an ongoing
+                        // user transaction holds the granule lock).
+                        self.result = Some(Err(CoordError::Aborted(TxnError::LockConflict {
+                            granule: self.granules[0],
+                        })));
+                        self.phase = MigrationPhase::Done;
+                        Vec::new()
+                    }
+                },
+                Input::Timeout { from } if from == self.src => {
+                    // Source unresponsive: this path is for live migration;
+                    // failover uses RecoveryMigrTxn instead.
+                    self.result =
+                        Some(Err(CoordError::Aborted(TxnError::NodeUnavailable(self.src))));
+                    self.phase = MigrationPhase::Done;
+                    Vec::new()
+                }
+                _ => Vec::new(),
+            },
+            MigrationPhase::Committing(commit) => {
+                let effects = commit.on_input(input);
+                if let Some(outcome) = commit.outcome() {
+                    self.result = Some(match outcome {
+                        CommitOutcome::Committed => Ok(()),
+                        CommitOutcome::Aborted { conflict } => {
+                            Err(CoordError::Aborted(TxnError::CommitConflict {
+                                log: conflict.unwrap_or(LogId::GLog(self.src)),
+                                current: marlin_common::Lsn::ZERO,
+                            }))
+                        }
+                    });
+                    self.phase = MigrationPhase::Done;
+                }
+                effects
+            }
+            MigrationPhase::Done => Vec::new(),
+        }
+    }
+
+    /// The granules being migrated.
+    #[must_use]
+    pub fn granules(&self) -> &[GranuleId] {
+        &self.granules
+    }
+
+    /// Terminal result, once reached.
+    #[must_use]
+    pub fn result(&self) -> Option<&ReconfigResult> {
+        self.result.as_ref()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RecoveryMigrTxn (Algorithm 1 lines 27-31)
+
+/// `RecoveryMigrTxn`: migrate granules away from an unresponsive source.
+///
+/// Executed **only on the destination**; no RPC touches the dead node. The
+/// data-effectiveness check runs against the destination's refreshed copy
+/// of the source's GTable partition (read from disaggregated storage), and
+/// the commit writes to both GLogs directly — the dead node's log being a
+/// *participant* is the heart of Marlin's failover story (§4.4.2).
+#[derive(Debug)]
+pub struct RecoveryMigrDriver {
+    src: NodeId,
+    commit: Option<CommitDriver>,
+    result: Option<ReconfigResult>,
+    granules: Vec<GranuleId>,
+}
+
+impl RecoveryMigrDriver {
+    /// Start the transaction on `dst` for `granules` owned by the
+    /// unresponsive `src`. `src_partition` is the destination's freshly
+    /// refreshed copy of the source's GTable partition.
+    pub fn new(
+        txn: TxnId,
+        src: NodeId,
+        dst: NodeId,
+        granules: Vec<GranuleId>,
+        src_partition: &GTablePartition,
+        tracker: &LsnTracker,
+    ) -> (Self, Vec<Effect>) {
+        assert!(src != dst, "recovery migration requires distinct nodes");
+        assert!(!granules.is_empty(), "recovery migration needs at least one granule");
+        // Data-effectiveness (lines 28-29) against the refreshed copy.
+        let mut swaps = Vec::with_capacity(granules.len());
+        for g in &granules {
+            match src_partition.get(*g) {
+                Some(meta) if meta.owner == src => swaps.push(OwnershipSwap {
+                    table: meta.table,
+                    granule: *g,
+                    range: meta.range,
+                    old: src,
+                    new: dst,
+                }),
+                Some(meta) => {
+                    return (
+                        RecoveryMigrDriver {
+                            src,
+                            commit: None,
+                            result: Some(Err(CoordError::WrongOwner {
+                                granule: *g,
+                                expected: src,
+                                actual: meta.owner,
+                            })),
+                            granules,
+                        },
+                        Vec::new(),
+                    );
+                }
+                None => {
+                    return (
+                        RecoveryMigrDriver {
+                            src,
+                            commit: None,
+                            result: Some(Err(CoordError::WrongOwner {
+                                granule: *g,
+                                expected: src,
+                                actual: NodeId(u32::MAX),
+                            })),
+                            granules,
+                        },
+                        Vec::new(),
+                    );
+                }
+            }
+        }
+        // Commit on {src.GLog, dst} (line 31): both are logs the
+        // coordinator appends to directly.
+        let (commit, effects) = CommitDriver::new(
+            txn,
+            dst,
+            vec![
+                (Participant::Log(LogId::GLog(src)), Updates::Granule(swaps.clone())),
+                (Participant::Node(dst), Updates::Granule(swaps)),
+            ],
+            tracker,
+        );
+        (RecoveryMigrDriver { src, commit: Some(commit), result: None, granules }, effects)
+    }
+
+    /// Feed a runner result.
+    pub fn on_input(&mut self, input: Input) -> Vec<Effect> {
+        let Some(commit) = &mut self.commit else { return Vec::new() };
+        let effects = commit.on_input(input);
+        if let Some(outcome) = commit.outcome() {
+            self.result = Some(match outcome {
+                CommitOutcome::Committed => Ok(()),
+                CommitOutcome::Aborted { conflict } => {
+                    // A conflict on the source's GLog means the "dead" node
+                    // came back (or another recoverer won). The caller
+                    // refreshes and re-evaluates.
+                    Err(CoordError::Aborted(TxnError::CommitConflict {
+                        log: conflict.unwrap_or(LogId::GLog(self.src)),
+                        current: marlin_common::Lsn::ZERO,
+                    }))
+                }
+            });
+        }
+        effects
+    }
+
+    /// The granules being recovered.
+    #[must_use]
+    pub fn granules(&self) -> &[GranuleId] {
+        &self.granules
+    }
+
+    /// Terminal result, once reached.
+    #[must_use]
+    pub fn result(&self) -> Option<&ReconfigResult> {
+        self.result.as_ref()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ScanGTableTxn (Algorithm 1 lines 32-38)
+
+/// `ScanGTableTxn`: a read-only distributed scan of every GTable partition,
+/// used by routers to locate partition owners. Peers validate their own
+/// GLog LSN before answering (their TryLog-style vote), and the coordinator
+/// validates the SysLog so a concurrent membership change aborts the scan.
+#[derive(Debug)]
+pub struct ScanGTableDriver {
+    peers_pending: Vec<NodeId>,
+    syslog_ok: Option<bool>,
+    entries: Vec<(GranuleId, GranuleMeta)>,
+    result: Option<Result<(), CoordError>>,
+}
+
+impl ScanGTableDriver {
+    /// Start the scan on `coordinator`. `own_entries` is the coordinator's
+    /// local partition scan (line 34, performed directly); peers from the
+    /// membership are asked asynchronously (lines 35-37).
+    pub fn new(
+        txn: TxnId,
+        coordinator: NodeId,
+        mtable: &MTable,
+        own_entries: Vec<(GranuleId, GranuleMeta)>,
+        tracker: &LsnTracker,
+    ) -> (Self, Vec<Effect>) {
+        let mut effects = Vec::new();
+        let mut peers = Vec::new();
+        for node in mtable.scan() {
+            if node != coordinator {
+                effects.push(Effect::SendScanReq { to: node, txn });
+                peers.push(node);
+            }
+        }
+        effects.push(Effect::ValidateLsn {
+            log: LogId::SysLog,
+            expected: tracker.get(LogId::SysLog),
+        });
+        (
+            ScanGTableDriver {
+                peers_pending: peers,
+                syslog_ok: None,
+                entries: own_entries,
+                result: None,
+            },
+            effects,
+        )
+    }
+
+    /// Feed a runner result.
+    pub fn on_input(&mut self, input: Input) -> Vec<Effect> {
+        match input {
+            Input::ScanResp { from, entries } => {
+                self.peers_pending.retain(|n| *n != from);
+                self.entries.extend(entries);
+            }
+            Input::Timeout { from } => {
+                if self.peers_pending.contains(&from) {
+                    self.result = Some(Err(CoordError::Aborted(TxnError::NodeUnavailable(from))));
+                    self.peers_pending.clear();
+                }
+            }
+            Input::ValidateOk { log: LogId::SysLog } => self.syslog_ok = Some(true),
+            Input::ValidateConflict { log: LogId::SysLog, .. } => {
+                self.syslog_ok = Some(false);
+            }
+            _ => {}
+        }
+        if self.result.is_none() {
+            match self.syslog_ok {
+                Some(true) if self.peers_pending.is_empty() => {
+                    self.result = Some(Ok(()));
+                }
+                Some(false) => {
+                    self.result = Some(Err(CoordError::Aborted(TxnError::CommitConflict {
+                        log: LogId::SysLog,
+                        current: marlin_common::Lsn::ZERO,
+                    })));
+                }
+                _ => {}
+            }
+        }
+        Vec::new()
+    }
+
+    /// The merged cluster-wide ownership map, available on success.
+    #[must_use]
+    pub fn entries(&self) -> &[(GranuleId, GranuleMeta)] {
+        &self.entries
+    }
+
+    /// Terminal result, once reached.
+    #[must_use]
+    pub fn result(&self) -> Option<&Result<(), CoordError>> {
+        self.result.as_ref()
+    }
+
+    /// Consume the driver, returning the merged entries on success.
+    pub fn into_entries(self) -> Result<Vec<(GranuleId, GranuleMeta)>, CoordError> {
+        match self.result {
+            Some(Ok(())) => Ok(self.entries),
+            Some(Err(e)) => Err(e),
+            None => Err(CoordError::ServiceError("scan still in flight".into())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::GRecord;
+    use marlin_common::{KeyRange, Lsn, TableId};
+
+    fn mtable_of(nodes: &[u32]) -> MTable {
+        let mut m = MTable::new();
+        for (i, n) in nodes.iter().enumerate() {
+            m.apply(
+                Lsn(i as u64 + 1),
+                &SysRecord::AddNode { node: NodeId(*n), addr: format!("n{n}") },
+            );
+        }
+        m
+    }
+
+    fn meta(owner: u32, g: u64) -> GranuleMeta {
+        GranuleMeta {
+            table: TableId(0),
+            range: KeyRange::new(g * 10, (g + 1) * 10),
+            owner: NodeId(owner),
+        }
+    }
+
+    #[test]
+    fn add_node_checks_membership_first() {
+        let mtable = mtable_of(&[1, 2]);
+        let tracker = LsnTracker::new();
+        let (d, effects) =
+            AddNodeDriver::new(TxnId(1), NodeId(1), "dup".into(), &mtable, &tracker);
+        assert!(effects.is_empty());
+        assert_eq!(d.result(), Some(&Err(CoordError::NodeAlreadyExist(NodeId(1)))));
+    }
+
+    #[test]
+    fn add_node_commits_to_syslog() {
+        let mtable = mtable_of(&[1]);
+        let mut tracker = LsnTracker::new();
+        tracker.observe(LogId::SysLog, Lsn(1));
+        let (mut d, effects) =
+            AddNodeDriver::new(TxnId(2), NodeId(2), "10.0.0.2".into(), &mtable, &tracker);
+        assert!(matches!(
+            effects[0],
+            Effect::ConditionalAppend { log: LogId::SysLog, expected: Lsn(1), .. }
+        ));
+        d.on_input(Input::AppendOk { log: LogId::SysLog, new_lsn: Lsn(2) });
+        assert_eq!(d.result(), Some(&Ok(())));
+    }
+
+    #[test]
+    fn conflicting_membership_txns_one_wins() {
+        // Two concurrent AddNodeTxns with the same H-LSN: MarlinCommit
+        // ensures only one commits (§4.4.1 "Membership Update").
+        let mtable = mtable_of(&[]);
+        let tracker = LsnTracker::new();
+        let (mut a, ea) =
+            AddNodeDriver::new(TxnId(1), NodeId(1), "a".into(), &mtable, &tracker);
+        let (mut b, eb) =
+            AddNodeDriver::new(TxnId(2), NodeId(2), "b".into(), &mtable, &tracker);
+        // Both drivers try Append@LSN with expected=0; the log admits one.
+        assert!(matches!(ea[0], Effect::ConditionalAppend { expected: Lsn(0), .. }));
+        assert!(matches!(eb[0], Effect::ConditionalAppend { expected: Lsn(0), .. }));
+        a.on_input(Input::AppendOk { log: LogId::SysLog, new_lsn: Lsn(1) });
+        let eff = b.on_input(Input::AppendConflict { log: LogId::SysLog, current: Lsn(1) });
+        assert_eq!(a.result(), Some(&Ok(())));
+        assert!(matches!(b.result(), Some(&Err(CoordError::Aborted(_)))));
+        assert!(eff.contains(&Effect::ClearMetaCache { log: LogId::SysLog }));
+    }
+
+    #[test]
+    fn delete_missing_node_fails_fast() {
+        let mtable = mtable_of(&[1]);
+        let tracker = LsnTracker::new();
+        let (d, effects) =
+            DeleteNodeDriver::new(TxnId(1), NodeId(1), NodeId(9), &mtable, &tracker);
+        assert!(effects.is_empty());
+        assert_eq!(d.result(), Some(&Err(CoordError::NodeNotExist(NodeId(9)))));
+    }
+
+    #[test]
+    fn migration_happy_path() {
+        let tracker = LsnTracker::new();
+        let (mut d, effects) =
+            MigrationDriver::new(TxnId(7), NodeId(2), NodeId(3), vec![GranuleId(5)]);
+        assert_eq!(
+            effects,
+            vec![Effect::ReadOwnersRemote {
+                at: NodeId(2),
+                txn: TxnId(7),
+                granules: vec![GranuleId(5)],
+            }]
+        );
+        // Source confirms ownership; commit begins on both GLogs.
+        let effects = d.on_input(
+            Input::OwnersAt { from: NodeId(2), owners: Some(vec![(GranuleId(5), meta(2, 5))]) },
+            &tracker,
+        );
+        assert!(effects.iter().any(|e| matches!(
+            e,
+            Effect::ConditionalAppend { log: LogId::GLog(NodeId(3)), .. }
+        )));
+        assert!(effects.iter().any(
+            |e| matches!(e, Effect::SendVoteReq { to: NodeId(2), .. })
+        ));
+        d.on_input(Input::AppendOk { log: LogId::GLog(NodeId(3)), new_lsn: Lsn(1) }, &tracker);
+        let effects = d.on_input(Input::VoteResp { from: NodeId(2), yes: true }, &tracker);
+        assert_eq!(d.result(), Some(&Ok(())));
+        assert!(effects
+            .iter()
+            .any(|e| matches!(e, Effect::SendDecision { to: NodeId(2), commit: true, .. })));
+    }
+
+    #[test]
+    fn migration_aborts_on_wrong_owner() {
+        let tracker = LsnTracker::new();
+        let (mut d, _) = MigrationDriver::new(TxnId(7), NodeId(2), NodeId(3), vec![GranuleId(5)]);
+        let effects = d.on_input(
+            Input::OwnersAt { from: NodeId(2), owners: Some(vec![(GranuleId(5), meta(9, 5))]) },
+            &tracker,
+        );
+        assert_eq!(
+            d.result(),
+            Some(&Err(CoordError::WrongOwner {
+                granule: GranuleId(5),
+                expected: NodeId(2),
+                actual: NodeId(9),
+            }))
+        );
+        assert_eq!(effects, vec![Effect::ReleaseRemote { at: NodeId(2), txn: TxnId(7) }]);
+    }
+
+    #[test]
+    fn migration_aborts_on_source_lock_conflict() {
+        // Figure 6 step 2: an ongoing user transaction holds the granule
+        // lock on the source; NO_WAIT aborts the migration.
+        let tracker = LsnTracker::new();
+        let (mut d, _) = MigrationDriver::new(TxnId(7), NodeId(2), NodeId(3), vec![GranuleId(5)]);
+        d.on_input(Input::OwnersAt { from: NodeId(2), owners: None }, &tracker);
+        assert!(matches!(
+            d.result(),
+            Some(&Err(CoordError::Aborted(TxnError::LockConflict { .. })))
+        ));
+    }
+
+    #[test]
+    fn migration_multi_granule_builds_all_swaps() {
+        let tracker = LsnTracker::new();
+        let granules = vec![GranuleId(1), GranuleId(2), GranuleId(3)];
+        let (mut d, _) = MigrationDriver::new(TxnId(7), NodeId(0), NodeId(1), granules.clone());
+        let owners = granules.iter().map(|g| (*g, meta(0, g.0))).collect();
+        let effects =
+            d.on_input(Input::OwnersAt { from: NodeId(0), owners: Some(owners) }, &tracker);
+        // The prepared payload carries all three swaps.
+        let prepared = effects
+            .iter()
+            .find_map(|e| match e {
+                Effect::ConditionalAppend { payload, .. } => GRecord::decode(payload),
+                _ => None,
+            })
+            .expect("local prepared record");
+        match prepared {
+            GRecord::Prepared { swaps, .. } => assert_eq!(swaps.len(), 3),
+            other => panic!("expected Prepared, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recovery_commits_to_dead_nodes_log() {
+        let mut src_partition = GTablePartition::new();
+        src_partition.apply(
+            Lsn(1),
+            &GRecord::Install {
+                table: TableId(0),
+                granule: GranuleId(3),
+                range: KeyRange::new(30, 40),
+                owner: NodeId(3),
+            },
+        );
+        let mut tracker = LsnTracker::new();
+        tracker.observe(LogId::GLog(NodeId(3)), Lsn(1));
+        let (mut d, effects) = RecoveryMigrDriver::new(
+            TxnId(9),
+            NodeId(3),
+            NodeId(2),
+            vec![GranuleId(3)],
+            &src_partition,
+            &tracker,
+        );
+        // Both appends are direct (no VOTE-REQ to the dead node).
+        assert_eq!(
+            effects
+                .iter()
+                .filter(|e| matches!(e, Effect::ConditionalAppend { .. }))
+                .count(),
+            2
+        );
+        assert!(!effects.iter().any(|e| matches!(e, Effect::SendVoteReq { .. })));
+        d.on_input(Input::AppendOk { log: LogId::GLog(NodeId(3)), new_lsn: Lsn(2) });
+        d.on_input(Input::AppendOk { log: LogId::GLog(NodeId(2)), new_lsn: Lsn(1) });
+        assert_eq!(d.result(), Some(&Ok(())));
+    }
+
+    #[test]
+    fn recovery_rejects_stale_ownership_view() {
+        // The refreshed copy shows the granule already recovered by
+        // someone else: fail fast without touching the logs.
+        let mut src_partition = GTablePartition::new();
+        src_partition.apply(
+            Lsn(1),
+            &GRecord::OnePhase {
+                txn: TxnId(1),
+                swaps: vec![OwnershipSwap {
+                    table: TableId(0),
+                    granule: GranuleId(3),
+                    range: KeyRange::new(30, 40),
+                    old: NodeId(3),
+                    new: NodeId(7),
+                }],
+            },
+        );
+        let tracker = LsnTracker::new();
+        let (d, effects) = RecoveryMigrDriver::new(
+            TxnId(9),
+            NodeId(3),
+            NodeId(2),
+            vec![GranuleId(3)],
+            &src_partition,
+            &tracker,
+        );
+        assert!(effects.is_empty());
+        assert_eq!(
+            d.result(),
+            Some(&Err(CoordError::WrongOwner {
+                granule: GranuleId(3),
+                expected: NodeId(3),
+                actual: NodeId(7),
+            }))
+        );
+    }
+
+    #[test]
+    fn scan_merges_all_partitions() {
+        let mtable = mtable_of(&[0, 1, 2]);
+        let tracker = LsnTracker::new();
+        let own = vec![(GranuleId(0), meta(0, 0))];
+        let (mut d, effects) =
+            ScanGTableDriver::new(TxnId(4), NodeId(0), &mtable, own, &tracker);
+        assert_eq!(
+            effects.iter().filter(|e| matches!(e, Effect::SendScanReq { .. })).count(),
+            2
+        );
+        d.on_input(Input::ValidateOk { log: LogId::SysLog });
+        d.on_input(Input::ScanResp { from: NodeId(1), entries: vec![(GranuleId(1), meta(1, 1))] });
+        assert!(d.result().is_none(), "one peer still pending");
+        d.on_input(Input::ScanResp { from: NodeId(2), entries: vec![(GranuleId(2), meta(2, 2))] });
+        assert_eq!(d.result(), Some(&Ok(())));
+        assert_eq!(d.entries().len(), 3);
+    }
+
+    #[test]
+    fn scan_aborts_on_membership_change() {
+        let mtable = mtable_of(&[0, 1]);
+        let tracker = LsnTracker::new();
+        let (mut d, _) = ScanGTableDriver::new(TxnId(4), NodeId(0), &mtable, vec![], &tracker);
+        d.on_input(Input::ValidateConflict { log: LogId::SysLog, current: Lsn(3) });
+        assert!(matches!(d.result(), Some(&Err(CoordError::Aborted(_)))));
+    }
+
+    #[test]
+    fn scan_aborts_on_peer_timeout() {
+        let mtable = mtable_of(&[0, 1]);
+        let tracker = LsnTracker::new();
+        let (mut d, _) = ScanGTableDriver::new(TxnId(4), NodeId(0), &mtable, vec![], &tracker);
+        d.on_input(Input::ValidateOk { log: LogId::SysLog });
+        d.on_input(Input::Timeout { from: NodeId(1) });
+        assert!(matches!(
+            d.result(),
+            Some(&Err(CoordError::Aborted(TxnError::NodeUnavailable(NodeId(1)))))
+        ));
+    }
+}

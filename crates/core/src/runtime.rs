@@ -1,0 +1,893 @@
+//! The synchronous in-process cluster runtime.
+//!
+//! [`LocalCluster`] is the functional reference implementation of the full
+//! system: it wires per-node coordination state ([`MarlinNode`]), the
+//! engine's lock table and row store, and the disaggregated
+//! [`StorageService`], and it fulfills protocol-driver [`Effect`]s
+//! immediately (RPCs become function calls, appends hit the in-memory
+//! storage service). Unit tests, integration tests, and the examples run
+//! against it; the discrete-event simulator in `marlin-cluster` drives the
+//! *same* drivers with virtual-time delays.
+//!
+//! What the runtime implements end-to-end:
+//!
+//! - bootstrap (SysLog membership + GLog granule installs + row loads);
+//! - user transactions with the Algorithm 1 ownership guard, 2PL `NO_WAIT`
+//!   locks, and one-phase MarlinCommit on the node's own GLog (which
+//!   doubles as its data WAL — the Figure 7 detection mechanism);
+//! - all five reconfiguration transactions with retry-on-conflict loops;
+//! - live migration with Squall-style row warm-up (src → dst shipping);
+//! - failover: kill/revive, recovery migration committing to the dead
+//!   node's GLog, row recovery from the shared page store, and the
+//!   Cornus-style termination protocol for in-doubt transactions.
+
+use crate::drivers::{
+    AddNodeDriver, CommitDriver, CommitOutcome, DeleteNodeDriver, Effect, Input,
+    MigrationDriver, Participant, RecoveryMigrDriver, ScanGTableDriver, Updates,
+};
+use crate::gtable::{materialize, GTablePartition, GranuleMeta};
+use crate::node::MarlinNode;
+use crate::records::GRecord;
+use bytes::Bytes;
+use marlin_common::{
+    ClusterConfig, CoordError, GranuleId, GranuleLayout, LogId, Lsn, NodeId, StorageError,
+    TableId, TxnError, TxnId,
+};
+use marlin_engine::recovery::recover_granule_from_pages;
+use marlin_engine::{DataStore, Granule, LockMode, LockTable, LockTarget, RowWrite, TxnUpdateRecord};
+use marlin_storage::{encode_page_updates, StorageService};
+use std::collections::{BTreeMap, VecDeque};
+
+/// How many times reconfiguration wrappers retry after a commit conflict
+/// (each retry refreshes the stale cache first).
+const MAX_RETRIES: usize = 16;
+
+/// Per-node runtime state.
+pub struct NodeRuntime {
+    /// Coordination state (system-table caches, tracker).
+    pub marlin: MarlinNode,
+    /// 2PL NO_WAIT lock table.
+    pub locks: LockTable,
+    /// Materialized rows of owned granules.
+    pub data: DataStore,
+    /// Whether the node responds to RPCs (false = crashed/slow).
+    pub alive: bool,
+}
+
+impl NodeRuntime {
+    fn new(id: NodeId) -> Self {
+        NodeRuntime {
+            marlin: MarlinNode::new(id),
+            locks: LockTable::new(),
+            data: DataStore::new(),
+            alive: true,
+        }
+    }
+}
+
+/// The synchronous cluster: storage + nodes + table layouts.
+pub struct LocalCluster {
+    storage: StorageService,
+    nodes: BTreeMap<NodeId, NodeRuntime>,
+    layouts: BTreeMap<TableId, GranuleLayout>,
+    page_bytes: u64,
+}
+
+impl LocalCluster {
+    /// An empty cluster over fresh storage.
+    #[must_use]
+    pub fn new(layouts: Vec<GranuleLayout>, page_bytes: u64) -> Self {
+        let mut map = BTreeMap::new();
+        for l in layouts {
+            map.insert(l.table, l);
+        }
+        LocalCluster {
+            storage: StorageService::new(),
+            nodes: BTreeMap::new(),
+            layouts: map,
+            page_bytes,
+        }
+    }
+
+    /// Bootstrap a cluster: add the initial nodes through real
+    /// `AddNodeTxn`s and install the initial granule assignment through
+    /// GLog `Install` records (one batched append per node).
+    #[must_use]
+    pub fn bootstrap(cfg: &ClusterConfig) -> Self {
+        let mut cluster = LocalCluster::new(cfg.tables.clone(), cfg.page_bytes);
+        for &node in &cfg.initial_nodes {
+            cluster
+                .add_node(node, format!("10.0.0.{}", node.0))
+                .expect("bootstrap add_node cannot conflict");
+        }
+        // Group the initial assignment per owner and install.
+        let mut per_node: BTreeMap<NodeId, Vec<(TableId, GranuleId)>> = BTreeMap::new();
+        for (table, granule, owner) in cfg.initial_assignment() {
+            per_node.entry(owner).or_default().push((table, granule));
+        }
+        for (owner, granules) in per_node {
+            cluster.install_granules(owner, &granules);
+        }
+        cluster
+    }
+
+    /// Install granules on a node at bootstrap: append `Install` records
+    /// to the owner's GLog (one batched append) and create empty row sets.
+    pub fn install_granules(&mut self, owner: NodeId, granules: &[(TableId, GranuleId)]) {
+        let mut payloads = Vec::with_capacity(granules.len());
+        for (table, granule) in granules {
+            let layout = &self.layouts[table];
+            payloads.push(
+                GRecord::Install {
+                    table: *table,
+                    granule: *granule,
+                    range: layout.range_of(*granule),
+                    owner,
+                }
+                .encode(),
+            );
+        }
+        let log = LogId::GLog(owner);
+        let out = self.storage.append(log, payloads).expect("owner GLog exists");
+        let node = self.nodes.get_mut(&owner).expect("owner exists");
+        let suffix = self
+            .storage
+            .log(log)
+            .expect("glog")
+            .read_after(node.marlin.gtable().applied_lsn());
+        node.marlin.refresh_own_gtable(suffix.into_iter().map(|r| (r.lsn, r.payload)));
+        node.marlin.tracker.observe(log, out.new_lsn);
+        for (table, granule) in granules {
+            let layout = &self.layouts[table];
+            node.data.install(*table, *granule, Granule::new(layout.range_of(*granule)));
+        }
+    }
+
+    /// The storage service (shared handle).
+    #[must_use]
+    pub fn storage(&self) -> &StorageService {
+        &self.storage
+    }
+
+    /// A table's layout.
+    #[must_use]
+    pub fn layout(&self, table: TableId) -> &GranuleLayout {
+        &self.layouts[&table]
+    }
+
+    /// Borrow a node's runtime.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &NodeRuntime {
+        &self.nodes[&id]
+    }
+
+    /// Mutably borrow a node's runtime.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut NodeRuntime {
+        self.nodes.get_mut(&id).expect("node exists")
+    }
+
+    /// Node IDs with runtimes (members and ex-members).
+    #[must_use]
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.nodes.keys().copied().collect()
+    }
+
+    /// Make a node unresponsive (temporary slowdown or crash).
+    pub fn kill(&mut self, id: NodeId) {
+        self.node_mut(id).alive = false;
+    }
+
+    /// Bring a node back. Its caches are whatever they were — the
+    /// stale-cache race of Figure 7 is exactly what MarlinCommit handles.
+    pub fn revive(&mut self, id: NodeId) {
+        self.node_mut(id).alive = true;
+    }
+
+    // -- membership ---------------------------------------------------------
+
+    /// `AddNodeTxn`: provision logs for `id`, then commit the membership
+    /// record (retrying through cache refreshes on CAS conflicts).
+    pub fn add_node(&mut self, id: NodeId, addr: String) -> Result<(), CoordError> {
+        self.storage.provision_node(id);
+        self.nodes.entry(id).or_insert_with(|| NodeRuntime::new(id));
+        for _ in 0..MAX_RETRIES {
+            self.refresh_mtable(id);
+            let txn = self.nodes.get_mut(&id).expect("node exists").marlin.next_txn();
+            let (mut driver, effects) = {
+                let node = &self.nodes[&id];
+                AddNodeDriver::new(
+                    txn,
+                    id,
+                    addr.clone(),
+                    node.marlin.mtable(),
+                    &node.marlin.tracker,
+                )
+            };
+            self.pump(id, effects, |input| driver.on_input(input));
+            match driver.result() {
+                Some(Ok(())) => return Ok(()),
+                Some(Err(CoordError::Aborted(_))) => continue,
+                Some(Err(e)) => return Err(e.clone()),
+                None => unreachable!("synchronous pump always completes"),
+            }
+        }
+        Err(CoordError::ServiceError("add_node retries exhausted".into()))
+    }
+
+    /// `DeleteNodeTxn` run on `coordinator` to remove `victim`.
+    pub fn delete_node(
+        &mut self,
+        coordinator: NodeId,
+        victim: NodeId,
+    ) -> Result<(), CoordError> {
+        for _ in 0..MAX_RETRIES {
+            self.refresh_mtable(coordinator);
+            let txn = self.nodes.get_mut(&coordinator).expect("node").marlin.next_txn();
+            let (mut driver, effects) = {
+                let node = &self.nodes[&coordinator];
+                DeleteNodeDriver::new(
+                    txn,
+                    coordinator,
+                    victim,
+                    node.marlin.mtable(),
+                    &node.marlin.tracker,
+                )
+            };
+            self.pump(coordinator, effects, |input| driver.on_input(input));
+            match driver.result() {
+                Some(Ok(())) => return Ok(()),
+                Some(Err(CoordError::Aborted(_))) => continue,
+                Some(Err(e)) => return Err(e.clone()),
+                None => unreachable!("synchronous pump always completes"),
+            }
+        }
+        Err(CoordError::ServiceError("delete_node retries exhausted".into()))
+    }
+
+    // -- migration ----------------------------------------------------------
+
+    /// `MigrationTxn`: migrate `granules` of `table` from `src` to `dst`,
+    /// then warm up the destination by shipping rows (Squall-style scan).
+    pub fn migrate(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        table: TableId,
+        granules: Vec<GranuleId>,
+    ) -> Result<(), CoordError> {
+        let txn = self.nodes.get_mut(&dst).expect("dst exists").marlin.next_txn();
+        let (mut driver, effects) = MigrationDriver::new(txn, src, dst, granules.clone());
+        let mut queue: VecDeque<Effect> = effects.into();
+        while let Some(effect) = queue.pop_front() {
+            if let Some(input) = self.execute_effect(dst, txn, &effect) {
+                let tracker = self.nodes[&dst].marlin.tracker.clone();
+                queue.extend(driver.on_input(input, &tracker));
+            }
+        }
+        match driver.result() {
+            Some(Ok(())) => {
+                // Warm-up: ship the rows from the (live) source.
+                for granule in &granules {
+                    let moved = self
+                        .nodes
+                        .get_mut(&src)
+                        .and_then(|n| n.data.remove(table, *granule));
+                    if let Some(g) = moved {
+                        self.nodes.get_mut(&dst).expect("dst").data.install(table, *granule, g);
+                    }
+                }
+                Ok(())
+            }
+            Some(Err(e)) => Err(e.clone()),
+            None => unreachable!("synchronous pump always completes"),
+        }
+    }
+
+    /// `RecoveryMigrTxn`: take over `granules` from unresponsive `src`,
+    /// committing to both GLogs directly, then recover the rows from the
+    /// shared page store (the source cannot serve a warm-up scan).
+    pub fn recovery_migrate(
+        &mut self,
+        dst: NodeId,
+        src: NodeId,
+        granules: Vec<GranuleId>,
+    ) -> Result<(), CoordError> {
+        // Refresh the destination's copy of the source partition from
+        // storage (the source is unresponsive; the log is the truth).
+        self.refresh_foreign(dst, src);
+        let txn = self.nodes.get_mut(&dst).expect("dst").marlin.next_txn();
+        let (mut driver, effects) = {
+            let node = &self.nodes[&dst];
+            let partition = node
+                .marlin
+                .foreign_partition(src)
+                .cloned()
+                .unwrap_or_default();
+            RecoveryMigrDriver::new(txn, src, dst, granules.clone(), &partition, &node.marlin.tracker)
+        };
+        self.pump(dst, effects, |input| driver.on_input(input));
+        match driver.result() {
+            Some(Ok(())) => {
+                self.recover_rows(dst, src, &granules);
+                Ok(())
+            }
+            Some(Err(e)) => Err(e.clone()),
+            None => unreachable!("synchronous pump always completes"),
+        }
+    }
+
+    fn recover_rows(&mut self, dst: NodeId, src: NodeId, granules: &[GranuleId]) {
+        // Drive replay on every log so GetPage@LSN serves the newest
+        // versions. A granule's pages may carry deltas from *previous*
+        // owners' logs (ownership moved over its lifetime); the paper's
+        // replay service runs continuously, so catching all logs up is the
+        // synchronous-runtime equivalent.
+        self.storage.replay_all();
+        let src_log = LogId::GLog(src);
+        let store = self.storage.page_store();
+        let as_of = store.replayed_lsn(src_log);
+        let node = self.nodes.get_mut(&dst).expect("dst");
+        for granule in granules {
+            let Some(meta) = node.marlin.gtable().get(*granule).copied() else { continue };
+            let layout = &self.layouts[&meta.table];
+            let recovered = recover_granule_from_pages(
+                &store,
+                meta.table,
+                *granule,
+                meta.range,
+                layout.pages_per_granule(self.page_bytes),
+                src_log,
+                as_of,
+            )
+            .unwrap_or_else(|_| Granule::new(meta.range));
+            node.data.install(meta.table, *granule, recovered);
+        }
+    }
+
+    // -- scans & user transactions ------------------------------------------
+
+    /// `ScanGTableTxn` on `node`: the merged cluster-wide ownership map.
+    pub fn scan_gtable(
+        &mut self,
+        node: NodeId,
+    ) -> Result<Vec<(GranuleId, GranuleMeta)>, CoordError> {
+        for _ in 0..MAX_RETRIES {
+            self.refresh_mtable(node);
+            let txn = self.nodes.get_mut(&node).expect("node").marlin.next_txn();
+            let (mut driver, effects) = {
+                let rt = &self.nodes[&node];
+                ScanGTableDriver::new(
+                    txn,
+                    node,
+                    rt.marlin.mtable(),
+                    rt.marlin.gtable().scan(),
+                    &rt.marlin.tracker,
+                )
+            };
+            self.pump(node, effects, |input| driver.on_input(input));
+            match driver.result() {
+                Some(Ok(())) => return driver.into_entries(),
+                Some(Err(CoordError::Aborted(TxnError::CommitConflict { .. }))) => continue,
+                Some(Err(e)) => return Err(e.clone()),
+                None => unreachable!("synchronous pump always completes"),
+            }
+        }
+        Err(CoordError::ServiceError("scan retries exhausted".into()))
+    }
+
+    /// A single-site user transaction on `node`: read `reads`, write
+    /// `writes`, commit via one-phase MarlinCommit on the node's own GLog.
+    ///
+    /// Implements Algorithm 1's `UserTxnRequest` guard: every accessed
+    /// granule must be owned by `node`, with a shared GTable-entry lock
+    /// held to commit; rows are locked via 2PL NO_WAIT.
+    pub fn user_txn(
+        &mut self,
+        node: NodeId,
+        table: TableId,
+        reads: &[u64],
+        writes: &[(u64, Bytes)],
+    ) -> Result<Vec<Option<Bytes>>, TxnError> {
+        if !self.nodes.get(&node).map_or(false, |n| n.alive) {
+            return Err(TxnError::NodeUnavailable(node));
+        }
+        self.ensure_gtable_fresh(node);
+        let layout = self.layouts.values().find(|l| l.table == table).expect("table exists");
+        let pages_per_granule = layout.pages_per_granule(self.page_bytes);
+        let txn = self.nodes.get_mut(&node).expect("node").marlin.next_txn();
+
+        // Execution phase: guard + locks + buffered accesses.
+        let mut result_reads = Vec::with_capacity(reads.len());
+        let mut row_writes = Vec::with_capacity(writes.len());
+        {
+            let rt = self.nodes.get_mut(&node).expect("node");
+            let access = |key: u64, exclusive: bool| -> Result<GranuleId, TxnError> {
+                let granule = layout.granule_of(key).expect("key in keyspace");
+                rt.marlin.check_user_access(granule)?;
+                rt.locks.try_lock(
+                    txn,
+                    LockTarget::GTableEntry { granule },
+                    LockMode::Shared,
+                )?;
+                rt.locks.try_lock(
+                    txn,
+                    LockTarget::Row { table, key },
+                    if exclusive { LockMode::Exclusive } else { LockMode::Shared },
+                )?;
+                Ok(granule)
+            };
+            let outcome: Result<(), TxnError> = (|| {
+                for &key in reads {
+                    let granule = access(key, false)?;
+                    result_reads.push(rt.data.read(table, granule, key)?);
+                }
+                for (key, value) in writes {
+                    let granule = access(*key, true)?;
+                    let offset = *key - layout.range_of(granule).lo;
+                    let page_index =
+                        (offset % u64::from(pages_per_granule)) as u32;
+                    row_writes.push(RowWrite {
+                        table,
+                        granule,
+                        key: *key,
+                        page_index,
+                        value: value.clone(),
+                    });
+                }
+                Ok(())
+            })();
+            if let Err(e) = outcome {
+                rt.locks.release_all(txn);
+                return Err(e);
+            }
+        }
+
+        // Commit phase: one-phase MarlinCommit on the node's own GLog
+        // (which is also its data WAL — Figure 7's detection mechanism).
+        if row_writes.is_empty() {
+            self.nodes.get_mut(&node).expect("node").locks.release_all(txn);
+            return Ok(result_reads);
+        }
+        let record = TxnUpdateRecord { txn, writes: row_writes.clone() };
+        let payload = encode_page_updates(&record.to_page_updates());
+        let (mut driver, effects) = {
+            let rt = &self.nodes[&node];
+            CommitDriver::new(
+                txn,
+                node,
+                vec![(Participant::Node(node), Updates::Raw(payload))],
+                &rt.marlin.tracker,
+            )
+        };
+        self.pump(node, effects, |input| driver.on_input(input));
+        let outcome = driver.outcome().cloned().expect("synchronous pump completes");
+        let rt = self.nodes.get_mut(&node).expect("node");
+        match outcome {
+            CommitOutcome::Committed => {
+                for w in row_writes {
+                    rt.data.write(w.table, w.granule, w.key, w.value).expect("owned granule");
+                }
+                rt.locks.release_all(txn);
+                Ok(result_reads)
+            }
+            CommitOutcome::Aborted { conflict } => {
+                rt.locks.release_all(txn);
+                // The CAS failure invalidated the own-partition cache (the
+                // driver emitted ClearMetaCache). Refresh and drop rows of
+                // granules that moved away (Figure 7 step 3).
+                let lost = self.refresh_own_gtable(node);
+                let rt = self.nodes.get_mut(&node).expect("node");
+                for g in &lost {
+                    for (t, held) in rt.data.held() {
+                        if held == *g {
+                            rt.data.remove(t, held);
+                        }
+                    }
+                }
+                Err(TxnError::CommitConflict {
+                    log: conflict.unwrap_or(LogId::GLog(node)),
+                    current: Lsn::ZERO,
+                })
+            }
+        }
+    }
+
+    // -- termination protocol -------------------------------------------------
+
+    /// Cornus-style resolution of in-doubt transactions in a dead node's
+    /// GLog (§4.3.2): for each prepared-but-undecided transaction, inspect
+    /// every participant log; replicate an existing decision, commit if
+    /// all participants hold YES votes, otherwise force an abort decision
+    /// (which also blocks any in-flight coordinator via the LSN bump).
+    /// Returns the transactions resolved.
+    pub fn resolve_in_doubt(&mut self, resolver: NodeId, dead: NodeId) -> Vec<TxnId> {
+        self.refresh_foreign(resolver, dead);
+        let partition = self.nodes[&resolver]
+            .marlin
+            .foreign_partition(dead)
+            .cloned()
+            .unwrap_or_default();
+        let mut resolved = Vec::new();
+        for txn in partition.in_doubt() {
+            // Find the Prepared record to learn the participant set.
+            let dead_log = self.storage.log(LogId::GLog(dead)).expect("dead glog");
+            let mut participants = Vec::new();
+            for rec in dead_log.read_after(Lsn::ZERO) {
+                if let Some(GRecord::Prepared { txn: t, participants: p, .. }) =
+                    GRecord::decode(&rec.payload)
+                {
+                    if t == txn {
+                        participants = p;
+                        break;
+                    }
+                }
+            }
+            if participants.is_empty() {
+                continue;
+            }
+            // Inspect all participant logs.
+            let mut existing_decision = None;
+            let mut all_prepared = true;
+            for &log in &participants {
+                let Ok(l) = self.storage.log(log) else {
+                    all_prepared = false;
+                    continue;
+                };
+                let mut saw_prepared = false;
+                for rec in l.read_after(Lsn::ZERO) {
+                    match GRecord::decode(&rec.payload) {
+                        Some(GRecord::Prepared { txn: t, .. }) if t == txn => saw_prepared = true,
+                        Some(GRecord::Decision { txn: t, commit }) if t == txn => {
+                            existing_decision.get_or_insert(commit);
+                        }
+                        _ => {}
+                    }
+                }
+                all_prepared &= saw_prepared;
+            }
+            let commit = existing_decision.unwrap_or(all_prepared);
+            let decision = GRecord::Decision { txn, commit }.encode();
+            for &log in &participants {
+                if self.storage.has_log(log) {
+                    let out = self
+                        .storage
+                        .append(log, vec![decision.clone()])
+                        .expect("participant log exists");
+                    self.after_local_append(resolver, log, out.new_lsn);
+                }
+            }
+            resolved.push(txn);
+        }
+        resolved
+    }
+
+    // -- invariant checking ---------------------------------------------------
+
+    /// Materialize every node's partition from the **storage logs** (the
+    /// ground truth) and check Exclusive Granule Ownership over the full
+    /// granule universe. Panics on violation.
+    pub fn assert_invariants(&self) {
+        let mut views: BTreeMap<NodeId, GTablePartition> = BTreeMap::new();
+        for &id in self.nodes.keys() {
+            let Ok(log) = self.storage.log(LogId::GLog(id)) else { continue };
+            let records = log.read_after(Lsn::ZERO).into_iter().filter_map(|r| {
+                GRecord::decode(&r.payload).map(|rec| (r.lsn, rec))
+            });
+            views.insert(id, materialize(records));
+        }
+        let universe: Vec<GranuleId> =
+            self.layouts.values().flat_map(GranuleLayout::granules).collect();
+        let refs: BTreeMap<NodeId, &GTablePartition> =
+            views.iter().map(|(n, p)| (*n, p)).collect();
+        crate::invariants::assert_exclusive_ownership(&refs, &universe);
+        let range_violations = crate::invariants::check_range_agreement(&refs);
+        assert!(range_violations.is_empty(), "range agreement violated: {range_violations:?}");
+    }
+
+    // -- cache refresh helpers -------------------------------------------------
+
+    /// Refresh a node's MTable cache from the SysLog suffix.
+    pub fn refresh_mtable(&mut self, id: NodeId) {
+        let log = self.storage.log(LogId::SysLog).expect("syslog");
+        let node = self.nodes.get_mut(&id).expect("node");
+        let suffix = log.read_after(node.marlin.mtable().applied_lsn());
+        node.marlin.refresh_mtable(suffix.into_iter().map(|r| (r.lsn, r.payload)));
+    }
+
+    /// If `id`'s partition cache was evicted (a TryLog failure called
+    /// ClearMetaCache), refetch it from the log and drop rows of granules
+    /// whose ownership moved away while the node was out of date.
+    pub fn ensure_gtable_fresh(&mut self, id: NodeId) {
+        if self.nodes[&id].marlin.gtable_valid() {
+            return;
+        }
+        let lost = self.refresh_own_gtable(id);
+        let rt = self.nodes.get_mut(&id).expect("node");
+        for g in &lost {
+            for (t, held) in rt.data.held() {
+                if held == *g {
+                    rt.data.remove(t, held);
+                }
+            }
+        }
+    }
+
+    /// Refresh a node's own-partition cache; returns granules lost.
+    pub fn refresh_own_gtable(&mut self, id: NodeId) -> Vec<GranuleId> {
+        let log = self.storage.log(LogId::GLog(id)).expect("glog");
+        let node = self.nodes.get_mut(&id).expect("node");
+        let suffix = log.read_after(node.marlin.gtable().applied_lsn());
+        node.marlin.refresh_own_gtable(suffix.into_iter().map(|r| (r.lsn, r.payload)))
+    }
+
+    /// Refresh `viewer`'s cached copy of `target`'s partition.
+    pub fn refresh_foreign(&mut self, viewer: NodeId, target: NodeId) {
+        let Ok(log) = self.storage.log(LogId::GLog(target)) else { return };
+        let node = self.nodes.get_mut(&viewer).expect("viewer");
+        let from = node
+            .marlin
+            .foreign_partition(target)
+            .map_or(Lsn::ZERO, GTablePartition::applied_lsn);
+        let suffix = log.read_after(from);
+        node.marlin.refresh_foreign(target, suffix.into_iter().map(|r| (r.lsn, r.payload)));
+    }
+
+    // -- effect execution -------------------------------------------------------
+
+    /// Drive a driver to completion: fulfill each effect, feed the input
+    /// back, enqueue follow-up effects.
+    fn pump(
+        &mut self,
+        coordinator: NodeId,
+        initial: Vec<Effect>,
+        mut on_input: impl FnMut(Input) -> Vec<Effect>,
+    ) {
+        let mut queue: VecDeque<Effect> = initial.into();
+        // The coordinator's txn id only matters for lock bookkeeping on
+        // remote effects, which carry their own txn ids.
+        let txn = TxnId::new(coordinator, 0);
+        while let Some(effect) = queue.pop_front() {
+            if let Some(input) = self.execute_effect(coordinator, txn, &effect) {
+                queue.extend(on_input(input));
+            }
+        }
+    }
+
+    /// Fulfill one effect. Returns the input to feed back, if any.
+    fn execute_effect(
+        &mut self,
+        coordinator: NodeId,
+        _txn: TxnId,
+        effect: &Effect,
+    ) -> Option<Input> {
+        match effect {
+            Effect::ConditionalAppend { log, payload, expected } => {
+                match self.storage.conditional_append(*log, vec![payload.clone()], *expected) {
+                    Ok(out) => {
+                        self.after_local_append(coordinator, *log, out.new_lsn);
+                        Some(Input::AppendOk { log: *log, new_lsn: out.new_lsn })
+                    }
+                    Err(StorageError::LsnMismatch { current, .. }) => {
+                        self.nodes
+                            .get_mut(&coordinator)
+                            .expect("coordinator")
+                            .marlin
+                            .tracker
+                            .observe(*log, current);
+                        Some(Input::AppendConflict { log: *log, current })
+                    }
+                    Err(e) => panic!("storage error during conditional append: {e}"),
+                }
+            }
+            Effect::Append { log, payload } => {
+                match self.storage.append(*log, vec![payload.clone()]) {
+                    Ok(out) => {
+                        self.after_local_append(coordinator, *log, out.new_lsn);
+                        Some(Input::AppendOk { log: *log, new_lsn: out.new_lsn })
+                    }
+                    Err(e) => panic!("storage error during append: {e}"),
+                }
+            }
+            Effect::ValidateLsn { log, expected } => {
+                let current = self.storage.end_lsn(*log).unwrap_or(Lsn::ZERO);
+                if current == *expected {
+                    Some(Input::ValidateOk { log: *log })
+                } else {
+                    self.nodes
+                        .get_mut(&coordinator)
+                        .expect("coordinator")
+                        .marlin
+                        .tracker
+                        .observe(*log, current);
+                    Some(Input::ValidateConflict { log: *log, current })
+                }
+            }
+            Effect::ClearMetaCache { log } => {
+                self.nodes
+                    .get_mut(&coordinator)
+                    .expect("coordinator")
+                    .marlin
+                    .clear_meta_cache(*log);
+                None
+            }
+            Effect::SendVoteReq { to, txn, payload } => {
+                Some(self.remote_vote_req(*to, *txn, payload))
+            }
+            Effect::SendDecision { to, txn, commit } => {
+                self.remote_decision(*to, *txn, *commit);
+                None
+            }
+            Effect::ReadOwnersRemote { at, txn, granules } => {
+                Some(self.remote_read_owners(*at, *txn, granules))
+            }
+            Effect::ReleaseRemote { at, txn } => {
+                if let Some(rt) = self.nodes.get_mut(at) {
+                    if rt.alive {
+                        rt.locks.release_all(*txn);
+                    }
+                }
+                None
+            }
+            Effect::SendScanReq { to, txn: _ } => {
+                let rt = self.nodes.get(to)?;
+                if !rt.alive {
+                    return Some(Input::Timeout { from: *to });
+                }
+                Some(Input::ScanResp { from: *to, entries: rt.marlin.gtable().scan() })
+            }
+        }
+    }
+
+    /// Bookkeeping after the coordinator successfully appended to `log`:
+    /// observe the LSN and bring the matching local view up to date.
+    fn after_local_append(&mut self, coordinator: NodeId, log: LogId, new_lsn: Lsn) {
+        {
+            let node = self.nodes.get_mut(&coordinator).expect("coordinator");
+            node.marlin.tracker.observe(log, new_lsn);
+        }
+        match log {
+            LogId::SysLog => {
+                self.refresh_mtable(coordinator);
+            }
+            LogId::GLog(owner) if owner == coordinator => {
+                self.refresh_own_gtable(coordinator);
+            }
+            LogId::GLog(owner) => {
+                self.refresh_foreign(coordinator, owner);
+            }
+            LogId::DataWal(_) => {}
+        }
+    }
+
+    /// Remote side of a VOTE-REQ (MigrationTxn's source): lock the swapped
+    /// granules, TryLog the prepared record on the own GLog, vote.
+    /// Note: deliberately NO cache refresh here. TryLog must use the
+    /// H-LSN the transaction's reads were validated against (Algorithm 2):
+    /// refreshing the tracker between the data-effectiveness check and the
+    /// conditional append would let a commit slip past modifications the
+    /// reads never saw. Only the *read* path refetches on a miss.
+    fn remote_vote_req(&mut self, to: NodeId, txn: TxnId, payload: &Bytes) -> Input {
+        let alive = self.nodes.get(&to).map_or(false, |n| n.alive);
+        if !alive {
+            return Input::Timeout { from: to };
+        }
+        let Some(GRecord::Prepared { swaps, .. }) = GRecord::decode(payload) else {
+            // Read-only validation request: compare own GLog LSN.
+            let log = LogId::GLog(to);
+            let current = self.storage.end_lsn(log).unwrap_or(Lsn::ZERO);
+            let tracked = self.nodes[&to].marlin.tracker.get(log);
+            return Input::VoteResp { from: to, yes: current == tracked };
+        };
+        // Acquire the granule + GTable-entry locks (NO_WAIT).
+        {
+            let rt = self.nodes.get_mut(&to).expect("node");
+            for s in &swaps {
+                let locked = rt
+                    .locks
+                    .try_lock(txn, LockTarget::GTableEntry { granule: s.granule }, LockMode::Exclusive)
+                    .and_then(|()| {
+                        rt.locks.try_lock(
+                            txn,
+                            LockTarget::Granule { table: s.table, granule: s.granule },
+                            LockMode::Exclusive,
+                        )
+                    });
+                if locked.is_err() {
+                    rt.locks.release_all(txn);
+                    return Input::VoteResp { from: to, yes: false };
+                }
+            }
+        }
+        // TryLog on the own GLog with the own tracker.
+        let log = LogId::GLog(to);
+        let expected = self.nodes[&to].marlin.tracker.get(log);
+        match self.storage.conditional_append(log, vec![payload.clone()], expected) {
+            Ok(out) => {
+                // Apply via the suffix (not a tail-skip): the view's
+                // watermark may lag the tracker if another node's commit
+                // previously advanced the log; skipping records would
+                // silently lose their GTable effects.
+                let _ = out;
+                self.refresh_own_gtable(to);
+                Input::VoteResp { from: to, yes: true }
+            }
+            Err(StorageError::LsnMismatch { current, .. }) => {
+                let rt = self.nodes.get_mut(&to).expect("node");
+                rt.marlin.tracker.observe(log, current);
+                rt.marlin.clear_meta_cache(log);
+                rt.locks.release_all(txn);
+                Input::VoteResp { from: to, yes: false }
+            }
+            Err(e) => panic!("storage error during remote TryLog: {e}"),
+        }
+    }
+
+    /// Remote side of the decision broadcast: append the decision to the
+    /// own GLog, resolve the pending swaps, release the locks.
+    fn remote_decision(&mut self, to: NodeId, txn: TxnId, commit: bool) {
+        let alive = self.nodes.get(&to).map_or(false, |n| n.alive);
+        if !alive {
+            // Decision lost; the prepared record stays in-doubt until the
+            // termination protocol resolves it.
+            return;
+        }
+        let log = LogId::GLog(to);
+        let payload = GRecord::Decision { txn, commit }.encode();
+        let out = self.storage.append(log, vec![payload.clone()]).expect("own glog");
+        let rt = self.nodes.get_mut(&to).expect("node");
+        rt.marlin.tracker.observe(log, out.new_lsn);
+        // Apply via the suffix so any records this node has not yet seen
+        // (e.g. a recovery that wrote to this log while it was slow) are
+        // materialized too — a tail-skip would advance the watermark past
+        // them and permanently hide their GTable effects.
+        self.refresh_own_gtable(to);
+        let rt = self.nodes.get_mut(&to).expect("node");
+        rt.locks.release_all(txn);
+        // Rows of granules that migrated away are transferred by the
+        // migrate() wrapper (warm-up shipping) after the commit.
+    }
+
+    /// Remote side of `ReadOwnersRemote`: lock + read the GTable entries.
+    ///
+    /// If the node's partition cache was invalidated by a TryLog failure,
+    /// the read misses and refetches from storage first (§4.3.2: "the next
+    /// transaction that encounters a cache miss in system tables will
+    /// fetch the latest data"). Serving the evicted copy instead would let
+    /// a data-effectiveness check pass on stale ownership — and a
+    /// subsequent commit (whose tracker the failed CAS already updated)
+    /// could then double-assign the granule.
+    fn remote_read_owners(
+        &mut self,
+        at: NodeId,
+        txn: TxnId,
+        granules: &[GranuleId],
+    ) -> Input {
+        let alive = self.nodes.get(&at).map_or(false, |n| n.alive);
+        if !alive {
+            return Input::Timeout { from: at };
+        }
+        self.ensure_gtable_fresh(at);
+        let rt = self.nodes.get_mut(&at).expect("node");
+        let mut owners = Vec::with_capacity(granules.len());
+        for g in granules {
+            let meta = rt.marlin.gtable().get(*g).copied();
+            let Some(meta) = meta else { continue };
+            let locked = rt
+                .locks
+                .try_lock(txn, LockTarget::GTableEntry { granule: *g }, LockMode::Exclusive)
+                .and_then(|()| {
+                    rt.locks.try_lock(
+                        txn,
+                        LockTarget::Granule { table: meta.table, granule: *g },
+                        LockMode::Exclusive,
+                    )
+                });
+            if locked.is_err() {
+                rt.locks.release_all(txn);
+                return Input::OwnersAt { from: at, owners: None };
+            }
+            owners.push((*g, meta));
+        }
+        Input::OwnersAt { from: at, owners: Some(owners) }
+    }
+}

@@ -1,0 +1,77 @@
+//! Post-migration cache warm-up (§4.4.1, Squall-style).
+//!
+//! "We mitigate the cold-cache issue by proactively warming up the cache
+//! after MigrationTxn updates ownership: the destination node issues a
+//! scan query to the source node and populates its local cache with the
+//! scan results for uncached data."
+//!
+//! The planner computes which pages of the migrated granules to request
+//! and how much data will move; runners perform the transfer (immediately
+//! in the synchronous runtime, as priced virtual-time work in the
+//! simulator).
+
+use marlin_common::{GranuleId, PageId, TableId};
+
+/// A warm-up task: the pages of one migrated granule to pull from the
+/// source (or from the page store if the source is gone).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WarmupPlan {
+    pub table: TableId,
+    pub granule: GranuleId,
+    /// Pages of the granule, in scan order.
+    pub pages: Vec<PageId>,
+    /// Estimated bytes to transfer.
+    pub bytes: u64,
+}
+
+/// Plan the warm-up scans for a set of migrated granules.
+///
+/// `pages_per_granule` and `granule_bytes` come from the table layout.
+#[must_use]
+pub fn plan_warmup(
+    table: TableId,
+    granules: &[GranuleId],
+    pages_per_granule: u32,
+    granule_bytes: u64,
+) -> Vec<WarmupPlan> {
+    granules
+        .iter()
+        .map(|g| WarmupPlan {
+            table,
+            granule: *g,
+            pages: (0..pages_per_granule)
+                .map(|index| PageId { table, granule: *g, index })
+                .collect(),
+            bytes: granule_bytes,
+        })
+        .collect()
+}
+
+/// Total bytes across plans (used to price warm-up time in the simulator).
+#[must_use]
+pub fn total_bytes(plans: &[WarmupPlan]) -> u64 {
+    plans.iter().map(|p| p.bytes).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_cover_all_pages() {
+        let plans = plan_warmup(TableId(1), &[GranuleId(3), GranuleId(4)], 4, 64 << 10);
+        assert_eq!(plans.len(), 2);
+        assert_eq!(plans[0].pages.len(), 4);
+        assert_eq!(plans[0].pages[2], PageId {
+            table: TableId(1),
+            granule: GranuleId(3),
+            index: 2,
+        });
+        assert_eq!(total_bytes(&plans), 2 * (64 << 10));
+    }
+
+    #[test]
+    fn empty_migration_plans_nothing() {
+        assert!(plan_warmup(TableId(0), &[], 4, 1024).is_empty());
+    }
+}

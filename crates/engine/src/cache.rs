@@ -1,0 +1,324 @@
+//! Buffer cache with clock (second-chance) replacement.
+//!
+//! "The cache manager uses the clock replacement algorithm" (§5). Following
+//! the log-as-the-database paradigm, an evicted dirty page is simply
+//! dropped — the WAL is the ground truth and the page store materializes it
+//! independently, so no write-back path exists (§3.2).
+//!
+//! The cache stores page *identities* plus optional payloads: the large
+//! simulated experiments track residency (hit/miss behavior) without
+//! materializing page bytes, while functional callers can attach content.
+
+use bytes::Bytes;
+use marlin_common::PageId;
+use std::collections::HashMap;
+
+/// Cache statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub dirty_drops: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]`; 0 if no accesses.
+    #[must_use]
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Frame {
+    page: PageId,
+    referenced: bool,
+    dirty: bool,
+    payload: Option<Bytes>,
+}
+
+/// A fixed-capacity clock-replacement page cache.
+#[derive(Debug)]
+pub struct ClockCache {
+    frames: Vec<Frame>,
+    index: HashMap<PageId, usize>,
+    hand: usize,
+    capacity: usize,
+    stats: CacheStats,
+}
+
+impl ClockCache {
+    /// Create a cache holding at most `capacity` pages.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache needs at least one frame");
+        ClockCache {
+            frames: Vec::with_capacity(capacity.min(1 << 20)),
+            index: HashMap::new(),
+            hand: 0,
+            capacity,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Capacity in pages.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of resident pages.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Statistics snapshot.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Probe for `page`, setting its reference bit on a hit. Returns `true`
+    /// on hit. This is the access used by the accounting data plane.
+    pub fn access(&mut self, page: PageId) -> bool {
+        if let Some(&slot) = self.index.get(&page) {
+            self.frames[slot].referenced = true;
+            self.stats.hits += 1;
+            true
+        } else {
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    /// Look up a resident page's payload without affecting stats beyond a
+    /// normal access.
+    pub fn get(&mut self, page: PageId) -> Option<Bytes> {
+        if self.access(page) {
+            let slot = self.index[&page];
+            self.frames[slot].payload.clone()
+        } else {
+            None
+        }
+    }
+
+    /// Insert (or refresh) a page after fetching it from the page store.
+    /// Evicts via the clock hand if full.
+    pub fn insert(&mut self, page: PageId, payload: Option<Bytes>) {
+        if let Some(&slot) = self.index.get(&page) {
+            let frame = &mut self.frames[slot];
+            frame.referenced = true;
+            frame.payload = payload;
+            return;
+        }
+        // Freshly inserted pages start with a clear reference bit: only a
+        // subsequent access grants a second chance. (The re-insert path
+        // above sets the bit because a refresh *is* an access.)
+        if self.frames.len() < self.capacity {
+            let slot = self.frames.len();
+            self.frames.push(Frame { page, referenced: false, dirty: false, payload });
+            self.index.insert(page, slot);
+            return;
+        }
+        let slot = self.run_clock();
+        let frame = &mut self.frames[slot];
+        self.index.remove(&frame.page);
+        self.stats.evictions += 1;
+        if frame.dirty {
+            // Log-as-the-database: dirty pages are dropped, never written back.
+            self.stats.dirty_drops += 1;
+        }
+        *frame = Frame { page, referenced: false, dirty: false, payload };
+        self.index.insert(page, slot);
+    }
+
+    /// Mark a resident page dirty (a write touched it). No-op if absent.
+    pub fn mark_dirty(&mut self, page: PageId) {
+        if let Some(&slot) = self.index.get(&page) {
+            self.frames[slot].dirty = true;
+        }
+    }
+
+    /// Drop a page (ownership moved away; its cached copy is stale).
+    pub fn invalidate(&mut self, page: PageId) {
+        if let Some(slot) = self.index.remove(&page) {
+            // Leave the frame in place but claimable: clear its identity by
+            // pointing it at a tombstone that can never be accessed.
+            self.frames[slot].referenced = false;
+            self.frames[slot].dirty = false;
+            self.frames[slot].payload = None;
+            self.frames[slot].page = TOMBSTONE;
+        }
+    }
+
+    /// Drop every page for which `pred` returns true (e.g. all pages of a
+    /// migrated granule).
+    pub fn invalidate_if(&mut self, mut pred: impl FnMut(PageId) -> bool) {
+        let victims: Vec<PageId> = self.index.keys().copied().filter(|p| pred(*p)).collect();
+        for page in victims {
+            self.invalidate(page);
+        }
+    }
+
+    fn run_clock(&mut self) -> usize {
+        // Second chance: clear reference bits until an unreferenced frame
+        // is found. Terminates within two sweeps.
+        loop {
+            let slot = self.hand;
+            self.hand = (self.hand + 1) % self.frames.len();
+            let frame = &mut self.frames[slot];
+            if frame.page == TOMBSTONE {
+                return slot;
+            }
+            if frame.referenced {
+                frame.referenced = false;
+            } else {
+                return slot;
+            }
+        }
+    }
+}
+
+/// Reserved identity for invalidated frames.
+const TOMBSTONE: PageId = PageId {
+    table: marlin_common::TableId(u32::MAX),
+    granule: marlin_common::GranuleId(u64::MAX),
+    index: u32::MAX,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marlin_common::{GranuleId, TableId};
+
+    fn pid(i: u32) -> PageId {
+        PageId { table: TableId(0), granule: GranuleId(u64::from(i) / 4), index: i }
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let mut c = ClockCache::new(4);
+        assert!(!c.access(pid(0)));
+        c.insert(pid(0), None);
+        assert!(c.access(pid(0)));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn eviction_respects_reference_bits() {
+        let mut c = ClockCache::new(2);
+        c.insert(pid(0), None);
+        c.insert(pid(1), None);
+        // Touch page 0 so it has a second chance.
+        assert!(c.access(pid(0)));
+        c.insert(pid(2), None);
+        // Page 1 should be the victim (page 0 was referenced).
+        assert!(c.access(pid(0)));
+        assert!(!c.access(pid(1)));
+        assert!(c.access(pid(2)));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn dirty_pages_are_dropped_not_written_back() {
+        let mut c = ClockCache::new(1);
+        c.insert(pid(0), None);
+        c.mark_dirty(pid(0));
+        c.insert(pid(1), None); // evicts dirty page 0
+        let s = c.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.dirty_drops, 1);
+    }
+
+    #[test]
+    fn capacity_is_never_exceeded() {
+        let mut c = ClockCache::new(8);
+        for i in 0..1_000 {
+            c.insert(pid(i), None);
+        }
+        assert_eq!(c.len(), 8);
+        assert_eq!(c.stats().evictions, 1_000 - 8);
+    }
+
+    #[test]
+    fn payloads_survive_residency() {
+        let mut c = ClockCache::new(4);
+        c.insert(pid(0), Some(Bytes::from_static(b"content")));
+        assert_eq!(c.get(pid(0)).unwrap(), Bytes::from_static(b"content"));
+        assert_eq!(c.get(pid(9)), None);
+    }
+
+    #[test]
+    fn invalidate_frees_a_slot() {
+        let mut c = ClockCache::new(2);
+        c.insert(pid(0), None);
+        c.insert(pid(1), None);
+        c.invalidate(pid(0));
+        assert_eq!(c.len(), 1);
+        assert!(!c.access(pid(0)));
+        c.insert(pid(2), None);
+        // pid(1) must survive: the tombstoned frame is reused first.
+        assert!(c.access(pid(1)));
+        assert!(c.access(pid(2)));
+    }
+
+    #[test]
+    fn invalidate_if_drops_a_granules_pages() {
+        let mut c = ClockCache::new(16);
+        for i in 0..8 {
+            c.insert(pid(i), None);
+        }
+        // Granule 0 covers pages 0..4 under the test mapping.
+        c.invalidate_if(|p| p.granule == GranuleId(0));
+        assert_eq!(c.len(), 4);
+        for i in 0..4 {
+            assert!(!c.access(pid(i)));
+        }
+        for i in 4..8 {
+            assert!(c.access(pid(i)));
+        }
+    }
+
+    #[test]
+    fn reinsert_refreshes_payload_in_place() {
+        let mut c = ClockCache::new(2);
+        c.insert(pid(0), Some(Bytes::from_static(b"v1")));
+        c.insert(pid(0), Some(Bytes::from_static(b"v2")));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(pid(0)).unwrap(), Bytes::from_static(b"v2"));
+    }
+
+    #[test]
+    fn working_set_larger_than_capacity_degrades_hit_ratio() {
+        let mut small = ClockCache::new(16);
+        let mut big = ClockCache::new(256);
+        // Cyclic scan over 64 pages: pathological for any cache smaller
+        // than the working set.
+        for round in 0..20 {
+            for i in 0..64 {
+                for c in [&mut small, &mut big] {
+                    if !c.access(pid(i)) {
+                        c.insert(pid(i), None);
+                    }
+                }
+                let _ = round;
+            }
+        }
+        assert!(big.stats().hit_ratio() > 0.9);
+        assert!(small.stats().hit_ratio() < big.stats().hit_ratio());
+    }
+}

@@ -1,0 +1,151 @@
+//! Group commit: batch log records from many transactions into one append.
+//!
+//! "We leverage group commit to reduce the storage access overhead by
+//! batching log records from multiple transactions and committing them
+//! through a single log operation" (§5). The buffer is runtime-agnostic:
+//! callers decide *when* to flush (a timer in the simulator, a size bound,
+//! or both) and the buffer reports which transactions became durable so
+//! their clients can be acknowledged.
+
+use bytes::Bytes;
+use marlin_common::TxnId;
+
+/// A size/count-bounded batch of pending log payloads.
+#[derive(Debug)]
+pub struct GroupCommitBuffer {
+    pending: Vec<(TxnId, Bytes)>,
+    pending_bytes: usize,
+    max_records: usize,
+    max_bytes: usize,
+    flushes: u64,
+    batched_txns: u64,
+}
+
+impl GroupCommitBuffer {
+    /// Create a buffer that requests a flush at `max_records` records or
+    /// `max_bytes` buffered bytes, whichever comes first.
+    #[must_use]
+    pub fn new(max_records: usize, max_bytes: usize) -> Self {
+        assert!(max_records > 0 && max_bytes > 0);
+        GroupCommitBuffer {
+            pending: Vec::new(),
+            pending_bytes: 0,
+            max_records,
+            max_bytes,
+            flushes: 0,
+            batched_txns: 0,
+        }
+    }
+
+    /// Enqueue a transaction's log payload. Returns `true` if the buffer
+    /// is full and should be flushed now.
+    pub fn push(&mut self, txn: TxnId, payload: Bytes) -> bool {
+        self.pending_bytes += payload.len();
+        self.pending.push((txn, payload));
+        self.pending.len() >= self.max_records || self.pending_bytes >= self.max_bytes
+    }
+
+    /// Whether anything is buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Number of buffered records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Buffered payload bytes.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.pending_bytes
+    }
+
+    /// Take the batch: the payloads to append in **one** log operation and
+    /// the transactions that become durable once that append succeeds.
+    pub fn flush(&mut self) -> (Vec<Bytes>, Vec<TxnId>) {
+        let batch = std::mem::take(&mut self.pending);
+        self.pending_bytes = 0;
+        if batch.is_empty() {
+            return (Vec::new(), Vec::new());
+        }
+        self.flushes += 1;
+        self.batched_txns += batch.len() as u64;
+        let mut payloads = Vec::with_capacity(batch.len());
+        let mut txns = Vec::with_capacity(batch.len());
+        for (txn, payload) in batch {
+            txns.push(txn);
+            payloads.push(payload);
+        }
+        (payloads, txns)
+    }
+
+    /// Mean transactions per flush so far (batching effectiveness).
+    #[must_use]
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.flushes == 0 {
+            0.0
+        } else {
+            self.batched_txns as f64 / self.flushes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marlin_common::NodeId;
+
+    fn txn(n: u32) -> TxnId {
+        TxnId::new(NodeId(0), n)
+    }
+
+    #[test]
+    fn flush_returns_batch_in_order() {
+        let mut gc = GroupCommitBuffer::new(10, 1 << 20);
+        assert!(!gc.push(txn(1), Bytes::from_static(b"a")));
+        assert!(!gc.push(txn(2), Bytes::from_static(b"b")));
+        let (payloads, txns) = gc.flush();
+        assert_eq!(payloads, vec![Bytes::from_static(b"a"), Bytes::from_static(b"b")]);
+        assert_eq!(txns, vec![txn(1), txn(2)]);
+        assert!(gc.is_empty());
+    }
+
+    #[test]
+    fn record_count_triggers_flush_request() {
+        let mut gc = GroupCommitBuffer::new(3, 1 << 20);
+        assert!(!gc.push(txn(1), Bytes::from_static(b"x")));
+        assert!(!gc.push(txn(2), Bytes::from_static(b"x")));
+        assert!(gc.push(txn(3), Bytes::from_static(b"x")));
+    }
+
+    #[test]
+    fn byte_bound_triggers_flush_request() {
+        let mut gc = GroupCommitBuffer::new(100, 8);
+        assert!(!gc.push(txn(1), Bytes::from_static(b"four")));
+        assert!(gc.push(txn(2), Bytes::from_static(b"more")));
+        assert_eq!(gc.bytes(), 8);
+    }
+
+    #[test]
+    fn empty_flush_is_harmless() {
+        let mut gc = GroupCommitBuffer::new(4, 64);
+        let (payloads, txns) = gc.flush();
+        assert!(payloads.is_empty());
+        assert!(txns.is_empty());
+        assert_eq!(gc.mean_batch_size(), 0.0);
+    }
+
+    #[test]
+    fn batch_size_statistics() {
+        let mut gc = GroupCommitBuffer::new(100, 1 << 20);
+        gc.push(txn(1), Bytes::from_static(b"a"));
+        gc.push(txn(2), Bytes::from_static(b"b"));
+        gc.flush();
+        gc.push(txn(3), Bytes::from_static(b"c"));
+        gc.flush();
+        assert!((gc.mean_batch_size() - 1.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,35 @@
+//! Per-node OLTP engine (the paper's Sundial-derived testbed, §5).
+//!
+//! Each compute node of the testbed contains a transaction manager and a
+//! cache manager:
+//!
+//! - **Transaction manager** — two-phase locking for concurrency control
+//!   with the deadlock-free `NO_WAIT` policy (lock conflict ⇒ immediate
+//!   abort), two-phase commit for distributed atomicity (driven by
+//!   `marlin-core`'s commit driver), and group commit batching log records
+//!   from many transactions into a single log operation.
+//! - **Cache manager** — a clock-replacement buffer cache over pages.
+//!   Following the log-as-the-database paradigm, dirty pages are simply
+//!   dropped on eviction (never written back); on a miss the page is
+//!   fetched from the disaggregated page store via `GetPage@LSN`.
+//!
+//! The engine offers two data paths: a fully materialized row store
+//! ([`store::DataStore`]) used by functional tests, examples, and
+//! small-scale scenarios, and lightweight accounting used by the large
+//! simulated experiments where tuple *values* are irrelevant to the
+//! coordination behavior being measured (see DESIGN.md).
+
+pub mod cache;
+pub mod group_commit;
+pub mod locks;
+pub mod recovery;
+pub mod store;
+pub mod txn;
+pub mod wal;
+
+pub use cache::{CacheStats, ClockCache};
+pub use group_commit::GroupCommitBuffer;
+pub use locks::{LockMode, LockTable, LockTarget};
+pub use store::{DataStore, Granule};
+pub use txn::{TxnCtx, TxnState};
+pub use wal::{RowWrite, TxnUpdateRecord};

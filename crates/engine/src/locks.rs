@@ -1,0 +1,344 @@
+//! Two-phase locking with the `NO_WAIT` policy.
+//!
+//! "By default, all transactions follow serializable isolation through the
+//! NO_WAIT protocol which avoids deadlocks" (§5): a transaction that hits a
+//! lock conflict aborts immediately instead of waiting, so no waits-for
+//! graph can form. Locks are held until commit/abort (strict 2PL).
+//!
+//! Lock targets cover the three granularities the paper's transactions
+//! need: whole granules (migration takes a granule write lock), rows
+//! (user-transaction accesses), and GTable entries (user transactions hold
+//! *read* locks on the GTable entry of every granule they touch until
+//! commit, which is what serializes them against concurrent migrations —
+//! Algorithm 1 line 1 note, §4.2).
+
+use marlin_common::{GranuleId, TableId, TxnError, TxnId};
+use parking_lot::Mutex;
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+
+/// What is being locked.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum LockTarget {
+    /// A whole data granule (migration locks these exclusively).
+    Granule { table: TableId, granule: GranuleId },
+    /// A single row.
+    Row { table: TableId, key: u64 },
+    /// The GTable entry describing a granule's ownership.
+    GTableEntry { granule: GranuleId },
+}
+
+/// Lock mode.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LockMode {
+    Shared,
+    Exclusive,
+}
+
+#[derive(Debug)]
+struct LockEntry {
+    mode: LockMode,
+    holders: HashSet<TxnId>,
+}
+
+#[derive(Debug, Default)]
+struct LockTableInner {
+    locks: HashMap<LockTarget, LockEntry>,
+    held_by_txn: HashMap<TxnId, Vec<LockTarget>>,
+    conflicts: u64,
+    acquisitions: u64,
+}
+
+/// A strict-2PL, NO_WAIT lock table for one compute node.
+#[derive(Debug, Default)]
+pub struct LockTable {
+    inner: Mutex<LockTableInner>,
+}
+
+impl LockTable {
+    /// Create an empty lock table.
+    #[must_use]
+    pub fn new() -> Self {
+        LockTable::default()
+    }
+
+    /// Try to acquire `target` in `mode` for `txn`.
+    ///
+    /// `NO_WAIT`: on conflict the call fails immediately with
+    /// [`TxnError::LockConflict`] and the caller must abort the
+    /// transaction. Re-acquisition by the same transaction is a no-op;
+    /// a sole shared holder may upgrade to exclusive.
+    pub fn try_lock(
+        &self,
+        txn: TxnId,
+        target: LockTarget,
+        mode: LockMode,
+    ) -> Result<(), TxnError> {
+        let mut inner = self.inner.lock();
+        let decision = match inner.locks.entry(target) {
+            Entry::Vacant(v) => {
+                v.insert(LockEntry { mode, holders: HashSet::from([txn]) });
+                Ok(true)
+            }
+            Entry::Occupied(mut o) => {
+                let entry = o.get_mut();
+                if entry.holders.contains(&txn) {
+                    if entry.mode == LockMode::Shared && mode == LockMode::Exclusive {
+                        if entry.holders.len() == 1 {
+                            entry.mode = LockMode::Exclusive; // upgrade
+                            Ok(false)
+                        } else {
+                            Err(conflict_of(target))
+                        }
+                    } else {
+                        Ok(false) // already held at sufficient strength
+                    }
+                } else if entry.mode == LockMode::Shared && mode == LockMode::Shared {
+                    entry.holders.insert(txn);
+                    Ok(true)
+                } else {
+                    Err(conflict_of(target))
+                }
+            }
+        };
+        match decision {
+            Ok(newly_tracked) => {
+                inner.acquisitions += 1;
+                if newly_tracked {
+                    inner.held_by_txn.entry(txn).or_default().push(target);
+                }
+                Ok(())
+            }
+            Err(e) => {
+                inner.conflicts += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Release every lock held by `txn` (commit or abort).
+    pub fn release_all(&self, txn: TxnId) {
+        let mut inner = self.inner.lock();
+        let targets = inner.held_by_txn.remove(&txn).unwrap_or_default();
+        for target in targets {
+            if let Entry::Occupied(mut o) = inner.locks.entry(target) {
+                let entry = o.get_mut();
+                entry.holders.remove(&txn);
+                if entry.holders.is_empty() {
+                    o.remove();
+                }
+            }
+        }
+    }
+
+    /// Release one specific lock early (weaker isolation levels release
+    /// user-table read locks after the read; the GTable read lock must
+    /// still be held to commit — §4.2).
+    pub fn release_one(&self, txn: TxnId, target: LockTarget) {
+        let mut inner = self.inner.lock();
+        if let Some(list) = inner.held_by_txn.get_mut(&txn) {
+            list.retain(|t| *t != target);
+        }
+        if let Entry::Occupied(mut o) = inner.locks.entry(target) {
+            let entry = o.get_mut();
+            entry.holders.remove(&txn);
+            if entry.holders.is_empty() {
+                o.remove();
+            }
+        }
+    }
+
+    /// Whether `txn` currently holds `target` (at any strength).
+    #[must_use]
+    pub fn holds(&self, txn: TxnId, target: LockTarget) -> bool {
+        self.inner
+            .lock()
+            .locks
+            .get(&target)
+            .is_some_and(|e| e.holders.contains(&txn))
+    }
+
+    /// Number of currently held lock targets.
+    #[must_use]
+    pub fn active_locks(&self) -> usize {
+        self.inner.lock().locks.len()
+    }
+
+    /// Total NO_WAIT conflicts observed (abort-rate accounting).
+    #[must_use]
+    pub fn conflicts(&self) -> u64 {
+        self.inner.lock().conflicts
+    }
+
+    /// Total successful acquisitions.
+    #[must_use]
+    pub fn acquisitions(&self) -> u64 {
+        self.inner.lock().acquisitions
+    }
+}
+
+fn conflict_of(target: LockTarget) -> TxnError {
+    let granule = match target {
+        LockTarget::Granule { granule, .. } | LockTarget::GTableEntry { granule } => granule,
+        LockTarget::Row { key, .. } => GranuleId(key), // best-effort context
+    };
+    TxnError::LockConflict { granule }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marlin_common::NodeId;
+
+    fn txn(n: u32) -> TxnId {
+        TxnId::new(NodeId(0), n)
+    }
+
+    fn row(key: u64) -> LockTarget {
+        LockTarget::Row { table: TableId(0), key }
+    }
+
+    fn granule(g: u64) -> LockTarget {
+        LockTarget::Granule { table: TableId(0), granule: GranuleId(g) }
+    }
+
+    #[test]
+    fn shared_locks_coexist() {
+        let lt = LockTable::new();
+        lt.try_lock(txn(1), row(5), LockMode::Shared).unwrap();
+        lt.try_lock(txn(2), row(5), LockMode::Shared).unwrap();
+        assert!(lt.holds(txn(1), row(5)));
+        assert!(lt.holds(txn(2), row(5)));
+    }
+
+    #[test]
+    fn exclusive_conflicts_abort_immediately() {
+        let lt = LockTable::new();
+        lt.try_lock(txn(1), row(5), LockMode::Exclusive).unwrap();
+        let err = lt.try_lock(txn(2), row(5), LockMode::Shared).unwrap_err();
+        assert!(matches!(err, TxnError::LockConflict { .. }));
+        let err = lt.try_lock(txn(2), row(5), LockMode::Exclusive).unwrap_err();
+        assert!(matches!(err, TxnError::LockConflict { .. }));
+        assert_eq!(lt.conflicts(), 2);
+    }
+
+    #[test]
+    fn shared_blocks_exclusive_from_other_txn() {
+        let lt = LockTable::new();
+        lt.try_lock(txn(1), row(5), LockMode::Shared).unwrap();
+        assert!(lt.try_lock(txn(2), row(5), LockMode::Exclusive).is_err());
+    }
+
+    #[test]
+    fn reentrant_acquisition_is_noop() {
+        let lt = LockTable::new();
+        lt.try_lock(txn(1), row(5), LockMode::Exclusive).unwrap();
+        lt.try_lock(txn(1), row(5), LockMode::Exclusive).unwrap();
+        lt.try_lock(txn(1), row(5), LockMode::Shared).unwrap(); // weaker is fine
+        lt.release_all(txn(1));
+        assert_eq!(lt.active_locks(), 0);
+    }
+
+    #[test]
+    fn sole_shared_holder_upgrades() {
+        let lt = LockTable::new();
+        lt.try_lock(txn(1), row(5), LockMode::Shared).unwrap();
+        lt.try_lock(txn(1), row(5), LockMode::Exclusive).unwrap();
+        // Now exclusive: others conflict.
+        assert!(lt.try_lock(txn(2), row(5), LockMode::Shared).is_err());
+    }
+
+    #[test]
+    fn upgrade_with_other_sharers_conflicts() {
+        let lt = LockTable::new();
+        lt.try_lock(txn(1), row(5), LockMode::Shared).unwrap();
+        lt.try_lock(txn(2), row(5), LockMode::Shared).unwrap();
+        assert!(lt.try_lock(txn(1), row(5), LockMode::Exclusive).is_err());
+        // txn(1) still holds its shared lock after the failed upgrade.
+        assert!(lt.holds(txn(1), row(5)));
+    }
+
+    #[test]
+    fn release_all_frees_everything() {
+        let lt = LockTable::new();
+        lt.try_lock(txn(1), row(1), LockMode::Shared).unwrap();
+        lt.try_lock(txn(1), row(2), LockMode::Exclusive).unwrap();
+        lt.try_lock(txn(1), granule(0), LockMode::Exclusive).unwrap();
+        lt.release_all(txn(1));
+        assert_eq!(lt.active_locks(), 0);
+        lt.try_lock(txn(2), row(2), LockMode::Exclusive).unwrap();
+    }
+
+    #[test]
+    fn release_one_keeps_other_locks() {
+        let lt = LockTable::new();
+        let gt = LockTarget::GTableEntry { granule: GranuleId(3) };
+        lt.try_lock(txn(1), row(1), LockMode::Shared).unwrap();
+        lt.try_lock(txn(1), gt, LockMode::Shared).unwrap();
+        // Read Committed releases the user-table read lock early...
+        lt.release_one(txn(1), row(1));
+        assert!(!lt.holds(txn(1), row(1)));
+        // ...but the GTable read lock is held to commit (§4.2).
+        assert!(lt.holds(txn(1), gt));
+        lt.release_all(txn(1));
+        assert_eq!(lt.active_locks(), 0);
+    }
+
+    #[test]
+    fn shared_release_leaves_other_holders() {
+        let lt = LockTable::new();
+        lt.try_lock(txn(1), row(7), LockMode::Shared).unwrap();
+        lt.try_lock(txn(2), row(7), LockMode::Shared).unwrap();
+        lt.release_all(txn(1));
+        assert!(lt.holds(txn(2), row(7)));
+        assert!(lt.try_lock(txn(3), row(7), LockMode::Exclusive).is_err());
+    }
+
+    #[test]
+    fn migration_granule_lock_vs_user_txn() {
+        // The Figure 6 interleaving: a user transaction holding a write
+        // lock on G3 blocks (here: aborts) the MigrationTxn, and vice
+        // versa once migration holds the granule lock.
+        let lt = LockTable::new();
+        let user = txn(1);
+        let migration = txn(2);
+        lt.try_lock(user, granule(3), LockMode::Exclusive).unwrap();
+        assert!(lt.try_lock(migration, granule(3), LockMode::Exclusive).is_err());
+        lt.release_all(user);
+        lt.try_lock(migration, granule(3), LockMode::Exclusive).unwrap();
+        assert!(lt.try_lock(txn(3), granule(3), LockMode::Exclusive).is_err());
+    }
+
+    /// NO_WAIT means no deadlock: crossing lock orders can abort but never
+    /// hang (exercised with real threads).
+    #[test]
+    fn no_wait_never_blocks_across_threads() {
+        use std::sync::Arc;
+        let lt = Arc::new(LockTable::new());
+        let mut handles = Vec::new();
+        for t in 0..8u32 {
+            let lt = Arc::clone(&lt);
+            handles.push(std::thread::spawn(move || {
+                let me = txn(t);
+                let mut committed = 0;
+                for round in 0..200u64 {
+                    // Opposite acquisition orders induce would-be deadlocks.
+                    let (a, b) = if t % 2 == 0 { (row(1), row(2)) } else { (row(2), row(1)) };
+                    let ok = lt.try_lock(me, a, LockMode::Exclusive).is_ok()
+                        && lt.try_lock(me, b, LockMode::Exclusive).is_ok();
+                    if ok {
+                        committed += 1;
+                    }
+                    lt.release_all(me);
+                    if round % 17 == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+                committed
+            }));
+        }
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(total > 0, "at least some transactions must make progress");
+        assert_eq!(lt.active_locks(), 0);
+    }
+}

@@ -1,0 +1,192 @@
+//! The materialized granule store: the functional data path.
+//!
+//! A [`DataStore`] holds the granules a compute node currently owns, each a
+//! sorted row map over its key range. This is the fully materialized path
+//! used by functional tests, examples, and small-scale scenarios; the
+//! large simulated experiments account accesses without materializing rows
+//! (DESIGN.md, "Data plane virtualization").
+
+use bytes::Bytes;
+use marlin_common::{GranuleId, KeyRange, TableId, TxnError};
+use std::collections::BTreeMap;
+
+/// One owned granule: a key range plus its rows.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Granule {
+    /// Key range covered (half-open).
+    pub range: KeyRange,
+    /// Materialized rows.
+    pub rows: BTreeMap<u64, Bytes>,
+}
+
+impl Granule {
+    /// An empty granule over `range`.
+    #[must_use]
+    pub fn new(range: KeyRange) -> Self {
+        Granule { range, rows: BTreeMap::new() }
+    }
+
+    /// Total bytes of row values (accounting).
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.rows.values().map(|v| v.len() as u64).sum()
+    }
+}
+
+/// The granules a node owns, keyed by `(table, granule)`.
+#[derive(Debug, Default)]
+pub struct DataStore {
+    granules: BTreeMap<(TableId, GranuleId), Granule>,
+}
+
+impl DataStore {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        DataStore::default()
+    }
+
+    /// Install a granule (initial load or migration arrival). Replaces any
+    /// existing granule with the same identity.
+    pub fn install(&mut self, table: TableId, id: GranuleId, granule: Granule) {
+        self.granules.insert((table, id), granule);
+    }
+
+    /// Remove and return a granule (migration departure).
+    pub fn remove(&mut self, table: TableId, id: GranuleId) -> Option<Granule> {
+        self.granules.remove(&(table, id))
+    }
+
+    /// Whether the node holds this granule.
+    #[must_use]
+    pub fn holds(&self, table: TableId, id: GranuleId) -> bool {
+        self.granules.contains_key(&(table, id))
+    }
+
+    /// Borrow a granule.
+    #[must_use]
+    pub fn granule(&self, table: TableId, id: GranuleId) -> Option<&Granule> {
+        self.granules.get(&(table, id))
+    }
+
+    /// Read a row.
+    pub fn read(&self, table: TableId, id: GranuleId, key: u64) -> Result<Option<Bytes>, TxnError> {
+        let g = self
+            .granules
+            .get(&(table, id))
+            .ok_or(TxnError::WrongNode { granule: id, owner: marlin_common::NodeId(u32::MAX) })?;
+        Ok(g.rows.get(&key).cloned())
+    }
+
+    /// Write a row. The key must fall in the granule's range.
+    pub fn write(
+        &mut self,
+        table: TableId,
+        id: GranuleId,
+        key: u64,
+        value: Bytes,
+    ) -> Result<(), TxnError> {
+        let g = self
+            .granules
+            .get_mut(&(table, id))
+            .ok_or(TxnError::WrongNode { granule: id, owner: marlin_common::NodeId(u32::MAX) })?;
+        debug_assert!(g.range.contains(key), "key {key} outside granule range {:?}", g.range);
+        g.rows.insert(key, value);
+        Ok(())
+    }
+
+    /// Scan all rows of a granule in key order (cache warm-up uses this).
+    #[must_use]
+    pub fn scan(&self, table: TableId, id: GranuleId) -> Vec<(u64, Bytes)> {
+        self.granules
+            .get(&(table, id))
+            .map(|g| g.rows.iter().map(|(k, v)| (*k, v.clone())).collect())
+            .unwrap_or_default()
+    }
+
+    /// IDs of all held granules.
+    #[must_use]
+    pub fn held(&self) -> Vec<(TableId, GranuleId)> {
+        self.granules.keys().copied().collect()
+    }
+
+    /// Number of held granules.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.granules.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> DataStore {
+        let mut ds = DataStore::new();
+        ds.install(TableId(0), GranuleId(0), Granule::new(KeyRange::new(0, 100)));
+        ds.install(TableId(0), GranuleId(1), Granule::new(KeyRange::new(100, 200)));
+        ds
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut ds = setup();
+        ds.write(TableId(0), GranuleId(0), 42, Bytes::from_static(b"v")).unwrap();
+        assert_eq!(
+            ds.read(TableId(0), GranuleId(0), 42).unwrap(),
+            Some(Bytes::from_static(b"v"))
+        );
+        assert_eq!(ds.read(TableId(0), GranuleId(0), 43).unwrap(), None);
+    }
+
+    #[test]
+    fn missing_granule_is_wrong_node() {
+        let ds = setup();
+        assert!(matches!(
+            ds.read(TableId(0), GranuleId(9), 42),
+            Err(TxnError::WrongNode { granule: GranuleId(9), .. })
+        ));
+    }
+
+    #[test]
+    fn migration_moves_rows_wholesale() {
+        let mut src = setup();
+        let mut dst = DataStore::new();
+        src.write(TableId(0), GranuleId(1), 150, Bytes::from_static(b"x")).unwrap();
+        let g = src.remove(TableId(0), GranuleId(1)).unwrap();
+        assert!(!src.holds(TableId(0), GranuleId(1)));
+        dst.install(TableId(0), GranuleId(1), g);
+        assert_eq!(
+            dst.read(TableId(0), GranuleId(1), 150).unwrap(),
+            Some(Bytes::from_static(b"x"))
+        );
+    }
+
+    #[test]
+    fn scan_is_key_ordered() {
+        let mut ds = setup();
+        for key in [30u64, 10, 20] {
+            ds.write(TableId(0), GranuleId(0), key, Bytes::from_static(b"r")).unwrap();
+        }
+        let keys: Vec<u64> = ds.scan(TableId(0), GranuleId(0)).into_iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn held_reports_identities() {
+        let ds = setup();
+        assert_eq!(ds.count(), 2);
+        assert_eq!(
+            ds.held(),
+            vec![(TableId(0), GranuleId(0)), (TableId(0), GranuleId(1))]
+        );
+    }
+
+    #[test]
+    fn granule_bytes_accounts_values() {
+        let mut g = Granule::new(KeyRange::new(0, 10));
+        g.rows.insert(1, Bytes::from_static(b"abc"));
+        g.rows.insert(2, Bytes::from_static(b"de"));
+        assert_eq!(g.bytes(), 5);
+    }
+}

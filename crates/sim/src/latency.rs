@@ -1,0 +1,175 @@
+//! Network and storage latency models.
+//!
+//! The evaluation (§6.1) runs compute nodes in one Azure region (single-
+//! region scenarios) or across four regions (§6.5). Latencies here are
+//! modeled as a base value plus bounded uniform jitter; cross-region
+//! round-trip times come from a [`RegionMatrix`] seeded with public
+//! inter-region measurements for the regions the paper uses (US West,
+//! East Asia, UK South, Australia East).
+
+use crate::rng::DetRng;
+use crate::time::{Nanos, MILLISECOND};
+use marlin_common::RegionId;
+
+/// A latency distribution: `base + U[0, jitter]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Minimum latency.
+    pub base: Nanos,
+    /// Width of the uniform jitter band added on top of `base`.
+    pub jitter: Nanos,
+}
+
+impl LatencyModel {
+    /// A constant (jitter-free) latency.
+    #[must_use]
+    pub fn constant(base: Nanos) -> Self {
+        LatencyModel { base, jitter: 0 }
+    }
+
+    /// A latency with proportional jitter (`frac` of the base).
+    #[must_use]
+    pub fn with_jitter(base: Nanos, frac: f64) -> Self {
+        LatencyModel { base, jitter: (base as f64 * frac) as Nanos }
+    }
+
+    /// Draw one latency sample.
+    pub fn sample(&self, rng: &mut DetRng) -> Nanos {
+        if self.jitter == 0 {
+            self.base
+        } else {
+            self.base + rng.range(0, self.jitter + 1)
+        }
+    }
+
+    /// The mean of the distribution.
+    #[must_use]
+    pub fn mean(&self) -> Nanos {
+        self.base + self.jitter / 2
+    }
+}
+
+/// One-way latencies between deployment regions.
+///
+/// Stored as a dense symmetric matrix of one-way times; `rtt` is twice the
+/// one-way value. Intra-region latency sits on the diagonal.
+#[derive(Clone, Debug)]
+pub struct RegionMatrix {
+    regions: usize,
+    one_way: Vec<Nanos>,
+}
+
+impl RegionMatrix {
+    /// A single-region matrix with the given intra-region one-way latency.
+    #[must_use]
+    pub fn single(intra_one_way: Nanos) -> Self {
+        RegionMatrix { regions: 1, one_way: vec![intra_one_way] }
+    }
+
+    /// Build from a symmetric `n x n` table of one-way latencies.
+    #[must_use]
+    pub fn from_table(table: &[&[Nanos]]) -> Self {
+        let n = table.len();
+        let mut one_way = Vec::with_capacity(n * n);
+        for (i, row) in table.iter().enumerate() {
+            assert_eq!(row.len(), n, "matrix must be square");
+            for (j, &v) in row.iter().enumerate() {
+                assert_eq!(v, table[j][i], "matrix must be symmetric ({i},{j})");
+                one_way.push(v);
+            }
+        }
+        RegionMatrix { regions: n, one_way }
+    }
+
+    /// The four-region deployment of §6.5: US West, East Asia, UK South,
+    /// Australia East. One-way latencies approximate public Azure
+    /// inter-region RTT measurements (half-RTT).
+    #[must_use]
+    pub fn paper_geo() -> Self {
+        const MS: Nanos = MILLISECOND;
+        // Order: 0 = US West, 1 = East Asia, 2 = UK South, 3 = Australia East.
+        Self::from_table(&[
+            &[MS / 4, 75 * MS, 65 * MS, 85 * MS],
+            &[75 * MS, MS / 4, 100 * MS, 60 * MS],
+            &[65 * MS, 100 * MS, MS / 4, 125 * MS],
+            &[85 * MS, 60 * MS, 125 * MS, MS / 4],
+        ])
+    }
+
+    /// Number of regions.
+    #[must_use]
+    pub fn regions(&self) -> usize {
+        self.regions
+    }
+
+    /// One-way latency between two regions.
+    #[must_use]
+    pub fn one_way(&self, a: RegionId, b: RegionId) -> Nanos {
+        let (a, b) = (a.0 as usize, b.0 as usize);
+        assert!(a < self.regions && b < self.regions, "region out of range");
+        self.one_way[a * self.regions + b]
+    }
+
+    /// Round-trip latency between two regions.
+    #[must_use]
+    pub fn rtt(&self, a: RegionId, b: RegionId) -> Nanos {
+        2 * self.one_way(a, b)
+    }
+
+    /// A [`LatencyModel`] for one-way messages between two regions, with
+    /// 10% jitter (network variance).
+    #[must_use]
+    pub fn link(&self, a: RegionId, b: RegionId) -> LatencyModel {
+        LatencyModel::with_jitter(self.one_way(a, b), 0.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_model_has_no_jitter() {
+        let m = LatencyModel::constant(500);
+        let mut rng = DetRng::seed(1);
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng), 500);
+        }
+    }
+
+    #[test]
+    fn jitter_stays_in_band() {
+        let m = LatencyModel::with_jitter(1_000, 0.2);
+        let mut rng = DetRng::seed(2);
+        for _ in 0..1_000 {
+            let v = m.sample(&mut rng);
+            assert!((1_000..=1_200).contains(&v), "sample {v}");
+        }
+    }
+
+    #[test]
+    fn geo_matrix_is_symmetric_with_fast_diagonal() {
+        let m = RegionMatrix::paper_geo();
+        assert_eq!(m.regions(), 4);
+        for i in 0..4u16 {
+            for j in 0..4u16 {
+                assert_eq!(m.one_way(RegionId(i), RegionId(j)), m.one_way(RegionId(j), RegionId(i)));
+                if i != j {
+                    assert!(m.one_way(RegionId(i), RegionId(j)) > m.one_way(RegionId(i), RegionId(i)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rtt_is_twice_one_way() {
+        let m = RegionMatrix::single(250_000);
+        assert_eq!(m.rtt(RegionId(0), RegionId(0)), 500_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn asymmetric_table_rejected() {
+        let _ = RegionMatrix::from_table(&[&[0, 1], &[2, 0]]);
+    }
+}

@@ -1,0 +1,165 @@
+//! Deterministic randomness for simulations and workload generators.
+//!
+//! Every scenario owns a [`DetRng`] seeded from the scenario configuration,
+//! so runs are bit-for-bit reproducible. Child generators can be forked with
+//! a label so independent components (each client, each node) draw from
+//! decorrelated streams without sharing mutable state.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A seeded, fast, deterministic random number generator.
+#[derive(Clone, Debug)]
+pub struct DetRng {
+    base_seed: u64,
+    inner: SmallRng,
+}
+
+impl DetRng {
+    /// Create a generator from a 64-bit seed.
+    #[must_use]
+    pub fn seed(seed: u64) -> Self {
+        DetRng { base_seed: seed, inner: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// The seed this generator was created from.
+    #[must_use]
+    pub fn base_seed(&self) -> u64 {
+        self.base_seed
+    }
+
+    /// Fork a decorrelated child stream identified by `label`.
+    ///
+    /// Forking is pure: it does not consume randomness from `self`, so the
+    /// child streams of a given parent seed are stable even if components
+    /// are created in a different order.
+    #[must_use]
+    pub fn fork(&self, label: u64) -> DetRng {
+        // SplitMix64 finalizer mixes the label into a fresh seed.
+        let mut z = self
+            .base_seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(label.wrapping_mul(0xD1B5_4A32_D192_ED03));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        DetRng::seed(z ^ (z >> 31))
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo < hi);
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen_range(0.0..1.0)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p
+    }
+
+    /// Exponentially distributed duration with the given mean.
+    ///
+    /// Used for think times and service-time jitter; the result is clamped
+    /// to at least 1 to keep virtual time strictly advancing.
+    pub fn exp(&mut self, mean: f64) -> u64 {
+        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        ((-u.ln()) * mean).max(1.0) as u64
+    }
+
+    /// Pick a uniformly random element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "cannot pick from an empty slice");
+        let i = self.range(0, items.len() as u64) as usize;
+        &items[i]
+    }
+}
+
+impl RngCore for DetRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest);
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::seed(42);
+        let mut b = DetRng::seed(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn forks_are_decorrelated() {
+        let parent = DetRng::seed(7);
+        let mut c1 = parent.fork(1);
+        let mut c2 = parent.fork(2);
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn forks_are_stable_and_pure() {
+        let parent = DetRng::seed(7);
+        let mut a = parent.fork(5);
+        // Forking other labels in between must not change label 5's stream.
+        let _ = parent.fork(6);
+        let mut b = parent.fork(5);
+        for _ in 0..20 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut r = DetRng::seed(1);
+        for _ in 0..1_000 {
+            let v = r.range(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn exp_is_positive_with_roughly_right_mean() {
+        let mut r = DetRng::seed(3);
+        let n = 20_000;
+        let mean = 1_000.0;
+        let sum: u64 = (0..n).map(|_| r.exp(mean)).sum();
+        let observed = sum as f64 / n as f64;
+        assert!((observed - mean).abs() < mean * 0.05, "observed mean {observed}");
+    }
+
+    #[test]
+    fn chance_matches_probability() {
+        let mut r = DetRng::seed(9);
+        let hits = (0..10_000).filter(|_| r.chance(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn pick_covers_all_elements() {
+        let mut r = DetRng::seed(11);
+        let items = [1, 2, 3, 4];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[*r.pick(&items) as usize - 1] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+}

@@ -1,0 +1,157 @@
+//! Queueing service stations: bounded-capacity components.
+//!
+//! External coordination services are not infinitely fast — the paper's
+//! whole point is that a ZooKeeper leader (one node, one disk, one NIC)
+//! saturates under reconfiguration storms while Marlin's partitioned design
+//! scales with the cluster. A [`QueueServer`] models such a component as a
+//! FIFO station with `c` parallel servers and a per-request service time:
+//! requests arriving while all servers are busy queue up, and the caller
+//! gets back the virtual completion time.
+
+use crate::time::Nanos;
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+
+/// A `c`-server FIFO queueing station with deterministic bookkeeping.
+///
+/// The station does not store requests; callers ask "if a request arrives
+/// at time `t` and needs `s` service time, when does it complete?" and the
+/// station updates its internal busy horizon. This is exact for FIFO
+/// service disciplines and is how the simulator prices requests through
+/// the ZooKeeper leader, its followers, and FoundationDB's pipeline stages.
+#[derive(Clone, Debug)]
+pub struct QueueServer {
+    /// Completion horizon of each parallel server (min-heap).
+    busy_until: BinaryHeap<Reverse<Nanos>>,
+    servers: usize,
+    /// Total busy time accumulated across servers (for utilization stats).
+    busy_time: Nanos,
+    /// Number of requests served.
+    served: u64,
+    /// Total queueing delay (waiting before service) accumulated.
+    total_wait: Nanos,
+}
+
+impl QueueServer {
+    /// Create a station with `servers` parallel servers.
+    #[must_use]
+    pub fn new(servers: usize) -> Self {
+        assert!(servers > 0, "a service station needs at least one server");
+        let mut busy_until = BinaryHeap::with_capacity(servers);
+        for _ in 0..servers {
+            busy_until.push(Reverse(0));
+        }
+        QueueServer { busy_until, servers, busy_time: 0, served: 0, total_wait: 0 }
+    }
+
+    /// Offer a request arriving at `arrival` needing `service` time.
+    /// Returns the completion time.
+    pub fn offer(&mut self, arrival: Nanos, service: Nanos) -> Nanos {
+        let Reverse(free_at) = self.busy_until.pop().expect("heap sized to server count");
+        let start = arrival.max(free_at);
+        let done = start + service;
+        self.busy_until.push(Reverse(done));
+        self.busy_time += service;
+        self.total_wait += start - arrival;
+        self.served += 1;
+        done
+    }
+
+    /// Earliest time at which any server becomes free.
+    #[must_use]
+    pub fn next_free(&self) -> Nanos {
+        self.busy_until.peek().map_or(0, |Reverse(t)| *t)
+    }
+
+    /// Number of parallel servers.
+    #[must_use]
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Requests served so far.
+    #[must_use]
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Mean queueing delay experienced by requests so far.
+    #[must_use]
+    pub fn mean_wait(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            self.total_wait as f64 / self.served as f64
+        }
+    }
+
+    /// Utilization over the window `[0, horizon]`.
+    #[must_use]
+    pub fn utilization(&self, horizon: Nanos) -> f64 {
+        if horizon == 0 {
+            0.0
+        } else {
+            self.busy_time as f64 / (horizon as f64 * self.servers as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_server_starts_immediately() {
+        let mut s = QueueServer::new(1);
+        assert_eq!(s.offer(100, 50), 150);
+    }
+
+    #[test]
+    fn busy_single_server_queues_fifo() {
+        let mut s = QueueServer::new(1);
+        assert_eq!(s.offer(0, 100), 100);
+        assert_eq!(s.offer(10, 100), 200); // waits until 100
+        assert_eq!(s.offer(20, 100), 300); // waits until 200
+        assert!((s.mean_wait() - (0.0 + 90.0 + 180.0) / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_servers_absorb_bursts() {
+        let mut s = QueueServer::new(2);
+        assert_eq!(s.offer(0, 100), 100);
+        assert_eq!(s.offer(0, 100), 100); // second server
+        assert_eq!(s.offer(0, 100), 200); // queues behind the earliest
+    }
+
+    #[test]
+    fn late_arrival_resets_start() {
+        let mut s = QueueServer::new(1);
+        s.offer(0, 10);
+        assert_eq!(s.offer(1_000, 10), 1_010);
+        assert_eq!(s.mean_wait(), 0.0);
+    }
+
+    #[test]
+    fn utilization_accounts_all_servers() {
+        let mut s = QueueServer::new(2);
+        s.offer(0, 100);
+        s.offer(0, 100);
+        assert!((s.utilization(100) - 1.0).abs() < 1e-9);
+        assert!((s.utilization(200) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_is_capped_by_service_rate() {
+        // 1 server, 1ms service => at most 1000 completions per virtual second.
+        let mut s = QueueServer::new(1);
+        let mut done_within_1s = 0;
+        for i in 0..5_000 {
+            // Offered load: one request every 0.1 ms (10x capacity).
+            let completion = s.offer(i * 100_000, 1_000_000);
+            if completion <= 1_000_000_000 {
+                done_within_1s += 1;
+            }
+        }
+        assert_eq!(done_within_1s, 1_000);
+    }
+}

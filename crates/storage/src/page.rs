@@ -1,0 +1,228 @@
+//! The page store: materialized pages served via `GetPage@LSN`.
+//!
+//! Pages are reconstructed from the logs by the replay service; compute
+//! nodes never write pages back (§3.1). The store is **shared across all
+//! logs** — pages are keyed by [`PageId`] alone — because a granule's
+//! writer changes over its lifetime (migrations move ownership and with it
+//! the WAL that subsequent updates land in), yet readers must see one
+//! coherent page. Exclusive granule ownership (paper invariant I0)
+//! guarantees a granule's updates are serial across logs, so per-page
+//! content stays well-defined.
+//!
+//! `GetPage(pageId, log, LSN)` returns the page only once the named log's
+//! replay has reached the requested LSN — "if the requested data has a
+//! stale LSN, the storage node waits for log replay before replying" (§5).
+//! In this synchronous implementation the caller observes
+//! [`StorageError::ReplayLag`] and retries (the simulator converts the lag
+//! into a virtual-time wait).
+
+use crate::wire::{PageUpdate, PageWrite};
+use bytes::Bytes;
+use marlin_common::{LogId, Lsn, PageId, StorageError};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A materialized page: a base image plus an applied-delta chain.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Page {
+    /// Latest full image.
+    pub base: Bytes,
+    /// Deltas applied after `base`, in order.
+    pub deltas: Vec<Bytes>,
+}
+
+impl Page {
+    /// Total materialized size in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.base.len() + self.deltas.iter().map(Bytes::len).sum::<usize>()
+    }
+
+    /// Whether the page holds no bytes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[derive(Debug, Default)]
+struct PageStoreInner {
+    pages: HashMap<PageId, Page>,
+    /// Highest LSN fully replayed, per log.
+    watermarks: HashMap<LogId, Lsn>,
+    /// Served page reads (stats).
+    reads: u64,
+}
+
+/// The shared, versioned page store fed by log replay.
+///
+/// Cheaply clonable; clones share state.
+#[derive(Clone, Debug, Default)]
+pub struct PageStore {
+    inner: Arc<RwLock<PageStoreInner>>,
+}
+
+impl PageStore {
+    /// Create an empty store with nothing replayed.
+    #[must_use]
+    pub fn new() -> Self {
+        PageStore::default()
+    }
+
+    /// Apply one record's page updates from `log` at `lsn`. Called only by
+    /// the replay service, strictly in per-log LSN order.
+    pub fn apply(&self, log: LogId, lsn: Lsn, updates: &[PageUpdate]) {
+        let mut inner = self.inner.write();
+        let mark = inner.watermarks.entry(log).or_insert(Lsn::ZERO);
+        assert!(
+            lsn > *mark,
+            "replay must apply records in order (applying {lsn:?} after {mark:?} on {log})"
+        );
+        *mark = lsn;
+        for u in updates {
+            let page = inner.pages.entry(u.page).or_default();
+            match &u.write {
+                PageWrite::Full(image) => {
+                    page.base = image.clone();
+                    page.deltas.clear();
+                }
+                PageWrite::Delta(delta) => {
+                    page.deltas.push(delta.clone());
+                }
+            }
+        }
+    }
+
+    /// `GetPage@LSN`: fetch `page` with all updates of `log` up to `lsn`
+    /// applied.
+    ///
+    /// Returns `ReplayLag` if the log's replay has not reached `lsn`, and
+    /// `NoSuchPage` for pages that have never been written (callers treat
+    /// that as an empty page or an error depending on context).
+    pub fn get_page(&self, page: PageId, log: LogId, lsn: Lsn) -> Result<Page, StorageError> {
+        let mut inner = self.inner.write();
+        let applied = inner.watermarks.get(&log).copied().unwrap_or(Lsn::ZERO);
+        if applied < lsn {
+            return Err(StorageError::ReplayLag { applied, requested: lsn });
+        }
+        inner.reads += 1;
+        inner.pages.get(&page).cloned().ok_or(StorageError::NoSuchPage)
+    }
+
+    /// Highest LSN fully replayed for `log`.
+    #[must_use]
+    pub fn replayed_lsn(&self, log: LogId) -> Lsn {
+        self.inner.read().watermarks.get(&log).copied().unwrap_or(Lsn::ZERO)
+    }
+
+    /// Number of page reads served.
+    #[must_use]
+    pub fn reads(&self) -> u64 {
+        self.inner.read().reads
+    }
+
+    /// Number of distinct pages materialized.
+    #[must_use]
+    pub fn page_count(&self) -> usize {
+        self.inner.read().pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marlin_common::{GranuleId, NodeId, TableId};
+
+    const LOG: LogId = LogId::GLog(NodeId(0));
+
+    fn pid(i: u32) -> PageId {
+        PageId { table: TableId(0), granule: GranuleId(0), index: i }
+    }
+
+    fn full(p: PageId, s: &'static str) -> PageUpdate {
+        PageUpdate { page: p, write: PageWrite::Full(Bytes::from_static(s.as_bytes())) }
+    }
+
+    fn delta(p: PageId, s: &'static str) -> PageUpdate {
+        PageUpdate { page: p, write: PageWrite::Delta(Bytes::from_static(s.as_bytes())) }
+    }
+
+    #[test]
+    fn get_page_at_lsn_requires_replay() {
+        let store = PageStore::new();
+        let err = store.get_page(pid(0), LOG, Lsn(1)).unwrap_err();
+        assert!(matches!(err, StorageError::ReplayLag { applied: Lsn(0), requested: Lsn(1) }));
+        store.apply(LOG, Lsn(1), &[full(pid(0), "v1")]);
+        let page = store.get_page(pid(0), LOG, Lsn(1)).unwrap();
+        assert_eq!(page.base, Bytes::from_static(b"v1"));
+    }
+
+    #[test]
+    fn deltas_chain_until_next_full_image() {
+        let store = PageStore::new();
+        store.apply(LOG, Lsn(1), &[full(pid(1), "base")]);
+        store.apply(LOG, Lsn(2), &[delta(pid(1), "+d1")]);
+        store.apply(LOG, Lsn(3), &[delta(pid(1), "+d2")]);
+        let page = store.get_page(pid(1), LOG, Lsn(3)).unwrap();
+        assert_eq!(page.deltas.len(), 2);
+        assert_eq!(page.len(), 4 + 3 + 3);
+        store.apply(LOG, Lsn(4), &[full(pid(1), "compacted")]);
+        let page = store.get_page(pid(1), LOG, Lsn(4)).unwrap();
+        assert!(page.deltas.is_empty());
+        assert_eq!(page.base, Bytes::from_static(b"compacted"));
+    }
+
+    #[test]
+    fn missing_page_is_distinguished_from_lag() {
+        let store = PageStore::new();
+        store.apply(LOG, Lsn(1), &[full(pid(0), "x")]);
+        assert!(matches!(store.get_page(pid(9), LOG, Lsn(1)), Err(StorageError::NoSuchPage)));
+    }
+
+    #[test]
+    fn older_lsn_reads_are_served_from_newer_state() {
+        // GetPage@LSN asks for "at least LSN"; a store replayed further is fine.
+        let store = PageStore::new();
+        store.apply(LOG, Lsn(1), &[full(pid(0), "a")]);
+        store.apply(LOG, Lsn(2), &[full(pid(0), "b")]);
+        let page = store.get_page(pid(0), LOG, Lsn(1)).unwrap();
+        assert_eq!(page.base, Bytes::from_static(b"b"));
+    }
+
+    #[test]
+    fn logs_have_independent_watermarks_but_shared_pages() {
+        // The migration story: granule pages written through the old
+        // owner's log remain visible to the new owner reading with its own
+        // log coordinates.
+        let store = PageStore::new();
+        let old_log = LogId::GLog(NodeId(1));
+        let new_log = LogId::GLog(NodeId(2));
+        store.apply(old_log, Lsn(1), &[full(pid(0), "from-old-owner")]);
+        store.apply(new_log, Lsn(1), &[delta(pid(0), "+new-owner")]);
+        assert_eq!(store.replayed_lsn(old_log), Lsn(1));
+        assert_eq!(store.replayed_lsn(new_log), Lsn(1));
+        let page = store.get_page(pid(0), new_log, Lsn(1)).unwrap();
+        assert_eq!(page.base, Bytes::from_static(b"from-old-owner"));
+        assert_eq!(page.deltas.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "in order")]
+    fn out_of_order_replay_panics() {
+        let store = PageStore::new();
+        store.apply(LOG, Lsn(2), &[full(pid(0), "x")]);
+        store.apply(LOG, Lsn(1), &[full(pid(0), "y")]);
+    }
+
+    #[test]
+    fn replay_may_skip_lsns_of_non_page_records() {
+        // Coordination records don't produce page updates; the replay
+        // service still advances the watermark with an empty update list.
+        let store = PageStore::new();
+        store.apply(LOG, Lsn(1), &[]);
+        store.apply(LOG, Lsn(5), &[full(pid(0), "z")]);
+        assert_eq!(store.replayed_lsn(LOG), Lsn(5));
+        assert!(store.get_page(pid(0), LOG, Lsn(5)).is_ok());
+    }
+}

@@ -1,0 +1,176 @@
+//! The log replay service: materializes WAL records into the page store.
+//!
+//! "The storage materializes WAL into the data pages asynchronously through
+//! the log replay service, eliminating the need to write back dirty pages
+//! from compute nodes" (§3.1). The service is pull-driven here: callers (a
+//! background thread in real time, the storage actor in the simulator)
+//! invoke [`ReplayService::step`] / [`ReplayService::replay_until`] to
+//! advance materialization. This keeps the crate runtime-agnostic while
+//! modeling the same lag-then-catch-up behavior.
+
+use crate::log::SharedLog;
+use crate::page::PageStore;
+use crate::wire::decode_page_updates;
+use marlin_common::{LogId, Lsn};
+
+/// Couples one log to the (shared) page store and tracks replay progress.
+#[derive(Clone, Debug)]
+pub struct ReplayService {
+    id: LogId,
+    log: SharedLog,
+    store: PageStore,
+}
+
+impl ReplayService {
+    /// Create a replay service for log `id` feeding `store`.
+    #[must_use]
+    pub fn new(id: LogId, log: SharedLog, store: PageStore) -> Self {
+        ReplayService { id, log, store }
+    }
+
+    /// The log's identity.
+    #[must_use]
+    pub fn id(&self) -> LogId {
+        self.id
+    }
+
+    /// The page store being fed.
+    #[must_use]
+    pub fn store(&self) -> &PageStore {
+        &self.store
+    }
+
+    /// The log being replayed.
+    #[must_use]
+    pub fn log(&self) -> &SharedLog {
+        &self.log
+    }
+
+    /// Replay at most `max_records` pending records. Returns the number of
+    /// records applied (0 means fully caught up).
+    pub fn step(&self, max_records: usize) -> usize {
+        let from = self.store.replayed_lsn(self.id);
+        let pending = self.log.read_after(from);
+        let take = pending.len().min(max_records);
+        for record in &pending[..take] {
+            // Records that don't carry page updates (e.g. coordination
+            // records interpreted by the compute layer) still advance the
+            // replay watermark so GetPage@LSN does not stall behind them.
+            let updates = decode_page_updates(&record.payload).unwrap_or_default();
+            self.store.apply(self.id, record.lsn, &updates);
+        }
+        take
+    }
+
+    /// Replay everything up to (at least) `target`. Returns the records
+    /// applied. The target may exceed the log end; replay stops at the
+    /// log's current tail.
+    pub fn replay_until(&self, target: Lsn) -> usize {
+        let mut applied = 0;
+        while self.store.replayed_lsn(self.id) < target {
+            let n = self.step(usize::MAX);
+            applied += n;
+            if n == 0 {
+                break; // log tail reached
+            }
+        }
+        applied
+    }
+
+    /// Replay lag in records (log end minus replay watermark).
+    #[must_use]
+    pub fn lag(&self) -> u64 {
+        self.log.end_lsn().0.saturating_sub(self.store.replayed_lsn(self.id).0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{encode_page_updates, PageUpdate, PageWrite};
+    use bytes::Bytes;
+    use marlin_common::{GranuleId, NodeId, PageId, StorageError, TableId};
+
+    const LOG: LogId = LogId::GLog(NodeId(0));
+
+    fn pid(i: u32) -> PageId {
+        PageId { table: TableId(0), granule: GranuleId(0), index: i }
+    }
+
+    fn page_record(i: u32, content: &'static str) -> Bytes {
+        encode_page_updates(&[PageUpdate {
+            page: pid(i),
+            write: PageWrite::Full(Bytes::from_static(content.as_bytes())),
+        }])
+    }
+
+    #[test]
+    fn step_applies_in_order_and_reports_progress() {
+        let log = SharedLog::new();
+        let store = PageStore::new();
+        let replay = ReplayService::new(LOG, log.clone(), store.clone());
+        log.append(vec![page_record(0, "a"), page_record(1, "b"), page_record(0, "c")]);
+        assert_eq!(replay.lag(), 3);
+        assert_eq!(replay.step(2), 2);
+        assert_eq!(replay.lag(), 1);
+        assert_eq!(replay.step(10), 1);
+        assert_eq!(replay.lag(), 0);
+        assert_eq!(
+            store.get_page(pid(0), LOG, Lsn(3)).unwrap().base,
+            Bytes::from_static(b"c")
+        );
+    }
+
+    #[test]
+    fn replay_until_unblocks_get_page() {
+        let log = SharedLog::new();
+        let store = PageStore::new();
+        let replay = ReplayService::new(LOG, log.clone(), store.clone());
+        log.append(vec![page_record(0, "v1")]);
+        assert!(matches!(
+            store.get_page(pid(0), LOG, Lsn(1)),
+            Err(StorageError::ReplayLag { .. })
+        ));
+        replay.replay_until(Lsn(1));
+        assert!(store.get_page(pid(0), LOG, Lsn(1)).is_ok());
+    }
+
+    #[test]
+    fn non_page_records_advance_watermark() {
+        let log = SharedLog::new();
+        let store = PageStore::new();
+        let replay = ReplayService::new(LOG, log.clone(), store.clone());
+        // An opaque coordination record the page store can't decode.
+        log.append(vec![Bytes::from_static(b"\xFF\xFF")]);
+        log.append(vec![page_record(0, "after")]);
+        replay.replay_until(Lsn(2));
+        assert_eq!(store.replayed_lsn(LOG), Lsn(2));
+        assert!(store.get_page(pid(0), LOG, Lsn(2)).is_ok());
+    }
+
+    #[test]
+    fn replay_until_past_tail_stops_gracefully() {
+        let log = SharedLog::new();
+        let store = PageStore::new();
+        let replay = ReplayService::new(LOG, log.clone(), store.clone());
+        log.append(vec![page_record(0, "only")]);
+        assert_eq!(replay.replay_until(Lsn(100)), 1);
+        assert_eq!(store.replayed_lsn(LOG), Lsn(1));
+    }
+
+    #[test]
+    fn two_logs_feed_one_store_independently() {
+        let store = PageStore::new();
+        let log_a = SharedLog::new();
+        let log_b = SharedLog::new();
+        let ra = ReplayService::new(LogId::GLog(NodeId(1)), log_a.clone(), store.clone());
+        let rb = ReplayService::new(LogId::GLog(NodeId(2)), log_b.clone(), store.clone());
+        log_a.append(vec![page_record(0, "a")]);
+        log_b.append(vec![page_record(1, "b")]);
+        ra.replay_until(Lsn(1));
+        rb.replay_until(Lsn(1));
+        assert_eq!(store.page_count(), 2);
+        assert_eq!(store.replayed_lsn(LogId::GLog(NodeId(1))), Lsn(1));
+        assert_eq!(store.replayed_lsn(LogId::GLog(NodeId(2))), Lsn(1));
+    }
+}

@@ -1,0 +1,192 @@
+//! Wire format for page updates carried in log payloads.
+//!
+//! The storage layer does not interpret transaction semantics, but its
+//! replay service must be able to materialize log records into pages
+//! (§3.1). The contract between compute and storage is therefore a list of
+//! [`PageUpdate`]s per log record, length-prefix framed. Encoding is
+//! deliberately simple (no external serializer): `u32` little-endian
+//! lengths and raw bytes.
+//!
+//! Layout of an encoded record payload:
+//!
+//! ```text
+//! u32 update_count
+//! repeat update_count times:
+//!   u32 table | u64 granule | u32 page_index | u8 kind | u32 len | bytes
+//! ```
+//!
+//! `kind` is 0 for a full page image (replace), 1 for a delta (append to
+//! the page's delta chain).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use marlin_common::{GranuleId, PageId, TableId};
+
+/// How a page update is applied by replay.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PageWrite {
+    /// Replace the page's content with this image.
+    Full(Bytes),
+    /// Append this delta to the page (the page store keeps a base image
+    /// plus a delta chain, mirroring log-structured page materialization).
+    Delta(Bytes),
+}
+
+impl PageWrite {
+    /// Size in bytes of the carried image or delta.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            PageWrite::Full(b) | PageWrite::Delta(b) => b.len(),
+        }
+    }
+
+    /// Whether the write carries no bytes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One page update inside a log record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PageUpdate {
+    /// The page being updated.
+    pub page: PageId,
+    /// The content change.
+    pub write: PageWrite,
+}
+
+/// Encode a list of page updates into a log payload.
+#[must_use]
+pub fn encode_page_updates(updates: &[PageUpdate]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + updates.iter().map(|u| 24 + u.write.len()).sum::<usize>());
+    buf.put_u32_le(updates.len() as u32);
+    for u in updates {
+        buf.put_u32_le(u.page.table.0);
+        buf.put_u64_le(u.page.granule.0);
+        buf.put_u32_le(u.page.index);
+        let (kind, bytes) = match &u.write {
+            PageWrite::Full(b) => (0u8, b),
+            PageWrite::Delta(b) => (1u8, b),
+        };
+        buf.put_u8(kind);
+        buf.put_u32_le(bytes.len() as u32);
+        buf.put_slice(bytes);
+    }
+    buf.freeze()
+}
+
+/// Decode a log payload into page updates. Returns `None` if the payload is
+/// not in the page-update format (e.g. a system-table record, which replay
+/// handles separately).
+#[must_use]
+pub fn decode_page_updates(payload: &Bytes) -> Option<Vec<PageUpdate>> {
+    let mut buf = payload.clone();
+    if buf.remaining() < 4 {
+        return None;
+    }
+    let count = buf.get_u32_le() as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        if buf.remaining() < 4 + 8 + 4 + 1 + 4 {
+            return None;
+        }
+        let table = TableId(buf.get_u32_le());
+        let granule = GranuleId(buf.get_u64_le());
+        let index = buf.get_u32_le();
+        let kind = buf.get_u8();
+        let len = buf.get_u32_le() as usize;
+        if buf.remaining() < len {
+            return None;
+        }
+        let bytes = buf.copy_to_bytes(len);
+        let write = match kind {
+            0 => PageWrite::Full(bytes),
+            1 => PageWrite::Delta(bytes),
+            _ => return None,
+        };
+        out.push(PageUpdate { page: PageId { table, granule, index }, write });
+    }
+    if buf.has_remaining() {
+        return None;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn page(t: u32, g: u64, i: u32) -> PageId {
+        PageId { table: TableId(t), granule: GranuleId(g), index: i }
+    }
+
+    #[test]
+    fn round_trip_mixed_updates() {
+        let updates = vec![
+            PageUpdate { page: page(1, 2, 3), write: PageWrite::Full(Bytes::from_static(b"full")) },
+            PageUpdate { page: page(0, 9, 0), write: PageWrite::Delta(Bytes::from_static(b"d")) },
+            PageUpdate { page: page(7, 0, 1), write: PageWrite::Full(Bytes::new()) },
+        ];
+        let encoded = encode_page_updates(&updates);
+        let decoded = decode_page_updates(&encoded).unwrap();
+        assert_eq!(decoded, updates);
+    }
+
+    #[test]
+    fn empty_update_list_round_trips() {
+        let encoded = encode_page_updates(&[]);
+        assert_eq!(decode_page_updates(&encoded).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn garbage_is_rejected_not_panicking() {
+        assert_eq!(decode_page_updates(&Bytes::from_static(b"zz")), None);
+        // Claimed count larger than content.
+        let mut bad = BytesMut::new();
+        bad.put_u32_le(5);
+        bad.put_u8(1);
+        assert_eq!(decode_page_updates(&bad.freeze()), None);
+        // Trailing junk after valid updates.
+        let mut tail = BytesMut::from(encode_page_updates(&[]).as_ref());
+        tail.put_u8(0xFF);
+        assert_eq!(decode_page_updates(&tail.freeze()), None);
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(1);
+        buf.put_u32_le(0);
+        buf.put_u64_le(0);
+        buf.put_u32_le(0);
+        buf.put_u8(9); // bad kind
+        buf.put_u32_le(0);
+        assert_eq!(decode_page_updates(&buf.freeze()), None);
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_arbitrary(
+            entries in proptest::collection::vec(
+                (0u32..100, 0u64..10_000, 0u32..64, proptest::collection::vec(any::<u8>(), 0..128), any::<bool>()),
+                0..20,
+            )
+        ) {
+            let updates: Vec<PageUpdate> = entries
+                .into_iter()
+                .map(|(t, g, i, data, full)| PageUpdate {
+                    page: page(t, g, i),
+                    write: if full {
+                        PageWrite::Full(Bytes::from(data))
+                    } else {
+                        PageWrite::Delta(Bytes::from(data))
+                    },
+                })
+                .collect();
+            let decoded = decode_page_updates(&encode_page_updates(&updates));
+            prop_assert_eq!(decoded, Some(updates));
+        }
+    }
+}

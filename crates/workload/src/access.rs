@@ -1,0 +1,44 @@
+//! Access descriptors: the interface between generators and the testbed.
+
+use marlin_common::TableId;
+
+/// One data access inside a transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessOp {
+    /// Table touched.
+    pub table: TableId,
+    /// Primary key (the table layout maps it to a granule).
+    pub key: u64,
+    /// Write (update/insert) vs read.
+    pub write: bool,
+}
+
+/// A generated transaction: its accesses plus bookkeeping the harness uses
+/// for routing and statistics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TxnTemplate {
+    /// All accesses, in execution order.
+    pub ops: Vec<AccessOp>,
+    /// Workload-specific label (YCSB = 0; TPC-C = transaction type).
+    pub kind: u8,
+    /// For partitioned workloads: the anchor key whose granule determines
+    /// the home site (interactive clients route the whole transaction by
+    /// this key; multi-site transactions also touch other granules).
+    pub anchor: u64,
+    /// Table of the anchor key.
+    pub anchor_table: TableId,
+}
+
+impl TxnTemplate {
+    /// Number of reads.
+    #[must_use]
+    pub fn reads(&self) -> usize {
+        self.ops.iter().filter(|o| !o.write).count()
+    }
+
+    /// Number of writes.
+    #[must_use]
+    pub fn writes(&self) -> usize {
+        self.ops.iter().filter(|o| o.write).count()
+    }
+}

@@ -1,0 +1,25 @@
+//! Workload generators for the evaluation (§6.1.3).
+//!
+//! Both generators emit *access descriptors* — which keys a transaction
+//! touches, in which tables, read or write — rather than executing SQL.
+//! The coordination experiments depend only on access patterns (which
+//! granules are touched, single- vs multi-site, read/write mix), never on
+//! tuple values, so this keeps 24 GB-scale workloads laptop-sized while
+//! preserving every behavior the figures measure. The functional engine
+//! path (real rows) is exercised by the unit/integration suites at small
+//! scale.
+//!
+//! - [`ycsb`] — the Yahoo! Cloud Serving Benchmark as configured in the
+//!   paper: 1 KB tuples, 64 KB granules, 16 requests per transaction at
+//!   50% reads / 50% updates, uniform key distribution, single-site.
+//! - [`tpcc`] — TPC-C with a warehouse per granule (scaled to ~1 MB by
+//!   reducing customers per district), the standard transaction mix,
+//!   NURand skew, and 10% / 15% multi-warehouse NEW-ORDER / PAYMENT.
+
+pub mod access;
+pub mod tpcc;
+pub mod ycsb;
+
+pub use access::{AccessOp, TxnTemplate};
+pub use tpcc::{TpccConfig, TpccGenerator, TpccTxnKind};
+pub use ycsb::{YcsbConfig, YcsbGenerator};

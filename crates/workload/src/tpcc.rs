@@ -1,0 +1,419 @@
+//! TPC-C as configured in the paper (§6.1.3).
+//!
+//! "TPC-C models a warehouse-centric order processing application with
+//! nine tables and five transaction types. All tables except ITEM are
+//! partitioned by the warehouse ID. The ITEM table is replicated at each
+//! server. 10% of NEW-ORDER and 15% of PAYMENT transactions access
+//! multiple warehouses; other transactions access data on a single
+//! server. We use a warehouse as the unit of migration, and each granule
+//! contains one warehouse. To evaluate performance under heavy migration
+//! with a large number of warehouses, we tune down the size of each
+//! warehouse to ∼1 MB by reducing the number of customers per district."
+//!
+//! The generator produces the standard mix (NEW-ORDER 45%, PAYMENT 43%,
+//! ORDER-STATUS 4%, DELIVERY 4%, STOCK-LEVEL 4%) with NURand customer and
+//! item selection. Keys are composite `warehouse-major` encodings so
+//! every per-warehouse table maps a transaction's accesses into its home
+//! warehouse's granule; ITEM accesses are replicated reads and carry no
+//! coordination cost, so they are omitted from the descriptors.
+
+use crate::access::{AccessOp, TxnTemplate};
+use marlin_common::TableId;
+use marlin_sim::DetRng;
+
+/// The nine TPC-C tables (ITEM omitted from descriptors — replicated).
+pub mod tables {
+    use marlin_common::TableId;
+    pub const WAREHOUSE: TableId = TableId(10);
+    pub const DISTRICT: TableId = TableId(11);
+    pub const CUSTOMER: TableId = TableId(12);
+    pub const HISTORY: TableId = TableId(13);
+    pub const NEW_ORDER: TableId = TableId(14);
+    pub const ORDER: TableId = TableId(15);
+    pub const ORDER_LINE: TableId = TableId(16);
+    pub const STOCK: TableId = TableId(17);
+    /// ITEM is replicated at every server (reads are local, uncoordinated).
+    pub const ITEM: TableId = TableId(18);
+}
+
+/// The five transaction types with their standard mix percentages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TpccTxnKind {
+    NewOrder,
+    Payment,
+    OrderStatus,
+    Delivery,
+    StockLevel,
+}
+
+impl TpccTxnKind {
+    /// Numeric tag stored in [`TxnTemplate::kind`].
+    #[must_use]
+    pub fn tag(self) -> u8 {
+        match self {
+            TpccTxnKind::NewOrder => 1,
+            TpccTxnKind::Payment => 2,
+            TpccTxnKind::OrderStatus => 3,
+            TpccTxnKind::Delivery => 4,
+            TpccTxnKind::StockLevel => 5,
+        }
+    }
+
+    /// Inverse of [`Self::tag`].
+    #[must_use]
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        Some(match tag {
+            1 => TpccTxnKind::NewOrder,
+            2 => TpccTxnKind::Payment,
+            3 => TpccTxnKind::OrderStatus,
+            4 => TpccTxnKind::Delivery,
+            5 => TpccTxnKind::StockLevel,
+            _ => return None,
+        })
+    }
+}
+
+/// TPC-C generator configuration.
+#[derive(Clone, Debug)]
+pub struct TpccConfig {
+    /// Number of warehouses (= granules).
+    pub warehouses: u64,
+    /// Districts per warehouse (standard: 10).
+    pub districts_per_wh: u64,
+    /// Customers per district (standard: 3000; paper scales down to reach
+    /// ~1 MB warehouses — 30 keeps the same structure at 1% scale).
+    pub customers_per_district: u64,
+    /// Stock items per warehouse (standard: 100_000; scaled to 1000).
+    pub stock_per_wh: u64,
+    /// Fraction of NEW-ORDER transactions accessing a remote warehouse
+    /// (paper: 10%).
+    pub remote_neworder: f64,
+    /// Fraction of PAYMENT transactions paying through a remote warehouse
+    /// (paper: 15%).
+    pub remote_payment: f64,
+}
+
+impl TpccConfig {
+    /// The paper's scaled-down configuration.
+    #[must_use]
+    pub fn paper_default(warehouses: u64) -> Self {
+        TpccConfig {
+            warehouses,
+            districts_per_wh: 10,
+            customers_per_district: 30,
+            stock_per_wh: 1_000,
+            remote_neworder: 0.10,
+            remote_payment: 0.15,
+        }
+    }
+
+    /// Keys are warehouse-major: `wh * STRIDE + local`. The granule layout
+    /// for every per-warehouse table therefore needs `warehouses` granules
+    /// over `[0, warehouses * STRIDE)`.
+    pub const KEY_STRIDE: u64 = 1 << 22;
+
+    /// The key space for per-warehouse tables under this config.
+    #[must_use]
+    pub fn keyspace(&self) -> marlin_common::KeyRange {
+        marlin_common::KeyRange::new(0, self.warehouses * Self::KEY_STRIDE)
+    }
+
+    /// The warehouse of a composite key.
+    #[must_use]
+    pub fn warehouse_of(key: u64) -> u64 {
+        key / Self::KEY_STRIDE
+    }
+}
+
+/// Deterministic TPC-C transaction stream.
+#[derive(Clone, Debug)]
+pub struct TpccGenerator {
+    config: TpccConfig,
+    rng: DetRng,
+    /// NURand constants (chosen once per run, per the spec).
+    c_last: u64,
+    c_id: u64,
+    ol_i_id: u64,
+}
+
+impl TpccGenerator {
+    /// Create a generator with its own RNG stream.
+    #[must_use]
+    pub fn new(config: TpccConfig, mut rng: DetRng) -> Self {
+        let c_last = rng.range(0, 256);
+        let c_id = rng.range(0, 1024);
+        let ol_i_id = rng.range(0, 8192);
+        TpccGenerator { config, rng, c_last, c_id, ol_i_id }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &TpccConfig {
+        &self.config
+    }
+
+    /// TPC-C NURand(A, x, y): non-uniform random within `[x, y]`.
+    fn nurand(&mut self, a: u64, c: u64, x: u64, y: u64) -> u64 {
+        let r1 = self.rng.range(0, a + 1);
+        let r2 = self.rng.range(x, y + 1);
+        (((r1 | r2) + c) % (y - x + 1)) + x
+    }
+
+    fn key(&self, wh: u64, table_local: u64) -> u64 {
+        wh * TpccConfig::KEY_STRIDE + table_local
+    }
+
+    /// Pick a remote warehouse different from `home` (when > 1 exists).
+    fn remote_wh(&mut self, home: u64) -> u64 {
+        if self.config.warehouses <= 1 {
+            return home;
+        }
+        loop {
+            let w = self.rng.range(0, self.config.warehouses);
+            if w != home {
+                return w;
+            }
+        }
+    }
+
+    /// Generate the next transaction per the standard mix.
+    pub fn next_txn(&mut self) -> TxnTemplate {
+        let roll = self.rng.unit();
+        let kind = if roll < 0.45 {
+            TpccTxnKind::NewOrder
+        } else if roll < 0.88 {
+            TpccTxnKind::Payment
+        } else if roll < 0.92 {
+            TpccTxnKind::OrderStatus
+        } else if roll < 0.96 {
+            TpccTxnKind::Delivery
+        } else {
+            TpccTxnKind::StockLevel
+        };
+        self.generate(kind)
+    }
+
+    /// Generate a transaction of a specific kind.
+    pub fn generate(&mut self, kind: TpccTxnKind) -> TxnTemplate {
+        let cfg = self.config.clone();
+        let home = self.rng.range(0, cfg.warehouses);
+        let district = self.rng.range(0, cfg.districts_per_wh);
+        let mut ops = Vec::new();
+        match kind {
+            TpccTxnKind::NewOrder => {
+                // Read warehouse tax, read+update district (next order id),
+                // read customer; insert order + new-order rows; per order
+                // line: read item (replicated, omitted), read+update stock,
+                // insert order line.
+                ops.push(self.read(tables::WAREHOUSE, home, 0));
+                ops.push(self.write(tables::DISTRICT, home, district));
+                let customer = self.nurand(1023, self.c_id, 0, cfg.customers_per_district - 1);
+                ops.push(self.read(tables::CUSTOMER, home, district * 10_000 + customer));
+                let order_slot = self.rng.range(0, 10_000);
+                ops.push(self.write(tables::ORDER, home, district * 10_000 + order_slot));
+                ops.push(self.write(tables::NEW_ORDER, home, district * 10_000 + order_slot));
+                let lines = self.rng.range(5, 16);
+                let remote = self.rng.chance(cfg.remote_neworder);
+                for line in 0..lines {
+                    let item = self.nurand(8191, self.ol_i_id, 0, cfg.stock_per_wh - 1);
+                    // 1% of lines (all lines of a "remote" txn here) hit a
+                    // remote warehouse's stock — the multi-site path.
+                    let supply_wh =
+                        if remote && line == 0 { self.remote_wh(home) } else { home };
+                    ops.push(self.write(tables::STOCK, supply_wh, item));
+                    ops.push(self.write(
+                        tables::ORDER_LINE,
+                        home,
+                        district * 200_000 + order_slot * 16 + line,
+                    ));
+                }
+            }
+            TpccTxnKind::Payment => {
+                ops.push(self.write(tables::WAREHOUSE, home, 0));
+                ops.push(self.write(tables::DISTRICT, home, district));
+                let remote = self.rng.chance(cfg.remote_payment);
+                let cust_wh = if remote { self.remote_wh(home) } else { home };
+                // 60% of customer selections are by last name (NURand over
+                // C_LAST), 40% by id, per the TPC-C specification.
+                let customer = if self.rng.chance(0.6) {
+                    self.nurand(255, self.c_last, 0, cfg.customers_per_district - 1)
+                } else {
+                    self.nurand(1023, self.c_id, 0, cfg.customers_per_district - 1)
+                };
+                ops.push(self.write(tables::CUSTOMER, cust_wh, district * 10_000 + customer));
+                let history_slot = self.rng_history();
+                ops.push(self.write(tables::HISTORY, home, history_slot));
+            }
+            TpccTxnKind::OrderStatus => {
+                let customer = if self.rng.chance(0.6) {
+                    self.nurand(255, self.c_last, 0, cfg.customers_per_district - 1)
+                } else {
+                    self.nurand(1023, self.c_id, 0, cfg.customers_per_district - 1)
+                };
+                ops.push(self.read(tables::CUSTOMER, home, district * 10_000 + customer));
+                let order_slot = self.rng.range(0, 10_000);
+                ops.push(self.read(tables::ORDER, home, district * 10_000 + order_slot));
+                for line in 0..5 {
+                    ops.push(self.read(
+                        tables::ORDER_LINE,
+                        home,
+                        district * 200_000 + order_slot * 16 + line,
+                    ));
+                }
+            }
+            TpccTxnKind::Delivery => {
+                // One order per district is delivered.
+                for d in 0..cfg.districts_per_wh {
+                    let order_slot = self.rng.range(0, 10_000);
+                    ops.push(self.write(tables::NEW_ORDER, home, d * 10_000 + order_slot));
+                    ops.push(self.write(tables::ORDER, home, d * 10_000 + order_slot));
+                    let customer = self.rng.range(0, cfg.customers_per_district);
+                    ops.push(self.write(tables::CUSTOMER, home, d * 10_000 + customer));
+                }
+            }
+            TpccTxnKind::StockLevel => {
+                ops.push(self.read(tables::DISTRICT, home, district));
+                for _ in 0..20 {
+                    let item = self.rng.range(0, cfg.stock_per_wh);
+                    ops.push(self.read(tables::STOCK, home, item));
+                }
+            }
+        }
+        TxnTemplate {
+            ops,
+            kind: kind.tag(),
+            anchor: self.key(home, 0),
+            anchor_table: tables::WAREHOUSE,
+        }
+    }
+
+    fn rng_history(&mut self) -> u64 {
+        self.rng.range(0, 100_000)
+    }
+
+    fn read(&self, table: TableId, wh: u64, local: u64) -> AccessOp {
+        AccessOp { table, key: self.key(wh, local), write: false }
+    }
+
+    fn write(&self, table: TableId, wh: u64, local: u64) -> AccessOp {
+        AccessOp { table, key: self.key(wh, local), write: true }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generator(warehouses: u64, seed: u64) -> TpccGenerator {
+        TpccGenerator::new(TpccConfig::paper_default(warehouses), DetRng::seed(seed))
+    }
+
+    fn touched_warehouses(txn: &TxnTemplate) -> Vec<u64> {
+        let mut whs: Vec<u64> =
+            txn.ops.iter().map(|o| TpccConfig::warehouse_of(o.key)).collect();
+        whs.sort_unstable();
+        whs.dedup();
+        whs
+    }
+
+    #[test]
+    fn mix_matches_standard_percentages() {
+        let mut g = generator(16, 1);
+        let mut counts = [0usize; 6];
+        let n = 20_000;
+        for _ in 0..n {
+            let txn = g.next_txn();
+            counts[txn.kind as usize] += 1;
+        }
+        let pct = |i: usize| counts[i] as f64 / n as f64;
+        assert!((pct(1) - 0.45).abs() < 0.02, "NewOrder {}", pct(1));
+        assert!((pct(2) - 0.43).abs() < 0.02, "Payment {}", pct(2));
+        assert!((pct(3) - 0.04).abs() < 0.01, "OrderStatus {}", pct(3));
+        assert!((pct(4) - 0.04).abs() < 0.01, "Delivery {}", pct(4));
+        assert!((pct(5) - 0.04).abs() < 0.01, "StockLevel {}", pct(5));
+    }
+
+    #[test]
+    fn remote_fractions_match_paper() {
+        let mut g = generator(16, 2);
+        let mut neworder_total = 0usize;
+        let mut neworder_remote = 0usize;
+        let mut payment_total = 0usize;
+        let mut payment_remote = 0usize;
+        for _ in 0..30_000 {
+            let txn = g.next_txn();
+            let multi = touched_warehouses(&txn).len() > 1;
+            match TpccTxnKind::from_tag(txn.kind).unwrap() {
+                TpccTxnKind::NewOrder => {
+                    neworder_total += 1;
+                    neworder_remote += usize::from(multi);
+                }
+                TpccTxnKind::Payment => {
+                    payment_total += 1;
+                    payment_remote += usize::from(multi);
+                }
+                _ => assert!(!multi, "only NewOrder/Payment may be multi-warehouse"),
+            }
+        }
+        let no = neworder_remote as f64 / neworder_total as f64;
+        let pay = payment_remote as f64 / payment_total as f64;
+        assert!((no - 0.10).abs() < 0.02, "remote NewOrder {no}");
+        assert!((pay - 0.15).abs() < 0.02, "remote Payment {pay}");
+    }
+
+    #[test]
+    fn keys_stay_within_their_warehouse_stride() {
+        let mut g = generator(8, 3);
+        for _ in 0..1_000 {
+            let txn = g.next_txn();
+            for op in &txn.ops {
+                let wh = TpccConfig::warehouse_of(op.key);
+                assert!(wh < 8, "warehouse {wh} out of range");
+                assert!(op.key - wh * TpccConfig::KEY_STRIDE < TpccConfig::KEY_STRIDE);
+            }
+        }
+    }
+
+    #[test]
+    fn neworder_shape_is_plausible() {
+        let mut g = generator(4, 4);
+        let txn = g.generate(TpccTxnKind::NewOrder);
+        // warehouse read, district write, customer read, order + new-order
+        // inserts, then 5-15 order lines of 2 ops each.
+        assert!(txn.ops.len() >= 5 + 2 * 5);
+        assert!(txn.ops.len() <= 5 + 2 * 15);
+        assert!(txn.writes() >= txn.reads(), "NewOrder is write-heavy");
+    }
+
+    #[test]
+    fn single_warehouse_config_never_goes_remote() {
+        let mut g = generator(1, 5);
+        for _ in 0..2_000 {
+            let txn = g.next_txn();
+            assert_eq!(touched_warehouses(&txn), vec![0]);
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let mut a = generator(8, 9);
+        let mut b = generator(8, 9);
+        for _ in 0..100 {
+            assert_eq!(a.next_txn(), b.next_txn());
+        }
+    }
+
+    #[test]
+    fn nurand_is_skewed_but_in_range() {
+        let mut g = generator(4, 11);
+        let mut hits = vec![0usize; 30];
+        for _ in 0..10_000 {
+            let v = g.nurand(1023, g.c_id, 0, 29) as usize;
+            hits[v] += 1;
+        }
+        assert!(hits.iter().all(|&h| h > 0), "all values reachable");
+        let max = *hits.iter().max().unwrap();
+        let min = *hits.iter().min().unwrap();
+        assert!(max > 2 * min, "NURand should be visibly non-uniform");
+    }
+}

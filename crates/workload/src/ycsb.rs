@@ -1,0 +1,146 @@
+//! YCSB as configured in the paper (§6.1.3).
+//!
+//! "We use tables with different sizes (ranging from 3 GB to 20 GB) that
+//! are partitioned into granules across servers by range on the primary
+//! key... each tuple is around 1 KB and each granule is 64 KB. Each
+//! transaction is single-site and has 16 requests with 50% reads and 50%
+//! updates accessing 16 tuples. We generate requests following a uniform
+//! distribution."
+//!
+//! Single-site is realized by anchoring each transaction at a uniformly
+//! random granule and drawing all 16 keys from that granule's key range —
+//! a granule maps to exactly one owner node, so the whole transaction
+//! executes at one site regardless of how ownership moves.
+
+use crate::access::{AccessOp, TxnTemplate};
+use marlin_common::{GranuleLayout, TableId};
+use marlin_sim::DetRng;
+
+/// YCSB generator configuration.
+#[derive(Clone, Debug)]
+pub struct YcsbConfig {
+    /// The user table's layout (granule count defines the key space).
+    pub layout: GranuleLayout,
+    /// Requests per transaction (paper: 16).
+    pub reqs_per_txn: usize,
+    /// Fraction of requests that are reads (paper: 0.5).
+    pub read_ratio: f64,
+}
+
+impl YcsbConfig {
+    /// The paper's default configuration over a given layout.
+    #[must_use]
+    pub fn paper_default(layout: GranuleLayout) -> Self {
+        YcsbConfig { layout, reqs_per_txn: 16, read_ratio: 0.5 }
+    }
+
+    /// A layout with `granules` granules of 64 tuples each (64 KB granule
+    /// of 1 KB tuples), as in the paper's setup.
+    #[must_use]
+    pub fn paper_layout(table: TableId, granules: u64) -> GranuleLayout {
+        GranuleLayout::uniform(
+            table,
+            marlin_common::KeyRange::new(0, granules * 64),
+            granules,
+            64 * 1024,
+            1024,
+        )
+    }
+}
+
+/// Deterministic YCSB transaction stream.
+#[derive(Clone, Debug)]
+pub struct YcsbGenerator {
+    config: YcsbConfig,
+    rng: DetRng,
+}
+
+impl YcsbGenerator {
+    /// Create a generator with its own RNG stream.
+    #[must_use]
+    pub fn new(config: YcsbConfig, rng: DetRng) -> Self {
+        YcsbGenerator { config, rng }
+    }
+
+    /// The configured layout.
+    #[must_use]
+    pub fn layout(&self) -> &GranuleLayout {
+        &self.config.layout
+    }
+
+    /// Generate the next transaction.
+    pub fn next_txn(&mut self) -> TxnTemplate {
+        let layout = &self.config.layout;
+        let granule = self.rng.range(0, layout.granule_count);
+        let range = layout.range_of(marlin_common::GranuleId(granule));
+        let anchor = self.rng.range(range.lo, range.hi);
+        let mut ops = Vec::with_capacity(self.config.reqs_per_txn);
+        for _ in 0..self.config.reqs_per_txn {
+            let key = self.rng.range(range.lo, range.hi);
+            let write = !self.rng.chance(self.config.read_ratio);
+            ops.push(AccessOp { table: layout.table, key, write });
+        }
+        TxnTemplate { ops, kind: 0, anchor, anchor_table: layout.table }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generator(granules: u64, seed: u64) -> YcsbGenerator {
+        let layout = YcsbConfig::paper_layout(TableId(0), granules);
+        YcsbGenerator::new(YcsbConfig::paper_default(layout), DetRng::seed(seed))
+    }
+
+    #[test]
+    fn txns_are_single_granule_sixteen_ops() {
+        let mut g = generator(100, 1);
+        for _ in 0..200 {
+            let txn = g.next_txn();
+            assert_eq!(txn.ops.len(), 16);
+            let layout = g.layout().clone();
+            let anchor_granule = layout.granule_of(txn.anchor).unwrap();
+            for op in &txn.ops {
+                assert_eq!(layout.granule_of(op.key).unwrap(), anchor_granule);
+            }
+        }
+    }
+
+    #[test]
+    fn read_write_mix_is_roughly_half() {
+        let mut g = generator(100, 2);
+        let mut reads = 0usize;
+        let mut total = 0usize;
+        for _ in 0..500 {
+            let txn = g.next_txn();
+            reads += txn.reads();
+            total += txn.ops.len();
+        }
+        let ratio = reads as f64 / total as f64;
+        assert!((0.45..0.55).contains(&ratio), "read ratio {ratio}");
+    }
+
+    #[test]
+    fn anchors_are_uniform_over_granules() {
+        let mut g = generator(10, 3);
+        let mut hits = [0usize; 10];
+        for _ in 0..10_000 {
+            let txn = g.next_txn();
+            let granule = g.layout().granule_of(txn.anchor).unwrap();
+            hits[granule.0 as usize] += 1;
+        }
+        for (i, h) in hits.iter().enumerate() {
+            assert!((700..1300).contains(h), "granule {i} hit {h} times");
+        }
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = generator(50, 7);
+        let mut b = generator(50, 7);
+        for _ in 0..50 {
+            assert_eq!(a.next_txn(), b.next_txn());
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Autoscaling under a bursty workload on the simulated cloud testbed
+//! (the paper's §6.6 scenario at reduced scale): watch the cluster scale
+//! out when load doubles and release the extra nodes as soon as they are
+//! drained after the load drops.
+//!
+//! Run with: `cargo run --release --example autoscale`
+
+use marlin::cluster::params::{CoordKind, SimParams};
+use marlin::cluster::scenarios::dynamic::{release_lag, run_dynamic, DynamicSpec};
+use marlin::cluster::sim::Workload;
+use marlin::sim::SECOND;
+
+fn main() {
+    let spec = DynamicSpec {
+        kind: CoordKind::Marlin,
+        workload: Workload::Ycsb { granules: 20_000 },
+        base_nodes: 4,
+        burst_nodes: 4,
+        base_clients: 100,
+        burst_clients: 200,
+        burst_at: 10 * SECOND,
+        calm_at: 40 * SECOND,
+        horizon: 70 * SECOND,
+        threads_per_node: 8,
+        params: SimParams::default(),
+    };
+    println!("dynamic workload: {} clients -> {} at t=10s -> {} at t=40s",
+        spec.base_clients, spec.burst_clients, spec.base_clients);
+    println!("cluster: {} nodes, bursting to {}\n", spec.base_nodes, spec.base_nodes + spec.burst_nodes);
+
+    let sim = run_dynamic(&spec);
+
+    println!("{:>6} {:>8} {:>8} {:>7} {:>10}", "time", "tps", "migs/s", "nodes", "cum. cost");
+    for t in (0..70).step_by(5) {
+        let at = t * SECOND;
+        println!(
+            "{:>5}s {:>8.0} {:>8.0} {:>7.0} {:>9.4}$",
+            t,
+            sim.metrics.user_commits.rate_at(at),
+            sim.metrics.migrations.rate_at(at),
+            sim.metrics.node_count.at(at).unwrap_or(0.0),
+            sim.cost_series.at(at).unwrap_or(0.0),
+        );
+    }
+
+    let lag = release_lag(&sim, spec.base_nodes, spec.calm_at)
+        .map_or("never".to_string(), |l| format!("{:.1}s", l as f64 / 1e9));
+    println!("\nscale-in release lag after the load drop: {lag}");
+    println!("total migrations: {}", sim.metrics.migrations.total());
+    println!("committed txns:   {}", sim.metrics.total_commits());
+    println!("abort ratio:      {:.2}%", sim.metrics.abort_ratio() * 100.0);
+    println!("total cost:       ${:.4} (Meta Cost: ${:.4} — Marlin needs no coordination cluster)",
+        sim.cost.total_cost(), sim.cost.meta_cost());
+}

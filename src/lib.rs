@@ -1,0 +1,32 @@
+//! # Marlin — Efficient Coordination for Autoscaling Cloud DBMS
+//!
+//! This is the umbrella crate of the Marlin reproduction (SIGMOD 2025,
+//! arXiv:2508.01931). It re-exports the workspace crates so examples and
+//! integration tests can use a single dependency:
+//!
+//! - [`common`] — shared identifiers, key ranges, errors, configuration.
+//! - [`sim`] — deterministic discrete-event simulation kernel.
+//! - [`storage`] — disaggregated storage: shared logs with conditional
+//!   append (`Append@LSN`), page store (`GetPage@LSN`), log replay.
+//! - [`engine`] — per-node database engine: 2PL `NO_WAIT` locking, clock
+//!   cache, granule store, group commit, WAL codec.
+//! - [`core`] — the paper's contribution: MTable/GTable system tables,
+//!   MarlinCommit, the five reconfiguration transactions, failure
+//!   detection, routing, invariants, and an executable model checker.
+//! - [`baselines`] — ZooKeeper-style and FoundationDB-style coordination
+//!   services used as evaluation baselines.
+//! - [`workload`] — YCSB and TPC-C workload generators.
+//! - [`cluster`] — the full simulated cloud DBMS testbed and the
+//!   scenario runners behind every figure in the paper.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system
+//! inventory and experiment index.
+
+pub use marlin_baselines as baselines;
+pub use marlin_cluster as cluster;
+pub use marlin_common as common;
+pub use marlin_core as core;
+pub use marlin_engine as engine;
+pub use marlin_sim as sim;
+pub use marlin_storage as storage;
+pub use marlin_workload as workload;

@@ -1,0 +1,135 @@
+//! Cross-crate checks on the simulated evaluation testbed: conservation
+//! laws, determinism, and the headline comparative orderings at smoke
+//! scale (the full-scale versions are the bench targets).
+
+use marlin::cluster::params::{CoordKind, SimParams};
+use marlin::cluster::scenarios::scale_out::{run_scale_out, summarize, ScaleOutSpec};
+use marlin::cluster::sim::Workload;
+use marlin::sim::SECOND;
+
+fn spec(kind: CoordKind) -> ScaleOutSpec {
+    ScaleOutSpec {
+        kind,
+        workload: Workload::Ycsb { granules: 4_000 },
+        initial_nodes: 4,
+        new_nodes: 4,
+        clients: 80,
+        scale_at: 2 * SECOND,
+        horizon: 25 * SECOND,
+        threads_per_new_node: 8,
+        params: SimParams::default(),
+    }
+}
+
+/// Granules are conserved: every granule has exactly one owner at the end
+/// and the per-node distribution is balanced after the scale-out.
+#[test]
+fn granules_conserved_and_balanced() {
+    for kind in CoordKind::all() {
+        let sim = run_scale_out(&spec(kind));
+        let owners = sim.owners();
+        assert_eq!(owners.len(), 4_000, "{}", kind.name());
+        for n in 0..8u32 {
+            let c = owners.iter().filter(|&&o| o == n).count();
+            assert!(
+                (400..=600).contains(&c),
+                "{}: node {n} owns {c} granules",
+                kind.name()
+            );
+        }
+        // Every planned migration committed exactly once.
+        assert_eq!(sim.metrics.migrations.total(), 2_000, "{}", kind.name());
+    }
+}
+
+/// The same spec and seed yield bit-identical results for every backend.
+#[test]
+fn simulation_is_deterministic() {
+    for kind in CoordKind::all() {
+        let a = summarize(&run_scale_out(&spec(kind)));
+        let b = summarize(&run_scale_out(&spec(kind)));
+        assert_eq!(a.commits, b.commits, "{}", kind.name());
+        assert_eq!(a.migration_duration, b.migration_duration, "{}", kind.name());
+        assert_eq!(a.cost_per_mtxn, b.cost_per_mtxn, "{}", kind.name());
+    }
+}
+
+/// The headline ordering at smoke scale: Marlin has zero Meta Cost and the
+/// lowest cost per transaction of all four systems.
+#[test]
+fn marlin_is_cheapest_of_all_four() {
+    let results: Vec<_> = CoordKind::all()
+        .into_iter()
+        .map(|k| summarize(&run_scale_out(&spec(k))))
+        .collect();
+    let marlin = &results[0];
+    assert_eq!(marlin.meta_cost, 0.0);
+    for r in &results[1..] {
+        assert!(r.meta_cost > 0.0, "{} must pay for its service", r.kind.name());
+        assert!(
+            marlin.cost_per_mtxn < r.cost_per_mtxn,
+            "Marlin ${} vs {} ${}",
+            marlin.cost_per_mtxn,
+            r.kind.name(),
+            r.cost_per_mtxn
+        );
+    }
+}
+
+/// Throughput roughly doubles across the scale-out (the capacity-relief
+/// shape of Figure 9): post-reconfiguration rate exceeds the overloaded
+/// pre-reconfiguration rate for every backend.
+#[test]
+fn scale_out_relieves_the_overloaded_cluster() {
+    // Use enough clients to saturate the initial 4 nodes.
+    let mut s = spec(CoordKind::Marlin);
+    s.clients = 400;
+    s.horizon = 30 * SECOND;
+    let sim = run_scale_out(&s);
+    let pre = sim.metrics.user_commits.rate_at(1 * SECOND);
+    let post = sim.metrics.user_commits.rate_at(25 * SECOND);
+    assert!(
+        post > pre * 1.2,
+        "scale-out must lift throughput: pre {pre:.0} tps post {post:.0} tps"
+    );
+}
+
+/// Geo mode keeps clients region-local: latency stays intra-region even
+/// though the cluster spans four regions.
+#[test]
+fn geo_clients_stay_local() {
+    let mut s = spec(CoordKind::Marlin).geo();
+    s.horizon = 20 * SECOND;
+    let sim = run_scale_out(&s);
+    // 16 requests at intra-region RTTs ≈ tens of ms; a cross-region txn
+    // would cost seconds.
+    let mean = sim.metrics.user_latency.mean();
+    assert!(
+        mean < 200.0 * 1e6,
+        "geo txn latency must stay intra-region, got {:.1}ms",
+        mean / 1e6
+    );
+    assert!(sim.metrics.total_commits() > 1_000);
+}
+
+/// The Figure 15 contention knee: Marlin's membership latency is
+/// ZK-comparable at low node counts and collapses at high counts.
+#[test]
+fn membership_contention_knee() {
+    use marlin::cluster::scenarios::membership::run_membership_stress;
+    let small = run_membership_stress(CoordKind::Marlin, 20, 15 * SECOND, 50 * SECOND, SimParams::default());
+    let large = run_membership_stress(CoordKind::Marlin, 640, 15 * SECOND, 50 * SECOND, SimParams::default());
+    let zk = run_membership_stress(CoordKind::ZkSmall, 20, 15 * SECOND, 50 * SECOND, SimParams::default());
+    assert!(
+        small.mean_latency < zk.mean_latency * 3,
+        "low contention: Marlin {}ns vs ZK {}ns",
+        small.mean_latency,
+        zk.mean_latency
+    );
+    assert!(
+        large.mean_latency > small.mean_latency * 10,
+        "high contention must degrade: {} vs {}",
+        large.mean_latency,
+        small.mean_latency
+    );
+}

@@ -1,0 +1,79 @@
+//! # marlin-autoscaler — the closed-loop autoscaling controller
+//!
+//! The paper's coordination layer makes reconfiguration *cheap*; this
+//! crate decides *when* to reconfigure. It closes the loop the scenario
+//! scripts used to hard-code: instead of replaying scale events at fixed
+//! timestamps, a controller observes the running cluster and emits the
+//! same reconfiguration transactions (`AddNodeTxn`, `MigrationTxn`,
+//! `DeleteNodeTxn`) the scripts did — now as a function of measured load
+//! and spend.
+//!
+//! ## The observe → decide → actuate loop
+//!
+//! ```text
+//!        ┌────────────────────────────────────────────────┐
+//!        │                  runner                        │
+//!        │  (LocalCluster · ClusterSim)                   │
+//!        └───────┬────────────────────────────▲───────────┘
+//!        observe │                            │ actuate
+//!                ▼                            │
+//!        [`Observation`] ──decide──▶ [`ScaleAction`] ──▶ [`Actuator`]
+//!                   (a [`ScalingPolicy`] + optional
+//!                      [`RebalancePlanner`])
+//! ```
+//!
+//! - **Observe** — the runner produces an [`Observation`]: live node
+//!   count, windowed throughput and p99 latency, per-node CPU
+//!   utilization, queue depth, the current $/hour burn rate (from the
+//!   §6.1.5 cost model), and sampled per-granule heat.
+//! - **Decide** — a [`ScalingPolicy`] maps the observation to at most one
+//!   [`ScaleAction`] per tick. Shipped policies: reactive thresholds with
+//!   hysteresis + cooldown ([`ReactivePolicy`]), a PI-style utilization
+//!   tracker ([`TargetUtilizationPolicy`]), and a hard budget decorator
+//!   ([`CostBoundedPolicy`]). On quiet ticks the optional
+//!   [`RebalancePlanner`] proposes hot-granule `MigrationTxn`s instead.
+//! - **Actuate** — the [`Controller`] dispatches the action to an
+//!   [`Actuator`]. The [`LocalHarness`] actuator executes synchronously
+//!   through the sans-io reconfiguration drivers
+//!   (`marlin_core::drivers::reconfig`); the simulator's actuator (in
+//!   `marlin-cluster`) schedules the equivalent virtual-time migration
+//!   plans. Policies cannot tell the two apart — the same policy instance
+//!   is unit-tested against synthetic observations, end-to-end-tested
+//!   against [`LocalCluster`], and benchmarked inside the discrete-event
+//!   simulation.
+//!
+//! ## Why both runners matter
+//!
+//! The synchronous runtime proves *safety*: every action lands as real
+//! reconfiguration transactions whose effects are checked against the
+//! paper's I0–I4 invariants after each control step. The simulator proves
+//! *performance*: the same decisions play out against queueing, cold
+//! caches, and migration contention, producing the throughput/cost traces
+//! the benches report.
+//!
+//! [`LocalCluster`]: marlin_core::runtime::LocalCluster
+//! [`Observation`]: observe::Observation
+//! [`ScaleAction`]: policy::ScaleAction
+//! [`ScalingPolicy`]: policy::ScalingPolicy
+//! [`Actuator`]: controller::Actuator
+//! [`Controller`]: controller::Controller
+//! [`ReactivePolicy`]: policy::ReactivePolicy
+//! [`TargetUtilizationPolicy`]: policy::TargetUtilizationPolicy
+//! [`CostBoundedPolicy`]: policy::CostBoundedPolicy
+//! [`RebalancePlanner`]: rebalance::RebalancePlanner
+//! [`LocalHarness`]: local::LocalHarness
+
+pub mod controller;
+pub mod local;
+pub mod observe;
+pub mod policy;
+pub mod rebalance;
+
+pub use controller::{Actuator, Controller};
+pub use local::LocalHarness;
+pub use observe::{GranuleLoad, NodeLoad, Observation};
+pub use policy::{
+    CostBoundedPolicy, ReactiveConfig, ReactivePolicy, ScaleAction, ScalingPolicy, SizeBounds,
+    TargetUtilizationConfig, TargetUtilizationPolicy,
+};
+pub use rebalance::{validate_moves, GranuleMove, RebalanceConfig, RebalancePlanner};

@@ -1,0 +1,312 @@
+//! Synchronous-runtime integration: drive a [`LocalCluster`] with the
+//! controller.
+//!
+//! [`LocalHarness`] is the [`Actuator`] for the functional reference
+//! runtime. Every action executes *real* reconfiguration transactions
+//! through the sans-io drivers in `marlin_core::drivers::reconfig`:
+//! `AddNodeTxn` for scale-out, per-granule `MigrationTxn`s for draining
+//! and rebalancing, and `DeleteNodeTxn` once a victim is empty. Because
+//! the runtime is synchronous, actions complete before `tick` returns and
+//! invariants can be asserted after every control step — this is the
+//! harness the policy end-to-end tests run against.
+//!
+//! The runtime has no clock or load generator of its own, so observations
+//! take the offered load as an input: [`LocalHarness::observe`] combines
+//! the caller's exogenous demand signal with the *real* granule placement
+//! (from each node's materialized GTable partition) to produce the same
+//! [`Observation`] shape the simulator emits.
+
+use crate::controller::Actuator;
+use crate::observe::{GranuleLoad, NodeLoad, Observation};
+use crate::rebalance::GranuleMove;
+use marlin_common::{ClusterConfig, GranuleLayout, KeyRange, NodeId, TableId};
+use marlin_core::runtime::LocalCluster;
+use marlin_sim::Nanos;
+use std::collections::BTreeMap;
+
+/// A [`LocalCluster`] plus the bookkeeping the controller needs.
+pub struct LocalHarness {
+    /// The cluster under control.
+    pub cluster: LocalCluster,
+    table: TableId,
+    members: Vec<NodeId>,
+    next_node: u32,
+    /// $/hour per node, for cost-bounded policies.
+    pub node_hourly: f64,
+}
+
+impl LocalHarness {
+    /// Bootstrap a cluster of `initial_nodes` nodes owning `granules`
+    /// granules of one uniform table.
+    #[must_use]
+    pub fn bootstrap(initial_nodes: u32, granules: u64) -> Self {
+        let table = TableId(0);
+        let cluster = LocalCluster::bootstrap(&ClusterConfig {
+            initial_nodes: (0..initial_nodes).map(NodeId).collect(),
+            tables: vec![GranuleLayout::uniform(
+                table,
+                KeyRange::new(0, granules * 64),
+                granules,
+                64 * 1024,
+                1024,
+            )],
+            ..ClusterConfig::default()
+        });
+        LocalHarness {
+            cluster,
+            table,
+            members: (0..initial_nodes).map(NodeId).collect(),
+            next_node: initial_nodes,
+            node_hourly: 0.192,
+        }
+    }
+
+    /// Current live members.
+    #[must_use]
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// Granule counts per live member, from the real GTable partitions.
+    #[must_use]
+    pub fn owned_counts(&self) -> BTreeMap<NodeId, u64> {
+        self.members
+            .iter()
+            .map(|&m| (m, self.cluster.node(m).marlin.owned_granules().len() as u64))
+            .collect()
+    }
+
+    /// Synthesize an observation at logical time `at` under an exogenous
+    /// demand of `offered_load` node-capacity units, spread over members
+    /// proportionally to how many granules each owns (uniform access).
+    #[must_use]
+    pub fn observe(&self, at: Nanos, offered_load: f64) -> Observation {
+        let counts = self.owned_counts();
+        let total: u64 = counts.values().sum();
+        let total_f = (total as f64).max(1.0);
+        let node_loads: Vec<NodeLoad> = counts
+            .iter()
+            .map(|(&node, &owned)| NodeLoad {
+                node,
+                alive: true,
+                utilization: offered_load * (owned as f64 / total_f),
+                owned_granules: owned,
+            })
+            .collect();
+        // Same observation semantics as `ClusterSim::observe`: per-node
+        // utilization in `node_loads` is raw (may exceed 1 under
+        // overload), the mean is clamped to the `[0, 1]` contract, and
+        // the excess shows up only in `queue_depth` — never in both.
+        let (mean_utilization, queue_depth) = if node_loads.is_empty() {
+            (0.0, 0.0)
+        } else {
+            let n = node_loads.len() as f64;
+            let mean = node_loads
+                .iter()
+                .map(|l| l.utilization.min(1.0))
+                .sum::<f64>()
+                / n;
+            let excess = node_loads
+                .iter()
+                .map(|l| (l.utilization - 1.0).max(0.0))
+                .sum::<f64>()
+                / n;
+            (mean, excess)
+        };
+        // Granule heat mirrors the uniform-access assumption: every owned
+        // granule carries an equal share of its node's load.
+        let granule_loads: Vec<GranuleLoad> = self
+            .members
+            .iter()
+            .flat_map(|&m| {
+                let owned = self.cluster.node(m).marlin.owned_granules();
+                let per = offered_load / total_f;
+                owned.into_iter().map(move |granule| GranuleLoad {
+                    granule,
+                    owner: m,
+                    load: per,
+                })
+            })
+            .collect();
+        Observation {
+            at,
+            live_nodes: self.members.len() as u32,
+            throughput_tps: 0.0,
+            p99_latency: 0,
+            mean_utilization,
+            queue_depth,
+            dollars_per_hour: self.members.len() as f64 * self.node_hourly,
+            node_loads,
+            granule_loads,
+        }
+    }
+
+    /// The least-loaded live members excluding `not`, round-robin targets
+    /// for drains.
+    fn survivors(&self, not: &[NodeId]) -> Vec<NodeId> {
+        let counts = self.owned_counts();
+        let mut survivors: Vec<NodeId> = self
+            .members
+            .iter()
+            .copied()
+            .filter(|m| !not.contains(m))
+            .collect();
+        survivors.sort_by_key(|m| counts.get(m).copied().unwrap_or(0));
+        survivors
+    }
+}
+
+impl Actuator for LocalHarness {
+    fn add_nodes(&mut self, _at: Nanos, count: u32) {
+        // AddNodeTxn for each new member, then a balanced drain of excess
+        // granules from the old members onto the new ones (the same shape
+        // `ClusterSim::schedule_scale_out` uses, executed synchronously).
+        let old_members = self.members.clone();
+        let mut new_members = Vec::new();
+        for _ in 0..count {
+            let id = NodeId(self.next_node);
+            self.next_node += 1;
+            self.cluster
+                .add_node(id, format!("10.0.0.{}", id.0))
+                .expect("AddNodeTxn succeeds on a live SysLog");
+            self.members.push(id);
+            new_members.push(id);
+        }
+        if new_members.is_empty() || old_members.is_empty() {
+            return;
+        }
+        let counts = self.owned_counts();
+        let total: u64 = counts.values().sum();
+        let target = total / self.members.len() as u64;
+        let mut rr = 0usize;
+        for src in old_members {
+            let owned = self.cluster.node(src).marlin.owned_granules();
+            let excess = (owned.len() as u64).saturating_sub(target) as usize;
+            for granule in owned.into_iter().rev().take(excess) {
+                let dst = new_members[rr % new_members.len()];
+                rr += 1;
+                self.cluster
+                    .migrate(src, dst, self.table, vec![granule])
+                    .expect("scale-out migration succeeds between live nodes");
+            }
+        }
+    }
+
+    fn remove_nodes(&mut self, _at: Nanos, victims: &[NodeId]) {
+        let survivors = self.survivors(victims);
+        assert!(
+            !survivors.is_empty(),
+            "scale-in must leave at least one member"
+        );
+        let mut rr = 0usize;
+        for &victim in victims {
+            if !self.members.contains(&victim) {
+                continue;
+            }
+            // Drain: one MigrationTxn per granule onto the survivors.
+            for granule in self.cluster.node(victim).marlin.owned_granules() {
+                let dst = survivors[rr % survivors.len()];
+                rr += 1;
+                self.cluster
+                    .migrate(victim, dst, self.table, vec![granule])
+                    .expect("drain migration succeeds between live nodes");
+            }
+            // DeleteNodeTxn once empty.
+            self.cluster
+                .delete_node(survivors[0], victim)
+                .expect("DeleteNodeTxn succeeds for a drained member");
+            self.members.retain(|&m| m != victim);
+        }
+    }
+
+    fn rebalance(&mut self, _at: Nanos, moves: &[GranuleMove]) {
+        for m in moves {
+            // A stale plan (ownership moved since the observation) aborts
+            // on the data-effectiveness check; that is the protocol doing
+            // its job, not a harness error.
+            let _ = self
+                .cluster
+                .migrate(m.src, m.dst, self.table, vec![m.granule]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::Controller;
+    use crate::policy::{ReactiveConfig, ReactivePolicy, ScaleAction};
+    use crate::rebalance::{RebalanceConfig, RebalancePlanner};
+
+    fn controller(min: u32, max: u32) -> Controller {
+        Controller::new(Box::new(ReactivePolicy::new(ReactiveConfig {
+            cooldown: 0,
+            ..ReactiveConfig::paper_default(min, max)
+        })))
+    }
+
+    #[test]
+    fn spike_scales_out_and_back_preserving_invariants() {
+        let mut harness = LocalHarness::bootstrap(4, 32);
+        let mut c = controller(4, 8);
+        // Load trace in offered node-capacity units: calm, spike, calm.
+        let trace = [2.0, 2.0, 7.5, 7.5, 7.5, 2.0, 2.0, 2.0];
+        let mut sizes = Vec::new();
+        for (tick, &load) in trace.iter().enumerate() {
+            let obs = harness.observe(tick as Nanos * marlin_sim::SECOND, load);
+            c.tick(&obs, &mut harness);
+            harness.cluster.assert_invariants();
+            sizes.push(harness.members().len());
+        }
+        assert!(
+            sizes.contains(&8),
+            "the spike must double the cluster: {sizes:?}"
+        );
+        assert_eq!(*sizes.last().unwrap(), 4, "calm must drain back: {sizes:?}");
+        // Drained members really left the membership (MTable agrees).
+        let survivors = harness.members().to_vec();
+        assert_eq!(survivors.len(), 4);
+    }
+
+    #[test]
+    fn scale_out_spreads_granules_onto_new_members() {
+        let mut harness = LocalHarness::bootstrap(2, 16);
+        harness.add_nodes(0, 2);
+        harness.cluster.assert_invariants();
+        let counts = harness.owned_counts();
+        assert_eq!(counts.len(), 4);
+        for (&node, &count) in &counts {
+            assert!(count >= 2, "node {node:?} ended with {count} granules");
+        }
+    }
+
+    #[test]
+    fn rebalance_moves_apply_through_migration_txns() {
+        let mut harness = LocalHarness::bootstrap(3, 9);
+        let obs = harness.observe(0, 1.0);
+        let planner = RebalancePlanner::new(RebalanceConfig {
+            imbalance_threshold: 0.0,
+            max_moves: 4,
+        });
+        // Skew the heat artificially so the planner has something to do.
+        let mut skewed = obs.clone();
+        for g in &mut skewed.granule_loads {
+            if g.owner == NodeId(0) {
+                g.load *= 10.0;
+            }
+        }
+        let moves = planner.plan(&skewed);
+        harness.rebalance(0, &moves);
+        harness.cluster.assert_invariants();
+    }
+
+    #[test]
+    fn history_records_every_action() {
+        let mut harness = LocalHarness::bootstrap(4, 32);
+        let mut c = controller(4, 8);
+        let obs = harness.observe(0, 7.0);
+        let action = c.tick(&obs, &mut harness);
+        assert!(matches!(action, Some(ScaleAction::AddNodes { .. })));
+        assert_eq!(c.history().len(), 1);
+    }
+}

@@ -1,0 +1,142 @@
+//! The *observe* leg of the control loop: a point-in-time snapshot of
+//! cluster health that policies decide on.
+//!
+//! Observations are deliberately runner-agnostic: the discrete-event
+//! simulator fills them from its CPU queueing models and windowed latency
+//! instruments, while the synchronous [`LocalCluster`] harness synthesizes
+//! them from granule placement plus an exogenous load signal. Policies
+//! never see which runner produced the snapshot — that is what lets the
+//! same policy code be unit-tested synchronously and benchmarked in
+//! virtual time.
+//!
+//! [`LocalCluster`]: marlin_core::runtime::LocalCluster
+
+use marlin_common::{GranuleId, NodeId};
+use marlin_sim::Nanos;
+
+/// One node's load at observation time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeLoad {
+    /// The node observed.
+    pub node: NodeId,
+    /// Whether the node is a live member.
+    pub alive: bool,
+    /// CPU utilization (offered work over capacity). Unlike the
+    /// observation-level mean this is *raw*: values above 1 expose how far
+    /// past saturation the node is being driven.
+    pub utilization: f64,
+    /// Granules the node currently owns.
+    pub owned_granules: u64,
+}
+
+/// One granule's observed heat (for the rebalance planner).
+#[derive(Clone, Debug, PartialEq)]
+pub struct GranuleLoad {
+    /// The granule observed.
+    pub granule: GranuleId,
+    /// Its authoritative owner at observation time.
+    pub owner: NodeId,
+    /// Access heat in arbitrary but mutually comparable units
+    /// (e.g. transactions touching the granule in the sampling window).
+    pub load: f64,
+}
+
+/// A snapshot of cluster health fed to [`ScalingPolicy::decide`].
+///
+/// [`ScalingPolicy::decide`]: crate::policy::ScalingPolicy::decide
+#[derive(Clone, Debug, Default)]
+pub struct Observation {
+    /// Virtual (or logical) observation time.
+    pub at: Nanos,
+    /// Number of live member nodes.
+    pub live_nodes: u32,
+    /// Committed user transactions per second over the sampling window.
+    pub throughput_tps: f64,
+    /// p99 latency of committed transactions over the sampling window.
+    pub p99_latency: Nanos,
+    /// Mean CPU utilization across live nodes, `[0, 1]`.
+    pub mean_utilization: f64,
+    /// Mean offered work *beyond* capacity across live nodes (0 when the
+    /// cluster is keeping up; grows as queues build).
+    pub queue_depth: f64,
+    /// Current spend rate (compute + coordination service), $/hour.
+    pub dollars_per_hour: f64,
+    /// Per-node loads (live and provisioned-but-dead nodes).
+    pub node_loads: Vec<NodeLoad>,
+    /// Sampled granule heats (typically the hottest K, not the universe).
+    pub granule_loads: Vec<GranuleLoad>,
+}
+
+impl Default for NodeLoad {
+    fn default() -> Self {
+        NodeLoad {
+            node: NodeId(0),
+            alive: true,
+            utilization: 0.0,
+            owned_granules: 0,
+        }
+    }
+}
+
+impl Observation {
+    /// Live nodes ordered coolest-first — the preferred scale-in victims.
+    #[must_use]
+    pub fn coolest_live_nodes(&self) -> Vec<NodeId> {
+        let mut live: Vec<&NodeLoad> = self.node_loads.iter().filter(|n| n.alive).collect();
+        live.sort_by(|a, b| {
+            a.utilization
+                .total_cmp(&b.utilization)
+                .then_with(|| a.owned_granules.cmp(&b.owned_granules))
+                .then_with(|| b.node.cmp(&a.node))
+        });
+        live.iter().map(|n| n.node).collect()
+    }
+
+    /// Convenience constructor for policy unit tests: `live` nodes at a
+    /// uniform utilization.
+    #[must_use]
+    pub fn uniform(at: Nanos, live: u32, utilization: f64) -> Self {
+        Observation {
+            at,
+            live_nodes: live,
+            mean_utilization: utilization,
+            node_loads: (0..live)
+                .map(|i| NodeLoad {
+                    node: NodeId(i),
+                    alive: true,
+                    utilization,
+                    owned_granules: 1,
+                })
+                .collect(),
+            ..Observation::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coolest_live_nodes_sorts_by_utilization_then_granules() {
+        let mut obs = Observation::uniform(0, 3, 0.5);
+        obs.node_loads[0].utilization = 0.9;
+        obs.node_loads[2].utilization = 0.1;
+        obs.node_loads.push(NodeLoad {
+            node: NodeId(9),
+            alive: false,
+            utilization: 0.0,
+            owned_granules: 0,
+        });
+        let order = obs.coolest_live_nodes();
+        assert_eq!(order, vec![NodeId(2), NodeId(1), NodeId(0)]);
+    }
+
+    #[test]
+    fn ties_prefer_higher_node_ids_as_victims() {
+        // Later-added nodes (higher ids) are released first on a tie, which
+        // keeps scale-in symmetric with scale-out.
+        let obs = Observation::uniform(0, 3, 0.5);
+        assert_eq!(obs.coolest_live_nodes()[0], NodeId(2));
+    }
+}

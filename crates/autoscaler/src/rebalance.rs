@@ -1,0 +1,323 @@
+//! The granule rebalance planner: pick hot granules and propose
+//! `MigrationTxn`s that flatten load skew without changing the member
+//! count (the diagonal complement to scale-out/in — see *Diagonal
+//! Scaling* in PAPERS.md).
+//!
+//! The planner is a pure function from an [`Observation`] to a list of
+//! [`GranuleMove`]s with two hard guarantees the reconfiguration layer
+//! depends on:
+//!
+//! 1. **Source correctness** — every move's `src` is the granule's owner
+//!    in the observation, so the emitted `MigrationTxn` passes the
+//!    data-effectiveness check instead of aborting.
+//! 2. **Single assignment** — a granule appears in at most one move, so
+//!    applying the plan in any order can never create dual ownership
+//!    (invariant I3): each granule's chain of custody stays linear.
+
+use crate::observe::Observation;
+use marlin_common::{GranuleId, NodeId};
+use std::collections::BTreeMap;
+
+/// One planned migration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GranuleMove {
+    /// The granule to migrate.
+    pub granule: GranuleId,
+    /// Its current owner (must match the observation).
+    pub src: NodeId,
+    /// The destination member.
+    pub dst: NodeId,
+}
+
+/// Configuration of [`RebalancePlanner`].
+#[derive(Clone, Debug)]
+pub struct RebalanceConfig {
+    /// Only plan when the hottest node's load exceeds the mean by this
+    /// fraction (0.25 = 25% above the mean).
+    pub imbalance_threshold: f64,
+    /// Cap on moves per plan (each move is a `MigrationTxn`; plans should
+    /// stay small enough to finish within one control interval).
+    pub max_moves: usize,
+}
+
+impl Default for RebalanceConfig {
+    fn default() -> Self {
+        RebalanceConfig {
+            imbalance_threshold: 0.25,
+            max_moves: 32,
+        }
+    }
+}
+
+/// Plans hot-granule migrations between live members.
+#[derive(Clone, Debug, Default)]
+pub struct RebalancePlanner {
+    cfg: RebalanceConfig,
+}
+
+impl RebalancePlanner {
+    /// A planner with the given configuration.
+    #[must_use]
+    pub fn new(cfg: RebalanceConfig) -> Self {
+        RebalancePlanner { cfg }
+    }
+
+    /// Propose moves that flatten the observed granule heat.
+    ///
+    /// Greedy: repeatedly take the hottest unmoved granule on the most
+    /// loaded node and send it to the least loaded node, as long as the
+    /// transfer strictly reduces the spread and the imbalance threshold is
+    /// still exceeded.
+    #[must_use]
+    pub fn plan(&self, obs: &Observation) -> Vec<GranuleMove> {
+        let live: Vec<NodeId> = obs
+            .node_loads
+            .iter()
+            .filter(|n| n.alive)
+            .map(|n| n.node)
+            .collect();
+        if live.len() < 2 || obs.granule_loads.is_empty() {
+            return Vec::new();
+        }
+
+        // Per-node heat from the sampled granules; every live node starts
+        // at zero so cold nodes are visible as destinations.
+        let mut node_heat: BTreeMap<NodeId, f64> = live.iter().map(|&n| (n, 0.0)).collect();
+        // Hottest-first queue of candidate granules per node.
+        let mut candidates: BTreeMap<NodeId, Vec<(f64, GranuleId)>> = BTreeMap::new();
+        for g in &obs.granule_loads {
+            // Granules owned by dead/unknown nodes are recovery's problem,
+            // not the rebalancer's.
+            let Some(heat) = node_heat.get_mut(&g.owner) else {
+                continue;
+            };
+            *heat += g.load;
+            candidates
+                .entry(g.owner)
+                .or_default()
+                .push((g.load, g.granule));
+        }
+        for list in candidates.values_mut() {
+            list.sort_by(|a, b| b.0.total_cmp(&a.0));
+        }
+
+        let mean: f64 = node_heat.values().sum::<f64>() / node_heat.len() as f64;
+        if mean <= 0.0 {
+            return Vec::new();
+        }
+        let trigger = mean * (1.0 + self.cfg.imbalance_threshold);
+
+        let mut moves: Vec<GranuleMove> = Vec::new();
+        while moves.len() < self.cfg.max_moves {
+            let (&hot, &hot_heat) = node_heat
+                .iter()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .expect("non-empty");
+            let (&cool, &cool_heat) = node_heat
+                .iter()
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .expect("non-empty");
+            if hot == cool || hot_heat <= trigger {
+                break;
+            }
+            // Hottest granule on the hot node that still helps: moving it
+            // must not push the destination past the source.
+            let Some(list) = candidates.get_mut(&hot) else {
+                break;
+            };
+            let Some(pos) = list
+                .iter()
+                .position(|(load, _)| cool_heat + load < hot_heat - load)
+            else {
+                break;
+            };
+            let (load, granule) = list.remove(pos);
+            *node_heat.get_mut(&hot).expect("hot exists") -= load;
+            *node_heat.get_mut(&cool).expect("cool exists") += load;
+            moves.push(GranuleMove {
+                granule,
+                src: hot,
+                dst: cool,
+            });
+        }
+        moves
+    }
+}
+
+/// Check the planner's structural guarantees on a batch of moves.
+///
+/// Returns an error naming the first violation: a granule assigned twice
+/// (would race to dual ownership), a self-move, or a move whose source
+/// disagrees with the observation's ownership.
+pub fn validate_moves(moves: &[GranuleMove], obs: &Observation) -> Result<(), String> {
+    let owners: BTreeMap<GranuleId, NodeId> = obs
+        .granule_loads
+        .iter()
+        .map(|g| (g.granule, g.owner))
+        .collect();
+    let mut seen: BTreeMap<GranuleId, ()> = BTreeMap::new();
+    for m in moves {
+        if m.src == m.dst {
+            return Err(format!("self-move of {:?}", m.granule));
+        }
+        if seen.insert(m.granule, ()).is_some() {
+            return Err(format!("{:?} assigned twice in one plan", m.granule));
+        }
+        match owners.get(&m.granule) {
+            Some(&owner) if owner == m.src => {}
+            Some(&owner) => {
+                return Err(format!(
+                    "{:?} moved from {:?} but owned by {owner:?}",
+                    m.granule, m.src
+                ));
+            }
+            None => return Err(format!("{:?} not present in the observation", m.granule)),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observe::{GranuleLoad, NodeLoad};
+
+    fn skewed_observation() -> Observation {
+        // Node 0 holds four hot granules; nodes 1 and 2 are cold.
+        let mut obs = Observation::uniform(0, 3, 0.5);
+        obs.node_loads = (0..3)
+            .map(|i| NodeLoad {
+                node: NodeId(i),
+                alive: true,
+                utilization: if i == 0 { 0.95 } else { 0.2 },
+                owned_granules: if i == 0 { 4 } else { 1 },
+            })
+            .collect();
+        obs.granule_loads = vec![
+            GranuleLoad {
+                granule: GranuleId(0),
+                owner: NodeId(0),
+                load: 40.0,
+            },
+            GranuleLoad {
+                granule: GranuleId(1),
+                owner: NodeId(0),
+                load: 30.0,
+            },
+            GranuleLoad {
+                granule: GranuleId(2),
+                owner: NodeId(0),
+                load: 20.0,
+            },
+            GranuleLoad {
+                granule: GranuleId(3),
+                owner: NodeId(0),
+                load: 10.0,
+            },
+            GranuleLoad {
+                granule: GranuleId(4),
+                owner: NodeId(1),
+                load: 5.0,
+            },
+            GranuleLoad {
+                granule: GranuleId(5),
+                owner: NodeId(2),
+                load: 5.0,
+            },
+        ];
+        obs
+    }
+
+    #[test]
+    fn plans_flatten_skew_and_validate() {
+        let planner = RebalancePlanner::default();
+        let obs = skewed_observation();
+        let moves = planner.plan(&obs);
+        assert!(!moves.is_empty(), "skew above threshold must produce moves");
+        validate_moves(&moves, &obs).expect("planner guarantees hold");
+        assert!(
+            moves.iter().all(|m| m.src == NodeId(0)),
+            "only the hot node sheds"
+        );
+    }
+
+    #[test]
+    fn never_assigns_a_granule_twice() {
+        let planner = RebalancePlanner::new(RebalanceConfig {
+            imbalance_threshold: 0.0,
+            max_moves: 100,
+        });
+        let obs = skewed_observation();
+        let moves = planner.plan(&obs);
+        let mut granules: Vec<GranuleId> = moves.iter().map(|m| m.granule).collect();
+        granules.sort();
+        granules.dedup();
+        assert_eq!(
+            granules.len(),
+            moves.len(),
+            "each granule moved at most once"
+        );
+    }
+
+    #[test]
+    fn balanced_load_produces_no_moves() {
+        let planner = RebalancePlanner::default();
+        let mut obs = Observation::uniform(0, 3, 0.5);
+        obs.granule_loads = (0..6)
+            .map(|g| GranuleLoad {
+                granule: GranuleId(g),
+                owner: NodeId((g % 3) as u32),
+                load: 10.0,
+            })
+            .collect();
+        assert!(planner.plan(&obs).is_empty());
+    }
+
+    #[test]
+    fn dead_nodes_are_neither_sources_nor_destinations() {
+        let planner = RebalancePlanner::new(RebalanceConfig {
+            imbalance_threshold: 0.0,
+            max_moves: 100,
+        });
+        let mut obs = skewed_observation();
+        obs.node_loads[2].alive = false;
+        let moves = planner.plan(&obs);
+        assert!(moves
+            .iter()
+            .all(|m| m.dst != NodeId(2) && m.src != NodeId(2)));
+    }
+
+    #[test]
+    fn validation_rejects_stale_sources_and_duplicates() {
+        let obs = skewed_observation();
+        let stale = vec![GranuleMove {
+            granule: GranuleId(0),
+            src: NodeId(1),
+            dst: NodeId(2),
+        }];
+        assert!(validate_moves(&stale, &obs).is_err());
+        let dup = vec![
+            GranuleMove {
+                granule: GranuleId(0),
+                src: NodeId(0),
+                dst: NodeId(1),
+            },
+            GranuleMove {
+                granule: GranuleId(0),
+                src: NodeId(0),
+                dst: NodeId(2),
+            },
+        ];
+        assert!(validate_moves(&dup, &obs).is_err());
+    }
+
+    #[test]
+    fn respects_the_move_cap() {
+        let planner = RebalancePlanner::new(RebalanceConfig {
+            imbalance_threshold: 0.0,
+            max_moves: 2,
+        });
+        let moves = planner.plan(&skewed_observation());
+        assert!(moves.len() <= 2);
+    }
+}

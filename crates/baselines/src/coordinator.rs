@@ -17,7 +17,11 @@ pub enum CoordRequest {
     GetOwner { granule: GranuleId },
     /// Compare-and-set a granule's owner (the migration metadata commit).
     /// Fails if the current owner is not `from`.
-    UpdateOwner { granule: GranuleId, from: NodeId, to: NodeId },
+    UpdateOwner {
+        granule: GranuleId,
+        from: NodeId,
+        to: NodeId,
+    },
     /// Install a granule's initial owner (bootstrap; unconditional).
     InstallOwner { granule: GranuleId, owner: NodeId },
     /// Register a node.
@@ -42,7 +46,9 @@ pub enum CoordReply {
     Owner(Option<NodeId>),
     Updated,
     /// CAS failure: the actual current owner.
-    Conflict { actual: Option<NodeId> },
+    Conflict {
+        actual: Option<NodeId>,
+    },
     MembershipOk,
     /// Add of an existing node / delete of a missing node.
     MembershipConflict,
@@ -102,16 +108,16 @@ impl CoordState {
             CoordRequest::GetOwner { granule } => {
                 CoordReply::Owner(self.owners.get(granule).copied())
             }
-            CoordRequest::UpdateOwner { granule, from, to } => {
-                match self.owners.get_mut(granule) {
-                    Some(owner) if owner == from => {
-                        *owner = *to;
-                        self.version += 1;
-                        CoordReply::Updated
-                    }
-                    actual => CoordReply::Conflict { actual: actual.map(|o| *o) },
+            CoordRequest::UpdateOwner { granule, from, to } => match self.owners.get_mut(granule) {
+                Some(owner) if owner == from => {
+                    *owner = *to;
+                    self.version += 1;
+                    CoordReply::Updated
                 }
-            }
+                actual => CoordReply::Conflict {
+                    actual: actual.map(|o| *o),
+                },
+            },
             CoordRequest::InstallOwner { granule, owner } => {
                 self.owners.insert(*granule, *owner);
                 self.version += 1;
@@ -133,9 +139,9 @@ impl CoordState {
                     CoordReply::MembershipConflict
                 }
             }
-            CoordRequest::Scan => CoordReply::ScanResult(
-                self.owners.iter().map(|(g, n)| (*g, *n)).collect(),
-            ),
+            CoordRequest::Scan => {
+                CoordReply::ScanResult(self.owners.iter().map(|(g, n)| (*g, *n)).collect())
+            }
         }
     }
 
@@ -159,7 +165,10 @@ mod tests {
     #[test]
     fn cas_update_semantics() {
         let mut s = CoordState::default();
-        s.apply(&CoordRequest::InstallOwner { granule: GranuleId(1), owner: NodeId(0) });
+        s.apply(&CoordRequest::InstallOwner {
+            granule: GranuleId(1),
+            owner: NodeId(0),
+        });
         // Correct expectation: succeeds.
         assert_eq!(
             s.apply(&CoordRequest::UpdateOwner {
@@ -176,7 +185,9 @@ mod tests {
                 from: NodeId(0),
                 to: NodeId(3),
             }),
-            CoordReply::Conflict { actual: Some(NodeId(2)) }
+            CoordReply::Conflict {
+                actual: Some(NodeId(2))
+            }
         );
         // Unknown granule: conflict with None.
         assert_eq!(
@@ -192,7 +203,10 @@ mod tests {
     #[test]
     fn membership_semantics() {
         let mut s = CoordState::default();
-        assert_eq!(s.apply(&CoordRequest::AddNode { node: NodeId(1) }), CoordReply::MembershipOk);
+        assert_eq!(
+            s.apply(&CoordRequest::AddNode { node: NodeId(1) }),
+            CoordReply::MembershipOk
+        );
         assert_eq!(
             s.apply(&CoordRequest::AddNode { node: NodeId(1) }),
             CoordReply::MembershipConflict
@@ -211,10 +225,15 @@ mod tests {
     fn versions_advance_only_on_writes() {
         let mut s = CoordState::default();
         let v0 = s.version();
-        s.apply(&CoordRequest::GetOwner { granule: GranuleId(1) });
+        s.apply(&CoordRequest::GetOwner {
+            granule: GranuleId(1),
+        });
         s.apply(&CoordRequest::Scan);
         assert_eq!(s.version(), v0);
-        s.apply(&CoordRequest::InstallOwner { granule: GranuleId(1), owner: NodeId(0) });
+        s.apply(&CoordRequest::InstallOwner {
+            granule: GranuleId(1),
+            owner: NodeId(0),
+        });
         assert_eq!(s.version(), v0 + 1);
     }
 

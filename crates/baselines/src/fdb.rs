@@ -124,13 +124,14 @@ impl FdbService {
 impl CoordinationService for FdbService {
     fn submit(&mut self, now: Nanos, req: &CoordRequest, rng: &mut DetRng) -> Completion {
         let reply = self.state.apply(req);
-        let grv_done = self.proxy.offer(now, Self::jittered(self.profile.grv_service, rng));
+        let grv_done = self
+            .proxy
+            .offer(now, Self::jittered(self.profile.grv_service, rng));
         let done_at = match req {
             CoordRequest::GetOwner { granule } => {
                 self.reads += 1;
                 let shard = self.shard_of(granule.0);
-                self.shards[shard]
-                    .offer(grv_done, Self::jittered(self.profile.read_service, rng))
+                self.shards[shard].offer(grv_done, Self::jittered(self.profile.read_service, rng))
             }
             CoordRequest::Scan => {
                 self.reads += 1;
@@ -156,8 +157,9 @@ impl CoordinationService for FdbService {
                 let resolved = self
                     .resolver
                     .offer(grv_done, Self::jittered(self.profile.resolver_service, rng));
-                let logged =
-                    self.tlog.offer(resolved, Self::jittered(self.profile.tlog_service, rng));
+                let logged = self
+                    .tlog
+                    .offer(resolved, Self::jittered(self.profile.tlog_service, rng));
                 logged + self.profile.replication_rtt
             }
         };
@@ -168,15 +170,12 @@ impl CoordinationService for FdbService {
         self.state.apply(req)
     }
 
-    fn client_round_trips(&self, req: &CoordRequest) -> u32 {
-        // GetReadVersion is one client round trip; reads and commits are
+    fn client_round_trips(&self, _req: &CoordRequest) -> u32 {
+        // GetReadVersion is one client round trip; the read or commit is
         // another (§6.5: "each migration triggers a metadata update in
-        // FDB, requiring multiple cross-region round trips").
-        if req.is_write() {
-            2
-        } else {
-            2
-        }
+        // FDB, requiring multiple cross-region round trips"). Reads and
+        // writes both pay exactly these two.
+        2
     }
 
     fn vm_count(&self) -> u32 {
@@ -203,7 +202,10 @@ mod tests {
         for g in 0..granules {
             svc.submit(
                 0,
-                &CoordRequest::InstallOwner { granule: GranuleId(g), owner: NodeId(0) },
+                &CoordRequest::InstallOwner {
+                    granule: GranuleId(g),
+                    owner: NodeId(0),
+                },
                 rng,
             );
         }
@@ -216,16 +218,29 @@ mod tests {
         install(&mut svc, 1, &mut rng);
         let c = svc.submit(
             0,
-            &CoordRequest::UpdateOwner { granule: GranuleId(0), from: NodeId(0), to: NodeId(1) },
+            &CoordRequest::UpdateOwner {
+                granule: GranuleId(0),
+                from: NodeId(0),
+                to: NodeId(1),
+            },
             &mut rng,
         );
         assert_eq!(c.reply, CoordReply::Updated);
         let c = svc.submit(
             0,
-            &CoordRequest::UpdateOwner { granule: GranuleId(0), from: NodeId(0), to: NodeId(2) },
+            &CoordRequest::UpdateOwner {
+                granule: GranuleId(0),
+                from: NodeId(0),
+                to: NodeId(2),
+            },
             &mut rng,
         );
-        assert_eq!(c.reply, CoordReply::Conflict { actual: Some(NodeId(1)) });
+        assert_eq!(
+            c.reply,
+            CoordReply::Conflict {
+                actual: Some(NodeId(1))
+            }
+        );
     }
 
     #[test]
@@ -257,7 +272,10 @@ mod tests {
         for g in 0..n {
             zk.submit(
                 0,
-                &CoordRequest::InstallOwner { granule: GranuleId(g), owner: NodeId(0) },
+                &CoordRequest::InstallOwner {
+                    granule: GranuleId(g),
+                    owner: NodeId(0),
+                },
                 &mut rng,
             );
         }
@@ -304,8 +322,14 @@ mod tests {
             let mut last = 0;
             for g in 0..300u64 {
                 last = last.max(
-                    svc.submit(0, &CoordRequest::GetOwner { granule: GranuleId(g) }, &mut rng)
-                        .done_at,
+                    svc.submit(
+                        0,
+                        &CoordRequest::GetOwner {
+                            granule: GranuleId(g),
+                        },
+                        &mut rng,
+                    )
+                    .done_at,
                 );
             }
             last

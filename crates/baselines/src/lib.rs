@@ -25,6 +25,6 @@ pub mod coordinator;
 pub mod fdb;
 pub mod zk;
 
-pub use coordinator::{CoordReply, CoordRequest, CoordinationService, Completion};
+pub use coordinator::{Completion, CoordReply, CoordRequest, CoordinationService};
 pub use fdb::{FdbProfile, FdbService};
 pub use zk::{ZkProfile, ZkService};

@@ -175,7 +175,10 @@ mod tests {
         for g in 0..granules {
             svc.submit(
                 0,
-                &CoordRequest::InstallOwner { granule: GranuleId(g), owner: NodeId(0) },
+                &CoordRequest::InstallOwner {
+                    granule: GranuleId(g),
+                    owner: NodeId(0),
+                },
                 rng,
             );
         }
@@ -194,7 +197,11 @@ mod tests {
             let to = NodeId(((i + 1) % 2) as u32);
             let c = svc.submit(
                 0,
-                &CoordRequest::UpdateOwner { granule: GranuleId(0), from, to },
+                &CoordRequest::UpdateOwner {
+                    granule: GranuleId(0),
+                    from,
+                    to,
+                },
                 &mut rng,
             );
             assert_eq!(c.reply, CoordReply::Updated);
@@ -203,7 +210,10 @@ mod tests {
         let span = completions.last().unwrap() - completions.first().unwrap();
         let per_op = span as f64 / 999.0;
         // ~350µs ± jitter.
-        assert!((300_000.0..400_000.0).contains(&per_op), "per-op {per_op}ns");
+        assert!(
+            (300_000.0..400_000.0).contains(&per_op),
+            "per-op {per_op}ns"
+        );
     }
 
     #[test]
@@ -217,7 +227,15 @@ mod tests {
                 let from = NodeId((i % 2) as u32);
                 let to = NodeId(((i + 1) % 2) as u32);
                 last = svc
-                    .submit(0, &CoordRequest::UpdateOwner { granule: GranuleId(0), from, to }, rng)
+                    .submit(
+                        0,
+                        &CoordRequest::UpdateOwner {
+                            granule: GranuleId(0),
+                            from,
+                            to,
+                        },
+                        rng,
+                    )
                     .done_at;
             }
             last
@@ -239,15 +257,32 @@ mod tests {
             let from = NodeId((i % 2) as u32);
             let to = NodeId(((i + 1) % 2) as u32);
             write_last = svc
-                .submit(0, &CoordRequest::UpdateOwner { granule: GranuleId(0), from, to }, &mut rng)
+                .submit(
+                    0,
+                    &CoordRequest::UpdateOwner {
+                        granule: GranuleId(0),
+                        from,
+                        to,
+                    },
+                    &mut rng,
+                )
                 .done_at;
         }
         for _ in 0..300u64 {
             read_last = svc
-                .submit(0, &CoordRequest::GetOwner { granule: GranuleId(1) }, &mut rng)
+                .submit(
+                    0,
+                    &CoordRequest::GetOwner {
+                        granule: GranuleId(1),
+                    },
+                    &mut rng,
+                )
                 .done_at;
         }
-        assert!(read_last < write_last, "reads must clear faster than writes");
+        assert!(
+            read_last < write_last,
+            "reads must clear faster than writes"
+        );
     }
 
     #[test]
@@ -256,10 +291,16 @@ mod tests {
         let mut rng = DetRng::seed(4);
         let c = svc.submit(
             5 * SECOND,
-            &CoordRequest::InstallOwner { granule: GranuleId(0), owner: NodeId(0) },
+            &CoordRequest::InstallOwner {
+                granule: GranuleId(0),
+                owner: NodeId(0),
+            },
             &mut rng,
         );
-        assert!(c.done_at >= 5 * SECOND + MILLISECOND, "ZAB round floors latency");
+        assert!(
+            c.done_at >= 5 * SECOND + MILLISECOND,
+            "ZAB round floors latency"
+        );
     }
 
     #[test]

@@ -1,0 +1,57 @@
+//! Closed-loop autoscaling bench: the controller-driven §6.6 burst
+//! (scripted in Figure 14, decided by a policy here).
+//!
+//! For each coordination backend the bench runs the 400→800→400-client
+//! spike with the cluster free to move between 8 and 16 nodes under the
+//! reactive policy, and reports what the *decisions* cost: time from the
+//! load spike to the scale-out decision, time from the load drop until
+//! the extra nodes are released, throughput, and total dollars. Faster
+//! coordination lets the same policy both react faster and stop paying
+//! for burst capacity sooner — the paper's claim, now end-to-end through
+//! the controller instead of a script.
+
+use marlin_bench::{banner, scale};
+use marlin_cluster::params::CoordKind;
+use marlin_cluster::report::Table;
+use marlin_cluster::scenarios::autoscale::{peak_nodes, run_autoscale, AutoscaleSpec};
+use marlin_cluster::scenarios::dynamic::release_lag;
+use marlin_sim::SECOND;
+
+fn main() {
+    banner(
+        "Closed-loop autoscale — reactive policy, 400→800→400 clients, 8↔16 nodes",
+        "the controller reproduces the Figure 14 cycle without scripted scale events",
+    );
+    let mut table = Table::new(&[
+        "system",
+        "peak nodes",
+        "scale-out decided",
+        "release lag",
+        "commits",
+        "total $",
+    ]);
+    for kind in CoordKind::zk_comparison() {
+        let spec = AutoscaleSpec::paper_spike(kind, scale().max(10));
+        let mut controller = spec.reactive_controller();
+        let sim = run_autoscale(&spec, &mut controller);
+        let spike_at = 20 * SECOND;
+        let calm_at = 80 * SECOND;
+        let decided_at = controller
+            .history()
+            .iter()
+            .find(|(t, _)| *t >= spike_at)
+            .map(|(t, _)| *t);
+        let lag = release_lag(&sim, spec.min_nodes, calm_at);
+        table.row(&[
+            kind.name().to_string(),
+            format!("{}", peak_nodes(&sim)),
+            decided_at.map_or("-".into(), |t| {
+                format!("+{:.1}s", (t - spike_at) as f64 / 1e9)
+            }),
+            lag.map_or("never".into(), |l| format!("{:.1}s", l as f64 / 1e9)),
+            format!("{}", sim.metrics.total_commits()),
+            format!("{:.4}", sim.cost.total_cost()),
+        ]);
+    }
+    print!("{}", table.render());
+}

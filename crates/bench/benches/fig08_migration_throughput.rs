@@ -19,20 +19,40 @@ fn main() {
         let spec = ScaleOutSpec::ycsb_so8_16(kind, scale());
         let sim = run_scale_out(&spec);
         println!();
-        print!("{}", render_rate_series(&format!("{} migrations/s", kind.name()), &sim.metrics.migrations, 25));
+        print!(
+            "{}",
+            render_rate_series(
+                &format!("{} migrations/s", kind.name()),
+                &sim.metrics.migrations,
+                25
+            )
+        );
         results.push(summarize(&sim));
     }
     println!();
-    let mut table = Table::new(&["system", "migrations", "duration", "tput/s", "vs Marlin tput", "vs Marlin dur"]);
+    let mut table = Table::new(&[
+        "system",
+        "migrations",
+        "duration",
+        "tput/s",
+        "vs Marlin tput",
+        "vs Marlin dur",
+    ]);
     let marlin = results[0].clone();
     for r in &results {
         table.row(&[
             r.kind.name().into(),
-            format!("{}", (r.migration_throughput * (r.migration_duration as f64 / 1e9)) as u64),
+            format!(
+                "{}",
+                (r.migration_throughput * (r.migration_duration as f64 / 1e9)) as u64
+            ),
             secs(r.migration_duration),
             format!("{:.0}", r.migration_throughput),
             ratio(marlin.migration_throughput, r.migration_throughput),
-            ratio(r.migration_duration as f64, marlin.migration_duration as f64),
+            ratio(
+                r.migration_duration as f64,
+                marlin.migration_duration as f64,
+            ),
         ]);
     }
     print!("{}", table.render());

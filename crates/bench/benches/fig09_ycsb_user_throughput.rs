@@ -21,12 +21,23 @@ fn main() {
         let spec = ScaleOutSpec::ycsb_so8_16(kind, scale());
         let sim = run_scale_out(&spec);
         println!();
-        print!("{}", render_rate_series(&format!("{} user tps", kind.name()), &sim.metrics.user_commits, 25));
+        print!(
+            "{}",
+            render_rate_series(
+                &format!("{} user tps", kind.name()),
+                &sim.metrics.user_commits,
+                25
+            )
+        );
         // Abort-ratio series (per second).
         println!("# {} abort ratio", kind.name());
         for t in (0..50).step_by(5) {
             let at = t * SECOND;
-            println!("{:8.1}s  {:9.2}%", t as f64, sim.metrics.abort_ratio_at(at) * 100.0);
+            println!(
+                "{:8.1}s  {:9.2}%",
+                t as f64,
+                sim.metrics.abort_ratio_at(at) * 100.0
+            );
         }
         let s = summarize(&sim);
         rows.push((

@@ -19,18 +19,38 @@ fn main() {
         let spec = ScaleOutSpec::tpcc_so8_16(kind, scale());
         let sim = run_scale_out(&spec);
         println!();
-        print!("{}", render_rate_series(&format!("{} user tps", kind.name()), &sim.metrics.user_commits, 15));
+        print!(
+            "{}",
+            render_rate_series(
+                &format!("{} user tps", kind.name()),
+                &sim.metrics.user_commits,
+                15
+            )
+        );
         results.push(summarize(&sim));
     }
     println!();
     let marlin = results[0].clone();
-    let mut table = Table::new(&["system", "warehouse migs", "duration", "vs Marlin", "abort%", "commits"]);
+    let mut table = Table::new(&[
+        "system",
+        "warehouse migs",
+        "duration",
+        "vs Marlin",
+        "abort%",
+        "commits",
+    ]);
     for r in &results {
         table.row(&[
             r.kind.name().into(),
-            format!("{}", (r.migration_throughput * (r.migration_duration as f64 / 1e9)).round() as u64),
+            format!(
+                "{}",
+                (r.migration_throughput * (r.migration_duration as f64 / 1e9)).round() as u64
+            ),
             secs(r.migration_duration),
-            ratio(r.migration_duration as f64, marlin.migration_duration as f64),
+            ratio(
+                r.migration_duration as f64,
+                marlin.migration_duration as f64,
+            ),
             format!("{:.2}", r.abort_ratio * 100.0),
             format!("{}", r.commits),
         ]);

@@ -21,7 +21,14 @@ fn main() {
     let scales = [1u32, 2, 4, 8];
     println!("\n(a) cost per Mtxn vs migration duration   (b) cost split   (c) migration tput");
     let mut t = Table::new(&[
-        "scale", "system", "duration", "$/Mtxn", "DB $", "Meta $", "Meta %", "mig tput/s",
+        "scale",
+        "system",
+        "duration",
+        "$/Mtxn",
+        "DB $",
+        "Meta $",
+        "Meta %",
+        "mig tput/s",
     ]);
     for &n in &scales {
         for kind in CoordKind::all() {

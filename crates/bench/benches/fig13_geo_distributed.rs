@@ -18,7 +18,12 @@ fn main() {
     );
     let scales = [4u32, 8];
     let mut t = Table::new(&[
-        "scale", "system", "duration", "vs Marlin", "$/Mtxn", "Meta $",
+        "scale",
+        "system",
+        "duration",
+        "vs Marlin",
+        "$/Mtxn",
+        "Meta $",
     ]);
     for &n in &scales {
         let mut marlin_dur = 0.0f64;

@@ -21,17 +21,42 @@ fn main() {
         let spec = DynamicSpec::paper(kind, scale());
         let sim = run_dynamic(&spec);
         println!();
-        print!("{}", render_rate_series(&format!("(a) {} migrations/s", kind.name()), &sim.metrics.migrations, 20));
-        print!("{}", render_time_series(&format!("(b) {} cumulative cost $", kind.name()), &sim.cost_series, 20));
-        print!("{}", render_rate_series(&format!("(c) {} user tps", kind.name()), &sim.metrics.user_commits, 20));
-        println!("(d) {} committed txn latency: mean {:.1}ms p99 {:.1}ms",
+        print!(
+            "{}",
+            render_rate_series(
+                &format!("(a) {} migrations/s", kind.name()),
+                &sim.metrics.migrations,
+                20
+            )
+        );
+        print!(
+            "{}",
+            render_time_series(
+                &format!("(b) {} cumulative cost $", kind.name()),
+                &sim.cost_series,
+                20
+            )
+        );
+        print!(
+            "{}",
+            render_rate_series(
+                &format!("(c) {} user tps", kind.name()),
+                &sim.metrics.user_commits,
+                20
+            )
+        );
+        println!(
+            "(d) {} committed txn latency: mean {:.1}ms p99 {:.1}ms",
             kind.name(),
             sim.metrics.user_latency.mean() / 1e6,
-            sim.metrics.user_latency.quantile(0.99) as f64 / 1e6);
-        println!("(e) {} abort ratio: overall {:.2}%, @25s {:.2}%",
+            sim.metrics.user_latency.quantile(0.99) as f64 / 1e6
+        );
+        println!(
+            "(e) {} abort ratio: overall {:.2}%, @25s {:.2}%",
             kind.name(),
             sim.metrics.abort_ratio() * 100.0,
-            sim.metrics.abort_ratio_at(25 * SECOND) * 100.0);
+            sim.metrics.abort_ratio_at(25 * SECOND) * 100.0
+        );
         let lag = release_lag(&sim, spec.base_nodes, spec.calm_at);
         rows.push((
             kind.name().to_string(),

@@ -21,12 +21,17 @@ fn main() {
     // 50 s horizon: the 15/30/45 s update bursts all resolve in-window.
     let (period, horizon) = (15 * SECOND, 50 * SECOND);
     let mut t = Table::new(&[
-        "nodes", "system", "completed", "mean latency", "CAS retries",
+        "nodes",
+        "system",
+        "completed",
+        "mean latency",
+        "CAS retries",
     ]);
     for &n in &counts {
         for kind in CoordKind::zk_comparison() {
             let r = run_membership_stress(kind, n, period, horizon, SimParams::default());
-            let expected = marlin_cluster::scenarios::membership::expected_updates(n, period, horizon);
+            let expected =
+                marlin_cluster::scenarios::membership::expected_updates(n, period, horizon);
             t.row(&[
                 format!("{n}"),
                 kind.name().into(),

@@ -16,14 +16,19 @@ fn bench_conditional_append(c: &mut Criterion) {
         let log = SharedLog::new();
         let mut lsn = Lsn::ZERO;
         b.iter(|| {
-            let out = log.conditional_append(vec![Bytes::from_static(b"rec")], lsn).unwrap();
+            let out = log
+                .conditional_append(vec![Bytes::from_static(b"rec")], lsn)
+                .unwrap();
             lsn = out.new_lsn;
         });
     });
     c.bench_function("shared_log_cas_failure", |b| {
         let log = SharedLog::new();
         log.append(vec![Bytes::from_static(b"r1"), Bytes::from_static(b"r2")]);
-        b.iter(|| log.conditional_append(vec![Bytes::from_static(b"x")], Lsn::ZERO).unwrap_err());
+        b.iter(|| {
+            log.conditional_append(vec![Bytes::from_static(b"x")], Lsn::ZERO)
+                .unwrap_err()
+        });
     });
 }
 
@@ -44,10 +49,16 @@ fn bench_commit_driver(c: &mut Criterion) {
             let (mut d, _) = CommitDriver::new(
                 TxnId(1),
                 NodeId(0),
-                vec![(Participant::Node(NodeId(0)), Updates::Granule(vec![swap(1)]))],
+                vec![(
+                    Participant::Node(NodeId(0)),
+                    Updates::Granule(vec![swap(1)]),
+                )],
                 &tracker,
             );
-            d.on_input(Input::AppendOk { log: LogId::GLog(NodeId(0)), new_lsn: Lsn(1) });
+            d.on_input(Input::AppendOk {
+                log: LogId::GLog(NodeId(0)),
+                new_lsn: Lsn(1),
+            });
             assert!(d.is_done());
         });
     });
@@ -58,13 +69,25 @@ fn bench_commit_driver(c: &mut Criterion) {
                 TxnId(1),
                 NodeId(1),
                 vec![
-                    (Participant::Node(NodeId(0)), Updates::Granule(vec![swap(1)])),
-                    (Participant::Node(NodeId(1)), Updates::Granule(vec![swap(1)])),
+                    (
+                        Participant::Node(NodeId(0)),
+                        Updates::Granule(vec![swap(1)]),
+                    ),
+                    (
+                        Participant::Node(NodeId(1)),
+                        Updates::Granule(vec![swap(1)]),
+                    ),
                 ],
                 &tracker,
             );
-            d.on_input(Input::AppendOk { log: LogId::GLog(NodeId(1)), new_lsn: Lsn(1) });
-            d.on_input(Input::VoteResp { from: NodeId(0), yes: true });
+            d.on_input(Input::AppendOk {
+                log: LogId::GLog(NodeId(1)),
+                new_lsn: Lsn(1),
+            });
+            d.on_input(Input::VoteResp {
+                from: NodeId(0),
+                yes: true,
+            });
             assert!(d.is_done());
         });
     });
@@ -76,8 +99,15 @@ fn bench_lock_table(c: &mut Criterion) {
         let txn = TxnId(7);
         b.iter(|| {
             for k in 0..16u64 {
-                lt.try_lock(txn, LockTarget::Row { table: TableId(0), key: k }, LockMode::Exclusive)
-                    .unwrap();
+                lt.try_lock(
+                    txn,
+                    LockTarget::Row {
+                        table: TableId(0),
+                        key: k,
+                    },
+                    LockMode::Exclusive,
+                )
+                .unwrap();
             }
             lt.release_all(txn);
         });
@@ -89,14 +119,22 @@ fn bench_clock_cache(c: &mut Criterion) {
         let mut cache = ClockCache::new(1024);
         for i in 0..1024u32 {
             cache.insert(
-                PageId { table: TableId(0), granule: GranuleId(0), index: i },
+                PageId {
+                    table: TableId(0),
+                    granule: GranuleId(0),
+                    index: i,
+                },
                 None,
             );
         }
         let mut i = 0u32;
         b.iter(|| {
             i = (i + 1) % 1024;
-            cache.access(PageId { table: TableId(0), granule: GranuleId(0), index: i })
+            cache.access(PageId {
+                table: TableId(0),
+                granule: GranuleId(0),
+                index: i,
+            })
         });
     });
 }
@@ -107,7 +145,13 @@ fn bench_gtable_apply(c: &mut Criterion) {
             GTablePartition::new,
             |mut p| {
                 for i in 0..64u64 {
-                    p.apply(Lsn(i + 1), &GRecord::OnePhase { txn: TxnId(i), swaps: vec![swap(i)] });
+                    p.apply(
+                        Lsn(i + 1),
+                        &GRecord::OnePhase {
+                            txn: TxnId(i),
+                            swaps: vec![swap(i)],
+                        },
+                    );
                 }
                 p
             },

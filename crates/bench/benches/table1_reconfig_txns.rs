@@ -30,39 +30,71 @@ fn main() {
     );
     let mut c = cluster();
     // Seed a little data so recovery has something to restore.
-    c.user_txn(NodeId(3), TableId(0), &[], &[(4_900, Bytes::from_static(b"payload"))])
-        .unwrap();
+    c.user_txn(
+        NodeId(3),
+        TableId(0),
+        &[],
+        &[(4_900, Bytes::from_static(b"payload"))],
+    )
+    .unwrap();
 
     let mut t = Table::new(&["transaction", "participants", "result", "protocol time"]);
 
     let start = Instant::now();
     c.add_node(NodeId(4), "10.0.0.4:5000".into()).unwrap();
-    t.row(&["AddNodeTxn(N4)".into(), "SysLog (1PC)".into(), "committed".into(),
-            format!("{:?}", start.elapsed())]);
+    t.row(&[
+        "AddNodeTxn(N4)".into(),
+        "SysLog (1PC)".into(),
+        "committed".into(),
+        format!("{:?}", start.elapsed()),
+    ]);
 
     let start = Instant::now();
-    c.migrate(NodeId(0), NodeId(4), TableId(0), vec![GranuleId(0), GranuleId(1)]).unwrap();
-    t.row(&["MigrationTxn(G0,G1: N0→N4)".into(), "{N0, N4} (2PC)".into(), "committed".into(),
-            format!("{:?}", start.elapsed())]);
+    c.migrate(
+        NodeId(0),
+        NodeId(4),
+        TableId(0),
+        vec![GranuleId(0), GranuleId(1)],
+    )
+    .unwrap();
+    t.row(&[
+        "MigrationTxn(G0,G1: N0→N4)".into(),
+        "{N0, N4} (2PC)".into(),
+        "committed".into(),
+        format!("{:?}", start.elapsed()),
+    ]);
 
     c.kill(NodeId(3));
     let start = Instant::now();
-    c.recovery_migrate(NodeId(1), NodeId(3), vec![GranuleId(48), GranuleId(49)]).unwrap();
-    t.row(&["RecoveryMigrTxn(G48,G49: N3→N1)".into(), "{GLog(N3), N1} (2PC, src dead)".into(),
-            "committed".into(), format!("{:?}", start.elapsed())]);
+    c.recovery_migrate(NodeId(1), NodeId(3), vec![GranuleId(48), GranuleId(49)])
+        .unwrap();
+    t.row(&[
+        "RecoveryMigrTxn(G48,G49: N3→N1)".into(),
+        "{GLog(N3), N1} (2PC, src dead)".into(),
+        "committed".into(),
+        format!("{:?}", start.elapsed()),
+    ]);
     // The recovered data survived the failover.
     let reads = c.user_txn(NodeId(1), TableId(0), &[4_900], &[]).unwrap();
     assert_eq!(reads[0], Some(Bytes::from_static(b"payload")));
 
     let start = Instant::now();
     c.delete_node(NodeId(1), NodeId(3)).unwrap();
-    t.row(&["DeleteNodeTxn(N3)".into(), "SysLog (1PC)".into(), "committed".into(),
-            format!("{:?}", start.elapsed())]);
+    t.row(&[
+        "DeleteNodeTxn(N3)".into(),
+        "SysLog (1PC)".into(),
+        "committed".into(),
+        format!("{:?}", start.elapsed()),
+    ]);
 
     let start = Instant::now();
     let entries = c.scan_gtable(NodeId(0)).unwrap();
-    t.row(&["ScanGTableTxn".into(), "SysLog + all nodes (read-only)".into(),
-            format!("{} entries", entries.len()), format!("{:?}", start.elapsed())]);
+    t.row(&[
+        "ScanGTableTxn".into(),
+        "SysLog + all nodes (read-only)".into(),
+        format!("{} entries", entries.len()),
+        format!("{:?}", start.elapsed()),
+    ]);
 
     c.assert_invariants();
     print!("{}", t.render());

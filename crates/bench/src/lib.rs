@@ -24,7 +24,10 @@ pub fn banner(id: &str, paper_claim: &str) {
     println!("{id}");
     println!("paper: {paper_claim}");
     if scale() != 1 {
-        println!("NOTE: running at 1/{} workload scale (MARLIN_SCALE)", scale());
+        println!(
+            "NOTE: running at 1/{} workload scale (MARLIN_SCALE)",
+            scale()
+        );
     }
     println!("==============================================================");
 }

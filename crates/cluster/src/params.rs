@@ -39,7 +39,12 @@ impl CoordKind {
     /// All four systems in the paper's plotting order.
     #[must_use]
     pub fn all() -> [CoordKind; 4] {
-        [CoordKind::Marlin, CoordKind::ZkSmall, CoordKind::ZkLarge, CoordKind::Fdb]
+        [
+            CoordKind::Marlin,
+            CoordKind::ZkSmall,
+            CoordKind::ZkLarge,
+            CoordKind::Fdb,
+        ]
     }
 
     /// The three systems of Figures 8/9/11/14 (no FDB).
@@ -162,7 +167,10 @@ impl SimParams {
     /// Parameters for the four-region geo deployment of §6.5.
     #[must_use]
     pub fn geo() -> Self {
-        SimParams { regions: RegionMatrix::paper_geo(), ..SimParams::default() }
+        SimParams {
+            regions: RegionMatrix::paper_geo(),
+            ..SimParams::default()
+        }
     }
 }
 

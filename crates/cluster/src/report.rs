@@ -14,8 +14,11 @@ pub fn render_rate_series(name: &str, series: &RateSeries, max_rows: usize) -> S
 /// Render a `(time, value)` series.
 #[must_use]
 pub fn render_time_series(name: &str, series: &TimeSeries, max_rows: usize) -> String {
-    let points: Vec<(f64, f64)> =
-        series.points().iter().map(|&(t, v)| (t as f64 / SECOND as f64, v)).collect();
+    let points: Vec<(f64, f64)> = series
+        .points()
+        .iter()
+        .map(|&(t, v)| (t as f64 / SECOND as f64, v))
+        .collect();
     render_points(name, &points, max_rows)
 }
 
@@ -57,7 +60,10 @@ impl Table {
     /// Start a table with column headers.
     #[must_use]
     pub fn new(header: &[&str]) -> Self {
-        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (must match the header width).
@@ -110,7 +116,7 @@ mod tests {
         assert!(r.contains("S-ZK"));
         let lines: Vec<&str> = r.lines().collect();
         assert_eq!(lines.len(), 4);
-        assert_eq!(lines[1].chars().all(|c| c == '-'), true);
+        assert!(lines[1].chars().all(|c| c == '-'));
     }
 
     #[test]

@@ -1,0 +1,282 @@
+//! The closed-loop autoscaling scenario: a controller, not a script,
+//! decides when the cluster scales.
+//!
+//! Where [`dynamic`](crate::scenarios::dynamic) replays the §6.6 events at
+//! fixed timestamps, this scenario wires a `marlin-autoscaler`
+//! [`Controller`] into the discrete-event simulation: every control
+//! interval the simulator pauses, produces an [`Observation`] (windowed
+//! throughput/p99, CPU utilization from the queueing models, burn rate,
+//! granule heat), the policy decides, and the resulting action is
+//! scheduled back into virtual time as real migration plans. The workload
+//! follows a [`LoadTrace`] — the controller never sees the trace, only
+//! its measured effect.
+
+use crate::params::{CoordKind, SimParams};
+use crate::sim::{ClusterSim, Workload};
+use marlin_autoscaler::{
+    Actuator, Controller, GranuleMove, ReactiveConfig, ReactivePolicy, ScaleAction,
+};
+use marlin_common::NodeId;
+use marlin_sim::{Nanos, SECOND};
+use marlin_workload::LoadTrace;
+
+/// Parameters of a closed-loop run.
+#[derive(Clone, Debug)]
+pub struct AutoscaleSpec {
+    /// Coordination backend under test.
+    pub kind: CoordKind,
+    /// The client workload.
+    pub workload: Workload,
+    /// Nodes at t=0.
+    pub initial_nodes: u32,
+    /// Lower bound the policy must respect.
+    pub min_nodes: u32,
+    /// Upper bound the policy must respect.
+    pub max_nodes: u32,
+    /// Exogenous demand in active clients.
+    pub trace: LoadTrace,
+    /// How often the controller observes and decides.
+    pub control_interval: Nanos,
+    /// Trailing window each observation summarizes.
+    pub observe_window: Nanos,
+    /// End of simulated time.
+    pub horizon: Nanos,
+    /// Migration worker threads per new/drained node.
+    pub threads_per_node: u32,
+    /// Simulator constants.
+    pub params: SimParams,
+}
+
+impl AutoscaleSpec {
+    /// The §6.6 burst at paper scale driven closed-loop: 400→800→400
+    /// clients, the cluster free to move between 8 and 16 nodes.
+    #[must_use]
+    pub fn paper_spike(kind: CoordKind, granule_scale: u64) -> Self {
+        AutoscaleSpec {
+            kind,
+            workload: Workload::Ycsb {
+                granules: 200_000 / granule_scale,
+            },
+            initial_nodes: 8,
+            min_nodes: 8,
+            max_nodes: 16,
+            trace: LoadTrace::spike(400, 800, 20 * SECOND, 80 * SECOND),
+            control_interval: 2 * SECOND,
+            observe_window: 4 * SECOND,
+            horizon: 120 * SECOND,
+            threads_per_node: 16,
+            params: SimParams::default(),
+        }
+    }
+
+    /// A two-cycle diurnal curve between `min_nodes` and `max_nodes`
+    /// worth of demand.
+    #[must_use]
+    pub fn diurnal(kind: CoordKind, granules: u64) -> Self {
+        let period = 120 * SECOND;
+        let horizon = 2 * period;
+        AutoscaleSpec {
+            kind,
+            workload: Workload::Ycsb { granules },
+            initial_nodes: 4,
+            min_nodes: 4,
+            max_nodes: 12,
+            trace: LoadTrace::diurnal(100, 600, period, horizon, 12),
+            control_interval: 2 * SECOND,
+            observe_window: 4 * SECOND,
+            horizon,
+            threads_per_node: 8,
+            params: SimParams::default(),
+        }
+    }
+
+    /// The default reactive controller for this spec's bounds.
+    #[must_use]
+    pub fn reactive_controller(&self) -> Controller {
+        Controller::new(Box::new(ReactivePolicy::new(ReactiveConfig {
+            step_nodes: self.initial_nodes,
+            cooldown: 3 * self.control_interval,
+            ..ReactiveConfig::paper_default(self.min_nodes, self.max_nodes)
+        })))
+    }
+}
+
+/// The simulator-side [`Actuator`]: controller decisions become
+/// virtual-time migration plans.
+pub struct SimActuator<'a> {
+    sim: &'a mut ClusterSim,
+    threads_per_node: u32,
+}
+
+impl Actuator for SimActuator<'_> {
+    fn add_nodes(&mut self, at: Nanos, count: u32) {
+        self.sim
+            .apply_action(at, &ScaleAction::AddNodes { count }, self.threads_per_node);
+    }
+
+    fn remove_nodes(&mut self, at: Nanos, victims: &[NodeId]) {
+        self.sim.apply_action(
+            at,
+            &ScaleAction::RemoveNodes {
+                victims: victims.to_vec(),
+            },
+            self.threads_per_node,
+        );
+    }
+
+    fn rebalance(&mut self, at: Nanos, moves: &[GranuleMove]) {
+        self.sim.apply_action(
+            at,
+            &ScaleAction::Rebalance {
+                moves: moves.to_vec(),
+            },
+            self.threads_per_node,
+        );
+    }
+}
+
+/// Run the closed loop: simulate, observe every `control_interval`,
+/// decide, actuate, repeat to the horizon.
+pub fn run_autoscale(spec: &AutoscaleSpec, controller: &mut Controller) -> ClusterSim {
+    let mut sim = ClusterSim::new(
+        spec.params.clone(),
+        spec.kind,
+        &spec.workload,
+        spec.initial_nodes,
+        spec.trace.peak(),
+        spec.horizon,
+    );
+    for &(t, clients) in spec.trace.changes() {
+        sim.schedule_client_count(t, clients);
+    }
+    let mut t = spec.control_interval;
+    while t <= spec.horizon {
+        sim.run_until(t);
+        let obs = sim.observe(t, spec.observe_window);
+        let mut actuator = SimActuator {
+            sim: &mut sim,
+            threads_per_node: spec.threads_per_node,
+        };
+        controller.tick(&obs, &mut actuator);
+        t += spec.control_interval;
+    }
+    sim.run_until(spec.horizon);
+    sim.finish();
+    sim
+}
+
+/// Peak live node count over a run (from the node-count series).
+#[must_use]
+pub fn peak_nodes(sim: &ClusterSim) -> u32 {
+    sim.metrics
+        .node_count
+        .points()
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(0.0f64, f64::max) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> AutoscaleSpec {
+        AutoscaleSpec {
+            kind: CoordKind::Marlin,
+            workload: Workload::Ycsb { granules: 2_000 },
+            initial_nodes: 2,
+            min_nodes: 2,
+            max_nodes: 4,
+            // ~0.05 worker-equivalents per closed-loop client: 8 clients
+            // idle along at ~5% utilization, 160 saturate two 4-vCPU
+            // nodes (≈96%), so the spike crosses the 80% watermark.
+            trace: LoadTrace::spike(8, 160, 10 * SECOND, 40 * SECOND),
+            control_interval: 2 * SECOND,
+            observe_window: 4 * SECOND,
+            horizon: 70 * SECOND,
+            threads_per_node: 4,
+            params: SimParams::default(),
+        }
+    }
+
+    #[test]
+    fn controller_scales_out_on_the_spike_and_back_in() {
+        let spec = small_spec();
+        let mut controller = spec.reactive_controller();
+        let sim = run_autoscale(&spec, &mut controller);
+        assert_eq!(
+            peak_nodes(&sim),
+            spec.max_nodes,
+            "the spike must reach max_nodes"
+        );
+        assert_eq!(
+            sim.live_nodes(),
+            spec.min_nodes,
+            "calm must drain back to min_nodes"
+        );
+        assert!(
+            controller.scale_action_count() >= 2,
+            "at least one scale-out and one scale-in: {:?}",
+            controller.history()
+        );
+        // Every granule is owned by a live node at the end (the policy is
+        // free to drain *any* coolest nodes, not necessarily the added
+        // ones — what matters is that no granule is left on a released
+        // node).
+        let live = sim.live_node_ids();
+        let owners = sim.owners();
+        assert!(
+            owners.iter().all(|o| live.contains(o)),
+            "granules drained to survivors"
+        );
+        assert!(
+            sim.metrics.migrations.total() > 0,
+            "scaling really migrated granules"
+        );
+    }
+
+    #[test]
+    fn quiet_load_never_triggers_scaling() {
+        let mut spec = small_spec();
+        spec.trace = LoadTrace::constant(8);
+        spec.horizon = 30 * SECOND;
+        let mut controller = spec.reactive_controller();
+        let sim = run_autoscale(&spec, &mut controller);
+        assert_eq!(sim.live_nodes(), spec.initial_nodes);
+        assert_eq!(
+            controller.scale_action_count(),
+            0,
+            "steady low load must not flap: {:?}",
+            controller.history()
+        );
+    }
+
+    #[test]
+    fn diurnal_cycles_scale_out_and_in_repeatedly() {
+        let mut spec = AutoscaleSpec::diurnal(CoordKind::Marlin, 2_000);
+        // Shrink for test time: one 60 s period, two cycles.
+        let period = 60 * SECOND;
+        spec.trace = LoadTrace::diurnal(8, 160, period, 2 * period, 8);
+        spec.initial_nodes = 2;
+        spec.min_nodes = 2;
+        spec.max_nodes = 4;
+        spec.threads_per_node = 4;
+        spec.horizon = 2 * period;
+        let mut controller = spec.reactive_controller();
+        let sim = run_autoscale(&spec, &mut controller);
+        // The cluster breathed: grew above min and returned at least once.
+        assert!(peak_nodes(&sim) > spec.min_nodes);
+        let outs = controller
+            .history()
+            .iter()
+            .filter(|(_, a)| matches!(a, ScaleAction::AddNodes { .. }))
+            .count();
+        let ins = controller
+            .history()
+            .iter()
+            .filter(|(_, a)| matches!(a, ScaleAction::RemoveNodes { .. }))
+            .count();
+        assert!(outs >= 2, "two diurnal peaks → two scale-outs, got {outs}");
+        assert!(ins >= 2, "two troughs → two scale-ins, got {ins}");
+    }
+}

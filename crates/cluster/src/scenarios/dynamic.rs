@@ -16,6 +16,9 @@ pub struct DynamicSpec {
     pub kind: CoordKind,
     pub workload: Workload,
     pub base_nodes: u32,
+    /// Total node count during the burst (the paper scales 8 → 16, so
+    /// `burst_nodes - base_nodes` nodes join at `burst_at` and drain at
+    /// `calm_at`).
     pub burst_nodes: u32,
     pub base_clients: u32,
     pub burst_clients: u32,
@@ -34,9 +37,11 @@ impl DynamicSpec {
     pub fn paper(kind: CoordKind, granule_scale: u64) -> Self {
         DynamicSpec {
             kind,
-            workload: Workload::Ycsb { granules: 200_000 / granule_scale },
+            workload: Workload::Ycsb {
+                granules: 200_000 / granule_scale,
+            },
             base_nodes: 8,
-            burst_nodes: 8,
+            burst_nodes: 16,
             base_clients: 400,
             burst_clients: 800,
             burst_at: 20 * SECOND,
@@ -60,14 +65,19 @@ pub fn run_dynamic(spec: &DynamicSpec) -> ClusterSim {
         spec.burst_clients, // provision generators for the peak
         spec.horizon,
     );
+    assert!(
+        spec.burst_nodes > spec.base_nodes,
+        "burst_nodes is the burst-time total and must exceed base_nodes"
+    );
+    let added = spec.burst_nodes - spec.base_nodes;
     // Start at the base load.
     sim.schedule_client_count(0, spec.base_clients);
-    // Burst: more clients + scale-out.
+    // Burst: more clients + scale-out to `burst_nodes` total.
     sim.schedule_client_count(spec.burst_at, spec.burst_clients);
-    sim.schedule_scale_out(spec.burst_at, spec.burst_nodes, spec.threads_per_node);
+    sim.schedule_scale_out(spec.burst_at, added, spec.threads_per_node);
     // Calm: fewer clients + scale-in of the added nodes.
     sim.schedule_client_count(spec.calm_at, spec.base_clients);
-    let victims: Vec<u32> = (spec.base_nodes..spec.base_nodes + spec.burst_nodes).collect();
+    let victims: Vec<u32> = (spec.base_nodes..spec.burst_nodes).collect();
     sim.schedule_scale_in(spec.calm_at, victims, spec.threads_per_node);
     sim.run();
     sim
@@ -96,7 +106,7 @@ mod tests {
             kind: CoordKind::Marlin,
             workload: Workload::Ycsb { granules: 1_000 },
             base_nodes: 2,
-            burst_nodes: 2,
+            burst_nodes: 4,
             base_clients: 10,
             burst_clients: 20,
             burst_at: 5 * SECOND,
@@ -134,7 +144,7 @@ mod tests {
                 kind,
                 workload: Workload::Ycsb { granules: 20_000 },
                 base_nodes: 2,
-                burst_nodes: 2,
+                burst_nodes: 4,
                 base_clients: 10,
                 burst_clients: 20,
                 burst_at: 5 * SECOND,

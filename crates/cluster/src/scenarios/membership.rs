@@ -75,17 +75,15 @@ mod tests {
     #[test]
     fn low_contention_marlin_matches_offered_load() {
         let (period, horizon) = (15 * SECOND, 50 * SECOND);
-        let r = run_membership_stress(
-            CoordKind::Marlin,
-            8,
-            period,
-            horizon,
-            SimParams::default(),
-        );
+        let r = run_membership_stress(CoordKind::Marlin, 8, period, horizon, SimParams::default());
         // Every burst inside the horizon commits fully.
         let committed = (r.throughput * (horizon as f64 / SECOND as f64)).round() as u64;
         assert_eq!(committed, expected_updates(8, period, horizon));
-        assert!(r.mean_latency < 50 * MILLISECOND, "latency {}", r.mean_latency);
+        assert!(
+            r.mean_latency < 50 * MILLISECOND,
+            "latency {}",
+            r.mean_latency
+        );
     }
 
     #[test]
@@ -104,7 +102,12 @@ mod tests {
             45 * SECOND,
             SimParams::default(),
         );
-        assert!(stormy.retries > quiet.retries * 10, "retries {} vs {}", stormy.retries, quiet.retries);
+        assert!(
+            stormy.retries > quiet.retries * 10,
+            "retries {} vs {}",
+            stormy.retries,
+            quiet.retries
+        );
         assert!(stormy.mean_latency > quiet.mean_latency);
     }
 

@@ -1,10 +1,12 @@
 //! Experiment drivers: one function per evaluation scenario (§6.1.3's
 //! four testing scenarios), consumed by the bench targets.
 
+pub mod autoscale;
 pub mod dynamic;
 pub mod membership;
 pub mod scale_out;
 
+pub use autoscale::{peak_nodes, run_autoscale, AutoscaleSpec, SimActuator};
 pub use dynamic::{run_dynamic, DynamicSpec};
 pub use membership::{run_membership_stress, MembershipResult};
 pub use scale_out::{run_scale_out, ScaleOutSpec, ScaleOutSummary};

@@ -33,7 +33,9 @@ impl ScaleOutSpec {
     pub fn ycsb_so8_16(kind: CoordKind, granule_scale: u64) -> Self {
         ScaleOutSpec {
             kind,
-            workload: Workload::Ycsb { granules: 200_000 / granule_scale },
+            workload: Workload::Ycsb {
+                granules: 200_000 / granule_scale,
+            },
             initial_nodes: 8,
             new_nodes: 8,
             clients: 800,
@@ -53,11 +55,15 @@ impl ScaleOutSpec {
         // step does substantially more per-node work (locking a whole
         // warehouse, initiating a 1 MB scan), which is what bounds Marlin's
         // TPC-C migration rate in Figure 11.
-        let mut params = SimParams::default();
-        params.migration_service = 2_000_000; // 2 ms per side
+        let params = SimParams {
+            migration_service: 2_000_000, // 2 ms per side
+            ..SimParams::default()
+        };
         ScaleOutSpec {
             kind,
-            workload: Workload::Tpcc { warehouses: 12_800 / granule_scale },
+            workload: Workload::Tpcc {
+                warehouses: 12_800 / granule_scale,
+            },
             initial_nodes: 8,
             new_nodes: 8,
             clients: 800,
@@ -93,7 +99,10 @@ impl ScaleOutSpec {
     /// per metadata commit still finish their storms in-window.
     #[must_use]
     pub fn geo(mut self) -> Self {
-        self.params = SimParams { seed: self.params.seed, ..SimParams::geo() };
+        self.params = SimParams {
+            seed: self.params.seed,
+            ..SimParams::geo()
+        };
         self.horizon = 400 * SECOND;
         self.threads_per_new_node = 16;
         self

@@ -24,9 +24,8 @@ use crate::cost::CostModel;
 use crate::metrics::RunMetrics;
 use crate::params::{CoordKind, SimParams};
 use bytes::Bytes;
-use marlin_baselines::{
-    CoordReply, CoordRequest, CoordinationService, FdbService, ZkService,
-};
+use marlin_autoscaler::{GranuleLoad, NodeLoad, Observation, ScaleAction};
+use marlin_baselines::{CoordReply, CoordRequest, CoordinationService, FdbService, ZkService};
 use marlin_common::{GranuleId, LogId, NodeId, RegionId, StorageError};
 use marlin_core::LsnTracker;
 use marlin_sim::{ActorId, DetRng, EventQueue, Nanos, TimeSeries, SECOND};
@@ -56,7 +55,11 @@ const CPU_TAU: f64 = 0.5e9;
 
 impl CpuModel {
     fn new(workers: usize) -> Self {
-        CpuModel { workers: workers as f64, load: 0.0, last: 0 }
+        CpuModel {
+            workers: workers as f64,
+            load: 0.0,
+            last: 0,
+        }
     }
 
     /// Charge `service` work arriving at `at`; returns service + queueing
@@ -71,6 +74,18 @@ impl CpuModel {
         let rho = (self.load / self.workers).min(0.98);
         let delay = service as f64 * rho / (1.0 - rho);
         service + delay as Nanos
+    }
+
+    /// Read-only utilization estimate at `at` (load decayed to the
+    /// observation instant, *not* clamped to the service ceiling — values
+    /// above 1 expose queue build-up to the autoscaler).
+    fn rho_at(&self, at: Nanos) -> f64 {
+        let load = if at > self.last {
+            self.load * (-((at - self.last) as f64) / CPU_TAU).exp()
+        } else {
+            self.load
+        };
+        load / self.workers
     }
 }
 
@@ -195,7 +210,10 @@ enum Event {
     StartPlan { plan_idx: usize },
     /// Dynamic scenario: drain `victims` onto survivors (the plan is built
     /// at fire time against current ownership).
-    StartDrain { victims: Vec<u32>, threads_per_victim: u32 },
+    StartDrain {
+        victims: Vec<u32>,
+        threads_per_victim: u32,
+    },
     /// Scale-in bookkeeping: remove nodes that have been fully drained.
     ReleaseDrained,
 }
@@ -228,8 +246,15 @@ pub struct ClusterSim {
     membership_starts: Vec<Option<Nanos>>,
     /// Migration worker state: (queue, cursor, current blocked task).
     workers: Vec<(Vec<MigrationTask>, usize)>,
-    /// Plans scheduled by the dynamic scenario.
-    pending_plans: Vec<MigrationPlan>,
+    /// Plans scheduled but not yet started, with the node slots each plan
+    /// activates when it fires.
+    pending_plans: Vec<(MigrationPlan, Vec<u32>)>,
+    /// Committed user transactions in the recent past: (commit time,
+    /// client-perceived latency). Pruned to the observation window.
+    recent_commits: std::collections::VecDeque<(Nanos, Nanos)>,
+    /// Accesses per granule since the last observation (heat sampling for
+    /// the rebalance planner).
+    granule_hits: Vec<u32>,
     /// Nodes being drained for scale-in.
     draining: Vec<u32>,
     /// Granules initially owned by each region's nodes (geo deployments
@@ -292,7 +317,12 @@ impl ClusterSim {
             .map(|g| {
                 let owner =
                     (u128::from(g) * u128::from(initial_nodes) / u128::from(granule_count)) as u32;
-                GranuleSim { owner, migrating: false, busy_until: 0, cold_left: 0 }
+                GranuleSim {
+                    owner,
+                    migrating: false,
+                    busy_until: 0,
+                    cold_left: 0,
+                }
             })
             .collect();
         let routes = granules.iter().map(|g| g.owner).collect();
@@ -380,6 +410,8 @@ impl ClusterSim {
             membership_starts: Vec::new(),
             workers: Vec::new(),
             pending_plans: Vec::new(),
+            recent_commits: std::collections::VecDeque::new(),
+            granule_hits: vec![0; granule_count as usize],
             draining: Vec::new(),
             region_granules,
             metrics: RunMetrics::new(),
@@ -390,7 +422,8 @@ impl ClusterSim {
         // the closed loops don't phase-lock) and cost sampling.
         for c in 0..clients {
             let jitter = sim.rng.range(0, 100 * 1_000_000);
-            sim.queue.schedule(jitter, ActorId(0), Event::ClientTxn { client: c });
+            sim.queue
+                .schedule(jitter, ActorId(0), Event::ClientTxn { client: c });
         }
         sim.queue.schedule(SECOND, ActorId(0), Event::CostTick);
         sim.metrics.node_count.push(0, f64::from(initial_nodes));
@@ -409,24 +442,196 @@ impl ClusterSim {
         self.nodes.iter().filter(|n| n.alive).count() as u32
     }
 
+    /// Indices of the live nodes.
+    #[must_use]
+    pub fn live_node_ids(&self) -> Vec<u32> {
+        (0..self.nodes.len() as u32)
+            .filter(|&i| self.nodes[i as usize].alive)
+            .collect()
+    }
+
     /// Current granule owners (for assertions).
     #[must_use]
     pub fn owners(&self) -> Vec<u32> {
         self.granules.iter().map(|g| g.owner).collect()
     }
 
+    // ---------------------------------------------------------------------
+    // autoscaler hooks (observe / actuate)
+
+    /// How many of the hottest granules an observation samples for the
+    /// rebalance planner.
+    const OBSERVED_HOT_GRANULES: usize = 64;
+
+    /// Upper bound on the commit-latency window retained by the commit
+    /// path (observation windows larger than this would under-count).
+    const MAX_OBSERVE_WINDOW: Nanos = 60 * SECOND;
+
+    /// Snapshot cluster health at `now` over the trailing `window`.
+    ///
+    /// Throughput and p99 latency come from the committed-transaction
+    /// window, per-node utilization from the CPU queueing models (decayed
+    /// to `now`), the burn rate from the §6.1.5 cost model, and granule
+    /// heat from the access counters accumulated since the last
+    /// observation (which this call resets).
+    pub fn observe(&mut self, now: Nanos, window: Nanos) -> Observation {
+        debug_assert!(
+            window <= Self::MAX_OBSERVE_WINDOW,
+            "observation window exceeds the retained commit history"
+        );
+        let cutoff = now.saturating_sub(window);
+        self.recent_commits.retain(|&(t, _)| t >= cutoff);
+        let window_s = (window as f64 / SECOND as f64).max(1e-9);
+        let throughput_tps = self.recent_commits.len() as f64 / window_s;
+        let p99_latency = if self.recent_commits.is_empty() {
+            0
+        } else {
+            let mut lat: Vec<Nanos> = self.recent_commits.iter().map(|&(_, l)| l).collect();
+            lat.sort_unstable();
+            lat[(lat.len() - 1) * 99 / 100]
+        };
+
+        // Per-node load and placement.
+        let mut owned = vec![0u64; self.nodes.len()];
+        for g in &self.granules {
+            owned[g.owner as usize] += 1;
+        }
+        let node_loads: Vec<NodeLoad> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| NodeLoad {
+                node: NodeId(i as u32),
+                alive: n.alive,
+                utilization: n.cpu.rho_at(now),
+                owned_granules: owned[i],
+            })
+            .collect();
+        let live: Vec<&NodeLoad> = node_loads.iter().filter(|n| n.alive).collect();
+        let mean_utilization = if live.is_empty() {
+            0.0
+        } else {
+            live.iter().map(|n| n.utilization.min(1.0)).sum::<f64>() / live.len() as f64
+        };
+        let queue_depth = if live.is_empty() {
+            0.0
+        } else {
+            live.iter()
+                .map(|n| (n.utilization - 1.0).max(0.0))
+                .sum::<f64>()
+                / live.len() as f64
+        };
+
+        // Hottest granules since the last observation; counters reset so
+        // each observation sees one window's heat.
+        let mut hot: Vec<(u32, u64)> = self
+            .granule_hits
+            .iter()
+            .enumerate()
+            .filter(|(_, &h)| h > 0)
+            .map(|(g, &h)| (h, g as u64))
+            .collect();
+        hot.sort_unstable_by(|a, b| b.cmp(a));
+        hot.truncate(Self::OBSERVED_HOT_GRANULES);
+        let granule_loads: Vec<GranuleLoad> = hot
+            .into_iter()
+            .map(|(hits, g)| GranuleLoad {
+                granule: GranuleId(g),
+                owner: NodeId(self.granules[g as usize].owner),
+                load: f64::from(hits),
+            })
+            .collect();
+        self.granule_hits.iter_mut().for_each(|h| *h = 0);
+
+        Observation {
+            at: now,
+            live_nodes: self.live_nodes(),
+            throughput_tps,
+            p99_latency,
+            mean_utilization,
+            queue_depth,
+            dollars_per_hour: self.cost.hourly_rate_now(),
+            node_loads,
+            granule_loads,
+        }
+    }
+
+    /// Actuate one controller decision at virtual time `at`.
+    ///
+    /// Scale-outs and scale-ins reuse the same migration-plan machinery
+    /// the scripted scenarios exercise; rebalance moves become a one-off
+    /// migration plan after re-validating each move against current
+    /// ownership (the observation the planner saw may be a control
+    /// interval old).
+    pub fn apply_action(&mut self, at: Nanos, action: &ScaleAction, threads_per_node: u32) {
+        match action {
+            ScaleAction::AddNodes { count } => {
+                if *count > 0 {
+                    self.schedule_scale_out(at, *count, threads_per_node);
+                }
+            }
+            ScaleAction::RemoveNodes { victims } => {
+                let victims: Vec<u32> = victims
+                    .iter()
+                    .map(|n| n.0)
+                    .filter(|&v| {
+                        (v as usize) < self.nodes.len()
+                            && self.nodes[v as usize].alive
+                            && !self.draining.contains(&v)
+                    })
+                    .collect();
+                if !victims.is_empty() && (victims.len() as u32) < self.live_nodes() {
+                    self.schedule_scale_in(at, victims, threads_per_node);
+                }
+            }
+            ScaleAction::Rebalance { moves } => {
+                let tasks: Vec<MigrationTask> = moves
+                    .iter()
+                    .filter(|m| {
+                        let g = m.granule.0 as usize;
+                        g < self.granules.len()
+                            && self.granules[g].owner == m.src.0
+                            && !self.granules[g].migrating
+                            && (m.dst.0 as usize) < self.nodes.len()
+                            && self.nodes[m.dst.0 as usize].alive
+                    })
+                    .map(|m| MigrationTask {
+                        granule: m.granule.0,
+                        src: m.src.0,
+                        dst: m.dst.0,
+                    })
+                    .collect();
+                if tasks.is_empty() {
+                    return;
+                }
+                // One worker thread per distinct destination.
+                let mut dsts: Vec<u32> = tasks.iter().map(|t| t.dst).collect();
+                dsts.sort_unstable();
+                dsts.dedup();
+                let mut queues: Vec<Vec<MigrationTask>> = vec![Vec::new(); dsts.len()];
+                for task in tasks {
+                    let d = dsts.binary_search(&task.dst).expect("dst indexed");
+                    queues[d].push(task);
+                }
+                self.schedule_plan(at, MigrationPlan { queues }, Vec::new());
+            }
+        }
+    }
+
     /// Schedule a scale-out at `at`: `new_nodes` nodes join and the plan's
     /// migrations run with `threads_per_new_node` workers per new node.
     pub fn schedule_scale_out(&mut self, at: Nanos, new_nodes: u32, threads_per_new_node: u32) {
-        let plan = self.balanced_plan_for_new_nodes(new_nodes, threads_per_new_node);
-        self.pending_plans.push(plan);
+        let (plan, slots) = self.balanced_plan_for_new_nodes(new_nodes, threads_per_new_node);
+        self.pending_plans.push((plan, slots));
         let idx = self.pending_plans.len() - 1;
-        self.queue.schedule_at(at, ActorId(0), Event::StartPlan { plan_idx: idx });
+        self.queue
+            .schedule_at(at, ActorId(0), Event::StartPlan { plan_idx: idx });
     }
 
     /// Schedule a change of the active client count (dynamic workloads).
     pub fn schedule_client_count(&mut self, at: Nanos, count: u32) {
-        self.queue.schedule_at(at, ActorId(0), Event::SetClients { count });
+        self.queue
+            .schedule_at(at, ActorId(0), Event::SetClients { count });
     }
 
     /// Schedule a scale-in at `at`: drain `victims` onto the survivors and
@@ -435,75 +640,105 @@ impl ClusterSim {
         self.queue.schedule_at(
             at,
             ActorId(0),
-            Event::StartDrain { victims, threads_per_victim },
+            Event::StartDrain {
+                victims,
+                threads_per_victim,
+            },
         );
     }
 
-    /// Build a balanced migration plan that moves granules from existing
-    /// nodes onto `new_nodes` freshly added nodes.
-    fn balanced_plan_for_new_nodes(&mut self, new_nodes: u32, threads_per: u32) -> MigrationPlan {
-        let old_count = self.nodes.len() as u32;
-        // Provision the new nodes now (they join the membership when the
-        // plan starts; provisioning ahead keeps indices stable).
+    /// Build a balanced migration plan that moves granules from the live
+    /// nodes onto `new_nodes` joining nodes, and the slot indices the plan
+    /// activates. Released (dead) node slots are reused before fresh ones
+    /// are provisioned, so repeated scale-out/in cycles — the closed-loop
+    /// controller's steady diet — don't grow the node table without bound.
+    fn balanced_plan_for_new_nodes(
+        &mut self,
+        new_nodes: u32,
+        threads_per: u32,
+    ) -> (MigrationPlan, Vec<u32>) {
         let regions = self.params.regions.regions() as u16;
-        for i in 0..new_nodes {
+        // Slots already promised to a pending plan are not reusable.
+        let reserved: std::collections::BTreeSet<u32> = self
+            .pending_plans
+            .iter()
+            .flat_map(|(_, slots)| slots.iter().copied())
+            .collect();
+        let mut slots: Vec<u32> = (0..self.nodes.len() as u32)
+            .filter(|&i| {
+                !self.nodes[i as usize].alive
+                    && !reserved.contains(&i)
+                    && !self.draining.contains(&i)
+            })
+            .take(new_nodes as usize)
+            .collect();
+        while (slots.len() as u32) < new_nodes {
+            let idx = self.nodes.len() as u32;
             self.nodes.push(NodeSim {
-                region: RegionId((old_count + i) as u16 % regions),
+                region: RegionId(idx as u16 % regions),
                 cpu: CpuModel::new(self.params.cpu_workers),
                 glog: SharedLog::new(),
                 tracker: LsnTracker::new(),
                 append_station: CpuModel::new(1),
                 alive: false, // activates when the plan starts
             });
+            slots.push(idx);
         }
-        let total = old_count + new_nodes;
+
+        let live: Vec<u32> = (0..self.nodes.len() as u32)
+            .filter(|&i| self.nodes[i as usize].alive)
+            .collect();
+        let total = (live.len() + slots.len()) as u64;
         // Target: every node ends with granule_count/total granules; move
-        // the excess from each old node to the new ones, preferring same-
-        // region destinations (the geo setting migrates within regions).
+        // the excess from each live node to the joining ones, preferring
+        // same-region destinations (the geo setting migrates within
+        // regions).
         let mut tasks: Vec<MigrationTask> = Vec::new();
-        let per_node_target = self.granules.len() as u64 / u64::from(total);
-        let mut surplus: Vec<Vec<u64>> = vec![Vec::new(); old_count as usize];
-        let mut counts = vec![0u64; self.nodes.len()];
+        let per_node_target = self.granules.len() as u64 / total.max(1);
+        let mut surplus: std::collections::BTreeMap<u32, Vec<u64>> =
+            live.iter().map(|&i| (i, Vec::new())).collect();
         for (g, gran) in self.granules.iter().enumerate() {
-            counts[gran.owner as usize] += 1;
-            surplus[gran.owner as usize].push(g as u64);
+            if let Some(list) = surplus.get_mut(&gran.owner) {
+                list.push(g as u64);
+            }
         }
-        let mut new_node_fill: Vec<u64> = vec![0; new_nodes as usize];
         let mut next_new = 0usize;
-        for (owner, granules) in surplus.iter().enumerate() {
-            let excess = counts[owner].saturating_sub(per_node_target);
+        for (&owner, granules) in &surplus {
+            let excess = (granules.len() as u64).saturating_sub(per_node_target);
             for g in granules.iter().rev().take(excess as usize) {
-                // Round-robin over new nodes in the same region if any.
-                let src_region = self.nodes[owner].region;
+                // Round-robin over joining nodes in the same region if any.
+                let src_region = self.nodes[owner as usize].region;
                 let mut dst = None;
-                for probe in 0..new_nodes as usize {
-                    let cand = (next_new + probe) % new_nodes as usize;
-                    if self.nodes[old_count as usize + cand].region == src_region {
+                for probe in 0..slots.len() {
+                    let cand = (next_new + probe) % slots.len();
+                    if self.nodes[slots[cand] as usize].region == src_region {
                         dst = Some(cand);
                         break;
                     }
                 }
-                let dst = dst.unwrap_or(next_new % new_nodes as usize);
+                let dst = dst.unwrap_or(next_new % slots.len());
                 next_new = dst + 1;
-                new_node_fill[dst] += 1;
                 tasks.push(MigrationTask {
                     granule: *g,
-                    src: owner as u32,
-                    dst: old_count + dst as u32,
+                    src: owner,
+                    dst: slots[dst],
                 });
             }
         }
         // Partition tasks into per-thread queues grouped by destination.
-        let threads_total = (new_nodes * threads_per) as usize;
+        let threads_total = slots.len() * threads_per as usize;
         let mut queues: Vec<Vec<MigrationTask>> = vec![Vec::new(); threads_total.max(1)];
-        let mut dst_cursor = vec![0usize; new_nodes as usize];
+        let mut dst_cursor = vec![0usize; slots.len()];
         for task in tasks {
-            let d = (task.dst - old_count) as usize;
+            let d = slots
+                .iter()
+                .position(|&s| s == task.dst)
+                .expect("dst is a slot");
             let thread = d * threads_per as usize + dst_cursor[d] % threads_per as usize;
             dst_cursor[d] += 1;
             queues[thread].push(task);
         }
-        MigrationPlan { queues }
+        (MigrationPlan { queues }, slots)
     }
 
     /// Build a drain plan that empties `victims` (node indices) onto the
@@ -527,7 +762,11 @@ impl ClusterSim {
                 let thread =
                     vi * threads_per_victim as usize + cursor[vi] % threads_per_victim as usize;
                 cursor[vi] += 1;
-                queues[thread].push(MigrationTask { granule: g as u64, src: gran.owner, dst });
+                queues[thread].push(MigrationTask {
+                    granule: g as u64,
+                    src: gran.owner,
+                    dst,
+                });
             }
         }
         MigrationPlan { queues }
@@ -536,10 +775,11 @@ impl ClusterSim {
     /// Schedule a prepared plan (used by the dynamic scenario for
     /// scale-in; marks sources as draining so they release once empty).
     pub fn schedule_plan(&mut self, at: Nanos, plan: MigrationPlan, draining: Vec<u32>) {
-        self.pending_plans.push(plan);
+        self.pending_plans.push((plan, Vec::new()));
         let idx = self.pending_plans.len() - 1;
         self.draining.extend(draining);
-        self.queue.schedule_at(at, ActorId(0), Event::StartPlan { plan_idx: idx });
+        self.queue
+            .schedule_at(at, ActorId(0), Event::StartPlan { plan_idx: idx });
     }
 
     /// Configure the Figure 15 membership stress: `members` virtual nodes
@@ -557,19 +797,32 @@ impl ClusterSim {
         for m in 0..members {
             let first = period + self.rng.range(0, stagger);
             self.membership_origins.push(first);
-            self.queue.schedule_at(first, ActorId(0), Event::MembershipTick { member: m });
+            self.queue
+                .schedule_at(first, ActorId(0), Event::MembershipTick { member: m });
         }
         self.membership_period = period;
     }
 
     /// Run to the horizon.
     pub fn run(&mut self) {
-        while let Some(ev) = self.queue.pop() {
-            if ev.at > self.horizon {
-                break;
-            }
+        self.run_until(self.horizon);
+        self.finish();
+    }
+
+    /// Process events up to virtual time `t` (clamped to the horizon),
+    /// then stop so an external controller can observe and actuate. The
+    /// closed-loop runners interleave `run_until` with
+    /// [`ClusterSim::observe`] / [`ClusterSim::apply_action`].
+    pub fn run_until(&mut self, t: Nanos) {
+        let t = t.min(self.horizon);
+        while self.queue.next_time().is_some_and(|next| next <= t) {
+            let ev = self.queue.pop().expect("peeked event exists");
             self.dispatch(ev.at, ev.msg);
         }
+    }
+
+    /// Final cost accounting once the horizon is reached.
+    pub fn finish(&mut self) {
         let final_nodes = self.live_nodes();
         self.cost.advance(self.horizon, final_nodes);
         self.cost.sample_into(&mut self.cost_series, self.horizon);
@@ -602,17 +855,18 @@ impl ClusterSim {
                     let was = c.active;
                     c.active = (i as u32) < self.active_clients;
                     if !was && c.active {
-                        self.queue.schedule(0, ActorId(0), Event::ClientTxn { client: i as u32 });
+                        self.queue
+                            .schedule(0, ActorId(0), Event::ClientTxn { client: i as u32 });
                     }
                 }
             }
             Event::StartPlan { plan_idx } => {
-                let plan = std::mem::take(&mut self.pending_plans[plan_idx]);
-                // New nodes join the membership now (AddNodeTxn cost).
-                for node in &mut self.nodes {
-                    if !node.alive {
-                        node.alive = true;
-                    }
+                let (plan, activate) = std::mem::take(&mut self.pending_plans[plan_idx]);
+                // This plan's nodes join the membership now (AddNodeTxn
+                // cost). Other dead slots stay released — they may belong
+                // to a different pending plan or to a finished drain.
+                for slot in activate {
+                    self.nodes[slot as usize].alive = true;
                 }
                 let live = self.live_nodes();
                 self.cost.advance(now, live);
@@ -623,11 +877,16 @@ impl ClusterSim {
                     self.queue.schedule(
                         0,
                         ActorId(0),
-                        Event::MigWorker { worker: base + i as u32 },
+                        Event::MigWorker {
+                            worker: base + i as u32,
+                        },
                     );
                 }
             }
-            Event::StartDrain { victims, threads_per_victim } => {
+            Event::StartDrain {
+                victims,
+                threads_per_victim,
+            } => {
                 let plan = self.drain_plan(&victims, threads_per_victim);
                 self.draining.extend(victims);
                 let base = self.workers.len() as u32;
@@ -636,7 +895,9 @@ impl ClusterSim {
                     self.queue.schedule(
                         0,
                         ActorId(0),
-                        Event::MigWorker { worker: base + i as u32 },
+                        Event::MigWorker {
+                            worker: base + i as u32,
+                        },
                     );
                 }
             }
@@ -672,7 +933,10 @@ impl ClusterSim {
     }
 
     fn backoff(&mut self, strikes: u32) -> Nanos {
-        let exp = self.params.backoff_base.saturating_mul(1 << strikes.min(16));
+        let exp = self
+            .params
+            .backoff_base
+            .saturating_mul(1 << strikes.min(16));
         let cap = exp.min(self.params.backoff_cap);
         self.rng.range(cap / 2, cap + 1)
     }
@@ -689,8 +953,8 @@ impl ClusterSim {
         // Geo deployment: clients only touch data homed in their own
         // region (§6.5). Remap each granule into the region's set; the
         // same mapping applies to per-op granules during execution.
-        let remap: Option<std::collections::HashMap<u64, u64>> =
-            (self.region_granules.len() > 1).then(|| {
+        let remap: Option<std::collections::HashMap<u64, u64>> = (self.region_granules.len() > 1)
+            .then(|| {
                 let local = &self.region_granules[self.clients[c].region.0 as usize];
                 let map: std::collections::HashMap<u64, u64> = touched
                     .iter()
@@ -717,7 +981,8 @@ impl ClusterSim {
             let strikes = self.clients[c].strikes;
             self.clients[c].strikes = strikes.saturating_add(1);
             let delay = rtt + self.backoff(strikes);
-            self.queue.schedule(delay, ActorId(0), Event::ClientTxn { client });
+            self.queue
+                .schedule(delay, ActorId(0), Event::ClientTxn { client });
             return;
         }
         // NO_WAIT against in-flight migrations on any touched granule.
@@ -727,7 +992,8 @@ impl ClusterSim {
             let strikes = self.clients[c].strikes;
             self.clients[c].strikes = strikes.saturating_add(1);
             let delay = rtt + self.backoff(strikes);
-            self.queue.schedule(delay, ActorId(0), Event::ClientTxn { client });
+            self.queue
+                .schedule(delay, ActorId(0), Event::ClientTxn { client });
             return;
         }
 
@@ -766,8 +1032,10 @@ impl ClusterSim {
         // home node's GLog — a *real* CAS against real LSN state.
         t += self.jittered(self.params.group_commit_wait);
         let participants: Vec<usize> = {
-            let mut p: Vec<usize> =
-                touched.iter().map(|&g| self.granules[g as usize].owner as usize).collect();
+            let mut p: Vec<usize> = touched
+                .iter()
+                .map(|&g| self.granules[g as usize].owner as usize)
+                .collect();
             p.sort_unstable();
             p.dedup();
             p
@@ -780,12 +1048,19 @@ impl ClusterSim {
         let mut cas_failed = false;
         for &p in &participants {
             let expected = self.nodes[p].tracker.get(LogId::GLog(NodeId(p as u32)));
-            match self.nodes[p].glog.conditional_append(vec![Bytes::new()], expected) {
+            match self.nodes[p]
+                .glog
+                .conditional_append(vec![Bytes::new()], expected)
+            {
                 Ok(out) => {
-                    self.nodes[p].tracker.observe(LogId::GLog(NodeId(p as u32)), out.new_lsn);
+                    self.nodes[p]
+                        .tracker
+                        .observe(LogId::GLog(NodeId(p as u32)), out.new_lsn);
                 }
                 Err(StorageError::LsnMismatch { current, .. }) => {
-                    self.nodes[p].tracker.observe(LogId::GLog(NodeId(p as u32)), current);
+                    self.nodes[p]
+                        .tracker
+                        .observe(LogId::GLog(NodeId(p as u32)), current);
                     cas_failed = true;
                 }
                 Err(_) => cas_failed = true,
@@ -798,25 +1073,39 @@ impl ClusterSim {
             let strikes = self.clients[c].strikes;
             self.clients[c].strikes = strikes.saturating_add(1);
             let delay = (commit_done - now) + self.backoff(strikes);
-            self.queue.schedule(delay, ActorId(0), Event::ClientTxn { client });
+            self.queue
+                .schedule(delay, ActorId(0), Event::ClientTxn { client });
             return;
         }
         let t_end = commit_done + self.one_way(home_region, client_region);
         for &g in &touched {
             let gran = &mut self.granules[g as usize];
             gran.busy_until = gran.busy_until.max(t_end);
+            self.granule_hits[g as usize] += 1;
         }
         self.metrics.commit(t_end, t_end - started);
+        self.recent_commits.push_back((t_end, t_end - started));
+        // Keep the window bounded here, not only in observe(): scripted
+        // scenarios and the figure benches never observe, and a
+        // paper-scale run commits tens of millions of transactions.
+        let floor = t_end.saturating_sub(Self::MAX_OBSERVE_WINDOW);
+        while self.recent_commits.front().is_some_and(|&(t, _)| t < floor) {
+            self.recent_commits.pop_front();
+        }
         self.clients[c].strikes = 0;
         self.clients[c].attempt_started = None;
         // Closed loop: next transaction immediately after the response.
-        self.queue.schedule_at(t_end, ActorId(0), Event::ClientTxn { client });
+        self.queue
+            .schedule_at(t_end, ActorId(0), Event::ClientTxn { client });
     }
 
     fn granules_of(&self, template: &TxnTemplate) -> (u64, Vec<u64>) {
         let anchor = self.granule_of_key(template, template.anchor);
-        let mut touched: Vec<u64> =
-            template.ops.iter().map(|op| self.granule_of_key(template, op.key)).collect();
+        let mut touched: Vec<u64> = template
+            .ops
+            .iter()
+            .map(|op| self.granule_of_key(template, op.key))
+            .collect();
         touched.push(anchor);
         touched.sort_unstable();
         touched.dedup();
@@ -862,10 +1151,14 @@ impl ClusterSim {
         if self.granules[g].busy_until > t {
             self.metrics.migration_retries += 1;
             let retry = self.granules[g].busy_until - t + self.rng.range(0, 2_000_000);
-            self.queue.schedule_at(t + retry, ActorId(0), Event::MigWorker { worker });
+            self.queue
+                .schedule_at(t + retry, ActorId(0), Event::MigWorker { worker });
             return;
         }
-        debug_assert_eq!(self.granules[g].owner, task.src, "plan consistent with ownership");
+        debug_assert_eq!(
+            self.granules[g].owner, task.src,
+            "plan consistent with ownership"
+        );
         // The granule lock is held from the effectiveness check through
         // the metadata commit — the window in which user transactions
         // NO_WAIT-abort against the migration (Figure 6 step 2/4).
@@ -883,7 +1176,9 @@ impl ClusterSim {
                         .glog
                         .conditional_append(vec![Bytes::new()], expected)
                         .expect("src GLog CAS: src is the sole writer under its lock");
-                    self.nodes[src].tracker.observe(LogId::GLog(NodeId(src as u32)), out.new_lsn);
+                    self.nodes[src]
+                        .tracker
+                        .observe(LogId::GLog(NodeId(src as u32)), out.new_lsn);
                     // The VOTE-REQ/response legs to the source ride the
                     // network (Algorithm 2 line 10).
                     let vote_rtt = 2 * self.one_way(dst_region, src_region);
@@ -895,7 +1190,9 @@ impl ClusterSim {
                         .glog
                         .conditional_append(vec![Bytes::new()], expected)
                         .expect("dst GLog CAS: dst is the sole writer");
-                    self.nodes[dst].tracker.observe(LogId::GLog(NodeId(dst as u32)), out.new_lsn);
+                    self.nodes[dst]
+                        .tracker
+                        .observe(LogId::GLog(NodeId(dst as u32)), out.new_lsn);
                     self.storage_append_done(dst, t)
                 };
                 // Async decisions still consume storage bandwidth.
@@ -905,9 +1202,13 @@ impl ClusterSim {
                 let _ = self.storage_append_done(src, decide_at);
                 let _ = self.storage_append_done(dst, decide_at);
                 let n_src = self.nodes[src].glog.end_lsn();
-                self.nodes[src].tracker.observe(LogId::GLog(NodeId(src as u32)), n_src);
+                self.nodes[src]
+                    .tracker
+                    .observe(LogId::GLog(NodeId(src as u32)), n_src);
                 let n_dst = self.nodes[dst].glog.end_lsn();
-                self.nodes[dst].tracker.observe(LogId::GLog(NodeId(dst as u32)), n_dst);
+                self.nodes[dst]
+                    .tracker
+                    .observe(LogId::GLog(NodeId(dst as u32)), n_dst);
                 decide_at
             }
             CoordBackend::Zk(svc) => {
@@ -950,16 +1251,21 @@ impl ClusterSim {
         self.queue.schedule_at(
             commit_done + self.params.warmup_per_granule,
             ActorId(0),
-            Event::WarmupDone { granule: task.granule },
+            Event::WarmupDone {
+                granule: task.granule,
+            },
         );
         self.queue.schedule_at(
             commit_done + self.params.route_broadcast_delay,
             ActorId(0),
-            Event::RouteUpdate { granule: task.granule },
+            Event::RouteUpdate {
+                granule: task.granule,
+            },
         );
         self.metrics.migration(commit_done, commit_done - now);
         self.workers[w].1 += 1;
-        self.queue.schedule_at(commit_done, ActorId(0), Event::MigWorker { worker });
+        self.queue
+            .schedule_at(commit_done, ActorId(0), Event::MigWorker { worker });
     }
 
     fn release_drained(&mut self, now: Nanos) {
@@ -1017,18 +1323,26 @@ impl ClusterSim {
                 }
             }
             CoordBackend::Zk(svc) => {
-                let req = if member % 2 == 0 {
-                    CoordRequest::AddNode { node: NodeId(10_000 + member) }
+                let req = if member.is_multiple_of(2) {
+                    CoordRequest::AddNode {
+                        node: NodeId(10_000 + member),
+                    }
                 } else {
-                    CoordRequest::DeleteNode { node: NodeId(10_000 + member) }
+                    CoordRequest::DeleteNode {
+                        node: NodeId(10_000 + member),
+                    }
                 };
                 Some(svc.submit(now, &req, &mut self.rng).done_at + self.params.intra_rtt)
             }
             CoordBackend::Fdb(svc) => {
-                let req = if member % 2 == 0 {
-                    CoordRequest::AddNode { node: NodeId(10_000 + member) }
+                let req = if member.is_multiple_of(2) {
+                    CoordRequest::AddNode {
+                        node: NodeId(10_000 + member),
+                    }
                 } else {
-                    CoordRequest::DeleteNode { node: NodeId(10_000 + member) }
+                    CoordRequest::DeleteNode {
+                        node: NodeId(10_000 + member),
+                    }
                 };
                 Some(svc.submit(now, &req, &mut self.rng).done_at + 2 * self.params.intra_rtt)
             }
@@ -1040,11 +1354,8 @@ impl ClusterSim {
             // Next update one period after this one *started*.
             let next = self.membership_tick_origin(member) + self.membership_period;
             self.set_membership_tick_origin(member, next);
-            self.queue.schedule_at(
-                next.max(done),
-                ActorId(0),
-                Event::MembershipTick { member },
-            );
+            self.queue
+                .schedule_at(next.max(done), ActorId(0), Event::MembershipTick { member });
         }
     }
 

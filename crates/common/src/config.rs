@@ -39,7 +39,13 @@ impl GranuleLayout {
             keyspace.len() >= granule_count,
             "keyspace must have at least one key per granule"
         );
-        GranuleLayout { table, keyspace, granule_count, granule_bytes, tuple_bytes }
+        GranuleLayout {
+            table,
+            keyspace,
+            granule_count,
+            granule_bytes,
+            tuple_bytes,
+        }
     }
 
     /// The granule that holds `key`, or `None` if the key is outside the
@@ -137,8 +143,8 @@ impl ClusterConfig {
         let n = self.initial_nodes.len() as u64;
         for layout in &self.tables {
             for g in layout.granules() {
-                let idx = (u128::from(g.0) * u128::from(n)
-                    / u128::from(layout.granule_count)) as usize;
+                let idx =
+                    (u128::from(g.0) * u128::from(n) / u128::from(layout.granule_count)) as usize;
                 out.push((layout.table, g, self.initial_nodes[idx]));
             }
         }
@@ -159,7 +165,11 @@ mod tests {
         let l = layout();
         for key in [0u64, 99, 100, 450, 999] {
             let g = l.granule_of(key).unwrap();
-            assert!(l.range_of(g).contains(key), "key {key} not in {:?}", l.range_of(g));
+            assert!(
+                l.range_of(g).contains(key),
+                "key {key} not in {:?}",
+                l.range_of(g)
+            );
         }
         assert_eq!(l.granule_of(1000), None);
     }

@@ -16,7 +16,11 @@ pub enum StorageError {
     /// Conditional append failed: the log tail has advanced past the
     /// caller's expected LSN. Carries the log's *current* LSN so the caller
     /// can refresh its tracker and retry (paper §4.3.1).
-    LsnMismatch { log: LogId, expected: Lsn, current: Lsn },
+    LsnMismatch {
+        log: LogId,
+        expected: Lsn,
+        current: Lsn,
+    },
     /// The referenced log instance does not exist (e.g. the node was
     /// deleted and its GLog garbage-collected).
     NoSuchLog(LogId),
@@ -30,7 +34,11 @@ pub enum StorageError {
 impl fmt::Display for StorageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            StorageError::LsnMismatch { log, expected, current } => write!(
+            StorageError::LsnMismatch {
+                log,
+                expected,
+                current,
+            } => write!(
                 f,
                 "conditional append on {log} failed: expected LSN {expected}, log is at {current}"
             ),
@@ -74,7 +82,10 @@ impl fmt::Display for TxnError {
                 write!(f, "NO_WAIT lock conflict on granule {granule}")
             }
             TxnError::CommitConflict { log, current } => {
-                write!(f, "cross-node modification detected on {log} (now at LSN {current})")
+                write!(
+                    f,
+                    "cross-node modification detected on {log} (now at LSN {current})"
+                )
             }
             TxnError::VoteNo => write!(f, "a 2PC participant voted NO"),
             TxnError::NodeUnavailable(n) => write!(f, "node {n} is unavailable"),
@@ -93,7 +104,11 @@ pub enum CoordError {
     NodeNotExist(NodeId),
     /// `MigrationTxn`/`RecoveryMigrTxn` data-effectiveness check failed:
     /// the granule is not currently owned by the expected source node.
-    WrongOwner { granule: GranuleId, expected: NodeId, actual: NodeId },
+    WrongOwner {
+        granule: GranuleId,
+        expected: NodeId,
+        actual: NodeId,
+    },
     /// The underlying commit aborted (cross-node modification); retryable.
     Aborted(TxnError),
     /// The external coordination service rejected the request (baselines).
@@ -105,7 +120,11 @@ impl fmt::Display for CoordError {
         match self {
             CoordError::NodeAlreadyExist(n) => write!(f, "node {n} already in membership"),
             CoordError::NodeNotExist(n) => write!(f, "node {n} not in membership"),
-            CoordError::WrongOwner { granule, expected, actual } => write!(
+            CoordError::WrongOwner {
+                granule,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "granule {granule} expected owner {expected} but found {actual}"
             ),
@@ -149,14 +168,20 @@ mod tests {
 
     #[test]
     fn wrong_node_names_the_owner() {
-        let e = TxnError::WrongNode { granule: GranuleId(9), owner: NodeId(4) };
+        let e = TxnError::WrongNode {
+            granule: GranuleId(9),
+            owner: NodeId(4),
+        };
         assert!(e.to_string().contains("N4"));
         assert!(e.to_string().contains("G9"));
     }
 
     #[test]
     fn coord_error_chains_source() {
-        let inner = TxnError::CommitConflict { log: LogId::GLog(NodeId(1)), current: Lsn(7) };
+        let inner = TxnError::CommitConflict {
+            log: LogId::GLog(NodeId(1)),
+            current: Lsn(7),
+        };
         let outer: CoordError = inner.clone().into();
         assert_eq!(outer, CoordError::Aborted(inner));
         assert!(Error::source(&outer).is_some());

@@ -126,11 +126,14 @@ mod tests {
     fn split_is_exact_partition() {
         let r = KeyRange::new(0, 10);
         let parts = r.split(3);
-        assert_eq!(parts, vec![
-            KeyRange::new(0, 4),
-            KeyRange::new(4, 7),
-            KeyRange::new(7, 10),
-        ]);
+        assert_eq!(
+            parts,
+            vec![
+                KeyRange::new(0, 4),
+                KeyRange::new(4, 7),
+                KeyRange::new(7, 10),
+            ]
+        );
     }
 
     #[test]

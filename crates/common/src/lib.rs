@@ -11,7 +11,5 @@ pub mod keyrange;
 
 pub use config::{ClusterConfig, GranuleLayout};
 pub use error::{CoordError, StorageError, TxnError};
-pub use ids::{
-    ClientId, GranuleId, LogId, Lsn, NodeId, PageId, RegionId, TableId, TxnId,
-};
+pub use ids::{ClientId, GranuleId, LogId, Lsn, NodeId, PageId, RegionId, TableId, TxnId};
 pub use keyrange::KeyRange;

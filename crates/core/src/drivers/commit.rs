@@ -54,9 +54,13 @@ impl Updates {
     fn encode_final(&self, txn: TxnId) -> Option<Bytes> {
         match self {
             Updates::Sys(r) => Some(r.encode()),
-            Updates::Granule(swaps) => {
-                Some(GRecord::OnePhase { txn, swaps: swaps.clone() }.encode())
-            }
+            Updates::Granule(swaps) => Some(
+                GRecord::OnePhase {
+                    txn,
+                    swaps: swaps.clone(),
+                }
+                .encode(),
+            ),
             Updates::Raw(b) => Some(b.clone()),
             Updates::ReadOnly => None,
         }
@@ -96,6 +100,8 @@ pub enum CommitOutcome {
     Aborted { conflict: Option<LogId> },
 }
 
+// "OnePhase" is the paper's protocol term, not a naming accident.
+#[allow(clippy::enum_variant_names)]
 #[derive(Clone, Debug, PartialEq)]
 enum Phase {
     /// Waiting for the single TryLog/validation of the one-phase path.
@@ -148,7 +154,10 @@ impl CommitDriver {
         participants: Vec<(Participant, Updates)>,
         tracker: &LsnTracker,
     ) -> (Self, Vec<Effect>) {
-        assert!(!participants.is_empty(), "commit needs at least one participant");
+        assert!(
+            !participants.is_empty(),
+            "commit needs at least one participant"
+        );
         let mut log_parts: Vec<(LogId, Updates)> = Vec::new();
         let mut node_parts: Vec<(NodeId, Updates)> = Vec::new();
         for (p, updates) in participants {
@@ -173,12 +182,20 @@ impl CommitDriver {
                     payload: p.clone(),
                     expected: tracker.get(log),
                 }),
-                None => effects.push(Effect::ValidateLsn { log, expected: tracker.get(log) }),
+                None => effects.push(Effect::ValidateLsn {
+                    log,
+                    expected: tracker.get(log),
+                }),
             }
             let driver = CommitDriver {
                 txn,
                 phase: Phase::OnePhase { log },
-                logs: vec![LogPart { log, prepared, responded: false, voted_yes: false }],
+                logs: vec![LogPart {
+                    log,
+                    prepared,
+                    responded: false,
+                    voted_yes: false,
+                }],
                 nodes: Vec::new(),
                 outcome: None,
                 conflict: None,
@@ -203,18 +220,40 @@ impl CommitDriver {
                     payload: p.clone(),
                     expected: tracker.get(log),
                 }),
-                None => effects.push(Effect::ValidateLsn { log, expected: tracker.get(log) }),
+                None => effects.push(Effect::ValidateLsn {
+                    log,
+                    expected: tracker.get(log),
+                }),
             }
-            logs.push(LogPart { log, prepared, responded: false, voted_yes: false });
+            logs.push(LogPart {
+                log,
+                prepared,
+                responded: false,
+                voted_yes: false,
+            });
         }
         let mut nodes = Vec::with_capacity(node_parts.len());
         for (node, updates) in node_parts {
             let payload = updates.encode_phase1(txn, &all_logs).unwrap_or_default();
-            effects.push(Effect::SendVoteReq { to: node, txn, payload });
-            nodes.push(NodePart { node, responded: false, voted_yes: false });
+            effects.push(Effect::SendVoteReq {
+                to: node,
+                txn,
+                payload,
+            });
+            nodes.push(NodePart {
+                node,
+                responded: false,
+                voted_yes: false,
+            });
         }
-        let driver =
-            CommitDriver { txn, phase: Phase::Voting, logs, nodes, outcome: None, conflict: None };
+        let driver = CommitDriver {
+            txn,
+            phase: Phase::Voting,
+            logs,
+            nodes,
+            outcome: None,
+            conflict: None,
+        };
         (driver, effects)
     }
 
@@ -314,19 +353,32 @@ impl CommitDriver {
         // Decision record to every log participant holding a Prepared
         // record; message every node participant. Logs whose phase-one
         // append failed hold no Prepared record and need no decision.
-        let decision = GRecord::Decision { txn: self.txn, commit }.encode();
+        let decision = GRecord::Decision {
+            txn: self.txn,
+            commit,
+        }
+        .encode();
         for part in &self.logs {
             if part.voted_yes && part.prepared.is_some() {
-                effects.push(Effect::Append { log: part.log, payload: decision.clone() });
+                effects.push(Effect::Append {
+                    log: part.log,
+                    payload: decision.clone(),
+                });
             }
         }
         for part in &self.nodes {
-            effects.push(Effect::SendDecision { to: part.node, txn: self.txn, commit });
+            effects.push(Effect::SendDecision {
+                to: part.node,
+                txn: self.txn,
+                commit,
+            });
         }
         self.outcome = Some(if commit {
             CommitOutcome::Committed
         } else {
-            CommitOutcome::Aborted { conflict: self.conflict }
+            CommitOutcome::Aborted {
+                conflict: self.conflict,
+            }
         });
         self.phase = Phase::Done;
     }
@@ -358,7 +410,10 @@ mod tests {
     #[test]
     fn one_phase_commit_on_append_ok() {
         let tracker = tracker_with(&[(LogId::SysLog, 2)]);
-        let rec = SysRecord::AddNode { node: NodeId(3), addr: "n3".into() };
+        let rec = SysRecord::AddNode {
+            node: NodeId(3),
+            addr: "n3".into(),
+        };
         let (mut d, effects) = CommitDriver::new(
             TxnId(1),
             NodeId(3),
@@ -373,7 +428,10 @@ mod tests {
                 expected: Lsn(2),
             }]
         );
-        let follow = d.on_input(Input::AppendOk { log: LogId::SysLog, new_lsn: Lsn(3) });
+        let follow = d.on_input(Input::AppendOk {
+            log: LogId::SysLog,
+            new_lsn: Lsn(3),
+        });
         assert!(follow.is_empty());
         assert_eq!(d.outcome(), Some(&CommitOutcome::Committed));
     }
@@ -390,11 +448,16 @@ mod tests {
             )],
             &tracker,
         );
-        let follow = d.on_input(Input::AppendConflict { log: LogId::SysLog, current: Lsn(4) });
+        let follow = d.on_input(Input::AppendConflict {
+            log: LogId::SysLog,
+            current: Lsn(4),
+        });
         assert_eq!(follow, vec![Effect::ClearMetaCache { log: LogId::SysLog }]);
         assert_eq!(
             d.outcome(),
-            Some(&CommitOutcome::Aborted { conflict: Some(LogId::SysLog) })
+            Some(&CommitOutcome::Aborted {
+                conflict: Some(LogId::SysLog)
+            })
         );
     }
 
@@ -407,8 +470,14 @@ mod tests {
             TxnId(9),
             NodeId(3),
             vec![
-                (Participant::Node(NodeId(2)), Updates::Granule(vec![swap(7, 2, 3)])),
-                (Participant::Node(NodeId(3)), Updates::Granule(vec![swap(7, 2, 3)])),
+                (
+                    Participant::Node(NodeId(2)),
+                    Updates::Granule(vec![swap(7, 2, 3)]),
+                ),
+                (
+                    Participant::Node(NodeId(3)),
+                    Updates::Granule(vec![swap(7, 2, 3)]),
+                ),
             ],
             &tracker,
         );
@@ -438,24 +507,47 @@ mod tests {
             TxnId(9),
             NodeId(3),
             vec![
-                (Participant::Node(NodeId(2)), Updates::Granule(vec![swap(7, 2, 3)])),
-                (Participant::Node(NodeId(3)), Updates::Granule(vec![swap(7, 2, 3)])),
+                (
+                    Participant::Node(NodeId(2)),
+                    Updates::Granule(vec![swap(7, 2, 3)]),
+                ),
+                (
+                    Participant::Node(NodeId(3)),
+                    Updates::Granule(vec![swap(7, 2, 3)]),
+                ),
             ],
             &tracker,
         );
         assert!(d
-            .on_input(Input::AppendOk { log: LogId::GLog(NodeId(3)), new_lsn: Lsn(1) })
+            .on_input(Input::AppendOk {
+                log: LogId::GLog(NodeId(3)),
+                new_lsn: Lsn(1)
+            })
             .is_empty());
         assert!(d.outcome().is_none(), "must wait for the remote vote");
-        let effects = d.on_input(Input::VoteResp { from: NodeId(2), yes: true });
+        let effects = d.on_input(Input::VoteResp {
+            from: NodeId(2),
+            yes: true,
+        });
         assert_eq!(d.outcome(), Some(&CommitOutcome::Committed));
         // Decision: unconditional append to the local log + message to peer.
-        let decision = GRecord::Decision { txn: TxnId(9), commit: true }.encode();
+        let decision = GRecord::Decision {
+            txn: TxnId(9),
+            commit: true,
+        }
+        .encode();
         assert_eq!(
             effects,
             vec![
-                Effect::Append { log: LogId::GLog(NodeId(3)), payload: decision },
-                Effect::SendDecision { to: NodeId(2), txn: TxnId(9), commit: true },
+                Effect::Append {
+                    log: LogId::GLog(NodeId(3)),
+                    payload: decision
+                },
+                Effect::SendDecision {
+                    to: NodeId(2),
+                    txn: TxnId(9),
+                    commit: true
+                },
             ]
         );
     }
@@ -467,17 +559,36 @@ mod tests {
             TxnId(9),
             NodeId(3),
             vec![
-                (Participant::Node(NodeId(2)), Updates::Granule(vec![swap(7, 2, 3)])),
-                (Participant::Node(NodeId(3)), Updates::Granule(vec![swap(7, 2, 3)])),
+                (
+                    Participant::Node(NodeId(2)),
+                    Updates::Granule(vec![swap(7, 2, 3)]),
+                ),
+                (
+                    Participant::Node(NodeId(3)),
+                    Updates::Granule(vec![swap(7, 2, 3)]),
+                ),
             ],
             &tracker,
         );
-        d.on_input(Input::AppendOk { log: LogId::GLog(NodeId(3)), new_lsn: Lsn(1) });
-        let effects = d.on_input(Input::VoteResp { from: NodeId(2), yes: false });
-        assert_eq!(d.outcome(), Some(&CommitOutcome::Aborted { conflict: None }));
+        d.on_input(Input::AppendOk {
+            log: LogId::GLog(NodeId(3)),
+            new_lsn: Lsn(1),
+        });
+        let effects = d.on_input(Input::VoteResp {
+            from: NodeId(2),
+            yes: false,
+        });
+        assert_eq!(
+            d.outcome(),
+            Some(&CommitOutcome::Aborted { conflict: None })
+        );
         // The local log holds a Prepared record that must be resolved with
         // an abort decision; the peer is told as well.
-        let decision = GRecord::Decision { txn: TxnId(9), commit: false }.encode();
+        let decision = GRecord::Decision {
+            txn: TxnId(9),
+            commit: false,
+        }
+        .encode();
         assert!(effects.contains(&Effect::Append {
             log: LogId::GLog(NodeId(3)),
             payload: decision,
@@ -494,28 +605,46 @@ mod tests {
         // RecoveryMigrTxn on dst=N2 for dead src=N3:
         // MarlinCommit({src.GLog, dst}) — both participants are logs the
         // coordinator appends to directly; no RPC to the dead node.
-        let tracker =
-            tracker_with(&[(LogId::GLog(NodeId(2)), 2), (LogId::GLog(NodeId(3)), 1)]);
+        let tracker = tracker_with(&[(LogId::GLog(NodeId(2)), 2), (LogId::GLog(NodeId(3)), 1)]);
         let swaps = vec![swap(3, 3, 2), swap(4, 3, 2)];
         let (mut d, effects) = CommitDriver::new(
             TxnId(5),
             NodeId(2),
             vec![
-                (Participant::Log(LogId::GLog(NodeId(3))), Updates::Granule(swaps.clone())),
-                (Participant::Node(NodeId(2)), Updates::Granule(swaps.clone())),
+                (
+                    Participant::Log(LogId::GLog(NodeId(3))),
+                    Updates::Granule(swaps.clone()),
+                ),
+                (
+                    Participant::Node(NodeId(2)),
+                    Updates::Granule(swaps.clone()),
+                ),
             ],
             &tracker,
         );
         assert_eq!(effects.len(), 2);
-        assert!(effects.iter().all(|e| matches!(e, Effect::ConditionalAppend { .. })));
-        assert!(!effects.iter().any(|e| matches!(e, Effect::SendVoteReq { .. })));
-        d.on_input(Input::AppendOk { log: LogId::GLog(NodeId(3)), new_lsn: Lsn(2) });
-        let follow = d.on_input(Input::AppendOk { log: LogId::GLog(NodeId(2)), new_lsn: Lsn(3) });
+        assert!(effects
+            .iter()
+            .all(|e| matches!(e, Effect::ConditionalAppend { .. })));
+        assert!(!effects
+            .iter()
+            .any(|e| matches!(e, Effect::SendVoteReq { .. })));
+        d.on_input(Input::AppendOk {
+            log: LogId::GLog(NodeId(3)),
+            new_lsn: Lsn(2),
+        });
+        let follow = d.on_input(Input::AppendOk {
+            log: LogId::GLog(NodeId(2)),
+            new_lsn: Lsn(3),
+        });
         assert_eq!(d.outcome(), Some(&CommitOutcome::Committed));
         // Decisions are appended to both logs (the dead node's readers —
         // i.e. a recovering N3 — must see the resolution).
         assert_eq!(
-            follow.iter().filter(|e| matches!(e, Effect::Append { .. })).count(),
+            follow
+                .iter()
+                .filter(|e| matches!(e, Effect::Append { .. }))
+                .count(),
             2
         );
     }
@@ -529,26 +658,48 @@ mod tests {
             TxnId(5),
             NodeId(2),
             vec![
-                (Participant::Log(LogId::GLog(NodeId(3))), Updates::Granule(vec![swap(3, 3, 2)])),
-                (Participant::Node(NodeId(2)), Updates::Granule(vec![swap(3, 3, 2)])),
+                (
+                    Participant::Log(LogId::GLog(NodeId(3))),
+                    Updates::Granule(vec![swap(3, 3, 2)]),
+                ),
+                (
+                    Participant::Node(NodeId(2)),
+                    Updates::Granule(vec![swap(3, 3, 2)]),
+                ),
             ],
             &tracker,
         );
-        let effects =
-            d.on_input(Input::AppendConflict { log: LogId::GLog(NodeId(3)), current: Lsn(2) });
-        assert!(effects.contains(&Effect::ClearMetaCache { log: LogId::GLog(NodeId(3)) }));
+        let effects = d.on_input(Input::AppendConflict {
+            log: LogId::GLog(NodeId(3)),
+            current: Lsn(2),
+        });
+        assert!(effects.contains(&Effect::ClearMetaCache {
+            log: LogId::GLog(NodeId(3))
+        }));
         assert!(d.outcome().is_none());
-        let effects = d.on_input(Input::AppendOk { log: LogId::GLog(NodeId(2)), new_lsn: Lsn(1) });
+        let effects = d.on_input(Input::AppendOk {
+            log: LogId::GLog(NodeId(2)),
+            new_lsn: Lsn(1),
+        });
         assert_eq!(
             d.outcome(),
-            Some(&CommitOutcome::Aborted { conflict: Some(LogId::GLog(NodeId(3))) })
+            Some(&CommitOutcome::Aborted {
+                conflict: Some(LogId::GLog(NodeId(3)))
+            })
         );
         // Abort decision goes only to the log that holds a Prepared record
         // (N2's own); GLog3's append failed so nothing dangles there.
-        let decision = GRecord::Decision { txn: TxnId(5), commit: false }.encode();
+        let decision = GRecord::Decision {
+            txn: TxnId(5),
+            commit: false,
+        }
+        .encode();
         assert_eq!(
             effects,
-            vec![Effect::Append { log: LogId::GLog(NodeId(2)), payload: decision }]
+            vec![Effect::Append {
+                log: LogId::GLog(NodeId(2)),
+                payload: decision
+            }]
         );
     }
 
@@ -566,15 +717,25 @@ mod tests {
             ],
             &tracker,
         );
-        assert!(effects.contains(&Effect::ValidateLsn { log: LogId::SysLog, expected: Lsn(3) }));
+        assert!(effects.contains(&Effect::ValidateLsn {
+            log: LogId::SysLog,
+            expected: Lsn(3)
+        }));
+        assert!(effects.contains(&Effect::ValidateLsn {
+            log: LogId::GLog(NodeId(0)),
+            expected: Lsn(7)
+        }));
         assert!(effects
-            .contains(&Effect::ValidateLsn { log: LogId::GLog(NodeId(0)), expected: Lsn(7) }));
-        assert!(effects.iter().any(
-            |e| matches!(e, Effect::SendVoteReq { to, .. } if *to == NodeId(1))
-        ));
+            .iter()
+            .any(|e| matches!(e, Effect::SendVoteReq { to, .. } if *to == NodeId(1))));
         d.on_input(Input::ValidateOk { log: LogId::SysLog });
-        d.on_input(Input::ValidateOk { log: LogId::GLog(NodeId(0)) });
-        let effects = d.on_input(Input::VoteResp { from: NodeId(1), yes: true });
+        d.on_input(Input::ValidateOk {
+            log: LogId::GLog(NodeId(0)),
+        });
+        let effects = d.on_input(Input::VoteResp {
+            from: NodeId(1),
+            yes: true,
+        });
         assert_eq!(d.outcome(), Some(&CommitOutcome::Committed));
         // Read-only: no decision appends, just the async decision message.
         assert!(!effects.iter().any(|e| matches!(e, Effect::Append { .. })));
@@ -592,11 +753,19 @@ mod tests {
             ],
             &tracker,
         );
-        d.on_input(Input::ValidateConflict { log: LogId::SysLog, current: Lsn(5) });
-        d.on_input(Input::VoteResp { from: NodeId(1), yes: true });
+        d.on_input(Input::ValidateConflict {
+            log: LogId::SysLog,
+            current: Lsn(5),
+        });
+        d.on_input(Input::VoteResp {
+            from: NodeId(1),
+            yes: true,
+        });
         assert_eq!(
             d.outcome(),
-            Some(&CommitOutcome::Aborted { conflict: Some(LogId::SysLog) })
+            Some(&CommitOutcome::Aborted {
+                conflict: Some(LogId::SysLog)
+            })
         );
     }
 
@@ -607,14 +776,26 @@ mod tests {
             TxnId(2),
             NodeId(0),
             vec![
-                (Participant::Node(NodeId(0)), Updates::Granule(vec![swap(1, 1, 0)])),
-                (Participant::Node(NodeId(1)), Updates::Granule(vec![swap(1, 1, 0)])),
+                (
+                    Participant::Node(NodeId(0)),
+                    Updates::Granule(vec![swap(1, 1, 0)]),
+                ),
+                (
+                    Participant::Node(NodeId(1)),
+                    Updates::Granule(vec![swap(1, 1, 0)]),
+                ),
             ],
             &tracker,
         );
-        d.on_input(Input::AppendOk { log: LogId::GLog(NodeId(0)), new_lsn: Lsn(1) });
+        d.on_input(Input::AppendOk {
+            log: LogId::GLog(NodeId(0)),
+            new_lsn: Lsn(1),
+        });
         d.on_input(Input::Timeout { from: NodeId(1) });
-        assert_eq!(d.outcome(), Some(&CommitOutcome::Aborted { conflict: None }));
+        assert_eq!(
+            d.outcome(),
+            Some(&CommitOutcome::Aborted { conflict: None })
+        );
     }
 
     #[test]
@@ -630,12 +811,21 @@ mod tests {
             &tracker,
         );
         // Input for an unrelated log: ignored.
-        d.on_input(Input::AppendOk { log: LogId::GLog(NodeId(5)), new_lsn: Lsn(1) });
+        d.on_input(Input::AppendOk {
+            log: LogId::GLog(NodeId(5)),
+            new_lsn: Lsn(1),
+        });
         assert!(d.outcome().is_none());
-        d.on_input(Input::AppendOk { log: LogId::SysLog, new_lsn: Lsn(1) });
+        d.on_input(Input::AppendOk {
+            log: LogId::SysLog,
+            new_lsn: Lsn(1),
+        });
         assert!(d.is_done());
         // Late duplicate after completion: ignored.
-        let follow = d.on_input(Input::AppendConflict { log: LogId::SysLog, current: Lsn(9) });
+        let follow = d.on_input(Input::AppendConflict {
+            log: LogId::SysLog,
+            current: Lsn(9),
+        });
         assert!(follow.is_empty());
         assert_eq!(d.outcome(), Some(&CommitOutcome::Committed));
     }

@@ -26,7 +26,11 @@ use marlin_common::{LogId, Lsn, NodeId, TxnId};
 pub enum Effect {
     /// `Append@LSN` — conditional append of `payload` to `log`, succeeding
     /// only if the log is at `expected` (TryLog's storage operation).
-    ConditionalAppend { log: LogId, payload: Bytes, expected: Lsn },
+    ConditionalAppend {
+        log: LogId,
+        payload: Bytes,
+        expected: Lsn,
+    },
     /// Unconditional append (decision broadcast to a log participant).
     Append { log: LogId, payload: Bytes },
     /// Check that `log`'s current LSN equals `expected` without appending
@@ -34,9 +38,17 @@ pub enum Effect {
     ValidateLsn { log: LogId, expected: Lsn },
     /// Send a `VOTE-REQ` carrying the peer's prepared record; the peer
     /// performs TryLog on its own log and replies with its vote.
-    SendVoteReq { to: NodeId, txn: TxnId, payload: Bytes },
+    SendVoteReq {
+        to: NodeId,
+        txn: TxnId,
+        payload: Bytes,
+    },
     /// Broadcast the decision to a peer participant node.
-    SendDecision { to: NodeId, txn: TxnId, commit: bool },
+    SendDecision {
+        to: NodeId,
+        txn: TxnId,
+        commit: bool,
+    },
     /// Invalidate the local cache of the system table backed by `log`
     /// (Algorithm 2 `ClearMetaCache`): SysLog ⇒ MTable cache, `GLog(n)` ⇒
     /// node `n`'s GTable partition cache.
@@ -44,7 +56,11 @@ pub enum Effect {
     /// Synchronously read (and write-lock, NO_WAIT) the GTable entries of
     /// `granules` at a peer node — MigrationTxn's data-effectiveness check
     /// (Algorithm 1 lines 20-21).
-    ReadOwnersRemote { at: NodeId, txn: TxnId, granules: Vec<marlin_common::GranuleId> },
+    ReadOwnersRemote {
+        at: NodeId,
+        txn: TxnId,
+        granules: Vec<marlin_common::GranuleId>,
+    },
     /// Release any locks the runner acquired on behalf of this txn at a
     /// peer (abort path of cross-node reconfigurations).
     ReleaseRemote { at: NodeId, txn: TxnId },
@@ -75,7 +91,10 @@ pub enum Input {
         owners: Option<Vec<(marlin_common::GranuleId, crate::gtable::GranuleMeta)>>,
     },
     /// Reply to [`Effect::SendScanReq`].
-    ScanResp { from: NodeId, entries: Vec<(marlin_common::GranuleId, crate::gtable::GranuleMeta)> },
+    ScanResp {
+        from: NodeId,
+        entries: Vec<(marlin_common::GranuleId, crate::gtable::GranuleMeta)>,
+    },
     /// The peer did not answer within the runner's timeout (failure path).
     Timeout { from: NodeId },
 }

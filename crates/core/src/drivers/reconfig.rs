@@ -60,26 +60,37 @@ impl AddNodeDriver {
             new_node,
             vec![(
                 Participant::Log(LogId::SysLog),
-                Updates::Sys(SysRecord::AddNode { node: new_node, addr }),
+                Updates::Sys(SysRecord::AddNode {
+                    node: new_node,
+                    addr,
+                }),
             )],
             tracker,
         );
-        (AddNodeDriver { commit: Some(commit), result: None }, effects)
+        (
+            AddNodeDriver {
+                commit: Some(commit),
+                result: None,
+            },
+            effects,
+        )
     }
 
     /// Feed a runner result.
     pub fn on_input(&mut self, input: Input) -> Vec<Effect> {
-        let Some(commit) = &mut self.commit else { return Vec::new() };
+        let Some(commit) = &mut self.commit else {
+            return Vec::new();
+        };
         let effects = commit.on_input(input);
         if let Some(outcome) = commit.outcome() {
             self.result = Some(match outcome {
                 CommitOutcome::Committed => Ok(()),
-                CommitOutcome::Aborted { conflict } => Err(CoordError::Aborted(
-                    TxnError::CommitConflict {
+                CommitOutcome::Aborted { conflict } => {
+                    Err(CoordError::Aborted(TxnError::CommitConflict {
                         log: conflict.unwrap_or(LogId::SysLog),
                         current: marlin_common::Lsn::ZERO,
-                    },
-                )),
+                    }))
+                }
             });
         }
         effects
@@ -127,22 +138,30 @@ impl DeleteNodeDriver {
             )],
             tracker,
         );
-        (DeleteNodeDriver { commit: Some(commit), result: None }, effects)
+        (
+            DeleteNodeDriver {
+                commit: Some(commit),
+                result: None,
+            },
+            effects,
+        )
     }
 
     /// Feed a runner result.
     pub fn on_input(&mut self, input: Input) -> Vec<Effect> {
-        let Some(commit) = &mut self.commit else { return Vec::new() };
+        let Some(commit) = &mut self.commit else {
+            return Vec::new();
+        };
         let effects = commit.on_input(input);
         if let Some(outcome) = commit.outcome() {
             self.result = Some(match outcome {
                 CommitOutcome::Committed => Ok(()),
-                CommitOutcome::Aborted { conflict } => Err(CoordError::Aborted(
-                    TxnError::CommitConflict {
+                CommitOutcome::Aborted { conflict } => {
+                    Err(CoordError::Aborted(TxnError::CommitConflict {
                         log: conflict.unwrap_or(LogId::SysLog),
                         current: marlin_common::Lsn::ZERO,
-                    },
-                )),
+                    }))
+                }
             });
         }
         effects
@@ -193,8 +212,11 @@ impl MigrationDriver {
     ) -> (Self, Vec<Effect>) {
         assert!(src != dst, "migration requires distinct nodes");
         assert!(!granules.is_empty(), "migration needs at least one granule");
-        let effects =
-            vec![Effect::ReadOwnersRemote { at: src, txn, granules: granules.clone() }];
+        let effects = vec![Effect::ReadOwnersRemote {
+            at: src,
+            txn,
+            granules: granules.clone(),
+        }];
         (
             MigrationDriver {
                 txn,
@@ -282,8 +304,9 @@ impl MigrationDriver {
                 Input::Timeout { from } if from == self.src => {
                     // Source unresponsive: this path is for live migration;
                     // failover uses RecoveryMigrTxn instead.
-                    self.result =
-                        Some(Err(CoordError::Aborted(TxnError::NodeUnavailable(self.src))));
+                    self.result = Some(Err(CoordError::Aborted(TxnError::NodeUnavailable(
+                        self.src,
+                    ))));
                     self.phase = MigrationPhase::Done;
                     Vec::new()
                 }
@@ -353,7 +376,10 @@ impl RecoveryMigrDriver {
         tracker: &LsnTracker,
     ) -> (Self, Vec<Effect>) {
         assert!(src != dst, "recovery migration requires distinct nodes");
-        assert!(!granules.is_empty(), "recovery migration needs at least one granule");
+        assert!(
+            !granules.is_empty(),
+            "recovery migration needs at least one granule"
+        );
         // Data-effectiveness (lines 28-29) against the refreshed copy.
         let mut swaps = Vec::with_capacity(granules.len());
         for g in &granules {
@@ -403,17 +429,30 @@ impl RecoveryMigrDriver {
             txn,
             dst,
             vec![
-                (Participant::Log(LogId::GLog(src)), Updates::Granule(swaps.clone())),
+                (
+                    Participant::Log(LogId::GLog(src)),
+                    Updates::Granule(swaps.clone()),
+                ),
                 (Participant::Node(dst), Updates::Granule(swaps)),
             ],
             tracker,
         );
-        (RecoveryMigrDriver { src, commit: Some(commit), result: None, granules }, effects)
+        (
+            RecoveryMigrDriver {
+                src,
+                commit: Some(commit),
+                result: None,
+                granules,
+            },
+            effects,
+        )
     }
 
     /// Feed a runner result.
     pub fn on_input(&mut self, input: Input) -> Vec<Effect> {
-        let Some(commit) = &mut self.commit else { return Vec::new() };
+        let Some(commit) = &mut self.commit else {
+            return Vec::new();
+        };
         let effects = commit.on_input(input);
         if let Some(outcome) = commit.outcome() {
             self.result = Some(match outcome {
@@ -501,14 +540,14 @@ impl ScanGTableDriver {
                 self.peers_pending.retain(|n| *n != from);
                 self.entries.extend(entries);
             }
-            Input::Timeout { from } => {
-                if self.peers_pending.contains(&from) {
-                    self.result = Some(Err(CoordError::Aborted(TxnError::NodeUnavailable(from))));
-                    self.peers_pending.clear();
-                }
+            Input::Timeout { from } if self.peers_pending.contains(&from) => {
+                self.result = Some(Err(CoordError::Aborted(TxnError::NodeUnavailable(from))));
+                self.peers_pending.clear();
             }
             Input::ValidateOk { log: LogId::SysLog } => self.syslog_ok = Some(true),
-            Input::ValidateConflict { log: LogId::SysLog, .. } => {
+            Input::ValidateConflict {
+                log: LogId::SysLog, ..
+            } => {
                 self.syslog_ok = Some(false);
             }
             _ => {}
@@ -563,7 +602,10 @@ mod tests {
         for (i, n) in nodes.iter().enumerate() {
             m.apply(
                 Lsn(i as u64 + 1),
-                &SysRecord::AddNode { node: NodeId(*n), addr: format!("n{n}") },
+                &SysRecord::AddNode {
+                    node: NodeId(*n),
+                    addr: format!("n{n}"),
+                },
             );
         }
         m
@@ -581,10 +623,12 @@ mod tests {
     fn add_node_checks_membership_first() {
         let mtable = mtable_of(&[1, 2]);
         let tracker = LsnTracker::new();
-        let (d, effects) =
-            AddNodeDriver::new(TxnId(1), NodeId(1), "dup".into(), &mtable, &tracker);
+        let (d, effects) = AddNodeDriver::new(TxnId(1), NodeId(1), "dup".into(), &mtable, &tracker);
         assert!(effects.is_empty());
-        assert_eq!(d.result(), Some(&Err(CoordError::NodeAlreadyExist(NodeId(1)))));
+        assert_eq!(
+            d.result(),
+            Some(&Err(CoordError::NodeAlreadyExist(NodeId(1))))
+        );
     }
 
     #[test]
@@ -596,9 +640,16 @@ mod tests {
             AddNodeDriver::new(TxnId(2), NodeId(2), "10.0.0.2".into(), &mtable, &tracker);
         assert!(matches!(
             effects[0],
-            Effect::ConditionalAppend { log: LogId::SysLog, expected: Lsn(1), .. }
+            Effect::ConditionalAppend {
+                log: LogId::SysLog,
+                expected: Lsn(1),
+                ..
+            }
         ));
-        d.on_input(Input::AppendOk { log: LogId::SysLog, new_lsn: Lsn(2) });
+        d.on_input(Input::AppendOk {
+            log: LogId::SysLog,
+            new_lsn: Lsn(2),
+        });
         assert_eq!(d.result(), Some(&Ok(())));
     }
 
@@ -608,15 +659,31 @@ mod tests {
         // ensures only one commits (§4.4.1 "Membership Update").
         let mtable = mtable_of(&[]);
         let tracker = LsnTracker::new();
-        let (mut a, ea) =
-            AddNodeDriver::new(TxnId(1), NodeId(1), "a".into(), &mtable, &tracker);
-        let (mut b, eb) =
-            AddNodeDriver::new(TxnId(2), NodeId(2), "b".into(), &mtable, &tracker);
+        let (mut a, ea) = AddNodeDriver::new(TxnId(1), NodeId(1), "a".into(), &mtable, &tracker);
+        let (mut b, eb) = AddNodeDriver::new(TxnId(2), NodeId(2), "b".into(), &mtable, &tracker);
         // Both drivers try Append@LSN with expected=0; the log admits one.
-        assert!(matches!(ea[0], Effect::ConditionalAppend { expected: Lsn(0), .. }));
-        assert!(matches!(eb[0], Effect::ConditionalAppend { expected: Lsn(0), .. }));
-        a.on_input(Input::AppendOk { log: LogId::SysLog, new_lsn: Lsn(1) });
-        let eff = b.on_input(Input::AppendConflict { log: LogId::SysLog, current: Lsn(1) });
+        assert!(matches!(
+            ea[0],
+            Effect::ConditionalAppend {
+                expected: Lsn(0),
+                ..
+            }
+        ));
+        assert!(matches!(
+            eb[0],
+            Effect::ConditionalAppend {
+                expected: Lsn(0),
+                ..
+            }
+        ));
+        a.on_input(Input::AppendOk {
+            log: LogId::SysLog,
+            new_lsn: Lsn(1),
+        });
+        let eff = b.on_input(Input::AppendConflict {
+            log: LogId::SysLog,
+            current: Lsn(1),
+        });
         assert_eq!(a.result(), Some(&Ok(())));
         assert!(matches!(b.result(), Some(&Err(CoordError::Aborted(_)))));
         assert!(eff.contains(&Effect::ClearMetaCache { log: LogId::SysLog }));
@@ -626,8 +693,7 @@ mod tests {
     fn delete_missing_node_fails_fast() {
         let mtable = mtable_of(&[1]);
         let tracker = LsnTracker::new();
-        let (d, effects) =
-            DeleteNodeDriver::new(TxnId(1), NodeId(1), NodeId(9), &mtable, &tracker);
+        let (d, effects) = DeleteNodeDriver::new(TxnId(1), NodeId(1), NodeId(9), &mtable, &tracker);
         assert!(effects.is_empty());
         assert_eq!(d.result(), Some(&Err(CoordError::NodeNotExist(NodeId(9)))));
     }
@@ -647,22 +713,45 @@ mod tests {
         );
         // Source confirms ownership; commit begins on both GLogs.
         let effects = d.on_input(
-            Input::OwnersAt { from: NodeId(2), owners: Some(vec![(GranuleId(5), meta(2, 5))]) },
+            Input::OwnersAt {
+                from: NodeId(2),
+                owners: Some(vec![(GranuleId(5), meta(2, 5))]),
+            },
             &tracker,
         );
         assert!(effects.iter().any(|e| matches!(
             e,
-            Effect::ConditionalAppend { log: LogId::GLog(NodeId(3)), .. }
+            Effect::ConditionalAppend {
+                log: LogId::GLog(NodeId(3)),
+                ..
+            }
         )));
-        assert!(effects.iter().any(
-            |e| matches!(e, Effect::SendVoteReq { to: NodeId(2), .. })
-        ));
-        d.on_input(Input::AppendOk { log: LogId::GLog(NodeId(3)), new_lsn: Lsn(1) }, &tracker);
-        let effects = d.on_input(Input::VoteResp { from: NodeId(2), yes: true }, &tracker);
-        assert_eq!(d.result(), Some(&Ok(())));
         assert!(effects
             .iter()
-            .any(|e| matches!(e, Effect::SendDecision { to: NodeId(2), commit: true, .. })));
+            .any(|e| matches!(e, Effect::SendVoteReq { to: NodeId(2), .. })));
+        d.on_input(
+            Input::AppendOk {
+                log: LogId::GLog(NodeId(3)),
+                new_lsn: Lsn(1),
+            },
+            &tracker,
+        );
+        let effects = d.on_input(
+            Input::VoteResp {
+                from: NodeId(2),
+                yes: true,
+            },
+            &tracker,
+        );
+        assert_eq!(d.result(), Some(&Ok(())));
+        assert!(effects.iter().any(|e| matches!(
+            e,
+            Effect::SendDecision {
+                to: NodeId(2),
+                commit: true,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -670,7 +759,10 @@ mod tests {
         let tracker = LsnTracker::new();
         let (mut d, _) = MigrationDriver::new(TxnId(7), NodeId(2), NodeId(3), vec![GranuleId(5)]);
         let effects = d.on_input(
-            Input::OwnersAt { from: NodeId(2), owners: Some(vec![(GranuleId(5), meta(9, 5))]) },
+            Input::OwnersAt {
+                from: NodeId(2),
+                owners: Some(vec![(GranuleId(5), meta(9, 5))]),
+            },
             &tracker,
         );
         assert_eq!(
@@ -681,7 +773,13 @@ mod tests {
                 actual: NodeId(9),
             }))
         );
-        assert_eq!(effects, vec![Effect::ReleaseRemote { at: NodeId(2), txn: TxnId(7) }]);
+        assert_eq!(
+            effects,
+            vec![Effect::ReleaseRemote {
+                at: NodeId(2),
+                txn: TxnId(7)
+            }]
+        );
     }
 
     #[test]
@@ -690,7 +788,13 @@ mod tests {
         // lock on the source; NO_WAIT aborts the migration.
         let tracker = LsnTracker::new();
         let (mut d, _) = MigrationDriver::new(TxnId(7), NodeId(2), NodeId(3), vec![GranuleId(5)]);
-        d.on_input(Input::OwnersAt { from: NodeId(2), owners: None }, &tracker);
+        d.on_input(
+            Input::OwnersAt {
+                from: NodeId(2),
+                owners: None,
+            },
+            &tracker,
+        );
         assert!(matches!(
             d.result(),
             Some(&Err(CoordError::Aborted(TxnError::LockConflict { .. })))
@@ -703,8 +807,13 @@ mod tests {
         let granules = vec![GranuleId(1), GranuleId(2), GranuleId(3)];
         let (mut d, _) = MigrationDriver::new(TxnId(7), NodeId(0), NodeId(1), granules.clone());
         let owners = granules.iter().map(|g| (*g, meta(0, g.0))).collect();
-        let effects =
-            d.on_input(Input::OwnersAt { from: NodeId(0), owners: Some(owners) }, &tracker);
+        let effects = d.on_input(
+            Input::OwnersAt {
+                from: NodeId(0),
+                owners: Some(owners),
+            },
+            &tracker,
+        );
         // The prepared payload carries all three swaps.
         let prepared = effects
             .iter()
@@ -749,9 +858,17 @@ mod tests {
                 .count(),
             2
         );
-        assert!(!effects.iter().any(|e| matches!(e, Effect::SendVoteReq { .. })));
-        d.on_input(Input::AppendOk { log: LogId::GLog(NodeId(3)), new_lsn: Lsn(2) });
-        d.on_input(Input::AppendOk { log: LogId::GLog(NodeId(2)), new_lsn: Lsn(1) });
+        assert!(!effects
+            .iter()
+            .any(|e| matches!(e, Effect::SendVoteReq { .. })));
+        d.on_input(Input::AppendOk {
+            log: LogId::GLog(NodeId(3)),
+            new_lsn: Lsn(2),
+        });
+        d.on_input(Input::AppendOk {
+            log: LogId::GLog(NodeId(2)),
+            new_lsn: Lsn(1),
+        });
         assert_eq!(d.result(), Some(&Ok(())));
     }
 
@@ -798,16 +915,24 @@ mod tests {
         let mtable = mtable_of(&[0, 1, 2]);
         let tracker = LsnTracker::new();
         let own = vec![(GranuleId(0), meta(0, 0))];
-        let (mut d, effects) =
-            ScanGTableDriver::new(TxnId(4), NodeId(0), &mtable, own, &tracker);
+        let (mut d, effects) = ScanGTableDriver::new(TxnId(4), NodeId(0), &mtable, own, &tracker);
         assert_eq!(
-            effects.iter().filter(|e| matches!(e, Effect::SendScanReq { .. })).count(),
+            effects
+                .iter()
+                .filter(|e| matches!(e, Effect::SendScanReq { .. }))
+                .count(),
             2
         );
         d.on_input(Input::ValidateOk { log: LogId::SysLog });
-        d.on_input(Input::ScanResp { from: NodeId(1), entries: vec![(GranuleId(1), meta(1, 1))] });
+        d.on_input(Input::ScanResp {
+            from: NodeId(1),
+            entries: vec![(GranuleId(1), meta(1, 1))],
+        });
         assert!(d.result().is_none(), "one peer still pending");
-        d.on_input(Input::ScanResp { from: NodeId(2), entries: vec![(GranuleId(2), meta(2, 2))] });
+        d.on_input(Input::ScanResp {
+            from: NodeId(2),
+            entries: vec![(GranuleId(2), meta(2, 2))],
+        });
         assert_eq!(d.result(), Some(&Ok(())));
         assert_eq!(d.entries().len(), 3);
     }
@@ -817,7 +942,10 @@ mod tests {
         let mtable = mtable_of(&[0, 1]);
         let tracker = LsnTracker::new();
         let (mut d, _) = ScanGTableDriver::new(TxnId(4), NodeId(0), &mtable, vec![], &tracker);
-        d.on_input(Input::ValidateConflict { log: LogId::SysLog, current: Lsn(3) });
+        d.on_input(Input::ValidateConflict {
+            log: LogId::SysLog,
+            current: Lsn(3),
+        });
         assert!(matches!(d.result(), Some(&Err(CoordError::Aborted(_)))));
     }
 
@@ -830,7 +958,9 @@ mod tests {
         d.on_input(Input::Timeout { from: NodeId(1) });
         assert!(matches!(
             d.result(),
-            Some(&Err(CoordError::Aborted(TxnError::NodeUnavailable(NodeId(1)))))
+            Some(&Err(CoordError::Aborted(TxnError::NodeUnavailable(
+                NodeId(1)
+            ))))
         ));
     }
 }

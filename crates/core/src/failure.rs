@@ -26,7 +26,10 @@ pub struct DetectorConfig {
 
 impl Default for DetectorConfig {
     fn default() -> Self {
-        DetectorConfig { fanout: 2, miss_threshold: 3 }
+        DetectorConfig {
+            fanout: 2,
+            miss_threshold: 3,
+        }
     }
 }
 
@@ -49,7 +52,11 @@ impl RingDetector {
     /// A detector for node `me`.
     #[must_use]
     pub fn new(me: NodeId, config: DetectorConfig) -> Self {
-        RingDetector { me, config, watches: BTreeMap::new() }
+        RingDetector {
+            me,
+            config,
+            watches: BTreeMap::new(),
+        }
     }
 
     /// Recompute the monitored set from the current membership. Call after
@@ -122,7 +129,10 @@ mod tests {
         for (i, n) in nodes.iter().enumerate() {
             m.apply(
                 Lsn(i as u64 + 1),
-                &SysRecord::AddNode { node: NodeId(*n), addr: String::new() },
+                &SysRecord::AddNode {
+                    node: NodeId(*n),
+                    addr: String::new(),
+                },
             );
         }
         m
@@ -131,7 +141,10 @@ mod tests {
     fn detector(me: u32, nodes: &[u32]) -> RingDetector {
         let mut d = RingDetector::new(
             NodeId(me),
-            DetectorConfig { fanout: 2, miss_threshold: 3 },
+            DetectorConfig {
+                fanout: 2,
+                miss_threshold: 3,
+            },
         );
         d.update_membership(&mtable(nodes));
         d

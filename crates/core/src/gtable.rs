@@ -58,10 +58,19 @@ impl GTablePartition {
     pub fn apply(&mut self, lsn: Lsn, record: &GRecord) {
         assert!(lsn > self.applied, "GLog records must apply in order");
         match record {
-            GRecord::Install { table, granule, range, owner } => {
+            GRecord::Install {
+                table,
+                granule,
+                range,
+                owner,
+            } => {
                 self.entries.insert(
                     *granule,
-                    GranuleMeta { table: *table, range: *range, owner: *owner },
+                    GranuleMeta {
+                        table: *table,
+                        range: *range,
+                        owner: *owner,
+                    },
                 );
             }
             GRecord::OnePhase { swaps, .. } => {
@@ -92,8 +101,14 @@ impl GTablePartition {
         // Swap semantics: upsert the entry with the new owner. The range
         // rides along so a destination partition can create the entry it
         // has never seen. Entries are never deleted (invariant I3).
-        self.entries
-            .insert(s.granule, GranuleMeta { table: s.table, range: s.range, owner: s.new });
+        self.entries.insert(
+            s.granule,
+            GranuleMeta {
+                table: s.table,
+                range: s.range,
+                owner: s.new,
+            },
+        );
     }
 
     /// Owner of `granule` per this partition, if the partition has an entry
@@ -197,7 +212,13 @@ mod tests {
     fn one_phase_swap_applies_immediately() {
         let p = materialize([
             (Lsn(1), install(1, 0)),
-            (Lsn(2), GRecord::OnePhase { txn: TxnId(5), swaps: vec![swap(1, 0, 1)] }),
+            (
+                Lsn(2),
+                GRecord::OnePhase {
+                    txn: TxnId(5),
+                    swaps: vec![swap(1, 0, 1)],
+                },
+            ),
         ]);
         assert_eq!(p.owner_of(GranuleId(1)), Some(NodeId(1)));
     }
@@ -205,11 +226,24 @@ mod tests {
     #[test]
     fn prepared_swaps_wait_for_decision() {
         let mut p = materialize([(Lsn(1), install(1, 0))]);
-        p.apply(Lsn(2), &GRecord::Prepared { txn: TxnId(7), swaps: vec![swap(1, 0, 1)], participants: vec![] });
+        p.apply(
+            Lsn(2),
+            &GRecord::Prepared {
+                txn: TxnId(7),
+                swaps: vec![swap(1, 0, 1)],
+                participants: vec![],
+            },
+        );
         // Not yet applied.
         assert_eq!(p.owner_of(GranuleId(1)), Some(NodeId(0)));
         assert_eq!(p.in_doubt(), vec![TxnId(7)]);
-        p.apply(Lsn(3), &GRecord::Decision { txn: TxnId(7), commit: true });
+        p.apply(
+            Lsn(3),
+            &GRecord::Decision {
+                txn: TxnId(7),
+                commit: true,
+            },
+        );
         assert_eq!(p.owner_of(GranuleId(1)), Some(NodeId(1)));
         assert!(p.in_doubt().is_empty());
     }
@@ -217,8 +251,21 @@ mod tests {
     #[test]
     fn aborted_decision_drops_swaps() {
         let mut p = materialize([(Lsn(1), install(1, 0))]);
-        p.apply(Lsn(2), &GRecord::Prepared { txn: TxnId(7), swaps: vec![swap(1, 0, 1)], participants: vec![] });
-        p.apply(Lsn(3), &GRecord::Decision { txn: TxnId(7), commit: false });
+        p.apply(
+            Lsn(2),
+            &GRecord::Prepared {
+                txn: TxnId(7),
+                swaps: vec![swap(1, 0, 1)],
+                participants: vec![],
+            },
+        );
+        p.apply(
+            Lsn(3),
+            &GRecord::Decision {
+                txn: TxnId(7),
+                commit: false,
+            },
+        );
         assert_eq!(p.owner_of(GranuleId(1)), Some(NodeId(0)));
         assert!(p.in_doubt().is_empty());
     }
@@ -226,7 +273,13 @@ mod tests {
     #[test]
     fn decision_without_prepare_is_harmless() {
         let mut p = GTablePartition::new();
-        p.apply(Lsn(1), &GRecord::Decision { txn: TxnId(3), commit: true });
+        p.apply(
+            Lsn(1),
+            &GRecord::Decision {
+                txn: TxnId(3),
+                commit: true,
+            },
+        );
         assert!(p.is_empty());
     }
 
@@ -236,7 +289,10 @@ mod tests {
         // range lets it create the entry.
         let p = materialize([(
             Lsn(1),
-            GRecord::OnePhase { txn: TxnId(1), swaps: vec![swap(4, 0, 2)] },
+            GRecord::OnePhase {
+                txn: TxnId(1),
+                swaps: vec![swap(4, 0, 2)],
+            },
         )]);
         assert_eq!(p.owner_of(GranuleId(4)), Some(NodeId(2)));
         assert_eq!(p.get(GranuleId(4)).unwrap().range, KeyRange::new(400, 500));
@@ -248,7 +304,13 @@ mod tests {
         // owner (this is how misrouted clients get redirected).
         let p = materialize([
             (Lsn(1), install(2, 0)),
-            (Lsn(2), GRecord::OnePhase { txn: TxnId(1), swaps: vec![swap(2, 0, 5)] }),
+            (
+                Lsn(2),
+                GRecord::OnePhase {
+                    txn: TxnId(1),
+                    swaps: vec![swap(2, 0, 5)],
+                },
+            ),
         ]);
         assert_eq!(p.owner_of(GranuleId(2)), Some(NodeId(5)));
         assert_eq!(p.len(), 1, "swap must not delete the entry");
@@ -260,7 +322,13 @@ mod tests {
         let p = materialize([
             (Lsn(1), install(1, 0)),
             (Lsn(2), install(2, 0)),
-            (Lsn(3), GRecord::OnePhase { txn: TxnId(1), swaps: vec![swap(1, 0, 9)] }),
+            (
+                Lsn(3),
+                GRecord::OnePhase {
+                    txn: TxnId(1),
+                    swaps: vec![swap(1, 0, 9)],
+                },
+            ),
         ]);
         let owned = p.owned_by(NodeId(0));
         assert_eq!(owned.len(), 1);
@@ -270,12 +338,42 @@ mod tests {
     #[test]
     fn interleaved_transactions_resolve_independently() {
         let mut p = materialize([(Lsn(1), install(1, 0)), (Lsn(2), install(2, 0))]);
-        p.apply(Lsn(3), &GRecord::Prepared { txn: TxnId(10), swaps: vec![swap(1, 0, 1)], participants: vec![] });
-        p.apply(Lsn(4), &GRecord::Prepared { txn: TxnId(11), swaps: vec![swap(2, 0, 2)], participants: vec![] });
-        p.apply(Lsn(5), &GRecord::Decision { txn: TxnId(11), commit: true });
-        assert_eq!(p.owner_of(GranuleId(1)), Some(NodeId(0)), "txn 10 still pending");
+        p.apply(
+            Lsn(3),
+            &GRecord::Prepared {
+                txn: TxnId(10),
+                swaps: vec![swap(1, 0, 1)],
+                participants: vec![],
+            },
+        );
+        p.apply(
+            Lsn(4),
+            &GRecord::Prepared {
+                txn: TxnId(11),
+                swaps: vec![swap(2, 0, 2)],
+                participants: vec![],
+            },
+        );
+        p.apply(
+            Lsn(5),
+            &GRecord::Decision {
+                txn: TxnId(11),
+                commit: true,
+            },
+        );
+        assert_eq!(
+            p.owner_of(GranuleId(1)),
+            Some(NodeId(0)),
+            "txn 10 still pending"
+        );
         assert_eq!(p.owner_of(GranuleId(2)), Some(NodeId(2)));
-        p.apply(Lsn(6), &GRecord::Decision { txn: TxnId(10), commit: false });
+        p.apply(
+            Lsn(6),
+            &GRecord::Decision {
+                txn: TxnId(10),
+                commit: false,
+            },
+        );
         assert_eq!(p.owner_of(GranuleId(1)), Some(NodeId(0)));
     }
 
@@ -283,9 +381,28 @@ mod tests {
     fn replicas_converge_from_same_log() {
         let records = vec![
             (Lsn(1), install(1, 0)),
-            (Lsn(2), GRecord::Prepared { txn: TxnId(1), swaps: vec![swap(1, 0, 1)], participants: vec![] }),
-            (Lsn(3), GRecord::Decision { txn: TxnId(1), commit: true }),
-            (Lsn(4), GRecord::OnePhase { txn: TxnId(2), swaps: vec![swap(1, 1, 2)] }),
+            (
+                Lsn(2),
+                GRecord::Prepared {
+                    txn: TxnId(1),
+                    swaps: vec![swap(1, 0, 1)],
+                    participants: vec![],
+                },
+            ),
+            (
+                Lsn(3),
+                GRecord::Decision {
+                    txn: TxnId(1),
+                    commit: true,
+                },
+            ),
+            (
+                Lsn(4),
+                GRecord::OnePhase {
+                    txn: TxnId(2),
+                    swaps: vec![swap(1, 1, 2)],
+                },
+            ),
         ];
         let a = materialize(records.clone());
         let b = materialize(records);

@@ -17,7 +17,11 @@ pub enum Violation {
     /// I2/"HasOneOwnership": no node's own partition claims the granule.
     NoOwner { granule: GranuleId },
     /// I3/"NoDualOwnership": two nodes' own partitions both claim it.
-    DualOwner { granule: GranuleId, a: NodeId, b: NodeId },
+    DualOwner {
+        granule: GranuleId,
+        a: NodeId,
+        b: NodeId,
+    },
     /// A node's partition view disagrees with the owner's about a granule's
     /// key range (metadata corruption).
     RangeMismatch { granule: GranuleId },
@@ -39,7 +43,11 @@ pub fn check_exclusive_ownership(
         for (granule, meta) in view.owned_by(node) {
             debug_assert_eq!(meta.owner, node);
             if let Some(prev) = owners.insert(granule, node) {
-                violations.push(Violation::DualOwner { granule, a: prev, b: node });
+                violations.push(Violation::DualOwner {
+                    granule,
+                    a: prev,
+                    b: node,
+                });
             }
         }
     }
@@ -148,7 +156,11 @@ mod tests {
         let violations = check_exclusive_ownership(&views, &[GranuleId(0)]);
         assert_eq!(
             violations,
-            vec![Violation::DualOwner { granule: GranuleId(0), a: NodeId(0), b: NodeId(1) }]
+            vec![Violation::DualOwner {
+                granule: GranuleId(0),
+                a: NodeId(0),
+                b: NodeId(1)
+            }]
         );
     }
 
@@ -157,7 +169,12 @@ mod tests {
         let p0 = GTablePartition::new();
         let views = BTreeMap::from([(NodeId(0), &p0)]);
         let violations = check_exclusive_ownership(&views, &[GranuleId(5)]);
-        assert_eq!(violations, vec![Violation::NoOwner { granule: GranuleId(5) }]);
+        assert_eq!(
+            violations,
+            vec![Violation::NoOwner {
+                granule: GranuleId(5)
+            }]
+        );
     }
 
     #[test]
@@ -177,7 +194,9 @@ mod tests {
         let views = BTreeMap::from([(NodeId(0), &p0), (NodeId(1), &p1)]);
         assert_eq!(
             check_range_agreement(&views),
-            vec![Violation::RangeMismatch { granule: GranuleId(0) }]
+            vec![Violation::RangeMismatch {
+                granule: GranuleId(0)
+            }]
         );
     }
 

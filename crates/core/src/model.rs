@@ -43,7 +43,12 @@ pub struct ModelConfig {
 
 impl Default for ModelConfig {
     fn default() -> Self {
-        ModelConfig { nodes: 3, granules: 6, migrations: 6, max_states: 50_000_000 }
+        ModelConfig {
+            nodes: 3,
+            granules: 6,
+            migrations: 6,
+            max_states: 50_000_000,
+        }
     }
 }
 
@@ -103,10 +108,13 @@ fn initial_state(cfg: &ModelConfig) -> State {
 
 fn check_invariants(cfg: &ModelConfig, s: &State) -> Option<String> {
     for g in 0..cfg.granules {
-        let owners: Vec<usize> =
-            (0..cfg.nodes).filter(|&n| s.gtabs[n][g] == n as u8).collect();
+        let owners: Vec<usize> = (0..cfg.nodes)
+            .filter(|&n| s.gtabs[n][g] == n as u8)
+            .collect();
         if owners.is_empty() {
-            return Some(format!("HasOneOwnership violated: granule {g} has no owner"));
+            return Some(format!(
+                "HasOneOwnership violated: granule {g} has no owner"
+            ));
         }
         if owners.len() > 1 {
             return Some(format!(
@@ -136,7 +144,11 @@ fn successors(cfg: &ModelConfig, s: &State) -> Vec<State> {
                     }
                     let mut next = s.clone();
                     let id = next.updates.len();
-                    next.updates.push(Update { gran: g as u8, old: n as u8, new: p as u8 });
+                    next.updates.push(Update {
+                        gran: g as u8,
+                        old: n as u8,
+                        new: p as u8,
+                    });
                     next.glogs[n] |= 1 << id;
                     next.glogs[p] |= 1 << id;
                     next.gtabs[n][g] = p as u8;
@@ -175,8 +187,14 @@ fn successors(cfg: &ModelConfig, s: &State) -> Vec<State> {
 #[must_use]
 pub fn explore(cfg: &ModelConfig) -> ModelReport {
     assert!(cfg.nodes >= 1);
-    assert!(cfg.granules >= cfg.nodes, "spec assumption: |Granules| >= |Nodes|");
-    assert!(cfg.migrations <= 64, "update IDs are stored in a u64 bitmask");
+    assert!(
+        cfg.granules >= cfg.nodes,
+        "spec assumption: |Granules| >= |Nodes|"
+    );
+    assert!(
+        cfg.migrations <= 64,
+        "update IDs are stored in a u64 bitmask"
+    );
 
     let init = initial_state(cfg);
     let mut seen: HashSet<State> = HashSet::new();
@@ -219,7 +237,11 @@ pub fn explore(cfg: &ModelConfig) -> ModelReport {
             }
         }
     }
-    ModelReport { states: seen.len(), terminated_states: terminated, violation: None }
+    ModelReport {
+        states: seen.len(),
+        terminated_states: terminated,
+        violation: None,
+    }
 }
 
 #[cfg(test)]
@@ -258,7 +280,10 @@ mod tests {
             max_states: 20_000_000,
         });
         assert!(report.holds(), "{:?}", report.violation);
-        assert!(report.terminated_states > 0, "termination must be reachable");
+        assert!(
+            report.terminated_states > 0,
+            "termination must be reachable"
+        );
     }
 
     /// A deliberately broken variant (refresh applies updates without the
@@ -267,7 +292,12 @@ mod tests {
     #[test]
     fn checker_detects_injected_bug() {
         // Simulate the bug by hand: two nodes, both believing they own g0.
-        let cfg = ModelConfig { nodes: 2, granules: 2, migrations: 1, max_states: 10 };
+        let cfg = ModelConfig {
+            nodes: 2,
+            granules: 2,
+            migrations: 1,
+            max_states: 10,
+        };
         let mut s = initial_state(&cfg);
         s.gtabs[1][0] = 1; // node 1 wrongly claims granule 0 (owned by 0)
         assert!(check_invariants(&cfg, &s).is_some());
@@ -276,6 +306,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "spec assumption")]
     fn fewer_granules_than_nodes_rejected() {
-        let _ = explore(&ModelConfig { nodes: 3, granules: 2, migrations: 1, max_states: 10 });
+        let _ = explore(&ModelConfig {
+            nodes: 3,
+            granules: 2,
+            migrations: 1,
+            max_states: 10,
+        });
     }
 }

@@ -45,7 +45,9 @@ impl MTable {
         assert!(lsn > self.applied, "SysLog records must apply in order");
         match record {
             SysRecord::AddNode { node, addr } => {
-                self.members.entry(*node).or_insert_with(|| NodeInfo { addr: addr.clone() });
+                self.members
+                    .entry(*node)
+                    .or_insert_with(|| NodeInfo { addr: addr.clone() });
             }
             SysRecord::DeleteNode { node } => {
                 self.members.remove(node);
@@ -119,7 +121,10 @@ mod tests {
     use super::*;
 
     fn add(n: u32) -> SysRecord {
-        SysRecord::AddNode { node: NodeId(n), addr: format!("10.0.0.{n}") }
+        SysRecord::AddNode {
+            node: NodeId(n),
+            addr: format!("10.0.0.{n}"),
+        }
     }
 
     fn del(n: u32) -> SysRecord {
@@ -142,8 +147,20 @@ mod tests {
     #[test]
     fn duplicate_add_keeps_original_addr() {
         let mut m = MTable::new();
-        m.apply(Lsn(1), &SysRecord::AddNode { node: NodeId(1), addr: "first".into() });
-        m.apply(Lsn(2), &SysRecord::AddNode { node: NodeId(1), addr: "second".into() });
+        m.apply(
+            Lsn(1),
+            &SysRecord::AddNode {
+                node: NodeId(1),
+                addr: "first".into(),
+            },
+        );
+        m.apply(
+            Lsn(2),
+            &SysRecord::AddNode {
+                node: NodeId(1),
+                addr: "second".into(),
+            },
+        );
         assert_eq!(m.get(NodeId(1)).unwrap().addr, "first");
         assert_eq!(m.len(), 1);
     }
@@ -179,7 +196,10 @@ mod tests {
         }
         assert_eq!(m.ring_successors(NodeId(3), 2), vec![NodeId(5), NodeId(7)]);
         assert_eq!(m.ring_successors(NodeId(7), 2), vec![NodeId(1), NodeId(3)]);
-        assert_eq!(m.ring_successors(NodeId(5), 3), vec![NodeId(7), NodeId(1), NodeId(3)]);
+        assert_eq!(
+            m.ring_successors(NodeId(5), 3),
+            vec![NodeId(7), NodeId(1), NodeId(3)]
+        );
     }
 
     #[test]

@@ -76,14 +76,21 @@ impl MarlinNode {
             Some(owner) => Err(TxnError::WrongNode { granule, owner }),
             // Never owned and never heard of: the client's routing is very
             // stale; no hint available.
-            None => Err(TxnError::WrongNode { granule, owner: NodeId(u32::MAX) }),
+            None => Err(TxnError::WrongNode {
+                granule,
+                owner: NodeId(u32::MAX),
+            }),
         }
     }
 
     /// Granules this node currently owns.
     #[must_use]
     pub fn owned_granules(&self) -> Vec<GranuleId> {
-        self.gtable.owned_by(self.id).into_iter().map(|(g, _)| g).collect()
+        self.gtable
+            .owned_by(self.id)
+            .into_iter()
+            .map(|(g, _)| g)
+            .collect()
     }
 
     // -- cache views --------------------------------------------------------
@@ -252,11 +259,17 @@ mod tests {
     #[test]
     fn user_access_guard_matches_algorithm_1() {
         let mut n = MarlinNode::new(NodeId(2));
-        n.refresh_own_gtable([(Lsn(1), install_payload(3, 2)), (Lsn(2), install_payload(4, 5))]);
+        n.refresh_own_gtable([
+            (Lsn(1), install_payload(3, 2)),
+            (Lsn(2), install_payload(4, 5)),
+        ]);
         assert!(n.check_user_access(GranuleId(3)).is_ok());
         assert_eq!(
             n.check_user_access(GranuleId(4)),
-            Err(TxnError::WrongNode { granule: GranuleId(4), owner: NodeId(5) })
+            Err(TxnError::WrongNode {
+                granule: GranuleId(4),
+                owner: NodeId(5)
+            })
         );
         assert!(matches!(
             n.check_user_access(GranuleId(99)),
@@ -269,7 +282,10 @@ mod tests {
         // The Figure 7 discovery: N3 refreshes its own partition after a
         // CAS failure and learns G3/G4 moved to N2.
         let mut n3 = MarlinNode::new(NodeId(3));
-        n3.refresh_own_gtable([(Lsn(1), install_payload(3, 3)), (Lsn(2), install_payload(4, 3))]);
+        n3.refresh_own_gtable([
+            (Lsn(1), install_payload(3, 3)),
+            (Lsn(2), install_payload(4, 3)),
+        ]);
         assert_eq!(n3.owned_granules(), vec![GranuleId(3), GranuleId(4)]);
         let lost = n3.refresh_own_gtable([
             (Lsn(3), swap_payload(1, 3, 3, 2)),
@@ -310,8 +326,10 @@ mod tests {
     #[test]
     fn refresh_skips_already_applied_records() {
         let mut n = MarlinNode::new(NodeId(0));
-        let records =
-            [(Lsn(1), install_payload(1, 0)), (Lsn(2), install_payload(2, 0))];
+        let records = [
+            (Lsn(1), install_payload(1, 0)),
+            (Lsn(2), install_payload(2, 0)),
+        ];
         n.refresh_own_gtable(records.clone());
         // Re-delivering the full prefix is harmless (idempotent refresh).
         n.refresh_own_gtable(records);
@@ -321,7 +339,13 @@ mod tests {
     #[test]
     fn foreign_refresh_tracks_lsn() {
         let mut n = MarlinNode::new(NodeId(0));
-        n.refresh_foreign(NodeId(3), [(Lsn(1), install_payload(7, 3)), (Lsn(2), swap_payload(1, 7, 3, 0))]);
+        n.refresh_foreign(
+            NodeId(3),
+            [
+                (Lsn(1), install_payload(7, 3)),
+                (Lsn(2), swap_payload(1, 7, 3, 0)),
+            ],
+        );
         let p = n.foreign_partition(NodeId(3)).unwrap();
         assert_eq!(p.owner_of(GranuleId(7)), Some(NodeId(0)));
         assert_eq!(n.tracker.get(LogId::GLog(NodeId(3))), Lsn(2));

@@ -108,7 +108,9 @@ impl SysRecord {
                 if buf.remaining() < 4 {
                     return None;
                 }
-                SysRecord::DeleteNode { node: NodeId(buf.get_u32_le()) }
+                SysRecord::DeleteNode {
+                    node: NodeId(buf.get_u32_le()),
+                }
             }
             _ => return None,
         };
@@ -135,15 +137,27 @@ pub struct OwnershipSwap {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum GRecord {
     /// Bootstrap: install a granule entry with its initial owner.
-    Install { table: TableId, granule: GranuleId, range: KeyRange, owner: NodeId },
+    Install {
+        table: TableId,
+        granule: GranuleId,
+        range: KeyRange,
+        owner: NodeId,
+    },
     /// A committed single-participant transaction's swaps (one-phase).
-    OnePhase { txn: TxnId, swaps: Vec<OwnershipSwap> },
+    OnePhase {
+        txn: TxnId,
+        swaps: Vec<OwnershipSwap>,
+    },
     /// Phase one of MarlinCommit's 2PC: `VOTE-YES` bundled with the updates
     /// for this log (Algorithm 2 line 8). Provisional until decided.
     /// `participants` lists every participant log of the transaction so
     /// that a third party can run the Cornus-style termination protocol
     /// (§4.3.2) by inspecting the other participants' logs.
-    Prepared { txn: TxnId, swaps: Vec<OwnershipSwap>, participants: Vec<LogId> },
+    Prepared {
+        txn: TxnId,
+        swaps: Vec<OwnershipSwap>,
+        participants: Vec<LogId>,
+    },
     /// Phase two: the transaction's outcome.
     Decision { txn: TxnId, commit: bool },
 }
@@ -170,7 +184,13 @@ fn get_swap(buf: &mut Bytes) -> Option<OwnershipSwap> {
     }
     let old = NodeId(buf.get_u32_le());
     let new = NodeId(buf.get_u32_le());
-    Some(OwnershipSwap { table, granule, range: KeyRange::new(lo, hi), old, new })
+    Some(OwnershipSwap {
+        table,
+        granule,
+        range: KeyRange::new(lo, hi),
+        old,
+        new,
+    })
 }
 
 fn put_swaps(buf: &mut BytesMut, kind: u8, txn: TxnId, swaps: &[OwnershipSwap]) {
@@ -201,7 +221,12 @@ impl GRecord {
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::new();
         match self {
-            GRecord::Install { table, granule, range, owner } => {
+            GRecord::Install {
+                table,
+                granule,
+                range,
+                owner,
+            } => {
                 buf.put_u8(G_INSTALL);
                 buf.put_u32_le(table.0);
                 buf.put_u64_le(granule.0);
@@ -210,7 +235,11 @@ impl GRecord {
                 buf.put_u32_le(owner.0);
             }
             GRecord::OnePhase { txn, swaps } => put_swaps(&mut buf, G_ONE_PHASE, *txn, swaps),
-            GRecord::Prepared { txn, swaps, participants } => {
+            GRecord::Prepared {
+                txn,
+                swaps,
+                participants,
+            } => {
                 put_swaps(&mut buf, G_PREPARED, *txn, swaps);
                 buf.put_u32_le(participants.len() as u32);
                 for p in participants {
@@ -246,7 +275,12 @@ impl GRecord {
                     return None;
                 }
                 let owner = NodeId(buf.get_u32_le());
-                GRecord::Install { table, granule, range: KeyRange::new(lo, hi), owner }
+                GRecord::Install {
+                    table,
+                    granule,
+                    range: KeyRange::new(lo, hi),
+                    owner,
+                }
             }
             G_ONE_PHASE => {
                 let (txn, swaps) = get_swaps(&mut buf)?;
@@ -262,7 +296,11 @@ impl GRecord {
                 for _ in 0..n {
                     participants.push(get_log_id(&mut buf)?);
                 }
-                GRecord::Prepared { txn, swaps, participants }
+                GRecord::Prepared {
+                    txn,
+                    swaps,
+                    participants,
+                }
             }
             G_DECISION => {
                 if buf.remaining() < 9 {
@@ -303,8 +341,14 @@ mod tests {
     #[test]
     fn sys_records_round_trip() {
         for rec in [
-            SysRecord::AddNode { node: NodeId(3), addr: "10.0.0.3:5000".into() },
-            SysRecord::AddNode { node: NodeId(0), addr: String::new() },
+            SysRecord::AddNode {
+                node: NodeId(3),
+                addr: "10.0.0.3:5000".into(),
+            },
+            SysRecord::AddNode {
+                node: NodeId(0),
+                addr: String::new(),
+            },
             SysRecord::DeleteNode { node: NodeId(7) },
         ] {
             assert_eq!(SysRecord::decode(&rec.encode()), Some(rec));
@@ -320,15 +364,28 @@ mod tests {
                 range: KeyRange::new(0, 64),
                 owner: NodeId(2),
             },
-            GRecord::OnePhase { txn: TxnId(9), swaps: vec![swap(1, 0, 1)] },
+            GRecord::OnePhase {
+                txn: TxnId(9),
+                swaps: vec![swap(1, 0, 1)],
+            },
             GRecord::Prepared {
                 txn: TxnId(10),
                 swaps: vec![swap(2, 1, 2), swap(3, 1, 2)],
                 participants: vec![LogId::GLog(NodeId(1)), LogId::GLog(NodeId(2))],
             },
-            GRecord::Prepared { txn: TxnId(11), swaps: vec![], participants: vec![LogId::SysLog] },
-            GRecord::Decision { txn: TxnId(10), commit: true },
-            GRecord::Decision { txn: TxnId(10), commit: false },
+            GRecord::Prepared {
+                txn: TxnId(11),
+                swaps: vec![],
+                participants: vec![LogId::SysLog],
+            },
+            GRecord::Decision {
+                txn: TxnId(10),
+                commit: true,
+            },
+            GRecord::Decision {
+                txn: TxnId(10),
+                commit: false,
+            },
         ] {
             assert_eq!(GRecord::decode(&rec.encode()), Some(rec));
         }
@@ -338,7 +395,11 @@ mod tests {
     fn cross_family_decode_fails() {
         let sys = SysRecord::DeleteNode { node: NodeId(1) }.encode();
         assert_eq!(GRecord::decode(&sys), None);
-        let g = GRecord::Decision { txn: TxnId(1), commit: true }.encode();
+        let g = GRecord::Decision {
+            txn: TxnId(1),
+            commit: true,
+        }
+        .encode();
         assert_eq!(SysRecord::decode(&g), None);
     }
 
@@ -374,7 +435,7 @@ mod tests {
                     swaps,
                     participants: vec![LogId::SysLog, LogId::GLog(NodeId(3))],
                 },
-                _ => GRecord::Decision { txn: TxnId(txn), commit: txn % 2 == 0 },
+                _ => GRecord::Decision { txn: TxnId(txn), commit: txn.is_multiple_of(2) },
             };
             prop_assert_eq!(GRecord::decode(&rec.encode()), Some(rec));
         }

@@ -94,7 +94,11 @@ mod tests {
     use marlin_common::{KeyRange, TableId};
 
     fn meta(owner: u32) -> GranuleMeta {
-        GranuleMeta { table: TableId(0), range: KeyRange::new(0, 10), owner: NodeId(owner) }
+        GranuleMeta {
+            table: TableId(0),
+            range: KeyRange::new(0, 10),
+            owner: NodeId(owner),
+        }
     }
 
     #[test]

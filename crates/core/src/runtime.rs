@@ -22,19 +22,21 @@
 //!   Cornus-style termination protocol for in-doubt transactions.
 
 use crate::drivers::{
-    AddNodeDriver, CommitDriver, CommitOutcome, DeleteNodeDriver, Effect, Input,
-    MigrationDriver, Participant, RecoveryMigrDriver, ScanGTableDriver, Updates,
+    AddNodeDriver, CommitDriver, CommitOutcome, DeleteNodeDriver, Effect, Input, MigrationDriver,
+    Participant, RecoveryMigrDriver, ScanGTableDriver, Updates,
 };
 use crate::gtable::{materialize, GTablePartition, GranuleMeta};
 use crate::node::MarlinNode;
 use crate::records::GRecord;
 use bytes::Bytes;
 use marlin_common::{
-    ClusterConfig, CoordError, GranuleId, GranuleLayout, LogId, Lsn, NodeId, StorageError,
-    TableId, TxnError, TxnId,
+    ClusterConfig, CoordError, GranuleId, GranuleLayout, LogId, Lsn, NodeId, StorageError, TableId,
+    TxnError, TxnId,
 };
 use marlin_engine::recovery::recover_granule_from_pages;
-use marlin_engine::{DataStore, Granule, LockMode, LockTable, LockTarget, RowWrite, TxnUpdateRecord};
+use marlin_engine::{
+    DataStore, Granule, LockMode, LockTable, LockTarget, RowWrite, TxnUpdateRecord,
+};
 use marlin_storage::{encode_page_updates, StorageService};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -128,18 +130,23 @@ impl LocalCluster {
             );
         }
         let log = LogId::GLog(owner);
-        let out = self.storage.append(log, payloads).expect("owner GLog exists");
+        let out = self
+            .storage
+            .append(log, payloads)
+            .expect("owner GLog exists");
         let node = self.nodes.get_mut(&owner).expect("owner exists");
         let suffix = self
             .storage
             .log(log)
             .expect("glog")
             .read_after(node.marlin.gtable().applied_lsn());
-        node.marlin.refresh_own_gtable(suffix.into_iter().map(|r| (r.lsn, r.payload)));
+        node.marlin
+            .refresh_own_gtable(suffix.into_iter().map(|r| (r.lsn, r.payload)));
         node.marlin.tracker.observe(log, out.new_lsn);
         for (table, granule) in granules {
             let layout = &self.layouts[table];
-            node.data.install(*table, *granule, Granule::new(layout.range_of(*granule)));
+            node.data
+                .install(*table, *granule, Granule::new(layout.range_of(*granule)));
         }
     }
 
@@ -192,7 +199,12 @@ impl LocalCluster {
         self.nodes.entry(id).or_insert_with(|| NodeRuntime::new(id));
         for _ in 0..MAX_RETRIES {
             self.refresh_mtable(id);
-            let txn = self.nodes.get_mut(&id).expect("node exists").marlin.next_txn();
+            let txn = self
+                .nodes
+                .get_mut(&id)
+                .expect("node exists")
+                .marlin
+                .next_txn();
             let (mut driver, effects) = {
                 let node = &self.nodes[&id];
                 AddNodeDriver::new(
@@ -211,18 +223,21 @@ impl LocalCluster {
                 None => unreachable!("synchronous pump always completes"),
             }
         }
-        Err(CoordError::ServiceError("add_node retries exhausted".into()))
+        Err(CoordError::ServiceError(
+            "add_node retries exhausted".into(),
+        ))
     }
 
     /// `DeleteNodeTxn` run on `coordinator` to remove `victim`.
-    pub fn delete_node(
-        &mut self,
-        coordinator: NodeId,
-        victim: NodeId,
-    ) -> Result<(), CoordError> {
+    pub fn delete_node(&mut self, coordinator: NodeId, victim: NodeId) -> Result<(), CoordError> {
         for _ in 0..MAX_RETRIES {
             self.refresh_mtable(coordinator);
-            let txn = self.nodes.get_mut(&coordinator).expect("node").marlin.next_txn();
+            let txn = self
+                .nodes
+                .get_mut(&coordinator)
+                .expect("node")
+                .marlin
+                .next_txn();
             let (mut driver, effects) = {
                 let node = &self.nodes[&coordinator];
                 DeleteNodeDriver::new(
@@ -241,7 +256,9 @@ impl LocalCluster {
                 None => unreachable!("synchronous pump always completes"),
             }
         }
-        Err(CoordError::ServiceError("delete_node retries exhausted".into()))
+        Err(CoordError::ServiceError(
+            "delete_node retries exhausted".into(),
+        ))
     }
 
     // -- migration ----------------------------------------------------------
@@ -255,7 +272,12 @@ impl LocalCluster {
         table: TableId,
         granules: Vec<GranuleId>,
     ) -> Result<(), CoordError> {
-        let txn = self.nodes.get_mut(&dst).expect("dst exists").marlin.next_txn();
+        let txn = self
+            .nodes
+            .get_mut(&dst)
+            .expect("dst exists")
+            .marlin
+            .next_txn();
         let (mut driver, effects) = MigrationDriver::new(txn, src, dst, granules.clone());
         let mut queue: VecDeque<Effect> = effects.into();
         while let Some(effect) = queue.pop_front() {
@@ -273,7 +295,11 @@ impl LocalCluster {
                         .get_mut(&src)
                         .and_then(|n| n.data.remove(table, *granule));
                     if let Some(g) = moved {
-                        self.nodes.get_mut(&dst).expect("dst").data.install(table, *granule, g);
+                        self.nodes
+                            .get_mut(&dst)
+                            .expect("dst")
+                            .data
+                            .install(table, *granule, g);
                     }
                 }
                 Ok(())
@@ -303,7 +329,14 @@ impl LocalCluster {
                 .foreign_partition(src)
                 .cloned()
                 .unwrap_or_default();
-            RecoveryMigrDriver::new(txn, src, dst, granules.clone(), &partition, &node.marlin.tracker)
+            RecoveryMigrDriver::new(
+                txn,
+                src,
+                dst,
+                granules.clone(),
+                &partition,
+                &node.marlin.tracker,
+            )
         };
         self.pump(dst, effects, |input| driver.on_input(input));
         match driver.result() {
@@ -328,7 +361,9 @@ impl LocalCluster {
         let as_of = store.replayed_lsn(src_log);
         let node = self.nodes.get_mut(&dst).expect("dst");
         for granule in granules {
-            let Some(meta) = node.marlin.gtable().get(*granule).copied() else { continue };
+            let Some(meta) = node.marlin.gtable().get(*granule).copied() else {
+                continue;
+            };
             let layout = &self.layouts[&meta.table];
             let recovered = recover_granule_from_pages(
                 &store,
@@ -388,11 +423,15 @@ impl LocalCluster {
         reads: &[u64],
         writes: &[(u64, Bytes)],
     ) -> Result<Vec<Option<Bytes>>, TxnError> {
-        if !self.nodes.get(&node).map_or(false, |n| n.alive) {
+        if !self.nodes.get(&node).is_some_and(|n| n.alive) {
             return Err(TxnError::NodeUnavailable(node));
         }
         self.ensure_gtable_fresh(node);
-        let layout = self.layouts.values().find(|l| l.table == table).expect("table exists");
+        let layout = self
+            .layouts
+            .values()
+            .find(|l| l.table == table)
+            .expect("table exists");
         let pages_per_granule = layout.pages_per_granule(self.page_bytes);
         let txn = self.nodes.get_mut(&node).expect("node").marlin.next_txn();
 
@@ -404,15 +443,16 @@ impl LocalCluster {
             let access = |key: u64, exclusive: bool| -> Result<GranuleId, TxnError> {
                 let granule = layout.granule_of(key).expect("key in keyspace");
                 rt.marlin.check_user_access(granule)?;
-                rt.locks.try_lock(
-                    txn,
-                    LockTarget::GTableEntry { granule },
-                    LockMode::Shared,
-                )?;
+                rt.locks
+                    .try_lock(txn, LockTarget::GTableEntry { granule }, LockMode::Shared)?;
                 rt.locks.try_lock(
                     txn,
                     LockTarget::Row { table, key },
-                    if exclusive { LockMode::Exclusive } else { LockMode::Shared },
+                    if exclusive {
+                        LockMode::Exclusive
+                    } else {
+                        LockMode::Shared
+                    },
                 )?;
                 Ok(granule)
             };
@@ -424,8 +464,7 @@ impl LocalCluster {
                 for (key, value) in writes {
                     let granule = access(*key, true)?;
                     let offset = *key - layout.range_of(granule).lo;
-                    let page_index =
-                        (offset % u64::from(pages_per_granule)) as u32;
+                    let page_index = (offset % u64::from(pages_per_granule)) as u32;
                     row_writes.push(RowWrite {
                         table,
                         granule,
@@ -445,10 +484,17 @@ impl LocalCluster {
         // Commit phase: one-phase MarlinCommit on the node's own GLog
         // (which is also its data WAL — Figure 7's detection mechanism).
         if row_writes.is_empty() {
-            self.nodes.get_mut(&node).expect("node").locks.release_all(txn);
+            self.nodes
+                .get_mut(&node)
+                .expect("node")
+                .locks
+                .release_all(txn);
             return Ok(result_reads);
         }
-        let record = TxnUpdateRecord { txn, writes: row_writes.clone() };
+        let record = TxnUpdateRecord {
+            txn,
+            writes: row_writes.clone(),
+        };
         let payload = encode_page_updates(&record.to_page_updates());
         let (mut driver, effects) = {
             let rt = &self.nodes[&node];
@@ -460,12 +506,17 @@ impl LocalCluster {
             )
         };
         self.pump(node, effects, |input| driver.on_input(input));
-        let outcome = driver.outcome().cloned().expect("synchronous pump completes");
+        let outcome = driver
+            .outcome()
+            .cloned()
+            .expect("synchronous pump completes");
         let rt = self.nodes.get_mut(&node).expect("node");
         match outcome {
             CommitOutcome::Committed => {
                 for w in row_writes {
-                    rt.data.write(w.table, w.granule, w.key, w.value).expect("owned granule");
+                    rt.data
+                        .write(w.table, w.granule, w.key, w.value)
+                        .expect("owned granule");
                 }
                 rt.locks.release_all(txn);
                 Ok(result_reads)
@@ -513,8 +564,11 @@ impl LocalCluster {
             let dead_log = self.storage.log(LogId::GLog(dead)).expect("dead glog");
             let mut participants = Vec::new();
             for rec in dead_log.read_after(Lsn::ZERO) {
-                if let Some(GRecord::Prepared { txn: t, participants: p, .. }) =
-                    GRecord::decode(&rec.payload)
+                if let Some(GRecord::Prepared {
+                    txn: t,
+                    participants: p,
+                    ..
+                }) = GRecord::decode(&rec.payload)
                 {
                     if t == txn {
                         participants = p;
@@ -569,19 +623,27 @@ impl LocalCluster {
     pub fn assert_invariants(&self) {
         let mut views: BTreeMap<NodeId, GTablePartition> = BTreeMap::new();
         for &id in self.nodes.keys() {
-            let Ok(log) = self.storage.log(LogId::GLog(id)) else { continue };
-            let records = log.read_after(Lsn::ZERO).into_iter().filter_map(|r| {
-                GRecord::decode(&r.payload).map(|rec| (r.lsn, rec))
-            });
+            let Ok(log) = self.storage.log(LogId::GLog(id)) else {
+                continue;
+            };
+            let records = log
+                .read_after(Lsn::ZERO)
+                .into_iter()
+                .filter_map(|r| GRecord::decode(&r.payload).map(|rec| (r.lsn, rec)));
             views.insert(id, materialize(records));
         }
-        let universe: Vec<GranuleId> =
-            self.layouts.values().flat_map(GranuleLayout::granules).collect();
-        let refs: BTreeMap<NodeId, &GTablePartition> =
-            views.iter().map(|(n, p)| (*n, p)).collect();
+        let universe: Vec<GranuleId> = self
+            .layouts
+            .values()
+            .flat_map(GranuleLayout::granules)
+            .collect();
+        let refs: BTreeMap<NodeId, &GTablePartition> = views.iter().map(|(n, p)| (*n, p)).collect();
         crate::invariants::assert_exclusive_ownership(&refs, &universe);
         let range_violations = crate::invariants::check_range_agreement(&refs);
-        assert!(range_violations.is_empty(), "range agreement violated: {range_violations:?}");
+        assert!(
+            range_violations.is_empty(),
+            "range agreement violated: {range_violations:?}"
+        );
     }
 
     // -- cache refresh helpers -------------------------------------------------
@@ -591,7 +653,8 @@ impl LocalCluster {
         let log = self.storage.log(LogId::SysLog).expect("syslog");
         let node = self.nodes.get_mut(&id).expect("node");
         let suffix = log.read_after(node.marlin.mtable().applied_lsn());
-        node.marlin.refresh_mtable(suffix.into_iter().map(|r| (r.lsn, r.payload)));
+        node.marlin
+            .refresh_mtable(suffix.into_iter().map(|r| (r.lsn, r.payload)));
     }
 
     /// If `id`'s partition cache was evicted (a TryLog failure called
@@ -617,19 +680,23 @@ impl LocalCluster {
         let log = self.storage.log(LogId::GLog(id)).expect("glog");
         let node = self.nodes.get_mut(&id).expect("node");
         let suffix = log.read_after(node.marlin.gtable().applied_lsn());
-        node.marlin.refresh_own_gtable(suffix.into_iter().map(|r| (r.lsn, r.payload)))
+        node.marlin
+            .refresh_own_gtable(suffix.into_iter().map(|r| (r.lsn, r.payload)))
     }
 
     /// Refresh `viewer`'s cached copy of `target`'s partition.
     pub fn refresh_foreign(&mut self, viewer: NodeId, target: NodeId) {
-        let Ok(log) = self.storage.log(LogId::GLog(target)) else { return };
+        let Ok(log) = self.storage.log(LogId::GLog(target)) else {
+            return;
+        };
         let node = self.nodes.get_mut(&viewer).expect("viewer");
         let from = node
             .marlin
             .foreign_partition(target)
             .map_or(Lsn::ZERO, GTablePartition::applied_lsn);
         let suffix = log.read_after(from);
-        node.marlin.refresh_foreign(target, suffix.into_iter().map(|r| (r.lsn, r.payload)));
+        node.marlin
+            .refresh_foreign(target, suffix.into_iter().map(|r| (r.lsn, r.payload)));
     }
 
     // -- effect execution -------------------------------------------------------
@@ -661,11 +728,21 @@ impl LocalCluster {
         effect: &Effect,
     ) -> Option<Input> {
         match effect {
-            Effect::ConditionalAppend { log, payload, expected } => {
-                match self.storage.conditional_append(*log, vec![payload.clone()], *expected) {
+            Effect::ConditionalAppend {
+                log,
+                payload,
+                expected,
+            } => {
+                match self
+                    .storage
+                    .conditional_append(*log, vec![payload.clone()], *expected)
+                {
                     Ok(out) => {
                         self.after_local_append(coordinator, *log, out.new_lsn);
-                        Some(Input::AppendOk { log: *log, new_lsn: out.new_lsn })
+                        Some(Input::AppendOk {
+                            log: *log,
+                            new_lsn: out.new_lsn,
+                        })
                     }
                     Err(StorageError::LsnMismatch { current, .. }) => {
                         self.nodes
@@ -683,7 +760,10 @@ impl LocalCluster {
                 match self.storage.append(*log, vec![payload.clone()]) {
                     Ok(out) => {
                         self.after_local_append(coordinator, *log, out.new_lsn);
-                        Some(Input::AppendOk { log: *log, new_lsn: out.new_lsn })
+                        Some(Input::AppendOk {
+                            log: *log,
+                            new_lsn: out.new_lsn,
+                        })
                     }
                     Err(e) => panic!("storage error during append: {e}"),
                 }
@@ -733,7 +813,10 @@ impl LocalCluster {
                 if !rt.alive {
                     return Some(Input::Timeout { from: *to });
                 }
-                Some(Input::ScanResp { from: *to, entries: rt.marlin.gtable().scan() })
+                Some(Input::ScanResp {
+                    from: *to,
+                    entries: rt.marlin.gtable().scan(),
+                })
             }
         }
     }
@@ -767,7 +850,7 @@ impl LocalCluster {
     /// conditional append would let a commit slip past modifications the
     /// reads never saw. Only the *read* path refetches on a miss.
     fn remote_vote_req(&mut self, to: NodeId, txn: TxnId, payload: &Bytes) -> Input {
-        let alive = self.nodes.get(&to).map_or(false, |n| n.alive);
+        let alive = self.nodes.get(&to).is_some_and(|n| n.alive);
         if !alive {
             return Input::Timeout { from: to };
         }
@@ -776,7 +859,10 @@ impl LocalCluster {
             let log = LogId::GLog(to);
             let current = self.storage.end_lsn(log).unwrap_or(Lsn::ZERO);
             let tracked = self.nodes[&to].marlin.tracker.get(log);
-            return Input::VoteResp { from: to, yes: current == tracked };
+            return Input::VoteResp {
+                from: to,
+                yes: current == tracked,
+            };
         };
         // Acquire the granule + GTable-entry locks (NO_WAIT).
         {
@@ -784,24 +870,37 @@ impl LocalCluster {
             for s in &swaps {
                 let locked = rt
                     .locks
-                    .try_lock(txn, LockTarget::GTableEntry { granule: s.granule }, LockMode::Exclusive)
+                    .try_lock(
+                        txn,
+                        LockTarget::GTableEntry { granule: s.granule },
+                        LockMode::Exclusive,
+                    )
                     .and_then(|()| {
                         rt.locks.try_lock(
                             txn,
-                            LockTarget::Granule { table: s.table, granule: s.granule },
+                            LockTarget::Granule {
+                                table: s.table,
+                                granule: s.granule,
+                            },
                             LockMode::Exclusive,
                         )
                     });
                 if locked.is_err() {
                     rt.locks.release_all(txn);
-                    return Input::VoteResp { from: to, yes: false };
+                    return Input::VoteResp {
+                        from: to,
+                        yes: false,
+                    };
                 }
             }
         }
         // TryLog on the own GLog with the own tracker.
         let log = LogId::GLog(to);
         let expected = self.nodes[&to].marlin.tracker.get(log);
-        match self.storage.conditional_append(log, vec![payload.clone()], expected) {
+        match self
+            .storage
+            .conditional_append(log, vec![payload.clone()], expected)
+        {
             Ok(out) => {
                 // Apply via the suffix (not a tail-skip): the view's
                 // watermark may lag the tracker if another node's commit
@@ -809,14 +908,20 @@ impl LocalCluster {
                 // silently lose their GTable effects.
                 let _ = out;
                 self.refresh_own_gtable(to);
-                Input::VoteResp { from: to, yes: true }
+                Input::VoteResp {
+                    from: to,
+                    yes: true,
+                }
             }
             Err(StorageError::LsnMismatch { current, .. }) => {
                 let rt = self.nodes.get_mut(&to).expect("node");
                 rt.marlin.tracker.observe(log, current);
                 rt.marlin.clear_meta_cache(log);
                 rt.locks.release_all(txn);
-                Input::VoteResp { from: to, yes: false }
+                Input::VoteResp {
+                    from: to,
+                    yes: false,
+                }
             }
             Err(e) => panic!("storage error during remote TryLog: {e}"),
         }
@@ -825,7 +930,7 @@ impl LocalCluster {
     /// Remote side of the decision broadcast: append the decision to the
     /// own GLog, resolve the pending swaps, release the locks.
     fn remote_decision(&mut self, to: NodeId, txn: TxnId, commit: bool) {
-        let alive = self.nodes.get(&to).map_or(false, |n| n.alive);
+        let alive = self.nodes.get(&to).is_some_and(|n| n.alive);
         if !alive {
             // Decision lost; the prepared record stays in-doubt until the
             // termination protocol resolves it.
@@ -833,7 +938,10 @@ impl LocalCluster {
         }
         let log = LogId::GLog(to);
         let payload = GRecord::Decision { txn, commit }.encode();
-        let out = self.storage.append(log, vec![payload.clone()]).expect("own glog");
+        let out = self
+            .storage
+            .append(log, vec![payload.clone()])
+            .expect("own glog");
         let rt = self.nodes.get_mut(&to).expect("node");
         rt.marlin.tracker.observe(log, out.new_lsn);
         // Apply via the suffix so any records this node has not yet seen
@@ -856,13 +964,8 @@ impl LocalCluster {
     /// a data-effectiveness check pass on stale ownership — and a
     /// subsequent commit (whose tracker the failed CAS already updated)
     /// could then double-assign the granule.
-    fn remote_read_owners(
-        &mut self,
-        at: NodeId,
-        txn: TxnId,
-        granules: &[GranuleId],
-    ) -> Input {
-        let alive = self.nodes.get(&at).map_or(false, |n| n.alive);
+    fn remote_read_owners(&mut self, at: NodeId, txn: TxnId, granules: &[GranuleId]) -> Input {
+        let alive = self.nodes.get(&at).is_some_and(|n| n.alive);
         if !alive {
             return Input::Timeout { from: at };
         }
@@ -874,20 +977,33 @@ impl LocalCluster {
             let Some(meta) = meta else { continue };
             let locked = rt
                 .locks
-                .try_lock(txn, LockTarget::GTableEntry { granule: *g }, LockMode::Exclusive)
+                .try_lock(
+                    txn,
+                    LockTarget::GTableEntry { granule: *g },
+                    LockMode::Exclusive,
+                )
                 .and_then(|()| {
                     rt.locks.try_lock(
                         txn,
-                        LockTarget::Granule { table: meta.table, granule: *g },
+                        LockTarget::Granule {
+                            table: meta.table,
+                            granule: *g,
+                        },
                         LockMode::Exclusive,
                     )
                 });
             if locked.is_err() {
                 rt.locks.release_all(txn);
-                return Input::OwnersAt { from: at, owners: None };
+                return Input::OwnersAt {
+                    from: at,
+                    owners: None,
+                };
             }
             owners.push((*g, meta));
         }
-        Input::OwnersAt { from: at, owners: Some(owners) }
+        Input::OwnersAt {
+            from: at,
+            owners: Some(owners),
+        }
     }
 }

@@ -40,7 +40,11 @@ pub fn plan_warmup(
             table,
             granule: *g,
             pages: (0..pages_per_granule)
-                .map(|index| PageId { table, granule: *g, index })
+                .map(|index| PageId {
+                    table,
+                    granule: *g,
+                    index,
+                })
                 .collect(),
             bytes: granule_bytes,
         })
@@ -62,11 +66,14 @@ mod tests {
         let plans = plan_warmup(TableId(1), &[GranuleId(3), GranuleId(4)], 4, 64 << 10);
         assert_eq!(plans.len(), 2);
         assert_eq!(plans[0].pages.len(), 4);
-        assert_eq!(plans[0].pages[2], PageId {
-            table: TableId(1),
-            granule: GranuleId(3),
-            index: 2,
-        });
+        assert_eq!(
+            plans[0].pages[2],
+            PageId {
+                table: TableId(1),
+                granule: GranuleId(3),
+                index: 2,
+            }
+        );
         assert_eq!(total_bytes(&plans), 2 * (64 << 10));
     }
 

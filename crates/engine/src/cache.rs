@@ -129,7 +129,12 @@ impl ClockCache {
         // above sets the bit because a refresh *is* an access.)
         if self.frames.len() < self.capacity {
             let slot = self.frames.len();
-            self.frames.push(Frame { page, referenced: false, dirty: false, payload });
+            self.frames.push(Frame {
+                page,
+                referenced: false,
+                dirty: false,
+                payload,
+            });
             self.index.insert(page, slot);
             return;
         }
@@ -141,7 +146,12 @@ impl ClockCache {
             // Log-as-the-database: dirty pages are dropped, never written back.
             self.stats.dirty_drops += 1;
         }
-        *frame = Frame { page, referenced: false, dirty: false, payload };
+        *frame = Frame {
+            page,
+            referenced: false,
+            dirty: false,
+            payload,
+        };
         self.index.insert(page, slot);
     }
 
@@ -205,7 +215,11 @@ mod tests {
     use marlin_common::{GranuleId, TableId};
 
     fn pid(i: u32) -> PageId {
-        PageId { table: TableId(0), granule: GranuleId(u64::from(i) / 4), index: i }
+        PageId {
+            table: TableId(0),
+            granule: GranuleId(u64::from(i) / 4),
+            index: i,
+        }
     }
 
     #[test]

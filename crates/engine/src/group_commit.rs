@@ -108,7 +108,10 @@ mod tests {
         assert!(!gc.push(txn(1), Bytes::from_static(b"a")));
         assert!(!gc.push(txn(2), Bytes::from_static(b"b")));
         let (payloads, txns) = gc.flush();
-        assert_eq!(payloads, vec![Bytes::from_static(b"a"), Bytes::from_static(b"b")]);
+        assert_eq!(
+            payloads,
+            vec![Bytes::from_static(b"a"), Bytes::from_static(b"b")]
+        );
         assert_eq!(txns, vec![txn(1), txn(2)]);
         assert!(gc.is_empty());
     }

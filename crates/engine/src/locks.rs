@@ -68,16 +68,14 @@ impl LockTable {
     /// [`TxnError::LockConflict`] and the caller must abort the
     /// transaction. Re-acquisition by the same transaction is a no-op;
     /// a sole shared holder may upgrade to exclusive.
-    pub fn try_lock(
-        &self,
-        txn: TxnId,
-        target: LockTarget,
-        mode: LockMode,
-    ) -> Result<(), TxnError> {
+    pub fn try_lock(&self, txn: TxnId, target: LockTarget, mode: LockMode) -> Result<(), TxnError> {
         let mut inner = self.inner.lock();
         let decision = match inner.locks.entry(target) {
             Entry::Vacant(v) => {
-                v.insert(LockEntry { mode, holders: HashSet::from([txn]) });
+                v.insert(LockEntry {
+                    mode,
+                    holders: HashSet::from([txn]),
+                });
                 Ok(true)
             }
             Entry::Occupied(mut o) => {
@@ -195,11 +193,17 @@ mod tests {
     }
 
     fn row(key: u64) -> LockTarget {
-        LockTarget::Row { table: TableId(0), key }
+        LockTarget::Row {
+            table: TableId(0),
+            key,
+        }
     }
 
     fn granule(g: u64) -> LockTarget {
-        LockTarget::Granule { table: TableId(0), granule: GranuleId(g) }
+        LockTarget::Granule {
+            table: TableId(0),
+            granule: GranuleId(g),
+        }
     }
 
     #[test]
@@ -217,7 +221,9 @@ mod tests {
         lt.try_lock(txn(1), row(5), LockMode::Exclusive).unwrap();
         let err = lt.try_lock(txn(2), row(5), LockMode::Shared).unwrap_err();
         assert!(matches!(err, TxnError::LockConflict { .. }));
-        let err = lt.try_lock(txn(2), row(5), LockMode::Exclusive).unwrap_err();
+        let err = lt
+            .try_lock(txn(2), row(5), LockMode::Exclusive)
+            .unwrap_err();
         assert!(matches!(err, TxnError::LockConflict { .. }));
         assert_eq!(lt.conflicts(), 2);
     }
@@ -263,7 +269,8 @@ mod tests {
         let lt = LockTable::new();
         lt.try_lock(txn(1), row(1), LockMode::Shared).unwrap();
         lt.try_lock(txn(1), row(2), LockMode::Exclusive).unwrap();
-        lt.try_lock(txn(1), granule(0), LockMode::Exclusive).unwrap();
+        lt.try_lock(txn(1), granule(0), LockMode::Exclusive)
+            .unwrap();
         lt.release_all(txn(1));
         assert_eq!(lt.active_locks(), 0);
         lt.try_lock(txn(2), row(2), LockMode::Exclusive).unwrap();
@@ -272,7 +279,9 @@ mod tests {
     #[test]
     fn release_one_keeps_other_locks() {
         let lt = LockTable::new();
-        let gt = LockTarget::GTableEntry { granule: GranuleId(3) };
+        let gt = LockTarget::GTableEntry {
+            granule: GranuleId(3),
+        };
         lt.try_lock(txn(1), row(1), LockMode::Shared).unwrap();
         lt.try_lock(txn(1), gt, LockMode::Shared).unwrap();
         // Read Committed releases the user-table read lock early...
@@ -303,10 +312,15 @@ mod tests {
         let user = txn(1);
         let migration = txn(2);
         lt.try_lock(user, granule(3), LockMode::Exclusive).unwrap();
-        assert!(lt.try_lock(migration, granule(3), LockMode::Exclusive).is_err());
+        assert!(lt
+            .try_lock(migration, granule(3), LockMode::Exclusive)
+            .is_err());
         lt.release_all(user);
-        lt.try_lock(migration, granule(3), LockMode::Exclusive).unwrap();
-        assert!(lt.try_lock(txn(3), granule(3), LockMode::Exclusive).is_err());
+        lt.try_lock(migration, granule(3), LockMode::Exclusive)
+            .unwrap();
+        assert!(lt
+            .try_lock(txn(3), granule(3), LockMode::Exclusive)
+            .is_err());
     }
 
     /// NO_WAIT means no deadlock: crossing lock orders can abort but never
@@ -323,7 +337,11 @@ mod tests {
                 let mut committed = 0;
                 for round in 0..200u64 {
                     // Opposite acquisition orders induce would-be deadlocks.
-                    let (a, b) = if t % 2 == 0 { (row(1), row(2)) } else { (row(2), row(1)) };
+                    let (a, b) = if t % 2 == 0 {
+                        (row(1), row(2))
+                    } else {
+                        (row(2), row(1))
+                    };
                     let ok = lt.try_lock(me, a, LockMode::Exclusive).is_ok()
                         && lt.try_lock(me, b, LockMode::Exclusive).is_ok();
                     if ok {

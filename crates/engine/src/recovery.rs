@@ -36,7 +36,11 @@ pub fn recover_granule_from_pages(
 ) -> Result<Granule, StorageError> {
     let mut g = Granule::new(range);
     for index in 0..pages_per_granule {
-        let pid = PageId { table, granule, index };
+        let pid = PageId {
+            table,
+            granule,
+            index,
+        };
         match store.get_page(pid, log, as_of) {
             Ok(page) => {
                 // Deltas are ordered; later writes overwrite earlier ones.
@@ -105,7 +109,10 @@ mod tests {
     }
 
     fn commit_to_log(log: &SharedLog, seq: u32, writes: Vec<RowWrite>) {
-        let record = TxnUpdateRecord { txn: TxnId::new(NodeId(0), seq), writes };
+        let record = TxnUpdateRecord {
+            txn: TxnId::new(NodeId(0), seq),
+            writes,
+        };
         // The engine appends the WAL payload; the replay service later
         // decodes page updates from the same record. Store both encodings
         // in one payload by encoding page updates (what replay reads) —
@@ -151,7 +158,10 @@ mod tests {
                 txn: TxnId::new(NodeId(0), 1),
                 writes: vec![write(1, "x", 0), write(60, "y", 1)],
             },
-            TxnUpdateRecord { txn: TxnId::new(NodeId(0), 2), writes: vec![write(1, "x2", 0)] },
+            TxnUpdateRecord {
+                txn: TxnId::new(NodeId(0), 2),
+                writes: vec![write(1, "x2", 0)],
+            },
         ];
         for r in &records {
             log.append(vec![r.encode()]);
@@ -159,7 +169,11 @@ mod tests {
         // Replay: the storage-side service decodes page updates via the
         // engine's codec in the real system; emulate that here.
         for (i, r) in records.iter().enumerate() {
-            store.apply(LogId::GLog(NodeId(0)), Lsn(i as u64 + 1), &r.to_page_updates());
+            store.apply(
+                LogId::GLog(NodeId(0)),
+                Lsn(i as u64 + 1),
+                &r.to_page_updates(),
+            );
         }
         let from_pages = recover_granule_from_pages(
             &store,
@@ -171,7 +185,8 @@ mod tests {
             Lsn(2),
         )
         .unwrap();
-        let from_log = recover_granule_from_log(&log, TableId(0), GranuleId(0), KeyRange::new(0, 100));
+        let from_log =
+            recover_granule_from_log(&log, TableId(0), GranuleId(0), KeyRange::new(0, 100));
         assert_eq!(from_pages.rows, from_log.rows);
         assert_eq!(from_pages.rows[&1], Bytes::from_static(b"x2"));
     }
@@ -199,10 +214,14 @@ mod tests {
         let log = SharedLog::new();
         let store = PageStore::new();
         let replay = ReplayService::new(LogId::GLog(NodeId(1)), log.clone(), store.clone());
-        let record =
-            TxnUpdateRecord { txn: TxnId::new(NodeId(1), 1), writes: vec![write(10, "end2end", 0)] };
+        let record = TxnUpdateRecord {
+            txn: TxnId::new(NodeId(1), 1),
+            writes: vec![write(10, "end2end", 0)],
+        };
         // On the wire, the storage layer stores the page-update encoding.
-        log.append(vec![marlin_storage::encode_page_updates(&record.to_page_updates())]);
+        log.append(vec![marlin_storage::encode_page_updates(
+            &record.to_page_updates(),
+        )]);
         replay.replay_until(Lsn(1));
         let g = recover_granule_from_pages(
             &store,

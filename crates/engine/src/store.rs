@@ -23,7 +23,10 @@ impl Granule {
     /// An empty granule over `range`.
     #[must_use]
     pub fn new(range: KeyRange) -> Self {
-        Granule { range, rows: BTreeMap::new() }
+        Granule {
+            range,
+            rows: BTreeMap::new(),
+        }
     }
 
     /// Total bytes of row values (accounting).
@@ -71,10 +74,10 @@ impl DataStore {
 
     /// Read a row.
     pub fn read(&self, table: TableId, id: GranuleId, key: u64) -> Result<Option<Bytes>, TxnError> {
-        let g = self
-            .granules
-            .get(&(table, id))
-            .ok_or(TxnError::WrongNode { granule: id, owner: marlin_common::NodeId(u32::MAX) })?;
+        let g = self.granules.get(&(table, id)).ok_or(TxnError::WrongNode {
+            granule: id,
+            owner: marlin_common::NodeId(u32::MAX),
+        })?;
         Ok(g.rows.get(&key).cloned())
     }
 
@@ -89,8 +92,15 @@ impl DataStore {
         let g = self
             .granules
             .get_mut(&(table, id))
-            .ok_or(TxnError::WrongNode { granule: id, owner: marlin_common::NodeId(u32::MAX) })?;
-        debug_assert!(g.range.contains(key), "key {key} outside granule range {:?}", g.range);
+            .ok_or(TxnError::WrongNode {
+                granule: id,
+                owner: marlin_common::NodeId(u32::MAX),
+            })?;
+        debug_assert!(
+            g.range.contains(key),
+            "key {key} outside granule range {:?}",
+            g.range
+        );
         g.rows.insert(key, value);
         Ok(())
     }
@@ -123,15 +133,24 @@ mod tests {
 
     fn setup() -> DataStore {
         let mut ds = DataStore::new();
-        ds.install(TableId(0), GranuleId(0), Granule::new(KeyRange::new(0, 100)));
-        ds.install(TableId(0), GranuleId(1), Granule::new(KeyRange::new(100, 200)));
+        ds.install(
+            TableId(0),
+            GranuleId(0),
+            Granule::new(KeyRange::new(0, 100)),
+        );
+        ds.install(
+            TableId(0),
+            GranuleId(1),
+            Granule::new(KeyRange::new(100, 200)),
+        );
         ds
     }
 
     #[test]
     fn write_then_read_round_trips() {
         let mut ds = setup();
-        ds.write(TableId(0), GranuleId(0), 42, Bytes::from_static(b"v")).unwrap();
+        ds.write(TableId(0), GranuleId(0), 42, Bytes::from_static(b"v"))
+            .unwrap();
         assert_eq!(
             ds.read(TableId(0), GranuleId(0), 42).unwrap(),
             Some(Bytes::from_static(b"v"))
@@ -144,7 +163,10 @@ mod tests {
         let ds = setup();
         assert!(matches!(
             ds.read(TableId(0), GranuleId(9), 42),
-            Err(TxnError::WrongNode { granule: GranuleId(9), .. })
+            Err(TxnError::WrongNode {
+                granule: GranuleId(9),
+                ..
+            })
         ));
     }
 
@@ -152,7 +174,8 @@ mod tests {
     fn migration_moves_rows_wholesale() {
         let mut src = setup();
         let mut dst = DataStore::new();
-        src.write(TableId(0), GranuleId(1), 150, Bytes::from_static(b"x")).unwrap();
+        src.write(TableId(0), GranuleId(1), 150, Bytes::from_static(b"x"))
+            .unwrap();
         let g = src.remove(TableId(0), GranuleId(1)).unwrap();
         assert!(!src.holds(TableId(0), GranuleId(1)));
         dst.install(TableId(0), GranuleId(1), g);
@@ -166,9 +189,14 @@ mod tests {
     fn scan_is_key_ordered() {
         let mut ds = setup();
         for key in [30u64, 10, 20] {
-            ds.write(TableId(0), GranuleId(0), key, Bytes::from_static(b"r")).unwrap();
+            ds.write(TableId(0), GranuleId(0), key, Bytes::from_static(b"r"))
+                .unwrap();
         }
-        let keys: Vec<u64> = ds.scan(TableId(0), GranuleId(0)).into_iter().map(|(k, _)| k).collect();
+        let keys: Vec<u64> = ds
+            .scan(TableId(0), GranuleId(0))
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
         assert_eq!(keys, vec![10, 20, 30]);
     }
 

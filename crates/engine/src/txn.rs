@@ -41,7 +41,13 @@ impl TxnCtx {
     /// Begin a transaction.
     #[must_use]
     pub fn begin(id: TxnId) -> Self {
-        TxnCtx { id, state: TxnState::Active, locks: Vec::new(), writes: Vec::new(), reads: 0 }
+        TxnCtx {
+            id,
+            state: TxnState::Active,
+            locks: Vec::new(),
+            writes: Vec::new(),
+            reads: 0,
+        }
     }
 
     /// Record an acquired lock.
@@ -69,7 +75,11 @@ impl TxnCtx {
 
     /// Mark aborted (valid from any non-terminal state).
     pub fn mark_aborted(&mut self) {
-        debug_assert_ne!(self.state, TxnState::Committed, "cannot abort a committed txn");
+        debug_assert_ne!(
+            self.state,
+            TxnState::Committed,
+            "cannot abort a committed txn"
+        );
         self.state = TxnState::Aborted;
     }
 

@@ -36,7 +36,11 @@ impl RowWrite {
     /// The page this write lands on.
     #[must_use]
     pub fn page(&self) -> PageId {
-        PageId { table: self.table, granule: self.granule, index: self.page_index }
+        PageId {
+            table: self.table,
+            granule: self.granule,
+            index: self.page_index,
+        }
     }
 }
 
@@ -52,7 +56,11 @@ impl TxnUpdateRecord {
     #[must_use]
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(
-            16 + self.writes.iter().map(|w| 28 + w.value.len()).sum::<usize>(),
+            16 + self
+                .writes
+                .iter()
+                .map(|w| 28 + w.value.len())
+                .sum::<usize>(),
         );
         buf.put_u16_le(MAGIC);
         buf.put_u64_le(self.txn.0);
@@ -92,7 +100,13 @@ impl TxnUpdateRecord {
                 return None;
             }
             let value = buf.copy_to_bytes(len);
-            writes.push(RowWrite { table, granule, key, page_index, value });
+            writes.push(RowWrite {
+                table,
+                granule,
+                key,
+                page_index,
+                value,
+            });
         }
         if buf.has_remaining() {
             return None;
@@ -112,7 +126,10 @@ impl TxnUpdateRecord {
                 delta.put_u64_le(w.key);
                 delta.put_u32_le(w.value.len() as u32);
                 delta.put_slice(&w.value);
-                PageUpdate { page: w.page(), write: PageWrite::Delta(delta.freeze()) }
+                PageUpdate {
+                    page: w.page(),
+                    write: PageWrite::Delta(delta.freeze()),
+                }
             })
             .collect()
     }
@@ -174,7 +191,10 @@ mod tests {
     #[test]
     fn non_wal_payloads_are_rejected() {
         assert_eq!(TxnUpdateRecord::decode(&Bytes::from_static(b"")), None);
-        assert_eq!(TxnUpdateRecord::decode(&Bytes::from_static(b"\x00\x00rest")), None);
+        assert_eq!(
+            TxnUpdateRecord::decode(&Bytes::from_static(b"\x00\x00rest")),
+            None
+        );
     }
 
     #[test]
@@ -217,7 +237,13 @@ mod tests {
             .collect();
         let rows = TxnUpdateRecord::rows_from_page_deltas(&deltas);
         // Later delta wins when materialized into a map.
-        assert_eq!(rows, vec![(5, Bytes::from_static(b"v1")), (5, Bytes::from_static(b"v2"))]);
+        assert_eq!(
+            rows,
+            vec![
+                (5, Bytes::from_static(b"v1")),
+                (5, Bytes::from_static(b"v2"))
+            ]
+        );
     }
 
     proptest! {

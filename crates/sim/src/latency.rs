@@ -30,7 +30,10 @@ impl LatencyModel {
     /// A latency with proportional jitter (`frac` of the base).
     #[must_use]
     pub fn with_jitter(base: Nanos, frac: f64) -> Self {
-        LatencyModel { base, jitter: (base as f64 * frac) as Nanos }
+        LatencyModel {
+            base,
+            jitter: (base as f64 * frac) as Nanos,
+        }
     }
 
     /// Draw one latency sample.
@@ -63,7 +66,10 @@ impl RegionMatrix {
     /// A single-region matrix with the given intra-region one-way latency.
     #[must_use]
     pub fn single(intra_one_way: Nanos) -> Self {
-        RegionMatrix { regions: 1, one_way: vec![intra_one_way] }
+        RegionMatrix {
+            regions: 1,
+            one_way: vec![intra_one_way],
+        }
     }
 
     /// Build from a symmetric `n x n` table of one-way latencies.
@@ -78,7 +84,10 @@ impl RegionMatrix {
                 one_way.push(v);
             }
         }
-        RegionMatrix { regions: n, one_way }
+        RegionMatrix {
+            regions: n,
+            one_way,
+        }
     }
 
     /// The four-region deployment of §6.5: US West, East Asia, UK South,
@@ -153,9 +162,14 @@ mod tests {
         assert_eq!(m.regions(), 4);
         for i in 0..4u16 {
             for j in 0..4u16 {
-                assert_eq!(m.one_way(RegionId(i), RegionId(j)), m.one_way(RegionId(j), RegionId(i)));
+                assert_eq!(
+                    m.one_way(RegionId(i), RegionId(j)),
+                    m.one_way(RegionId(j), RegionId(i))
+                );
                 if i != j {
-                    assert!(m.one_way(RegionId(i), RegionId(j)) > m.one_way(RegionId(i), RegionId(i)));
+                    assert!(
+                        m.one_way(RegionId(i), RegionId(j)) > m.one_way(RegionId(i), RegionId(i))
+                    );
                 }
             }
         }

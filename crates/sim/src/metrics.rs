@@ -22,7 +22,10 @@ impl RateSeries {
     #[must_use]
     pub fn new(bucket_width: Nanos) -> Self {
         assert!(bucket_width > 0);
-        RateSeries { bucket_width, counts: Vec::new() }
+        RateSeries {
+            bucket_width,
+            counts: Vec::new(),
+        }
     }
 
     /// Record `n` events at time `t`.
@@ -170,7 +173,13 @@ impl Histogram {
     /// Create an empty histogram.
     #[must_use]
     pub fn new() -> Self {
-        Histogram { counts: vec![0; BUCKETS], total: 0, sum: 0, max: 0, min: Nanos::MAX }
+        Histogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum: 0,
+            max: 0,
+            min: Nanos::MAX,
+        }
     }
 
     /// Record one latency observation.
@@ -331,8 +340,14 @@ mod tests {
         assert!(p50 <= p99);
         assert!(p99 <= h.max());
         // ~7% relative error tolerance for log buckets.
-        assert!((p50 as f64 - 5_000_000.0).abs() / 5_000_000.0 < 0.15, "p50 {p50}");
-        assert!((p99 as f64 - 9_900_000.0).abs() / 9_900_000.0 < 0.15, "p99 {p99}");
+        assert!(
+            (p50 as f64 - 5_000_000.0).abs() / 5_000_000.0 < 0.15,
+            "p50 {p50}"
+        );
+        assert!(
+            (p99 as f64 - 9_900_000.0).abs() / 9_900_000.0 < 0.15,
+            "p99 {p99}"
+        );
     }
 
     #[test]

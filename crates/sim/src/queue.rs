@@ -76,7 +76,12 @@ impl<M> EventQueue<M> {
     /// Create an empty queue at time zero.
     #[must_use]
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), now: 0, seq: 0, delivered: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+            delivered: 0,
+        }
     }
 
     /// Current virtual time (the timestamp of the last popped event).
@@ -119,7 +124,11 @@ impl<M> EventQueue<M> {
         debug_assert!(e.at >= self.now, "event queue time went backwards");
         self.now = e.at;
         self.delivered += 1;
-        Some(ScheduledEvent { at: e.at, dest: e.dest, msg: e.msg })
+        Some(ScheduledEvent {
+            at: e.at,
+            dest: e.dest,
+            msg: e.msg,
+        })
     }
 
     /// Peek at the timestamp of the next event without popping.

@@ -4,22 +4,42 @@
 //! so runs are bit-for-bit reproducible. Child generators can be forked with
 //! a label so independent components (each client, each node) draw from
 //! decorrelated streams without sharing mutable state.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ (public domain, Blackman
+//! & Vigna) seeded through a SplitMix64 expansion, so the crate needs no
+//! external RNG dependency and streams are identical on every platform.
 
 /// A seeded, fast, deterministic random number generator.
 #[derive(Clone, Debug)]
 pub struct DetRng {
     base_seed: u64,
-    inner: SmallRng,
+    state: [u64; 4],
+}
+
+/// SplitMix64 step: expands a 64-bit seed into decorrelated words.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl DetRng {
     /// Create a generator from a 64-bit seed.
     #[must_use]
     pub fn seed(seed: u64) -> Self {
-        DetRng { base_seed: seed, inner: SmallRng::seed_from_u64(seed) }
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        DetRng {
+            base_seed: seed,
+            state,
+        }
     }
 
     /// The seed this generator was created from.
@@ -45,15 +65,51 @@ impl DetRng {
         DetRng::seed(z ^ (z >> 31))
     }
 
+    /// Next 64 random bits (xoshiro256++ step).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+
     /// Uniform integer in `[lo, hi)`.
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
         debug_assert!(lo < hi);
-        self.inner.gen_range(lo..hi)
+        let span = hi - lo;
+        // Lemire's multiply-shift with rejection for exact uniformity.
+        let threshold = span.wrapping_neg() % span;
+        loop {
+            let m = u128::from(self.next_u64()) * u128::from(span);
+            if (m as u64) >= threshold {
+                return lo + (m >> 64) as u64;
+            }
+        }
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen_range(0.0..1.0)
+        // 53 high bits → uniform double in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli draw with probability `p`.
@@ -66,7 +122,7 @@ impl DetRng {
     /// Used for think times and service-time jitter; the result is clamped
     /// to at least 1 to keep virtual time strictly advancing.
     pub fn exp(&mut self, mean: f64) -> u64 {
-        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        let u = self.unit().max(f64::EPSILON);
         ((-u.ln()) * mean).max(1.0) as u64
     }
 
@@ -75,21 +131,6 @@ impl DetRng {
         assert!(!items.is_empty(), "cannot pick from an empty slice");
         let i = self.range(0, items.len() as u64) as usize;
         &items[i]
-    }
-}
-
-impl RngCore for DetRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest);
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
     }
 }
 
@@ -142,7 +183,10 @@ mod tests {
         let mean = 1_000.0;
         let sum: u64 = (0..n).map(|_| r.exp(mean)).sum();
         let observed = sum as f64 / n as f64;
-        assert!((observed - mean).abs() < mean * 0.05, "observed mean {observed}");
+        assert!(
+            (observed - mean).abs() < mean * 0.05,
+            "observed mean {observed}"
+        );
     }
 
     #[test]
@@ -161,5 +205,22 @@ mod tests {
             seen[*r.pick(&items) as usize - 1] = true;
         }
         assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn fill_bytes_fills_odd_lengths() {
+        let mut r = DetRng::seed(13);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn unit_stays_in_half_open_interval() {
+        let mut r = DetRng::seed(17);
+        for _ in 0..10_000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
     }
 }

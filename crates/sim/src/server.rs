@@ -9,8 +9,8 @@
 //! gets back the virtual completion time.
 
 use crate::time::Nanos;
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// A `c`-server FIFO queueing station with deterministic bookkeeping.
 ///
@@ -41,7 +41,13 @@ impl QueueServer {
         for _ in 0..servers {
             busy_until.push(Reverse(0));
         }
-        QueueServer { busy_until, servers, busy_time: 0, served: 0, total_wait: 0 }
+        QueueServer {
+            busy_until,
+            servers,
+            busy_time: 0,
+            served: 0,
+            total_wait: 0,
+        }
     }
 
     /// Offer a request arriving at `arrival` needing `service` time.

@@ -121,7 +121,10 @@ impl SharedLog {
             inner.records.push(LogRecord { lsn, payload });
         }
         let new_lsn = Lsn(inner.records.len() as u64);
-        AppendOutcome { new_lsn, etag: ETag(new_lsn.0) }
+        AppendOutcome {
+            new_lsn,
+            etag: ETag(new_lsn.0),
+        }
     }
 
     /// Read all records with LSN strictly greater than `after`, i.e. the
@@ -187,9 +190,13 @@ mod tests {
     fn conditional_append_fails_with_current_lsn() {
         let log = SharedLog::new();
         log.append(vec![b("1"), b("2"), b("3")]);
-        let err = log.conditional_append(vec![b("stale")], Lsn(1)).unwrap_err();
+        let err = log
+            .conditional_append(vec![b("stale")], Lsn(1))
+            .unwrap_err();
         match err {
-            StorageError::LsnMismatch { expected, current, .. } => {
+            StorageError::LsnMismatch {
+                expected, current, ..
+            } => {
                 assert_eq!(expected, Lsn(1));
                 assert_eq!(current, Lsn(3));
             }
@@ -203,9 +210,12 @@ mod tests {
     #[test]
     fn batch_conditional_append_is_all_or_nothing() {
         let log = SharedLog::new();
-        log.conditional_append(vec![b("a"), b("b"), b("c")], Lsn::ZERO).unwrap();
+        log.conditional_append(vec![b("a"), b("b"), b("c")], Lsn::ZERO)
+            .unwrap();
         assert_eq!(log.end_lsn(), Lsn(3));
-        assert!(log.conditional_append(vec![b("d"), b("e")], Lsn(2)).is_err());
+        assert!(log
+            .conditional_append(vec![b("d"), b("e")], Lsn(2))
+            .is_err());
         assert_eq!(log.end_lsn(), Lsn(3));
         let records = log.read_after(Lsn::ZERO);
         assert_eq!(records.len(), 3);
@@ -249,18 +259,17 @@ mod tests {
         let log = SharedLog::new();
         let threads = 8;
         let rounds = 50;
-        let wins: Vec<u64> = crossbeam::scope(|scope| {
+        let wins: Vec<u64> = thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|t| {
                     let log = log.clone();
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut wins = 0u64;
                         let mut known = Lsn::ZERO;
                         while log.end_lsn().0 < rounds {
-                            match log.conditional_append(
-                                vec![Bytes::copy_from_slice(&[t as u8])],
-                                known,
-                            ) {
+                            match log
+                                .conditional_append(vec![Bytes::copy_from_slice(&[t as u8])], known)
+                            {
                                 Ok(out) => {
                                     wins += 1;
                                     known = out.new_lsn;
@@ -277,8 +286,7 @@ mod tests {
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
-        })
-        .unwrap();
+        });
         let total: u64 = wins.iter().sum();
         // Threads race past `rounds`; every appended record corresponds to
         // exactly one win and LSNs are dense (no lost or duplicate slots).

@@ -104,16 +104,28 @@ impl PageStore {
         let mut inner = self.inner.write();
         let applied = inner.watermarks.get(&log).copied().unwrap_or(Lsn::ZERO);
         if applied < lsn {
-            return Err(StorageError::ReplayLag { applied, requested: lsn });
+            return Err(StorageError::ReplayLag {
+                applied,
+                requested: lsn,
+            });
         }
         inner.reads += 1;
-        inner.pages.get(&page).cloned().ok_or(StorageError::NoSuchPage)
+        inner
+            .pages
+            .get(&page)
+            .cloned()
+            .ok_or(StorageError::NoSuchPage)
     }
 
     /// Highest LSN fully replayed for `log`.
     #[must_use]
     pub fn replayed_lsn(&self, log: LogId) -> Lsn {
-        self.inner.read().watermarks.get(&log).copied().unwrap_or(Lsn::ZERO)
+        self.inner
+            .read()
+            .watermarks
+            .get(&log)
+            .copied()
+            .unwrap_or(Lsn::ZERO)
     }
 
     /// Number of page reads served.
@@ -137,22 +149,38 @@ mod tests {
     const LOG: LogId = LogId::GLog(NodeId(0));
 
     fn pid(i: u32) -> PageId {
-        PageId { table: TableId(0), granule: GranuleId(0), index: i }
+        PageId {
+            table: TableId(0),
+            granule: GranuleId(0),
+            index: i,
+        }
     }
 
     fn full(p: PageId, s: &'static str) -> PageUpdate {
-        PageUpdate { page: p, write: PageWrite::Full(Bytes::from_static(s.as_bytes())) }
+        PageUpdate {
+            page: p,
+            write: PageWrite::Full(Bytes::from_static(s.as_bytes())),
+        }
     }
 
     fn delta(p: PageId, s: &'static str) -> PageUpdate {
-        PageUpdate { page: p, write: PageWrite::Delta(Bytes::from_static(s.as_bytes())) }
+        PageUpdate {
+            page: p,
+            write: PageWrite::Delta(Bytes::from_static(s.as_bytes())),
+        }
     }
 
     #[test]
     fn get_page_at_lsn_requires_replay() {
         let store = PageStore::new();
         let err = store.get_page(pid(0), LOG, Lsn(1)).unwrap_err();
-        assert!(matches!(err, StorageError::ReplayLag { applied: Lsn(0), requested: Lsn(1) }));
+        assert!(matches!(
+            err,
+            StorageError::ReplayLag {
+                applied: Lsn(0),
+                requested: Lsn(1)
+            }
+        ));
         store.apply(LOG, Lsn(1), &[full(pid(0), "v1")]);
         let page = store.get_page(pid(0), LOG, Lsn(1)).unwrap();
         assert_eq!(page.base, Bytes::from_static(b"v1"));
@@ -177,7 +205,10 @@ mod tests {
     fn missing_page_is_distinguished_from_lag() {
         let store = PageStore::new();
         store.apply(LOG, Lsn(1), &[full(pid(0), "x")]);
-        assert!(matches!(store.get_page(pid(9), LOG, Lsn(1)), Err(StorageError::NoSuchPage)));
+        assert!(matches!(
+            store.get_page(pid(9), LOG, Lsn(1)),
+            Err(StorageError::NoSuchPage)
+        ));
     }
 
     #[test]

@@ -80,7 +80,10 @@ impl ReplayService {
     /// Replay lag in records (log end minus replay watermark).
     #[must_use]
     pub fn lag(&self) -> u64 {
-        self.log.end_lsn().0.saturating_sub(self.store.replayed_lsn(self.id).0)
+        self.log
+            .end_lsn()
+            .0
+            .saturating_sub(self.store.replayed_lsn(self.id).0)
     }
 }
 
@@ -94,7 +97,11 @@ mod tests {
     const LOG: LogId = LogId::GLog(NodeId(0));
 
     fn pid(i: u32) -> PageId {
-        PageId { table: TableId(0), granule: GranuleId(0), index: i }
+        PageId {
+            table: TableId(0),
+            granule: GranuleId(0),
+            index: i,
+        }
     }
 
     fn page_record(i: u32, content: &'static str) -> Bytes {
@@ -109,7 +116,11 @@ mod tests {
         let log = SharedLog::new();
         let store = PageStore::new();
         let replay = ReplayService::new(LOG, log.clone(), store.clone());
-        log.append(vec![page_record(0, "a"), page_record(1, "b"), page_record(0, "c")]);
+        log.append(vec![
+            page_record(0, "a"),
+            page_record(1, "b"),
+            page_record(0, "c"),
+        ]);
         assert_eq!(replay.lag(), 3);
         assert_eq!(replay.step(2), 2);
         assert_eq!(replay.lag(), 1);

@@ -123,12 +123,18 @@ impl StorageService {
         expected: Lsn,
     ) -> Result<AppendOutcome, StorageError> {
         let svc = self.replay_service(id)?;
-        svc.log().conditional_append(payloads, expected).map_err(|e| match e {
-            StorageError::LsnMismatch { expected, current, .. } => {
-                StorageError::LsnMismatch { log: id, expected, current }
-            }
-            other => other,
-        })
+        svc.log()
+            .conditional_append(payloads, expected)
+            .map_err(|e| match e {
+                StorageError::LsnMismatch {
+                    expected, current, ..
+                } => StorageError::LsnMismatch {
+                    log: id,
+                    expected,
+                    current,
+                },
+                other => other,
+            })
     }
 
     /// Current end LSN of a log.
@@ -195,7 +201,10 @@ mod tests {
     fn missing_log_errors() {
         let svc = StorageService::new();
         let id = LogId::GLog(NodeId(9));
-        assert_eq!(svc.append(id, vec![b("x")]).unwrap_err(), StorageError::NoSuchLog(id));
+        assert_eq!(
+            svc.append(id, vec![b("x")]).unwrap_err(),
+            StorageError::NoSuchLog(id)
+        );
         assert_eq!(svc.end_lsn(id).unwrap_err(), StorageError::NoSuchLog(id));
     }
 
@@ -205,10 +214,16 @@ mod tests {
         svc.provision_node(NodeId(1));
         let id = LogId::GLog(NodeId(1));
         svc.append(id, vec![b("r1")]).unwrap();
-        let err = svc.conditional_append(id, vec![b("r2")], Lsn::ZERO).unwrap_err();
+        let err = svc
+            .conditional_append(id, vec![b("r2")], Lsn::ZERO)
+            .unwrap_err();
         assert_eq!(
             err,
-            StorageError::LsnMismatch { log: id, expected: Lsn::ZERO, current: Lsn(1) }
+            StorageError::LsnMismatch {
+                log: id,
+                expected: Lsn::ZERO,
+                current: Lsn(1)
+            }
         );
     }
 
@@ -229,7 +244,8 @@ mod tests {
         let svc = StorageService::new();
         svc.provision_node(NodeId(0));
         svc.append(LogId::SysLog, vec![b("m1")]).unwrap();
-        svc.append(LogId::DataWal(NodeId(0)), vec![b("d1"), b("d2")]).unwrap();
+        svc.append(LogId::DataWal(NodeId(0)), vec![b("d1"), b("d2")])
+            .unwrap();
         svc.replay_all();
         let store = svc.page_store();
         assert_eq!(store.replayed_lsn(LogId::SysLog), Lsn(1));

@@ -59,7 +59,8 @@ pub struct PageUpdate {
 /// Encode a list of page updates into a log payload.
 #[must_use]
 pub fn encode_page_updates(updates: &[PageUpdate]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(16 + updates.iter().map(|u| 24 + u.write.len()).sum::<usize>());
+    let mut buf =
+        BytesMut::with_capacity(16 + updates.iter().map(|u| 24 + u.write.len()).sum::<usize>());
     buf.put_u32_le(updates.len() as u32);
     for u in updates {
         buf.put_u32_le(u.page.table.0);
@@ -105,7 +106,14 @@ pub fn decode_page_updates(payload: &Bytes) -> Option<Vec<PageUpdate>> {
             1 => PageWrite::Delta(bytes),
             _ => return None,
         };
-        out.push(PageUpdate { page: PageId { table, granule, index }, write });
+        out.push(PageUpdate {
+            page: PageId {
+                table,
+                granule,
+                index,
+            },
+            write,
+        });
     }
     if buf.has_remaining() {
         return None;
@@ -119,15 +127,28 @@ mod tests {
     use proptest::prelude::*;
 
     fn page(t: u32, g: u64, i: u32) -> PageId {
-        PageId { table: TableId(t), granule: GranuleId(g), index: i }
+        PageId {
+            table: TableId(t),
+            granule: GranuleId(g),
+            index: i,
+        }
     }
 
     #[test]
     fn round_trip_mixed_updates() {
         let updates = vec![
-            PageUpdate { page: page(1, 2, 3), write: PageWrite::Full(Bytes::from_static(b"full")) },
-            PageUpdate { page: page(0, 9, 0), write: PageWrite::Delta(Bytes::from_static(b"d")) },
-            PageUpdate { page: page(7, 0, 1), write: PageWrite::Full(Bytes::new()) },
+            PageUpdate {
+                page: page(1, 2, 3),
+                write: PageWrite::Full(Bytes::from_static(b"full")),
+            },
+            PageUpdate {
+                page: page(0, 9, 0),
+                write: PageWrite::Delta(Bytes::from_static(b"d")),
+            },
+            PageUpdate {
+                page: page(7, 0, 1),
+                write: PageWrite::Full(Bytes::new()),
+            },
         ];
         let encoded = encode_page_updates(&updates);
         let decoded = decode_page_updates(&encoded).unwrap();

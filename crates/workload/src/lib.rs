@@ -15,11 +15,15 @@
 //! - [`tpcc`] — TPC-C with a warehouse per granule (scaled to ~1 MB by
 //!   reducing customers per district), the standard transaction mix,
 //!   NURand skew, and 10% / 15% multi-warehouse NEW-ORDER / PAYMENT.
+//! - [`trace`] — client-count load traces (spike, diurnal, custom steps)
+//!   that drive the closed-loop autoscaling scenarios.
 
 pub mod access;
 pub mod tpcc;
+pub mod trace;
 pub mod ycsb;
 
 pub use access::{AccessOp, TxnTemplate};
 pub use tpcc::{TpccConfig, TpccGenerator, TpccTxnKind};
+pub use trace::LoadTrace;
 pub use ycsb::{YcsbConfig, YcsbGenerator};

@@ -143,7 +143,13 @@ impl TpccGenerator {
         let c_last = rng.range(0, 256);
         let c_id = rng.range(0, 1024);
         let ol_i_id = rng.range(0, 8192);
-        TpccGenerator { config, rng, c_last, c_id, ol_i_id }
+        TpccGenerator {
+            config,
+            rng,
+            c_last,
+            c_id,
+            ol_i_id,
+        }
     }
 
     /// The configuration.
@@ -218,8 +224,11 @@ impl TpccGenerator {
                     let item = self.nurand(8191, self.ol_i_id, 0, cfg.stock_per_wh - 1);
                     // 1% of lines (all lines of a "remote" txn here) hit a
                     // remote warehouse's stock — the multi-site path.
-                    let supply_wh =
-                        if remote && line == 0 { self.remote_wh(home) } else { home };
+                    let supply_wh = if remote && line == 0 {
+                        self.remote_wh(home)
+                    } else {
+                        home
+                    };
                     ops.push(self.write(tables::STOCK, supply_wh, item));
                     ops.push(self.write(
                         tables::ORDER_LINE,
@@ -292,11 +301,19 @@ impl TpccGenerator {
     }
 
     fn read(&self, table: TableId, wh: u64, local: u64) -> AccessOp {
-        AccessOp { table, key: self.key(wh, local), write: false }
+        AccessOp {
+            table,
+            key: self.key(wh, local),
+            write: false,
+        }
     }
 
     fn write(&self, table: TableId, wh: u64, local: u64) -> AccessOp {
-        AccessOp { table, key: self.key(wh, local), write: true }
+        AccessOp {
+            table,
+            key: self.key(wh, local),
+            write: true,
+        }
     }
 }
 
@@ -309,8 +326,11 @@ mod tests {
     }
 
     fn touched_warehouses(txn: &TxnTemplate) -> Vec<u64> {
-        let mut whs: Vec<u64> =
-            txn.ops.iter().map(|o| TpccConfig::warehouse_of(o.key)).collect();
+        let mut whs: Vec<u64> = txn
+            .ops
+            .iter()
+            .map(|o| TpccConfig::warehouse_of(o.key))
+            .collect();
         whs.sort_unstable();
         whs.dedup();
         whs

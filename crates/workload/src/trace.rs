@@ -1,0 +1,159 @@
+//! Load traces: client counts as a function of virtual time.
+//!
+//! The scripted scenarios hard-code one burst (§6.6); the closed-loop
+//! autoscaling scenarios need richer exogenous demand. A [`LoadTrace`] is
+//! a step function of active client counts that the cluster runners
+//! translate into client activations, and that controllers *react to*
+//! (they never see the trace, only its effect on measured load).
+
+use marlin_sim::{Nanos, SECOND};
+
+/// A piecewise-constant count of active clients over time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LoadTrace {
+    /// `(from, clients)` steps sorted by time; the first entry is at 0.
+    points: Vec<(Nanos, u32)>,
+}
+
+impl LoadTrace {
+    /// A trace from explicit steps. Entries are sorted by time; a missing
+    /// step at time 0 starts the trace at the first entry's count.
+    #[must_use]
+    pub fn steps(mut points: Vec<(Nanos, u32)>) -> Self {
+        assert!(!points.is_empty(), "a trace needs at least one step");
+        points.sort_by_key(|&(t, _)| t);
+        if points[0].0 != 0 {
+            let first = points[0].1;
+            points.insert(0, (0, first));
+        }
+        points.dedup_by_key(|&mut (t, _)| t);
+        LoadTrace { points }
+    }
+
+    /// A constant load.
+    #[must_use]
+    pub fn constant(clients: u32) -> Self {
+        LoadTrace::steps(vec![(0, clients)])
+    }
+
+    /// The §6.6 shape: `base` clients, a spike to `peak` during
+    /// `[spike_at, calm_at)`, then back to `base`.
+    #[must_use]
+    pub fn spike(base: u32, peak: u32, spike_at: Nanos, calm_at: Nanos) -> Self {
+        assert!(spike_at < calm_at, "spike must end after it starts");
+        LoadTrace::steps(vec![(0, base), (spike_at, peak), (calm_at, base)])
+    }
+
+    /// A diurnal curve: sinusoidal demand between `trough` and `peak`
+    /// with the given `period`, sampled into `steps_per_period` levels
+    /// over `horizon`. Demand starts at the trough (03:00, as it were).
+    #[must_use]
+    pub fn diurnal(
+        trough: u32,
+        peak: u32,
+        period: Nanos,
+        horizon: Nanos,
+        steps_per_period: u32,
+    ) -> Self {
+        assert!(trough <= peak, "trough must not exceed peak");
+        assert!(period > 0 && steps_per_period > 0);
+        let step = (period / u64::from(steps_per_period)).max(1);
+        let mut points = Vec::new();
+        let mut t = 0;
+        while t <= horizon {
+            let phase = (t % period) as f64 / period as f64;
+            let level = (1.0 - (2.0 * std::f64::consts::PI * phase).cos()) / 2.0;
+            let clients = trough + ((f64::from(peak - trough)) * level).round() as u32;
+            points.push((t, clients));
+            t += step;
+        }
+        LoadTrace::steps(points)
+    }
+
+    /// Active clients at time `t`.
+    #[must_use]
+    pub fn clients_at(&self, t: Nanos) -> u32 {
+        match self.points.binary_search_by_key(&t, |&(at, _)| at) {
+            Ok(i) => self.points[i].1,
+            Err(0) => self.points[0].1,
+            Err(i) => self.points[i - 1].1,
+        }
+    }
+
+    /// The maximum client count anywhere on the trace (runners provision
+    /// generators for the peak).
+    #[must_use]
+    pub fn peak(&self) -> u32 {
+        self.points.iter().map(|&(_, c)| c).max().unwrap_or(0)
+    }
+
+    /// All steps, for schedulers that pre-install the changes.
+    #[must_use]
+    pub fn changes(&self) -> &[(Nanos, u32)] {
+        &self.points
+    }
+
+    /// Total seconds the trace spends at or above `threshold` clients,
+    /// evaluated over `[0, horizon)`.
+    #[must_use]
+    pub fn seconds_at_or_above(&self, threshold: u32, horizon: Nanos) -> f64 {
+        let mut total = 0u64;
+        for (i, &(t, c)) in self.points.iter().enumerate() {
+            if t >= horizon {
+                break;
+            }
+            let end = self
+                .points
+                .get(i + 1)
+                .map_or(horizon, |&(next, _)| next.min(horizon));
+            if c >= threshold {
+                total += end - t;
+            }
+        }
+        total as f64 / SECOND as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spike_steps_up_and_down() {
+        let t = LoadTrace::spike(100, 200, 10 * SECOND, 40 * SECOND);
+        assert_eq!(t.clients_at(0), 100);
+        assert_eq!(t.clients_at(10 * SECOND), 200);
+        assert_eq!(t.clients_at(39 * SECOND), 200);
+        assert_eq!(t.clients_at(40 * SECOND), 100);
+        assert_eq!(t.peak(), 200);
+    }
+
+    #[test]
+    fn diurnal_touches_trough_and_peak() {
+        let period = 60 * SECOND;
+        let t = LoadTrace::diurnal(50, 150, period, 2 * period, 12);
+        let counts: Vec<u32> = t.changes().iter().map(|&(_, c)| c).collect();
+        assert_eq!(*counts.iter().min().unwrap(), 50);
+        assert_eq!(*counts.iter().max().unwrap(), 150);
+        assert_eq!(t.clients_at(0), 50, "diurnal starts at the trough");
+        // Mid-period is the peak.
+        assert_eq!(t.clients_at(period / 2), 150);
+        // The curve is periodic.
+        assert_eq!(t.clients_at(period / 4), t.clients_at(period + period / 4));
+    }
+
+    #[test]
+    fn steps_sort_and_backfill_time_zero() {
+        let t = LoadTrace::steps(vec![(20 * SECOND, 10), (5 * SECOND, 30)]);
+        assert_eq!(t.clients_at(0), 30);
+        assert_eq!(t.clients_at(6 * SECOND), 30);
+        assert_eq!(t.clients_at(25 * SECOND), 10);
+    }
+
+    #[test]
+    fn time_above_threshold_integrates_steps() {
+        let t = LoadTrace::spike(100, 200, 10 * SECOND, 40 * SECOND);
+        let above = t.seconds_at_or_above(150, 60 * SECOND);
+        assert!((above - 30.0).abs() < 1e-9);
+    }
+}

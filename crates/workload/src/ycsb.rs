@@ -31,7 +31,11 @@ impl YcsbConfig {
     /// The paper's default configuration over a given layout.
     #[must_use]
     pub fn paper_default(layout: GranuleLayout) -> Self {
-        YcsbConfig { layout, reqs_per_txn: 16, read_ratio: 0.5 }
+        YcsbConfig {
+            layout,
+            reqs_per_txn: 16,
+            read_ratio: 0.5,
+        }
     }
 
     /// A layout with `granules` granules of 64 tuples each (64 KB granule
@@ -78,9 +82,18 @@ impl YcsbGenerator {
         for _ in 0..self.config.reqs_per_txn {
             let key = self.rng.range(range.lo, range.hi);
             let write = !self.rng.chance(self.config.read_ratio);
-            ops.push(AccessOp { table: layout.table, key, write });
+            ops.push(AccessOp {
+                table: layout.table,
+                key,
+                write,
+            });
         }
-        TxnTemplate { ops, kind: 0, anchor, anchor_table: layout.table }
+        TxnTemplate {
+            ops,
+            kind: 0,
+            anchor,
+            anchor_table: layout.table,
+        }
     }
 }
 

@@ -1,37 +1,90 @@
-//! Autoscaling under a bursty workload on the simulated cloud testbed
-//! (the paper's §6.6 scenario at reduced scale): watch the cluster scale
-//! out when load doubles and release the extra nodes as soon as they are
-//! drained after the load drops.
+//! Closed-loop autoscaling: a controller — not a script — scales the
+//! cluster through a §6.6-style burst.
+//!
+//! The example drives the same reactive policy (80%/35% watermarks with
+//! hysteresis + cooldown) through *both* runners:
+//!
+//! 1. the synchronous `LocalCluster`, where every decision executes real
+//!    `AddNodeTxn`/`MigrationTxn`/`DeleteNodeTxn` reconfiguration
+//!    transactions and the I0–I4 invariants are asserted after every
+//!    control step;
+//! 2. the discrete-event `ClusterSim`, where the same decisions play out
+//!    against queueing, cold caches, and migration contention under a
+//!    400→800→400-client spike trace, scaling the cluster 8→16→8.
 //!
 //! Run with: `cargo run --release --example autoscale`
 
-use marlin::cluster::params::{CoordKind, SimParams};
-use marlin::cluster::scenarios::dynamic::{release_lag, run_dynamic, DynamicSpec};
-use marlin::cluster::sim::Workload;
+use marlin::autoscaler::{Controller, LocalHarness, ReactiveConfig, ReactivePolicy, ScaleAction};
+use marlin::cluster::params::CoordKind;
+use marlin::cluster::scenarios::autoscale::{peak_nodes, run_autoscale, AutoscaleSpec};
 use marlin::sim::SECOND;
 
 fn main() {
-    let spec = DynamicSpec {
-        kind: CoordKind::Marlin,
-        workload: Workload::Ycsb { granules: 20_000 },
-        base_nodes: 4,
-        burst_nodes: 4,
-        base_clients: 100,
-        burst_clients: 200,
-        burst_at: 10 * SECOND,
-        calm_at: 40 * SECOND,
-        horizon: 70 * SECOND,
-        threads_per_node: 8,
-        params: SimParams::default(),
+    local_cluster_loop();
+    cluster_sim_loop();
+}
+
+/// Part 1 — the synchronous runtime: decisions become real
+/// reconfiguration transactions, checked against the ownership invariants
+/// at every step.
+fn local_cluster_loop() {
+    println!("== LocalCluster closed loop (synchronous, invariant-checked) ==\n");
+    let mut harness = LocalHarness::bootstrap(8, 256);
+    let mut controller = Controller::new(Box::new(ReactivePolicy::new(
+        ReactiveConfig::paper_default(8, 16),
+    )));
+    // Exogenous demand in node-capacity units: calm ≈30%, spike ≈125%
+    // of an 8-node cluster, then calm again.
+    let offered = [2.4, 2.4, 10.0, 10.0, 10.0, 2.0, 2.0, 2.0];
+    println!(
+        "{:>6} {:>9} {:>7} {:>22}",
+        "tick", "offered", "nodes", "action"
+    );
+    for (tick, &load) in offered.iter().enumerate() {
+        let obs = harness.observe(tick as u64 * 10 * SECOND, load);
+        let action = controller.tick(&obs, &mut harness);
+        harness.cluster.assert_invariants();
+        let label = match &action {
+            Some(ScaleAction::AddNodes { count }) => format!("AddNodes +{count}"),
+            Some(ScaleAction::RemoveNodes { victims }) => {
+                format!("RemoveNodes -{}", victims.len())
+            }
+            Some(ScaleAction::Rebalance { moves }) => format!("Rebalance {} moves", moves.len()),
+            None => "-".to_string(),
+        };
+        println!(
+            "{:>5}s {:>9.2} {:>7} {:>22}",
+            tick * 10,
+            load,
+            harness.members().len(),
+            label
+        );
+    }
+    assert_eq!(
+        harness.members().len(),
+        8,
+        "the calm tail must drain back to 8 nodes"
+    );
+    println!("\nall reconfiguration transactions preserved exclusive ownership (I0)\n");
+}
+
+/// Part 2 — the discrete-event simulator: the same policy under the
+/// paper's burst, with throughput, cost, and node count over time.
+fn cluster_sim_loop() {
+    println!("== ClusterSim closed loop (discrete-event, 400→800→400 clients) ==\n");
+    let spec = AutoscaleSpec {
+        // 10× reduced granule count keeps the example snappy; use
+        // granule_scale = 1 for the paper-scale run.
+        ..AutoscaleSpec::paper_spike(CoordKind::Marlin, 10)
     };
-    println!("dynamic workload: {} clients -> {} at t=10s -> {} at t=40s",
-        spec.base_clients, spec.burst_clients, spec.base_clients);
-    println!("cluster: {} nodes, bursting to {}\n", spec.base_nodes, spec.base_nodes + spec.burst_nodes);
+    let mut controller = spec.reactive_controller();
+    let sim = run_autoscale(&spec, &mut controller);
 
-    let sim = run_dynamic(&spec);
-
-    println!("{:>6} {:>8} {:>8} {:>7} {:>10}", "time", "tps", "migs/s", "nodes", "cum. cost");
-    for t in (0..70).step_by(5) {
+    println!(
+        "{:>6} {:>8} {:>8} {:>7} {:>10}",
+        "time", "tps", "migs/s", "nodes", "cum. cost"
+    );
+    for t in (0..=120).step_by(10) {
         let at = t * SECOND;
         println!(
             "{:>5}s {:>8.0} {:>8.0} {:>7.0} {:>9.4}$",
@@ -43,12 +96,37 @@ fn main() {
         );
     }
 
-    let lag = release_lag(&sim, spec.base_nodes, spec.calm_at)
-        .map_or("never".to_string(), |l| format!("{:.1}s", l as f64 / 1e9));
-    println!("\nscale-in release lag after the load drop: {lag}");
+    println!("\ncontroller decisions:");
+    for (at, action) in controller.history() {
+        let label = match action {
+            ScaleAction::AddNodes { count } => format!("scale-out +{count}"),
+            ScaleAction::RemoveNodes { victims } => format!("scale-in  -{}", victims.len()),
+            ScaleAction::Rebalance { moves } => format!("rebalance {} granules", moves.len()),
+        };
+        println!("  t={:>3}s  {label}", at / SECOND);
+    }
+
+    // The acceptance bar: the spike drives 8→16 and the calm drains back,
+    // with every granule on a live node (no dual ownership, no orphans).
+    assert_eq!(peak_nodes(&sim), 16, "spike must scale out to 16 nodes");
+    assert_eq!(sim.live_nodes(), 8, "calm must drain back to 8 nodes");
+    let live = sim.live_node_ids();
+    assert!(
+        sim.owners().iter().all(|o| live.contains(o)),
+        "every granule must end on a live node"
+    );
+
+    println!("\npeak nodes:       {}", peak_nodes(&sim));
+    println!("final nodes:      {}", sim.live_nodes());
     println!("total migrations: {}", sim.metrics.migrations.total());
     println!("committed txns:   {}", sim.metrics.total_commits());
-    println!("abort ratio:      {:.2}%", sim.metrics.abort_ratio() * 100.0);
-    println!("total cost:       ${:.4} (Meta Cost: ${:.4} — Marlin needs no coordination cluster)",
-        sim.cost.total_cost(), sim.cost.meta_cost());
+    println!(
+        "abort ratio:      {:.2}%",
+        sim.metrics.abort_ratio() * 100.0
+    );
+    println!(
+        "total cost:       ${:.4} (Meta Cost: ${:.4} — Marlin needs no coordination cluster)",
+        sim.cost.total_cost(),
+        sim.cost.meta_cost()
+    );
 }

@@ -9,7 +9,9 @@
 //! Run with: `cargo run --example failover`
 
 use bytes::Bytes;
-use marlin::common::{ClusterConfig, GranuleId, GranuleLayout, KeyRange, NodeId, TableId, TxnError};
+use marlin::common::{
+    ClusterConfig, GranuleId, GranuleLayout, KeyRange, NodeId, TableId, TxnError,
+};
 use marlin::core::failure::{DetectorConfig, RingDetector};
 use marlin::core::LocalCluster;
 
@@ -29,13 +31,27 @@ fn main() {
     };
     let mut cluster = LocalCluster::bootstrap(&config);
     cluster
-        .user_txn(NodeId(3), TABLE, &[], &[(650, Bytes::from_static(b"survives the crash"))])
+        .user_txn(
+            NodeId(3),
+            TABLE,
+            &[],
+            &[(650, Bytes::from_static(b"survives the crash"))],
+        )
         .unwrap();
-    println!("N3 owns {:?} and holds key 650", cluster.node(NodeId(3)).marlin.owned_granules());
+    println!(
+        "N3 owns {:?} and holds key 650",
+        cluster.node(NodeId(3)).marlin.owned_granules()
+    );
 
     // 1. N3 becomes unresponsive; N1's ring detector notices.
     cluster.kill(NodeId(3));
-    let mut detector = RingDetector::new(NodeId(1), DetectorConfig { fanout: 2, miss_threshold: 3 });
+    let mut detector = RingDetector::new(
+        NodeId(1),
+        DetectorConfig {
+            fanout: 2,
+            miss_threshold: 3,
+        },
+    );
     cluster.refresh_mtable(NodeId(1));
     detector.update_membership(cluster.node(NodeId(1)).marlin.mtable());
     for tick in 1..=4 {
@@ -51,13 +67,22 @@ fn main() {
     // 2. RecoveryMigrTxn: N1 takes over N3's granules, committing to both
     //    GLog(N1) and GLog(N3) even though N3 cannot respond.
     cluster
-        .recovery_migrate(NodeId(1), NodeId(3), vec![GranuleId(6), GranuleId(7), GranuleId(8)])
+        .recovery_migrate(
+            NodeId(1),
+            NodeId(3),
+            vec![GranuleId(6), GranuleId(7), GranuleId(8)],
+        )
         .expect("recovery commits on the dead node's log");
-    println!("\nRecoveryMigrTxn committed; N1 now owns {:?}", cluster.node(NodeId(1)).marlin.owned_granules());
+    println!(
+        "\nRecoveryMigrTxn committed; N1 now owns {:?}",
+        cluster.node(NodeId(1)).marlin.owned_granules()
+    );
     let reads = cluster.user_txn(NodeId(1), TABLE, &[650], &[]).unwrap();
     println!(
         "N1 recovered key 650 from the shared page store: {:?}",
-        reads[0].as_ref().map(|b| String::from_utf8_lossy(b).into_owned())
+        reads[0]
+            .as_ref()
+            .map(|b| String::from_utf8_lossy(b).into_owned())
     );
 
     // 3. N3 was only slow — it comes back and tries a write. Its H-LSN
@@ -66,7 +91,12 @@ fn main() {
     //    lost the granules.
     cluster.revive(NodeId(3));
     let err = cluster
-        .user_txn(NodeId(3), TABLE, &[], &[(660, Bytes::from_static(b"stale write"))])
+        .user_txn(
+            NodeId(3),
+            TABLE,
+            &[],
+            &[(660, Bytes::from_static(b"stale write"))],
+        )
         .unwrap_err();
     println!("\nrecovered N3's write aborts during MarlinCommit: {err}");
     assert!(matches!(err, TxnError::CommitConflict { .. }));
@@ -76,7 +106,10 @@ fn main() {
     // 4. N1 removes N3 from the membership.
     cluster.delete_node(NodeId(1), NodeId(3)).unwrap();
     cluster.refresh_mtable(NodeId(2));
-    println!("\nmembership after DeleteNodeTxn: {:?}", cluster.node(NodeId(2)).marlin.mtable().scan());
+    println!(
+        "\nmembership after DeleteNodeTxn: {:?}",
+        cluster.node(NodeId(2)).marlin.mtable().scan()
+    );
     cluster.assert_invariants();
     println!("exclusive-granule-ownership invariant holds ✓");
 }

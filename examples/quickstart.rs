@@ -9,7 +9,9 @@
 //! Run with: `cargo run --example quickstart`
 
 use bytes::Bytes;
-use marlin::common::{ClusterConfig, GranuleId, GranuleLayout, KeyRange, NodeId, TableId, TxnError};
+use marlin::common::{
+    ClusterConfig, GranuleId, GranuleLayout, KeyRange, NodeId, TableId, TxnError,
+};
 use marlin::core::LocalCluster;
 
 const TABLE: TableId = TableId(0);
@@ -28,22 +30,43 @@ fn main() {
         ..ClusterConfig::default()
     };
     let mut cluster = LocalCluster::bootstrap(&config);
-    println!("bootstrapped: N1 owns {:?}", cluster.node(NodeId(1)).marlin.owned_granules());
-    println!("             N2 owns {:?}", cluster.node(NodeId(2)).marlin.owned_granules());
+    println!(
+        "bootstrapped: N1 owns {:?}",
+        cluster.node(NodeId(1)).marlin.owned_granules()
+    );
+    println!(
+        "             N2 owns {:?}",
+        cluster.node(NodeId(2)).marlin.owned_granules()
+    );
 
     // Write through the owner of key 450 (granule G4, on N2).
     cluster
-        .user_txn(NodeId(2), TABLE, &[], &[(450, Bytes::from_static(b"hello marlin"))])
+        .user_txn(
+            NodeId(2),
+            TABLE,
+            &[],
+            &[(450, Bytes::from_static(b"hello marlin"))],
+        )
         .expect("write commits at the owner");
     println!("\nwrote key 450 at N2 (granule G4)");
 
     // Scale out: N3 adds itself via AddNodeTxn, then a MigrationTxn moves
     // granules G4 and G5 over — one cross-node MarlinCommit on both GLogs.
-    cluster.add_node(NodeId(3), "10.0.0.3:5000".into()).expect("AddNodeTxn commits");
     cluster
-        .migrate(NodeId(2), NodeId(3), TABLE, vec![GranuleId(4), GranuleId(5)])
+        .add_node(NodeId(3), "10.0.0.3:5000".into())
+        .expect("AddNodeTxn commits");
+    cluster
+        .migrate(
+            NodeId(2),
+            NodeId(3),
+            TABLE,
+            vec![GranuleId(4), GranuleId(5)],
+        )
         .expect("MigrationTxn commits");
-    println!("scaled out: N3 joined and took {:?}", cluster.node(NodeId(3)).marlin.owned_granules());
+    println!(
+        "scaled out: N3 joined and took {:?}",
+        cluster.node(NodeId(3)).marlin.owned_granules()
+    );
 
     // The old owner now redirects (Algorithm 1 lines 5-6)...
     match cluster.user_txn(NodeId(2), TABLE, &[450], &[]) {
@@ -53,10 +76,14 @@ fn main() {
         other => panic!("expected a WrongNode redirect, got {other:?}"),
     }
     // ...and the new owner serves the data, warmed up by the migration.
-    let reads = cluster.user_txn(NodeId(3), TABLE, &[450], &[]).expect("read at new owner");
+    let reads = cluster
+        .user_txn(NodeId(3), TABLE, &[450], &[])
+        .expect("read at new owner");
     println!(
         "N3 serves key 450 = {:?}",
-        reads[0].as_ref().map(|b| String::from_utf8_lossy(b).into_owned())
+        reads[0]
+            .as_ref()
+            .map(|b| String::from_utf8_lossy(b).into_owned())
     );
 
     // The safety net behind it all (§4.5): every granule has exactly one

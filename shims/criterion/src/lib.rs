@@ -1,0 +1,151 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! Provides the subset of the API the workspace's microbenches use —
+//! [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — backed by a simple
+//! wall-clock measurement loop: a short warm-up to size the batch, then a
+//! timed run that prints mean ns/iter. No statistics, plots, or
+//! comparisons; just enough to keep `harness = false` bench targets
+//! runnable without crates.io access.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Target wall-clock time per measured benchmark.
+const TARGET_NANOS: u128 = 200_000_000;
+
+/// Hint for how much a batched setup allocates. Ignored by the shim.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One iteration per batch.
+    PerIteration,
+}
+
+/// The benchmark driver handed to each registered function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run `f` as a named benchmark and print its mean time per iteration.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 0,
+            elapsed_nanos: 0,
+        };
+        // Calibration pass: find an iteration count that runs long enough
+        // to measure, then a measurement pass.
+        b.run_calibrated();
+        f(&mut b);
+        let mean = if b.iters == 0 {
+            0.0
+        } else {
+            b.elapsed_nanos as f64 / b.iters as f64
+        };
+        println!("bench {name:<44} {mean:>12.1} ns/iter ({} iters)", b.iters);
+        self
+    }
+}
+
+/// Per-benchmark measurement state.
+pub struct Bencher {
+    iters: u64,
+    elapsed_nanos: u128,
+}
+
+impl Bencher {
+    fn run_calibrated(&mut self) {
+        self.iters = 0;
+        self.elapsed_nanos = 0;
+    }
+
+    /// Measure `routine` repeatedly until the time budget is spent.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            // Check the clock in geometrically growing strides so timing
+            // overhead stays negligible for nanosecond-scale routines.
+            if iters.is_power_of_two() || iters.is_multiple_of(1024) {
+                let elapsed = start.elapsed().as_nanos();
+                if elapsed >= TARGET_NANOS {
+                    self.iters = iters;
+                    self.elapsed_nanos = elapsed;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Measure `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut measured: u128 = 0;
+        let mut iters = 0u64;
+        while measured < TARGET_NANOS {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed().as_nanos();
+            iters += 1;
+        }
+        self.iters = iters;
+        self.elapsed_nanos = measured;
+    }
+}
+
+/// Define a bench group: a function that runs each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_nonzero_iters() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = Criterion::default();
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![0u8; 16], |v| v.len(), BatchSize::SmallInput);
+        });
+    }
+}

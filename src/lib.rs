@@ -15,13 +15,19 @@
 //!   detection, routing, invariants, and an executable model checker.
 //! - [`baselines`] — ZooKeeper-style and FoundationDB-style coordination
 //!   services used as evaluation baselines.
-//! - [`workload`] — YCSB and TPC-C workload generators.
+//! - [`workload`] — YCSB and TPC-C workload generators, plus load traces
+//!   for the closed-loop autoscaling scenarios.
+//! - [`autoscaler`] — the closed-loop autoscaling controller: pluggable
+//!   scaling policies (reactive hysteresis, target-utilization PI,
+//!   cost-bounded) and a hot-granule rebalance planner, actuated through
+//!   the reconfiguration drivers on both runners.
 //! - [`cluster`] — the full simulated cloud DBMS testbed and the
 //!   scenario runners behind every figure in the paper.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system
 //! inventory and experiment index.
 
+pub use marlin_autoscaler as autoscaler;
 pub use marlin_baselines as baselines;
 pub use marlin_cluster as cluster;
 pub use marlin_common as common;

@@ -1,0 +1,124 @@
+//! End-to-end closed-loop autoscaling: the same policy code drives both
+//! runners — the synchronous `LocalCluster` (real reconfiguration
+//! transactions, invariants asserted every step) and the discrete-event
+//! `ClusterSim` (virtual-time migration plans) — and both scale out under
+//! a spike and drain back when it passes.
+
+use marlin::autoscaler::{Controller, LocalHarness, ReactiveConfig, ReactivePolicy, ScaleAction};
+use marlin::cluster::params::{CoordKind, SimParams};
+use marlin::cluster::scenarios::autoscale::{peak_nodes, run_autoscale, AutoscaleSpec};
+use marlin::cluster::sim::Workload;
+use marlin::sim::SECOND;
+use marlin::workload::LoadTrace;
+
+fn reactive(min: u32, max: u32) -> Controller {
+    Controller::new(Box::new(ReactivePolicy::new(ReactiveConfig {
+        cooldown: 0,
+        ..ReactiveConfig::paper_default(min, max)
+    })))
+}
+
+#[test]
+fn local_cluster_spike_scales_out_and_back_with_invariants() {
+    let mut harness = LocalHarness::bootstrap(2, 24);
+    let mut controller = reactive(2, 4);
+    // Offered load in node-capacity units: calm, spike past the 80%
+    // watermark of a 2-node cluster, calm again.
+    let offered = [0.6, 0.6, 3.4, 3.4, 0.5, 0.5];
+    let mut sizes = Vec::new();
+    for (tick, &load) in offered.iter().enumerate() {
+        let obs = harness.observe(tick as u64 * SECOND, load);
+        controller.tick(&obs, &mut harness);
+        // Every control step leaves the cluster with exclusive granule
+        // ownership, reconstructed from the storage logs.
+        harness.cluster.assert_invariants();
+        sizes.push(harness.members().len());
+    }
+    assert!(
+        sizes.contains(&4),
+        "spike must double the cluster: {sizes:?}"
+    );
+    assert_eq!(*sizes.last().unwrap(), 2, "calm must drain back: {sizes:?}");
+}
+
+#[test]
+fn cluster_sim_spike_scales_out_and_back_on_live_nodes() {
+    let spec = AutoscaleSpec {
+        kind: CoordKind::Marlin,
+        workload: Workload::Ycsb { granules: 2_000 },
+        initial_nodes: 2,
+        min_nodes: 2,
+        max_nodes: 4,
+        trace: LoadTrace::spike(8, 160, 10 * SECOND, 40 * SECOND),
+        control_interval: 2 * SECOND,
+        observe_window: 4 * SECOND,
+        horizon: 70 * SECOND,
+        threads_per_node: 4,
+        params: SimParams::default(),
+    };
+    let mut controller = spec.reactive_controller();
+    let sim = run_autoscale(&spec, &mut controller);
+
+    assert_eq!(peak_nodes(&sim), 4, "spike must reach max_nodes");
+    assert_eq!(sim.live_nodes(), 2, "calm must drain back to min_nodes");
+    let outs = controller
+        .history()
+        .iter()
+        .any(|(_, a)| matches!(a, ScaleAction::AddNodes { .. }));
+    let ins = controller
+        .history()
+        .iter()
+        .any(|(_, a)| matches!(a, ScaleAction::RemoveNodes { .. }));
+    assert!(
+        outs && ins,
+        "both directions must fire: {:?}",
+        controller.history()
+    );
+    // No granule may end on a released node — the simulator-side
+    // equivalent of the dual-ownership check.
+    let live = sim.live_node_ids();
+    assert!(sim.owners().iter().all(|o| live.contains(o)));
+    assert!(sim.metrics.migrations.total() > 0);
+}
+
+#[test]
+fn the_same_policy_type_drives_both_runners() {
+    // One policy configuration, two actuation worlds: the type system
+    // guarantees it — this test exists to keep it that way (a refactor
+    // that forks the policy layer per-runner breaks this file).
+    let cfg = ReactiveConfig {
+        cooldown: 0,
+        ..ReactiveConfig::paper_default(2, 4)
+    };
+
+    let mut local = Controller::new(Box::new(ReactivePolicy::new(cfg.clone())));
+    let mut harness = LocalHarness::bootstrap(2, 12);
+    let obs = harness.observe(0, 3.2);
+    let local_action = local.tick(&obs, &mut harness);
+    assert!(matches!(local_action, Some(ScaleAction::AddNodes { .. })));
+
+    let spec = AutoscaleSpec {
+        kind: CoordKind::Marlin,
+        workload: Workload::Ycsb { granules: 500 },
+        initial_nodes: 2,
+        min_nodes: 2,
+        max_nodes: 4,
+        trace: LoadTrace::constant(160),
+        control_interval: 2 * SECOND,
+        observe_window: 4 * SECOND,
+        horizon: 20 * SECOND,
+        threads_per_node: 4,
+        params: SimParams::default(),
+    };
+    let mut remote = Controller::new(Box::new(ReactivePolicy::new(cfg)));
+    let sim = run_autoscale(&spec, &mut remote);
+    assert!(
+        remote
+            .history()
+            .iter()
+            .any(|(_, a)| matches!(a, ScaleAction::AddNodes { .. })),
+        "saturated constant load must scale the sim out: {:?}",
+        remote.history()
+    );
+    assert_eq!(peak_nodes(&sim), 4);
+}

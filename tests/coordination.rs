@@ -3,7 +3,9 @@
 //! routing, and the invariants of §4.5.
 
 use bytes::Bytes;
-use marlin::common::{ClusterConfig, GranuleId, GranuleLayout, KeyRange, NodeId, TableId, TxnError};
+use marlin::common::{
+    ClusterConfig, GranuleId, GranuleLayout, KeyRange, NodeId, TableId, TxnError,
+};
 use marlin::core::router::Router;
 use marlin::core::LocalCluster;
 
@@ -37,9 +39,16 @@ fn user_txns_read_their_writes() {
     let mut cluster = LocalCluster::bootstrap(&config(2, 8));
     // Key 150 lives in granule 1 (range [100, 200)), owned by node 0.
     cluster
-        .user_txn(NodeId(0), TABLE, &[], &[(150, Bytes::from_static(b"hello"))])
+        .user_txn(
+            NodeId(0),
+            TABLE,
+            &[],
+            &[(150, Bytes::from_static(b"hello"))],
+        )
         .unwrap();
-    let reads = cluster.user_txn(NodeId(0), TABLE, &[150, 151], &[]).unwrap();
+    let reads = cluster
+        .user_txn(NodeId(0), TABLE, &[150, 151], &[])
+        .unwrap();
     assert_eq!(reads[0], Some(Bytes::from_static(b"hello")));
     assert_eq!(reads[1], None);
 }
@@ -61,20 +70,36 @@ fn scale_out_migrates_and_serves_at_destination() {
     // node takes over the upper half and serves it with warm data.
     let mut cluster = LocalCluster::bootstrap(&config(2, 8));
     cluster
-        .user_txn(NodeId(1), TABLE, &[], &[(450, Bytes::from_static(b"precious"))])
+        .user_txn(
+            NodeId(1),
+            TABLE,
+            &[],
+            &[(450, Bytes::from_static(b"precious"))],
+        )
         .unwrap();
 
     // Membership update: the new node adds itself (AddNodeTxn).
     cluster.add_node(NodeId(2), "10.0.0.2".into()).unwrap();
     // Live migration: granules 4 and 5 move from node 1 to node 2.
     cluster
-        .migrate(NodeId(1), NodeId(2), TABLE, vec![GranuleId(4), GranuleId(5)])
+        .migrate(
+            NodeId(1),
+            NodeId(2),
+            TABLE,
+            vec![GranuleId(4), GranuleId(5)],
+        )
         .unwrap();
     cluster.assert_invariants();
 
     // Old owner rejects with a redirect to the new owner.
     let err = cluster.user_txn(NodeId(1), TABLE, &[450], &[]).unwrap_err();
-    assert_eq!(err, TxnError::WrongNode { granule: GranuleId(4), owner: NodeId(2) });
+    assert_eq!(
+        err,
+        TxnError::WrongNode {
+            granule: GranuleId(4),
+            owner: NodeId(2)
+        }
+    );
 
     // New owner serves the warmed-up data.
     let reads = cluster.user_txn(NodeId(2), TABLE, &[450], &[]).unwrap();
@@ -93,32 +118,56 @@ fn migration_aborts_under_user_lock_then_succeeds() {
     cluster
         .node(NodeId(1))
         .locks
-        .try_lock(blocker, LockTarget::GTableEntry { granule: GranuleId(4) }, LockMode::Shared)
+        .try_lock(
+            blocker,
+            LockTarget::GTableEntry {
+                granule: GranuleId(4),
+            },
+            LockMode::Shared,
+        )
         .unwrap();
-    let err = cluster.migrate(NodeId(1), NodeId(0), TABLE, vec![GranuleId(4)]).unwrap_err();
-    assert!(matches!(err, marlin::common::CoordError::Aborted(_)), "got {err}");
+    let err = cluster
+        .migrate(NodeId(1), NodeId(0), TABLE, vec![GranuleId(4)])
+        .unwrap_err();
+    assert!(
+        matches!(err, marlin::common::CoordError::Aborted(_)),
+        "got {err}"
+    );
     cluster.assert_invariants();
 
     // After the user transaction finishes, migration goes through.
     cluster.node(NodeId(1)).locks.release_all(blocker);
-    cluster.migrate(NodeId(1), NodeId(0), TABLE, vec![GranuleId(4)]).unwrap();
+    cluster
+        .migrate(NodeId(1), NodeId(0), TABLE, vec![GranuleId(4)])
+        .unwrap();
     cluster.assert_invariants();
-    assert!(cluster.node(NodeId(0)).marlin.owned_granules().contains(&GranuleId(4)));
+    assert!(cluster
+        .node(NodeId(0))
+        .marlin
+        .owned_granules()
+        .contains(&GranuleId(4)));
 }
 
 #[test]
 fn migration_with_wrong_source_fails_data_effectiveness() {
     let mut cluster = LocalCluster::bootstrap(&config(2, 8));
     // Granule 0 belongs to node 0, not node 1.
-    let err = cluster.migrate(NodeId(1), NodeId(0), TABLE, vec![GranuleId(0)]).unwrap_err();
-    assert!(matches!(err, marlin::common::CoordError::WrongOwner { .. }), "got {err}");
+    let err = cluster
+        .migrate(NodeId(1), NodeId(0), TABLE, vec![GranuleId(0)])
+        .unwrap_err();
+    assert!(
+        matches!(err, marlin::common::CoordError::WrongOwner { .. }),
+        "got {err}"
+    );
     cluster.assert_invariants();
 }
 
 #[test]
 fn scan_gtable_feeds_router() {
     let mut cluster = LocalCluster::bootstrap(&config(3, 9));
-    cluster.migrate(NodeId(0), NodeId(2), TABLE, vec![GranuleId(1)]).unwrap();
+    cluster
+        .migrate(NodeId(0), NodeId(2), TABLE, vec![GranuleId(1)])
+        .unwrap();
     let entries = cluster.scan_gtable(NodeId(1)).unwrap();
     let mut router = Router::new();
     router.install_scan(&entries);
@@ -133,12 +182,16 @@ fn router_absorbs_redirects_from_misrouted_requests() {
     let mut router = Router::new();
     router.install_scan(&cluster.scan_gtable(NodeId(0)).unwrap());
     // Ownership moves; the router is now stale.
-    cluster.migrate(NodeId(0), NodeId(1), TABLE, vec![GranuleId(2)]).unwrap();
+    cluster
+        .migrate(NodeId(0), NodeId(1), TABLE, vec![GranuleId(2)])
+        .unwrap();
     let stale = router.route(GranuleId(2)).unwrap();
     assert_eq!(stale, NodeId(0));
     // The misrouted request aborts with the owner hint; the router learns.
     let err = cluster.user_txn(stale, TABLE, &[250], &[]).unwrap_err();
-    let TxnError::WrongNode { granule, owner } = err else { panic!("expected WrongNode") };
+    let TxnError::WrongNode { granule, owner } = err else {
+        panic!("expected WrongNode")
+    };
     router.redirect(granule, owner);
     assert_eq!(router.route(GranuleId(2)), Some(NodeId(1)));
     // Retry at the new owner succeeds.

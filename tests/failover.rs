@@ -34,11 +34,22 @@ fn figure7_failover_and_recovery_race() {
     // Three nodes; node 2 owns granules 6..9 (keys [600, 900)).
     let mut cluster = LocalCluster::bootstrap(&config(3, 9));
     cluster
-        .user_txn(NodeId(2), TABLE, &[], &[(650, Bytes::from_static(b"durable"))])
+        .user_txn(
+            NodeId(2),
+            TABLE,
+            &[],
+            &[(650, Bytes::from_static(b"durable"))],
+        )
         .unwrap();
 
     // Step 1: N1's ring detector times out on N2.
-    let mut detector = RingDetector::new(NodeId(1), DetectorConfig { fanout: 1, miss_threshold: 3 });
+    let mut detector = RingDetector::new(
+        NodeId(1),
+        DetectorConfig {
+            fanout: 1,
+            miss_threshold: 3,
+        },
+    );
     cluster.refresh_mtable(NodeId(1));
     detector.update_membership(cluster.node(NodeId(1)).marlin.mtable());
     assert_eq!(detector.monitored(), vec![NodeId(2)]);
@@ -53,7 +64,9 @@ fn figure7_failover_and_recovery_race() {
     // Step 2: N1 runs RecoveryMigrTxn for N2's granules. The commit lands
     // on BOTH GLog(1) and GLog(2) even though N2 is unresponsive.
     let victims = vec![GranuleId(6), GranuleId(7), GranuleId(8)];
-    cluster.recovery_migrate(NodeId(1), NodeId(2), victims.clone()).unwrap();
+    cluster
+        .recovery_migrate(NodeId(1), NodeId(2), victims.clone())
+        .unwrap();
     cluster.assert_invariants();
     for g in &victims {
         assert!(cluster.node(NodeId(1)).marlin.owned_granules().contains(g));
@@ -68,7 +81,12 @@ fn figure7_failover_and_recovery_race() {
     // because the recovery advanced the log; the txn aborts.
     cluster.revive(NodeId(2));
     let err = cluster
-        .user_txn(NodeId(2), TABLE, &[], &[(660, Bytes::from_static(b"stale-write"))])
+        .user_txn(
+            NodeId(2),
+            TABLE,
+            &[],
+            &[(660, Bytes::from_static(b"stale-write"))],
+        )
         .unwrap_err();
     assert!(
         matches!(err, TxnError::CommitConflict { .. }),
@@ -77,7 +95,13 @@ fn figure7_failover_and_recovery_race() {
     // The abort invalidated and refreshed N2's partition cache: it now
     // knows it lost the granules, so the next request gets a redirect.
     let err = cluster.user_txn(NodeId(2), TABLE, &[660], &[]).unwrap_err();
-    assert_eq!(err, TxnError::WrongNode { granule: GranuleId(6), owner: NodeId(1) });
+    assert_eq!(
+        err,
+        TxnError::WrongNode {
+            granule: GranuleId(6),
+            owner: NodeId(1)
+        }
+    );
     // And the stale write never became visible at the new owner.
     let reads = cluster.user_txn(NodeId(1), TABLE, &[660], &[]).unwrap();
     assert_eq!(reads[0], None);
@@ -103,10 +127,21 @@ fn racing_recoveries_never_dual_own() {
     // The first recovery wins; the second must fail its data-effectiveness
     // check (refreshed view shows the granule already moved) or its CAS.
     assert!(r0.is_ok());
-    assert!(r1.is_err(), "second recovery must not also claim the granule");
+    assert!(
+        r1.is_err(),
+        "second recovery must not also claim the granule"
+    );
     cluster.assert_invariants();
-    assert!(cluster.node(NodeId(0)).marlin.owned_granules().contains(&GranuleId(6)));
-    assert!(!cluster.node(NodeId(1)).marlin.owned_granules().contains(&GranuleId(6)));
+    assert!(cluster
+        .node(NodeId(0))
+        .marlin
+        .owned_granules()
+        .contains(&GranuleId(6)));
+    assert!(!cluster
+        .node(NodeId(1))
+        .marlin
+        .owned_granules()
+        .contains(&GranuleId(6)));
 }
 
 /// A recovered node whose *read-only* traffic resumes: reads don't commit
@@ -116,13 +151,18 @@ fn racing_recoveries_never_dual_own() {
 fn recovered_node_reads_stale_until_first_commit_attempt() {
     let mut cluster = LocalCluster::bootstrap(&config(2, 8));
     cluster.kill(NodeId(1));
-    cluster.recovery_migrate(NodeId(0), NodeId(1), vec![GranuleId(4)]).unwrap();
+    cluster
+        .recovery_migrate(NodeId(0), NodeId(1), vec![GranuleId(4)])
+        .unwrap();
     cluster.revive(NodeId(1));
     // N1 still thinks it owns granule 4 (stale cache) and will serve a
     // read — this is the documented weak spot that the paper closes on
     // the *write* path: the commit CAS catches it.
     let stale_read = cluster.user_txn(NodeId(1), TABLE, &[450], &[]);
-    assert!(stale_read.is_ok(), "read-only traffic does not touch the log");
+    assert!(
+        stale_read.is_ok(),
+        "read-only traffic does not touch the log"
+    );
     let err = cluster
         .user_txn(NodeId(1), TABLE, &[], &[(450, Bytes::from_static(b"x"))])
         .unwrap_err();
@@ -137,12 +177,19 @@ fn recovered_node_reads_stale_until_first_commit_attempt() {
 fn delete_after_recovery_keeps_cluster_consistent() {
     let mut cluster = LocalCluster::bootstrap(&config(3, 6));
     cluster.kill(NodeId(0));
-    cluster.recovery_migrate(NodeId(1), NodeId(0), vec![GranuleId(0)]).unwrap();
-    cluster.recovery_migrate(NodeId(2), NodeId(0), vec![GranuleId(1)]).unwrap();
+    cluster
+        .recovery_migrate(NodeId(1), NodeId(0), vec![GranuleId(0)])
+        .unwrap();
+    cluster
+        .recovery_migrate(NodeId(2), NodeId(0), vec![GranuleId(1)])
+        .unwrap();
     cluster.delete_node(NodeId(1), NodeId(0)).unwrap();
     cluster.assert_invariants();
     cluster.refresh_mtable(NodeId(2));
-    assert_eq!(cluster.node(NodeId(2)).marlin.mtable().scan(), vec![NodeId(1), NodeId(2)]);
+    assert_eq!(
+        cluster.node(NodeId(2)).marlin.mtable().scan(),
+        vec![NodeId(1), NodeId(2)]
+    );
 }
 
 /// The termination protocol: a migration's decision message is lost
@@ -157,8 +204,8 @@ fn termination_protocol_resolves_in_doubt_txns() {
     // source right after its vote. We emulate the partial failure by
     // appending the prepared record directly (the runtime's synchronous
     // pump otherwise always completes).
-    use marlin::core::records::{GRecord, OwnershipSwap};
     use marlin::common::{LogId, TxnId};
+    use marlin::core::records::{GRecord, OwnershipSwap};
     let txn = TxnId::new(NodeId(1), 4242);
     let swap = OwnershipSwap {
         table: TABLE,
@@ -205,7 +252,11 @@ fn churn_cycle_kill_recover_readd_rebalance() {
     cluster.kill(NodeId(1));
     // Recover all of N1's granules onto N0.
     cluster
-        .recovery_migrate(NodeId(0), NodeId(1), vec![GranuleId(3), GranuleId(4), GranuleId(5)])
+        .recovery_migrate(
+            NodeId(0),
+            NodeId(1),
+            vec![GranuleId(3), GranuleId(4), GranuleId(5)],
+        )
         .unwrap();
     cluster.delete_node(NodeId(0), NodeId(1)).unwrap();
     cluster.assert_invariants();
@@ -216,12 +267,22 @@ fn churn_cycle_kill_recover_readd_rebalance() {
     // Its stale state gets repaired on the first commit attempt...
     let _ = cluster.user_txn(NodeId(1), TABLE, &[], &[(350, Bytes::from_static(b"z"))]);
     // ...and it rejoins.
-    cluster.add_node(NodeId(1), "10.0.0.1-rejoined".into()).unwrap();
-    cluster.migrate(NodeId(0), NodeId(1), TABLE, vec![GranuleId(3)]).unwrap();
+    cluster
+        .add_node(NodeId(1), "10.0.0.1-rejoined".into())
+        .unwrap();
+    cluster
+        .migrate(NodeId(0), NodeId(1), TABLE, vec![GranuleId(3)])
+        .unwrap();
     cluster.assert_invariants();
-    assert!(cluster.node(NodeId(1)).marlin.owned_granules().contains(&GranuleId(3)));
+    assert!(cluster
+        .node(NodeId(1))
+        .marlin
+        .owned_granules()
+        .contains(&GranuleId(3)));
     // And serves traffic again.
-    cluster.user_txn(NodeId(1), TABLE, &[], &[(350, Bytes::from_static(b"back"))]).unwrap();
+    cluster
+        .user_txn(NodeId(1), TABLE, &[], &[(350, Bytes::from_static(b"back"))])
+        .unwrap();
     let reads = cluster.user_txn(NodeId(1), TABLE, &[350], &[]).unwrap();
     assert_eq!(reads[0], Some(Bytes::from_static(b"back")));
 }
@@ -231,7 +292,11 @@ fn churn_cycle_kill_recover_readd_rebalance() {
 fn recovery_of_already_recovered_granule_fails_effectiveness_check() {
     let mut cluster = LocalCluster::bootstrap(&config(3, 9));
     cluster.kill(NodeId(2));
-    cluster.recovery_migrate(NodeId(0), NodeId(2), vec![GranuleId(6)]).unwrap();
-    let err = cluster.recovery_migrate(NodeId(1), NodeId(2), vec![GranuleId(6)]).unwrap_err();
+    cluster
+        .recovery_migrate(NodeId(0), NodeId(2), vec![GranuleId(6)])
+        .unwrap();
+    let err = cluster
+        .recovery_migrate(NodeId(1), NodeId(2), vec![GranuleId(6)])
+        .unwrap_err();
     assert!(matches!(err, CoordError::WrongOwner { .. }), "got {err}");
 }

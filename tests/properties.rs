@@ -179,7 +179,14 @@ fn recovery_vs_migration_race_has_one_winner() {
     let recover = cluster.recovery_migrate(NodeId(1), NodeId(0), vec![GranuleId(0)]);
     let migrate = cluster.migrate(NodeId(0), NodeId(2), TABLE, vec![GranuleId(0)]);
     assert!(recover.is_ok());
-    assert!(matches!(migrate, Err(CoordError::WrongOwner { .. }) | Err(CoordError::Aborted(_))));
+    assert!(matches!(
+        migrate,
+        Err(CoordError::WrongOwner { .. }) | Err(CoordError::Aborted(_))
+    ));
     cluster.assert_invariants();
-    assert!(cluster.node(NodeId(1)).marlin.owned_granules().contains(&GranuleId(0)));
+    assert!(cluster
+        .node(NodeId(1))
+        .marlin
+        .owned_granules()
+        .contains(&GranuleId(0)));
 }

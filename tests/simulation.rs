@@ -49,7 +49,12 @@ fn simulation_is_deterministic() {
         let a = summarize(&run_scale_out(&spec(kind)));
         let b = summarize(&run_scale_out(&spec(kind)));
         assert_eq!(a.commits, b.commits, "{}", kind.name());
-        assert_eq!(a.migration_duration, b.migration_duration, "{}", kind.name());
+        assert_eq!(
+            a.migration_duration,
+            b.migration_duration,
+            "{}",
+            kind.name()
+        );
         assert_eq!(a.cost_per_mtxn, b.cost_per_mtxn, "{}", kind.name());
     }
 }
@@ -65,7 +70,11 @@ fn marlin_is_cheapest_of_all_four() {
     let marlin = &results[0];
     assert_eq!(marlin.meta_cost, 0.0);
     for r in &results[1..] {
-        assert!(r.meta_cost > 0.0, "{} must pay for its service", r.kind.name());
+        assert!(
+            r.meta_cost > 0.0,
+            "{} must pay for its service",
+            r.kind.name()
+        );
         assert!(
             marlin.cost_per_mtxn < r.cost_per_mtxn,
             "Marlin ${} vs {} ${}",
@@ -86,7 +95,7 @@ fn scale_out_relieves_the_overloaded_cluster() {
     s.clients = 400;
     s.horizon = 30 * SECOND;
     let sim = run_scale_out(&s);
-    let pre = sim.metrics.user_commits.rate_at(1 * SECOND);
+    let pre = sim.metrics.user_commits.rate_at(SECOND);
     let post = sim.metrics.user_commits.rate_at(25 * SECOND);
     assert!(
         post > pre * 1.2,
@@ -117,9 +126,27 @@ fn geo_clients_stay_local() {
 #[test]
 fn membership_contention_knee() {
     use marlin::cluster::scenarios::membership::run_membership_stress;
-    let small = run_membership_stress(CoordKind::Marlin, 20, 15 * SECOND, 50 * SECOND, SimParams::default());
-    let large = run_membership_stress(CoordKind::Marlin, 640, 15 * SECOND, 50 * SECOND, SimParams::default());
-    let zk = run_membership_stress(CoordKind::ZkSmall, 20, 15 * SECOND, 50 * SECOND, SimParams::default());
+    let small = run_membership_stress(
+        CoordKind::Marlin,
+        20,
+        15 * SECOND,
+        50 * SECOND,
+        SimParams::default(),
+    );
+    let large = run_membership_stress(
+        CoordKind::Marlin,
+        640,
+        15 * SECOND,
+        50 * SECOND,
+        SimParams::default(),
+    );
+    let zk = run_membership_stress(
+        CoordKind::ZkSmall,
+        20,
+        15 * SECOND,
+        50 * SECOND,
+        SimParams::default(),
+    );
     assert!(
         small.mean_latency < zk.mean_latency * 3,
         "low contention: Marlin {}ns vs ZK {}ns",

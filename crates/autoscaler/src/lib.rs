@@ -73,7 +73,7 @@ pub use controller::{Actuator, Controller};
 pub use local::LocalHarness;
 pub use observe::{GranuleLoad, NodeLoad, Observation};
 pub use policy::{
-    CostBoundedPolicy, ReactiveConfig, ReactivePolicy, ScaleAction, ScalingPolicy, SizeBounds,
-    TargetUtilizationConfig, TargetUtilizationPolicy,
+    CostBoundedPolicy, HoldPolicy, ReactiveConfig, ReactivePolicy, ScaleAction, ScalingPolicy,
+    SizeBounds, TargetUtilizationConfig, TargetUtilizationPolicy,
 };
 pub use rebalance::{validate_moves, GranuleMove, RebalanceConfig, RebalancePlanner};

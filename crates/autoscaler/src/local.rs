@@ -19,7 +19,7 @@
 use crate::controller::Actuator;
 use crate::observe::{GranuleLoad, NodeLoad, Observation};
 use crate::rebalance::GranuleMove;
-use marlin_common::{ClusterConfig, GranuleLayout, KeyRange, NodeId, TableId};
+use marlin_common::{ClusterConfig, GranuleId, GranuleLayout, KeyRange, NodeId, TableId};
 use marlin_core::runtime::LocalCluster;
 use marlin_sim::Nanos;
 use std::collections::BTreeMap;
@@ -81,16 +81,44 @@ impl LocalHarness {
     /// proportionally to how many granules each owns (uniform access).
     #[must_use]
     pub fn observe(&self, at: Nanos, offered_load: f64) -> Observation {
-        let counts = self.owned_counts();
-        let total: u64 = counts.values().sum();
-        let total_f = (total as f64).max(1.0);
-        let node_loads: Vec<NodeLoad> = counts
+        self.observe_with(at, offered_load, |_| 1.0)
+    }
+
+    /// Synthesize an observation with a custom per-granule access weight.
+    ///
+    /// `weight(granule)` gives each granule's relative share of the
+    /// offered load (weights are normalized over all granules), so skewed
+    /// workloads — e.g. a Zipfian heat profile — show up as per-node
+    /// utilization imbalance and per-granule heat, exactly as the
+    /// simulator's sampled counters would report them.
+    #[must_use]
+    pub fn observe_with(
+        &self,
+        at: Nanos,
+        offered_load: f64,
+        weight: impl Fn(GranuleId) -> f64,
+    ) -> Observation {
+        let owned_by: BTreeMap<NodeId, Vec<GranuleId>> = self
+            .members
             .iter()
-            .map(|(&node, &owned)| NodeLoad {
-                node,
-                alive: true,
-                utilization: offered_load * (owned as f64 / total_f),
-                owned_granules: owned,
+            .map(|&m| (m, self.cluster.node(m).marlin.owned_granules()))
+            .collect();
+        let total_weight: f64 = owned_by
+            .values()
+            .flatten()
+            .map(|&g| weight(g))
+            .sum::<f64>()
+            .max(f64::MIN_POSITIVE);
+        let node_loads: Vec<NodeLoad> = owned_by
+            .iter()
+            .map(|(&node, granules)| {
+                let share: f64 = granules.iter().map(|&g| weight(g)).sum::<f64>() / total_weight;
+                NodeLoad {
+                    node,
+                    alive: true,
+                    utilization: offered_load * share,
+                    owned_granules: granules.len() as u64,
+                }
             })
             .collect();
         // Same observation semantics as `ClusterSim::observe`: per-node
@@ -113,19 +141,15 @@ impl LocalHarness {
                 / n;
             (mean, excess)
         };
-        // Granule heat mirrors the uniform-access assumption: every owned
-        // granule carries an equal share of its node's load.
-        let granule_loads: Vec<GranuleLoad> = self
-            .members
+        // Granule heat mirrors the access-weight assumption: every owned
+        // granule carries its weighted share of the offered load.
+        let granule_loads: Vec<GranuleLoad> = owned_by
             .iter()
-            .flat_map(|&m| {
-                let owned = self.cluster.node(m).marlin.owned_granules();
-                let per = offered_load / total_f;
-                owned.into_iter().map(move |granule| GranuleLoad {
-                    granule,
-                    owner: m,
-                    load: per,
-                })
+            .flat_map(|(&m, granules)| granules.iter().map(move |&granule| (m, granule)))
+            .map(|(owner, granule)| GranuleLoad {
+                granule,
+                owner,
+                load: offered_load * weight(granule) / total_weight,
             })
             .collect();
         Observation {
@@ -139,6 +163,35 @@ impl LocalHarness {
             node_loads,
             granule_loads,
         }
+    }
+
+    /// Crash `victim` and run the paper's §4.4.2 recovery end to end: the
+    /// node is killed, a surviving coordinator commits a `RecoveryMigrTxn`
+    /// onto the dead node's GLog to take over its granules, and a
+    /// `DeleteNodeTxn` removes it from the membership.
+    ///
+    /// Crashing a non-member or the last member is a no-op (there would
+    /// be no survivor to recover onto) — the same guard the simulator
+    /// applies, so the two runners stay fault-for-fault comparable.
+    pub fn crash(&mut self, victim: NodeId) {
+        if !self.members.contains(&victim) {
+            return;
+        }
+        let survivors = self.survivors(&[victim]);
+        let Some(&coordinator) = survivors.first() else {
+            return;
+        };
+        self.cluster.kill(victim);
+        let orphans = self.cluster.node(victim).marlin.owned_granules();
+        if !orphans.is_empty() {
+            self.cluster
+                .recovery_migrate(coordinator, victim, orphans)
+                .expect("RecoveryMigrTxn commits on the dead node's GLog");
+        }
+        self.cluster
+            .delete_node(coordinator, victim)
+            .expect("DeleteNodeTxn removes the dead member");
+        self.members.retain(|&m| m != victim);
     }
 
     /// The least-loaded live members excluding `not`, round-robin targets

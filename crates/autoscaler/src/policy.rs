@@ -73,6 +73,29 @@ impl SizeBounds {
 }
 
 // ---------------------------------------------------------------------------
+// Hold (never scale) policy
+
+/// A policy that never changes the member count.
+///
+/// Useful for scripted scenarios (where scale events come from the
+/// scenario's action schedule, not a controller) and for planner-only
+/// controllers: a [`Controller`](crate::controller::Controller) wrapping
+/// `HoldPolicy` plus a [`RebalancePlanner`](crate::rebalance::RebalancePlanner)
+/// rebalances hot granules on every tick without ever scaling.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HoldPolicy;
+
+impl ScalingPolicy for HoldPolicy {
+    fn name(&self) -> &'static str {
+        "hold"
+    }
+
+    fn decide(&mut self, _obs: &Observation) -> Option<ScaleAction> {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Reactive threshold policy
 
 /// Configuration of [`ReactivePolicy`].

@@ -10,11 +10,11 @@
 //! for burst capacity sooner — the paper's claim, now end-to-end through
 //! the controller instead of a script.
 
+use marlin_autoscaler::ScaleAction;
 use marlin_bench::{banner, scale};
+use marlin_cluster::harness::{maybe_write_json, run, Scenario, SimRunner};
 use marlin_cluster::params::CoordKind;
 use marlin_cluster::report::Table;
-use marlin_cluster::scenarios::autoscale::{peak_nodes, run_autoscale, AutoscaleSpec};
-use marlin_cluster::scenarios::dynamic::release_lag;
 use marlin_sim::SECOND;
 
 fn main() {
@@ -22,6 +22,7 @@ fn main() {
         "Closed-loop autoscale — reactive policy, 400→800→400 clients, 8↔16 nodes",
         "the controller reproduces the Figure 14 cycle without scripted scale events",
     );
+    let mut reports = Vec::new();
     let mut table = Table::new(&[
         "system",
         "peak nodes",
@@ -31,27 +32,27 @@ fn main() {
         "total $",
     ]);
     for kind in CoordKind::zk_comparison() {
-        let spec = AutoscaleSpec::paper_spike(kind, scale().max(10));
-        let mut controller = spec.reactive_controller();
-        let sim = run_autoscale(&spec, &mut controller);
+        let scenario = Scenario::autoscale_spike(kind, scale().max(10));
+        let min_nodes = scenario.initial_nodes;
+        let mut runner = SimRunner::new(&scenario);
+        let report = run(scenario, &mut runner);
         let spike_at = 20 * SECOND;
         let calm_at = 80 * SECOND;
-        let decided_at = controller
-            .history()
-            .iter()
-            .find(|(t, _)| *t >= spike_at)
-            .map(|(t, _)| *t);
-        let lag = release_lag(&sim, spec.min_nodes, calm_at);
+        let decided_at =
+            report.first_action_at(spike_at, |a| matches!(a, ScaleAction::AddNodes { .. }));
+        let lag = report.release_lag(min_nodes, calm_at);
         table.row(&[
             kind.name().to_string(),
-            format!("{}", peak_nodes(&sim)),
+            format!("{}", report.peak_nodes()),
             decided_at.map_or("-".into(), |t| {
                 format!("+{:.1}s", (t - spike_at) as f64 / 1e9)
             }),
             lag.map_or("never".into(), |l| format!("{:.1}s", l as f64 / 1e9)),
-            format!("{}", sim.metrics.total_commits()),
-            format!("{:.4}", sim.cost.total_cost()),
+            format!("{}", report.metrics.commits),
+            format!("{:.4}", report.metrics.total_cost),
         ]);
+        reports.push(report);
     }
     print!("{}", table.render());
+    maybe_write_json(&reports);
 }

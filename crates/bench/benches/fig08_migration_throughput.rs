@@ -5,29 +5,30 @@
 //! 2.6× and 1.9× faster."
 
 use marlin_bench::{banner, scale};
+use marlin_cluster::harness::{maybe_write_json, run, Scenario, SimRunner};
 use marlin_cluster::params::CoordKind;
 use marlin_cluster::report::{ratio, render_rate_series, secs, Table};
-use marlin_cluster::scenarios::scale_out::{run_scale_out, summarize, ScaleOutSpec};
 
 fn main() {
     banner(
         "Figure 8 — MigrationTxn throughput over time (YCSB, SO8-16)",
         "Marlin 2.3x/1.9x migration tput vs S-ZK/L-ZK; 2.6x/1.9x faster completion",
     );
-    let mut results = Vec::new();
+    let mut reports = Vec::new();
     for kind in CoordKind::zk_comparison() {
-        let spec = ScaleOutSpec::ycsb_so8_16(kind, scale());
-        let sim = run_scale_out(&spec);
+        let scenario = Scenario::ycsb_scale_out(kind, scale());
+        let mut runner = SimRunner::new(&scenario);
+        let report = run(scenario, &mut runner);
         println!();
         print!(
             "{}",
             render_rate_series(
                 &format!("{} migrations/s", kind.name()),
-                &sim.metrics.migrations,
+                &runner.sim().metrics.migrations,
                 25
             )
         );
-        results.push(summarize(&sim));
+        reports.push(report);
     }
     println!();
     let mut table = Table::new(&[
@@ -38,22 +39,21 @@ fn main() {
         "vs Marlin tput",
         "vs Marlin dur",
     ]);
-    let marlin = results[0].clone();
-    for r in &results {
+    let marlin = reports[0].metrics.clone();
+    for r in &reports {
+        let m = &r.metrics;
         table.row(&[
-            r.kind.name().into(),
-            format!(
-                "{}",
-                (r.migration_throughput * (r.migration_duration as f64 / 1e9)) as u64
-            ),
-            secs(r.migration_duration),
-            format!("{:.0}", r.migration_throughput),
-            ratio(marlin.migration_throughput, r.migration_throughput),
+            r.backend.clone(),
+            format!("{}", m.migrations),
+            secs(m.migration_duration),
+            format!("{:.0}", m.migration_throughput),
+            ratio(marlin.migration_throughput, m.migration_throughput),
             ratio(
-                r.migration_duration as f64,
+                m.migration_duration as f64,
                 marlin.migration_duration as f64,
             ),
         ]);
     }
     print!("{}", table.render());
+    maybe_write_json(&reports);
 }

@@ -6,9 +6,9 @@
 //! Furthermore, Marlin has a lower abort rate for user transactions."
 
 use marlin_bench::{banner, scale};
+use marlin_cluster::harness::{maybe_write_json, run, Scenario, SimRunner};
 use marlin_cluster::params::CoordKind;
 use marlin_cluster::report::{render_rate_series, secs, Table};
-use marlin_cluster::scenarios::scale_out::{run_scale_out, summarize, ScaleOutSpec};
 use marlin_sim::SECOND;
 
 fn main() {
@@ -16,16 +16,18 @@ fn main() {
         "Figure 9 — real-time user txn throughput + abort ratio (YCSB, SO8-16)",
         "throughput recovers to ~12k tps fastest under Marlin; lowest abort ratio",
     );
+    let mut reports = Vec::new();
     let mut rows = Vec::new();
     for kind in CoordKind::zk_comparison() {
-        let spec = ScaleOutSpec::ycsb_so8_16(kind, scale());
-        let sim = run_scale_out(&spec);
+        let scenario = Scenario::ycsb_scale_out(kind, scale());
+        let mut runner = SimRunner::new(&scenario);
+        let report = run(scenario, &mut runner);
         println!();
         print!(
             "{}",
             render_rate_series(
                 &format!("{} user tps", kind.name()),
-                &sim.metrics.user_commits,
+                &runner.sim().metrics.user_commits,
                 25
             )
         );
@@ -36,17 +38,17 @@ fn main() {
             println!(
                 "{:8.1}s  {:9.2}%",
                 t as f64,
-                sim.metrics.abort_ratio_at(at) * 100.0
+                runner.sim().metrics.abort_ratio_at(at) * 100.0
             );
         }
-        let s = summarize(&sim);
         rows.push((
             kind.name().to_string(),
-            sim.metrics.user_commits.rate_at(8 * SECOND),
-            sim.metrics.user_commits.rate_at(45 * SECOND),
-            s.abort_ratio * 100.0,
-            s.migration_duration,
+            runner.sim().metrics.user_commits.rate_at(8 * SECOND),
+            runner.sim().metrics.user_commits.rate_at(45 * SECOND),
+            report.metrics.abort_ratio * 100.0,
+            report.metrics.migration_duration,
         ));
+        reports.push(report);
     }
     println!();
     let mut table = Table::new(&["system", "tps@8s", "tps@45s", "abort%", "reconfig"]);
@@ -60,4 +62,5 @@ fn main() {
         ]);
     }
     print!("{}", table.render());
+    maybe_write_json(&reports);
 }

@@ -4,44 +4,51 @@
 //! compared to S-ZK and L-ZK ... reduces cost by 1.35× and 1.61×."
 
 use marlin_bench::{banner, scale};
+use marlin_cluster::harness::{maybe_write_json, run, Scenario, SimRunner};
 use marlin_cluster::params::CoordKind;
 use marlin_cluster::report::{ratio, Table};
-use marlin_cluster::scenarios::scale_out::{run_scale_out, summarize, ScaleOutSpec};
 
 fn main() {
     banner(
         "Figure 10 — migration latency & cost of UserTxn (YCSB, SO8-16)",
         "Marlin: 2.57x/1.87x lower migration latency; 1.35x/1.61x lower cost than S-ZK/L-ZK",
     );
-    let results: Vec<_> = CoordKind::zk_comparison()
+    let reports: Vec<_> = CoordKind::zk_comparison()
         .into_iter()
-        .map(|kind| summarize(&run_scale_out(&ScaleOutSpec::ycsb_so8_16(kind, scale()))))
+        .map(|kind| {
+            let scenario = Scenario::ycsb_scale_out(kind, scale());
+            let mut runner = SimRunner::new(&scenario);
+            run(scenario, &mut runner)
+        })
         .collect();
-    let marlin = results[0].clone();
+    let marlin = reports[0].metrics.clone();
 
     println!("\n(a) MigrationTxn latency");
     let mut t = Table::new(&["system", "mean", "p50", "p99", "vs Marlin"]);
-    for r in &results {
+    for r in &reports {
+        let m = &r.metrics;
         t.row(&[
-            r.kind.name().into(),
-            format!("{:.2}ms", r.migration_latency.mean / 1e6),
-            format!("{:.2}ms", r.migration_latency.p50 as f64 / 1e6),
-            format!("{:.2}ms", r.migration_latency.p99 as f64 / 1e6),
-            ratio(r.migration_latency.mean, marlin.migration_latency.mean),
+            r.backend.clone(),
+            format!("{:.2}ms", m.migration_latency.mean / 1e6),
+            format!("{:.2}ms", m.migration_latency.p50 as f64 / 1e6),
+            format!("{:.2}ms", m.migration_latency.p99 as f64 / 1e6),
+            ratio(m.migration_latency.mean, marlin.migration_latency.mean),
         ]);
     }
     print!("{}", t.render());
 
     println!("\n(b) Cost of UserTxn ($/million txns, DB + Meta split)");
     let mut t = Table::new(&["system", "DB $", "Meta $", "$/Mtxn", "vs Marlin"]);
-    for r in &results {
+    for r in &reports {
+        let m = &r.metrics;
         t.row(&[
-            r.kind.name().into(),
-            format!("{:.4}", r.db_cost),
-            format!("{:.4}", r.meta_cost),
-            format!("{:.4}", r.cost_per_mtxn),
-            ratio(r.cost_per_mtxn, marlin.cost_per_mtxn),
+            r.backend.clone(),
+            format!("{:.4}", m.db_cost),
+            format!("{:.4}", m.meta_cost),
+            format!("{:.4}", m.cost_per_mtxn),
+            ratio(m.cost_per_mtxn, marlin.cost_per_mtxn),
         ]);
     }
     print!("{}", t.render());
+    maybe_write_json(&reports);
 }

@@ -5,32 +5,33 @@
 //! and L-ZK ... incurs less degradation of user transactions."
 
 use marlin_bench::{banner, scale};
+use marlin_cluster::harness::{maybe_write_json, run, Scenario, SimRunner};
 use marlin_cluster::params::CoordKind;
 use marlin_cluster::report::{ratio, render_rate_series, secs, Table};
-use marlin_cluster::scenarios::scale_out::{run_scale_out, summarize, ScaleOutSpec};
 
 fn main() {
     banner(
         "Figure 11 — real-time user txn throughput + abort ratio (TPC-C, SO8-16)",
         "Marlin migrates 2.5x/1.5x faster than S-ZK/L-ZK; less user degradation",
     );
-    let mut results = Vec::new();
+    let mut reports = Vec::new();
     for kind in CoordKind::zk_comparison() {
-        let spec = ScaleOutSpec::tpcc_so8_16(kind, scale());
-        let sim = run_scale_out(&spec);
+        let scenario = Scenario::tpcc_scale_out(kind, scale());
+        let mut runner = SimRunner::new(&scenario);
+        let report = run(scenario, &mut runner);
         println!();
         print!(
             "{}",
             render_rate_series(
                 &format!("{} user tps", kind.name()),
-                &sim.metrics.user_commits,
+                &runner.sim().metrics.user_commits,
                 15
             )
         );
-        results.push(summarize(&sim));
+        reports.push(report);
     }
     println!();
-    let marlin = results[0].clone();
+    let marlin = reports[0].metrics.clone();
     let mut table = Table::new(&[
         "system",
         "warehouse migs",
@@ -39,21 +40,20 @@ fn main() {
         "abort%",
         "commits",
     ]);
-    for r in &results {
+    for r in &reports {
+        let m = &r.metrics;
         table.row(&[
-            r.kind.name().into(),
-            format!(
-                "{}",
-                (r.migration_throughput * (r.migration_duration as f64 / 1e9)).round() as u64
-            ),
-            secs(r.migration_duration),
+            r.backend.clone(),
+            format!("{}", m.migrations),
+            secs(m.migration_duration),
             ratio(
-                r.migration_duration as f64,
+                m.migration_duration as f64,
                 marlin.migration_duration as f64,
             ),
-            format!("{:.2}", r.abort_ratio * 100.0),
-            format!("{}", r.commits),
+            format!("{:.2}", m.abort_ratio * 100.0),
+            format!("{}", m.commits),
         ]);
     }
     print!("{}", table.render());
+    maybe_write_json(&reports);
 }

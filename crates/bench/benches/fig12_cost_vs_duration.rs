@@ -9,9 +9,9 @@
 //! ZK/FDB show diminishing gains."
 
 use marlin_bench::{banner, scale};
+use marlin_cluster::harness::{maybe_write_json, run, Scenario, SimRunner};
 use marlin_cluster::params::CoordKind;
 use marlin_cluster::report::{secs, Table};
-use marlin_cluster::scenarios::scale_out::{run_scale_out, summarize, ScaleOutSpec};
 
 fn main() {
     banner(
@@ -20,6 +20,7 @@ fn main() {
     );
     let scales = [1u32, 2, 4, 8];
     println!("\n(a) cost per Mtxn vs migration duration   (b) cost split   (c) migration tput");
+    let mut reports = Vec::new();
     let mut t = Table::new(&[
         "scale",
         "system",
@@ -32,20 +33,24 @@ fn main() {
     ]);
     for &n in &scales {
         for kind in CoordKind::all() {
-            let spec = ScaleOutSpec::sweep_point(kind, n, scale());
-            let s = summarize(&run_scale_out(&spec));
-            let total = s.db_cost + s.meta_cost;
+            let scenario = Scenario::sweep_point(kind, n, scale());
+            let mut runner = SimRunner::new(&scenario);
+            let report = run(scenario, &mut runner);
+            let m = &report.metrics;
+            let total = m.db_cost + m.meta_cost;
             t.row(&[
                 format!("SO{}-{}", n, 2 * n),
-                s.kind.name().into(),
-                secs(s.migration_duration),
-                format!("{:.4}", s.cost_per_mtxn),
-                format!("{:.4}", s.db_cost),
-                format!("{:.4}", s.meta_cost),
-                format!("{:.0}%", 100.0 * s.meta_cost / total),
-                format!("{:.0}", s.migration_throughput),
+                report.backend.clone(),
+                secs(m.migration_duration),
+                format!("{:.4}", m.cost_per_mtxn),
+                format!("{:.4}", m.db_cost),
+                format!("{:.4}", m.meta_cost),
+                format!("{:.0}%", 100.0 * m.meta_cost / total),
+                format!("{:.0}", m.migration_throughput),
             ]);
+            reports.push(report);
         }
     }
     print!("{}", t.render());
+    maybe_write_json(&reports);
 }

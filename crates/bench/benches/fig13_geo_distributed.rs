@@ -7,9 +7,9 @@
 //! scales ... Marlin remains the most cost-efficient."
 
 use marlin_bench::{banner, scale};
+use marlin_cluster::harness::{maybe_write_json, run, Scenario, SimRunner};
 use marlin_cluster::params::CoordKind;
 use marlin_cluster::report::{ratio, secs, Table};
-use marlin_cluster::scenarios::scale_out::{run_scale_out, summarize, ScaleOutSpec};
 
 fn main() {
     banner(
@@ -17,6 +17,7 @@ fn main() {
         "Marlin up to 4.9x faster than ZK-based, up to 9.5x faster than FDB; cheapest",
     );
     let scales = [4u32, 8];
+    let mut reports = Vec::new();
     let mut t = Table::new(&[
         "scale",
         "system",
@@ -28,20 +29,24 @@ fn main() {
     for &n in &scales {
         let mut marlin_dur = 0.0f64;
         for kind in CoordKind::all() {
-            let spec = ScaleOutSpec::sweep_point(kind, n, scale()).geo();
-            let s = summarize(&run_scale_out(&spec));
+            let scenario = Scenario::sweep_point(kind, n, scale()).geo();
+            let mut runner = SimRunner::new(&scenario);
+            let report = run(scenario, &mut runner);
+            let m = &report.metrics;
             if kind == CoordKind::Marlin {
-                marlin_dur = s.migration_duration as f64;
+                marlin_dur = m.migration_duration as f64;
             }
             t.row(&[
                 format!("SO{}-{}", n, 2 * n),
-                s.kind.name().into(),
-                secs(s.migration_duration),
-                ratio(s.migration_duration as f64, marlin_dur),
-                format!("{:.4}", s.cost_per_mtxn),
-                format!("{:.4}", s.meta_cost),
+                report.backend.clone(),
+                secs(m.migration_duration),
+                ratio(m.migration_duration as f64, marlin_dur),
+                format!("{:.4}", m.cost_per_mtxn),
+                format!("{:.4}", m.meta_cost),
             ]);
+            reports.push(report);
         }
     }
     print!("{}", t.render());
+    maybe_write_json(&reports);
 }

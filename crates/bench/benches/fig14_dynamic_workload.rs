@@ -6,9 +6,9 @@
 //! workload drops, while S-ZK and L-ZK take 45 and 32 seconds."
 
 use marlin_bench::{banner, scale};
+use marlin_cluster::harness::{maybe_write_json, run, Scenario, SimRunner};
 use marlin_cluster::params::CoordKind;
 use marlin_cluster::report::{render_rate_series, render_time_series, Table};
-use marlin_cluster::scenarios::dynamic::{release_lag, run_dynamic, DynamicSpec};
 use marlin_sim::SECOND;
 
 fn main() {
@@ -16,10 +16,14 @@ fn main() {
         "Figure 14 — dynamic workload (400→800→400 clients, 8→16→8 nodes)",
         "Marlin: fastest scale-out/in; releases nodes ~12s after load drop vs 45s/32s",
     );
+    let mut reports = Vec::new();
     let mut rows = Vec::new();
     for kind in CoordKind::zk_comparison() {
-        let spec = DynamicSpec::paper(kind, scale());
-        let sim = run_dynamic(&spec);
+        let scenario = Scenario::dynamic_burst(kind, scale());
+        let base_nodes = scenario.initial_nodes;
+        let mut runner = SimRunner::new(&scenario);
+        let report = run(scenario, &mut runner);
+        let sim = runner.sim();
         println!();
         print!(
             "{}",
@@ -48,22 +52,23 @@ fn main() {
         println!(
             "(d) {} committed txn latency: mean {:.1}ms p99 {:.1}ms",
             kind.name(),
-            sim.metrics.user_latency.mean() / 1e6,
-            sim.metrics.user_latency.quantile(0.99) as f64 / 1e6
+            report.metrics.mean_latency / 1e6,
+            report.metrics.p99_latency as f64 / 1e6
         );
         println!(
             "(e) {} abort ratio: overall {:.2}%, @25s {:.2}%",
             kind.name(),
-            sim.metrics.abort_ratio() * 100.0,
+            report.metrics.abort_ratio * 100.0,
             sim.metrics.abort_ratio_at(25 * SECOND) * 100.0
         );
-        let lag = release_lag(&sim, spec.base_nodes, spec.calm_at);
+        let lag = report.release_lag(base_nodes, 80 * SECOND);
         rows.push((
             kind.name().to_string(),
             lag,
-            sim.cost.total_cost(),
-            sim.metrics.total_commits(),
+            report.metrics.total_cost,
+            report.metrics.commits,
         ));
+        reports.push(report);
     }
     println!();
     let mut t = Table::new(&["system", "scale-in release lag", "total $", "commits"]);
@@ -76,4 +81,5 @@ fn main() {
         ]);
     }
     print!("{}", t.render());
+    maybe_write_json(&reports);
 }

@@ -7,9 +7,11 @@
 //! which incurs retries under high contention."
 
 use marlin_bench::banner;
-use marlin_cluster::params::{CoordKind, SimParams};
+use marlin_cluster::harness::{
+    expected_membership_updates, maybe_write_json, run, Scenario, SimRunner,
+};
+use marlin_cluster::params::CoordKind;
 use marlin_cluster::report::Table;
-use marlin_cluster::scenarios::membership::run_membership_stress;
 use marlin_sim::SECOND;
 
 fn main() {
@@ -20,6 +22,7 @@ fn main() {
     let counts = [10u32, 20, 40, 80, 160, 320, 640];
     // 50 s horizon: the 15/30/45 s update bursts all resolve in-window.
     let (period, horizon) = (15 * SECOND, 50 * SECOND);
+    let mut reports = Vec::new();
     let mut t = Table::new(&[
         "nodes",
         "system",
@@ -29,17 +32,21 @@ fn main() {
     ]);
     for &n in &counts {
         for kind in CoordKind::zk_comparison() {
-            let r = run_membership_stress(kind, n, period, horizon, SimParams::default());
-            let expected =
-                marlin_cluster::scenarios::membership::expected_updates(n, period, horizon);
+            let scenario = Scenario::membership(kind, n, period, horizon);
+            let mut runner = SimRunner::new(&scenario);
+            let report = run(scenario, &mut runner);
+            let m = &report.metrics;
+            let expected = expected_membership_updates(n, period, horizon);
             t.row(&[
                 format!("{n}"),
-                kind.name().into(),
-                format!("{:.0}/{expected}", r.throughput * 50.0),
-                format!("{:.1}ms", r.mean_latency as f64 / 1e6),
-                format!("{}", r.retries),
+                report.backend.clone(),
+                format!("{}/{expected}", m.membership_commits),
+                format!("{:.1}ms", m.membership_mean_latency / 1e6),
+                format!("{}", m.membership_retries),
             ]);
+            reports.push(report);
         }
     }
     print!("{}", t.render());
+    maybe_write_json(&reports);
 }

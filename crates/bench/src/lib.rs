@@ -6,7 +6,9 @@
 //! core protocol primitives.
 //!
 //! Set `MARLIN_SCALE=<n>` to divide workload sizes by `n` for quick runs
-//! (default 1 = the paper's full scale).
+//! (default 1 = the paper's full scale). Set `MARLIN_REPORT_JSON=<path>`
+//! and every scenario bench writes its `RunReport`s — including the full
+//! controller decision log — to that path as a JSON array.
 
 /// Workload shrink factor from the environment (1 = full scale).
 #[must_use]

@@ -1,0 +1,176 @@
+//! The one experiment loop: `run(scenario, runner) -> RunReport`.
+//!
+//! The driver merges the scenario's scripted actions and faults with the
+//! control-tick grid, advances the runner milestone by milestone, and at
+//! every control tick observes the cluster and — if the scenario carries
+//! a policy — lets the controller decide and actuate through the runner.
+//! Every tick and scripted event lands in the report's decision log with
+//! an observation digest and the measured actuation latency, so each
+//! run's figure data and its controller trace come from the same place,
+//! on either runner.
+
+use crate::harness::report::{DecisionRecord, DecisionSource, ObservationDigest, RunReport};
+use crate::harness::runner::{Fault, Runner};
+use crate::harness::scenario::Scenario;
+use marlin_autoscaler::{Actuator, Controller, GranuleMove, RebalancePlanner, ScaleAction};
+use marlin_common::NodeId;
+use marlin_sim::Nanos;
+use std::time::Instant;
+
+/// Bridges the controller's [`Actuator`] calls onto a [`Runner`],
+/// timing each actuation.
+struct RunnerActuator<'a> {
+    runner: &'a mut dyn Runner,
+    micros: u64,
+}
+
+impl RunnerActuator<'_> {
+    fn timed(&mut self, action: &ScaleAction) {
+        let start = Instant::now();
+        self.runner.actuate(action);
+        self.micros += start.elapsed().as_micros() as u64;
+    }
+}
+
+impl Actuator for RunnerActuator<'_> {
+    fn add_nodes(&mut self, _at: Nanos, count: u32) {
+        self.timed(&ScaleAction::AddNodes { count });
+    }
+
+    fn remove_nodes(&mut self, _at: Nanos, victims: &[NodeId]) {
+        self.timed(&ScaleAction::RemoveNodes {
+            victims: victims.to_vec(),
+        });
+    }
+
+    fn rebalance(&mut self, _at: Nanos, moves: &[GranuleMove]) {
+        self.timed(&ScaleAction::Rebalance {
+            moves: moves.to_vec(),
+        });
+    }
+}
+
+enum Milestone {
+    Script(ScaleAction),
+    Fault(Fault),
+    Tick(u64),
+}
+
+/// Execute `scenario` on `runner` to the horizon and assemble the
+/// unified report. This is the single entry point every example, bench,
+/// and integration test drives — §6.1.3's four scenario families are
+/// [`Scenario`] presets, not separate driver functions.
+pub fn run(scenario: Scenario, runner: &mut dyn Runner) -> RunReport {
+    let Scenario {
+        name,
+        backend,
+        control_interval,
+        observe_window,
+        horizon,
+        policy,
+        planner,
+        script,
+        faults,
+        params,
+        ..
+    } = scenario;
+
+    let mut controller = policy.map(|p| {
+        let c = Controller::new(p);
+        match planner {
+            Some(cfg) => c.with_planner(RebalancePlanner::new(cfg)),
+            None => c,
+        }
+    });
+    let policy_name = controller.as_ref().map(|c| c.policy_name().to_string());
+
+    // Timeline: scripted events and control ticks, time-ordered; events
+    // sort before the tick sharing their timestamp (a scripted scale-out
+    // is visible to the observation taken at the same instant). Events
+    // scheduled past the horizon never fire — the run ends first.
+    let mut milestones: Vec<(Nanos, u8, Milestone)> = Vec::new();
+    for (at, action) in script {
+        if at <= horizon {
+            milestones.push((at, 0, Milestone::Script(action)));
+        }
+    }
+    for (at, fault) in faults {
+        if at <= horizon {
+            milestones.push((at, 0, Milestone::Fault(fault)));
+        }
+    }
+    let mut tick = 0u64;
+    let mut at = control_interval;
+    while at <= horizon {
+        tick += 1;
+        milestones.push((at, 1, Milestone::Tick(tick)));
+        at += control_interval;
+    }
+    milestones.sort_by_key(|&(at, pri, _)| (at, pri));
+
+    let mut log: Vec<DecisionRecord> = Vec::with_capacity(milestones.len());
+    for (at, _, milestone) in milestones {
+        runner.advance(at.saturating_sub(runner.now()));
+        match milestone {
+            Milestone::Script(action) => {
+                let digest = ObservationDigest::from(&runner.observe(observe_window));
+                let start = Instant::now();
+                runner.actuate(&action);
+                log.push(DecisionRecord {
+                    tick: 0,
+                    at,
+                    source: DecisionSource::Script,
+                    observation: digest,
+                    action: Some(action),
+                    actuation_micros: start.elapsed().as_micros() as u64,
+                });
+            }
+            Milestone::Fault(fault) => {
+                let digest = ObservationDigest::from(&runner.observe(observe_window));
+                let start = Instant::now();
+                runner.inject(&fault);
+                log.push(DecisionRecord {
+                    tick: 0,
+                    at,
+                    source: DecisionSource::Fault,
+                    observation: digest,
+                    action: None,
+                    actuation_micros: start.elapsed().as_micros() as u64,
+                });
+            }
+            Milestone::Tick(tick) => {
+                let obs = runner.observe(observe_window);
+                let digest = ObservationDigest::from(&obs);
+                let (source, action, actuation_micros) = match &mut controller {
+                    Some(c) => {
+                        let mut actuator = RunnerActuator { runner, micros: 0 };
+                        let action = c.tick(&obs, &mut actuator);
+                        (DecisionSource::Policy, action, actuator.micros)
+                    }
+                    None => (DecisionSource::Sample, None, 0),
+                };
+                log.push(DecisionRecord {
+                    tick,
+                    at,
+                    source,
+                    observation: digest,
+                    action,
+                    actuation_micros,
+                });
+            }
+        }
+    }
+    runner.advance(horizon.saturating_sub(runner.now()));
+    runner.finish();
+
+    RunReport {
+        scenario: name,
+        backend: backend.name().to_string(),
+        runner: runner.name().to_string(),
+        policy: policy_name,
+        seed: params.seed,
+        horizon,
+        log,
+        metrics: runner.metrics(),
+    }
+}

@@ -1,0 +1,200 @@
+//! [`Runner`] over the synchronous `LocalCluster`: the safety runner,
+//! where every actuation executes real reconfiguration transactions
+//! (`AddNodeTxn`, `MigrationTxn`, `DeleteNodeTxn`, `RecoveryMigrTxn`)
+//! through the sans-io drivers and the I0–I4 invariants are asserted
+//! after every step.
+//!
+//! The runtime has no load generator, so observations are synthesized:
+//! the scenario's client trace becomes offered load (node-capacity units
+//! per client), spread over granules by the workload's access
+//! distribution — uniform by default, Zipfian-weighted when the scenario
+//! uses skewed YCSB. That makes skew *visible* to policies and the
+//! rebalance planner exactly as the simulator's sampled heat counters
+//! would report it, while every resulting migration is a real protocol
+//! execution.
+
+use crate::harness::runner::{Fault, MetricsSnapshot, Runner};
+use crate::harness::scenario::Scenario;
+use crate::sim::Workload;
+use marlin_autoscaler::{Actuator, LocalHarness, Observation, ScaleAction};
+use marlin_common::{GranuleId, NodeId};
+use marlin_sim::{Histogram, Nanos, SECOND};
+use marlin_workload::LoadTrace;
+use std::collections::BTreeMap;
+
+/// The synchronous runtime wrapped as a [`Runner`].
+pub struct LocalRunner {
+    harness: LocalHarness,
+    now: Nanos,
+    trace: LoadTrace,
+    offered_per_client: f64,
+    /// `Some(theta)` when the workload is Zipfian-skewed YCSB.
+    zipf_theta: Option<f64>,
+    /// Live node count over (logical) time, mirroring the simulator's
+    /// exact series.
+    node_count: Vec<(Nanos, f64)>,
+    /// Node-nanoseconds accrued, for DB Cost accounting.
+    node_time: f64,
+    /// MigrationTxns executed (counted by ownership diff per actuation).
+    migrations: u64,
+}
+
+impl LocalRunner {
+    /// Bootstrap the cluster a scenario describes. The scenario's granule
+    /// count becomes real granules, so local scenarios should stay at
+    /// hundreds-to-thousands of granules (the simulator covers paper
+    /// scale).
+    #[must_use]
+    pub fn new(scenario: &Scenario) -> Self {
+        assert!(
+            scenario.backend == crate::params::CoordKind::Marlin,
+            "LocalCluster runs the Marlin protocol itself; baselines are simulator-only"
+        );
+        let granules = scenario.workload.granule_count();
+        let harness = LocalHarness::bootstrap(scenario.initial_nodes, granules);
+        let zipf_theta = match &scenario.workload {
+            Workload::Ycsb { zipfian, .. } => *zipfian,
+            Workload::Tpcc { .. } => None,
+        };
+        let mut runner = LocalRunner {
+            harness,
+            now: 0,
+            trace: scenario.trace.clone(),
+            offered_per_client: scenario.offered_per_client,
+            zipf_theta,
+            node_count: Vec::new(),
+            node_time: 0.0,
+            migrations: 0,
+        };
+        runner.record_node_count();
+        runner
+    }
+
+    /// The wrapped harness (cluster access for assertions and walkthroughs).
+    #[must_use]
+    pub fn harness(&self) -> &LocalHarness {
+        &self.harness
+    }
+
+    fn record_node_count(&mut self) {
+        self.node_count
+            .push((self.now, self.harness.members().len() as f64));
+    }
+
+    fn ownership(&self) -> BTreeMap<GranuleId, NodeId> {
+        self.harness
+            .members()
+            .iter()
+            .flat_map(|&m| {
+                self.harness
+                    .cluster
+                    .node(m)
+                    .marlin
+                    .owned_granules()
+                    .into_iter()
+                    .map(move |g| (g, m))
+            })
+            .collect()
+    }
+
+    /// Granule owners as a map (for tests asserting heat moved).
+    #[must_use]
+    pub fn owners(&self) -> BTreeMap<GranuleId, NodeId> {
+        self.ownership()
+    }
+
+    fn offered_now(&self) -> f64 {
+        f64::from(self.trace.clients_at(self.now)) * self.offered_per_client
+    }
+}
+
+impl Runner for LocalRunner {
+    fn name(&self) -> &'static str {
+        "local-cluster"
+    }
+
+    fn now(&self) -> Nanos {
+        self.now
+    }
+
+    fn advance(&mut self, dt: Nanos) {
+        // Integrate node-time piecewise over the trace's step boundaries
+        // only as far as membership is concerned — membership changes
+        // happen at actuation points, so the current member count holds
+        // for the whole step.
+        self.node_time += self.harness.members().len() as f64 * dt as f64;
+        self.now += dt;
+    }
+
+    fn observe(&mut self, _window: Nanos) -> Observation {
+        let offered = self.offered_now();
+        match self.zipf_theta {
+            Some(theta) => self
+                .harness
+                .observe_with(self.now, offered, |g| 1.0 / ((g.0 + 1) as f64).powf(theta)),
+            None => self.harness.observe(self.now, offered),
+        }
+    }
+
+    fn actuate(&mut self, action: &ScaleAction) {
+        let before = self.ownership();
+        match action {
+            ScaleAction::AddNodes { count } => self.harness.add_nodes(self.now, *count),
+            ScaleAction::RemoveNodes { victims } => self.harness.remove_nodes(self.now, victims),
+            ScaleAction::Rebalance { moves } => self.harness.rebalance(self.now, moves),
+        }
+        // Every actuation must leave the cluster with exclusive granule
+        // ownership — the I0–I4 safety net, checked on every step.
+        self.harness.cluster.assert_invariants();
+        let after = self.ownership();
+        self.migrations += before
+            .iter()
+            .filter(|(g, owner)| after.get(g).is_some_and(|now| now != *owner))
+            .count() as u64;
+        self.record_node_count();
+    }
+
+    fn inject(&mut self, fault: &Fault) {
+        match fault {
+            Fault::Crash(node) => {
+                let before = self.ownership();
+                self.harness.crash(*node);
+                self.harness.cluster.assert_invariants();
+                let after = self.ownership();
+                self.migrations += before
+                    .iter()
+                    .filter(|(g, owner)| after.get(g).is_some_and(|now| now != *owner))
+                    .count() as u64;
+                self.record_node_count();
+            }
+        }
+    }
+
+    fn finish(&mut self) {
+        self.record_node_count();
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        let node_hours = self.node_time / (3600.0 * SECOND as f64);
+        let db_cost = node_hours * self.harness.node_hourly;
+        MetricsSnapshot {
+            live_nodes: self.harness.members().len() as u32,
+            commits: 0,
+            abort_ratio: 0.0,
+            mean_latency: 0.0,
+            p99_latency: 0,
+            migrations: self.migrations,
+            migration_duration: 0,
+            migration_throughput: 0.0,
+            migration_latency: Histogram::new().summary(),
+            membership_commits: 0,
+            membership_retries: 0,
+            membership_mean_latency: 0.0,
+            db_cost,
+            meta_cost: 0.0,
+            total_cost: db_cost,
+            cost_per_mtxn: 0.0,
+            node_count: self.node_count.clone(),
+        }
+    }
+}

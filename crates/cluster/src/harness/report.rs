@@ -1,0 +1,508 @@
+//! The unified [`RunReport`]: one result shape for every scenario on
+//! every runner.
+//!
+//! The report carries the full controller decision log — one
+//! [`DecisionRecord`] per control tick and per scripted event, each with
+//! an observation digest (windowed throughput/p99, per-node CPU, $/hr
+//! burn), the chosen [`ScaleAction`] if any, and the measured actuation
+//! latency — plus the end-of-run [`MetricsSnapshot`] (including Meta
+//! Cost). Reports serialize to JSON without external dependencies; set
+//! `MARLIN_REPORT_JSON=<path>` and every bench target writes its reports
+//! there as a machine-readable artifact.
+
+use crate::harness::runner::MetricsSnapshot;
+use marlin_autoscaler::{Observation, ScaleAction};
+use marlin_sim::Nanos;
+
+/// What produced a log entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecisionSource {
+    /// A controller tick (the policy decided; `action` may be `None`).
+    Policy,
+    /// A scripted scale action from the scenario.
+    Script,
+    /// An injected fault.
+    Fault,
+    /// A plain observation sample (scripted runs without a policy).
+    Sample,
+}
+
+impl DecisionSource {
+    fn as_str(self) -> &'static str {
+        match self {
+            DecisionSource::Policy => "policy",
+            DecisionSource::Script => "script",
+            DecisionSource::Fault => "fault",
+            DecisionSource::Sample => "sample",
+        }
+    }
+}
+
+/// The observation summary attached to every log entry — the windowed
+/// series behind each figure, sampled at the control cadence.
+#[derive(Clone, Debug)]
+pub struct ObservationDigest {
+    /// Live member count.
+    pub live_nodes: u32,
+    /// Committed user transactions per second over the window.
+    pub throughput_tps: f64,
+    /// p99 commit latency over the window.
+    pub p99_latency: Nanos,
+    /// Mean CPU utilization across live nodes.
+    pub mean_utilization: f64,
+    /// Mean offered work beyond capacity (queue build-up).
+    pub queue_depth: f64,
+    /// Current burn rate, $/hour.
+    pub dollars_per_hour: f64,
+    /// Per-node CPU utilization `(node id, rho)`.
+    pub node_utilization: Vec<(u32, f64)>,
+}
+
+impl From<&Observation> for ObservationDigest {
+    fn from(obs: &Observation) -> Self {
+        ObservationDigest {
+            live_nodes: obs.live_nodes,
+            throughput_tps: obs.throughput_tps,
+            p99_latency: obs.p99_latency,
+            mean_utilization: obs.mean_utilization,
+            queue_depth: obs.queue_depth,
+            dollars_per_hour: obs.dollars_per_hour,
+            node_utilization: obs
+                .node_loads
+                .iter()
+                .filter(|n| n.alive)
+                .map(|n| (n.node.0, n.utilization))
+                .collect(),
+        }
+    }
+}
+
+/// One entry of the decision log.
+#[derive(Clone, Debug)]
+pub struct DecisionRecord {
+    /// Control tick index (0 for scripted events between ticks).
+    pub tick: u64,
+    /// Virtual time of the entry.
+    pub at: Nanos,
+    /// What produced it.
+    pub source: DecisionSource,
+    /// Cluster health at the decision instant.
+    pub observation: ObservationDigest,
+    /// The action taken, if any.
+    pub action: Option<ScaleAction>,
+    /// Wall-clock time spent actuating (real protocol execution on the
+    /// synchronous runtime; scheduling cost in the simulator).
+    pub actuation_micros: u64,
+}
+
+/// The unified result of one scenario run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Backend legend name ("Marlin", "S-ZK", ...).
+    pub backend: String,
+    /// Runner name ("cluster-sim", "local-cluster").
+    pub runner: String,
+    /// Policy name, if the run was closed-loop.
+    pub policy: Option<String>,
+    /// The deterministic seed the run used.
+    pub seed: u64,
+    /// End of simulated time.
+    pub horizon: Nanos,
+    /// The full decision log (every control tick + scripted event).
+    pub log: Vec<DecisionRecord>,
+    /// End-of-run totals.
+    pub metrics: MetricsSnapshot,
+}
+
+impl RunReport {
+    /// Entries where an action was actually taken, in order.
+    #[must_use]
+    pub fn actions(&self) -> Vec<&DecisionRecord> {
+        self.log.iter().filter(|r| r.action.is_some()).collect()
+    }
+
+    /// Scale actions (adds/removes, not rebalances) taken by the policy.
+    #[must_use]
+    pub fn scale_action_count(&self) -> usize {
+        self.log
+            .iter()
+            .filter(|r| r.source == DecisionSource::Policy)
+            .filter(|r| {
+                matches!(
+                    r.action,
+                    Some(ScaleAction::AddNodes { .. } | ScaleAction::RemoveNodes { .. })
+                )
+            })
+            .count()
+    }
+
+    /// Virtual time of the first action satisfying `pred` at or after
+    /// `t`.
+    #[must_use]
+    pub fn first_action_at(&self, t: Nanos, pred: impl Fn(&ScaleAction) -> bool) -> Option<Nanos> {
+        self.log
+            .iter()
+            .filter(|r| r.at >= t)
+            .find(|r| r.action.as_ref().is_some_and(&pred))
+            .map(|r| r.at)
+    }
+
+    /// Peak live node count over the run.
+    #[must_use]
+    pub fn peak_nodes(&self) -> u32 {
+        self.metrics.peak_nodes()
+    }
+
+    /// Scale-in release lag after `after` (see
+    /// [`MetricsSnapshot::release_lag`]).
+    #[must_use]
+    pub fn release_lag(&self, base: u32, after: Nanos) -> Option<Nanos> {
+        self.metrics.release_lag(base, after)
+    }
+
+    /// The compact `(tick, action)` signature of the policy's decisions —
+    /// what the runner-parity test compares across backends.
+    #[must_use]
+    pub fn decision_signature(&self) -> Vec<(u64, String)> {
+        self.log
+            .iter()
+            .filter(|r| r.source == DecisionSource::Policy)
+            .filter_map(|r| r.action.as_ref().map(|a| (r.tick, action_signature(a))))
+            .collect()
+    }
+
+    /// Serialize the report (log and metrics included) to JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096 + 256 * self.log.len());
+        out.push('{');
+        field(&mut out, "scenario", &json_str(&self.scenario));
+        field(&mut out, "backend", &json_str(&self.backend));
+        field(&mut out, "runner", &json_str(&self.runner));
+        let policy = match &self.policy {
+            Some(p) => json_str(p),
+            None => "null".into(),
+        };
+        field(&mut out, "policy", &policy);
+        field(&mut out, "seed", &self.seed.to_string());
+        field(&mut out, "horizon_ns", &self.horizon.to_string());
+        let log: Vec<String> = self.log.iter().map(record_json).collect();
+        field(&mut out, "log", &format!("[{}]", log.join(",")));
+        out.push_str("\"metrics\":");
+        out.push_str(&metrics_json(&self.metrics));
+        out.push('}');
+        out
+    }
+}
+
+/// A short, comparison-friendly label of an action ("add+8",
+/// "remove-2", "rebalance*5").
+#[must_use]
+pub fn action_signature(action: &ScaleAction) -> String {
+    match action {
+        ScaleAction::AddNodes { count } => format!("add+{count}"),
+        ScaleAction::RemoveNodes { victims } => format!("remove-{}", victims.len()),
+        ScaleAction::Rebalance { moves } => format!("rebalance*{}", moves.len()),
+    }
+}
+
+/// If `MARLIN_REPORT_JSON` is set, write `reports` there as a JSON array
+/// and return the path. Every bench target calls this so figure runs
+/// leave machine-readable artifacts including the decision logs.
+///
+/// Reports *accumulate*: if the file already holds an array written by
+/// this function (e.g. an earlier target of a `cargo bench` sweep), the
+/// new reports are appended to it. Delete the file to start fresh.
+pub fn maybe_write_json(reports: &[RunReport]) -> Option<String> {
+    let path = std::env::var("MARLIN_REPORT_JSON")
+        .ok()
+        .filter(|p| !p.is_empty())?;
+    let body = reports
+        .iter()
+        .map(RunReport::to_json)
+        .collect::<Vec<_>>()
+        .join(",\n");
+    // Splice into an existing array (our own writer's format) so a
+    // multi-target bench run keeps every figure's reports.
+    let doc = match std::fs::read_to_string(&path) {
+        Ok(existing) => match existing.trim_end().strip_suffix(']') {
+            Some(head) if head.trim() == "[" => format!("[{body}]\n"),
+            Some(head) => format!("{head},\n{body}]\n"),
+            None => format!("[{body}]\n"),
+        },
+        Err(_) => format!("[{body}]\n"),
+    };
+    match std::fs::write(&path, doc) {
+        Ok(()) => {
+            println!("wrote {} RunReport(s) to {path}", reports.len());
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("MARLIN_REPORT_JSON: cannot write {path}: {e}");
+            None
+        }
+    }
+}
+
+// -- JSON plumbing (no serde in the offline build) --------------------------
+
+fn field(out: &mut String, key: &str, value: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(value);
+    out.push(',');
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+fn json_pairs_u32(pairs: &[(u32, f64)]) -> String {
+    let cells: Vec<String> = pairs
+        .iter()
+        .map(|&(k, v)| format!("[{k},{}]", json_f64(v)))
+        .collect();
+    format!("[{}]", cells.join(","))
+}
+
+fn json_pairs_nanos(pairs: &[(Nanos, f64)]) -> String {
+    let cells: Vec<String> = pairs
+        .iter()
+        .map(|&(t, v)| format!("[{t},{}]", json_f64(v)))
+        .collect();
+    format!("[{}]", cells.join(","))
+}
+
+fn action_json(action: &ScaleAction) -> String {
+    match action {
+        ScaleAction::AddNodes { count } => {
+            format!("{{\"kind\":\"add_nodes\",\"count\":{count}}}")
+        }
+        ScaleAction::RemoveNodes { victims } => {
+            let ids: Vec<String> = victims.iter().map(|n| n.0.to_string()).collect();
+            format!(
+                "{{\"kind\":\"remove_nodes\",\"victims\":[{}]}}",
+                ids.join(",")
+            )
+        }
+        ScaleAction::Rebalance { moves } => {
+            let cells: Vec<String> = moves
+                .iter()
+                .map(|m| format!("[{},{},{}]", m.granule.0, m.src.0, m.dst.0))
+                .collect();
+            format!("{{\"kind\":\"rebalance\",\"moves\":[{}]}}", cells.join(","))
+        }
+    }
+}
+
+fn record_json(r: &DecisionRecord) -> String {
+    let mut out = String::with_capacity(256);
+    out.push('{');
+    field(&mut out, "tick", &r.tick.to_string());
+    field(&mut out, "at_ns", &r.at.to_string());
+    field(&mut out, "source", &json_str(r.source.as_str()));
+    let o = &r.observation;
+    let obs = format!(
+        "{{\"live_nodes\":{},\"throughput_tps\":{},\"p99_latency_ns\":{},\
+         \"mean_utilization\":{},\"queue_depth\":{},\"dollars_per_hour\":{},\
+         \"node_utilization\":{}}}",
+        o.live_nodes,
+        json_f64(o.throughput_tps),
+        o.p99_latency,
+        json_f64(o.mean_utilization),
+        json_f64(o.queue_depth),
+        json_f64(o.dollars_per_hour),
+        json_pairs_u32(&o.node_utilization),
+    );
+    field(&mut out, "observation", &obs);
+    let action = match &r.action {
+        Some(a) => action_json(a),
+        None => "null".into(),
+    };
+    field(&mut out, "action", &action);
+    out.push_str("\"actuation_micros\":");
+    out.push_str(&r.actuation_micros.to_string());
+    out.push('}');
+    out
+}
+
+fn metrics_json(m: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(512);
+    out.push('{');
+    field(&mut out, "live_nodes", &m.live_nodes.to_string());
+    field(&mut out, "commits", &m.commits.to_string());
+    field(&mut out, "abort_ratio", &json_f64(m.abort_ratio));
+    field(&mut out, "mean_latency_ns", &json_f64(m.mean_latency));
+    field(&mut out, "p99_latency_ns", &m.p99_latency.to_string());
+    field(&mut out, "migrations", &m.migrations.to_string());
+    field(
+        &mut out,
+        "migration_duration_ns",
+        &m.migration_duration.to_string(),
+    );
+    field(
+        &mut out,
+        "migration_throughput",
+        &json_f64(m.migration_throughput),
+    );
+    field(
+        &mut out,
+        "migration_latency_mean_ns",
+        &json_f64(m.migration_latency.mean),
+    );
+    field(
+        &mut out,
+        "migration_latency_p99_ns",
+        &m.migration_latency.p99.to_string(),
+    );
+    field(
+        &mut out,
+        "membership_commits",
+        &m.membership_commits.to_string(),
+    );
+    field(
+        &mut out,
+        "membership_retries",
+        &m.membership_retries.to_string(),
+    );
+    field(
+        &mut out,
+        "membership_mean_latency_ns",
+        &json_f64(m.membership_mean_latency),
+    );
+    field(&mut out, "db_cost", &json_f64(m.db_cost));
+    field(&mut out, "meta_cost", &json_f64(m.meta_cost));
+    field(&mut out, "total_cost", &json_f64(m.total_cost));
+    field(&mut out, "cost_per_mtxn", &json_f64(m.cost_per_mtxn));
+    out.push_str("\"node_count\":");
+    out.push_str(&json_pairs_nanos(&m.node_count));
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marlin_common::NodeId;
+    use marlin_sim::Summary;
+
+    fn snapshot() -> MetricsSnapshot {
+        MetricsSnapshot {
+            live_nodes: 4,
+            commits: 100,
+            abort_ratio: 0.01,
+            mean_latency: 1.0e6,
+            p99_latency: 5_000_000,
+            migrations: 7,
+            migration_duration: 2_000_000_000,
+            migration_throughput: 3.5,
+            migration_latency: Summary {
+                count: 7,
+                mean: 1.5e6,
+                p50: 1_000_000,
+                p99: 2_000_000,
+                max: 3_000_000,
+            },
+            membership_commits: 0,
+            membership_retries: 0,
+            membership_mean_latency: 0.0,
+            db_cost: 0.12,
+            meta_cost: 0.0,
+            total_cost: 0.12,
+            cost_per_mtxn: 1.2,
+            node_count: vec![(0, 2.0), (1_000_000_000, 4.0), (2_000_000_000, 2.0)],
+        }
+    }
+
+    fn report() -> RunReport {
+        RunReport {
+            scenario: "unit \"quoted\"".into(),
+            backend: "Marlin".into(),
+            runner: "cluster-sim".into(),
+            policy: Some("reactive".into()),
+            seed: 42,
+            horizon: 3_000_000_000,
+            log: vec![DecisionRecord {
+                tick: 1,
+                at: 1_000_000_000,
+                source: DecisionSource::Policy,
+                observation: ObservationDigest {
+                    live_nodes: 2,
+                    throughput_tps: 120.5,
+                    p99_latency: 9_000_000,
+                    mean_utilization: 0.9,
+                    queue_depth: 0.0,
+                    dollars_per_hour: 0.384,
+                    node_utilization: vec![(0, 0.92), (1, 0.88)],
+                },
+                action: Some(ScaleAction::RemoveNodes {
+                    victims: vec![NodeId(3)],
+                }),
+                actuation_micros: 12,
+            }],
+            metrics: snapshot(),
+        }
+    }
+
+    #[test]
+    fn json_round_trip_contains_the_decision_log() {
+        let j = report().to_json();
+        assert!(j.contains("\"scenario\":\"unit \\\"quoted\\\"\""));
+        assert!(j.contains("\"kind\":\"remove_nodes\""));
+        assert!(j.contains("\"victims\":[3]"));
+        assert!(j.contains("\"node_utilization\":[[0,0.92],[1,0.88]]"));
+        assert!(j.contains("\"meta_cost\":0"));
+        assert!(j.contains("\"node_count\":[[0,2],[1000000000,4],[2000000000,2]]"));
+        // Structural sanity: balanced braces/brackets.
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "balanced braces"
+        );
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn peak_and_release_lag_come_from_the_node_series() {
+        let r = report();
+        assert_eq!(r.peak_nodes(), 4);
+        assert_eq!(r.release_lag(2, 1_500_000_000), Some(500_000_000));
+        assert_eq!(r.release_lag(1, 0), None);
+    }
+
+    #[test]
+    fn decision_signature_labels_policy_actions() {
+        let r = report();
+        assert_eq!(r.decision_signature(), vec![(1, "remove-1".to_string())]);
+        assert_eq!(r.scale_action_count(), 1);
+        assert_eq!(
+            r.first_action_at(0, |a| matches!(a, ScaleAction::RemoveNodes { .. })),
+            Some(1_000_000_000)
+        );
+    }
+}

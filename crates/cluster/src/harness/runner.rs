@@ -1,0 +1,117 @@
+//! The [`Runner`] trait: the one surface every execution backend exposes
+//! to the generic experiment driver.
+//!
+//! A runner owns a cluster-under-test and a clock. The driver never
+//! touches backend-specific machinery — it advances time, observes,
+//! actuates controller decisions, and injects faults through this trait
+//! alone, which is what lets the same [`Scenario`](crate::harness::Scenario)
+//! execute unchanged on the synchronous `LocalCluster` (real
+//! reconfiguration transactions, invariants checked after every step) and
+//! on the discrete-event `ClusterSim` (queueing, cold caches, migration
+//! contention).
+
+use marlin_autoscaler::{Observation, ScaleAction};
+use marlin_common::NodeId;
+use marlin_sim::{Nanos, Summary};
+
+/// A fault the driver can inject mid-run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// The node dies abruptly. `LocalCluster` runs the full §4.4.2
+    /// recovery (kill → `RecoveryMigrTxn` onto the dead node's GLog →
+    /// `DeleteNodeTxn`); the simulator models the recovery storm as an
+    /// immediate drain of the victim onto the survivors.
+    Crash(NodeId),
+}
+
+/// End-of-run totals every runner can produce.
+///
+/// Counters a runner cannot measure are zero (e.g. the synchronous
+/// runtime has no load generator, so its commit counters stay at zero
+/// while its migration and cost accounting are real).
+#[derive(Clone, Debug)]
+pub struct MetricsSnapshot {
+    /// Live member count at the end of the run.
+    pub live_nodes: u32,
+    /// Committed user transactions.
+    pub commits: u64,
+    /// Aborts over (commits + aborts).
+    pub abort_ratio: f64,
+    /// Mean committed-transaction latency, ns.
+    pub mean_latency: f64,
+    /// p99 committed-transaction latency.
+    pub p99_latency: Nanos,
+    /// Completed granule migrations.
+    pub migrations: u64,
+    /// First-to-last migration commit (the paper's migration duration).
+    pub migration_duration: Nanos,
+    /// Migrations per second over that window.
+    pub migration_throughput: f64,
+    /// MigrationTxn latency stats (Figure 10a).
+    pub migration_latency: Summary,
+    /// Committed membership updates (Figure 15).
+    pub membership_commits: u64,
+    /// Membership CAS retries (the OCC contention signal).
+    pub membership_retries: u64,
+    /// Mean membership-update latency, ns.
+    pub membership_mean_latency: f64,
+    /// Compute spend, $ (§6.1.5 DB Cost).
+    pub db_cost: f64,
+    /// Coordination-service spend, $ (§6.1.5 Meta Cost; 0 for Marlin).
+    pub meta_cost: f64,
+    /// DB + Meta.
+    pub total_cost: f64,
+    /// Cost per million committed user transactions.
+    pub cost_per_mtxn: f64,
+    /// Live node count over time (exact, from the runner's own series).
+    pub node_count: Vec<(Nanos, f64)>,
+}
+
+impl MetricsSnapshot {
+    /// Peak live node count over the run.
+    #[must_use]
+    pub fn peak_nodes(&self) -> u32 {
+        self.node_count
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(0.0f64, f64::max) as u32
+    }
+
+    /// When the node count first returned to `base` after `after` — the
+    /// scale-in release lag the paper reports (12 s for Marlin vs
+    /// 45 s/32 s for S-ZK/L-ZK in §6.6).
+    #[must_use]
+    pub fn release_lag(&self, base: u32, after: Nanos) -> Option<Nanos> {
+        self.node_count
+            .iter()
+            .find(|&&(t, v)| t >= after && v <= f64::from(base))
+            .map(|&(t, _)| t - after)
+    }
+}
+
+/// One execution backend for [`run`](crate::harness::run).
+pub trait Runner {
+    /// Short name for reports ("cluster-sim", "local-cluster").
+    fn name(&self) -> &'static str;
+
+    /// Current virtual (or logical) time.
+    fn now(&self) -> Nanos;
+
+    /// Advance the clock by `dt`, processing everything scheduled within.
+    fn advance(&mut self, dt: Nanos);
+
+    /// Snapshot cluster health over the trailing `window`.
+    fn observe(&mut self, window: Nanos) -> Observation;
+
+    /// Apply one scale action at the current time.
+    fn actuate(&mut self, action: &ScaleAction);
+
+    /// Inject a fault at the current time.
+    fn inject(&mut self, fault: &Fault);
+
+    /// Final bookkeeping once the horizon is reached (cost settlement).
+    fn finish(&mut self);
+
+    /// End-of-run totals.
+    fn metrics(&self) -> MetricsSnapshot;
+}

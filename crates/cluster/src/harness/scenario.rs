@@ -1,0 +1,436 @@
+//! The declarative [`Scenario`]: everything one experiment run needs, in
+//! one value.
+//!
+//! A scenario names a workload, a client-count trace, a coordination
+//! backend, an optional scaling policy (closed-loop runs) or a scripted
+//! action schedule (the paper's fixed-timestamp reconfigurations), faults
+//! to inject, and the control/observation cadence. The same value drives
+//! either runner through [`run`](crate::harness::run); every figure of
+//! §6 is one preset constructor below instead of a bespoke driver file.
+
+use crate::harness::runner::Fault;
+use crate::params::{CoordKind, SimParams};
+use crate::sim::Workload;
+use marlin_autoscaler::{
+    ReactiveConfig, ReactivePolicy, RebalanceConfig, ScaleAction, ScalingPolicy,
+};
+use marlin_common::NodeId;
+use marlin_sim::{Nanos, SECOND};
+use marlin_workload::LoadTrace;
+
+/// Default node-capacity units one closed-loop client offers (calibrated
+/// against the simulator: ~160 clients saturate two 4-vCPU nodes). The
+/// synchronous runtime uses it to synthesize load from the client trace.
+pub const OFFERED_PER_CLIENT: f64 = 0.012;
+
+/// A declarative experiment: workload, backend, policy/script, faults,
+/// and cadence. Built with the fluent methods, executed by
+/// [`run`](crate::harness::run).
+pub struct Scenario {
+    /// Name for reports and JSON artifacts.
+    pub name: String,
+    /// Coordination backend under test.
+    pub backend: CoordKind,
+    /// The client workload.
+    pub workload: Workload,
+    /// Exogenous demand in active clients over time.
+    pub trace: LoadTrace,
+    /// Nodes at t=0.
+    pub initial_nodes: u32,
+    /// How often the driver observes (and the controller decides).
+    pub control_interval: Nanos,
+    /// Trailing window each observation summarizes.
+    pub observe_window: Nanos,
+    /// End of simulated time.
+    pub horizon: Nanos,
+    /// Migration worker threads per new/drained node.
+    pub threads_per_node: u32,
+    /// Node-capacity units one client offers (synchronous runtime only).
+    pub offered_per_client: f64,
+    /// Simulator constants (including the seed; both runners are
+    /// deterministic functions of the scenario).
+    pub params: SimParams,
+    /// The scaling policy, if this is a closed-loop run.
+    pub policy: Option<Box<dyn ScalingPolicy>>,
+    /// Hot-granule rebalancing on steady-state ticks.
+    pub planner: Option<RebalanceConfig>,
+    /// Scripted scale actions at fixed times (the paper's §6.2–§6.6
+    /// fixed-timestamp reconfigurations).
+    pub script: Vec<(Nanos, ScaleAction)>,
+    /// Faults to inject at fixed times.
+    pub faults: Vec<(Nanos, Fault)>,
+    /// Membership stress (Figure 15): `(members, period)` — virtual nodes
+    /// each committing one membership update per period.
+    pub membership_stress: Option<(u32, Nanos)>,
+}
+
+impl Scenario {
+    /// A blank scenario: Marlin backend, 1000-granule uniform YCSB, no
+    /// clients, two nodes, 1 s control interval over a 30 s horizon.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Scenario {
+            name: name.into(),
+            backend: CoordKind::Marlin,
+            workload: Workload::ycsb(1_000),
+            trace: LoadTrace::constant(0),
+            initial_nodes: 2,
+            control_interval: SECOND,
+            observe_window: 2 * SECOND,
+            horizon: 30 * SECOND,
+            threads_per_node: 4,
+            offered_per_client: OFFERED_PER_CLIENT,
+            params: SimParams::default(),
+            policy: None,
+            planner: None,
+            script: Vec::new(),
+            faults: Vec::new(),
+            membership_stress: None,
+        }
+    }
+
+    // -- builder knobs ------------------------------------------------------
+
+    /// Set the coordination backend.
+    #[must_use]
+    pub fn backend(mut self, kind: CoordKind) -> Self {
+        self.backend = kind;
+        self
+    }
+
+    /// Set the client workload.
+    #[must_use]
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Set the client-count trace.
+    #[must_use]
+    pub fn trace(mut self, trace: LoadTrace) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Set the initial node count.
+    #[must_use]
+    pub fn initial_nodes(mut self, nodes: u32) -> Self {
+        self.initial_nodes = nodes;
+        self
+    }
+
+    /// Install a scaling policy (turns the run closed-loop).
+    #[must_use]
+    pub fn policy(mut self, policy: Box<dyn ScalingPolicy>) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Enable the hot-granule rebalance planner on steady-state ticks.
+    #[must_use]
+    pub fn planner(mut self, cfg: RebalanceConfig) -> Self {
+        self.planner = Some(cfg);
+        self
+    }
+
+    /// Script one scale action at a fixed time.
+    #[must_use]
+    pub fn action(mut self, at: Nanos, action: ScaleAction) -> Self {
+        self.script.push((at, action));
+        self
+    }
+
+    /// Set the faults to inject.
+    #[must_use]
+    pub fn faults(mut self, faults: Vec<(Nanos, Fault)>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Set the horizon.
+    #[must_use]
+    pub fn duration(mut self, horizon: Nanos) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Set the control interval (must be positive).
+    #[must_use]
+    pub fn control_interval(mut self, interval: Nanos) -> Self {
+        assert!(interval > 0, "control interval must be positive");
+        self.control_interval = interval;
+        self
+    }
+
+    /// Set the observation window.
+    #[must_use]
+    pub fn observe_window(mut self, window: Nanos) -> Self {
+        self.observe_window = window;
+        self
+    }
+
+    /// Set migration worker threads per new/drained node.
+    #[must_use]
+    pub fn threads_per_node(mut self, threads: u32) -> Self {
+        self.threads_per_node = threads;
+        self
+    }
+
+    /// Set node-capacity units per client (synchronous runtime).
+    #[must_use]
+    pub fn offered_per_client(mut self, per: f64) -> Self {
+        self.offered_per_client = per;
+        self
+    }
+
+    /// Replace the simulator constants.
+    #[must_use]
+    pub fn params(mut self, params: SimParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Set the deterministic seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.params.seed = seed;
+        self
+    }
+
+    /// Enable the Figure 15 membership stress: `members` virtual nodes,
+    /// one update per `period` each.
+    #[must_use]
+    pub fn membership_stress(mut self, members: u32, period: Nanos) -> Self {
+        self.membership_stress = Some((members, period));
+        self
+    }
+
+    /// The default reactive controller policy for these bounds, stepping
+    /// by the initial node count with a 3-interval cooldown (the closed
+    /// -loop presets' configuration).
+    #[must_use]
+    pub fn reactive_policy(&self, min_nodes: u32, max_nodes: u32) -> Box<dyn ScalingPolicy> {
+        Box::new(ReactivePolicy::new(ReactiveConfig {
+            step_nodes: self.initial_nodes,
+            cooldown: 3 * self.control_interval,
+            ..ReactiveConfig::paper_default(min_nodes, max_nodes)
+        }))
+    }
+
+    // -- paper presets ------------------------------------------------------
+
+    /// The Figure 8/9 configuration: YCSB, 800 clients, 8→16 nodes at
+    /// t=10 s, ~100K granule migrations. `granule_scale` shrinks the
+    /// granule count for quick runs (1 = full).
+    #[must_use]
+    pub fn ycsb_scale_out(kind: CoordKind, granule_scale: u64) -> Self {
+        Scenario::new("ycsb-so8-16")
+            .backend(kind)
+            .workload(Workload::ycsb(200_000 / granule_scale))
+            .trace(LoadTrace::constant(800))
+            .initial_nodes(8)
+            .threads_per_node(7)
+            .duration(50 * SECOND)
+            .action(10 * SECOND, ScaleAction::AddNodes { count: 8 })
+    }
+
+    /// The Figure 11 configuration: TPC-C, 1600 warehouses per server, 80
+    /// migration threads per new node, warehouse-sized (~1 MB) granules.
+    #[must_use]
+    pub fn tpcc_scale_out(kind: CoordKind, granule_scale: u64) -> Self {
+        // Warehouse granules do substantially more per-migration work
+        // (locking a whole warehouse, initiating a 1 MB scan), which is
+        // what bounds Marlin's TPC-C migration rate in Figure 11.
+        let params = SimParams {
+            migration_service: 2_000_000, // 2 ms per side
+            ..SimParams::default()
+        };
+        Scenario::new("tpcc-so8-16")
+            .backend(kind)
+            .workload(Workload::tpcc(12_800 / granule_scale))
+            .trace(LoadTrace::constant(800))
+            .initial_nodes(8)
+            .threads_per_node(80)
+            .params(params)
+            .duration(30 * SECOND)
+            .action(10 * SECOND, ScaleAction::AddNodes { count: 8 })
+    }
+
+    /// One Figure 12 sweep point (SO1-2 / SO2-4 / SO4-8 / SO8-16):
+    /// clients, table size, and migration concurrency scale together
+    /// (§6.4).
+    #[must_use]
+    pub fn sweep_point(kind: CoordKind, initial_nodes: u32, granule_scale: u64) -> Self {
+        let granules = u64::from(initial_nodes) * 25_000 / granule_scale;
+        Scenario::new(format!("so{}-{}", initial_nodes, 2 * initial_nodes))
+            .backend(kind)
+            .workload(Workload::ycsb(granules))
+            .trace(LoadTrace::constant(100 * initial_nodes))
+            .initial_nodes(initial_nodes)
+            .threads_per_node(7)
+            .duration(120 * SECOND)
+            .action(
+                5 * SECOND,
+                ScaleAction::AddNodes {
+                    count: initial_nodes,
+                },
+            )
+    }
+
+    /// Geo-distributed variant (§6.5): four regions, the external
+    /// coordination service pinned in region 0 (US West). The horizon
+    /// stretches so baselines paying cross-region round trips per
+    /// metadata commit still finish their storms in-window.
+    #[must_use]
+    pub fn geo(mut self) -> Self {
+        self.params = SimParams {
+            seed: self.params.seed,
+            ..SimParams::geo()
+        };
+        self.horizon = 400 * SECOND;
+        self.threads_per_node = 16;
+        self.name.push_str("-geo");
+        self
+    }
+
+    /// The Figure 14 dynamic workload: 400→800→400 clients with scripted
+    /// 8→16→8 scaling at the burst edges (20 s / 80 s).
+    #[must_use]
+    pub fn dynamic_burst(kind: CoordKind, granule_scale: u64) -> Self {
+        Scenario::new("dynamic-burst")
+            .backend(kind)
+            .workload(Workload::ycsb(200_000 / granule_scale))
+            .trace(LoadTrace::spike(400, 800, 20 * SECOND, 80 * SECOND))
+            .initial_nodes(8)
+            .threads_per_node(16)
+            .duration(120 * SECOND)
+            .action(20 * SECOND, ScaleAction::AddNodes { count: 8 })
+            .action(
+                80 * SECOND,
+                ScaleAction::RemoveNodes {
+                    victims: (8..16).map(NodeId).collect(),
+                },
+            )
+    }
+
+    /// The Figure 15 MTable stress: `members` virtual nodes, one
+    /// membership update per `period` each, no user workload.
+    #[must_use]
+    pub fn membership(kind: CoordKind, members: u32, period: Nanos, horizon: Nanos) -> Self {
+        Scenario::new(format!("membership-{members}"))
+            .backend(kind)
+            .workload(Workload::ycsb(16))
+            .initial_nodes(1)
+            .duration(horizon)
+            .membership_stress(members, period)
+    }
+
+    /// The §6.6 burst at paper scale driven closed-loop: 400→800→400
+    /// clients, the cluster free to move between 8 and 16 nodes under the
+    /// reactive policy.
+    #[must_use]
+    pub fn autoscale_spike(kind: CoordKind, granule_scale: u64) -> Self {
+        let s = Scenario::new("autoscale-spike")
+            .backend(kind)
+            .workload(Workload::ycsb(200_000 / granule_scale))
+            .trace(LoadTrace::spike(400, 800, 20 * SECOND, 80 * SECOND))
+            .initial_nodes(8)
+            .threads_per_node(16)
+            .control_interval(2 * SECOND)
+            .observe_window(4 * SECOND)
+            .duration(120 * SECOND);
+        let policy = s.reactive_policy(8, 16);
+        s.policy(policy)
+    }
+
+    /// A two-cycle diurnal curve between 4 and 12 nodes' worth of demand,
+    /// driven closed-loop.
+    #[must_use]
+    pub fn autoscale_diurnal(kind: CoordKind, granules: u64) -> Self {
+        let period = 120 * SECOND;
+        let s = Scenario::new("autoscale-diurnal")
+            .backend(kind)
+            .workload(Workload::ycsb(granules))
+            .trace(LoadTrace::diurnal(100, 600, period, 2 * period, 12))
+            .initial_nodes(4)
+            .threads_per_node(8)
+            .control_interval(2 * SECOND)
+            .observe_window(4 * SECOND)
+            .duration(2 * period);
+        let policy = s.reactive_policy(4, 12);
+        s.policy(policy)
+    }
+
+    /// The Zipfian-heat rebalance scenario: skewed YCSB access (hot
+    /// granules concentrated on the first node's contiguous block), a
+    /// hold policy, and the rebalance planner migrating heat off the
+    /// loaded node without changing the member count.
+    #[must_use]
+    pub fn zipfian_rebalance(kind: CoordKind, granules: u64, theta: f64) -> Self {
+        Scenario::new("zipfian-rebalance")
+            .backend(kind)
+            .workload(Workload::ycsb_zipfian(granules, theta))
+            .trace(LoadTrace::constant(60))
+            .initial_nodes(3)
+            .threads_per_node(4)
+            .control_interval(2 * SECOND)
+            .observe_window(2 * SECOND)
+            .duration(40 * SECOND)
+            .policy(Box::new(marlin_autoscaler::HoldPolicy))
+            .planner(RebalanceConfig::default())
+    }
+}
+
+/// Membership updates expected over a stress run (bursts fully inside
+/// the horizon).
+#[must_use]
+pub fn expected_membership_updates(members: u32, period: Nanos, horizon: Nanos) -> u64 {
+    u64::from(members) * (horizon / period)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_every_knob() {
+        let s = Scenario::new("t")
+            .backend(CoordKind::Fdb)
+            .workload(Workload::tpcc(10))
+            .trace(LoadTrace::constant(5))
+            .initial_nodes(3)
+            .control_interval(2 * SECOND)
+            .observe_window(3 * SECOND)
+            .duration(9 * SECOND)
+            .threads_per_node(2)
+            .seed(7)
+            .action(SECOND, ScaleAction::AddNodes { count: 1 })
+            .faults(vec![(2 * SECOND, Fault::Crash(NodeId(1)))]);
+        assert_eq!(s.backend, CoordKind::Fdb);
+        assert_eq!(s.initial_nodes, 3);
+        assert_eq!(s.params.seed, 7);
+        assert_eq!(s.script.len(), 1);
+        assert_eq!(s.faults.len(), 1);
+        assert_eq!(s.horizon, 9 * SECOND);
+    }
+
+    #[test]
+    fn presets_match_the_paper_shapes() {
+        let so = Scenario::ycsb_scale_out(CoordKind::ZkSmall, 10);
+        assert_eq!(so.workload.granule_count(), 20_000);
+        assert_eq!(so.script.len(), 1);
+        let dynamic = Scenario::dynamic_burst(CoordKind::Marlin, 10);
+        assert_eq!(dynamic.script.len(), 2);
+        assert_eq!(dynamic.trace.peak(), 800);
+        let auto = Scenario::autoscale_spike(CoordKind::Marlin, 10);
+        assert!(auto.policy.is_some() && auto.script.is_empty());
+        let geo = Scenario::sweep_point(CoordKind::Fdb, 4, 10).geo();
+        assert_eq!(geo.params.regions.regions(), 4);
+        assert_eq!(geo.horizon, 400 * SECOND);
+    }
+
+    #[test]
+    fn expected_updates_counts_full_bursts() {
+        assert_eq!(expected_membership_updates(8, 15 * SECOND, 50 * SECOND), 24);
+    }
+}

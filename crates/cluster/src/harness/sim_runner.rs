@@ -1,0 +1,119 @@
+//! [`Runner`] over the discrete-event [`ClusterSim`]: the performance
+//! runner, where decisions play out against queueing, cold caches, and
+//! migration contention in virtual time.
+
+use crate::harness::runner::{Fault, MetricsSnapshot, Runner};
+use crate::harness::scenario::Scenario;
+use crate::sim::ClusterSim;
+use marlin_autoscaler::{Observation, ScaleAction};
+use marlin_sim::Nanos;
+
+/// The simulator wrapped as a [`Runner`].
+pub struct SimRunner {
+    sim: ClusterSim,
+    now: Nanos,
+    horizon: Nanos,
+    threads_per_node: u32,
+}
+
+impl SimRunner {
+    /// Build the simulated cluster a scenario describes: workload,
+    /// backend, initial nodes, client generators provisioned for the
+    /// trace's peak, the trace's client-count changes pre-installed, and
+    /// the membership stress if the scenario asks for it.
+    #[must_use]
+    pub fn new(scenario: &Scenario) -> Self {
+        let mut sim = ClusterSim::new(
+            scenario.params.clone(),
+            scenario.backend,
+            &scenario.workload,
+            scenario.initial_nodes,
+            scenario.trace.peak(),
+            scenario.horizon,
+        );
+        for &(t, clients) in scenario.trace.changes() {
+            sim.schedule_client_count(t, clients);
+        }
+        if let Some((members, period)) = scenario.membership_stress {
+            sim.schedule_membership_stress(members, period);
+        }
+        SimRunner {
+            sim,
+            now: 0,
+            horizon: scenario.horizon,
+            threads_per_node: scenario.threads_per_node,
+        }
+    }
+
+    /// The underlying simulator (for series rendering in bench mains).
+    #[must_use]
+    pub fn sim(&self) -> &ClusterSim {
+        &self.sim
+    }
+}
+
+impl Runner for SimRunner {
+    fn name(&self) -> &'static str {
+        "cluster-sim"
+    }
+
+    fn now(&self) -> Nanos {
+        self.now
+    }
+
+    fn advance(&mut self, dt: Nanos) {
+        self.now = (self.now + dt).min(self.horizon);
+        self.sim.run_until(self.now);
+    }
+
+    fn observe(&mut self, window: Nanos) -> Observation {
+        self.sim.observe(self.now, window)
+    }
+
+    fn actuate(&mut self, action: &ScaleAction) {
+        self.sim
+            .apply_action(self.now, action, self.threads_per_node);
+    }
+
+    fn inject(&mut self, fault: &Fault) {
+        match fault {
+            // The recovery storm is modeled as an immediate drain of the
+            // victim onto the survivors at migration speed.
+            Fault::Crash(node) => {
+                let alive = self.sim.live_node_ids();
+                if alive.contains(&node.0) && alive.len() > 1 {
+                    self.sim
+                        .schedule_scale_in(self.now, vec![node.0], self.threads_per_node);
+                }
+            }
+        }
+    }
+
+    fn finish(&mut self) {
+        self.sim.run_until(self.horizon);
+        self.sim.finish();
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        let m = &self.sim.metrics;
+        MetricsSnapshot {
+            live_nodes: self.sim.live_nodes(),
+            commits: m.total_commits(),
+            abort_ratio: m.abort_ratio(),
+            mean_latency: m.user_latency.mean(),
+            p99_latency: m.user_latency.quantile(0.99),
+            migrations: m.migrations.total(),
+            migration_duration: m.migration_duration(),
+            migration_throughput: m.migration_throughput(),
+            migration_latency: m.migration_summary(),
+            membership_commits: m.membership_commits,
+            membership_retries: m.membership_retries,
+            membership_mean_latency: self.sim.membership_mean_latency(),
+            db_cost: self.sim.cost.db_cost(),
+            meta_cost: self.sim.cost.meta_cost(),
+            total_cost: self.sim.cost.total_cost(),
+            cost_per_mtxn: self.sim.cost.per_million_txns(m.total_commits()),
+            node_count: m.node_count.points().to_vec(),
+        }
+    }
+}

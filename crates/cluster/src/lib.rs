@@ -19,19 +19,23 @@
 //!   per-node CPU queueing, group commit, granule warmth (cold-cache
 //!   effects), NO_WAIT conflict handling, migration threads, and the
 //!   coordination backends (Marlin's log CAS vs ZooKeeper/FDB services).
-//! - [`scenarios`] — the experiment drivers behind every figure:
-//!   scale-out (YCSB & TPC-C), cost-vs-duration sweeps, geo-distribution,
-//!   dynamic workloads, and the MTable stress test.
+//! - [`harness`] — the unified experiment API: declarative
+//!   [`Scenario`]s (every §6 figure is a preset), the [`Runner`] trait
+//!   implemented by both the simulator and the synchronous
+//!   `LocalCluster`, the one generic [`run`] driver, and the
+//!   JSON-serializable [`RunReport`] with the full controller decision
+//!   log.
 //! - [`report`] — plain-text series/table rendering for the bench mains.
 
 pub mod cost;
+pub mod harness;
 pub mod metrics;
 pub mod params;
 pub mod report;
-pub mod scenarios;
 pub mod sim;
 
 pub use cost::CostModel;
+pub use harness::{run, LocalRunner, RunReport, Runner, Scenario, SimRunner};
 pub use metrics::RunMetrics;
 pub use params::{CoordKind, SimParams};
-pub use sim::{ClusterSim, MigrationPlan};
+pub use sim::{ClusterSim, MigrationPlan, Workload};

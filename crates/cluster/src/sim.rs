@@ -273,10 +273,47 @@ pub struct ClusterSim {
 /// Which workload the clients run.
 #[derive(Clone, Debug)]
 pub enum Workload {
-    /// YCSB over `granules` granules (64 tuples each).
-    Ycsb { granules: u64 },
+    /// YCSB over `granules` granules (64 tuples each). `zipfian:
+    /// Some(theta)` skews the anchor-granule distribution (hot granules at
+    /// the low ids); `None` is the paper's uniform access.
+    Ycsb { granules: u64, zipfian: Option<f64> },
     /// TPC-C with one warehouse per granule.
     Tpcc { warehouses: u64 },
+}
+
+impl Workload {
+    /// Uniform YCSB over `granules` granules (the paper's default).
+    #[must_use]
+    pub fn ycsb(granules: u64) -> Self {
+        Workload::Ycsb {
+            granules,
+            zipfian: None,
+        }
+    }
+
+    /// Zipfian-skewed YCSB (hot granules concentrated at the low ids).
+    #[must_use]
+    pub fn ycsb_zipfian(granules: u64, theta: f64) -> Self {
+        Workload::Ycsb {
+            granules,
+            zipfian: Some(theta),
+        }
+    }
+
+    /// TPC-C with one warehouse per granule.
+    #[must_use]
+    pub fn tpcc(warehouses: u64) -> Self {
+        Workload::Tpcc { warehouses }
+    }
+
+    /// Number of granules the workload spans.
+    #[must_use]
+    pub fn granule_count(&self) -> u64 {
+        match self {
+            Workload::Ycsb { granules, .. } => *granules,
+            Workload::Tpcc { warehouses } => *warehouses,
+        }
+    }
 }
 
 impl ClusterSim {
@@ -293,10 +330,7 @@ impl ClusterSim {
         horizon: Nanos,
     ) -> Self {
         let rng = DetRng::seed(params.seed);
-        let granule_count = match workload {
-            Workload::Ycsb { granules } => *granules,
-            Workload::Tpcc { warehouses } => *warehouses,
-        };
+        let granule_count = workload.granule_count();
         let regions = params.regions.regions() as u16;
 
         // Nodes: spread across regions round-robin (geo scenarios place
@@ -336,11 +370,14 @@ impl ClusterSim {
         let client_sims: Vec<ClientSim> = (0..clients)
             .map(|c| {
                 let gen = match workload {
-                    Workload::Ycsb { granules } => ClientGen::Ycsb(YcsbGenerator::new(
-                        YcsbConfig::paper_default(YcsbConfig::paper_layout(
-                            marlin_common::TableId(0),
-                            *granules,
-                        )),
+                    Workload::Ycsb { granules, zipfian } => ClientGen::Ycsb(YcsbGenerator::new(
+                        YcsbConfig {
+                            zipfian: *zipfian,
+                            ..YcsbConfig::paper_default(YcsbConfig::paper_layout(
+                                marlin_common::TableId(0),
+                                *granules,
+                            ))
+                        },
                         rng.fork(1000 + u64::from(c)),
                     )),
                     Workload::Tpcc { warehouses } => ClientGen::Tpcc(TpccGenerator::new(
@@ -1147,6 +1184,16 @@ impl ClusterSim {
         let svc = self.jittered(self.params.migration_service);
         t += self.nodes[dst].cpu.charge(t, svc);
 
+        // Data-effectiveness re-check: plans from different control ticks
+        // may overlap (a rebalance planner can propose a granule that an
+        // earlier, still-running plan is about to move). The MigrationTxn
+        // protocol aborts such stale tasks at the source — skip them.
+        if self.granules[g].migrating || self.granules[g].owner != task.src {
+            self.workers[w].1 += 1;
+            self.queue
+                .schedule_at(t, ActorId(0), Event::MigWorker { worker });
+            return;
+        }
         // NO_WAIT: an active user transaction on the granule aborts us.
         if self.granules[g].busy_until > t {
             self.metrics.migration_retries += 1;
@@ -1155,10 +1202,6 @@ impl ClusterSim {
                 .schedule_at(t + retry, ActorId(0), Event::MigWorker { worker });
             return;
         }
-        debug_assert_eq!(
-            self.granules[g].owner, task.src,
-            "plan consistent with ownership"
-        );
         // The granule lock is held from the effectiveness check through
         // the metadata commit — the window in which user transactions
         // NO_WAIT-abort against the migration (Figure 6 step 2/4).

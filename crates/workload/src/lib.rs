@@ -17,13 +17,17 @@
 //!   NURand skew, and 10% / 15% multi-warehouse NEW-ORDER / PAYMENT.
 //! - [`trace`] — client-count load traces (spike, diurnal, custom steps)
 //!   that drive the closed-loop autoscaling scenarios.
+//! - [`zipf`] — the YCSB Zipfian rank sampler behind the skewed-access
+//!   (hot-granule) variants.
 
 pub mod access;
 pub mod tpcc;
 pub mod trace;
 pub mod ycsb;
+pub mod zipf;
 
 pub use access::{AccessOp, TxnTemplate};
 pub use tpcc::{TpccConfig, TpccGenerator, TpccTxnKind};
 pub use trace::LoadTrace;
 pub use ycsb::{YcsbConfig, YcsbGenerator};
+pub use zipf::ZipfSampler;

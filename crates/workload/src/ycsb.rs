@@ -7,12 +7,16 @@
 //! updates accessing 16 tuples. We generate requests following a uniform
 //! distribution."
 //!
-//! Single-site is realized by anchoring each transaction at a uniformly
-//! random granule and drawing all 16 keys from that granule's key range —
-//! a granule maps to exactly one owner node, so the whole transaction
-//! executes at one site regardless of how ownership moves.
+//! Single-site is realized by anchoring each transaction at a random
+//! granule and drawing all 16 keys from that granule's key range — a
+//! granule maps to exactly one owner node, so the whole transaction
+//! executes at one site regardless of how ownership moves. The anchor
+//! granule is uniform by default (the paper's setting); an optional
+//! Zipfian skew concentrates heat on the low granule ids for the
+//! hot-granule rebalance scenarios.
 
 use crate::access::{AccessOp, TxnTemplate};
+use crate::zipf::ZipfSampler;
 use marlin_common::{GranuleLayout, TableId};
 use marlin_sim::DetRng;
 
@@ -25,6 +29,10 @@ pub struct YcsbConfig {
     pub reqs_per_txn: usize,
     /// Fraction of requests that are reads (paper: 0.5).
     pub read_ratio: f64,
+    /// Optional Zipfian skew over anchor granules: `Some(theta)` draws
+    /// granule ranks from `1/(rank+1)^theta` (rank 0 = granule 0 is the
+    /// hottest); `None` is the paper's uniform distribution.
+    pub zipfian: Option<f64>,
 }
 
 impl YcsbConfig {
@@ -35,6 +43,16 @@ impl YcsbConfig {
             layout,
             reqs_per_txn: 16,
             read_ratio: 0.5,
+            zipfian: None,
+        }
+    }
+
+    /// The paper's configuration with a Zipfian anchor skew of `theta`.
+    #[must_use]
+    pub fn zipfian(layout: GranuleLayout, theta: f64) -> Self {
+        YcsbConfig {
+            zipfian: Some(theta),
+            ..YcsbConfig::paper_default(layout)
         }
     }
 
@@ -57,13 +75,17 @@ impl YcsbConfig {
 pub struct YcsbGenerator {
     config: YcsbConfig,
     rng: DetRng,
+    zipf: Option<ZipfSampler>,
 }
 
 impl YcsbGenerator {
     /// Create a generator with its own RNG stream.
     #[must_use]
     pub fn new(config: YcsbConfig, rng: DetRng) -> Self {
-        YcsbGenerator { config, rng }
+        let zipf = config
+            .zipfian
+            .map(|theta| ZipfSampler::new(config.layout.granule_count, theta));
+        YcsbGenerator { config, rng, zipf }
     }
 
     /// The configured layout.
@@ -75,7 +97,10 @@ impl YcsbGenerator {
     /// Generate the next transaction.
     pub fn next_txn(&mut self) -> TxnTemplate {
         let layout = &self.config.layout;
-        let granule = self.rng.range(0, layout.granule_count);
+        let granule = match &self.zipf {
+            Some(z) => z.next_rank(&mut self.rng),
+            None => self.rng.range(0, layout.granule_count),
+        };
         let range = layout.range_of(marlin_common::GranuleId(granule));
         let anchor = self.rng.range(range.lo, range.hi);
         let mut ops = Vec::with_capacity(self.config.reqs_per_txn);
@@ -146,6 +171,24 @@ mod tests {
         for (i, h) in hits.iter().enumerate() {
             assert!((700..1300).contains(h), "granule {i} hit {h} times");
         }
+    }
+
+    #[test]
+    fn zipfian_anchors_skew_toward_low_granules() {
+        let layout = YcsbConfig::paper_layout(TableId(0), 100);
+        let mut g = YcsbGenerator::new(YcsbConfig::zipfian(layout, 0.99), DetRng::seed(5));
+        let mut hits = [0usize; 100];
+        for _ in 0..10_000 {
+            let txn = g.next_txn();
+            let granule = g.layout().granule_of(txn.anchor).unwrap();
+            hits[granule.0 as usize] += 1;
+        }
+        let head: usize = hits[..10].iter().sum();
+        let tail: usize = hits[90..].iter().sum();
+        assert!(
+            head > 10 * tail.max(1),
+            "zipfian head {head} must dwarf tail {tail}"
+        );
     }
 
     #[test]

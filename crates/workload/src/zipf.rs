@@ -1,0 +1,117 @@
+//! A Zipfian rank sampler (the YCSB "zipfian" request distribution).
+//!
+//! Implements the Gray et al. quick-zipf method YCSB itself uses: after an
+//! O(n) precomputation of the generalized harmonic number, each sample
+//! costs one uniform draw and a couple of powers. Rank 0 is the hottest
+//! item; the harness maps ranks onto granules directly, so a skewed
+//! workload concentrates its heat on the low granule ids — exactly the
+//! contiguous block the initial placement assigns to the first node,
+//! which is what the hot-granule rebalance scenario stresses.
+
+use marlin_sim::DetRng;
+
+/// Samples ranks in `[0, n)` with probability proportional to
+/// `1 / (rank + 1)^theta`.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl ZipfSampler {
+    /// A sampler over `n` items with skew `theta` (YCSB default 0.99;
+    /// `theta -> 0` approaches uniform). Precomputation is O(n).
+    #[must_use]
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one item");
+        assert!(
+            theta > 0.0 && theta < 1.0,
+            "theta must lie in (0, 1), got {theta}"
+        );
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2.min(n), theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        ZipfSampler {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Number of items.
+    #[must_use]
+    pub fn items(&self) -> u64 {
+        self.n
+    }
+
+    /// Relative weight of `rank` (unnormalized `1/(rank+1)^theta`).
+    #[must_use]
+    pub fn weight(&self, rank: u64) -> f64 {
+        1.0 / ((rank + 1) as f64).powf(self.theta)
+    }
+
+    /// Draw the next rank (0 = hottest).
+    pub fn next_rank(&self, rng: &mut DetRng) -> u64 {
+        let u = rng.unit();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1.min(self.n - 1);
+        }
+        let rank = (self.n as f64 * (self.eta.mul_add(u, 1.0 - self.eta)).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_zero_dominates() {
+        let z = ZipfSampler::new(1_000, 0.99);
+        let mut rng = DetRng::seed(7);
+        let mut hits = vec![0u64; 1_000];
+        for _ in 0..50_000 {
+            hits[z.next_rank(&mut rng) as usize] += 1;
+        }
+        assert!(hits[0] > hits[10] && hits[10] > hits[500].max(1) / 2);
+        // The head carries a disproportionate share of all accesses.
+        let head: u64 = hits[..10].iter().sum();
+        assert!(
+            head > 50_000 / 5,
+            "top-1% of ranks must draw >20% of samples, got {head}"
+        );
+    }
+
+    #[test]
+    fn all_ranks_in_range() {
+        let z = ZipfSampler::new(17, 0.5);
+        let mut rng = DetRng::seed(11);
+        for _ in 0..5_000 {
+            assert!(z.next_rank(&mut rng) < 17);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_a_fixed_seed() {
+        let z = ZipfSampler::new(100, 0.9);
+        let mut a = DetRng::seed(3);
+        let mut b = DetRng::seed(3);
+        for _ in 0..100 {
+            assert_eq!(z.next_rank(&mut a), z.next_rank(&mut b));
+        }
+    }
+}

@@ -1,23 +1,29 @@
 //! Closed-loop autoscaling: a controller — not a script — scales the
-//! cluster through a §6.6-style burst.
+//! cluster through a §6.6-style burst, driven through the unified
+//! experiment harness.
 //!
-//! The example drives the same reactive policy (80%/35% watermarks with
-//! hysteresis + cooldown) through *both* runners:
+//! The *same* `Scenario` shape (reactive policy, 80%/35% watermarks with
+//! hysteresis + cooldown) runs on both runners via the one generic
+//! `run(scenario, runner)` driver:
 //!
-//! 1. the synchronous `LocalCluster`, where every decision executes real
-//!    `AddNodeTxn`/`MigrationTxn`/`DeleteNodeTxn` reconfiguration
-//!    transactions and the I0–I4 invariants are asserted after every
-//!    control step;
-//! 2. the discrete-event `ClusterSim`, where the same decisions play out
-//!    against queueing, cold caches, and migration contention under a
-//!    400→800→400-client spike trace, scaling the cluster 8→16→8.
+//! 1. `LocalRunner` — the synchronous `LocalCluster`, where every
+//!    decision executes real `AddNodeTxn`/`MigrationTxn`/`DeleteNodeTxn`
+//!    reconfiguration transactions and the I0–I4 invariants are asserted
+//!    after every control step;
+//! 2. `SimRunner` — the discrete-event `ClusterSim`, where the same
+//!    decisions play out against queueing, cold caches, and migration
+//!    contention under a 400→800→400-client spike trace, scaling the
+//!    cluster 8→16→8.
 //!
 //! Run with: `cargo run --release --example autoscale`
+//! (`MARLIN_SCALE=<n>` shrinks the simulated granule count by `n`.)
 
-use marlin::autoscaler::{Controller, LocalHarness, ReactiveConfig, ReactivePolicy, ScaleAction};
+use marlin::cluster::harness::{run, LocalRunner, Scenario, SimRunner};
 use marlin::cluster::params::CoordKind;
-use marlin::cluster::scenarios::autoscale::{peak_nodes, run_autoscale, AutoscaleSpec};
+use marlin::cluster::sim::Workload;
 use marlin::sim::SECOND;
+use marlin::workload::LoadTrace;
+use marlin_bench::scale;
 
 fn main() {
     local_cluster_loop();
@@ -29,42 +35,42 @@ fn main() {
 /// at every step.
 fn local_cluster_loop() {
     println!("== LocalCluster closed loop (synchronous, invariant-checked) ==\n");
-    let mut harness = LocalHarness::bootstrap(8, 256);
-    let mut controller = Controller::new(Box::new(ReactivePolicy::new(
-        ReactiveConfig::paper_default(8, 16),
-    )));
-    // Exogenous demand in node-capacity units: calm ≈30%, spike ≈125%
-    // of an 8-node cluster, then calm again.
-    let offered = [2.4, 2.4, 10.0, 10.0, 10.0, 2.0, 2.0, 2.0];
+    // The same spike shape at walkthrough scale: 256 real granules, the
+    // cluster free to move between 8 and 16 members. Offered load crosses
+    // the watermarks through the client trace (≈0.012 node-capacity per
+    // client), exactly as the simulator's clients would drive it.
+    let s = Scenario::new("autoscale-local")
+        .backend(CoordKind::Marlin)
+        .workload(Workload::ycsb(256))
+        .trace(LoadTrace::spike(200, 850, 16 * SECOND, 56 * SECOND))
+        .initial_nodes(8)
+        .control_interval(10 * SECOND)
+        .duration(80 * SECOND);
+    let policy = s.reactive_policy(8, 16);
+    let scenario = s.policy(policy);
+    let mut runner = LocalRunner::new(&scenario);
+    let report = run(scenario, &mut runner);
+
     println!(
-        "{:>6} {:>9} {:>7} {:>22}",
-        "tick", "offered", "nodes", "action"
+        "{:>6} {:>8} {:>7} {:>12}",
+        "tick", "util", "nodes", "action"
     );
-    for (tick, &load) in offered.iter().enumerate() {
-        let obs = harness.observe(tick as u64 * 10 * SECOND, load);
-        let action = controller.tick(&obs, &mut harness);
-        harness.cluster.assert_invariants();
-        let label = match &action {
-            Some(ScaleAction::AddNodes { count }) => format!("AddNodes +{count}"),
-            Some(ScaleAction::RemoveNodes { victims }) => {
-                format!("RemoveNodes -{}", victims.len())
-            }
-            Some(ScaleAction::Rebalance { moves }) => format!("Rebalance {} moves", moves.len()),
-            None => "-".to_string(),
-        };
+    for rec in &report.log {
         println!(
-            "{:>5}s {:>9.2} {:>7} {:>22}",
-            tick * 10,
-            load,
-            harness.members().len(),
-            label
+            "{:>5}s {:>7.0}% {:>7} {:>12}",
+            rec.at / SECOND,
+            rec.observation.mean_utilization * 100.0,
+            rec.observation.live_nodes,
+            rec.action
+                .as_ref()
+                .map_or("-".to_string(), marlin::cluster::harness::action_signature),
         );
     }
     assert_eq!(
-        harness.members().len(),
-        8,
+        report.metrics.live_nodes, 8,
         "the calm tail must drain back to 8 nodes"
     );
+    runner.harness().cluster.assert_invariants();
     println!("\nall reconfiguration transactions preserved exclusive ownership (I0)\n");
 }
 
@@ -72,13 +78,11 @@ fn local_cluster_loop() {
 /// paper's burst, with throughput, cost, and node count over time.
 fn cluster_sim_loop() {
     println!("== ClusterSim closed loop (discrete-event, 400→800→400 clients) ==\n");
-    let spec = AutoscaleSpec {
-        // 10× reduced granule count keeps the example snappy; use
-        // granule_scale = 1 for the paper-scale run.
-        ..AutoscaleSpec::paper_spike(CoordKind::Marlin, 10)
-    };
-    let mut controller = spec.reactive_controller();
-    let sim = run_autoscale(&spec, &mut controller);
+    // 10× reduced granule count keeps the example snappy; MARLIN_SCALE=1
+    // with patience gives the paper-scale run.
+    let scenario = Scenario::autoscale_spike(CoordKind::Marlin, scale().max(10));
+    let mut runner = SimRunner::new(&scenario);
+    let report = run(scenario, &mut runner);
 
     println!(
         "{:>6} {:>8} {:>8} {:>7} {:>10}",
@@ -89,44 +93,49 @@ fn cluster_sim_loop() {
         println!(
             "{:>5}s {:>8.0} {:>8.0} {:>7.0} {:>9.4}$",
             t,
-            sim.metrics.user_commits.rate_at(at),
-            sim.metrics.migrations.rate_at(at),
-            sim.metrics.node_count.at(at).unwrap_or(0.0),
-            sim.cost_series.at(at).unwrap_or(0.0),
+            runner.sim().metrics.user_commits.rate_at(at),
+            runner.sim().metrics.migrations.rate_at(at),
+            runner.sim().metrics.node_count.at(at).unwrap_or(0.0),
+            runner.sim().cost_series.at(at).unwrap_or(0.0),
         );
     }
 
-    println!("\ncontroller decisions:");
-    for (at, action) in controller.history() {
-        let label = match action {
-            ScaleAction::AddNodes { count } => format!("scale-out +{count}"),
-            ScaleAction::RemoveNodes { victims } => format!("scale-in  -{}", victims.len()),
-            ScaleAction::Rebalance { moves } => format!("rebalance {} granules", moves.len()),
-        };
-        println!("  t={:>3}s  {label}", at / SECOND);
+    println!("\ncontroller decision log (from the RunReport):");
+    for rec in report.actions() {
+        println!(
+            "  t={:>3}s  {}  (actuated in {}µs)",
+            rec.at / SECOND,
+            rec.action
+                .as_ref()
+                .map(marlin::cluster::harness::action_signature)
+                .unwrap_or_default(),
+            rec.actuation_micros,
+        );
     }
 
     // The acceptance bar: the spike drives 8→16 and the calm drains back,
     // with every granule on a live node (no dual ownership, no orphans).
-    assert_eq!(peak_nodes(&sim), 16, "spike must scale out to 16 nodes");
-    assert_eq!(sim.live_nodes(), 8, "calm must drain back to 8 nodes");
-    let live = sim.live_node_ids();
+    assert_eq!(report.peak_nodes(), 16, "spike must scale out to 16 nodes");
+    assert_eq!(
+        report.metrics.live_nodes, 8,
+        "calm must drain back to 8 nodes"
+    );
+    let live = runner.sim().live_node_ids();
     assert!(
-        sim.owners().iter().all(|o| live.contains(o)),
+        runner.sim().owners().iter().all(|o| live.contains(o)),
         "every granule must end on a live node"
     );
 
-    println!("\npeak nodes:       {}", peak_nodes(&sim));
-    println!("final nodes:      {}", sim.live_nodes());
-    println!("total migrations: {}", sim.metrics.migrations.total());
-    println!("committed txns:   {}", sim.metrics.total_commits());
+    println!("\npeak nodes:       {}", report.peak_nodes());
+    println!("final nodes:      {}", report.metrics.live_nodes);
+    println!("total migrations: {}", report.metrics.migrations);
+    println!("committed txns:   {}", report.metrics.commits);
     println!(
         "abort ratio:      {:.2}%",
-        sim.metrics.abort_ratio() * 100.0
+        report.metrics.abort_ratio * 100.0
     );
     println!(
         "total cost:       ${:.4} (Meta Cost: ${:.4} — Marlin needs no coordination cluster)",
-        sim.cost.total_cost(),
-        sim.cost.meta_cost()
+        report.metrics.total_cost, report.metrics.meta_cost
     );
 }

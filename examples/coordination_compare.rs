@@ -1,12 +1,15 @@
-//! Head-to-head: the same scale-out under Marlin vs ZooKeeper vs
-//! FoundationDB coordination — a miniature of the paper's Figure 12.
+//! Head-to-head: the same scale-out `Scenario` under Marlin vs ZooKeeper
+//! vs FoundationDB coordination — a miniature of the paper's Figure 12,
+//! swept over backends by changing one knob.
 //!
 //! Run with: `cargo run --release --example coordination_compare`
 
-use marlin::cluster::params::{CoordKind, SimParams};
-use marlin::cluster::scenarios::scale_out::{run_scale_out, summarize, ScaleOutSpec};
+use marlin::autoscaler::ScaleAction;
+use marlin::cluster::harness::{run, Scenario, SimRunner};
+use marlin::cluster::params::CoordKind;
 use marlin::cluster::sim::Workload;
 use marlin::sim::SECOND;
+use marlin::workload::LoadTrace;
 
 fn main() {
     println!("scale-out 4 -> 8 nodes, 25,000 granule migrations, 400 clients\n");
@@ -15,26 +18,27 @@ fn main() {
         "system", "duration", "mig tput", "mig lat", "$/Mtxn", "Meta $"
     );
     for kind in CoordKind::all() {
-        let spec = ScaleOutSpec {
-            kind,
-            workload: Workload::Ycsb { granules: 50_000 },
-            initial_nodes: 4,
-            new_nodes: 4,
-            clients: 400,
-            scale_at: 5 * SECOND,
-            horizon: 60 * SECOND,
-            threads_per_new_node: 12,
-            params: SimParams::default(),
-        };
-        let s = summarize(&run_scale_out(&spec));
+        // One spec, four backends: the coordination mechanism is just a
+        // `Scenario` knob.
+        let scenario = Scenario::new("coordination-compare")
+            .backend(kind)
+            .workload(Workload::ycsb(50_000))
+            .trace(LoadTrace::constant(400))
+            .initial_nodes(4)
+            .threads_per_node(12)
+            .duration(60 * SECOND)
+            .action(5 * SECOND, ScaleAction::AddNodes { count: 4 });
+        let mut runner = SimRunner::new(&scenario);
+        let report = run(scenario, &mut runner);
+        let m = &report.metrics;
         println!(
             "{:>8} {:>9.1}s {:>8.0}/s {:>8.2}ms {:>9.4} {:>9.4}",
-            s.kind.name(),
-            s.migration_duration as f64 / 1e9,
-            s.migration_throughput,
-            s.migration_latency.mean / 1e6,
-            s.cost_per_mtxn,
-            s.meta_cost,
+            report.backend,
+            m.migration_duration as f64 / 1e9,
+            m.migration_throughput,
+            m.migration_latency.mean / 1e6,
+            m.cost_per_mtxn,
+            m.meta_cost,
         );
     }
     println!("\nMarlin wins on both axes: no coordination cluster to pay for, and");

@@ -90,4 +90,28 @@ fn main() {
     // owner, verified against the logs in disaggregated storage.
     cluster.assert_invariants();
     println!("\nexclusive-granule-ownership invariant holds across all GLogs ✓");
+
+    // And the experiment API over it: the same protocol, driven by a
+    // declarative Scenario through the unified harness — a full
+    // scripted scale-out in four lines (see `examples/autoscale.rs` for
+    // the closed-loop version and the discrete-event runner).
+    use marlin::autoscaler::ScaleAction;
+    use marlin::cluster::harness::{run, LocalRunner, Scenario};
+    use marlin::cluster::sim::Workload;
+    use marlin::sim::SECOND;
+    let scenario = Scenario::new("quickstart")
+        .workload(Workload::ycsb(16))
+        .initial_nodes(2)
+        .duration(10 * SECOND)
+        .action(2 * SECOND, ScaleAction::AddNodes { count: 2 });
+    let mut runner = LocalRunner::new(&scenario);
+    let report = run(scenario, &mut runner);
+    println!(
+        "\nharness run '{}': {} -> {} members, {} real MigrationTxns, report has {} log entries",
+        report.scenario,
+        2,
+        report.metrics.live_nodes,
+        report.metrics.migrations,
+        report.log.len()
+    );
 }

@@ -21,8 +21,11 @@
 //!   scaling policies (reactive hysteresis, target-utilization PI,
 //!   cost-bounded) and a hot-granule rebalance planner, actuated through
 //!   the reconfiguration drivers on both runners.
-//! - [`cluster`] — the full simulated cloud DBMS testbed and the
-//!   scenario runners behind every figure in the paper.
+//! - [`cluster`] — the full simulated cloud DBMS testbed plus the
+//!   unified experiment harness (`cluster::harness`): declarative
+//!   `Scenario`s, the `Runner` trait over both execution backends, and
+//!   the JSON-serializable `RunReport` behind every figure in the
+//!   paper.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system
 //! inventory and experiment index.

@@ -1,124 +1,101 @@
-//! End-to-end closed-loop autoscaling: the same policy code drives both
-//! runners — the synchronous `LocalCluster` (real reconfiguration
-//! transactions, invariants asserted every step) and the discrete-event
-//! `ClusterSim` (virtual-time migration plans) — and both scale out under
-//! a spike and drain back when it passes.
+//! End-to-end closed-loop autoscaling through the unified harness: the
+//! same `Scenario` drives both runners — the synchronous `LocalCluster`
+//! (real reconfiguration transactions, invariants asserted every step)
+//! and the discrete-event `ClusterSim` (virtual-time migration plans) —
+//! and both scale out under a spike and drain back when it passes.
 
-use marlin::autoscaler::{Controller, LocalHarness, ReactiveConfig, ReactivePolicy, ScaleAction};
-use marlin::cluster::params::{CoordKind, SimParams};
-use marlin::cluster::scenarios::autoscale::{peak_nodes, run_autoscale, AutoscaleSpec};
+use marlin::cluster::harness::{run, LocalRunner, Scenario, SimRunner};
+use marlin::cluster::params::CoordKind;
 use marlin::cluster::sim::Workload;
 use marlin::sim::SECOND;
 use marlin::workload::LoadTrace;
 
-fn reactive(min: u32, max: u32) -> Controller {
-    Controller::new(Box::new(ReactivePolicy::new(ReactiveConfig {
-        cooldown: 0,
-        ..ReactiveConfig::paper_default(min, max)
-    })))
+/// A spike that decisively crosses the reactive policy's watermarks on
+/// both runners: ~0.012 node-capacity per client, so 8 clients idle at
+/// ~5% and 160 saturate two 4-vCPU nodes.
+fn spike_scenario(granules: u64) -> Scenario {
+    let s = Scenario::new("spike")
+        .backend(CoordKind::Marlin)
+        .workload(Workload::ycsb(granules))
+        .trace(LoadTrace::spike(8, 160, 9 * SECOND, 29 * SECOND))
+        .initial_nodes(2)
+        .threads_per_node(4)
+        .control_interval(2 * SECOND)
+        .observe_window(4 * SECOND)
+        .duration(50 * SECOND);
+    let policy = s.reactive_policy(2, 4);
+    s.policy(policy)
 }
 
 #[test]
 fn local_cluster_spike_scales_out_and_back_with_invariants() {
-    let mut harness = LocalHarness::bootstrap(2, 24);
-    let mut controller = reactive(2, 4);
-    // Offered load in node-capacity units: calm, spike past the 80%
-    // watermark of a 2-node cluster, calm again.
-    let offered = [0.6, 0.6, 3.4, 3.4, 0.5, 0.5];
-    let mut sizes = Vec::new();
-    for (tick, &load) in offered.iter().enumerate() {
-        let obs = harness.observe(tick as u64 * SECOND, load);
-        controller.tick(&obs, &mut harness);
-        // Every control step leaves the cluster with exclusive granule
-        // ownership, reconstructed from the storage logs.
-        harness.cluster.assert_invariants();
-        sizes.push(harness.members().len());
-    }
-    assert!(
-        sizes.contains(&4),
-        "spike must double the cluster: {sizes:?}"
+    // `LocalRunner` asserts the I0–I4 invariants after every actuation;
+    // a violation panics the run.
+    let scenario = spike_scenario(24);
+    let mut runner = LocalRunner::new(&scenario);
+    let report = run(scenario, &mut runner);
+    assert_eq!(
+        report.peak_nodes(),
+        4,
+        "spike must double the cluster: {:?}",
+        report.decision_signature()
     );
-    assert_eq!(*sizes.last().unwrap(), 2, "calm must drain back: {sizes:?}");
+    assert_eq!(
+        report.metrics.live_nodes,
+        2,
+        "calm must drain back: {:?}",
+        report.decision_signature()
+    );
+    assert!(report.metrics.migrations > 0, "real MigrationTxns executed");
+    runner.harness().cluster.assert_invariants();
 }
 
 #[test]
 fn cluster_sim_spike_scales_out_and_back_on_live_nodes() {
-    let spec = AutoscaleSpec {
-        kind: CoordKind::Marlin,
-        workload: Workload::Ycsb { granules: 2_000 },
-        initial_nodes: 2,
-        min_nodes: 2,
-        max_nodes: 4,
-        trace: LoadTrace::spike(8, 160, 10 * SECOND, 40 * SECOND),
-        control_interval: 2 * SECOND,
-        observe_window: 4 * SECOND,
-        horizon: 70 * SECOND,
-        threads_per_node: 4,
-        params: SimParams::default(),
-    };
-    let mut controller = spec.reactive_controller();
-    let sim = run_autoscale(&spec, &mut controller);
+    let scenario = spike_scenario(2_000);
+    let mut runner = SimRunner::new(&scenario);
+    let report = run(scenario, &mut runner);
 
-    assert_eq!(peak_nodes(&sim), 4, "spike must reach max_nodes");
-    assert_eq!(sim.live_nodes(), 2, "calm must drain back to min_nodes");
-    let outs = controller
-        .history()
-        .iter()
-        .any(|(_, a)| matches!(a, ScaleAction::AddNodes { .. }));
-    let ins = controller
-        .history()
-        .iter()
-        .any(|(_, a)| matches!(a, ScaleAction::RemoveNodes { .. }));
-    assert!(
-        outs && ins,
-        "both directions must fire: {:?}",
-        controller.history()
-    );
+    assert_eq!(report.peak_nodes(), 4, "spike must reach max_nodes");
+    assert_eq!(report.metrics.live_nodes, 2, "calm must drain back");
+    let sig = report.decision_signature();
+    let outs = sig.iter().any(|(_, a)| a.starts_with("add"));
+    let ins = sig.iter().any(|(_, a)| a.starts_with("remove"));
+    assert!(outs && ins, "both directions must fire: {sig:?}");
     // No granule may end on a released node — the simulator-side
     // equivalent of the dual-ownership check.
-    let live = sim.live_node_ids();
-    assert!(sim.owners().iter().all(|o| live.contains(o)));
-    assert!(sim.metrics.migrations.total() > 0);
+    let live = runner.sim().live_node_ids();
+    assert!(runner.sim().owners().iter().all(|o| live.contains(o)));
+    assert!(report.metrics.migrations > 0);
 }
 
 #[test]
-fn the_same_policy_type_drives_both_runners() {
-    // One policy configuration, two actuation worlds: the type system
-    // guarantees it — this test exists to keep it that way (a refactor
-    // that forks the policy layer per-runner breaks this file).
-    let cfg = ReactiveConfig {
-        cooldown: 0,
-        ..ReactiveConfig::paper_default(2, 4)
+fn the_same_scenario_value_drives_both_runners() {
+    // One declarative spec, two actuation worlds: the harness guarantees
+    // it — this test exists to keep it that way (a refactor that forks
+    // the scenario layer per-runner breaks this file).
+    let local_report = {
+        let scenario = spike_scenario(12);
+        let mut runner = LocalRunner::new(&scenario);
+        run(scenario, &mut runner)
     };
-
-    let mut local = Controller::new(Box::new(ReactivePolicy::new(cfg.clone())));
-    let mut harness = LocalHarness::bootstrap(2, 12);
-    let obs = harness.observe(0, 3.2);
-    let local_action = local.tick(&obs, &mut harness);
-    assert!(matches!(local_action, Some(ScaleAction::AddNodes { .. })));
-
-    let spec = AutoscaleSpec {
-        kind: CoordKind::Marlin,
-        workload: Workload::Ycsb { granules: 500 },
-        initial_nodes: 2,
-        min_nodes: 2,
-        max_nodes: 4,
-        trace: LoadTrace::constant(160),
-        control_interval: 2 * SECOND,
-        observe_window: 4 * SECOND,
-        horizon: 20 * SECOND,
-        threads_per_node: 4,
-        params: SimParams::default(),
+    let sim_report = {
+        let scenario = spike_scenario(500);
+        let mut runner = SimRunner::new(&scenario);
+        run(scenario, &mut runner)
     };
-    let mut remote = Controller::new(Box::new(ReactivePolicy::new(cfg)));
-    let sim = run_autoscale(&spec, &mut remote);
-    assert!(
-        remote
-            .history()
-            .iter()
-            .any(|(_, a)| matches!(a, ScaleAction::AddNodes { .. })),
-        "saturated constant load must scale the sim out: {:?}",
-        remote.history()
-    );
-    assert_eq!(peak_nodes(&sim), 4);
+    for report in [&local_report, &sim_report] {
+        assert!(
+            report
+                .decision_signature()
+                .iter()
+                .any(|(_, a)| a.starts_with("add")),
+            "{}: the spike must scale out: {:?}",
+            report.runner,
+            report.decision_signature()
+        );
+        assert_eq!(report.policy.as_deref(), Some("reactive"));
+    }
+    assert_eq!(local_report.runner, "local-cluster");
+    assert_eq!(sim_report.runner, "cluster-sim");
 }

@@ -1,0 +1,156 @@
+//! Runner parity and the Zipfian-heat rebalance scenario.
+//!
+//! Parity: the harness promises that a `Scenario` is a *complete*
+//! description of an experiment — for a deterministic trace that crosses
+//! the policy watermarks decisively, the same scenario and seed must
+//! produce the identical decision log (same tick/action sequence) on the
+//! synchronous `LocalCluster` and on the discrete-event `ClusterSim`.
+//!
+//! Rebalance: a skewed YCSB workload concentrates heat on the first
+//! node's contiguous granule block; a planner-only controller must
+//! migrate hot granules off the loaded node — with zero I0–I4 violations
+//! on the synchronous runtime, where every move is a real MigrationTxn.
+
+use marlin::cluster::harness::{run, LocalRunner, RunReport, Scenario, SimRunner};
+use marlin::cluster::params::CoordKind;
+use marlin::cluster::sim::Workload;
+use marlin::common::{GranuleId, NodeId};
+use marlin::sim::SECOND;
+use marlin::workload::LoadTrace;
+
+/// The parity scenario: spike and calm edges land 4 s before a control
+/// tick (several EMA time constants, so the simulator's queueing models
+/// fully converge), and each side sits far beyond the 80%/35%
+/// watermarks — ~200 clients drive two 4-vCPU nodes past saturation and
+/// four nodes to ~55%, so both the synthesized (trace-driven) and the
+/// emergent (queueing-model) observations cross on the same tick.
+fn parity_scenario(granules: u64, seed: u64) -> Scenario {
+    let s = Scenario::new("parity")
+        .backend(CoordKind::Marlin)
+        .workload(Workload::ycsb(granules))
+        .trace(LoadTrace::spike(8, 200, 6 * SECOND, 26 * SECOND))
+        .initial_nodes(2)
+        .threads_per_node(8)
+        .control_interval(5 * SECOND)
+        .observe_window(4 * SECOND)
+        .duration(40 * SECOND)
+        .seed(seed);
+    let policy = s.reactive_policy(2, 4);
+    s.policy(policy)
+}
+
+fn run_local(granules: u64, seed: u64) -> RunReport {
+    let scenario = parity_scenario(granules, seed);
+    let mut runner = LocalRunner::new(&scenario);
+    run(scenario, &mut runner)
+}
+
+fn run_sim(granules: u64, seed: u64) -> RunReport {
+    let scenario = parity_scenario(granules, seed);
+    let mut runner = SimRunner::new(&scenario);
+    run(scenario, &mut runner)
+}
+
+#[test]
+fn same_scenario_and_seed_produce_identical_decision_logs_on_both_runners() {
+    let local = run_local(64, 42);
+    let sim = run_sim(800, 42);
+    assert_eq!(
+        local.decision_signature(),
+        sim.decision_signature(),
+        "local {:?} vs sim {:?}",
+        local.decision_signature(),
+        sim.decision_signature()
+    );
+    // The shared log is non-trivial: one scale-out on the spike, one
+    // scale-in after the calm.
+    let sig = sim.decision_signature();
+    assert_eq!(sig.len(), 2, "{sig:?}");
+    assert_eq!(sig[0].1, "add+2");
+    assert_eq!(sig[1].1, "remove-2");
+    // Both end where they started.
+    assert_eq!(local.metrics.live_nodes, 2);
+    assert_eq!(sim.metrics.live_nodes, 2);
+}
+
+#[test]
+fn parity_holds_across_seeds() {
+    for seed in [7, 1234] {
+        let local = run_local(64, seed);
+        let sim = run_sim(800, seed);
+        assert_eq!(
+            local.decision_signature(),
+            sim.decision_signature(),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn simulator_decision_log_is_reproducible_bit_for_bit() {
+    let a = run_sim(800, 42);
+    let b = run_sim(800, 42);
+    assert_eq!(a.decision_signature(), b.decision_signature());
+    assert_eq!(a.metrics.commits, b.metrics.commits);
+    assert_eq!(a.metrics.node_count, b.metrics.node_count);
+}
+
+// ---------------------------------------------------------------------------
+// Zipfian-heat rebalance
+
+#[test]
+fn zipfian_heat_migrates_off_the_loaded_node_in_the_simulator() {
+    let scenario = Scenario::zipfian_rebalance(CoordKind::Marlin, 600, 0.9);
+    let mut runner = SimRunner::new(&scenario);
+    let report = run(scenario, &mut runner);
+
+    // The planner acted (member count never changes under HoldPolicy).
+    let sig = report.decision_signature();
+    assert!(
+        sig.iter().any(|(_, a)| a.starts_with("rebalance")),
+        "the planner must propose moves: {sig:?}"
+    );
+    assert_eq!(report.metrics.live_nodes, 3, "hold policy never scales");
+    assert!(report.metrics.migrations > 0, "moves really migrated");
+
+    // Heat left node 0: some of the hot block (granules 0..200, the
+    // first node's initial contiguous assignment) now lives elsewhere,
+    // and every granule still has a live owner.
+    let owners = runner.sim().owners();
+    let moved_hot = owners[..200].iter().filter(|&&o| o != 0).count();
+    assert!(
+        moved_hot > 0,
+        "hot granules must migrate off the loaded node"
+    );
+    let live = runner.sim().live_node_ids();
+    assert!(owners.iter().all(|o| live.contains(o)));
+}
+
+#[test]
+fn zipfian_rebalance_preserves_i0_i4_on_the_local_cluster() {
+    // Same scenario shape on the synchronous runtime: every planner move
+    // is a real MigrationTxn and `LocalRunner` asserts the I0–I4
+    // invariants after every actuation (a violation panics).
+    let scenario = Scenario::zipfian_rebalance(CoordKind::Marlin, 60, 0.9).duration(20 * SECOND);
+    let mut runner = LocalRunner::new(&scenario);
+    let report = run(scenario, &mut runner);
+
+    assert!(
+        report
+            .decision_signature()
+            .iter()
+            .any(|(_, a)| a.starts_with("rebalance")),
+        "the planner must act on the skew: {:?}",
+        report.decision_signature()
+    );
+    assert!(report.metrics.migrations > 0);
+    assert_eq!(report.metrics.live_nodes, 3);
+    // The hottest granule (id 0) left the loaded first node.
+    let owners = runner.owners();
+    assert_ne!(
+        owners.get(&GranuleId(0)),
+        Some(&NodeId(0)),
+        "the hottest granule must move off node 0"
+    );
+    runner.harness().cluster.assert_invariants();
+}

@@ -1,24 +1,31 @@
-//! Cross-crate checks on the simulated evaluation testbed: conservation
-//! laws, determinism, and the headline comparative orderings at smoke
-//! scale (the full-scale versions are the bench targets).
+//! Cross-crate checks on the simulated evaluation testbed, driven
+//! through the unified harness: conservation laws, determinism, and the
+//! headline comparative orderings at smoke scale (the full-scale
+//! versions are the bench targets).
 
-use marlin::cluster::params::{CoordKind, SimParams};
-use marlin::cluster::scenarios::scale_out::{run_scale_out, summarize, ScaleOutSpec};
+use marlin::autoscaler::ScaleAction;
+use marlin::cluster::harness::{run, MetricsSnapshot, Scenario, SimRunner};
+use marlin::cluster::params::CoordKind;
 use marlin::cluster::sim::Workload;
 use marlin::sim::SECOND;
+use marlin::workload::LoadTrace;
 
-fn spec(kind: CoordKind) -> ScaleOutSpec {
-    ScaleOutSpec {
-        kind,
-        workload: Workload::Ycsb { granules: 4_000 },
-        initial_nodes: 4,
-        new_nodes: 4,
-        clients: 80,
-        scale_at: 2 * SECOND,
-        horizon: 25 * SECOND,
-        threads_per_new_node: 8,
-        params: SimParams::default(),
-    }
+fn scale_out(kind: CoordKind) -> Scenario {
+    Scenario::new("smoke-so4-8")
+        .backend(kind)
+        .workload(Workload::ycsb(4_000))
+        .trace(LoadTrace::constant(80))
+        .initial_nodes(4)
+        .threads_per_node(8)
+        .duration(25 * SECOND)
+        .action(2 * SECOND, ScaleAction::AddNodes { count: 4 })
+}
+
+fn report_and_owners(kind: CoordKind) -> (MetricsSnapshot, Vec<u32>) {
+    let scenario = scale_out(kind);
+    let mut runner = SimRunner::new(&scenario);
+    let report = run(scenario, &mut runner);
+    (report.metrics, runner.sim().owners())
 }
 
 /// Granules are conserved: every granule has exactly one owner at the end
@@ -26,8 +33,7 @@ fn spec(kind: CoordKind) -> ScaleOutSpec {
 #[test]
 fn granules_conserved_and_balanced() {
     for kind in CoordKind::all() {
-        let sim = run_scale_out(&spec(kind));
-        let owners = sim.owners();
+        let (metrics, owners) = report_and_owners(kind);
         assert_eq!(owners.len(), 4_000, "{}", kind.name());
         for n in 0..8u32 {
             let c = owners.iter().filter(|&&o| o == n).count();
@@ -38,16 +44,17 @@ fn granules_conserved_and_balanced() {
             );
         }
         // Every planned migration committed exactly once.
-        assert_eq!(sim.metrics.migrations.total(), 2_000, "{}", kind.name());
+        assert_eq!(metrics.migrations, 2_000, "{}", kind.name());
     }
 }
 
-/// The same spec and seed yield bit-identical results for every backend.
+/// The same scenario and seed yield bit-identical results for every
+/// backend.
 #[test]
 fn simulation_is_deterministic() {
     for kind in CoordKind::all() {
-        let a = summarize(&run_scale_out(&spec(kind)));
-        let b = summarize(&run_scale_out(&spec(kind)));
+        let (a, _) = report_and_owners(kind);
+        let (b, _) = report_and_owners(kind);
         assert_eq!(a.commits, b.commits, "{}", kind.name());
         assert_eq!(
             a.migration_duration,
@@ -59,27 +66,27 @@ fn simulation_is_deterministic() {
     }
 }
 
-/// The headline ordering at smoke scale: Marlin has zero Meta Cost and the
-/// lowest cost per transaction of all four systems.
+/// The headline ordering at smoke scale: Marlin has zero Meta Cost and
+/// the lowest cost per transaction of all four systems.
 #[test]
 fn marlin_is_cheapest_of_all_four() {
     let results: Vec<_> = CoordKind::all()
         .into_iter()
-        .map(|k| summarize(&run_scale_out(&spec(k))))
+        .map(|k| (k, report_and_owners(k).0))
         .collect();
-    let marlin = &results[0];
+    let (_, marlin) = &results[0];
     assert_eq!(marlin.meta_cost, 0.0);
-    for r in &results[1..] {
+    for (kind, r) in &results[1..] {
         assert!(
             r.meta_cost > 0.0,
             "{} must pay for its service",
-            r.kind.name()
+            kind.name()
         );
         assert!(
             marlin.cost_per_mtxn < r.cost_per_mtxn,
             "Marlin ${} vs {} ${}",
             marlin.cost_per_mtxn,
-            r.kind.name(),
+            kind.name(),
             r.cost_per_mtxn
         );
     }
@@ -87,16 +94,17 @@ fn marlin_is_cheapest_of_all_four() {
 
 /// Throughput roughly doubles across the scale-out (the capacity-relief
 /// shape of Figure 9): post-reconfiguration rate exceeds the overloaded
-/// pre-reconfiguration rate for every backend.
+/// pre-reconfiguration rate.
 #[test]
 fn scale_out_relieves_the_overloaded_cluster() {
-    // Use enough clients to saturate the initial 4 nodes.
-    let mut s = spec(CoordKind::Marlin);
-    s.clients = 400;
-    s.horizon = 30 * SECOND;
-    let sim = run_scale_out(&s);
-    let pre = sim.metrics.user_commits.rate_at(SECOND);
-    let post = sim.metrics.user_commits.rate_at(25 * SECOND);
+    // Enough clients to saturate the initial 4 nodes.
+    let scenario = scale_out(CoordKind::Marlin)
+        .trace(LoadTrace::constant(400))
+        .duration(30 * SECOND);
+    let mut runner = SimRunner::new(&scenario);
+    let _report = run(scenario, &mut runner);
+    let pre = runner.sim().metrics.user_commits.rate_at(SECOND);
+    let post = runner.sim().metrics.user_commits.rate_at(25 * SECOND);
     assert!(
         post > pre * 1.2,
         "scale-out must lift throughput: pre {pre:.0} tps post {post:.0} tps"
@@ -107,56 +115,42 @@ fn scale_out_relieves_the_overloaded_cluster() {
 /// though the cluster spans four regions.
 #[test]
 fn geo_clients_stay_local() {
-    let mut s = spec(CoordKind::Marlin).geo();
-    s.horizon = 20 * SECOND;
-    let sim = run_scale_out(&s);
+    let scenario = scale_out(CoordKind::Marlin).geo().duration(20 * SECOND);
+    let mut runner = SimRunner::new(&scenario);
+    let report = run(scenario, &mut runner);
     // 16 requests at intra-region RTTs ≈ tens of ms; a cross-region txn
     // would cost seconds.
-    let mean = sim.metrics.user_latency.mean();
     assert!(
-        mean < 200.0 * 1e6,
+        report.metrics.mean_latency < 200.0 * 1e6,
         "geo txn latency must stay intra-region, got {:.1}ms",
-        mean / 1e6
+        report.metrics.mean_latency / 1e6
     );
-    assert!(sim.metrics.total_commits() > 1_000);
+    assert!(report.metrics.commits > 1_000);
 }
 
-/// The Figure 15 contention knee: Marlin's membership latency is
-/// ZK-comparable at low node counts and collapses at high counts.
+/// The Figure 15 contention knee through the harness: Marlin's
+/// membership latency is ZK-comparable at low node counts and collapses
+/// at high counts.
 #[test]
 fn membership_contention_knee() {
-    use marlin::cluster::scenarios::membership::run_membership_stress;
-    let small = run_membership_stress(
-        CoordKind::Marlin,
-        20,
-        15 * SECOND,
-        50 * SECOND,
-        SimParams::default(),
-    );
-    let large = run_membership_stress(
-        CoordKind::Marlin,
-        640,
-        15 * SECOND,
-        50 * SECOND,
-        SimParams::default(),
-    );
-    let zk = run_membership_stress(
-        CoordKind::ZkSmall,
-        20,
-        15 * SECOND,
-        50 * SECOND,
-        SimParams::default(),
-    );
+    let stress = |kind, members| {
+        let scenario = Scenario::membership(kind, members, 15 * SECOND, 50 * SECOND);
+        let mut runner = SimRunner::new(&scenario);
+        run(scenario, &mut runner).metrics
+    };
+    let small = stress(CoordKind::Marlin, 20);
+    let large = stress(CoordKind::Marlin, 640);
+    let zk = stress(CoordKind::ZkSmall, 20);
     assert!(
-        small.mean_latency < zk.mean_latency * 3,
+        small.membership_mean_latency < zk.membership_mean_latency * 3.0,
         "low contention: Marlin {}ns vs ZK {}ns",
-        small.mean_latency,
-        zk.mean_latency
+        small.membership_mean_latency,
+        zk.membership_mean_latency
     );
     assert!(
-        large.mean_latency > small.mean_latency * 10,
+        large.membership_mean_latency > small.membership_mean_latency * 10.0,
         "high contention must degrade: {} vs {}",
-        large.mean_latency,
-        small.mean_latency
+        large.membership_mean_latency,
+        small.membership_mean_latency
     );
 }

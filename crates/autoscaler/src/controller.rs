@@ -14,13 +14,14 @@
 use crate::observe::Observation;
 use crate::policy::{ScaleAction, ScalingPolicy};
 use crate::rebalance::{validate_moves, GranuleMove, RebalancePlanner};
-use marlin_common::NodeId;
+use marlin_common::{NodeId, RegionId};
 use marlin_sim::Nanos;
 
 /// The actuation surface a runner exposes to the controller.
 pub trait Actuator {
     /// Provision and join `count` fresh nodes, then rebalance onto them.
-    fn add_nodes(&mut self, at: Nanos, count: u32);
+    /// `region` is the requested placement (`None` = runner's choice).
+    fn add_nodes(&mut self, at: Nanos, count: u32, region: Option<RegionId>);
 
     /// Drain the victims onto the survivors and remove them from the
     /// membership once empty.
@@ -106,7 +107,7 @@ impl Controller {
 
     fn dispatch(&self, at: Nanos, action: &ScaleAction, actuator: &mut dyn Actuator) {
         match action {
-            ScaleAction::AddNodes { count } => actuator.add_nodes(at, *count),
+            ScaleAction::AddNodes { count, region } => actuator.add_nodes(at, *count, *region),
             ScaleAction::RemoveNodes { victims } => actuator.remove_nodes(at, victims),
             ScaleAction::Rebalance { moves } => actuator.rebalance(at, moves),
         }
@@ -130,7 +131,7 @@ mod tests {
     }
 
     impl Actuator for Recorder {
-        fn add_nodes(&mut self, _at: Nanos, count: u32) {
+        fn add_nodes(&mut self, _at: Nanos, count: u32, _region: Option<RegionId>) {
             self.adds.push(count);
         }
         fn remove_nodes(&mut self, _at: Nanos, victims: &[NodeId]) {

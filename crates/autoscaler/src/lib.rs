@@ -29,8 +29,11 @@
 //! - **Decide** — a [`ScalingPolicy`] maps the observation to at most one
 //!   [`ScaleAction`] per tick. Shipped policies: reactive thresholds with
 //!   hysteresis + cooldown ([`ReactivePolicy`]), a PI-style utilization
-//!   tracker ([`TargetUtilizationPolicy`]), and a hard budget decorator
-//!   ([`CostBoundedPolicy`]). On quiet ticks the optional
+//!   tracker ([`TargetUtilizationPolicy`]), a hard budget decorator
+//!   ([`CostBoundedPolicy`]), and a per-region decorator
+//!   ([`RegionalPolicy`]) that runs an inner sizing policy per placement
+//!   domain and emits region-targeted actions with region-local victim
+//!   selection. On quiet ticks the optional
 //!   [`RebalancePlanner`] proposes hot-granule `MigrationTxn`s instead.
 //! - **Actuate** — the [`Controller`] dispatches the action to an
 //!   [`Actuator`]. The [`LocalHarness`] actuator executes synchronously
@@ -60,6 +63,7 @@
 //! [`ReactivePolicy`]: policy::ReactivePolicy
 //! [`TargetUtilizationPolicy`]: policy::TargetUtilizationPolicy
 //! [`CostBoundedPolicy`]: policy::CostBoundedPolicy
+//! [`RegionalPolicy`]: regional::RegionalPolicy
 //! [`RebalancePlanner`]: rebalance::RebalancePlanner
 //! [`LocalHarness`]: local::LocalHarness
 
@@ -68,12 +72,14 @@ pub mod local;
 pub mod observe;
 pub mod policy;
 pub mod rebalance;
+pub mod regional;
 
 pub use controller::{Actuator, Controller};
 pub use local::LocalHarness;
-pub use observe::{GranuleLoad, NodeLoad, Observation};
+pub use observe::{GranuleLoad, NodeLoad, Observation, RegionLoad};
 pub use policy::{
     CostBoundedPolicy, HoldPolicy, ReactiveConfig, ReactivePolicy, ScaleAction, ScalingPolicy,
     SizeBounds, TargetUtilizationConfig, TargetUtilizationPolicy,
 };
 pub use rebalance::{validate_moves, GranuleMove, RebalanceConfig, RebalancePlanner};
+pub use regional::RegionalPolicy;

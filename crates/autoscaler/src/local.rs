@@ -19,7 +19,7 @@
 use crate::controller::Actuator;
 use crate::observe::{GranuleLoad, NodeLoad, Observation};
 use crate::rebalance::GranuleMove;
-use marlin_common::{ClusterConfig, GranuleId, GranuleLayout, KeyRange, NodeId, TableId};
+use marlin_common::{ClusterConfig, GranuleId, GranuleLayout, KeyRange, NodeId, RegionId, TableId};
 use marlin_core::runtime::LocalCluster;
 use marlin_sim::Nanos;
 use std::collections::BTreeMap;
@@ -31,6 +31,15 @@ pub struct LocalHarness {
     table: TableId,
     members: Vec<NodeId>,
     next_node: u32,
+    /// Placement domains (1 = the single-region default).
+    num_regions: u16,
+    /// Region each member (live or past) was placed in.
+    regions: BTreeMap<NodeId, RegionId>,
+    /// Region each granule is *homed* in: the region of its bootstrap
+    /// owner. Geo deployments keep clients local (§6.5), so a granule's
+    /// load always comes from its home region's demand no matter which
+    /// node currently serves it.
+    granule_home: Vec<RegionId>,
     /// $/hour per node, for cost-bounded policies.
     pub node_hourly: f64,
 }
@@ -57,14 +66,58 @@ impl LocalHarness {
             table,
             members: (0..initial_nodes).map(NodeId).collect(),
             next_node: initial_nodes,
+            num_regions: 1,
+            regions: (0..initial_nodes)
+                .map(|i| (NodeId(i), RegionId(0)))
+                .collect(),
+            granule_home: vec![RegionId(0); granules as usize],
             node_hourly: 0.192,
         }
+    }
+
+    /// Spread the bootstrap members across `regions` placement domains
+    /// round-robin (node `i` → region `i % regions`, the simulator's
+    /// rule) and home every granule in its initial owner's region. Call
+    /// right after [`LocalHarness::bootstrap`], before any scaling.
+    #[must_use]
+    pub fn with_regions(mut self, regions: u16) -> Self {
+        assert!(regions > 0, "at least one region");
+        self.num_regions = regions;
+        self.regions = self
+            .members
+            .iter()
+            .map(|&m| (m, RegionId(m.0 as u16 % regions)))
+            .collect();
+        for &m in &self.members {
+            let region = self.regions[&m];
+            for g in self.cluster.node(m).marlin.owned_granules() {
+                if let Some(home) = self.granule_home.get_mut(g.0 as usize) {
+                    *home = region;
+                }
+            }
+        }
+        self
     }
 
     /// Current live members.
     #[must_use]
     pub fn members(&self) -> &[NodeId] {
         &self.members
+    }
+
+    /// The region a member was placed in (`RegionId(0)` when unknown).
+    #[must_use]
+    pub fn region_of(&self, node: NodeId) -> RegionId {
+        self.regions.get(&node).copied().unwrap_or(RegionId(0))
+    }
+
+    /// The region each granule is homed in.
+    #[must_use]
+    pub fn granule_home(&self, granule: GranuleId) -> RegionId {
+        self.granule_home
+            .get(granule.0 as usize)
+            .copied()
+            .unwrap_or(RegionId(0))
     }
 
     /// Granule counts per live member, from the real GTable partitions.
@@ -91,6 +144,11 @@ impl LocalHarness {
     /// workloads — e.g. a Zipfian heat profile — show up as per-node
     /// utilization imbalance and per-granule heat, exactly as the
     /// simulator's sampled counters would report them.
+    ///
+    /// `offered_load` is the *cluster-wide* demand; multi-region
+    /// harnesses split it over regions by each region's weight share
+    /// (use [`LocalHarness::observe_regions`] for an explicit per-region
+    /// demand signal).
     #[must_use]
     pub fn observe_with(
         &self,
@@ -98,27 +156,72 @@ impl LocalHarness {
         offered_load: f64,
         weight: impl Fn(GranuleId) -> f64,
     ) -> Observation {
+        // Split the global demand by region weight share: region r's
+        // offered load is `offered × w(r)/w(total)`, which makes the
+        // per-node math in `observe_regions` identical to spreading the
+        // global demand over all granules directly.
+        let owned: Vec<GranuleId> = self
+            .members
+            .iter()
+            .flat_map(|&m| self.cluster.node(m).marlin.owned_granules())
+            .collect();
+        let mut per_region = vec![0.0f64; self.num_regions as usize];
+        let total: f64 = owned.iter().map(|&g| weight(g)).sum();
+        if total > 0.0 {
+            for &g in &owned {
+                per_region[self.granule_home(g).0 as usize] += weight(g);
+            }
+            for w in &mut per_region {
+                *w = offered_load * *w / total;
+            }
+        }
+        self.observe_regions(at, &per_region, weight)
+    }
+
+    /// Synthesize an observation under an explicit per-region demand:
+    /// `offered_by_region[r]` node-capacity units hit the granules homed
+    /// in region `r` (weighted by `weight` within the region), landing on
+    /// whichever nodes currently own them. This is the geo analogue of
+    /// [`LocalHarness::observe_with`]: region-local spikes show up as
+    /// utilization on that region's members only, exactly as the
+    /// simulator's region-pinned clients would drive it.
+    #[must_use]
+    pub fn observe_regions(
+        &self,
+        at: Nanos,
+        offered_by_region: &[f64],
+        weight: impl Fn(GranuleId) -> f64,
+    ) -> Observation {
+        assert_eq!(
+            offered_by_region.len(),
+            self.num_regions as usize,
+            "one offered-load entry per region"
+        );
         let owned_by: BTreeMap<NodeId, Vec<GranuleId>> = self
             .members
             .iter()
             .map(|&m| (m, self.cluster.node(m).marlin.owned_granules()))
             .collect();
-        let total_weight: f64 = owned_by
-            .values()
-            .flatten()
-            .map(|&g| weight(g))
-            .sum::<f64>()
-            .max(f64::MIN_POSITIVE);
+        // Per-region total weights over *owned* granules, so each
+        // region's demand is normalized within the granules it can hit.
+        let mut region_weight = vec![f64::MIN_POSITIVE; self.num_regions as usize];
+        for gs in owned_by.values() {
+            for &g in gs {
+                region_weight[self.granule_home(g).0 as usize] += weight(g);
+            }
+        }
+        let granule_share = |g: GranuleId| {
+            let r = self.granule_home(g).0 as usize;
+            offered_by_region[r] * weight(g) / region_weight[r]
+        };
         let node_loads: Vec<NodeLoad> = owned_by
             .iter()
-            .map(|(&node, granules)| {
-                let share: f64 = granules.iter().map(|&g| weight(g)).sum::<f64>() / total_weight;
-                NodeLoad {
-                    node,
-                    alive: true,
-                    utilization: offered_load * share,
-                    owned_granules: granules.len() as u64,
-                }
+            .map(|(&node, granules)| NodeLoad {
+                node,
+                region: self.region_of(node),
+                alive: true,
+                utilization: granules.iter().map(|&g| granule_share(g)).sum(),
+                owned_granules: granules.len() as u64,
             })
             .collect();
         // Same observation semantics as `ClusterSim::observe`: per-node
@@ -142,17 +245,17 @@ impl LocalHarness {
             (mean, excess)
         };
         // Granule heat mirrors the access-weight assumption: every owned
-        // granule carries its weighted share of the offered load.
+        // granule carries its weighted share of its home region's demand.
         let granule_loads: Vec<GranuleLoad> = owned_by
             .iter()
             .flat_map(|(&m, granules)| granules.iter().map(move |&granule| (m, granule)))
             .map(|(owner, granule)| GranuleLoad {
                 granule,
                 owner,
-                load: offered_load * weight(granule) / total_weight,
+                load: granule_share(granule),
             })
             .collect();
-        Observation {
+        let mut obs = Observation {
             at,
             live_nodes: self.members.len() as u32,
             throughput_tps: 0.0,
@@ -161,8 +264,11 @@ impl LocalHarness {
             queue_depth,
             dollars_per_hour: self.members.len() as f64 * self.node_hourly,
             node_loads,
+            region_loads: Vec::new(),
             granule_loads,
-        }
+        };
+        obs.derive_region_loads();
+        obs
     }
 
     /// Crash `victim` and run the paper's §4.4.2 recovery end to end: the
@@ -210,11 +316,22 @@ impl LocalHarness {
 }
 
 impl Actuator for LocalHarness {
-    fn add_nodes(&mut self, _at: Nanos, count: u32) {
+    fn add_nodes(&mut self, _at: Nanos, count: u32, region: Option<RegionId>) {
         // AddNodeTxn for each new member, then a balanced drain of excess
         // granules from the old members onto the new ones (the same shape
         // `ClusterSim::schedule_scale_out` uses, executed synchronously).
-        let old_members = self.members.clone();
+        // A region-targeted add drains only from that region's members,
+        // so the new capacity absorbs the hot region's granules instead
+        // of pulling load across regions.
+        let old_members: Vec<NodeId> = match region {
+            Some(r) => self
+                .members
+                .iter()
+                .copied()
+                .filter(|&m| self.region_of(m) == r)
+                .collect(),
+            None => self.members.clone(),
+        };
         let mut new_members = Vec::new();
         for _ in 0..count {
             let id = NodeId(self.next_node);
@@ -223,21 +340,42 @@ impl Actuator for LocalHarness {
                 .add_node(id, format!("10.0.0.{}", id.0))
                 .expect("AddNodeTxn succeeds on a live SysLog");
             self.members.push(id);
+            let placed = region.unwrap_or(RegionId(id.0 as u16 % self.num_regions));
+            self.regions.insert(id, placed);
             new_members.push(id);
         }
         if new_members.is_empty() || old_members.is_empty() {
             return;
         }
+        // Balance within the drained pool: every pool member (old + new)
+        // ends near pool_granules / pool_size.
         let counts = self.owned_counts();
-        let total: u64 = counts.values().sum();
-        let target = total / self.members.len() as u64;
+        let total: u64 = old_members
+            .iter()
+            .map(|m| counts.get(m).copied().unwrap_or(0))
+            .sum();
+        let target = total / (old_members.len() + new_members.len()) as u64;
         let mut rr = 0usize;
         for src in old_members {
+            let src_region = self.region_of(src);
             let owned = self.cluster.node(src).marlin.owned_granules();
             let excess = (owned.len() as u64).saturating_sub(target) as usize;
             for granule in owned.into_iter().rev().take(excess) {
-                let dst = new_members[rr % new_members.len()];
-                rr += 1;
+                // Round-robin over joining nodes, preferring one in the
+                // source's region (the same probe the simulator's
+                // balanced plan uses) so an untargeted geo add never
+                // ships granules out of their home region.
+                let mut pick = None;
+                for probe in 0..new_members.len() {
+                    let cand = (rr + probe) % new_members.len();
+                    if self.region_of(new_members[cand]) == src_region {
+                        pick = Some(cand);
+                        break;
+                    }
+                }
+                let cand = pick.unwrap_or(rr % new_members.len());
+                rr = cand + 1;
+                let dst = new_members[cand];
                 self.cluster
                     .migrate(src, dst, self.table, vec![granule])
                     .expect("scale-out migration succeeds between live nodes");
@@ -256,9 +394,19 @@ impl Actuator for LocalHarness {
             if !self.members.contains(&victim) {
                 continue;
             }
+            // Drains stay region-local where possible: a victim's
+            // granules land on survivors in its own region, falling back
+            // to the whole survivor set only when the drain empties the
+            // region entirely.
+            let local: Vec<NodeId> = survivors
+                .iter()
+                .copied()
+                .filter(|&s| self.region_of(s) == self.region_of(victim))
+                .collect();
+            let pool: &[NodeId] = if local.is_empty() { &survivors } else { &local };
             // Drain: one MigrationTxn per granule onto the survivors.
             for granule in self.cluster.node(victim).marlin.owned_granules() {
-                let dst = survivors[rr % survivors.len()];
+                let dst = pool[rr % pool.len()];
                 rr += 1;
                 self.cluster
                     .migrate(victim, dst, self.table, vec![granule])
@@ -324,7 +472,7 @@ mod tests {
     #[test]
     fn scale_out_spreads_granules_onto_new_members() {
         let mut harness = LocalHarness::bootstrap(2, 16);
-        harness.add_nodes(0, 2);
+        harness.add_nodes(0, 2, None);
         harness.cluster.assert_invariants();
         let counts = harness.owned_counts();
         assert_eq!(counts.len(), 4);

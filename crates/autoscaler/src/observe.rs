@@ -9,9 +9,16 @@
 //! same policy code be unit-tested synchronously and benchmarked in
 //! virtual time.
 //!
+//! Placement is part of the snapshot: every [`NodeLoad`] carries the
+//! region the runner placed the node in, and [`Observation::region_loads`]
+//! groups the per-node loads into per-region digests so region-aware
+//! policies (see [`RegionalPolicy`]) can size each placement domain
+//! independently.
+//!
 //! [`LocalCluster`]: marlin_core::runtime::LocalCluster
+//! [`RegionalPolicy`]: crate::regional::RegionalPolicy
 
-use marlin_common::{GranuleId, NodeId};
+use marlin_common::{GranuleId, NodeId, RegionId};
 use marlin_sim::Nanos;
 
 /// One node's load at observation time.
@@ -19,6 +26,9 @@ use marlin_sim::Nanos;
 pub struct NodeLoad {
     /// The node observed.
     pub node: NodeId,
+    /// The region the runner placed the node in (`RegionId(0)` for
+    /// single-region deployments).
+    pub region: RegionId,
     /// Whether the node is a live member.
     pub alive: bool,
     /// CPU utilization (offered work over capacity). Unlike the
@@ -39,6 +49,32 @@ pub struct GranuleLoad {
     /// Access heat in arbitrary but mutually comparable units
     /// (e.g. transactions touching the granule in the sampling window).
     pub load: f64,
+}
+
+/// One region's load digest: the [`Observation`]-level summary fields,
+/// restricted to the nodes placed in that region.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RegionLoad {
+    /// The region summarized.
+    pub region: RegionId,
+    /// Live member nodes placed in the region.
+    pub live_nodes: u32,
+    /// Mean CPU utilization across the region's live nodes, clamped to
+    /// `[0, 1]` (the excess shows up in `queue_depth`).
+    pub mean_utilization: f64,
+    /// Mean offered work beyond capacity across the region's live nodes.
+    pub queue_depth: f64,
+    /// p99 commit latency of the region's clients over the sampling
+    /// window. Runners that attribute commits exactly (the simulator)
+    /// fill the true per-region value; [`Observation::derive_region_loads`]
+    /// falls back to the global p99.
+    pub p99_latency: Nanos,
+    /// Committed transactions per second attributed to the region's
+    /// clients over the sampling window (0 where the runner cannot
+    /// attribute commits).
+    pub throughput_tps: f64,
+    /// Current spend rate attributed to the region, $/hour.
+    pub dollars_per_hour: f64,
 }
 
 /// A snapshot of cluster health fed to [`ScalingPolicy::decide`].
@@ -63,6 +99,10 @@ pub struct Observation {
     pub dollars_per_hour: f64,
     /// Per-node loads (live and provisioned-but-dead nodes).
     pub node_loads: Vec<NodeLoad>,
+    /// Per-region digests grouped from `node_loads` by the placement the
+    /// runner reports (empty only when a runner predates regions; use
+    /// [`Observation::derive_region_loads`] to fill it from `node_loads`).
+    pub region_loads: Vec<RegionLoad>,
     /// Sampled granule heats (typically the hottest K, not the universe).
     pub granule_loads: Vec<GranuleLoad>,
 }
@@ -71,6 +111,7 @@ impl Default for NodeLoad {
     fn default() -> Self {
         NodeLoad {
             node: NodeId(0),
+            region: RegionId(0),
             alive: true,
             utilization: 0.0,
             owned_granules: 0,
@@ -82,7 +123,22 @@ impl Observation {
     /// Live nodes ordered coolest-first — the preferred scale-in victims.
     #[must_use]
     pub fn coolest_live_nodes(&self) -> Vec<NodeId> {
-        let mut live: Vec<&NodeLoad> = self.node_loads.iter().filter(|n| n.alive).collect();
+        self.coolest_live_nodes_where(|_| true)
+    }
+
+    /// Live nodes *in one region* ordered coolest-first — the preferred
+    /// victims for a region-local drain.
+    #[must_use]
+    pub fn coolest_live_nodes_in(&self, region: RegionId) -> Vec<NodeId> {
+        self.coolest_live_nodes_where(|n| n.region == region)
+    }
+
+    fn coolest_live_nodes_where(&self, keep: impl Fn(&NodeLoad) -> bool) -> Vec<NodeId> {
+        let mut live: Vec<&NodeLoad> = self
+            .node_loads
+            .iter()
+            .filter(|n| n.alive && keep(n))
+            .collect();
         live.sort_by(|a, b| {
             a.utilization
                 .total_cmp(&b.utilization)
@@ -92,24 +148,150 @@ impl Observation {
         live.iter().map(|n| n.node).collect()
     }
 
+    /// The distinct regions present in `node_loads`, ascending.
+    #[must_use]
+    pub fn regions(&self) -> Vec<RegionId> {
+        let mut regions: Vec<RegionId> = self.node_loads.iter().map(|n| n.region).collect();
+        regions.sort_unstable_by_key(|r| r.0);
+        regions.dedup();
+        regions
+    }
+
+    /// Fill `region_loads` by grouping `node_loads` on the placement the
+    /// runner reported. Throughput and spend are split proportionally to
+    /// each region's live-node share; runners that can attribute them
+    /// exactly (the simulator tags commits with the client's region)
+    /// overwrite those two fields afterwards.
+    pub fn derive_region_loads(&mut self) {
+        let regions = self.regions();
+        let total_live = self.node_loads.iter().filter(|n| n.alive).count() as f64;
+        self.region_loads = regions
+            .into_iter()
+            .map(|region| {
+                let nodes: Vec<&NodeLoad> = self
+                    .node_loads
+                    .iter()
+                    .filter(|n| n.alive && n.region == region)
+                    .collect();
+                let n = nodes.len() as f64;
+                let (mean, queue) = if nodes.is_empty() {
+                    (0.0, 0.0)
+                } else {
+                    (
+                        nodes.iter().map(|l| l.utilization.min(1.0)).sum::<f64>() / n,
+                        nodes
+                            .iter()
+                            .map(|l| (l.utilization - 1.0).max(0.0))
+                            .sum::<f64>()
+                            / n,
+                    )
+                };
+                let share = if total_live > 0.0 {
+                    n / total_live
+                } else {
+                    0.0
+                };
+                RegionLoad {
+                    region,
+                    live_nodes: nodes.len() as u32,
+                    mean_utilization: mean,
+                    queue_depth: queue,
+                    p99_latency: self.p99_latency,
+                    throughput_tps: self.throughput_tps * share,
+                    dollars_per_hour: self.dollars_per_hour * share,
+                }
+            })
+            .collect();
+    }
+
+    /// The region digest for `region`, if the observation carries one.
+    #[must_use]
+    pub fn region_load(&self, region: RegionId) -> Option<&RegionLoad> {
+        self.region_loads.iter().find(|r| r.region == region)
+    }
+
+    /// An [`Observation`] restricted to one region: the summary fields a
+    /// region-blind sizing policy reads (`live_nodes`, utilization, queue
+    /// depth, p99, throughput, spend) describe only that region, and
+    /// `node_loads`/`granule_loads` are filtered to nodes placed there —
+    /// so victim selection through [`Observation::coolest_live_nodes`]
+    /// is automatically region-local.
+    ///
+    /// The summary fields come from the region's [`RegionLoad`] digest
+    /// when the observation carries one (the runner's exact attribution,
+    /// including the per-region p99 a latency-triggered policy reads);
+    /// they are recomputed from `node_loads` only as a fallback. A global
+    /// p99 deliberately never leaks into a view that has a digest — it
+    /// would make one region's latency breach scale out every region.
+    #[must_use]
+    pub fn region_view(&self, region: RegionId) -> Observation {
+        let node_loads: Vec<NodeLoad> = self
+            .node_loads
+            .iter()
+            .filter(|n| n.region == region)
+            .cloned()
+            .collect();
+        let region_nodes: Vec<NodeId> = node_loads.iter().map(|n| n.node).collect();
+        let live: Vec<&NodeLoad> = node_loads.iter().filter(|n| n.alive).collect();
+        let digest = self.region_load(region);
+        let (mean_utilization, queue_depth) = match digest {
+            Some(d) => (d.mean_utilization, d.queue_depth),
+            None => {
+                let n = live.len() as f64;
+                if live.is_empty() {
+                    (0.0, 0.0)
+                } else {
+                    (
+                        live.iter().map(|l| l.utilization.min(1.0)).sum::<f64>() / n,
+                        live.iter()
+                            .map(|l| (l.utilization - 1.0).max(0.0))
+                            .sum::<f64>()
+                            / n,
+                    )
+                }
+            }
+        };
+        let granule_loads: Vec<GranuleLoad> = self
+            .granule_loads
+            .iter()
+            .filter(|g| region_nodes.contains(&g.owner))
+            .cloned()
+            .collect();
+        Observation {
+            at: self.at,
+            live_nodes: live.len() as u32,
+            throughput_tps: digest.map_or(0.0, |d| d.throughput_tps),
+            p99_latency: digest.map_or(self.p99_latency, |d| d.p99_latency),
+            mean_utilization,
+            queue_depth,
+            dollars_per_hour: digest.map_or(0.0, |d| d.dollars_per_hour),
+            node_loads,
+            region_loads: digest.map(|d| vec![d.clone()]).unwrap_or_default(),
+            granule_loads,
+        }
+    }
+
     /// Convenience constructor for policy unit tests: `live` nodes at a
     /// uniform utilization.
     #[must_use]
     pub fn uniform(at: Nanos, live: u32, utilization: f64) -> Self {
-        Observation {
+        let mut obs = Observation {
             at,
             live_nodes: live,
             mean_utilization: utilization,
             node_loads: (0..live)
                 .map(|i| NodeLoad {
                     node: NodeId(i),
+                    region: RegionId(0),
                     alive: true,
                     utilization,
                     owned_granules: 1,
                 })
                 .collect(),
             ..Observation::default()
-        }
+        };
+        obs.derive_region_loads();
+        obs
     }
 }
 
@@ -125,8 +307,7 @@ mod tests {
         obs.node_loads.push(NodeLoad {
             node: NodeId(9),
             alive: false,
-            utilization: 0.0,
-            owned_granules: 0,
+            ..NodeLoad::default()
         });
         let order = obs.coolest_live_nodes();
         assert_eq!(order, vec![NodeId(2), NodeId(1), NodeId(0)]);
@@ -138,5 +319,54 @@ mod tests {
         // keeps scale-in symmetric with scale-out.
         let obs = Observation::uniform(0, 3, 0.5);
         assert_eq!(obs.coolest_live_nodes()[0], NodeId(2));
+    }
+
+    fn two_region_obs() -> Observation {
+        let mut obs = Observation::uniform(0, 4, 0.5);
+        for (i, n) in obs.node_loads.iter_mut().enumerate() {
+            n.region = RegionId((i % 2) as u16);
+        }
+        // Region 0 is hot (nodes 0, 2), region 1 cool (nodes 1, 3).
+        obs.node_loads[0].utilization = 1.2;
+        obs.node_loads[2].utilization = 0.8;
+        obs.node_loads[1].utilization = 0.2;
+        obs.node_loads[3].utilization = 0.1;
+        obs.throughput_tps = 100.0;
+        obs.dollars_per_hour = 4.0;
+        obs.derive_region_loads();
+        obs
+    }
+
+    #[test]
+    fn region_loads_group_nodes_by_placement() {
+        let obs = two_region_obs();
+        assert_eq!(obs.regions(), vec![RegionId(0), RegionId(1)]);
+        let r0 = obs.region_load(RegionId(0)).expect("region 0 digest");
+        let r1 = obs.region_load(RegionId(1)).expect("region 1 digest");
+        assert_eq!(r0.live_nodes, 2);
+        assert_eq!(r1.live_nodes, 2);
+        // Region 0: min(1.2,1)=1.0 and 0.8 → mean 0.9, excess 0.2/2=0.1.
+        assert!((r0.mean_utilization - 0.9).abs() < 1e-12);
+        assert!((r0.queue_depth - 0.1).abs() < 1e-12);
+        assert!((r1.mean_utilization - 0.15).abs() < 1e-12);
+        assert_eq!(r1.queue_depth, 0.0);
+        // Proportional split of throughput and spend (2 of 4 live nodes).
+        assert!((r0.throughput_tps - 50.0).abs() < 1e-12);
+        assert!((r1.dollars_per_hour - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn region_view_restricts_nodes_and_victims() {
+        let obs = two_region_obs();
+        let v = obs.region_view(RegionId(1));
+        assert_eq!(v.live_nodes, 2);
+        assert!(v.node_loads.iter().all(|n| n.region == RegionId(1)));
+        assert!((v.mean_utilization - 0.15).abs() < 1e-12);
+        // Victim ordering inside the view is region-local.
+        assert_eq!(v.coolest_live_nodes(), vec![NodeId(3), NodeId(1)]);
+        assert_eq!(
+            obs.coolest_live_nodes_in(RegionId(1)),
+            vec![NodeId(3), NodeId(1)]
+        );
     }
 }

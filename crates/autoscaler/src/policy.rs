@@ -23,7 +23,7 @@
 
 use crate::observe::Observation;
 use crate::rebalance::GranuleMove;
-use marlin_common::NodeId;
+use marlin_common::{NodeId, RegionId};
 use marlin_sim::Nanos;
 
 /// One actuation the controller should perform.
@@ -33,6 +33,10 @@ pub enum ScaleAction {
     AddNodes {
         /// Nodes to add.
         count: u32,
+        /// Placement: `Some(region)` provisions the nodes in that region
+        /// and rebalances region-local granules onto them; `None` leaves
+        /// placement to the runner (round-robin across regions).
+        region: Option<RegionId>,
     },
     /// Drain and release the listed members.
     RemoveNodes {
@@ -44,6 +48,26 @@ pub enum ScaleAction {
         /// The migrations to issue.
         moves: Vec<GranuleMove>,
     },
+}
+
+impl ScaleAction {
+    /// A scale-out with runner-chosen placement.
+    #[must_use]
+    pub fn add(count: u32) -> Self {
+        ScaleAction::AddNodes {
+            count,
+            region: None,
+        }
+    }
+
+    /// A scale-out targeted at one region.
+    #[must_use]
+    pub fn add_in(count: u32, region: RegionId) -> Self {
+        ScaleAction::AddNodes {
+            count,
+            region: Some(region),
+        }
+    }
 }
 
 /// A scaling decision procedure.
@@ -118,8 +142,15 @@ pub struct ReactiveConfig {
 }
 
 impl ReactiveConfig {
-    /// A conservative default: 80%/35% watermarks, one-step doubling
-    /// between `min` and `max` nodes, 5 s cooldown.
+    /// A conservative default: 80%/35% watermarks, a **fixed step** of
+    /// `min_nodes` nodes per action between `min` and `max`, 5 s cooldown.
+    ///
+    /// The fixed step doubles the cluster only when it sits exactly at
+    /// `min_nodes`; from any larger size it adds (or sheds) the same
+    /// `min_nodes` increment. This keeps consecutive scale-outs
+    /// additive — a true doubling policy would react to a sustained
+    /// breach with exponentially growing steps, which the paper's
+    /// scripted 8→16 reconfigurations never do.
     #[must_use]
     pub fn paper_default(min_nodes: u32, max_nodes: u32) -> Self {
         ReactiveConfig {
@@ -182,9 +213,7 @@ impl ScalingPolicy for ReactivePolicy {
         {
             let target = self.cfg.bounds.clamp(obs.live_nodes + self.cfg.step_nodes);
             self.last_action_at = Some(obs.at);
-            return Some(ScaleAction::AddNodes {
-                count: target - obs.live_nodes,
-            });
+            return Some(ScaleAction::add(target - obs.live_nodes));
         }
         if util <= self.cfg.low_utilization && obs.live_nodes > self.cfg.bounds.min_nodes {
             let target = self
@@ -244,8 +273,8 @@ impl TargetUtilizationConfig {
 
 /// PI-style tracker of a utilization setpoint.
 ///
-/// The plant model: offered load (in node-capacity units) is
-/// `utilization × live_nodes`, so the load-neutral cluster size is
+/// The plant model: offered load (in node-capacity units) is the sum of
+/// the raw per-node utilizations, so the load-neutral cluster size is
 /// `offered / target`. The proportional term acts on that sizing error;
 /// the integral term accumulates error over time to remove steady-state
 /// offset (e.g. when quantization keeps the cluster one node small).
@@ -278,7 +307,24 @@ impl ScalingPolicy for TargetUtilizationPolicy {
 
     fn decide(&mut self, obs: &Observation) -> Option<ScaleAction> {
         let live = f64::from(obs.live_nodes);
-        let offered = obs.mean_utilization * live + obs.queue_depth * live;
+        // Offered load in node-capacity units. The per-node utilizations
+        // are the raw plant signal (they exceed 1 under overload and
+        // already include any queue build-up), so summing them is exact.
+        // The summary-field fallback must clamp the mean before adding
+        // `queue_depth * live`: `queue_depth` is the mean per-node excess
+        // *rate* beyond capacity, i.e. exactly the part a clamped mean
+        // drops — adding it to an *unclamped* mean counts every unit of
+        // backlog twice and makes the PI plant model overshoot whenever a
+        // queue exists.
+        let offered = if obs.node_loads.iter().any(|n| n.alive) {
+            obs.node_loads
+                .iter()
+                .filter(|n| n.alive)
+                .map(|n| n.utilization.max(0.0))
+                .sum::<f64>()
+        } else {
+            obs.mean_utilization.min(1.0) * live + obs.queue_depth * live
+        };
         let neutral = offered / self.cfg.target_utilization;
         let error = neutral - live;
 
@@ -313,9 +359,7 @@ impl ScalingPolicy for TargetUtilizationPolicy {
             self.last_action_at = Some(obs.at);
             // Acting resets the accumulated error: the plant changes.
             self.integral_node_seconds = 0.0;
-            Some(ScaleAction::AddNodes {
-                count: desired - obs.live_nodes,
-            })
+            Some(ScaleAction::add(desired - obs.live_nodes))
         } else if desired < obs.live_nodes {
             let shed = (obs.live_nodes - desired) as usize;
             let victims: Vec<NodeId> = obs.coolest_live_nodes().into_iter().take(shed).collect();
@@ -416,13 +460,17 @@ impl<P: ScalingPolicy> ScalingPolicy for CostBoundedPolicy<P> {
             return Some(ScaleAction::RemoveNodes { victims });
         }
         match self.inner.decide(obs)? {
-            ScaleAction::AddNodes { count } => {
-                // Clip the scale-out to what the budget affords.
+            ScaleAction::AddNodes { count, region } => {
+                // Clip the scale-out to what the budget affords (the
+                // placement request rides along unchanged).
                 let mut affordable = count;
                 while affordable > 0 && !self.affords(obs, affordable) {
                     affordable -= 1;
                 }
-                (affordable > 0).then_some(ScaleAction::AddNodes { count: affordable })
+                (affordable > 0).then_some(ScaleAction::AddNodes {
+                    count: affordable,
+                    region,
+                })
             }
             other => Some(other),
         }
@@ -444,7 +492,33 @@ mod tests {
     fn scales_out_at_the_high_watermark() {
         let mut p = reactive(4, 16, 0);
         let action = p.decide(&Observation::uniform(0, 4, 0.9));
-        assert_eq!(action, Some(ScaleAction::AddNodes { count: 4 }));
+        assert_eq!(action, Some(ScaleAction::add(4)));
+    }
+
+    #[test]
+    fn paper_default_step_is_fixed_not_doubling() {
+        // Regression: the rustdoc used to promise "one-step doubling",
+        // but `step_nodes = min_nodes.max(1)` is a fixed increment — it
+        // doubles only from `min_nodes`. Pin the fixed-step semantics.
+        let mut p = reactive(4, 32, 0);
+        assert_eq!(
+            p.decide(&Observation::uniform(0, 4, 0.9)),
+            Some(ScaleAction::add(4)),
+            "from min_nodes the fixed step happens to double"
+        );
+        let mut p = reactive(4, 32, 0);
+        assert_eq!(
+            p.decide(&Observation::uniform(0, 16, 0.9)),
+            Some(ScaleAction::add(4)),
+            "from 16 nodes the step stays 4, not a doubling to 32"
+        );
+        let mut p = reactive(4, 32, 0);
+        match p.decide(&Observation::uniform(0, 16, 0.1)) {
+            Some(ScaleAction::RemoveNodes { victims }) => {
+                assert_eq!(victims.len(), 4, "scale-in uses the same fixed step");
+            }
+            other => panic!("expected a fixed-step scale-in, got {other:?}"),
+        }
     }
 
     #[test]
@@ -527,7 +601,7 @@ mod tests {
         // at 0.6 target is 12 → scale out by ~kp*(12-8)≈3.
         let action = p.decide(&Observation::uniform(0, 8, 0.9));
         match action {
-            Some(ScaleAction::AddNodes { count }) => assert!((2..=4).contains(&count)),
+            Some(ScaleAction::AddNodes { count, .. }) => assert!((2..=4).contains(&count)),
             other => panic!("expected scale-out, got {other:?}"),
         }
         // Near the setpoint the deadband keeps it quiet.
@@ -539,6 +613,38 @@ mod tests {
     }
 
     #[test]
+    fn backlog_is_not_double_counted_in_the_plant_model() {
+        // Regression: the offered load used to be computed as
+        // `mean_utilization * live + queue_depth * live`. With a raw
+        // (unclamped) mean — which `Observation::uniform` and any runner
+        // reporting per-node overload produce — every unit of backlog was
+        // counted once in the mean and again via `queue_depth`, doubling
+        // the sizing error under any queue.
+        let sized = |mut obs: Observation| {
+            let mut p = TargetUtilizationPolicy::new(TargetUtilizationConfig {
+                cooldown: 0,
+                ..TargetUtilizationConfig::paper_default(2, 64)
+            });
+            obs.queue_depth = 0.2; // the docs' value for 1.2 raw per node
+            match p.decide(&obs) {
+                Some(ScaleAction::AddNodes { count, .. }) => count,
+                other => panic!("expected a scale-out, got {other:?}"),
+            }
+        };
+        // 4 nodes at 1.2 raw utilization: offered is 4.8 node-units, the
+        // neutral size at 0.6 target is 8, error 4 → kp*4 ≈ +3.
+        let count = sized(Observation::uniform(0, 4, 1.2));
+        assert_eq!(count, 3, "a small queue must not inflate the sizing");
+        // The same cluster state reported with a clamped mean must size
+        // identically — the fix makes the two encodings agree.
+        let mut clamped = Observation::uniform(0, 4, 1.2);
+        clamped.mean_utilization = 1.0;
+        assert_eq!(sized(clamped), count);
+        // The old formula would have used offered = (1.2 + 0.2) * 4 = 5.6
+        // → error 5.33 → +4: one full node of overshoot.
+    }
+
+    #[test]
     fn cost_bound_clips_scale_out_to_budget() {
         let node_hourly = 0.192;
         let budget = 8.0 * node_hourly; // affords 8 nodes total
@@ -546,7 +652,7 @@ mod tests {
         let mut obs = Observation::uniform(0, 6, 0.95);
         obs.dollars_per_hour = 6.0 * node_hourly;
         // Inner wants +6 (doubling), budget affords only +2.
-        assert_eq!(p.decide(&obs), Some(ScaleAction::AddNodes { count: 2 }));
+        assert_eq!(p.decide(&obs), Some(ScaleAction::add(2)));
     }
 
     #[test]
@@ -598,7 +704,7 @@ mod tests {
         for tick in 0..100u64 {
             let mut obs = Observation::uniform(tick * marlin_sim::SECOND, live, 0.95);
             obs.dollars_per_hour = f64::from(live) * node_hourly;
-            if let Some(ScaleAction::AddNodes { count }) = p.decide(&obs) {
+            if let Some(ScaleAction::AddNodes { count, .. }) = p.decide(&obs) {
                 live += count;
             }
             assert!(

@@ -68,6 +68,14 @@ impl RebalancePlanner {
     /// loaded node and send it to the least loaded node, as long as the
     /// transfer strictly reduces the spread and the imbalance threshold is
     /// still exceeded.
+    ///
+    /// Destinations are region-local where possible: the coolest node in
+    /// the *hot node's own region* is preferred, falling back to the
+    /// globally coolest only when the hot node is alone in its region. A
+    /// granule's demand comes from its home region's clients (§6.5), so
+    /// a cross-region move would trade CPU balance for WAN round trips on
+    /// every access — the same locality discipline scale-outs and drains
+    /// follow.
     #[must_use]
     pub fn plan(&self, obs: &Observation) -> Vec<GranuleMove> {
         let live: Vec<NodeId> = obs
@@ -79,6 +87,12 @@ impl RebalancePlanner {
         if live.len() < 2 || obs.granule_loads.is_empty() {
             return Vec::new();
         }
+        let region_of: BTreeMap<NodeId, marlin_common::RegionId> = obs
+            .node_loads
+            .iter()
+            .filter(|n| n.alive)
+            .map(|n| (n.node, n.region))
+            .collect();
 
         // Per-node heat from the sampled granules; every live node starts
         // at zero so cold nodes are visible as destinations.
@@ -113,13 +127,25 @@ impl RebalancePlanner {
                 .iter()
                 .max_by(|a, b| a.1.total_cmp(b.1))
                 .expect("non-empty");
-            let (&cool, &cool_heat) = node_heat
-                .iter()
-                .min_by(|a, b| a.1.total_cmp(b.1))
-                .expect("non-empty");
-            if hot == cool || hot_heat <= trigger {
+            if hot_heat <= trigger {
                 break;
             }
+            // Coolest destination in the hot node's region, else the
+            // globally coolest other node.
+            let hot_region = region_of.get(&hot);
+            let cool_pick = node_heat
+                .iter()
+                .filter(|&(&n, _)| n != hot && region_of.get(&n) == hot_region)
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .or_else(|| {
+                    node_heat
+                        .iter()
+                        .filter(|&(&n, _)| n != hot)
+                        .min_by(|a, b| a.1.total_cmp(b.1))
+                });
+            let Some((&cool, &cool_heat)) = cool_pick else {
+                break;
+            };
             // Hottest granule on the hot node that still helps: moving it
             // must not push the destination past the source.
             let Some(list) = candidates.get_mut(&hot) else {
@@ -191,6 +217,7 @@ mod tests {
                 alive: true,
                 utilization: if i == 0 { 0.95 } else { 0.2 },
                 owned_granules: if i == 0 { 4 } else { 1 },
+                ..NodeLoad::default()
             })
             .collect();
         obs.granule_loads = vec![
@@ -309,6 +336,38 @@ mod tests {
             },
         ];
         assert!(validate_moves(&dup, &obs).is_err());
+    }
+
+    #[test]
+    fn destinations_prefer_the_hot_nodes_region() {
+        use marlin_common::RegionId;
+        // Node 0 (region 0) is hot; node 1 (region 0) is cool; node 2
+        // (region 1) is even cooler globally. Moves must stay in region
+        // 0 — a cross-region move would put the granule's home-region
+        // demand behind WAN round trips.
+        let planner = RebalancePlanner::new(RebalanceConfig {
+            imbalance_threshold: 0.0,
+            max_moves: 100,
+        });
+        let mut obs = skewed_observation();
+        obs.node_loads[0].region = RegionId(0);
+        obs.node_loads[1].region = RegionId(0);
+        obs.node_loads[2].region = RegionId(1);
+        // Make region 1's node the global minimum.
+        obs.granule_loads.retain(|g| g.owner != NodeId(2));
+        let moves = planner.plan(&obs);
+        assert!(!moves.is_empty());
+        assert!(
+            moves.iter().all(|m| m.dst == NodeId(1)),
+            "moves must land on the region-local cool node: {moves:?}"
+        );
+        // With no same-region alternative the planner falls back to the
+        // global coolest instead of stalling.
+        let mut obs = skewed_observation();
+        obs.node_loads[0].region = RegionId(2);
+        let moves = planner.plan(&obs);
+        assert!(!moves.is_empty(), "lone-region hot node still sheds");
+        assert!(moves.iter().all(|m| m.dst != NodeId(0)));
     }
 
     #[test]

@@ -84,6 +84,13 @@ impl CostModel {
         f64::from(self.last_nodes) * self.node_hourly + self.meta_hourly
     }
 
+    /// The coordination service's hourly rate (0 for Marlin) — billed to
+    /// the region the service is pinned in for per-region spend splits.
+    #[must_use]
+    pub fn meta_hourly(&self) -> f64 {
+        self.meta_hourly
+    }
+
     /// Sample the cumulative total cost into a time series (Figure 14b
     /// plots real-time cost).
     pub fn sample_into(&self, series: &mut TimeSeries, now: Nanos) {

@@ -13,7 +13,7 @@ use crate::harness::report::{DecisionRecord, DecisionSource, ObservationDigest, 
 use crate::harness::runner::{Fault, Runner};
 use crate::harness::scenario::Scenario;
 use marlin_autoscaler::{Actuator, Controller, GranuleMove, RebalancePlanner, ScaleAction};
-use marlin_common::NodeId;
+use marlin_common::{NodeId, RegionId};
 use marlin_sim::Nanos;
 use std::time::Instant;
 
@@ -33,8 +33,8 @@ impl RunnerActuator<'_> {
 }
 
 impl Actuator for RunnerActuator<'_> {
-    fn add_nodes(&mut self, _at: Nanos, count: u32) {
-        self.timed(&ScaleAction::AddNodes { count });
+    fn add_nodes(&mut self, _at: Nanos, count: u32, region: Option<RegionId>) {
+        self.timed(&ScaleAction::AddNodes { count, region });
     }
 
     fn remove_nodes(&mut self, _at: Nanos, victims: &[NodeId]) {
@@ -110,6 +110,15 @@ pub fn run(scenario: Scenario, runner: &mut dyn Runner) -> RunReport {
 
     let mut log: Vec<DecisionRecord> = Vec::with_capacity(milestones.len());
     for (at, _, milestone) in milestones {
+        // The timeline is sorted above and `Scenario::action` keeps the
+        // script time-ordered, so milestones can never fall behind the
+        // runner's clock — a violation would silently fire the event late
+        // at "now" through the saturating subtraction below.
+        debug_assert!(
+            at >= runner.now(),
+            "milestone at {at} is behind the runner clock {}",
+            runner.now()
+        );
         runner.advance(at.saturating_sub(runner.now()));
         match milestone {
             Milestone::Script(action) => {

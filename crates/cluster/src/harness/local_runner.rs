@@ -12,12 +12,17 @@
 //! rebalance planner exactly as the simulator's sampled heat counters
 //! would report it, while every resulting migration is a real protocol
 //! execution.
+//!
+//! Geo scenarios carry one trace per region: each region's demand lands
+//! only on the granules homed there (§6.5 clients touch local data), so
+//! a regional spike shows up as utilization on that region's members and
+//! region-targeted `AddNodes` place real members into the hot region.
 
-use crate::harness::runner::{Fault, MetricsSnapshot, Runner};
+use crate::harness::runner::{Fault, MetricsSnapshot, RegionBreakdown, Runner};
 use crate::harness::scenario::Scenario;
 use crate::sim::Workload;
 use marlin_autoscaler::{Actuator, LocalHarness, Observation, ScaleAction};
-use marlin_common::{GranuleId, NodeId};
+use marlin_common::{GranuleId, NodeId, RegionId};
 use marlin_sim::{Histogram, Nanos, SECOND};
 use marlin_workload::LoadTrace;
 use std::collections::BTreeMap;
@@ -27,6 +32,10 @@ pub struct LocalRunner {
     harness: LocalHarness,
     now: Nanos,
     trace: LoadTrace,
+    /// One trace per region when the scenario is geo (empty otherwise).
+    region_traces: Vec<LoadTrace>,
+    /// Placement domains (1 outside geo scenarios).
+    regions: u16,
     offered_per_client: f64,
     /// `Some(theta)` when the workload is Zipfian-skewed YCSB.
     zipf_theta: Option<f64>,
@@ -35,6 +44,8 @@ pub struct LocalRunner {
     node_count: Vec<(Nanos, f64)>,
     /// Node-nanoseconds accrued, for DB Cost accounting.
     node_time: f64,
+    /// Node-nanoseconds accrued per region (the per-region cost split).
+    region_node_time: Vec<f64>,
     /// MigrationTxns executed (counted by ownership diff per actuation).
     migrations: u64,
 }
@@ -50,8 +61,17 @@ impl LocalRunner {
             scenario.backend == crate::params::CoordKind::Marlin,
             "LocalCluster runs the Marlin protocol itself; baselines are simulator-only"
         );
+        let regions = scenario.params.regions.regions() as u16;
+        if !scenario.region_traces.is_empty() {
+            assert_eq!(
+                scenario.region_traces.len(),
+                regions as usize,
+                "one region trace per region"
+            );
+        }
         let granules = scenario.workload.granule_count();
-        let harness = LocalHarness::bootstrap(scenario.initial_nodes, granules);
+        let harness =
+            LocalHarness::bootstrap(scenario.initial_nodes, granules).with_regions(regions);
         let zipf_theta = match &scenario.workload {
             Workload::Ycsb { zipfian, .. } => *zipfian,
             Workload::Tpcc { .. } => None,
@@ -60,10 +80,13 @@ impl LocalRunner {
             harness,
             now: 0,
             trace: scenario.trace.clone(),
+            region_traces: scenario.region_traces.clone(),
+            regions,
             offered_per_client: scenario.offered_per_client,
             zipf_theta,
             node_count: Vec::new(),
             node_time: 0.0,
+            region_node_time: vec![0.0; regions as usize],
             migrations: 0,
         };
         runner.record_node_count();
@@ -103,6 +126,22 @@ impl LocalRunner {
         self.ownership()
     }
 
+    /// Offered load per region at the current time, in node-capacity
+    /// units: the per-region traces when the scenario carries them, else
+    /// the global trace split by each region's granule-weight share
+    /// (which `LocalHarness::observe_with` performs internally).
+    fn offered_by_region(&self) -> Option<Vec<f64>> {
+        if self.region_traces.is_empty() {
+            return None;
+        }
+        Some(
+            self.region_traces
+                .iter()
+                .map(|t| f64::from(t.clients_at(self.now)) * self.offered_per_client)
+                .collect(),
+        )
+    }
+
     fn offered_now(&self) -> f64 {
         f64::from(self.trace.clients_at(self.now)) * self.offered_per_client
     }
@@ -123,23 +162,31 @@ impl Runner for LocalRunner {
         // happen at actuation points, so the current member count holds
         // for the whole step.
         self.node_time += self.harness.members().len() as f64 * dt as f64;
+        for &m in self.harness.members() {
+            self.region_node_time[self.harness.region_of(m).0 as usize] += dt as f64;
+        }
         self.now += dt;
     }
 
     fn observe(&mut self, _window: Nanos) -> Observation {
-        let offered = self.offered_now();
-        match self.zipf_theta {
-            Some(theta) => self
+        let weight: Box<dyn Fn(GranuleId) -> f64> = match self.zipf_theta {
+            Some(theta) => Box::new(move |g: GranuleId| 1.0 / ((g.0 + 1) as f64).powf(theta)),
+            None => Box::new(|_| 1.0),
+        };
+        match self.offered_by_region() {
+            Some(per_region) => self.harness.observe_regions(self.now, &per_region, weight),
+            None => self
                 .harness
-                .observe_with(self.now, offered, |g| 1.0 / ((g.0 + 1) as f64).powf(theta)),
-            None => self.harness.observe(self.now, offered),
+                .observe_with(self.now, self.offered_now(), weight),
         }
     }
 
     fn actuate(&mut self, action: &ScaleAction) {
         let before = self.ownership();
         match action {
-            ScaleAction::AddNodes { count } => self.harness.add_nodes(self.now, *count),
+            ScaleAction::AddNodes { count, region } => {
+                self.harness.add_nodes(self.now, *count, *region);
+            }
             ScaleAction::RemoveNodes { victims } => self.harness.remove_nodes(self.now, victims),
             ScaleAction::Rebalance { moves } => self.harness.rebalance(self.now, moves),
         }
@@ -177,6 +224,25 @@ impl Runner for LocalRunner {
     fn metrics(&self) -> MetricsSnapshot {
         let node_hours = self.node_time / (3600.0 * SECOND as f64);
         let db_cost = node_hours * self.harness.node_hourly;
+        let region_breakdown = (0..self.regions)
+            .map(|r| {
+                let nodes: Vec<u32> = self
+                    .harness
+                    .members()
+                    .iter()
+                    .filter(|&&m| self.harness.region_of(m) == RegionId(r))
+                    .map(|m| m.0)
+                    .collect();
+                RegionBreakdown {
+                    region: r,
+                    live_nodes: nodes.len() as u32,
+                    nodes,
+                    commits: 0,
+                    db_cost: self.region_node_time[r as usize] / (3600.0 * SECOND as f64)
+                        * self.harness.node_hourly,
+                }
+            })
+            .collect();
         MetricsSnapshot {
             live_nodes: self.harness.members().len() as u32,
             commits: 0,
@@ -195,6 +261,7 @@ impl Runner for LocalRunner {
             total_cost: db_cost,
             cost_per_mtxn: 0.0,
             node_count: self.node_count.clone(),
+            region_breakdown,
         }
     }
 }

@@ -51,7 +51,7 @@ pub use report::{
     action_signature, maybe_write_json, DecisionRecord, DecisionSource, ObservationDigest,
     RunReport,
 };
-pub use runner::{Fault, MetricsSnapshot, Runner};
+pub use runner::{Fault, MetricsSnapshot, RegionBreakdown, Runner};
 pub use scenario::{expected_membership_updates, Scenario, OFFERED_PER_CLIENT};
 pub use sim_runner::SimRunner;
 
@@ -73,7 +73,7 @@ mod tests {
             .initial_nodes(2)
             .threads_per_node(threads)
             .duration(horizon * SECOND)
-            .action(2 * SECOND, ScaleAction::AddNodes { count: 2 })
+            .action(2 * SECOND, ScaleAction::add(2))
     }
 
     /// The old `scale_out` smoke test: every granule ends on the right
@@ -168,7 +168,7 @@ mod tests {
             .initial_nodes(2)
             .threads_per_node(4)
             .duration(40 * SECOND)
-            .action(5 * SECOND, ScaleAction::AddNodes { count: 2 })
+            .action(5 * SECOND, ScaleAction::add(2))
             .action(
                 15 * SECOND,
                 ScaleAction::RemoveNodes {
@@ -202,7 +202,7 @@ mod tests {
                 .initial_nodes(2)
                 .threads_per_node(24)
                 .duration(90 * SECOND)
-                .action(5 * SECOND, ScaleAction::AddNodes { count: 2 })
+                .action(5 * SECOND, ScaleAction::add(2))
                 .action(
                     25 * SECOND,
                     ScaleAction::RemoveNodes {
@@ -400,7 +400,7 @@ mod tests {
             .trace(LoadTrace::constant(4))
             .initial_nodes(2)
             .duration(10 * SECOND)
-            .action(15 * SECOND, ScaleAction::AddNodes { count: 2 })
+            .action(15 * SECOND, ScaleAction::add(2))
             .faults(vec![(20 * SECOND, Fault::Crash(NodeId(0)))]);
         let mut runner = SimRunner::new(&scenario);
         let report = run(scenario, &mut runner);

@@ -11,7 +11,7 @@
 //! there as a machine-readable artifact.
 
 use crate::harness::runner::MetricsSnapshot;
-use marlin_autoscaler::{Observation, ScaleAction};
+use marlin_autoscaler::{Observation, RegionLoad, ScaleAction};
 use marlin_sim::Nanos;
 
 /// What produced a log entry.
@@ -56,6 +56,9 @@ pub struct ObservationDigest {
     pub dollars_per_hour: f64,
     /// Per-node CPU utilization `(node id, rho)`.
     pub node_utilization: Vec<(u32, f64)>,
+    /// Per-region digests (node counts, utilization, throughput, and
+    /// spend split by placement) — the §6.5 per-region series.
+    pub regions: Vec<RegionLoad>,
 }
 
 impl From<&Observation> for ObservationDigest {
@@ -73,6 +76,7 @@ impl From<&Observation> for ObservationDigest {
                 .filter(|n| n.alive)
                 .map(|n| (n.node.0, n.utilization))
                 .collect(),
+            regions: obs.region_loads.clone(),
         }
     }
 }
@@ -198,11 +202,19 @@ impl RunReport {
 }
 
 /// A short, comparison-friendly label of an action ("add+8",
-/// "remove-2", "rebalance*5").
+/// "add+2@r1" for a region-targeted scale-out, "remove-2",
+/// "rebalance*5").
 #[must_use]
 pub fn action_signature(action: &ScaleAction) -> String {
     match action {
-        ScaleAction::AddNodes { count } => format!("add+{count}"),
+        ScaleAction::AddNodes {
+            count,
+            region: Some(r),
+        } => format!("add+{count}@r{}", r.0),
+        ScaleAction::AddNodes {
+            count,
+            region: None,
+        } => format!("add+{count}"),
         ScaleAction::RemoveNodes { victims } => format!("remove-{}", victims.len()),
         ScaleAction::Rebalance { moves } => format!("rebalance*{}", moves.len()),
     }
@@ -300,8 +312,9 @@ fn json_pairs_nanos(pairs: &[(Nanos, f64)]) -> String {
 
 fn action_json(action: &ScaleAction) -> String {
     match action {
-        ScaleAction::AddNodes { count } => {
-            format!("{{\"kind\":\"add_nodes\",\"count\":{count}}}")
+        ScaleAction::AddNodes { count, region } => {
+            let region = region.map_or("null".into(), |r| r.0.to_string());
+            format!("{{\"kind\":\"add_nodes\",\"count\":{count},\"region\":{region}}}")
         }
         ScaleAction::RemoveNodes { victims } => {
             let ids: Vec<String> = victims.iter().map(|n| n.0.to_string()).collect();
@@ -320,6 +333,27 @@ fn action_json(action: &ScaleAction) -> String {
     }
 }
 
+fn region_loads_json(regions: &[RegionLoad]) -> String {
+    let cells: Vec<String> = regions
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"region\":{},\"live_nodes\":{},\"mean_utilization\":{},\
+                 \"queue_depth\":{},\"p99_latency_ns\":{},\"throughput_tps\":{},\
+                 \"dollars_per_hour\":{}}}",
+                r.region.0,
+                r.live_nodes,
+                json_f64(r.mean_utilization),
+                json_f64(r.queue_depth),
+                r.p99_latency,
+                json_f64(r.throughput_tps),
+                json_f64(r.dollars_per_hour),
+            )
+        })
+        .collect();
+    format!("[{}]", cells.join(","))
+}
+
 fn record_json(r: &DecisionRecord) -> String {
     let mut out = String::with_capacity(256);
     out.push('{');
@@ -330,7 +364,7 @@ fn record_json(r: &DecisionRecord) -> String {
     let obs = format!(
         "{{\"live_nodes\":{},\"throughput_tps\":{},\"p99_latency_ns\":{},\
          \"mean_utilization\":{},\"queue_depth\":{},\"dollars_per_hour\":{},\
-         \"node_utilization\":{}}}",
+         \"node_utilization\":{},\"regions\":{}}}",
         o.live_nodes,
         json_f64(o.throughput_tps),
         o.p99_latency,
@@ -338,6 +372,7 @@ fn record_json(r: &DecisionRecord) -> String {
         json_f64(o.queue_depth),
         json_f64(o.dollars_per_hour),
         json_pairs_u32(&o.node_utilization),
+        region_loads_json(&o.regions),
     );
     field(&mut out, "observation", &obs);
     let action = match &r.action {
@@ -399,6 +434,27 @@ fn metrics_json(m: &MetricsSnapshot) -> String {
     field(&mut out, "meta_cost", &json_f64(m.meta_cost));
     field(&mut out, "total_cost", &json_f64(m.total_cost));
     field(&mut out, "cost_per_mtxn", &json_f64(m.cost_per_mtxn));
+    let regions: Vec<String> = m
+        .region_breakdown
+        .iter()
+        .map(|r| {
+            let nodes: Vec<String> = r.nodes.iter().map(u32::to_string).collect();
+            format!(
+                "{{\"region\":{},\"live_nodes\":{},\"nodes\":[{}],\
+                 \"commits\":{},\"db_cost\":{}}}",
+                r.region,
+                r.live_nodes,
+                nodes.join(","),
+                r.commits,
+                json_f64(r.db_cost),
+            )
+        })
+        .collect();
+    field(
+        &mut out,
+        "region_breakdown",
+        &format!("[{}]", regions.join(",")),
+    );
     out.push_str("\"node_count\":");
     out.push_str(&json_pairs_nanos(&m.node_count));
     out.push('}');
@@ -408,7 +464,8 @@ fn metrics_json(m: &MetricsSnapshot) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use marlin_common::NodeId;
+    use crate::harness::runner::RegionBreakdown;
+    use marlin_common::{NodeId, RegionId};
     use marlin_sim::Summary;
 
     fn snapshot() -> MetricsSnapshot {
@@ -436,6 +493,22 @@ mod tests {
             total_cost: 0.12,
             cost_per_mtxn: 1.2,
             node_count: vec![(0, 2.0), (1_000_000_000, 4.0), (2_000_000_000, 2.0)],
+            region_breakdown: vec![
+                RegionBreakdown {
+                    region: 0,
+                    live_nodes: 2,
+                    nodes: vec![0, 2],
+                    commits: 60,
+                    db_cost: 0.08,
+                },
+                RegionBreakdown {
+                    region: 1,
+                    live_nodes: 2,
+                    nodes: vec![1, 3],
+                    commits: 40,
+                    db_cost: 0.04,
+                },
+            ],
         }
     }
 
@@ -459,6 +532,15 @@ mod tests {
                     queue_depth: 0.0,
                     dollars_per_hour: 0.384,
                     node_utilization: vec![(0, 0.92), (1, 0.88)],
+                    regions: vec![RegionLoad {
+                        region: RegionId(0),
+                        live_nodes: 2,
+                        mean_utilization: 0.9,
+                        queue_depth: 0.0,
+                        p99_latency: 9_000_000,
+                        throughput_tps: 120.5,
+                        dollars_per_hour: 0.384,
+                    }],
                 },
                 action: Some(ScaleAction::RemoveNodes {
                     victims: vec![NodeId(3)],
@@ -477,6 +559,12 @@ mod tests {
         assert!(j.contains("\"victims\":[3]"));
         assert!(j.contains("\"node_utilization\":[[0,0.92],[1,0.88]]"));
         assert!(j.contains("\"meta_cost\":0"));
+        // The per-region split rides in both the digest and the metrics.
+        assert!(j.contains("\"regions\":[{\"region\":0,\"live_nodes\":2,"));
+        assert!(j.contains(
+            "\"region_breakdown\":[{\"region\":0,\"live_nodes\":2,\"nodes\":[0,2],\
+             \"commits\":60,\"db_cost\":0.08}"
+        ));
         assert!(j.contains("\"node_count\":[[0,2],[1000000000,4],[2000000000,2]]"));
         // Structural sanity: balanced braces/brackets.
         assert_eq!(
@@ -493,6 +581,17 @@ mod tests {
         assert_eq!(r.peak_nodes(), 4);
         assert_eq!(r.release_lag(2, 1_500_000_000), Some(500_000_000));
         assert_eq!(r.release_lag(1, 0), None);
+    }
+
+    #[test]
+    fn action_signatures_carry_the_target_region() {
+        assert_eq!(action_signature(&ScaleAction::add(2)), "add+2");
+        assert_eq!(
+            action_signature(&ScaleAction::add_in(2, RegionId(1))),
+            "add+2@r1"
+        );
+        assert!(action_json(&ScaleAction::add_in(2, RegionId(1))).contains("\"region\":1"));
+        assert!(action_json(&ScaleAction::add(2)).contains("\"region\":null"));
     }
 
     #[test]

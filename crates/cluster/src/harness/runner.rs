@@ -24,6 +24,24 @@ pub enum Fault {
     Crash(NodeId),
 }
 
+/// One region's slice of the end-of-run totals: where the nodes ended
+/// up, how much work the region's clients committed, and what the
+/// region's share of the compute bill was (§6.5's per-region split).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RegionBreakdown {
+    /// The region.
+    pub region: u16,
+    /// Live members placed in the region at the end of the run.
+    pub live_nodes: u32,
+    /// Their node ids (the placement report).
+    pub nodes: Vec<u32>,
+    /// Committed user transactions attributed to the region's clients
+    /// (0 where the runner has no load generator).
+    pub commits: u64,
+    /// Region share of DB Cost, $.
+    pub db_cost: f64,
+}
+
 /// End-of-run totals every runner can produce.
 ///
 /// Counters a runner cannot measure are zero (e.g. the synchronous
@@ -65,9 +83,18 @@ pub struct MetricsSnapshot {
     pub cost_per_mtxn: f64,
     /// Live node count over time (exact, from the runner's own series).
     pub node_count: Vec<(Nanos, f64)>,
+    /// Per-region node/throughput/cost split (one entry per region the
+    /// runner placed nodes in; a single entry for region 0 otherwise).
+    pub region_breakdown: Vec<RegionBreakdown>,
 }
 
 impl MetricsSnapshot {
+    /// The breakdown entry for `region`, if any.
+    #[must_use]
+    pub fn region(&self, region: u16) -> Option<&RegionBreakdown> {
+        self.region_breakdown.iter().find(|r| r.region == region)
+    }
+
     /// Peak live node count over the run.
     #[must_use]
     pub fn peak_nodes(&self) -> u32 {

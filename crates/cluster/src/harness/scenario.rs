@@ -12,10 +12,10 @@ use crate::harness::runner::Fault;
 use crate::params::{CoordKind, SimParams};
 use crate::sim::Workload;
 use marlin_autoscaler::{
-    ReactiveConfig, ReactivePolicy, RebalanceConfig, ScaleAction, ScalingPolicy,
+    ReactiveConfig, ReactivePolicy, RebalanceConfig, RegionalPolicy, ScaleAction, ScalingPolicy,
 };
-use marlin_common::NodeId;
-use marlin_sim::{Nanos, SECOND};
+use marlin_common::{NodeId, RegionId};
+use marlin_sim::{Nanos, RegionMatrix, SECOND};
 use marlin_workload::LoadTrace;
 
 /// Default node-capacity units one closed-loop client offers (calibrated
@@ -35,6 +35,12 @@ pub struct Scenario {
     pub workload: Workload,
     /// Exogenous demand in active clients over time.
     pub trace: LoadTrace,
+    /// Per-region demand for geo scenarios: one trace per region (region
+    /// `r`'s clients only touch data homed in region `r`, §6.5). Empty =
+    /// single demand signal (`trace`) spread over all regions. When
+    /// non-empty, its length must equal `params.regions.regions()` and
+    /// `trace` is ignored by the runners.
+    pub region_traces: Vec<LoadTrace>,
     /// Nodes at t=0.
     pub initial_nodes: u32,
     /// How often the driver observes (and the controller decides).
@@ -74,6 +80,7 @@ impl Scenario {
             backend: CoordKind::Marlin,
             workload: Workload::ycsb(1_000),
             trace: LoadTrace::constant(0),
+            region_traces: Vec::new(),
             initial_nodes: 2,
             control_interval: SECOND,
             observe_window: 2 * SECOND,
@@ -112,6 +119,14 @@ impl Scenario {
         self
     }
 
+    /// Set one client-count trace per region (geo scenarios; the vector
+    /// length must match the region count of `params.regions`).
+    #[must_use]
+    pub fn region_traces(mut self, traces: Vec<LoadTrace>) -> Self {
+        self.region_traces = traces;
+        self
+    }
+
     /// Set the initial node count.
     #[must_use]
     pub fn initial_nodes(mut self, nodes: u32) -> Self {
@@ -134,9 +149,16 @@ impl Scenario {
     }
 
     /// Script one scale action at a fixed time.
+    ///
+    /// The script is kept sorted by time as it is built (stable: actions
+    /// scheduled for the same instant keep their call order), so an
+    /// out-of-order `.action()` chain cannot make the driver's timeline
+    /// regress — a regressing milestone would silently fire late at
+    /// "now" through the driver's saturating clock advance.
     #[must_use]
     pub fn action(mut self, at: Nanos, action: ScaleAction) -> Self {
-        self.script.push((at, action));
+        let pos = self.script.partition_point(|&(t, _)| t <= at);
+        self.script.insert(pos, (at, action));
         self
     }
 
@@ -217,6 +239,32 @@ impl Scenario {
         }))
     }
 
+    /// The region-aware controller: one independent reactive policy per
+    /// region of `params.regions`, each sizing its region between
+    /// `min_nodes` and `max_nodes` with a `min_nodes` step and a
+    /// 3-interval cooldown. Region 0 — where the external coordination
+    /// services are pinned (§6.5) — is floored at `min_nodes` so a drain
+    /// can never strand the co-located service quorum.
+    #[must_use]
+    pub fn regional_reactive_policy(
+        &self,
+        min_nodes: u32,
+        max_nodes: u32,
+    ) -> Box<dyn ScalingPolicy> {
+        let regions = self.params.regions.regions() as u16;
+        let cooldown = 3 * self.control_interval;
+        Box::new(
+            RegionalPolicy::new(regions, |_| {
+                Box::new(ReactivePolicy::new(ReactiveConfig {
+                    step_nodes: min_nodes.max(1),
+                    cooldown,
+                    ..ReactiveConfig::paper_default(min_nodes, max_nodes)
+                }))
+            })
+            .with_coordination_floor(RegionId(0), min_nodes),
+        )
+    }
+
     // -- paper presets ------------------------------------------------------
 
     /// The Figure 8/9 configuration: YCSB, 800 clients, 8→16 nodes at
@@ -231,7 +279,7 @@ impl Scenario {
             .initial_nodes(8)
             .threads_per_node(7)
             .duration(50 * SECOND)
-            .action(10 * SECOND, ScaleAction::AddNodes { count: 8 })
+            .action(10 * SECOND, ScaleAction::add(8))
     }
 
     /// The Figure 11 configuration: TPC-C, 1600 warehouses per server, 80
@@ -253,7 +301,7 @@ impl Scenario {
             .threads_per_node(80)
             .params(params)
             .duration(30 * SECOND)
-            .action(10 * SECOND, ScaleAction::AddNodes { count: 8 })
+            .action(10 * SECOND, ScaleAction::add(8))
     }
 
     /// One Figure 12 sweep point (SO1-2 / SO2-4 / SO4-8 / SO8-16):
@@ -269,24 +317,21 @@ impl Scenario {
             .initial_nodes(initial_nodes)
             .threads_per_node(7)
             .duration(120 * SECOND)
-            .action(
-                5 * SECOND,
-                ScaleAction::AddNodes {
-                    count: initial_nodes,
-                },
-            )
+            .action(5 * SECOND, ScaleAction::add(initial_nodes))
     }
 
     /// Geo-distributed variant (§6.5): four regions, the external
     /// coordination service pinned in region 0 (US West). The horizon
     /// stretches so baselines paying cross-region round trips per
     /// metadata commit still finish their storms in-window.
+    ///
+    /// Only the region matrix is replaced: every other `SimParams` knob —
+    /// and the seed — set earlier in the builder chain survives (`.geo()`
+    /// used to rebuild `params` from scratch, silently discarding any
+    /// customization made before it).
     #[must_use]
     pub fn geo(mut self) -> Self {
-        self.params = SimParams {
-            seed: self.params.seed,
-            ..SimParams::geo()
-        };
+        self.params.regions = RegionMatrix::paper_geo();
         self.horizon = 400 * SECOND;
         self.threads_per_node = 16;
         self.name.push_str("-geo");
@@ -304,7 +349,7 @@ impl Scenario {
             .initial_nodes(8)
             .threads_per_node(16)
             .duration(120 * SECOND)
-            .action(20 * SECOND, ScaleAction::AddNodes { count: 8 })
+            .action(20 * SECOND, ScaleAction::add(8))
             .action(
                 80 * SECOND,
                 ScaleAction::RemoveNodes {
@@ -361,6 +406,40 @@ impl Scenario {
         s.policy(policy)
     }
 
+    /// The §6.5 setup as a *live control loop* instead of a static
+    /// latency overlay: four regions with two nodes each, per-region
+    /// demand, and the region-aware controller free to size every region
+    /// between 2 and 4 nodes. Region 1 (East Asia) spikes to 2× its base
+    /// demand while the others idle — the controller must answer with
+    /// `AddNodes` into region 1 only, then drain region 1 back with
+    /// region-local victims once the spike passes. Region 0 hosts the
+    /// external coordination service for baseline backends and is floored
+    /// at 2 nodes.
+    ///
+    /// `granules` is the absolute table size (LocalRunner scenarios pass
+    /// tens of granules, simulator scenarios thousands). Spike edges sit
+    /// 4 s before a control tick so the simulator's EMA utilization fully
+    /// converges before the decisive observation (the same discipline as
+    /// the runner-parity scenario).
+    #[must_use]
+    pub fn geo_autoscale(kind: CoordKind, granules: u64) -> Self {
+        let idle = LoadTrace::constant(40);
+        let hot = LoadTrace::spike(100, 200, 26 * SECOND, 86 * SECOND);
+        let mut s = Scenario::new("geo-autoscale")
+            .backend(kind)
+            .workload(Workload::ycsb(granules))
+            .initial_nodes(8)
+            .control_interval(5 * SECOND)
+            .observe_window(4 * SECOND)
+            .geo()
+            .region_traces(vec![idle.clone(), hot, idle.clone(), idle])
+            .duration(120 * SECOND)
+            .threads_per_node(8);
+        s.name = "geo-autoscale".into(); // .geo() suffixes; keep the preset name
+        let policy = s.regional_reactive_policy(2, 4);
+        s.policy(policy)
+    }
+
     /// The Zipfian-heat rebalance scenario: skewed YCSB access (hot
     /// granules concentrated on the first node's contiguous block), a
     /// hold policy, and the rebalance planner migrating heat off the
@@ -404,7 +483,7 @@ mod tests {
             .duration(9 * SECOND)
             .threads_per_node(2)
             .seed(7)
-            .action(SECOND, ScaleAction::AddNodes { count: 1 })
+            .action(SECOND, ScaleAction::add(1))
             .faults(vec![(2 * SECOND, Fault::Crash(NodeId(1)))]);
         assert_eq!(s.backend, CoordKind::Fdb);
         assert_eq!(s.initial_nodes, 3);
@@ -432,5 +511,62 @@ mod tests {
     #[test]
     fn expected_updates_counts_full_bursts() {
         assert_eq!(expected_membership_updates(8, 15 * SECOND, 50 * SECOND), 24);
+    }
+
+    #[test]
+    fn geo_merges_params_instead_of_clobbering() {
+        // Regression: `.geo()` used to rebuild `params` from
+        // `SimParams::geo()` keeping only the seed, silently discarding
+        // any customization made earlier in the builder chain.
+        let custom = SimParams {
+            migration_service: 123_456,
+            cpu_workers: 9,
+            ..SimParams::default()
+        };
+        let s = Scenario::new("t").params(custom).seed(7).geo();
+        assert_eq!(s.params.regions.regions(), 4, "geo regions installed");
+        assert_eq!(s.params.migration_service, 123_456, "customization kept");
+        assert_eq!(s.params.cpu_workers, 9, "customization kept");
+        assert_eq!(s.params.seed, 7, "seed kept");
+        // Builder order must not matter for the surviving knobs.
+        let custom = SimParams {
+            migration_service: 123_456,
+            ..SimParams::default()
+        };
+        let before = Scenario::new("t").params(custom.clone()).geo();
+        let after = Scenario::new("t").geo().params(SimParams {
+            regions: marlin_sim::RegionMatrix::paper_geo(),
+            ..custom
+        });
+        assert_eq!(
+            before.params.migration_service,
+            after.params.migration_service
+        );
+    }
+
+    #[test]
+    fn out_of_order_actions_are_sorted_at_build() {
+        // Regression: an out-of-order scripted action used to reach the
+        // driver behind the clock and silently fire late at "now".
+        let s = Scenario::new("t")
+            .action(10 * SECOND, ScaleAction::add(1))
+            .action(5 * SECOND, ScaleAction::add(2))
+            .action(10 * SECOND, ScaleAction::add(3));
+        let times: Vec<Nanos> = s.script.iter().map(|&(t, _)| t).collect();
+        assert_eq!(times, vec![5 * SECOND, 10 * SECOND, 10 * SECOND]);
+        // Stable for equal timestamps: call order preserved.
+        assert_eq!(s.script[1].1, ScaleAction::add(1));
+        assert_eq!(s.script[2].1, ScaleAction::add(3));
+    }
+
+    #[test]
+    fn geo_autoscale_is_region_aware() {
+        let s = Scenario::geo_autoscale(CoordKind::Marlin, 1_600);
+        assert_eq!(s.name, "geo-autoscale");
+        assert_eq!(s.params.regions.regions(), 4);
+        assert_eq!(s.region_traces.len(), 4);
+        assert_eq!(s.region_traces[1].peak(), 200, "region 1 spikes 2x");
+        assert_eq!(s.region_traces[0].peak(), 40, "the others idle");
+        assert!(s.policy.is_some() && s.script.is_empty());
     }
 }

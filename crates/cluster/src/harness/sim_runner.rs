@@ -2,11 +2,12 @@
 //! runner, where decisions play out against queueing, cold caches, and
 //! migration contention in virtual time.
 
-use crate::harness::runner::{Fault, MetricsSnapshot, Runner};
+use crate::harness::runner::{Fault, MetricsSnapshot, RegionBreakdown, Runner};
 use crate::harness::scenario::Scenario;
 use crate::sim::ClusterSim;
 use marlin_autoscaler::{Observation, ScaleAction};
 use marlin_sim::Nanos;
+use marlin_workload::LoadTrace;
 
 /// The simulator wrapped as a [`Runner`].
 pub struct SimRunner {
@@ -21,18 +22,51 @@ impl SimRunner {
     /// backend, initial nodes, client generators provisioned for the
     /// trace's peak, the trace's client-count changes pre-installed, and
     /// the membership stress if the scenario asks for it.
+    ///
+    /// Geo scenarios with per-region traces provision one client block
+    /// per region (clients are interleaved over regions, so every region
+    /// can reach the hottest region's peak) and pre-install each region's
+    /// client-count changes independently.
     #[must_use]
     pub fn new(scenario: &Scenario) -> Self {
+        let regions = scenario.params.regions.regions() as u32;
+        let clients = if scenario.region_traces.is_empty() {
+            scenario.trace.peak()
+        } else {
+            assert_eq!(
+                scenario.region_traces.len(),
+                regions as usize,
+                "one region trace per region"
+            );
+            let max_peak = scenario
+                .region_traces
+                .iter()
+                .map(LoadTrace::peak)
+                .max()
+                .unwrap_or(0);
+            regions * max_peak
+        };
         let mut sim = ClusterSim::new(
             scenario.params.clone(),
             scenario.backend,
             &scenario.workload,
             scenario.initial_nodes,
-            scenario.trace.peak(),
+            clients,
             scenario.horizon,
         );
-        for &(t, clients) in scenario.trace.changes() {
-            sim.schedule_client_count(t, clients);
+        if scenario.region_traces.is_empty() {
+            for &(t, clients) in scenario.trace.changes() {
+                sim.schedule_client_count(t, clients);
+            }
+        } else {
+            for (r, trace) in scenario.region_traces.iter().enumerate() {
+                sim.set_region_clients_now(r as u16, trace.clients_at(0));
+                for &(t, count) in trace.changes() {
+                    if t > 0 {
+                        sim.schedule_region_client_count(t, r as u16, count);
+                    }
+                }
+            }
         }
         if let Some((members, period)) = scenario.membership_stress {
             sim.schedule_membership_stress(members, period);
@@ -96,6 +130,25 @@ impl Runner for SimRunner {
 
     fn metrics(&self) -> MetricsSnapshot {
         let m = &self.sim.metrics;
+        let region_commits = self.sim.region_commits();
+        let region_cost = self.sim.region_db_cost();
+        let placements = self.sim.live_nodes_by_region();
+        let region_breakdown = (0..region_commits.len())
+            .map(|r| {
+                let nodes: Vec<u32> = placements
+                    .iter()
+                    .filter(|&&(_, region)| region.0 as usize == r)
+                    .map(|&(n, _)| n)
+                    .collect();
+                RegionBreakdown {
+                    region: r as u16,
+                    live_nodes: nodes.len() as u32,
+                    nodes,
+                    commits: region_commits[r],
+                    db_cost: region_cost[r],
+                }
+            })
+            .collect();
         MetricsSnapshot {
             live_nodes: self.sim.live_nodes(),
             commits: m.total_commits(),
@@ -114,6 +167,7 @@ impl Runner for SimRunner {
             total_cost: self.sim.cost.total_cost(),
             cost_per_mtxn: self.sim.cost.per_million_txns(m.total_commits()),
             node_count: m.node_count.points().to_vec(),
+            region_breakdown,
         }
     }
 }

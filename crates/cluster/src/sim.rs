@@ -206,6 +206,9 @@ enum Event {
     MembershipTick { member: u32 },
     /// Dynamic scenario: change the number of active clients.
     SetClients { count: u32 },
+    /// Geo scenario: change one region's active client count (clients are
+    /// interleaved over regions; region `r`'s clients are `r, r+R, ...`).
+    SetRegionClients { region: u16, count: u32 },
     /// Dynamic scenario: start a migration plan (scale-out or scale-in).
     StartPlan { plan_idx: usize },
     /// Dynamic scenario: drain `victims` onto survivors (the plan is built
@@ -250,8 +253,17 @@ pub struct ClusterSim {
     /// activates when it fires.
     pending_plans: Vec<(MigrationPlan, Vec<u32>)>,
     /// Committed user transactions in the recent past: (commit time,
-    /// client-perceived latency). Pruned to the observation window.
-    recent_commits: std::collections::VecDeque<(Nanos, Nanos)>,
+    /// client-perceived latency, client region). Pruned to the
+    /// observation window.
+    recent_commits: std::collections::VecDeque<(Nanos, Nanos, u16)>,
+    /// Committed user transactions per client region (the §6.5 per-region
+    /// throughput split).
+    region_commits: Vec<u64>,
+    /// Live-node-nanoseconds accrued per region (the per-region DB Cost
+    /// split; mirrors the global `CostModel` accounting).
+    region_node_ns: Vec<f64>,
+    /// Last time `region_node_ns` was brought current.
+    region_accrued_at: Nanos,
     /// Accesses per granule since the last observation (heat sampling for
     /// the rebalance planner).
     granule_hits: Vec<u32>,
@@ -448,6 +460,9 @@ impl ClusterSim {
             workers: Vec::new(),
             pending_plans: Vec::new(),
             recent_commits: std::collections::VecDeque::new(),
+            region_commits: vec![0; regions as usize],
+            region_node_ns: vec![0.0; regions as usize],
+            region_accrued_at: 0,
             granule_hits: vec![0; granule_count as usize],
             draining: Vec::new(),
             region_granules,
@@ -493,6 +508,50 @@ impl ClusterSim {
         self.granules.iter().map(|g| g.owner).collect()
     }
 
+    /// Live node indices with the region each is placed in.
+    #[must_use]
+    pub fn live_nodes_by_region(&self) -> Vec<(u32, RegionId)> {
+        (0..self.nodes.len() as u32)
+            .filter(|&i| self.nodes[i as usize].alive)
+            .map(|i| (i, self.nodes[i as usize].region))
+            .collect()
+    }
+
+    /// Granule ids homed in each region (the §6.5 client-locality sets).
+    #[must_use]
+    pub fn region_granules(&self) -> &[Vec<u64>] {
+        &self.region_granules
+    }
+
+    /// Committed user transactions attributed to each client region.
+    #[must_use]
+    pub fn region_commits(&self) -> &[u64] {
+        &self.region_commits
+    }
+
+    /// DB Cost split per region, from the per-region node-time accrual.
+    #[must_use]
+    pub fn region_db_cost(&self) -> Vec<f64> {
+        self.region_node_ns
+            .iter()
+            .map(|ns| ns / (3600.0 * SECOND as f64) * self.params.node_hourly)
+            .collect()
+    }
+
+    /// Bring the per-region node-time accrual current. Must run *before*
+    /// any `alive` flag flips, mirroring `CostModel::advance`.
+    fn accrue_region_time(&mut self, now: Nanos) {
+        let dt = now.saturating_sub(self.region_accrued_at);
+        if dt > 0 {
+            for n in &self.nodes {
+                if n.alive {
+                    self.region_node_ns[n.region.0 as usize] += dt as f64;
+                }
+            }
+            self.region_accrued_at = now;
+        }
+    }
+
     // ---------------------------------------------------------------------
     // autoscaler hooks (observe / actuate)
 
@@ -517,13 +576,13 @@ impl ClusterSim {
             "observation window exceeds the retained commit history"
         );
         let cutoff = now.saturating_sub(window);
-        self.recent_commits.retain(|&(t, _)| t >= cutoff);
+        self.recent_commits.retain(|&(t, _, _)| t >= cutoff);
         let window_s = (window as f64 / SECOND as f64).max(1e-9);
         let throughput_tps = self.recent_commits.len() as f64 / window_s;
         let p99_latency = if self.recent_commits.is_empty() {
             0
         } else {
-            let mut lat: Vec<Nanos> = self.recent_commits.iter().map(|&(_, l)| l).collect();
+            let mut lat: Vec<Nanos> = self.recent_commits.iter().map(|&(_, l, _)| l).collect();
             lat.sort_unstable();
             lat[(lat.len() - 1) * 99 / 100]
         };
@@ -539,6 +598,7 @@ impl ClusterSim {
             .enumerate()
             .map(|(i, n)| NodeLoad {
                 node: NodeId(i as u32),
+                region: n.region,
                 alive: n.alive,
                 utilization: n.cpu.rho_at(now),
                 owned_granules: owned[i],
@@ -580,7 +640,7 @@ impl ClusterSim {
             .collect();
         self.granule_hits.iter_mut().for_each(|h| *h = 0);
 
-        Observation {
+        let mut obs = Observation {
             at: now,
             live_nodes: self.live_nodes(),
             throughput_tps,
@@ -589,8 +649,33 @@ impl ClusterSim {
             queue_depth,
             dollars_per_hour: self.cost.hourly_rate_now(),
             node_loads,
+            region_loads: Vec::new(),
             granule_loads,
+        };
+        // Per-region digests: utilization/queue grouped from placement,
+        // then throughput and spend replaced with the exact attribution
+        // (commits are tagged with the client's region; the external
+        // coordination service is pinned — and billed — in region 0).
+        obs.derive_region_loads();
+        let meta_hourly = self.cost.meta_hourly();
+        for r in &mut obs.region_loads {
+            let mut lat: Vec<Nanos> = self
+                .recent_commits
+                .iter()
+                .filter(|&&(_, _, creg)| creg == r.region.0)
+                .map(|&(_, l, _)| l)
+                .collect();
+            r.throughput_tps = lat.len() as f64 / window_s;
+            r.p99_latency = if lat.is_empty() {
+                0
+            } else {
+                lat.sort_unstable();
+                lat[(lat.len() - 1) * 99 / 100]
+            };
+            r.dollars_per_hour = f64::from(r.live_nodes) * self.params.node_hourly
+                + if r.region.0 == 0 { meta_hourly } else { 0.0 };
         }
+        obs
     }
 
     /// Actuate one controller decision at virtual time `at`.
@@ -602,9 +687,9 @@ impl ClusterSim {
     /// interval old).
     pub fn apply_action(&mut self, at: Nanos, action: &ScaleAction, threads_per_node: u32) {
         match action {
-            ScaleAction::AddNodes { count } => {
+            ScaleAction::AddNodes { count, region } => {
                 if *count > 0 {
-                    self.schedule_scale_out(at, *count, threads_per_node);
+                    self.schedule_scale_out_in(at, *count, threads_per_node, *region);
                 }
             }
             ScaleAction::RemoveNodes { victims } => {
@@ -658,7 +743,21 @@ impl ClusterSim {
     /// Schedule a scale-out at `at`: `new_nodes` nodes join and the plan's
     /// migrations run with `threads_per_new_node` workers per new node.
     pub fn schedule_scale_out(&mut self, at: Nanos, new_nodes: u32, threads_per_new_node: u32) {
-        let (plan, slots) = self.balanced_plan_for_new_nodes(new_nodes, threads_per_new_node);
+        self.schedule_scale_out_in(at, new_nodes, threads_per_new_node, None);
+    }
+
+    /// Schedule a scale-out with an explicit placement request: the new
+    /// nodes are provisioned in `region` (when given) and the rebalance
+    /// plan drains only that region's members onto them.
+    pub fn schedule_scale_out_in(
+        &mut self,
+        at: Nanos,
+        new_nodes: u32,
+        threads_per_new_node: u32,
+        region: Option<RegionId>,
+    ) {
+        let (plan, slots) =
+            self.balanced_plan_for_new_nodes(new_nodes, threads_per_new_node, region);
         self.pending_plans.push((plan, slots));
         let idx = self.pending_plans.len() - 1;
         self.queue
@@ -669,6 +768,37 @@ impl ClusterSim {
     pub fn schedule_client_count(&mut self, at: Nanos, count: u32) {
         self.queue
             .schedule_at(at, ActorId(0), Event::SetClients { count });
+    }
+
+    /// Schedule a change of one region's active client count (per-region
+    /// load traces; clients are interleaved over regions, so region `r`'s
+    /// `k`-th client is client `r + k·R`).
+    pub fn schedule_region_client_count(&mut self, at: Nanos, region: u16, count: u32) {
+        self.queue
+            .schedule_at(at, ActorId(0), Event::SetRegionClients { region, count });
+    }
+
+    /// Apply a region's client count immediately (the t=0 step of a
+    /// per-region trace, before any event has run).
+    pub fn set_region_clients_now(&mut self, region: u16, count: u32) {
+        self.apply_region_clients(region, count);
+    }
+
+    fn apply_region_clients(&mut self, region: u16, count: u32) {
+        let regions = self.params.regions.regions() as u32;
+        for (i, c) in self.clients.iter_mut().enumerate() {
+            if c.region.0 != region {
+                continue;
+            }
+            let index_in_region = i as u32 / regions;
+            let was = c.active;
+            c.active = index_in_region < count;
+            if !was && c.active {
+                self.queue
+                    .schedule(0, ActorId(0), Event::ClientTxn { client: i as u32 });
+            }
+        }
+        self.active_clients = self.clients.iter().filter(|c| c.active).count() as u32;
     }
 
     /// Schedule a scale-in at `at`: drain `victims` onto the survivors and
@@ -689,10 +819,16 @@ impl ClusterSim {
     /// activates. Released (dead) node slots are reused before fresh ones
     /// are provisioned, so repeated scale-out/in cycles — the closed-loop
     /// controller's steady diet — don't grow the node table without bound.
+    ///
+    /// With a `target_region`, the joining nodes are placed in that region
+    /// (reused slots are re-homed — a released node is a fresh VM) and
+    /// only that region's live members shed granules, so a hot region's
+    /// scale-out never drags another region's data across the WAN.
     fn balanced_plan_for_new_nodes(
         &mut self,
         new_nodes: u32,
         threads_per: u32,
+        target_region: Option<RegionId>,
     ) -> (MigrationPlan, Vec<u32>) {
         let regions = self.params.regions.regions() as u16;
         // Slots already promised to a pending plan are not reusable.
@@ -709,10 +845,15 @@ impl ClusterSim {
             })
             .take(new_nodes as usize)
             .collect();
+        if let Some(r) = target_region {
+            for &slot in &slots {
+                self.nodes[slot as usize].region = r;
+            }
+        }
         while (slots.len() as u32) < new_nodes {
             let idx = self.nodes.len() as u32;
             self.nodes.push(NodeSim {
-                region: RegionId(idx as u16 % regions),
+                region: target_region.unwrap_or(RegionId(idx as u16 % regions)),
                 cpu: CpuModel::new(self.params.cpu_workers),
                 glog: SharedLog::new(),
                 tracker: LsnTracker::new(),
@@ -723,15 +864,27 @@ impl ClusterSim {
         }
 
         let live: Vec<u32> = (0..self.nodes.len() as u32)
-            .filter(|&i| self.nodes[i as usize].alive)
+            .filter(|&i| {
+                self.nodes[i as usize].alive
+                    && target_region.is_none_or(|r| self.nodes[i as usize].region == r)
+            })
             .collect();
         let total = (live.len() + slots.len()) as u64;
-        // Target: every node ends with granule_count/total granules; move
-        // the excess from each live node to the joining ones, preferring
-        // same-region destinations (the geo setting migrates within
-        // regions).
+        // Target: every pool node ends with pool_granules/total granules;
+        // move the excess from each live pool member to the joining ones,
+        // preferring same-region destinations (the geo setting migrates
+        // within regions). The pool is the whole table for an untargeted
+        // add, and the target region's owned granules for a targeted one.
         let mut tasks: Vec<MigrationTask> = Vec::new();
-        let per_node_target = self.granules.len() as u64 / total.max(1);
+        let pool_granules = match target_region {
+            None => self.granules.len() as u64,
+            Some(_) => self
+                .granules
+                .iter()
+                .filter(|g| live.contains(&g.owner))
+                .count() as u64,
+        };
+        let per_node_target = pool_granules / total.max(1);
         let mut surplus: std::collections::BTreeMap<u32, Vec<u64>> =
             live.iter().map(|&i| (i, Vec::new())).collect();
         for (g, gran) in self.granules.iter().enumerate() {
@@ -779,13 +932,34 @@ impl ClusterSim {
     }
 
     /// Build a drain plan that empties `victims` (node indices) onto the
-    /// remaining live nodes.
+    /// remaining live nodes. Drains stay region-local: each victim's
+    /// granules land on survivors in its own region, falling back to the
+    /// full survivor set only when the drain empties the region (so the
+    /// geo setting never ships a drained granule across the WAN while
+    /// local capacity exists).
     #[must_use]
     pub fn drain_plan(&self, victims: &[u32], threads_per_victim: u32) -> MigrationPlan {
         let survivors: Vec<u32> = (0..self.nodes.len() as u32)
             .filter(|i| self.nodes[*i as usize].alive && !victims.contains(i))
             .collect();
         assert!(!survivors.is_empty(), "drain needs at least one survivor");
+        // Per-victim destination pool: same-region survivors when any.
+        let pools: Vec<Vec<u32>> = victims
+            .iter()
+            .map(|&v| {
+                let region = self.nodes[v as usize].region;
+                let local: Vec<u32> = survivors
+                    .iter()
+                    .copied()
+                    .filter(|&s| self.nodes[s as usize].region == region)
+                    .collect();
+                if local.is_empty() {
+                    survivors.clone()
+                } else {
+                    local
+                }
+            })
+            .collect();
         let mut queues: Vec<Vec<MigrationTask>> =
             vec![Vec::new(); (victims.len() as u32 * threads_per_victim).max(1) as usize];
         let mut rr = 0usize;
@@ -794,7 +968,8 @@ impl ClusterSim {
         let mut cursor = vec![0usize; victims.len()];
         for (g, gran) in self.granules.iter().enumerate() {
             if let Some(vi) = victims.iter().position(|v| *v == gran.owner) {
-                let dst = survivors[rr % survivors.len()];
+                let pool = &pools[vi];
+                let dst = pool[rr % pool.len()];
                 rr += 1;
                 let thread =
                     vi * threads_per_victim as usize + cursor[vi] % threads_per_victim as usize;
@@ -862,6 +1037,7 @@ impl ClusterSim {
     pub fn finish(&mut self) {
         let final_nodes = self.live_nodes();
         self.cost.advance(self.horizon, final_nodes);
+        self.accrue_region_time(self.horizon);
         self.cost.sample_into(&mut self.cost_series, self.horizon);
     }
 
@@ -881,6 +1057,7 @@ impl ClusterSim {
             Event::CostTick => {
                 let live = self.live_nodes();
                 self.cost.advance(now, live);
+                self.accrue_region_time(now);
                 self.cost.sample_into(&mut self.cost_series, now);
                 self.metrics.node_count.push(now, f64::from(live));
                 self.queue.schedule(SECOND, ActorId(0), Event::CostTick);
@@ -897,11 +1074,13 @@ impl ClusterSim {
                     }
                 }
             }
+            Event::SetRegionClients { region, count } => self.apply_region_clients(region, count),
             Event::StartPlan { plan_idx } => {
                 let (plan, activate) = std::mem::take(&mut self.pending_plans[plan_idx]);
                 // This plan's nodes join the membership now (AddNodeTxn
                 // cost). Other dead slots stay released — they may belong
                 // to a different pending plan or to a finished drain.
+                self.accrue_region_time(now);
                 for slot in activate {
                     self.nodes[slot as usize].alive = true;
                 }
@@ -1121,12 +1300,18 @@ impl ClusterSim {
             self.granule_hits[g as usize] += 1;
         }
         self.metrics.commit(t_end, t_end - started);
-        self.recent_commits.push_back((t_end, t_end - started));
+        self.recent_commits
+            .push_back((t_end, t_end - started, client_region.0));
+        self.region_commits[client_region.0 as usize] += 1;
         // Keep the window bounded here, not only in observe(): scripted
         // scenarios and the figure benches never observe, and a
         // paper-scale run commits tens of millions of transactions.
         let floor = t_end.saturating_sub(Self::MAX_OBSERVE_WINDOW);
-        while self.recent_commits.front().is_some_and(|&(t, _)| t < floor) {
+        while self
+            .recent_commits
+            .front()
+            .is_some_and(|&(t, _, _)| t < floor)
+        {
             self.recent_commits.pop_front();
         }
         self.clients[c].strikes = 0;
@@ -1313,6 +1498,7 @@ impl ClusterSim {
 
     fn release_drained(&mut self, now: Nanos) {
         let mut released = false;
+        self.accrue_region_time(now);
         let draining = std::mem::take(&mut self.draining);
         let mut still = Vec::new();
         for v in draining {

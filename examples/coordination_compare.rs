@@ -27,7 +27,7 @@ fn main() {
             .initial_nodes(4)
             .threads_per_node(12)
             .duration(60 * SECOND)
-            .action(5 * SECOND, ScaleAction::AddNodes { count: 4 });
+            .action(5 * SECOND, ScaleAction::add(4));
         let mut runner = SimRunner::new(&scenario);
         let report = run(scenario, &mut runner);
         let m = &report.metrics;

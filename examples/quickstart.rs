@@ -103,7 +103,7 @@ fn main() {
         .workload(Workload::ycsb(16))
         .initial_nodes(2)
         .duration(10 * SECOND)
-        .action(2 * SECOND, ScaleAction::AddNodes { count: 2 });
+        .action(2 * SECOND, ScaleAction::add(2));
     let mut runner = LocalRunner::new(&scenario);
     let report = run(scenario, &mut runner);
     println!(

@@ -96,6 +96,139 @@ fn simulator_decision_log_is_reproducible_bit_for_bit() {
 }
 
 // ---------------------------------------------------------------------------
+// Geo autoscale: per-region decisions, region-local drains
+
+fn run_geo_local(granules: u64, seed: u64) -> (RunReport, Vec<(u64, String)>) {
+    let scenario = Scenario::geo_autoscale(CoordKind::Marlin, granules).seed(seed);
+    let mut runner = LocalRunner::new(&scenario);
+    let report = run(scenario, &mut runner);
+    runner.harness().cluster.assert_invariants();
+    let sig = report.decision_signature();
+    (report, sig)
+}
+
+fn run_geo_sim(granules: u64, seed: u64) -> (RunReport, SimRunner) {
+    let scenario = Scenario::geo_autoscale(CoordKind::Marlin, granules).seed(seed);
+    let mut runner = SimRunner::new(&scenario);
+    let report = run(scenario, &mut runner);
+    (report, runner)
+}
+
+#[test]
+fn geo_autoscale_decision_logs_match_on_both_runners() {
+    let (local, local_sig) = run_geo_local(64, 42);
+    let (sim, _) = run_geo_sim(1_600, 42);
+    assert_eq!(
+        local_sig,
+        sim.decision_signature(),
+        "local {local_sig:?} vs sim {:?}",
+        sim.decision_signature()
+    );
+    // The shared log is non-trivial and region-targeted: region 1's 2×
+    // spike provokes exactly one scale-out into region 1 and one
+    // region-local drain after the calm; no other region ever scales.
+    assert_eq!(local_sig.len(), 2, "{local_sig:?}");
+    assert_eq!(local_sig[0].1, "add+2@r1");
+    assert_eq!(local_sig[1].1, "remove-2");
+    // Both runners end where they started: two nodes in each region.
+    for report in [&local, &sim] {
+        assert_eq!(report.metrics.live_nodes, 8, "{}", report.runner);
+        for r in 0..4u16 {
+            let b = report.metrics.region(r).expect("breakdown per region");
+            assert_eq!(
+                b.live_nodes, 2,
+                "{}: region {r} must end at its floor",
+                report.runner
+            );
+        }
+    }
+}
+
+#[test]
+fn geo_autoscale_adds_land_in_the_hot_region_and_drains_stay_local() {
+    let (report, runner) = run_geo_sim(1_600, 42);
+    // Every scale-out in the log targets region 1 (the spiking region).
+    let mut adds = 0;
+    for rec in report.actions() {
+        if let Some(marlin::autoscaler::ScaleAction::AddNodes { region, .. }) = &rec.action {
+            assert_eq!(
+                *region,
+                Some(marlin::common::RegionId(1)),
+                "scale-out must target the hot region"
+            );
+            adds += 1;
+        }
+    }
+    assert!(adds >= 1, "the spike must provoke a scale-out");
+    // The spike peaked region 1 at 4 nodes while the others held at 2.
+    let peak_r1 = report
+        .log
+        .iter()
+        .flat_map(|r| r.observation.regions.iter())
+        .filter(|r| r.region == marlin::common::RegionId(1))
+        .map(|r| r.live_nodes)
+        .max()
+        .unwrap_or(0);
+    assert_eq!(peak_r1, 4, "region 1 doubles at the spike");
+    for quiet in [0u16, 2, 3] {
+        let peak = report
+            .log
+            .iter()
+            .flat_map(|r| r.observation.regions.iter())
+            .filter(|r| r.region == marlin::common::RegionId(quiet))
+            .map(|r| r.live_nodes)
+            .max()
+            .unwrap_or(0);
+        assert_eq!(peak, 2, "idle region {quiet} never scales");
+    }
+    // Region-local drains: every region-1-homed granule is owned by a
+    // live region-1 node at the end — the drain never shipped data to
+    // another region while local capacity existed.
+    let owners = runner.sim().owners();
+    let r1_nodes: Vec<u32> = runner
+        .sim()
+        .live_nodes_by_region()
+        .into_iter()
+        .filter(|&(_, r)| r == marlin::common::RegionId(1))
+        .map(|(n, _)| n)
+        .collect();
+    for &g in &runner.sim().region_granules()[1] {
+        assert!(
+            r1_nodes.contains(&owners[g as usize]),
+            "granule {g} homed in region 1 ended on node {} (region-1 nodes: {r1_nodes:?})",
+            owners[g as usize]
+        );
+    }
+    // The per-region split reaches the metrics: the hot region committed
+    // more and cost more than each idle region.
+    let hot = report.metrics.region(1).expect("region 1 breakdown");
+    for quiet in [0u16, 2, 3] {
+        let idle = report.metrics.region(quiet).expect("idle breakdown");
+        assert!(
+            hot.commits > idle.commits,
+            "hot region commits {} vs region {quiet} {}",
+            hot.commits,
+            idle.commits
+        );
+        assert!(
+            hot.db_cost > idle.db_cost,
+            "hot region cost {} vs region {quiet} {}",
+            hot.db_cost,
+            idle.db_cost
+        );
+    }
+}
+
+#[test]
+fn geo_autoscale_parity_holds_across_seeds() {
+    for seed in [7, 1234] {
+        let (_, local_sig) = run_geo_local(64, seed);
+        let (sim, _) = run_geo_sim(1_600, seed);
+        assert_eq!(local_sig, sim.decision_signature(), "seed {seed}");
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Zipfian-heat rebalance
 
 #[test]

@@ -18,7 +18,7 @@ fn scale_out(kind: CoordKind) -> Scenario {
         .initial_nodes(4)
         .threads_per_node(8)
         .duration(25 * SECOND)
-        .action(2 * SECOND, ScaleAction::AddNodes { count: 4 })
+        .action(2 * SECOND, ScaleAction::add(4))
 }
 
 fn report_and_owners(kind: CoordKind) -> (MetricsSnapshot, Vec<u32>) {

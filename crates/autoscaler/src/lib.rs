@@ -67,6 +67,10 @@
 //! [`RebalancePlanner`]: rebalance::RebalancePlanner
 //! [`LocalHarness`]: local::LocalHarness
 
+// Every public item in the control loop is API surface for scenario
+// authors; CI escalates this to an error via RUSTDOCFLAGS=-D warnings.
+#![warn(missing_docs)]
+
 pub mod controller;
 pub mod local;
 pub mod observe;

@@ -34,6 +34,13 @@ pub struct NodeLoad {
     /// CPU utilization (offered work over capacity). Unlike the
     /// observation-level mean this is *raw*: values above 1 expose how far
     /// past saturation the node is being driven.
+    ///
+    /// The number is offered load per worker-capacity in every runner;
+    /// what differs is provenance. The simulator's analytic mode reports
+    /// an EMA *estimate* of it; its per-request mode *measures* it
+    /// exactly over the observation window (service demand arrived ÷
+    /// capacity held); the synchronous runtime synthesizes it from the
+    /// client trace. In every case >1 means demand outran capacity.
     pub utilization: f64,
     /// Granules the node currently owns.
     pub owned_granules: u64,
@@ -62,7 +69,12 @@ pub struct RegionLoad {
     /// Mean CPU utilization across the region's live nodes, clamped to
     /// `[0, 1]` (the excess shows up in `queue_depth`).
     pub mean_utilization: f64,
-    /// Mean offered work beyond capacity across the region's live nodes.
+    /// Mean per-node overload across the region's live nodes.
+    /// [`Observation::derive_region_loads`] fills it with the modeled
+    /// utilization excess above 1; runners that measure real queues
+    /// (the simulator in per-request mode) overwrite it with the mean
+    /// measured queue length per worker over the region's stations —
+    /// see [`Observation::queue_depth`] for the two semantics.
     pub queue_depth: f64,
     /// p99 commit latency of the region's clients over the sampling
     /// window. Runners that attribute commits exactly (the simulator)
@@ -92,8 +104,20 @@ pub struct Observation {
     pub p99_latency: Nanos,
     /// Mean CPU utilization across live nodes, `[0, 1]`.
     pub mean_utilization: f64,
-    /// Mean offered work *beyond* capacity across live nodes (0 when the
-    /// cluster is keeping up; grows as queues build).
+    /// Mean per-node overload across live nodes: the part of each node's
+    /// raw utilization above 1, averaged (0 when the cluster is keeping
+    /// up; grows as queues build).
+    ///
+    /// Its meaning sharpens with the runner's CPU model:
+    ///
+    /// - analytic EMA (`CpuModel::Analytic`, the simulator's default) —
+    ///   *modeled* offered work beyond capacity, an estimate smoothed by
+    ///   the EMA time constant (the mean of each node's utilization
+    ///   excess above 1);
+    /// - per-request queueing (`CpuModel::PerRequest`) — the *real*
+    ///   queue length per worker, measured from the stations'
+    ///   waiting-time integrals and time-averaged over the observation
+    ///   window (not derived from a utilization excess).
     pub queue_depth: f64,
     /// Current spend rate (compute + coordination service), $/hour.
     pub dollars_per_hour: f64,

@@ -132,6 +132,12 @@ pub struct ReactiveConfig {
     pub low_utilization: f64,
     /// Optional latency escape hatch: scale out when p99 exceeds this even
     /// if utilization looks fine (queueing can hide behind EMA smoothing).
+    ///
+    /// Under the simulator's per-request CPU model the observed p99 is
+    /// built from exact sojourn times, so this hatch fires on *real*
+    /// queue build-up — typically one control tick before the analytic
+    /// model's smoothed utilization crosses the high watermark (pinned
+    /// by `tests/cpu_model.rs`).
     pub p99_ceiling: Option<Nanos>,
     /// Nodes added or removed per action.
     pub step_nodes: u32,
@@ -307,21 +313,36 @@ impl ScalingPolicy for TargetUtilizationPolicy {
 
     fn decide(&mut self, obs: &Observation) -> Option<ScaleAction> {
         let live = f64::from(obs.live_nodes);
-        // Offered load in node-capacity units. The per-node utilizations
-        // are the raw plant signal (they exceed 1 under overload and
-        // already include any queue build-up), so summing them is exact.
-        // The summary-field fallback must clamp the mean before adding
-        // `queue_depth * live`: `queue_depth` is the mean per-node excess
-        // *rate* beyond capacity, i.e. exactly the part a clamped mean
-        // drops — adding it to an *unclamped* mean counts every unit of
-        // backlog twice and makes the PI plant model overshoot whenever a
-        // queue exists.
+        // Offered load in node-capacity units: the sum of the raw
+        // per-node utilizations, plus whatever backlog `queue_depth`
+        // reports *beyond* what those utilizations already explain.
+        //
+        // The correction term is what keeps both observation dialects
+        // honest without double counting. Under the analytic CPU model
+        // utilizations exceed 1 under overload and `queue_depth` is
+        // exactly their mean excess — the subtraction cancels it to
+        // zero and the sum alone is the plant signal (adding
+        // `queue_depth` on top would count every unit of backlog twice
+        // and overshoot). Under the per-request model completions gate
+        // arrivals, so measured utilizations self-limit near 1 while
+        // the real backlog rides only in `queue_depth` — there the
+        // excess is ~0 and the correction injects the full queue, so a
+        // deep backlog still sizes the cluster up instead of being
+        // invisible to the sum.
+        //
+        // The summary-field fallback (no per-node loads) clamps the
+        // mean before adding `queue_depth * live` for the same reason.
         let offered = if obs.node_loads.iter().any(|n| n.alive) {
-            obs.node_loads
+            let alive: Vec<f64> = obs
+                .node_loads
                 .iter()
                 .filter(|n| n.alive)
                 .map(|n| n.utilization.max(0.0))
-                .sum::<f64>()
+                .collect();
+            let explained_excess =
+                alive.iter().map(|u| (u - 1.0).max(0.0)).sum::<f64>() / alive.len() as f64;
+            let unexplained_queue = (obs.queue_depth - explained_excess).max(0.0);
+            alive.iter().sum::<f64>() + unexplained_queue * alive.len() as f64
         } else {
             obs.mean_utilization.min(1.0) * live + obs.queue_depth * live
         };
@@ -642,6 +663,48 @@ mod tests {
         assert_eq!(sized(clamped), count);
         // The old formula would have used offered = (1.2 + 0.2) * 4 = 5.6
         // → error 5.33 → +4: one full node of overshoot.
+    }
+
+    #[test]
+    fn measured_queue_beyond_utilization_enters_the_plant_model() {
+        // The per-request CPU model's observation dialect: measured
+        // utilizations self-limit near 1 under closed-loop saturation
+        // (completions gate arrivals) while the real backlog is
+        // reported only in `queue_depth`. The plant model must inject
+        // that unexplained backlog, or a deep queue sizes like a
+        // barely-full cluster.
+        let mut p = TargetUtilizationPolicy::new(TargetUtilizationConfig {
+            cooldown: 0,
+            ..TargetUtilizationConfig::paper_default(2, 64)
+        });
+        let mut obs = Observation::uniform(0, 4, 1.0);
+        obs.queue_depth = 2.0; // 2 requests queued per worker, measured
+                               // Offered = 4×1.0 + (2.0 − 0.0)×4 = 12; neutral at 0.6 = 20;
+                               // error 16 → kp·16 ≈ +13.
+        match p.decide(&obs) {
+            Some(ScaleAction::AddNodes { count, .. }) => {
+                assert!(count >= 8, "deep backlog must size up hard, got +{count}");
+            }
+            other => panic!("expected a large scale-out, got {other:?}"),
+        }
+        // Same queue_depth fully explained by over-1 utilizations (the
+        // analytic dialect) must NOT be added again on top.
+        let mut p = TargetUtilizationPolicy::new(TargetUtilizationConfig {
+            cooldown: 0,
+            ..TargetUtilizationConfig::paper_default(2, 64)
+        });
+        let mut analytic = Observation::uniform(0, 4, 3.0);
+        analytic.queue_depth = 2.0; // == mean excess of 3.0-utilization nodes
+                                    // Offered = 4×3.0 + (2.0 − 2.0)×4 = 12: identical sizing.
+        match p.decide(&analytic) {
+            Some(ScaleAction::AddNodes { count, .. }) => {
+                assert!(
+                    count >= 8,
+                    "analytic dialect sizes identically, got +{count}"
+                );
+            }
+            other => panic!("expected a large scale-out, got {other:?}"),
+        }
     }
 
     #[test]

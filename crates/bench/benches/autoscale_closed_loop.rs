@@ -54,5 +54,21 @@ fn main() {
         reports.push(report);
     }
     print!("{}", table.render());
+
+    // The diurnal companion: two demand cycles between 4 and 12 nodes'
+    // worth of load, same reactive policy. The interesting number is how
+    // many scale actions the controller spends tracking the curve.
+    println!("\ndiurnal curve (Marlin, 2 cycles, 4-12 nodes):");
+    let scenario = Scenario::autoscale_diurnal(CoordKind::Marlin, 20_000 / scale().max(10));
+    let mut runner = SimRunner::new(&scenario);
+    let report = run(scenario, &mut runner);
+    println!(
+        "  peak nodes {}  scale actions {}  commits {}  total ${:.4}",
+        report.peak_nodes(),
+        report.scale_action_count(),
+        report.metrics.commits,
+        report.metrics.total_cost,
+    );
+    reports.push(report);
     maybe_write_json(&reports);
 }

@@ -177,6 +177,7 @@ pub fn run(scenario: Scenario, runner: &mut dyn Runner) -> RunReport {
         backend: backend.name().to_string(),
         runner: runner.name().to_string(),
         policy: policy_name,
+        cpu_model: params.cpu_model.name().to_string(),
         seed: params.seed,
         horizon,
         log,

@@ -110,6 +110,11 @@ pub struct RunReport {
     pub runner: String,
     /// Policy name, if the run was closed-loop.
     pub policy: Option<String>,
+    /// Which CPU congestion model produced the latency/utilization
+    /// numbers ("analytic" or "per-request"; meaningful on the
+    /// simulator — `LocalRunner` synthesizes observations, but the
+    /// scenario's choice is recorded either way).
+    pub cpu_model: String,
     /// The deterministic seed the run used.
     pub seed: u64,
     /// End of simulated time.
@@ -190,6 +195,7 @@ impl RunReport {
             None => "null".into(),
         };
         field(&mut out, "policy", &policy);
+        field(&mut out, "cpu_model", &json_str(&self.cpu_model));
         field(&mut out, "seed", &self.seed.to_string());
         field(&mut out, "horizon_ns", &self.horizon.to_string());
         let log: Vec<String> = self.log.iter().map(record_json).collect();
@@ -518,6 +524,7 @@ mod tests {
             backend: "Marlin".into(),
             runner: "cluster-sim".into(),
             policy: Some("reactive".into()),
+            cpu_model: "analytic".into(),
             seed: 42,
             horizon: 3_000_000_000,
             log: vec![DecisionRecord {
@@ -555,6 +562,7 @@ mod tests {
     fn json_round_trip_contains_the_decision_log() {
         let j = report().to_json();
         assert!(j.contains("\"scenario\":\"unit \\\"quoted\\\"\""));
+        assert!(j.contains("\"cpu_model\":\"analytic\""));
         assert!(j.contains("\"kind\":\"remove_nodes\""));
         assert!(j.contains("\"victims\":[3]"));
         assert!(j.contains("\"node_utilization\":[[0,0.92],[1,0.88]]"));

@@ -9,7 +9,7 @@
 //! §6 is one preset constructor below instead of a bespoke driver file.
 
 use crate::harness::runner::Fault;
-use crate::params::{CoordKind, SimParams};
+use crate::params::{CoordKind, CpuModel, SimParams};
 use crate::sim::Workload;
 use marlin_autoscaler::{
     ReactiveConfig, ReactivePolicy, RebalanceConfig, RegionalPolicy, ScaleAction, ScalingPolicy,
@@ -212,6 +212,17 @@ impl Scenario {
         self
     }
 
+    /// Select the CPU congestion model ([`CpuModel::Analytic`] EMA vs
+    /// [`CpuModel::PerRequest`] exact queueing). Only the simulator
+    /// prices CPU — `LocalRunner` synthesizes observations — but the
+    /// choice is recorded in the [`RunReport`](crate::harness::RunReport)
+    /// either way so artifacts say which model produced their numbers.
+    #[must_use]
+    pub fn cpu_model(mut self, model: CpuModel) -> Self {
+        self.params.cpu_model = model;
+        self
+    }
+
     /// Set the deterministic seed.
     #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
@@ -406,6 +417,34 @@ impl Scenario {
         s.policy(policy)
     }
 
+    /// The CPU-model comparison: the §6.6 autoscale spike (400→800→400
+    /// clients, 8–16 nodes) under one of the two [`CpuModel`]s, with the
+    /// reactive policy's p99 escape hatch armed (150 ms ceiling).
+    ///
+    /// Run it once per [`CpuModel::all`] and diff the decision logs and
+    /// p99 series: under `Analytic` the EMA clamp caps per-request delay,
+    /// so the spike's tail latency flattens and the escape hatch rarely
+    /// fires; under `PerRequest` the same seed and trace produce exact
+    /// sojourn times, so p99 tracks the real queue build-up immediately
+    /// — the latency-accurate station behavior Marlin's §6 tail-latency
+    /// results depend on. `MARLIN_SCALE`-style `granule_scale` shrinks
+    /// the table for quick runs (1 = paper scale).
+    #[must_use]
+    pub fn cpu_model_comparison(kind: CoordKind, granule_scale: u64, model: CpuModel) -> Self {
+        // Derive from the §6.6 preset so retuning `autoscale_spike` can
+        // never silently break comparability; only the CPU model, the
+        // name, and the policy (same bounds, p99 hatch armed) differ.
+        let mut s = Scenario::autoscale_spike(kind, granule_scale).cpu_model(model);
+        s.name = format!("cpu-model-{}", model.name());
+        let policy = Box::new(ReactivePolicy::new(ReactiveConfig {
+            step_nodes: s.initial_nodes,
+            cooldown: 3 * s.control_interval,
+            p99_ceiling: Some(150 * marlin_sim::MILLISECOND),
+            ..ReactiveConfig::paper_default(s.initial_nodes, 2 * s.initial_nodes)
+        }));
+        s.policy(policy)
+    }
+
     /// The §6.5 setup as a *live control loop* instead of a static
     /// latency overlay: four regions with two nodes each, per-region
     /// demand, and the region-aware controller free to size every region
@@ -557,6 +596,25 @@ mod tests {
         // Stable for equal timestamps: call order preserved.
         assert_eq!(s.script[1].1, ScaleAction::add(1));
         assert_eq!(s.script[2].1, ScaleAction::add(3));
+    }
+
+    #[test]
+    fn cpu_model_comparison_presets_differ_only_in_the_model() {
+        let analytic = Scenario::cpu_model_comparison(CoordKind::Marlin, 10, CpuModel::Analytic);
+        let per_req = Scenario::cpu_model_comparison(CoordKind::Marlin, 10, CpuModel::PerRequest);
+        assert_eq!(analytic.name, "cpu-model-analytic");
+        assert_eq!(per_req.name, "cpu-model-per-request");
+        assert_eq!(analytic.params.cpu_model, CpuModel::Analytic);
+        assert_eq!(per_req.params.cpu_model, CpuModel::PerRequest);
+        // Everything else matches, so the logs are comparable.
+        assert_eq!(analytic.initial_nodes, per_req.initial_nodes);
+        assert_eq!(analytic.horizon, per_req.horizon);
+        assert_eq!(analytic.params.seed, per_req.params.seed);
+        assert_eq!(analytic.trace.peak(), per_req.trace.peak());
+        assert!(analytic.policy.is_some() && per_req.policy.is_some());
+        // The builder knob reaches params for hand-rolled scenarios too.
+        let s = Scenario::new("t").cpu_model(CpuModel::PerRequest);
+        assert_eq!(s.params.cpu_model, CpuModel::PerRequest);
     }
 
     #[test]

@@ -26,6 +26,13 @@
 //!   JSON-serializable [`RunReport`] with the full controller decision
 //!   log.
 //! - [`report`] — plain-text series/table rendering for the bench mains.
+//!
+//! The architecture overview — crate map, control loop, harness, region
+//! axis, and CPU-model guidance — lives in `docs/ARCHITECTURE.md`.
+
+// Everything public here is experiment-facing API; CI escalates this to
+// an error via RUSTDOCFLAGS=-D warnings.
+#![warn(missing_docs)]
 
 pub mod cost;
 pub mod harness;
@@ -37,5 +44,5 @@ pub mod sim;
 pub use cost::CostModel;
 pub use harness::{run, LocalRunner, RunReport, Runner, Scenario, SimRunner};
 pub use metrics::RunMetrics;
-pub use params::{CoordKind, SimParams};
-pub use sim::{ClusterSim, MigrationPlan, Workload};
+pub use params::{CoordKind, CpuModel, SimParams};
+pub use sim::{ClusterSim, CpuStation, MigrationPlan, PerRequestStation, Workload};

@@ -70,6 +70,62 @@ impl CoordKind {
     }
 }
 
+/// Which CPU congestion model each simulated node runs.
+///
+/// The simulator executes a transaction's whole timeline in one event,
+/// so CPU demands reach a node's station out of chronological order.
+/// Two models handle that, with different fidelity/cost trade-offs:
+///
+/// - [`CpuModel::Analytic`] (the default) — the historical EMA station:
+///   each request is charged its service time plus an M/M/c-style
+///   congestion delay derived from an exponentially-averaged utilization
+///   estimate. Fast, smooth, and bit-identical to every decision log
+///   produced before this enum existed — but latency is an
+///   *approximation*: the congestion factor is clamped below saturation,
+///   so p99s under a sustained overload flatten instead of growing with
+///   the real backlog.
+/// - [`CpuModel::PerRequest`] — a true per-request queueing station:
+///   every request books a concrete service slot on a concrete worker
+///   (earliest-fit over per-worker reservation calendars), and its
+///   latency is the *exact sojourn time* — waiting plus service. Queue
+///   build-up appears in p99s immediately and without a ceiling, which
+///   is what makes scaling-policy comparisons around latency SLOs
+///   credible (the Marlin §6 tail-latency claims, the autoscaler's
+///   `p99_ceiling` escape hatch). Costs O(in-flight bookings) per charge
+///   instead of O(1).
+///
+/// Use `Analytic` for cheap sweeps and anywhere historical decision-log
+/// parity matters; use `PerRequest` when the experiment's subject is
+/// latency under load (tail-latency figures, latency-triggered scaling).
+/// See `docs/ARCHITECTURE.md` for the full guidance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CpuModel {
+    /// Analytic EMA congestion model (historical behavior, O(1) per
+    /// request, approximate latency).
+    #[default]
+    Analytic,
+    /// Per-request queueing station (exact sojourn times, real queue
+    /// lengths in observations).
+    PerRequest,
+}
+
+impl CpuModel {
+    /// Stable lowercase name used in reports and JSON artifacts.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CpuModel::Analytic => "analytic",
+            CpuModel::PerRequest => "per-request",
+        }
+    }
+
+    /// Both models, in comparison order (the model-comparison preset).
+    #[must_use]
+    pub fn all() -> [CpuModel; 2] {
+        [CpuModel::Analytic, CpuModel::PerRequest]
+    }
+}
+
 /// All tunable constants of the simulated testbed.
 #[derive(Clone, Debug)]
 pub struct SimParams {
@@ -88,6 +144,8 @@ pub struct SimParams {
     // -- compute node (Standard D4s v3: 4 vCPU) -----------------------------
     /// Worker threads per node serving requests.
     pub cpu_workers: usize,
+    /// How each node's CPU congestion is modeled (see [`CpuModel`]).
+    pub cpu_model: CpuModel,
     /// CPU service time per user request (parse, index, lock, buffer).
     pub req_service: Nanos,
     /// CPU service time per migration step at src/dst.
@@ -145,6 +203,7 @@ impl Default for SimParams {
             // the same one-way latency as any other intra-region hop.
             regions: RegionMatrix::single(1_500 * MICROSECOND),
             cpu_workers: 4,
+            cpu_model: CpuModel::default(),
             req_service: 180 * MICROSECOND,
             migration_service: 60 * MICROSECOND,
             group_commit_wait: 500 * MICROSECOND,
@@ -203,5 +262,15 @@ mod tests {
         assert!(p.backoff_cap >= p.backoff_base);
         assert_eq!(p.regions.regions(), 1);
         assert_eq!(SimParams::geo().regions.regions(), 4);
+    }
+
+    #[test]
+    fn cpu_model_defaults_to_analytic_for_decision_log_parity() {
+        // The default must stay `Analytic`: every historical decision log
+        // (and the runner-parity pins) was produced by the EMA station.
+        assert_eq!(SimParams::default().cpu_model, CpuModel::Analytic);
+        assert_eq!(CpuModel::Analytic.name(), "analytic");
+        assert_eq!(CpuModel::PerRequest.name(), "per-request");
+        assert_eq!(CpuModel::all(), [CpuModel::Analytic, CpuModel::PerRequest]);
     }
 }

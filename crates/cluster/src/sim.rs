@@ -19,10 +19,17 @@
 //! per-granule busy windows and migration marks. This keeps 100K-migration
 //! scale-outs tractable while preserving queueing behavior (stations are
 //! work-conserving across interleaved offers).
+//!
+//! Node CPU congestion is priced by one of two station models, selected
+//! per run via [`SimParams::cpu_model`]: [`CpuStation`] (the analytic EMA
+//! default, bit-identical to historical decision logs) or
+//! [`PerRequestStation`] (a per-request reservation calendar yielding
+//! exact sojourn times and real queue lengths). See
+//! [`crate::params::CpuModel`] for the trade-off.
 
 use crate::cost::CostModel;
 use crate::metrics::RunMetrics;
-use crate::params::{CoordKind, SimParams};
+use crate::params::{CoordKind, CpuModel, SimParams};
 use bytes::Bytes;
 use marlin_autoscaler::{GranuleLoad, NodeLoad, Observation, ScaleAction};
 use marlin_baselines::{CoordReply, CoordRequest, CoordinationService, FdbService, ZkService};
@@ -32,39 +39,47 @@ use marlin_sim::{ActorId, DetRng, EventQueue, Nanos, TimeSeries, SECOND};
 use marlin_storage::SharedLog;
 use marlin_workload::{TpccConfig, TpccGenerator, TxnTemplate, YcsbConfig, YcsbGenerator};
 
-/// Analytic CPU congestion model for one node.
+/// Analytic (EMA) CPU congestion station — [`CpuModel::Analytic`].
 ///
 /// Transactions compute their full timeline in a single event, which means
-/// CPU demands arrive out of chronological order — a FIFO queue station
-/// would serialize unrelated transactions behind far-future bookings.
-/// Instead the node tracks an exponentially-averaged utilization (offered
-/// work per unit time over `TAU`) and charges each request its service
-/// time plus an M/M/c-style congestion delay `service * rho / (1 - rho)`.
-/// The closed-loop clients then settle into the classic equilibrium: an
-/// overloaded 8-node cluster saturates near its capacity, and the
-/// scale-out to 16 relieves it (the Figure 9 shape).
-struct CpuModel {
+/// CPU demands arrive out of chronological order — a naive FIFO queue
+/// station would serialize unrelated transactions behind far-future
+/// bookings. This station instead tracks an exponentially-averaged
+/// utilization (offered work per unit time over a 0.5 s EMA constant) and charges
+/// each request its service time plus an M/M/c-style congestion delay
+/// `service * rho / (1 - rho)` with `rho` clamped at 0.98. The closed-loop
+/// clients then settle into the classic equilibrium: an overloaded 8-node
+/// cluster saturates near its capacity, and the scale-out to 16 relieves
+/// it (the Figure 9 shape).
+///
+/// The clamp is also the model's known blind spot: under sustained
+/// overload per-request delay caps at `49 × service`, so tail latency
+/// flattens where a real queue keeps growing. [`PerRequestStation`]
+/// removes that approximation at a higher bookkeeping cost.
+pub struct CpuStation {
     workers: f64,
     /// EMA load estimator: expected value = arrival_rate x mean_service.
     load: f64,
     last: Nanos,
 }
 
-/// EMA time constant for the CPU load estimator.
+/// EMA time constant for the analytic CPU load estimator (0.5 s).
 const CPU_TAU: f64 = 0.5e9;
 
-impl CpuModel {
-    fn new(workers: usize) -> Self {
-        CpuModel {
+impl CpuStation {
+    /// An idle station with `workers` service threads.
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        CpuStation {
             workers: workers as f64,
             load: 0.0,
             last: 0,
         }
     }
 
-    /// Charge `service` work arriving at `at`; returns service + queueing
-    /// delay.
-    fn charge(&mut self, at: Nanos, service: Nanos) -> Nanos {
+    /// Charge `service` work arriving at `at`; returns service + modeled
+    /// queueing delay.
+    pub fn charge(&mut self, at: Nanos, service: Nanos) -> Nanos {
         if at > self.last {
             let dt = (at - self.last) as f64;
             self.load *= (-dt / CPU_TAU).exp();
@@ -79,7 +94,8 @@ impl CpuModel {
     /// Read-only utilization estimate at `at` (load decayed to the
     /// observation instant, *not* clamped to the service ceiling — values
     /// above 1 expose queue build-up to the autoscaler).
-    fn rho_at(&self, at: Nanos) -> f64 {
+    #[must_use]
+    pub fn rho_at(&self, at: Nanos) -> f64 {
         let load = if at > self.last {
             self.load * (-((at - self.last) as f64) / CPU_TAU).exp()
         } else {
@@ -89,19 +105,330 @@ impl CpuModel {
     }
 }
 
+/// One reserved service slot on a [`PerRequestStation`] worker.
+#[derive(Clone, Copy, Debug)]
+struct Booking {
+    /// When the request reached the station.
+    arrival: Nanos,
+    /// When its service begins (≥ `arrival`; the gap is real queueing).
+    start: Nanos,
+    /// When its service completes (`start + service`).
+    end: Nanos,
+}
+
+/// Per-request queueing CPU station — [`CpuModel::PerRequest`].
+///
+/// Every request books a concrete, contiguous service slot on a concrete
+/// worker and its reported latency is the *exact sojourn time*: waiting
+/// plus service, with no analytic smoothing or saturation clamp. Because
+/// the simulator offers CPU demands out of chronological order (a
+/// transaction's whole timeline is computed in one event), the station is
+/// a reservation calendar rather than a running queue: each worker keeps
+/// its booked intervals sorted by start time, and a new request takes the
+/// earliest-completing feasible slot across workers — gaps left in front
+/// of far-future bookings are filled, which keeps the station
+/// work-conserving across interleaved offers (an early arrival is never
+/// serialized behind an unrelated transaction's future booking).
+///
+/// Observability is exact too, and *windowed* like every other
+/// observation field. The station accumulates two integrals into 100 ms
+/// buckets as slots are booked:
+///
+/// - **offered work** (service demand, keyed by arrival time) —
+///   [`PerRequestStation::rho_windowed`] reads it as offered load per
+///   worker-capacity over a trailing window. This is the *same
+///   quantity* the analytic station's EMA estimates, measured exactly,
+///   so the reactive watermarks calibrated against offered load keep
+///   their meaning in both modes (a busy+waiting occupancy reading
+///   would run structurally hotter and sit on the 80% watermark at
+///   healthy load);
+/// - **waiting time** (the queue-length integral) —
+///   [`PerRequestStation::queue_windowed`] reads it as the real queue
+///   length per worker, time-averaged over the window. This is what
+///   `Observation::queue_depth` reports in per-request mode, measured
+///   directly instead of derived from a utilization excess.
+///
+/// [`PerRequestStation::queue_len_at`] and
+/// [`PerRequestStation::in_system_at`] expose the instantaneous view
+/// for tests and debugging (a single-sample probe is too noisy to
+/// drive threshold policies).
+///
+/// Bookings wholly in the past of the event clock are pruned on every
+/// charge, so memory tracks the in-flight transaction window, not the
+/// run length.
+pub struct PerRequestStation {
+    /// Per-worker reservation calendars, each sorted by slot start.
+    workers: Vec<Vec<Booking>>,
+    /// Offered-work integral per [`BUCKET`] of virtual time (each
+    /// request's service demand deposited at its arrival), ring-indexed
+    /// as `(bucket id, nanoseconds offered in it)`.
+    offered_ring: Vec<(u64, u64)>,
+    /// Waiting-time integral (queue length × time) per bucket.
+    wait_ring: Vec<(u64, u64)>,
+    /// Event clock of the last calendar pruning — nothing new can die
+    /// until the clock advances, so same-event charges (a transaction's
+    /// whole timeline prices in one event) skip the retain pass.
+    pruned_at: Nanos,
+}
+
+/// Bucket width of the windowed-occupancy rings (100 ms).
+const BUCKET: Nanos = 100 * 1_000_000;
+
+/// Ring length in buckets: covers the 60 s maximum observation window
+/// plus 70 s of booking lookahead under deep backlog. A booking whose
+/// lookahead exceeded that budget would recycle a slot still inside a
+/// live trailing window and silently under-report occupancy;
+/// [`PerRequestStation::charge`] debug-asserts the invariant instead
+/// (paper-scale backlogs book a few seconds ahead at most).
+const RING: u64 = 1_300;
+
+/// The lookahead budget the ring affords: bookings may end at most this
+/// far past the event clock without endangering reads over the maximum
+/// observation window. One extra bucket is reserved because a windowed
+/// read spans `window/BUCKET + 1` buckets (the window-edge bucket is
+/// included whole).
+const MAX_LOOKAHEAD: Nanos = RING * BUCKET - ClusterSim::MAX_OBSERVE_WINDOW - BUCKET;
+
+/// The ring slot for `bucket`, recycled (tag rewritten, value zeroed)
+/// if it still holds an older bucket's total.
+fn ring_slot(ring: &mut [(u64, u64)], bucket: u64) -> &mut u64 {
+    let slot = &mut ring[(bucket % RING) as usize];
+    if slot.0 != bucket {
+        *slot = (bucket, 0);
+    }
+    &mut slot.1
+}
+
+/// Distribute the interval `[from, to)` into the ring's buckets.
+fn deposit(ring: &mut [(u64, u64)], from: Nanos, to: Nanos) {
+    let mut t = from;
+    while t < to {
+        let bucket = t / BUCKET;
+        let edge = ((bucket + 1) * BUCKET).min(to);
+        *ring_slot(ring, bucket) += edge - t;
+        t = edge;
+    }
+}
+
+/// Integrate the ring over `[cutoff, at]`, prorating the partially
+/// covered edge buckets by their overlap (a whole-bucket sum would
+/// systematically under-report short windows) and skipping recycled
+/// slots.
+fn ring_integral(ring: &[(u64, u64)], cutoff: Nanos, at: Nanos) -> f64 {
+    let mut sum = 0.0;
+    for bucket in (cutoff / BUCKET)..=(at / BUCKET) {
+        let slot = ring[(bucket % RING) as usize];
+        if slot.0 != bucket {
+            continue;
+        }
+        let b_start = bucket * BUCKET;
+        let overlap = (b_start + BUCKET)
+            .min(at)
+            .saturating_sub(b_start.max(cutoff));
+        sum += slot.1 as f64 * overlap as f64 / BUCKET as f64;
+    }
+    sum
+}
+
+impl PerRequestStation {
+    /// An idle station with `workers` service threads.
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        assert!(workers >= 1, "a station needs at least one worker");
+        PerRequestStation {
+            workers: vec![Vec::new(); workers],
+            offered_ring: vec![(u64::MAX, 0); RING as usize],
+            wait_ring: vec![(u64::MAX, 0); RING as usize],
+            pruned_at: 0,
+        }
+    }
+
+    /// Admit a request arriving at `at` with `service` demand; returns its
+    /// exact sojourn time (waiting + service).
+    ///
+    /// `now` is the dispatching event's timestamp. Events pop in
+    /// non-decreasing time order and every charge or observation happens
+    /// at or after its event's `now`, so bookings that end at or before
+    /// `now` can never be looked at again — they are pruned here, which
+    /// bounds the calendars to the in-flight window.
+    pub fn charge(&mut self, now: Nanos, at: Nanos, service: Nanos) -> Nanos {
+        debug_assert!(at >= now, "arrivals cannot precede the event clock");
+        if now > self.pruned_at {
+            for calendar in &mut self.workers {
+                calendar.retain(|b| b.end > now);
+            }
+            self.pruned_at = now;
+        }
+        // Earliest feasible start per worker: scan the sorted calendar,
+        // pushing the candidate past every overlapping booking until a
+        // gap of `service` length opens (or the calendar ends).
+        let mut best: Option<(Nanos, usize)> = None;
+        for (w, calendar) in self.workers.iter().enumerate() {
+            let mut candidate = at;
+            for b in calendar {
+                if b.start >= candidate.saturating_add(service) {
+                    break; // the gap before `b` fits the whole slot
+                }
+                if b.end > candidate {
+                    candidate = b.end;
+                }
+            }
+            // Strict `<` keeps the lowest worker index on ties, which
+            // makes slot assignment deterministic.
+            if best.is_none_or(|(s, _)| candidate < s) {
+                best = Some((candidate, w));
+            }
+        }
+        let (start, w) = best.expect("at least one worker");
+        let end = start + service;
+        debug_assert!(
+            end.saturating_sub(now) <= MAX_LOOKAHEAD,
+            "booking lookahead {} ns overflows the occupancy ring's {} ns budget",
+            end.saturating_sub(now),
+            MAX_LOOKAHEAD,
+        );
+        deposit(&mut self.wait_ring, at, start);
+        // Offered work is a point event: the whole service demand lands
+        // in the arrival's bucket (uniform within it, as far as a
+        // prorated read can tell).
+        *ring_slot(&mut self.offered_ring, at / BUCKET) += service;
+        let calendar = &mut self.workers[w];
+        let pos = calendar.partition_point(|b| b.start < start);
+        calendar.insert(
+            pos,
+            Booking {
+                arrival: at,
+                start,
+                end,
+            },
+        );
+        end - at
+    }
+
+    /// Requests in the system at `at`: arrived (admitted at or before
+    /// `at`) and not yet departed.
+    #[must_use]
+    pub fn in_system_at(&self, at: Nanos) -> usize {
+        self.workers
+            .iter()
+            .flatten()
+            .filter(|b| b.arrival <= at && b.end > at)
+            .count()
+    }
+
+    /// Real queue length at `at`: requests that have arrived but whose
+    /// service has not yet started.
+    #[must_use]
+    pub fn queue_len_at(&self, at: Nanos) -> usize {
+        self.workers
+            .iter()
+            .flatten()
+            .filter(|b| b.arrival <= at && b.start > at)
+            .count()
+    }
+
+    /// Instantaneous in-system occupancy at `at` in worker units:
+    /// `in_system / workers`. A single-sample probe — noisy by nature;
+    /// observations use [`PerRequestStation::rho_windowed`] instead.
+    #[must_use]
+    pub fn rho_at(&self, at: Nanos) -> f64 {
+        self.in_system_at(at) as f64 / self.workers.len() as f64
+    }
+
+    /// Measured offered load over the trailing `window` ending at `at`,
+    /// in worker units: service demand that arrived in the window
+    /// divided by the capacity the window held (`workers × window`).
+    ///
+    /// This is the exact-measurement counterpart of
+    /// [`CpuStation::rho_at`] — the same offered-load quantity the EMA
+    /// estimates, so policy watermarks keep one meaning across both
+    /// models. Values above 1 mean demand arrived faster than the
+    /// station could serve (backlog grew); under sustained closed-loop
+    /// saturation completions gate arrivals, so the value hovers near 1
+    /// while the backlog itself shows up in
+    /// [`PerRequestStation::queue_windowed`] and in the sojourn times.
+    /// Edge buckets are prorated by overlap (100 ms quantization).
+    #[must_use]
+    pub fn rho_windowed(&self, at: Nanos, window: Nanos) -> f64 {
+        let cutoff = at.saturating_sub(window.max(BUCKET));
+        let span = (at - cutoff).max(1);
+        let offered = ring_integral(&self.offered_ring, cutoff, at);
+        offered / (span as f64 * self.workers.len() as f64)
+    }
+
+    /// Real queue length per worker, time-averaged over the trailing
+    /// `window` ending at `at`: the waiting-time integral (queue length
+    /// × time, from each booking's arrival→start gap) divided by
+    /// `workers × window`. Measured directly — not derived from a
+    /// utilization excess. Edge buckets are prorated by overlap.
+    #[must_use]
+    pub fn queue_windowed(&self, at: Nanos, window: Nanos) -> f64 {
+        let cutoff = at.saturating_sub(window.max(BUCKET));
+        let span = (at - cutoff).max(1);
+        let wait = ring_integral(&self.wait_ring, cutoff, at);
+        wait / (span as f64 * self.workers.len() as f64)
+    }
+}
+
+/// A node's CPU station: one of the two [`CpuModel`]s, behind one call
+/// surface. The analytic arm ignores the event clock (`now`); the
+/// per-request arm uses it to prune dead bookings.
+enum NodeCpu {
+    Analytic(CpuStation),
+    PerRequest(PerRequestStation),
+}
+
+impl NodeCpu {
+    fn new(model: CpuModel, workers: usize) -> Self {
+        match model {
+            CpuModel::Analytic => NodeCpu::Analytic(CpuStation::new(workers)),
+            CpuModel::PerRequest => NodeCpu::PerRequest(PerRequestStation::new(workers)),
+        }
+    }
+
+    fn charge(&mut self, now: Nanos, at: Nanos, service: Nanos) -> Nanos {
+        match self {
+            NodeCpu::Analytic(s) => s.charge(at, service),
+            NodeCpu::PerRequest(s) => s.charge(now, at, service),
+        }
+    }
+
+    /// The utilization an observation reports: offered load, as the EMA
+    /// estimate decayed to `at` (analytic) or measured exactly over the
+    /// trailing `window` (per-request).
+    fn observed_rho(&self, at: Nanos, window: Nanos) -> f64 {
+        match self {
+            NodeCpu::Analytic(s) => s.rho_at(at),
+            NodeCpu::PerRequest(s) => s.rho_windowed(at, window),
+        }
+    }
+
+    /// The measured queue length per worker over the window, when the
+    /// model can measure one (`None` tells the observation to fall back
+    /// to the modeled utilization excess).
+    fn observed_queue(&self, at: Nanos, window: Nanos) -> Option<f64> {
+        match self {
+            NodeCpu::Analytic(_) => None,
+            NodeCpu::PerRequest(s) => Some(s.queue_windowed(at, window)),
+        }
+    }
+}
+
 /// One simulated compute node.
 struct NodeSim {
     /// Region the node runs in.
     region: RegionId,
-    /// CPU congestion model (4 vCPU).
-    cpu: CpuModel,
+    /// CPU congestion station (4 vCPU), in whichever [`CpuModel`] the
+    /// run's [`SimParams`] selected.
+    cpu: NodeCpu,
     /// The node's GLog (metadata + data WAL): real CAS state.
     glog: SharedLog,
     /// The node's H-LSN tracker.
     tracker: LsnTracker,
-    /// Storage-side append station for this log (analytic model: user
-    /// commits book at out-of-order future times, see [`CpuModel`]).
-    append_station: CpuModel,
+    /// Storage-side append station for this log. Always analytic: append
+    /// bandwidth is not the subject of the per-request model, and user
+    /// commits book at out-of-order future times (see [`CpuStation`]).
+    append_station: CpuStation,
     /// Whether the node is a live member.
     alive: bool,
 }
@@ -160,8 +487,11 @@ enum CoordBackend {
 /// A migration work item: move `granule` from `src` to `dst`.
 #[derive(Clone, Copy, Debug)]
 pub struct MigrationTask {
+    /// The granule to move.
     pub granule: u64,
+    /// Source node index (must own the granule when the task runs).
     pub src: u32,
+    /// Destination node index.
     pub dst: u32,
 }
 
@@ -237,7 +567,7 @@ pub struct ClusterSim {
     backend: CoordBackend,
     /// The global SysLog (membership; real CAS state).
     syslog: SharedLog,
-    syslog_station: CpuModel,
+    syslog_station: CpuStation,
     /// Per-virtual-member SysLog trackers (membership stress test).
     member_trackers: Vec<LsnTracker>,
     membership_latency_sum: Nanos,
@@ -275,6 +605,7 @@ pub struct ClusterSim {
     region_granules: Vec<Vec<u64>>,
     /// Measurement state.
     pub metrics: RunMetrics,
+    /// The §6.1.5 cost model (DB Cost + Meta Cost accrual).
     pub cost: CostModel,
     /// Cumulative cost over time (Figure 14b).
     pub cost_series: TimeSeries,
@@ -288,9 +619,17 @@ pub enum Workload {
     /// YCSB over `granules` granules (64 tuples each). `zipfian:
     /// Some(theta)` skews the anchor-granule distribution (hot granules at
     /// the low ids); `None` is the paper's uniform access.
-    Ycsb { granules: u64, zipfian: Option<f64> },
+    Ycsb {
+        /// Number of granules the table spans.
+        granules: u64,
+        /// Zipfian skew θ of the anchor-granule distribution, if any.
+        zipfian: Option<f64>,
+    },
     /// TPC-C with one warehouse per granule.
-    Tpcc { warehouses: u64 },
+    Tpcc {
+        /// Number of warehouses (= granules).
+        warehouses: u64,
+    },
 }
 
 impl Workload {
@@ -350,10 +689,10 @@ impl ClusterSim {
         let nodes: Vec<NodeSim> = (0..initial_nodes)
             .map(|i| NodeSim {
                 region: RegionId(i as u16 % regions),
-                cpu: CpuModel::new(params.cpu_workers),
+                cpu: NodeCpu::new(params.cpu_model, params.cpu_workers),
                 glog: SharedLog::new(),
                 tracker: LsnTracker::new(),
-                append_station: CpuModel::new(1),
+                append_station: CpuStation::new(1),
                 alive: true,
             })
             .collect();
@@ -451,7 +790,7 @@ impl ClusterSim {
             active_clients: clients,
             backend,
             syslog: SharedLog::new(),
-            syslog_station: CpuModel::new(1),
+            syslog_station: CpuStation::new(1),
             member_trackers: Vec::new(),
             membership_latency_sum: 0,
             membership_period: SECOND,
@@ -486,6 +825,12 @@ impl ClusterSim {
     #[must_use]
     pub fn kind(&self) -> CoordKind {
         self.kind
+    }
+
+    /// Which CPU congestion model this run's nodes use.
+    #[must_use]
+    pub fn cpu_model(&self) -> CpuModel {
+        self.params.cpu_model
     }
 
     /// Live node count.
@@ -566,10 +911,25 @@ impl ClusterSim {
     /// Snapshot cluster health at `now` over the trailing `window`.
     ///
     /// Throughput and p99 latency come from the committed-transaction
-    /// window, per-node utilization from the CPU queueing models (decayed
-    /// to `now`), the burn rate from the §6.1.5 cost model, and granule
-    /// heat from the access counters accumulated since the last
-    /// observation (which this call resets).
+    /// window, per-node utilization from the CPU stations, the burn rate
+    /// from the §6.1.5 cost model, and granule heat from the access
+    /// counters accumulated since the last observation (which this call
+    /// resets).
+    ///
+    /// Utilization is offered load per worker-capacity in both CPU
+    /// models; what differs is how it is obtained and what `queue_depth`
+    /// reports:
+    ///
+    /// - `Analytic` — utilization is the EMA load *estimate* decayed to
+    ///   `now` (smooth, unclamped), and `queue_depth` is the modeled
+    ///   utilization excess beyond 1;
+    /// - `PerRequest` — utilization is offered load *measured* exactly
+    ///   over the trailing window, and `queue_depth` is the real queue
+    ///   length per worker from the stations' waiting-time integrals
+    ///   (time-averaged over the same window, averaged over live
+    ///   nodes — not derived from a utilization excess). Per-region
+    ///   digests get the same measured treatment: each region's queue
+    ///   field is overwritten with the mean over its own live stations.
     pub fn observe(&mut self, now: Nanos, window: Nanos) -> Observation {
         debug_assert!(
             window <= Self::MAX_OBSERVE_WINDOW,
@@ -600,7 +960,7 @@ impl ClusterSim {
                 node: NodeId(i as u32),
                 region: n.region,
                 alive: n.alive,
-                utilization: n.cpu.rho_at(now),
+                utilization: n.cpu.observed_rho(now, window),
                 owned_granules: owned[i],
             })
             .collect();
@@ -610,13 +970,25 @@ impl ClusterSim {
         } else {
             live.iter().map(|n| n.utilization.min(1.0)).sum::<f64>() / live.len() as f64
         };
+        // Measured per-node queue lengths (per-request mode only),
+        // tagged with placement so the per-region digests below reuse
+        // them instead of re-integrating every station per region.
+        let measured_queues: Vec<(RegionId, f64)> = self
+            .nodes
+            .iter()
+            .filter(|n| n.alive)
+            .filter_map(|n| n.cpu.observed_queue(now, window).map(|q| (n.region, q)))
+            .collect();
         let queue_depth = if live.is_empty() {
             0.0
-        } else {
+        } else if measured_queues.is_empty() {
+            // Analytic fallback: the modeled excess beyond capacity.
             live.iter()
                 .map(|n| (n.utilization - 1.0).max(0.0))
                 .sum::<f64>()
                 / live.len() as f64
+        } else {
+            measured_queues.iter().map(|&(_, q)| q).sum::<f64>() / measured_queues.len() as f64
         };
 
         // Hottest granules since the last observation; counters reset so
@@ -653,9 +1025,11 @@ impl ClusterSim {
             granule_loads,
         };
         // Per-region digests: utilization/queue grouped from placement,
-        // then throughput and spend replaced with the exact attribution
-        // (commits are tagged with the client's region; the external
-        // coordination service is pinned — and billed — in region 0).
+        // then throughput, spend, and (in per-request mode) the queue
+        // replaced with the exact attribution (commits are tagged with
+        // the client's region; the external coordination service is
+        // pinned — and billed — in region 0; queue lengths come from the
+        // region's stations, not the utilization excess).
         obs.derive_region_loads();
         let meta_hourly = self.cost.meta_hourly();
         for r in &mut obs.region_loads {
@@ -674,6 +1048,14 @@ impl ClusterSim {
             };
             r.dollars_per_hour = f64::from(r.live_nodes) * self.params.node_hourly
                 + if r.region.0 == 0 { meta_hourly } else { 0.0 };
+            let region_queues: Vec<f64> = measured_queues
+                .iter()
+                .filter(|&&(reg, _)| reg == r.region)
+                .map(|&(_, q)| q)
+                .collect();
+            if !region_queues.is_empty() {
+                r.queue_depth = region_queues.iter().sum::<f64>() / region_queues.len() as f64;
+            }
         }
         obs
     }
@@ -854,10 +1236,10 @@ impl ClusterSim {
             let idx = self.nodes.len() as u32;
             self.nodes.push(NodeSim {
                 region: target_region.unwrap_or(RegionId(idx as u16 % regions)),
-                cpu: CpuModel::new(self.params.cpu_workers),
+                cpu: NodeCpu::new(self.params.cpu_model, self.params.cpu_workers),
                 glog: SharedLog::new(),
                 tracker: LsnTracker::new(),
-                append_station: CpuModel::new(1),
+                append_station: CpuStation::new(1),
                 alive: false, // activates when the plan starts
             });
             slots.push(idx);
@@ -1232,7 +1614,7 @@ impl ClusterSim {
                 t += self.one_way(home_region, self.nodes[serve_node].region);
             }
             let service = self.jittered(self.params.req_service);
-            t += self.nodes[serve_node].cpu.charge(t, service);
+            t += self.nodes[serve_node].cpu.charge(now, t, service);
             if self.granules[g].cold_left > 0 {
                 // Cold cache: GetPage@LSN from the page store.
                 t += self.params.storage_rtt + self.jittered(self.params.get_page_service);
@@ -1365,9 +1747,9 @@ impl ClusterSim {
         let dst_region = self.nodes[dst].region;
         let mut t = now + 2 * self.one_way(dst_region, src_region);
         let svc = self.jittered(self.params.migration_service);
-        t += self.nodes[src].cpu.charge(t, svc);
+        t += self.nodes[src].cpu.charge(now, t, svc);
         let svc = self.jittered(self.params.migration_service);
-        t += self.nodes[dst].cpu.charge(t, svc);
+        t += self.nodes[dst].cpu.charge(now, t, svc);
 
         // Data-effectiveness re-check: plans from different control ticks
         // may overlap (a rebalance planner can propose a granule that an
@@ -1609,5 +1991,200 @@ impl ClusterSim {
 
     fn set_membership_tick_origin(&mut self, member: u32, at: Nanos) {
         self.membership_origins[member as usize] = at;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // -- CpuStation (analytic EMA) boundary behavior ------------------------
+
+    #[test]
+    fn rho_at_time_zero_on_an_idle_station_is_zero() {
+        let s = CpuStation::new(4);
+        assert_eq!(s.rho_at(0), 0.0);
+        // Still zero arbitrarily far in the future: nothing to decay.
+        assert_eq!(s.rho_at(3600 * SECOND), 0.0);
+    }
+
+    #[test]
+    fn rho_at_decays_to_nothing_over_a_huge_gap() {
+        let mut s = CpuStation::new(1);
+        // Saturate the station hard at t=0.
+        for _ in 0..100 {
+            s.charge(0, 10 * 1_000_000);
+        }
+        let rho_now = s.rho_at(0);
+        assert!(rho_now > 1.0, "station must read overloaded: {rho_now}");
+        // One EMA time constant halves-ish; a huge gap extinguishes it.
+        assert!(s.rho_at(SECOND) < rho_now);
+        let after_gap = s.rho_at(1_000 * SECOND);
+        assert!(
+            after_gap < 1e-12,
+            "load must fully decay over a huge gap: {after_gap}"
+        );
+    }
+
+    #[test]
+    fn rho_at_before_the_last_arrival_reads_the_undecayed_load() {
+        let mut s = CpuStation::new(1);
+        s.charge(SECOND, 100 * 1_000_000);
+        // Observing at an earlier instant than the last charge must not
+        // decay (and must not panic on the negative gap).
+        assert_eq!(s.rho_at(0), s.rho_at(SECOND));
+    }
+
+    #[test]
+    fn back_to_back_arrivals_accumulate_without_decay() {
+        let mut s = CpuStation::new(1);
+        let svc = 50 * 1_000_000; // 50 ms on a 0.5 s EMA
+        s.charge(SECOND, svc);
+        let one = s.rho_at(SECOND);
+        s.charge(SECOND, svc);
+        let two = s.rho_at(SECOND);
+        assert!((two - 2.0 * one).abs() < 1e-12, "same-instant arrivals add");
+        // Each charge contributes service/TAU worker units.
+        assert!((one - svc as f64 / CPU_TAU).abs() < 1e-12);
+    }
+
+    #[test]
+    fn charge_grows_with_congestion_and_is_clamped_at_saturation() {
+        let mut s = CpuStation::new(1);
+        let svc = 20 * 1_000_000;
+        let idle = s.charge(0, svc);
+        assert!(idle >= svc, "sojourn includes at least the service time");
+        // Pile on work at the same instant: the congestion delay grows but
+        // the rho clamp (0.98) caps it at 49x the service time.
+        let mut last = idle;
+        for _ in 0..200 {
+            last = s.charge(0, svc);
+        }
+        assert!(last > idle);
+        assert!(last <= svc + svc * 49 + 1, "analytic delay is clamped");
+    }
+
+    // -- PerRequestStation: exact sojourn times -----------------------------
+
+    #[test]
+    fn idle_station_serves_at_the_bare_service_time() {
+        let mut s = PerRequestStation::new(2);
+        assert_eq!(s.charge(0, 0, 100), 100);
+        assert_eq!(s.queue_len_at(0), 0);
+    }
+
+    #[test]
+    fn sojourn_times_are_strictly_latency_ordered_under_backlog() {
+        // One worker, three same-instant arrivals: FIFO slots give each
+        // request a strictly larger sojourn than the one before it — the
+        // "strictly latency-ordered" property the analytic clamp cannot
+        // produce.
+        let mut s = PerRequestStation::new(1);
+        let sojourns: Vec<Nanos> = (0..3).map(|_| s.charge(0, 0, 100)).collect();
+        assert_eq!(sojourns, vec![100, 200, 300]);
+        // All three are in the system at t=0; two of them queue.
+        assert_eq!(s.in_system_at(0), 3);
+        assert_eq!(s.queue_len_at(0), 2);
+        assert!((s.rho_at(0) - 3.0).abs() < 1e-12);
+        // Queue drains as slots complete.
+        assert_eq!(s.queue_len_at(150), 1);
+        assert_eq!(s.in_system_at(250), 1);
+        assert_eq!(s.in_system_at(300), 0);
+    }
+
+    #[test]
+    fn multi_worker_station_runs_requests_in_parallel() {
+        let mut s = PerRequestStation::new(4);
+        let sojourns: Vec<Nanos> = (0..4).map(|_| s.charge(0, 0, 100)).collect();
+        assert_eq!(sojourns, vec![100; 4], "4 workers absorb 4 requests");
+        assert_eq!(s.queue_len_at(0), 0);
+        // The fifth waits for the first free worker.
+        assert_eq!(s.charge(0, 0, 100), 200);
+        assert_eq!(s.queue_len_at(50), 1);
+    }
+
+    #[test]
+    fn early_arrivals_fill_gaps_before_far_future_bookings() {
+        // The out-of-order offer pattern the flow-level simulator
+        // produces: one event books CPU far in the future, a later event
+        // offers work now. The early request must not serialize behind
+        // the future booking (work conservation across interleaved
+        // offers).
+        let mut s = PerRequestStation::new(1);
+        assert_eq!(s.charge(0, 1_000_000, 100), 100, "future booking");
+        assert_eq!(s.charge(0, 0, 100), 100, "early arrival fills the gap");
+        // A request too large for the remaining gap (100 µs before the
+        // future booking) waits for that booking to clear instead.
+        assert_eq!(s.charge(0, 900_000, 200_000), 100_100 + 200_000);
+    }
+
+    #[test]
+    fn pruning_drops_only_bookings_wholly_in_the_past() {
+        let mut s = PerRequestStation::new(1);
+        s.charge(0, 0, 100);
+        s.charge(0, 200, 100);
+        // Advance the event clock past the first booking: it is pruned,
+        // the live one is kept and still visible to queries.
+        s.charge(150, 150, 10);
+        assert_eq!(s.in_system_at(250), 1);
+        let total: usize = s.workers.iter().map(Vec::len).sum();
+        assert_eq!(total, 2, "dead booking pruned, live ones kept");
+    }
+
+    #[test]
+    fn future_bookings_are_invisible_to_observations() {
+        let mut s = PerRequestStation::new(2);
+        s.charge(0, 5_000, 100);
+        assert_eq!(s.in_system_at(0), 0, "not yet arrived");
+        assert_eq!(s.rho_at(0), 0.0);
+        assert_eq!(s.in_system_at(5_000), 1);
+    }
+
+    #[test]
+    fn windowed_offered_load_and_queue_are_measured_exactly() {
+        let mut s = PerRequestStation::new(1);
+        // One 100 ms demand arriving at t=0: a window holding exactly
+        // that much capacity reads offered load 1 (edge buckets are
+        // prorated, so the denominator is the true window length); a
+        // 1 s window reads 10%.
+        s.charge(0, 0, BUCKET);
+        assert!((s.rho_windowed(BUCKET, BUCKET) - 1.0).abs() < 1e-12);
+        let tenth = s.rho_windowed(10 * BUCKET, 10 * BUCKET);
+        assert!((tenth - 0.1).abs() < 1e-12, "{tenth}");
+        // No second request yet → nothing ever waited.
+        assert_eq!(s.queue_windowed(10 * BUCKET, 10 * BUCKET), 0.0);
+        // A second same-instant request doubles the offered work and
+        // waits a full bucket for the first to finish: offered stays
+        // 2×BUCKET of demand over 2×BUCKET of capacity, and the
+        // waiting-time integral reads half a request queued on average
+        // over [0, 2×BUCKET].
+        s.charge(0, 0, BUCKET);
+        let rho = s.rho_windowed(2 * BUCKET, 2 * BUCKET);
+        assert!((rho - 1.0).abs() < 1e-12, "{rho}");
+        let queue = s.queue_windowed(2 * BUCKET, 2 * BUCKET);
+        assert!((queue - 0.5).abs() < 1e-12, "{queue}");
+        // An idle future window reads zero on both signals.
+        assert_eq!(s.rho_windowed(100 * BUCKET, 10 * BUCKET), 0.0);
+        assert_eq!(s.queue_windowed(100 * BUCKET, 10 * BUCKET), 0.0);
+    }
+
+    #[test]
+    fn per_request_sojourns_grow_without_the_analytic_clamp() {
+        // Under the same sustained overload, the analytic station's
+        // per-request delay saturates at 49x service while the
+        // per-request station's sojourn keeps growing with the real
+        // backlog — the reason PerRequest p99s respond to queue build-up
+        // first.
+        let svc: Nanos = 1_000_000;
+        let mut analytic = CpuStation::new(1);
+        let mut exact = PerRequestStation::new(1);
+        let mut last_analytic = 0;
+        let mut last_exact = 0;
+        for _ in 0..200 {
+            last_analytic = analytic.charge(0, svc);
+            last_exact = exact.charge(0, 0, svc);
+        }
+        assert!(last_analytic <= 50 * svc, "analytic is clamped");
+        assert_eq!(last_exact, 200 * svc, "exact sojourn tracks the queue");
     }
 }

@@ -27,8 +27,9 @@
 //!   the JSON-serializable `RunReport` behind every figure in the
 //!   paper.
 //!
-//! See `README.md` for a quickstart and `DESIGN.md` for the system
-//! inventory and experiment index.
+//! See `README.md` for a quickstart (including the preset → figure →
+//! binary table) and `docs/ARCHITECTURE.md` for the crate map, the
+//! control loop, and the CPU-model guidance.
 
 pub use marlin_autoscaler as autoscaler;
 pub use marlin_baselines as baselines;

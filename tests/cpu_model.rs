@@ -1,0 +1,157 @@
+//! The per-request queueing CPU model vs the analytic EMA station.
+//!
+//! `CpuModel::Analytic` must stay bit-identical to the historical
+//! decision logs (the runner-parity suite pins that separately); this
+//! file pins what the new `CpuModel::PerRequest` mode buys on the
+//! autoscale spike: commit latencies are exact sojourn times, so the
+//! windowed p99 in the decision log responds to queue build-up at the
+//! spike edge *before* (and far beyond) the analytic approximation,
+//! which clamps per-request congestion delay and flattens the tail.
+
+use marlin::cluster::harness::{run, RunReport, Scenario, SimRunner};
+use marlin::cluster::params::{CoordKind, CpuModel};
+use marlin::cluster::sim::Workload;
+use marlin::sim::{Nanos, MILLISECOND, SECOND};
+use marlin::workload::LoadTrace;
+
+/// The p99 ceiling armed on the reactive policy. The
+/// `cpu_model_comparison` preset uses 150 ms at paper scale; at this
+/// test's 2-node scale the closed loop bounds the worst sojourn near
+/// 120 ms (at most 200 in-flight requests can queue), so the hatch sits
+/// at 90 ms — above anything the analytic clamp reports before its EMA
+/// converges, below the true sojourn p99 of the first post-spike window.
+const CEILING: Nanos = 90 * MILLISECOND;
+
+/// The autoscale spike at test scale: the same shape as
+/// `Scenario::cpu_model_comparison` (spike trace, reactive policy with
+/// the 150 ms p99 escape hatch armed), shrunk from 8–16 nodes / 800
+/// clients to 2–4 nodes / 200 clients so the debug-mode suite stays
+/// fast. Spike edges sit 4 s before a control tick, as in the parity
+/// scenario.
+fn spike_scenario(model: CpuModel) -> Scenario {
+    let s = Scenario::new(format!("cpu-model-test-{}", model.name()))
+        .backend(CoordKind::Marlin)
+        .workload(Workload::ycsb(800))
+        .trace(LoadTrace::spike(8, 200, 6 * SECOND, 26 * SECOND))
+        .initial_nodes(2)
+        .threads_per_node(8)
+        .control_interval(2 * SECOND)
+        .observe_window(4 * SECOND)
+        .duration(36 * SECOND)
+        .cpu_model(model);
+    let policy = Box::new(marlin::autoscaler::ReactivePolicy::new(
+        marlin::autoscaler::ReactiveConfig {
+            step_nodes: 2,
+            cooldown: 3 * 2 * SECOND,
+            p99_ceiling: Some(CEILING),
+            ..marlin::autoscaler::ReactiveConfig::paper_default(2, 4)
+        },
+    ));
+    s.policy(policy)
+}
+
+fn spike_report(model: CpuModel) -> RunReport {
+    let scenario = spike_scenario(model);
+    let mut runner = SimRunner::new(&scenario);
+    run(scenario, &mut runner)
+}
+
+/// p99 series from the decision log: (tick time, p99).
+fn p99_series(report: &RunReport) -> Vec<(Nanos, Nanos)> {
+    report
+        .log
+        .iter()
+        .map(|r| (r.at, r.observation.p99_latency))
+        .collect()
+}
+
+#[test]
+fn per_request_p99_responds_to_queue_buildup_before_the_analytic_model() {
+    let analytic = spike_report(CpuModel::Analytic);
+    let per_request = spike_report(CpuModel::PerRequest);
+    assert_eq!(analytic.cpu_model, "analytic");
+    assert_eq!(per_request.cpu_model, "per-request");
+
+    let spike_at = 6 * SECOND;
+    // Common threshold: 25% above the worst pre-spike p99 either model
+    // saw — decisively out of the calm band, reachable by both models.
+    let base = p99_series(&analytic)
+        .iter()
+        .chain(p99_series(&per_request).iter())
+        .filter(|&&(t, _)| t < spike_at)
+        .map(|&(_, p)| p)
+        .max()
+        .expect("pre-spike ticks exist");
+    let threshold = base + base / 4;
+    let first_breach = |report: &RunReport, threshold: Nanos| {
+        p99_series(report)
+            .iter()
+            .find(|&&(t, p)| t >= spike_at && p > threshold)
+            .map(|&(t, _)| t)
+    };
+    eprintln!("analytic series:    {:?}", p99_series(&analytic));
+    eprintln!("per-request series: {:?}", p99_series(&per_request));
+
+    let pr = first_breach(&per_request, threshold)
+        .expect("per-request p99 must react to the queue build-up");
+    // The core pin: exact sojourn times surface the backlog in the very
+    // first post-spike observation window, strictly before the analytic
+    // EMA has converged on it. (`None` means the clamp kept analytic
+    // below the threshold entirely — an even stronger divergence.)
+    if let Some(an) = first_breach(&analytic, threshold) {
+        assert!(
+            pr < an,
+            "per-request p99 must breach strictly before analytic: {pr} vs {an}"
+        );
+    }
+
+    // The tail itself: exact sojourn times grow with the real backlog,
+    // the analytic clamp flattens — the per-request peak must clearly
+    // exceed the analytic one.
+    let peak = |r: &RunReport| p99_series(r).iter().map(|&(_, p)| p).max().unwrap();
+    let (pr_peak, an_peak) = (peak(&per_request), peak(&analytic));
+    assert!(
+        pr_peak > an_peak + an_peak / 4,
+        "per-request peak p99 ({pr_peak}) must clearly exceed the clamped analytic one ({an_peak})"
+    );
+}
+
+#[test]
+fn per_request_mode_sharpens_the_p99_escape_hatch() {
+    // The reactive policy's latency escape hatch fires on `p99 >
+    // ceiling`. Under per-request pricing the spike's true sojourn times
+    // cross the ceiling, so the hatch is live; the run must still scale
+    // out on the spike and drain back, ending healthy.
+    let report = spike_report(CpuModel::PerRequest);
+    let sig = report.decision_signature();
+    assert!(
+        sig.iter().any(|(_, a)| a.starts_with("add")),
+        "the spike must provoke a scale-out: {sig:?}"
+    );
+    assert!(
+        sig.iter().any(|(_, a)| a.starts_with("remove")),
+        "the calm must drain back: {sig:?}"
+    );
+    assert_eq!(report.metrics.live_nodes, 2, "ends at the floor");
+    // The hatch had real teeth: at least one observed tick crossed the
+    // ceiling while the cluster was still at its pre-spike size.
+    assert!(
+        report
+            .log
+            .iter()
+            .any(|r| r.observation.p99_latency > CEILING && r.observation.live_nodes == 2),
+        "true sojourn p99 must cross the ceiling during the build-up"
+    );
+}
+
+#[test]
+fn both_models_report_their_identity_and_stay_deterministic() {
+    // Same scenario + seed + model → identical decision logs and commit
+    // counts (the per-request station must be as deterministic as the
+    // EMA it complements).
+    let a = spike_report(CpuModel::PerRequest);
+    let b = spike_report(CpuModel::PerRequest);
+    assert_eq!(a.decision_signature(), b.decision_signature());
+    assert_eq!(a.metrics.commits, b.metrics.commits);
+    assert_eq!(a.cpu_model, "per-request");
+}

@@ -62,6 +62,14 @@ impl Controller {
         self.policy.name()
     }
 
+    /// The policy's forecast snapshots behind the most recent tick
+    /// (empty for non-forecasting policies). The harness driver copies
+    /// them into each decision record.
+    #[must_use]
+    pub fn forecasts(&self) -> Vec<crate::forecast::ForecastSample> {
+        self.policy.forecasts()
+    }
+
     /// Every action taken so far, in order.
     #[must_use]
     pub fn history(&self) -> &[(Nanos, ScaleAction)] {

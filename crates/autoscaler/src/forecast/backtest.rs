@@ -1,0 +1,155 @@
+//! Offline forecaster scoring: replay a [`LoadTrace`] and measure error.
+//!
+//! Before a forecaster is trusted with a live control loop it is scored
+//! against the exact demand curve the scenario will replay: the
+//! backtester samples the trace on the control cadence through
+//! [`LoadTrace::clients_at`] — the *same* step lookup the runners use to
+//! activate clients, so the forecaster is graded on precisely the signal
+//! it will see — issues a forecast `lead` ahead at every step, and
+//! scores each forecast when its due time comes around.
+
+use crate::forecast::Forecaster;
+use marlin_sim::Nanos;
+use marlin_workload::LoadTrace;
+use std::collections::VecDeque;
+
+/// How a backtest replays a trace.
+#[derive(Clone, Copy, Debug)]
+pub struct BacktestConfig {
+    /// Sampling cadence (the live loop's control interval).
+    pub cadence: Nanos,
+    /// Forecast horizon scored at every sample.
+    pub lead: Nanos,
+    /// End of the replay.
+    pub horizon: Nanos,
+}
+
+/// The score of one forecaster over one trace.
+#[derive(Clone, Copy, Debug)]
+pub struct BacktestReport {
+    /// Forecasts that matured inside the horizon.
+    pub samples: u64,
+    /// Mean absolute percentage error over matured forecasts (0 =
+    /// perfect; relative to `max(actual, 0.25)` clients-worth of demand
+    /// so idle stretches cannot divide by zero).
+    pub mape: f64,
+    /// Signed mean relative error (positive = over-forecasting).
+    pub bias: f64,
+    /// Worst absolute error, in the trace's demand units.
+    pub worst_abs_error: f64,
+}
+
+/// Replay `trace` through `forecaster` on the configured cadence and
+/// score every matured forecast. Demand is the trace's client count
+/// taken as-is; scale by offered-load-per-client first if node-capacity
+/// units are needed (relative scores are scale-invariant).
+#[must_use]
+pub fn backtest(
+    forecaster: &mut dyn Forecaster,
+    trace: &LoadTrace,
+    cfg: BacktestConfig,
+) -> BacktestReport {
+    assert!(cfg.cadence > 0, "the sampling cadence must be positive");
+    let mut pending: VecDeque<(Nanos, f64)> = VecDeque::new();
+    let (mut n, mut abs_sum, mut signed_sum, mut worst) = (0u64, 0.0f64, 0.0f64, 0.0f64);
+    let mut t = 0;
+    while t <= cfg.horizon {
+        let actual = f64::from(trace.clients_at(t));
+        while let Some(&(due, predicted)) = pending.front() {
+            if due > t {
+                break;
+            }
+            pending.pop_front();
+            let rel = super::relative_error(predicted, actual);
+            n += 1;
+            abs_sum += rel.abs();
+            signed_sum += rel;
+            worst = worst.max((predicted - actual).abs());
+        }
+        forecaster.observe(t, actual);
+        if let Some(predicted) = forecaster.forecast(cfg.lead) {
+            if t + cfg.lead <= cfg.horizon {
+                pending.push_back((t + cfg.lead, predicted));
+            }
+        }
+        t += cfg.cadence;
+    }
+    BacktestReport {
+        samples: n,
+        mape: if n > 0 { abs_sum / n as f64 } else { f64::NAN },
+        bias: if n > 0 {
+            signed_sum / n as f64
+        } else {
+            f64::NAN
+        },
+        worst_abs_error: worst,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forecast::{HoltWintersForecaster, LinearTrendForecaster, NaiveForecaster};
+    use marlin_sim::SECOND;
+
+    fn cfg(lead: Nanos) -> BacktestConfig {
+        BacktestConfig {
+            cadence: 2 * SECOND,
+            lead,
+            horizon: 240 * SECOND,
+        }
+    }
+
+    #[test]
+    fn naive_is_perfect_on_a_constant_trace() {
+        let trace = LoadTrace::constant(120);
+        let mut f = NaiveForecaster::new();
+        let report = backtest(&mut f, &trace, cfg(10 * SECOND));
+        assert!(report.samples > 100);
+        assert_eq!(report.mape, 0.0);
+        assert_eq!(report.bias, 0.0);
+        assert_eq!(report.worst_abs_error, 0.0);
+    }
+
+    #[test]
+    fn trend_beats_naive_on_the_diurnal_ramp() {
+        let trace = LoadTrace::paper_diurnal();
+        let lead = 10 * SECOND;
+        let naive = backtest(&mut NaiveForecaster::new(), &trace, cfg(lead));
+        let trend = backtest(&mut LinearTrendForecaster::new(5), &trace, cfg(lead));
+        assert!(
+            trend.mape < naive.mape,
+            "trend {:.4} must beat naive {:.4} on a ramp-heavy curve",
+            trend.mape,
+            naive.mape
+        );
+    }
+
+    #[test]
+    fn holt_winters_beats_naive_once_the_season_is_learned() {
+        // Score only the second half of a 4-cycle diurnal run by
+        // replaying 4 cycles and noting HW is cold for cycle 1: its
+        // matured samples start later, so compare on the shared window
+        // via the full-run aggregate (HW's aggregate still wins).
+        let period = 120 * SECOND;
+        let trace = LoadTrace::diurnal(100, 600, period, 4 * period, 12);
+        let c = BacktestConfig {
+            cadence: 2 * SECOND,
+            lead: 10 * SECOND,
+            horizon: 4 * period,
+        };
+        let season_len = (period / c.cadence) as usize;
+        let naive = backtest(&mut NaiveForecaster::new(), &trace, c);
+        let hw = backtest(
+            &mut HoltWintersForecaster::paper_default(season_len),
+            &trace,
+            c,
+        );
+        assert!(
+            hw.mape < naive.mape,
+            "holt-winters {:.4} must beat naive {:.4} on periodic demand",
+            hw.mape,
+            naive.mape
+        );
+    }
+}

@@ -30,10 +30,14 @@
 //!   [`ScaleAction`] per tick. Shipped policies: reactive thresholds with
 //!   hysteresis + cooldown ([`ReactivePolicy`]), a PI-style utilization
 //!   tracker ([`TargetUtilizationPolicy`]), a hard budget decorator
-//!   ([`CostBoundedPolicy`]), and a per-region decorator
+//!   ([`CostBoundedPolicy`]), a per-region decorator
 //!   ([`RegionalPolicy`]) that runs an inner sizing policy per placement
 //!   domain and emits region-targeted actions with region-local victim
-//!   selection. On quiet ticks the optional
+//!   selection, and a *proactive* sizing policy ([`PredictivePolicy`])
+//!   that forecasts the demand signal (see [`forecast`]) and sizes the
+//!   cluster for demand a provisioning-lead-time ahead, falling back to
+//!   its inner reactive policy when the rolling forecast error exceeds a
+//!   guard threshold. On quiet ticks the optional
 //!   [`RebalancePlanner`] proposes hot-granule `MigrationTxn`s instead.
 //! - **Actuate** — the [`Controller`] dispatches the action to an
 //!   [`Actuator`]. The [`LocalHarness`] actuator executes synchronously
@@ -64,6 +68,7 @@
 //! [`TargetUtilizationPolicy`]: policy::TargetUtilizationPolicy
 //! [`CostBoundedPolicy`]: policy::CostBoundedPolicy
 //! [`RegionalPolicy`]: regional::RegionalPolicy
+//! [`PredictivePolicy`]: forecast::PredictivePolicy
 //! [`RebalancePlanner`]: rebalance::RebalancePlanner
 //! [`LocalHarness`]: local::LocalHarness
 
@@ -72,6 +77,7 @@
 #![warn(missing_docs)]
 
 pub mod controller;
+pub mod forecast;
 pub mod local;
 pub mod observe;
 pub mod policy;
@@ -79,6 +85,11 @@ pub mod rebalance;
 pub mod regional;
 
 pub use controller::{Actuator, Controller};
+pub use forecast::{
+    backtest, relative_error, BacktestConfig, BacktestReport, ErrorTracker, ForecastSample,
+    Forecaster, HoltWintersForecaster, LinearTrendForecaster, NaiveForecaster, PredictiveConfig,
+    PredictivePolicy, MAPE_FLOOR,
+};
 pub use local::LocalHarness;
 pub use observe::{GranuleLoad, NodeLoad, Observation, RegionLoad};
 pub use policy::{

@@ -220,6 +220,7 @@ impl LocalHarness {
                 node,
                 region: self.region_of(node),
                 alive: true,
+                pending: false,
                 utilization: granules.iter().map(|&g| granule_share(g)).sum(),
                 owned_granules: granules.len() as u64,
             })

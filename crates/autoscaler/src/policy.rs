@@ -77,6 +77,21 @@ pub trait ScalingPolicy {
 
     /// Decide on at most one action for this control tick.
     fn decide(&mut self, obs: &Observation) -> Option<ScaleAction>;
+
+    /// Ingest an observation *without* deciding. Stateless policies need
+    /// nothing here (the default is a no-op); policies that learn from
+    /// the observation stream — forecasters — use it to keep their
+    /// models fed on ticks where another policy claimed the action (the
+    /// regional decorator's hottest-first arbitration).
+    fn observe_only(&mut self, _obs: &Observation) {}
+
+    /// The forecast snapshots behind the most recent decision, if the
+    /// policy forecasts (empty for reactive policies). The harness
+    /// driver copies these into the decision log so every record shows
+    /// forecast vs. actual.
+    fn forecasts(&self) -> Vec<crate::forecast::ForecastSample> {
+        Vec::new()
+    }
 }
 
 /// Shared sizing bounds for the shipped policies.
@@ -214,14 +229,34 @@ impl ScalingPolicy for ReactivePolicy {
             .cfg
             .p99_ceiling
             .is_some_and(|ceiling| obs.p99_latency > ceiling);
-        if (util >= self.cfg.high_utilization || p99_breach)
-            && obs.live_nodes < self.cfg.bounds.max_nodes
-        {
-            let target = self.cfg.bounds.clamp(obs.live_nodes + self.cfg.step_nodes);
-            self.last_action_at = Some(obs.at);
-            return Some(ScaleAction::add(target - obs.live_nodes));
+        // Capacity already ordered counts toward the target: under a
+        // provisioning lead time the breach persists while the nodes
+        // boot, and re-ordering every post-cooldown tick would buy the
+        // same capacity twice (and blow through max_nodes). Pending is
+        // always 0 when provisioning is instant.
+        let provisioned = obs.live_nodes + obs.pending_nodes();
+        if util >= self.cfg.high_utilization || p99_breach {
+            if provisioned < self.cfg.bounds.max_nodes {
+                let target = self.cfg.bounds.clamp(provisioned + self.cfg.step_nodes);
+                self.last_action_at = Some(obs.at);
+                return Some(ScaleAction::add(target - provisioned));
+            }
+            // Hot (or latency-breached) but fully provisioned: hold. A
+            // breach must never fall through to the scale-in branch — a
+            // saturated cluster can gate arrivals hard enough to pull
+            // measured utilization under the low watermark while the
+            // backlog is still deep, and draining it then is the death
+            // spiral.
+            return None;
         }
-        if util <= self.cfg.low_utilization && obs.live_nodes > self.cfg.bounds.min_nodes {
+        if util <= self.cfg.low_utilization
+            && obs.live_nodes > self.cfg.bounds.min_nodes
+            // Never drain while ordered capacity is still provisioning:
+            // the spike that bought it may have passed, but releasing
+            // live nodes now just swaps them for the joiners (paying the
+            // join + rebalance twice). Let the order land, then shed.
+            && obs.pending_nodes() == 0
+        {
             let target = self
                 .cfg
                 .bounds
@@ -313,39 +348,11 @@ impl ScalingPolicy for TargetUtilizationPolicy {
 
     fn decide(&mut self, obs: &Observation) -> Option<ScaleAction> {
         let live = f64::from(obs.live_nodes);
-        // Offered load in node-capacity units: the sum of the raw
-        // per-node utilizations, plus whatever backlog `queue_depth`
-        // reports *beyond* what those utilizations already explain.
-        //
-        // The correction term is what keeps both observation dialects
-        // honest without double counting. Under the analytic CPU model
-        // utilizations exceed 1 under overload and `queue_depth` is
-        // exactly their mean excess — the subtraction cancels it to
-        // zero and the sum alone is the plant signal (adding
-        // `queue_depth` on top would count every unit of backlog twice
-        // and overshoot). Under the per-request model completions gate
-        // arrivals, so measured utilizations self-limit near 1 while
-        // the real backlog rides only in `queue_depth` — there the
-        // excess is ~0 and the correction injects the full queue, so a
-        // deep backlog still sizes the cluster up instead of being
-        // invisible to the sum.
-        //
-        // The summary-field fallback (no per-node loads) clamps the
-        // mean before adding `queue_depth * live` for the same reason.
-        let offered = if obs.node_loads.iter().any(|n| n.alive) {
-            let alive: Vec<f64> = obs
-                .node_loads
-                .iter()
-                .filter(|n| n.alive)
-                .map(|n| n.utilization.max(0.0))
-                .collect();
-            let explained_excess =
-                alive.iter().map(|u| (u - 1.0).max(0.0)).sum::<f64>() / alive.len() as f64;
-            let unexplained_queue = (obs.queue_depth - explained_excess).max(0.0);
-            alive.iter().sum::<f64>() + unexplained_queue * alive.len() as f64
-        } else {
-            obs.mean_utilization.min(1.0) * live + obs.queue_depth * live
-        };
+        // The plant signal: offered load in node-capacity units. See
+        // `Observation::offered_load` for why the unexplained-queue
+        // correction keeps both CPU-model observation dialects honest
+        // without double counting (the regression tests below pin it).
+        let offered = obs.offered_load();
         let neutral = offered / self.cfg.target_utilization;
         let error = neutral - live;
 
@@ -376,12 +383,19 @@ impl ScalingPolicy for TargetUtilizationPolicy {
             .cfg
             .bounds
             .clamp((live + correction).round().max(0.0) as u32);
-        if desired > obs.live_nodes {
+        // Count capacity already ordered (provisioning lead in flight) so
+        // the same shortfall is not bought twice; 0 with instant
+        // provisioning.
+        let provisioned = obs.live_nodes + obs.pending_nodes();
+        if desired > provisioned {
             self.last_action_at = Some(obs.at);
             // Acting resets the accumulated error: the plant changes.
             self.integral_node_seconds = 0.0;
-            Some(ScaleAction::add(desired - obs.live_nodes))
-        } else if desired < obs.live_nodes {
+            Some(ScaleAction::add(desired - provisioned))
+        } else if desired < obs.live_nodes && obs.pending_nodes() == 0 {
+            // As in `ReactivePolicy`: never drain while an order is
+            // still provisioning — swapping live nodes for joiners pays
+            // the join twice.
             let shed = (obs.live_nodes - desired) as usize;
             let victims: Vec<NodeId> = obs.coolest_live_nodes().into_iter().take(shed).collect();
             if victims.is_empty() {
@@ -463,6 +477,10 @@ impl<P: ScalingPolicy> ScalingPolicy for CostBoundedPolicy<P> {
         // cooldown gives the previous shed time to drain and show up in
         // the burn rate before another is considered.
         if obs.dollars_per_hour > self.budget_per_hour + 1e-9 {
+            // The budget takes the tick, but the inner policy must still
+            // see the observation — a wrapped forecaster that misses
+            // breach-stretch samples would resume with a stale model.
+            self.inner.observe_only(obs);
             let cooling = self
                 .last_forced_at
                 .is_some_and(|t| obs.at.saturating_sub(t) < self.forced_cooldown);
@@ -495,6 +513,14 @@ impl<P: ScalingPolicy> ScalingPolicy for CostBoundedPolicy<P> {
             }
             other => Some(other),
         }
+    }
+
+    fn observe_only(&mut self, obs: &Observation) {
+        self.inner.observe_only(obs);
+    }
+
+    fn forecasts(&self) -> Vec<crate::forecast::ForecastSample> {
+        self.inner.forecasts()
     }
 }
 
@@ -756,6 +782,87 @@ mod tests {
         let mut obs = Observation::uniform(20 * marlin_sim::SECOND, 7, 0.5);
         obs.dollars_per_hour = 7.0 * node_hourly;
         assert_eq!(p.decide(&obs), None);
+    }
+
+    #[test]
+    fn scale_in_waits_for_in_flight_provisioning() {
+        // Regression: with a provisioning lead, util can dip under the
+        // low watermark while the ordered nodes are still booting; the
+        // scale-in branches used to count only live nodes and would swap
+        // live members for the joiners.
+        use crate::observe::NodeLoad;
+        let pend = |mut obs: Observation| {
+            obs.node_loads.push(NodeLoad {
+                node: NodeId(99),
+                alive: false,
+                pending: true,
+                ..NodeLoad::default()
+            });
+            obs
+        };
+        let mut p = reactive(4, 16, 0);
+        assert_eq!(
+            p.decide(&pend(Observation::uniform(0, 8, 0.2))),
+            None,
+            "reactive must not drain while an order is in flight"
+        );
+        let mut p = TargetUtilizationPolicy::new(TargetUtilizationConfig {
+            cooldown: 0,
+            ..TargetUtilizationConfig::paper_default(2, 32)
+        });
+        assert_eq!(
+            p.decide(&pend(Observation::uniform(0, 8, 0.1))),
+            None,
+            "target-utilization must not drain while an order is in flight"
+        );
+    }
+
+    #[test]
+    fn cost_bound_forwards_observation_and_forecast_surfaces() {
+        // Regression: the decorator used to swallow `observe_only` and
+        // `forecasts`, starving a wrapped forecaster of samples on
+        // budget-breach ticks and hiding its snapshots from reports.
+        struct Probe {
+            observed: u32,
+        }
+        impl ScalingPolicy for Probe {
+            fn name(&self) -> &'static str {
+                "probe"
+            }
+            fn decide(&mut self, _obs: &Observation) -> Option<ScaleAction> {
+                None
+            }
+            fn observe_only(&mut self, _obs: &Observation) {
+                self.observed += 1;
+            }
+            fn forecasts(&self) -> Vec<crate::forecast::ForecastSample> {
+                vec![crate::forecast::ForecastSample {
+                    region: None,
+                    at: 0,
+                    demand: 1.0,
+                    predicted: 2.0,
+                    lead: 0,
+                    rolling_mape: 0.0,
+                    bias: 0.0,
+                    fallback: false,
+                    distressed: false,
+                }]
+            }
+        }
+        let node_hourly = 0.192;
+        let mut p =
+            CostBoundedPolicy::new(Probe { observed: 0 }, 4.0 * node_hourly, node_hourly, 2);
+        assert_eq!(p.forecasts().len(), 1, "forecasts pass through");
+        p.observe_only(&Observation::uniform(0, 4, 0.5));
+        assert_eq!(p.inner().observed, 1);
+        // A budget breach claims the tick but still feeds the inner.
+        let mut over = Observation::uniform(marlin_sim::SECOND, 8, 0.5);
+        over.dollars_per_hour = 8.0 * node_hourly;
+        assert!(matches!(
+            p.decide(&over),
+            Some(ScaleAction::RemoveNodes { .. })
+        ));
+        assert_eq!(p.inner().observed, 2, "breach ticks are observed too");
     }
 
     #[test]

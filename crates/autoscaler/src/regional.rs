@@ -70,7 +70,10 @@ impl ScalingPolicy for RegionalPolicy {
     fn decide(&mut self, obs: &Observation) -> Option<ScaleAction> {
         // Build every region's view up front, then visit regions
         // hottest-first (ties by region id) so the most urgent scale-out
-        // claims the tick's one action.
+        // claims the tick's one action. Once a region has claimed it the
+        // remaining regions still *see* their views through
+        // `observe_only`, so stateful inner policies (forecasters) never
+        // miss a sample of their region's demand series.
         let views: Vec<Observation> = self
             .inner
             .iter()
@@ -83,17 +86,20 @@ impl ScalingPolicy for RegionalPolicy {
                 .total_cmp(&views[a].mean_utilization)
                 .then_with(|| self.inner[a].0 .0.cmp(&self.inner[b].0 .0))
         });
+        let mut chosen: Option<ScaleAction> = None;
         for idx in order {
             let view = &views[idx];
-            if view.live_nodes == 0 {
-                // A region with no capacity yet has nothing to size; the
-                // scenario (or a future predictive policy) seeds it.
+            let (region, policy) = &mut self.inner[idx];
+            if chosen.is_some() || view.live_nodes == 0 {
+                // A region with no capacity yet has nothing to size (the
+                // scenario — or a predictive policy — seeds it), and a
+                // region visited after the tick's action only observes.
+                policy.observe_only(view);
                 continue;
             }
-            let (region, policy) = &mut self.inner[idx];
             match policy.decide(view) {
                 Some(ScaleAction::AddNodes { count, .. }) => {
-                    return Some(ScaleAction::add_in(count, *region));
+                    chosen = Some(ScaleAction::add_in(count, *region));
                 }
                 Some(ScaleAction::RemoveNodes { mut victims }) => {
                     if let Some((coord, floor)) = self.coordination_floor {
@@ -105,13 +111,31 @@ impl ScalingPolicy for RegionalPolicy {
                     if victims.is_empty() {
                         continue;
                     }
-                    return Some(ScaleAction::RemoveNodes { victims });
+                    chosen = Some(ScaleAction::RemoveNodes { victims });
                 }
-                Some(other @ ScaleAction::Rebalance { .. }) => return Some(other),
+                Some(other @ ScaleAction::Rebalance { .. }) => chosen = Some(other),
                 None => {}
             }
         }
-        None
+        chosen
+    }
+
+    fn observe_only(&mut self, obs: &Observation) {
+        for (region, policy) in &mut self.inner {
+            policy.observe_only(&obs.region_view(*region));
+        }
+    }
+
+    fn forecasts(&self) -> Vec<crate::forecast::ForecastSample> {
+        self.inner
+            .iter()
+            .flat_map(|(region, policy)| {
+                policy.forecasts().into_iter().map(|mut s| {
+                    s.region.get_or_insert(*region);
+                    s
+                })
+            })
+            .collect()
     }
 }
 

@@ -9,7 +9,9 @@
 //! run's figure data and its controller trace come from the same place,
 //! on either runner.
 
-use crate::harness::report::{DecisionRecord, DecisionSource, ObservationDigest, RunReport};
+use crate::harness::report::{
+    DecisionRecord, DecisionSource, ForecastAccuracy, ObservationDigest, RunReport,
+};
 use crate::harness::runner::{Fault, Runner};
 use crate::harness::scenario::Scenario;
 use marlin_autoscaler::{Actuator, Controller, GranuleMove, RebalancePlanner, ScaleAction};
@@ -131,6 +133,7 @@ pub fn run(scenario: Scenario, runner: &mut dyn Runner) -> RunReport {
                     source: DecisionSource::Script,
                     observation: digest,
                     action: Some(action),
+                    forecasts: Vec::new(),
                     actuation_micros: start.elapsed().as_micros() as u64,
                 });
             }
@@ -144,19 +147,28 @@ pub fn run(scenario: Scenario, runner: &mut dyn Runner) -> RunReport {
                     source: DecisionSource::Fault,
                     observation: digest,
                     action: None,
+                    forecasts: Vec::new(),
                     actuation_micros: start.elapsed().as_micros() as u64,
                 });
             }
             Milestone::Tick(tick) => {
                 let obs = runner.observe(observe_window);
                 let digest = ObservationDigest::from(&obs);
-                let (source, action, actuation_micros) = match &mut controller {
+                let (source, action, forecasts, actuation_micros) = match &mut controller {
                     Some(c) => {
                         let mut actuator = RunnerActuator { runner, micros: 0 };
                         let action = c.tick(&obs, &mut actuator);
-                        (DecisionSource::Policy, action, actuator.micros)
+                        // A forecasting policy's snapshot of this tick —
+                        // what it believed demand would be `lead` ahead —
+                        // rides in the record next to what happened.
+                        (
+                            DecisionSource::Policy,
+                            action,
+                            c.forecasts(),
+                            actuator.micros,
+                        )
                     }
-                    None => (DecisionSource::Sample, None, 0),
+                    None => (DecisionSource::Sample, None, Vec::new(), 0),
                 };
                 log.push(DecisionRecord {
                     tick,
@@ -164,6 +176,7 @@ pub fn run(scenario: Scenario, runner: &mut dyn Runner) -> RunReport {
                     source,
                     observation: digest,
                     action,
+                    forecasts,
                     actuation_micros,
                 });
             }
@@ -172,6 +185,7 @@ pub fn run(scenario: Scenario, runner: &mut dyn Runner) -> RunReport {
     runner.advance(horizon.saturating_sub(runner.now()));
     runner.finish();
 
+    let forecast = ForecastAccuracy::from_log(&log);
     RunReport {
         scenario: name,
         backend: backend.name().to_string(),
@@ -181,6 +195,7 @@ pub fn run(scenario: Scenario, runner: &mut dyn Runner) -> RunReport {
         seed: params.seed,
         horizon,
         log,
+        forecast,
         metrics: runner.metrics(),
     }
 }

@@ -48,8 +48,8 @@ pub mod sim_runner;
 pub use driver::run;
 pub use local_runner::LocalRunner;
 pub use report::{
-    action_signature, maybe_write_json, DecisionRecord, DecisionSource, ObservationDigest,
-    RunReport,
+    action_signature, maybe_write_json, DecisionRecord, DecisionSource, ForecastAccuracy,
+    ObservationDigest, RunReport,
 };
 pub use runner::{Fault, MetricsSnapshot, RegionBreakdown, Runner};
 pub use scenario::{expected_membership_updates, Scenario, OFFERED_PER_CLIENT};

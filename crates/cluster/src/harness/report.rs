@@ -11,7 +11,7 @@
 //! there as a machine-readable artifact.
 
 use crate::harness::runner::MetricsSnapshot;
-use marlin_autoscaler::{Observation, RegionLoad, ScaleAction};
+use marlin_autoscaler::{ForecastSample, Observation, RegionLoad, ScaleAction};
 use marlin_sim::Nanos;
 
 /// What produced a log entry.
@@ -94,9 +94,91 @@ pub struct DecisionRecord {
     pub observation: ObservationDigest,
     /// The action taken, if any.
     pub action: Option<ScaleAction>,
+    /// Forecast-vs-actual snapshots behind this decision — one per
+    /// forecasting (sub-)policy (per region under regional composition);
+    /// empty for non-forecasting policies, scripted events, and faults.
+    pub forecasts: Vec<ForecastSample>,
     /// Wall-clock time spent actuating (real protocol execution on the
     /// synchronous runtime; scheduling cost in the simulator).
     pub actuation_micros: u64,
+}
+
+/// End-of-run forecast accuracy: every prediction in the decision log,
+/// matured against the actual demand its region later reported.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ForecastAccuracy {
+    /// Predictions that matured inside the horizon.
+    pub samples: u64,
+    /// Mean absolute percentage error over them (0 = perfect).
+    pub mape: f64,
+    /// Signed mean relative error (positive = over-forecasting).
+    pub bias: f64,
+    /// Decision ticks on which the policy fell back to its inner
+    /// reactive policy (model cold or error above the guard).
+    pub fallback_ticks: u64,
+}
+
+impl ForecastAccuracy {
+    /// Score every forecast in `log` against the actual demand later
+    /// recorded for the same region, matching each prediction's due time
+    /// to the first record at or past it that carries that region's
+    /// sample. `None` when the log carries no forecasts (the run was not
+    /// predictive).
+    #[must_use]
+    pub fn from_log(log: &[DecisionRecord]) -> Option<ForecastAccuracy> {
+        // Per-region actual-demand series, in log order.
+        let mut pending: Vec<(Option<u16>, Nanos, f64)> = Vec::new();
+        let mut fallback_ticks = 0u64;
+        let (mut n, mut abs_sum, mut signed_sum) = (0u64, 0.0f64, 0.0f64);
+        let mut any = false;
+        for record in log {
+            for sample in &record.forecasts {
+                any = true;
+                // Distress ticks report a demand known to be gated
+                // artificially low (the policy froze its own tracker for
+                // exactly this reason) — scoring predictions against it
+                // would inflate the end-of-run MAPE with samples the
+                // design says must not count. The predictions stay
+                // pending and mature on the first healthy sample.
+                if sample.distressed {
+                    continue;
+                }
+                let region = sample.region.map(|r| r.0);
+                // Mature every prediction for this region that is due,
+                // with the same relative-error floor the in-policy
+                // tracker applies.
+                let mut i = 0;
+                while i < pending.len() {
+                    let (p_region, due, predicted) = pending[i];
+                    if p_region == region && due <= sample.at {
+                        pending.swap_remove(i);
+                        let err = marlin_autoscaler::relative_error(predicted, sample.demand);
+                        n += 1;
+                        abs_sum += err.abs();
+                        signed_sum += err;
+                    } else {
+                        i += 1;
+                    }
+                }
+                if sample.predicted.is_finite() {
+                    pending.push((region, sample.at + sample.lead, sample.predicted));
+                }
+            }
+            if record.forecasts.iter().any(|s| s.fallback) {
+                fallback_ticks += 1;
+            }
+        }
+        any.then_some(ForecastAccuracy {
+            samples: n,
+            mape: if n > 0 { abs_sum / n as f64 } else { f64::NAN },
+            bias: if n > 0 {
+                signed_sum / n as f64
+            } else {
+                f64::NAN
+            },
+            fallback_ticks,
+        })
+    }
 }
 
 /// The unified result of one scenario run.
@@ -121,6 +203,10 @@ pub struct RunReport {
     pub horizon: Nanos,
     /// The full decision log (every control tick + scripted event).
     pub log: Vec<DecisionRecord>,
+    /// Forecast accuracy over the run (`None` unless the policy
+    /// forecasts): matured MAPE/bias plus how many ticks fell back to
+    /// reactive behavior.
+    pub forecast: Option<ForecastAccuracy>,
     /// End-of-run totals.
     pub metrics: MetricsSnapshot,
 }
@@ -171,6 +257,34 @@ impl RunReport {
         self.metrics.release_lag(base, after)
     }
 
+    /// Policy decision ticks whose observed p99 exceeded `ceiling` — the
+    /// SLO-violation count the predictive-vs-reactive comparison tables
+    /// report.
+    #[must_use]
+    pub fn slo_violation_ticks(&self, ceiling: Nanos) -> usize {
+        self.log
+            .iter()
+            .filter(|r| r.source == DecisionSource::Policy)
+            .filter(|r| r.observation.p99_latency > ceiling)
+            .count()
+    }
+
+    /// Node-seconds of capacity held over the run, integrated from the
+    /// exact node-count series — the "node cost" axis of the
+    /// SLO-violations-vs-cost frontier.
+    #[must_use]
+    pub fn node_seconds(&self) -> f64 {
+        let series = &self.metrics.node_count;
+        let mut total = 0.0;
+        for w in series.windows(2) {
+            total += w[0].1 * (w[1].0 - w[0].0) as f64;
+        }
+        if let Some(&(t, v)) = series.last() {
+            total += v * self.horizon.saturating_sub(t) as f64;
+        }
+        total / marlin_sim::SECOND as f64
+    }
+
     /// The compact `(tick, action)` signature of the policy's decisions —
     /// what the runner-parity test compares across backends.
     #[must_use]
@@ -198,6 +312,17 @@ impl RunReport {
         field(&mut out, "cpu_model", &json_str(&self.cpu_model));
         field(&mut out, "seed", &self.seed.to_string());
         field(&mut out, "horizon_ns", &self.horizon.to_string());
+        let accuracy = match &self.forecast {
+            Some(f) => format!(
+                "{{\"samples\":{},\"mape\":{},\"bias\":{},\"fallback_ticks\":{}}}",
+                f.samples,
+                json_f64(f.mape),
+                json_f64(f.bias),
+                f.fallback_ticks
+            ),
+            None => "null".into(),
+        };
+        field(&mut out, "forecast_accuracy", &accuracy);
         let log: Vec<String> = self.log.iter().map(record_json).collect();
         field(&mut out, "log", &format!("[{}]", log.join(",")));
         out.push_str("\"metrics\":");
@@ -339,6 +464,21 @@ fn action_json(action: &ScaleAction) -> String {
     }
 }
 
+fn forecast_json(s: &ForecastSample) -> String {
+    let region = s.region.map_or("null".into(), |r| r.0.to_string());
+    format!(
+        "{{\"region\":{region},\"demand\":{},\"predicted\":{},\"lead_ns\":{},\
+         \"rolling_mape\":{},\"bias\":{},\"fallback\":{},\"distressed\":{}}}",
+        json_f64(s.demand),
+        json_f64(s.predicted),
+        s.lead,
+        json_f64(s.rolling_mape),
+        json_f64(s.bias),
+        s.fallback,
+        s.distressed,
+    )
+}
+
 fn region_loads_json(regions: &[RegionLoad]) -> String {
     let cells: Vec<String> = regions
         .iter()
@@ -386,6 +526,10 @@ fn record_json(r: &DecisionRecord) -> String {
         None => "null".into(),
     };
     field(&mut out, "action", &action);
+    if !r.forecasts.is_empty() {
+        let cells: Vec<String> = r.forecasts.iter().map(forecast_json).collect();
+        field(&mut out, "forecasts", &format!("[{}]", cells.join(",")));
+    }
     out.push_str("\"actuation_micros\":");
     out.push_str(&r.actuation_micros.to_string());
     out.push('}');
@@ -552,10 +696,58 @@ mod tests {
                 action: Some(ScaleAction::RemoveNodes {
                     victims: vec![NodeId(3)],
                 }),
+                forecasts: Vec::new(),
                 actuation_micros: 12,
             }],
+            forecast: None,
             metrics: snapshot(),
         }
+    }
+
+    /// A two-tick predictive log: a perfect prediction issued at t=1s
+    /// maturing at t=2s, plus one cold fallback tick.
+    fn forecast_log() -> Vec<DecisionRecord> {
+        let record = |tick: u64, at: Nanos, sample: ForecastSample| DecisionRecord {
+            tick,
+            at,
+            source: DecisionSource::Policy,
+            observation: report().log[0].observation.clone(),
+            action: None,
+            forecasts: vec![sample],
+            actuation_micros: 0,
+        };
+        vec![
+            record(
+                1,
+                1_000_000_000,
+                ForecastSample {
+                    region: None,
+                    at: 1_000_000_000,
+                    demand: 4.0,
+                    predicted: 6.0,
+                    lead: 1_000_000_000,
+                    rolling_mape: f64::NAN,
+                    bias: f64::NAN,
+                    fallback: true,
+                    distressed: false,
+                },
+            ),
+            record(
+                2,
+                2_000_000_000,
+                ForecastSample {
+                    region: None,
+                    at: 2_000_000_000,
+                    demand: 4.0,
+                    predicted: 4.0,
+                    lead: 1_000_000_000,
+                    rolling_mape: 0.5,
+                    bias: 0.5,
+                    fallback: false,
+                    distressed: false,
+                },
+            ),
+        ]
     }
 
     #[test]
@@ -600,6 +792,82 @@ mod tests {
         );
         assert!(action_json(&ScaleAction::add_in(2, RegionId(1))).contains("\"region\":1"));
         assert!(action_json(&ScaleAction::add(2)).contains("\"region\":null"));
+    }
+
+    #[test]
+    fn forecast_accuracy_matures_predictions_against_later_demand() {
+        assert_eq!(
+            ForecastAccuracy::from_log(&report().log),
+            None,
+            "a non-predictive log has no accuracy to report"
+        );
+        let acc = ForecastAccuracy::from_log(&forecast_log()).expect("forecasts present");
+        // One matured prediction (6.0 predicted for t=2s vs 4.0 actual):
+        // relative error (6-4)/4 = 0.5; one fallback tick.
+        assert_eq!(acc.samples, 1);
+        assert!((acc.mape - 0.5).abs() < 1e-12);
+        assert!((acc.bias - 0.5).abs() < 1e-12);
+        assert_eq!(acc.fallback_ticks, 1);
+    }
+
+    #[test]
+    fn distressed_samples_never_mature_predictions() {
+        // The policy freezes its own tracker on distress ticks because
+        // the measured demand is gated artificially low; the end-of-run
+        // scorer must mirror that, holding the prediction pending until
+        // the first healthy sample.
+        let mut log = forecast_log();
+        log[1].forecasts[0].distressed = true;
+        log[1].forecasts[0].demand = 0.5; // gated reading
+        let acc = ForecastAccuracy::from_log(&log).expect("forecasts present");
+        assert_eq!(
+            acc.samples, 0,
+            "the only due sample was distressed — nothing matures"
+        );
+        assert!(acc.mape.is_nan());
+        // A later healthy sample matures it against the real demand.
+        let mut healthy = log[1].clone();
+        healthy.at = 3_000_000_000;
+        healthy.forecasts[0].at = 3_000_000_000;
+        healthy.forecasts[0].distressed = false;
+        healthy.forecasts[0].demand = 4.0;
+        log.push(healthy);
+        let acc = ForecastAccuracy::from_log(&log).expect("forecasts present");
+        assert_eq!(acc.samples, 1);
+        assert!(
+            (acc.mape - 0.5).abs() < 1e-12,
+            "scored against 4.0, not 0.5"
+        );
+    }
+
+    #[test]
+    fn forecasts_serialize_into_record_and_report_json() {
+        let mut r = report();
+        r.log = forecast_log();
+        r.forecast = ForecastAccuracy::from_log(&r.log);
+        let j = r.to_json();
+        assert!(j.contains(
+            "\"forecast_accuracy\":{\"samples\":1,\"mape\":0.5,\"bias\":0.5,\"fallback_ticks\":1}"
+        ));
+        assert!(j.contains("\"forecasts\":[{\"region\":null,\"demand\":4,\"predicted\":6,\"lead_ns\":1000000000,\"rolling_mape\":null,\"bias\":null,\"fallback\":true,\"distressed\":false}]"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        // Non-predictive reports keep a null accuracy and omit per-record
+        // forecast arrays entirely.
+        let j = report().to_json();
+        assert!(j.contains("\"forecast_accuracy\":null"));
+        assert!(!j.contains("\"forecasts\":["));
+    }
+
+    #[test]
+    fn slo_violations_and_node_seconds_read_the_log_and_series() {
+        let r = report();
+        // The single policy tick observed p99 = 9 ms.
+        assert_eq!(r.slo_violation_ticks(8_000_000), 1);
+        assert_eq!(r.slo_violation_ticks(10_000_000), 0);
+        // node_count: 2 nodes for 1 s, 4 for 1 s, 2 for the last 1 s of
+        // the 3 s horizon → 8 node-seconds.
+        assert!((r.node_seconds() - 8.0).abs() < 1e-9);
     }
 
     #[test]

@@ -12,7 +12,8 @@ use crate::harness::runner::Fault;
 use crate::params::{CoordKind, CpuModel, SimParams};
 use crate::sim::Workload;
 use marlin_autoscaler::{
-    ReactiveConfig, ReactivePolicy, RebalanceConfig, RegionalPolicy, ScaleAction, ScalingPolicy,
+    LinearTrendForecaster, PredictiveConfig, PredictivePolicy, ReactiveConfig, ReactivePolicy,
+    RebalanceConfig, RegionalPolicy, ScaleAction, ScalingPolicy,
 };
 use marlin_common::{NodeId, RegionId};
 use marlin_sim::{Nanos, RegionMatrix, SECOND};
@@ -230,6 +231,16 @@ impl Scenario {
         self
     }
 
+    /// Set the provisioning lead time: how long an `AddNodes` actuation
+    /// takes before the new nodes join and accept load (simulator only —
+    /// `LocalRunner` actuates synchronously — but recorded in the params
+    /// either way). Default 0 = the historical instant capacity.
+    #[must_use]
+    pub fn provision_lead_time(mut self, lead: Nanos) -> Self {
+        self.params.provision_lead_time = lead;
+        self
+    }
+
     /// Enable the Figure 15 membership stress: `members` virtual nodes,
     /// one update per `period` each.
     #[must_use]
@@ -271,6 +282,85 @@ impl Scenario {
                     cooldown,
                     ..ReactiveConfig::paper_default(min_nodes, max_nodes)
                 }))
+            })
+            .with_coordination_floor(RegionId(0), min_nodes),
+        )
+    }
+
+    /// The SLO ceiling the predictive presets (and their reactive
+    /// baselines) arm the p99 escape hatch with — same value as the
+    /// CPU-model comparison preset.
+    pub const PRESET_P99_CEILING: Nanos = 150 * marlin_sim::MILLISECOND;
+
+    /// The reactive controller policy with the p99 escape hatch armed —
+    /// the fair baseline for latency-SLO comparisons (the plain
+    /// [`Scenario::reactive_policy`] cannot see a breach at all when
+    /// utilization is gated by saturation). Also the fallback the
+    /// predictive constructors wrap, so a predictive run degraded by its
+    /// error guard behaves exactly like this baseline.
+    #[must_use]
+    pub fn slo_reactive_policy(
+        &self,
+        min_nodes: u32,
+        max_nodes: u32,
+        p99_ceiling: Nanos,
+    ) -> Box<dyn ScalingPolicy> {
+        Box::new(ReactivePolicy::new(ReactiveConfig {
+            step_nodes: min_nodes.max(1),
+            cooldown: 3 * self.control_interval,
+            p99_ceiling: Some(p99_ceiling),
+            ..ReactiveConfig::paper_default(min_nodes, max_nodes)
+        }))
+    }
+
+    /// The proactive controller policy for these bounds: a linear-trend
+    /// forecaster sizing the cluster for demand one provisioning lead
+    /// plus one control interval ahead, guarded by rolling-MAPE and
+    /// distress fallbacks onto the SLO-armed reactive configuration
+    /// ([`Scenario::slo_reactive_policy`]). The lead is read from
+    /// `params.provision_lead_time` — set it (and any CPU model) on the
+    /// builder *before* asking for the policy: the forecast horizon is
+    /// captured at construction, so overriding the lead on a scenario
+    /// that already carries a predictive policy leaves that policy
+    /// sized for the stale lead (rebuild the policy after the override,
+    /// as the `predictive_vs_reactive` bench's lead sweep does).
+    #[must_use]
+    pub fn predictive_policy(&self, min_nodes: u32, max_nodes: u32) -> Box<dyn ScalingPolicy> {
+        let lead = self.params.provision_lead_time + self.control_interval;
+        Box::new(PredictivePolicy::new(
+            PredictiveConfig {
+                cooldown: 3 * self.control_interval,
+                ..PredictiveConfig::paper_default(lead, min_nodes, max_nodes)
+            },
+            Box::new(LinearTrendForecaster::new(5)),
+            self.slo_reactive_policy(min_nodes, max_nodes, Self::PRESET_P99_CEILING),
+        ))
+    }
+
+    /// The region-aware proactive controller: one independent
+    /// [`PredictivePolicy`] per region of `params.regions` (each with its
+    /// own forecaster over its region's demand signal and its own
+    /// reactive fallback), coordination region floored at `min_nodes`
+    /// like [`Scenario::regional_reactive_policy`].
+    #[must_use]
+    pub fn regional_predictive_policy(
+        &self,
+        min_nodes: u32,
+        max_nodes: u32,
+    ) -> Box<dyn ScalingPolicy> {
+        let regions = self.params.regions.regions() as u16;
+        let cooldown = 3 * self.control_interval;
+        let lead = self.params.provision_lead_time + self.control_interval;
+        Box::new(
+            RegionalPolicy::new(regions, |_| {
+                Box::new(PredictivePolicy::new(
+                    PredictiveConfig {
+                        cooldown,
+                        ..PredictiveConfig::paper_default(lead, min_nodes, max_nodes)
+                    },
+                    Box::new(LinearTrendForecaster::new(5)),
+                    self.slo_reactive_policy(min_nodes, max_nodes, Self::PRESET_P99_CEILING),
+                ))
             })
             .with_coordination_floor(RegionId(0), min_nodes),
         )
@@ -356,7 +446,7 @@ impl Scenario {
         Scenario::new("dynamic-burst")
             .backend(kind)
             .workload(Workload::ycsb(200_000 / granule_scale))
-            .trace(LoadTrace::spike(400, 800, 20 * SECOND, 80 * SECOND))
+            .trace(LoadTrace::paper_burst())
             .initial_nodes(8)
             .threads_per_node(16)
             .duration(120 * SECOND)
@@ -389,7 +479,7 @@ impl Scenario {
         let s = Scenario::new("autoscale-spike")
             .backend(kind)
             .workload(Workload::ycsb(200_000 / granule_scale))
-            .trace(LoadTrace::spike(400, 800, 20 * SECOND, 80 * SECOND))
+            .trace(LoadTrace::paper_burst())
             .initial_nodes(8)
             .threads_per_node(16)
             .control_interval(2 * SECOND)
@@ -400,19 +490,22 @@ impl Scenario {
     }
 
     /// A two-cycle diurnal curve between 4 and 12 nodes' worth of demand,
-    /// driven closed-loop.
+    /// driven closed-loop. The curve is [`LoadTrace::paper_diurnal`] —
+    /// the same trace the predictive preset rides, so forecaster claims
+    /// are measured against the exact demand the reactive baseline saw.
     #[must_use]
     pub fn autoscale_diurnal(kind: CoordKind, granules: u64) -> Self {
-        let period = 120 * SECOND;
+        let trace = LoadTrace::paper_diurnal();
+        let horizon = 240 * SECOND;
         let s = Scenario::new("autoscale-diurnal")
             .backend(kind)
             .workload(Workload::ycsb(granules))
-            .trace(LoadTrace::diurnal(100, 600, period, 2 * period, 12))
+            .trace(trace)
             .initial_nodes(4)
             .threads_per_node(8)
             .control_interval(2 * SECOND)
             .observe_window(4 * SECOND)
-            .duration(2 * period);
+            .duration(horizon);
         let policy = s.reactive_policy(4, 12);
         s.policy(policy)
     }
@@ -497,6 +590,59 @@ impl Scenario {
             .policy(Box::new(marlin_autoscaler::HoldPolicy))
             .planner(RebalanceConfig::default())
     }
+
+    /// The predictive diurnal run: the exact `autoscale_diurnal` curve
+    /// ([`LoadTrace::paper_diurnal`]) with capacity no longer free —
+    /// `AddNodes` takes a 10 s provisioning lead — under the per-request
+    /// CPU model (p99s track real queue build-up, so an SLO comparison
+    /// means something) and the trend-forecasting
+    /// [`PredictivePolicy`] sizing for demand one lead ahead.
+    ///
+    /// For the reactive twin of the same run — the A/B every
+    /// predictive claim is measured against — swap only the policy:
+    /// `scenario.slo_reactive_policy(4, 12, Scenario::PRESET_P99_CEILING)`
+    /// on an otherwise identical builder chain
+    /// (`examples/predictive_vs_reactive.rs` does exactly this).
+    #[must_use]
+    pub fn predictive_diurnal(kind: CoordKind, granules: u64) -> Self {
+        let mut s = Scenario::autoscale_diurnal(kind, granules)
+            .cpu_model(CpuModel::PerRequest)
+            .provision_lead_time(10 * SECOND);
+        s.name = "predictive-diurnal".into();
+        let policy = s.predictive_policy(4, 12);
+        s.policy(policy)
+    }
+
+    /// The predictive geo run: the §6.5 four-region deployment with a
+    /// *forecastable* regional surge — region 1's demand ramps 100→200
+    /// clients over 40 s (a staircase with slope, not a step; cloud
+    /// demand grows, it rarely teleports) while the other regions idle —
+    /// under a 10 s provisioning lead and the per-region
+    /// [`PredictivePolicy`] composition
+    /// ([`Scenario::regional_predictive_policy`]). The controller must
+    /// order region-1 capacity *while the ramp is still climbing*, so
+    /// the nodes land before the region's p99 breaches; calm regions
+    /// must see zero adds.
+    #[must_use]
+    pub fn predictive_geo(kind: CoordKind, granules: u64) -> Self {
+        let idle = LoadTrace::constant(40);
+        let hot = LoadTrace::ramp(100, 200, 26 * SECOND, 66 * SECOND, 8);
+        let mut s = Scenario::new("predictive-geo")
+            .backend(kind)
+            .workload(Workload::ycsb(granules))
+            .initial_nodes(8)
+            .control_interval(5 * SECOND)
+            .observe_window(4 * SECOND)
+            .geo()
+            .cpu_model(CpuModel::PerRequest)
+            .provision_lead_time(10 * SECOND)
+            .region_traces(vec![idle.clone(), hot, idle.clone(), idle])
+            .duration(120 * SECOND)
+            .threads_per_node(8);
+        s.name = "predictive-geo".into(); // .geo() suffixes; keep the preset name
+        let policy = s.regional_predictive_policy(2, 4);
+        s.policy(policy)
+    }
 }
 
 /// Membership updates expected over a stress run (bursts fully inside
@@ -522,11 +668,13 @@ mod tests {
             .duration(9 * SECOND)
             .threads_per_node(2)
             .seed(7)
+            .provision_lead_time(7 * SECOND)
             .action(SECOND, ScaleAction::add(1))
             .faults(vec![(2 * SECOND, Fault::Crash(NodeId(1)))]);
         assert_eq!(s.backend, CoordKind::Fdb);
         assert_eq!(s.initial_nodes, 3);
         assert_eq!(s.params.seed, 7);
+        assert_eq!(s.params.provision_lead_time, 7 * SECOND);
         assert_eq!(s.script.len(), 1);
         assert_eq!(s.faults.len(), 1);
         assert_eq!(s.horizon, 9 * SECOND);
@@ -615,6 +763,49 @@ mod tests {
         // The builder knob reaches params for hand-rolled scenarios too.
         let s = Scenario::new("t").cpu_model(CpuModel::PerRequest);
         assert_eq!(s.params.cpu_model, CpuModel::PerRequest);
+    }
+
+    #[test]
+    fn predictive_presets_carry_lead_time_and_share_the_reactive_curves() {
+        let d = Scenario::predictive_diurnal(CoordKind::Marlin, 2_000);
+        assert_eq!(d.name, "predictive-diurnal");
+        assert_eq!(d.params.provision_lead_time, 10 * SECOND);
+        assert_eq!(d.params.cpu_model, CpuModel::PerRequest);
+        assert!(d.policy.is_some() && d.script.is_empty());
+        // One source of truth for the curve: the predictive run rides the
+        // exact trace the reactive preset rides.
+        let reactive = Scenario::autoscale_diurnal(CoordKind::Marlin, 2_000);
+        assert_eq!(d.trace, reactive.trace);
+        assert_eq!(d.trace, LoadTrace::paper_diurnal());
+        assert_eq!(d.horizon, reactive.horizon);
+        assert_eq!(d.params.seed, reactive.params.seed);
+
+        let g = Scenario::predictive_geo(CoordKind::Marlin, 1_600);
+        assert_eq!(g.name, "predictive-geo");
+        assert_eq!(g.params.regions.regions(), 4);
+        assert_eq!(g.region_traces.len(), 4);
+        assert_eq!(g.params.provision_lead_time, 10 * SECOND);
+        assert_eq!(g.region_traces[1].peak(), 200, "region 1 ramps 2x");
+        assert_eq!(g.region_traces[0].peak(), 40, "the others idle");
+        // The surge is a ramp (forecastable slope), not a step.
+        assert!(g.region_traces[1].changes().len() > 3);
+    }
+
+    #[test]
+    fn burst_presets_share_one_trace_source() {
+        // Regression for the preset duplication: dynamic_burst,
+        // autoscale_spike, and the model-comparison preset derived from
+        // it must ride literally the same curve.
+        let burst = LoadTrace::paper_burst();
+        assert_eq!(Scenario::dynamic_burst(CoordKind::Marlin, 10).trace, burst);
+        assert_eq!(
+            Scenario::autoscale_spike(CoordKind::Marlin, 10).trace,
+            burst
+        );
+        assert_eq!(
+            Scenario::cpu_model_comparison(CoordKind::Marlin, 10, CpuModel::PerRequest).trace,
+            burst
+        );
     }
 
     #[test]

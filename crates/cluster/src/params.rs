@@ -186,6 +186,21 @@ pub struct SimParams {
     /// (read the log suffix from storage).
     pub mtable_refresh: Nanos,
 
+    // -- provisioning ------------------------------------------------------------
+    /// Wall-clock (virtual) time between an `AddNodes` actuation and the
+    /// moment the new nodes join the membership and begin accepting
+    /// load: VM allocation, boot, engine start (a D4s v3 lands in tens
+    /// of seconds on Azure). Applies to scale-*outs* only — drains act
+    /// on nodes that already exist.
+    ///
+    /// Default 0 (instant capacity, the historical behavior — every
+    /// pre-existing decision log stays bit-identical). A non-zero lead
+    /// is what makes prediction matter: a reactive policy that scales
+    /// on the breach eats the whole lead as queue build-up, while a
+    /// [`PredictivePolicy`](marlin_autoscaler::PredictivePolicy) orders
+    /// capacity `lead` ahead so it lands as the demand does.
+    pub provision_lead_time: Nanos,
+
     // -- cost (§6.1.5) ---------------------------------------------------------------
     /// Hourly price of one compute node (Standard D4s v3, $0.192/h).
     pub node_hourly: f64,
@@ -216,6 +231,7 @@ impl Default for SimParams {
             backoff_cap: 100 * MILLISECOND,
             route_broadcast_delay: 200 * MILLISECOND,
             mtable_refresh: 900 * MICROSECOND,
+            provision_lead_time: 0,
             node_hourly: 0.192,
             seed: 42,
         }
@@ -262,6 +278,10 @@ mod tests {
         assert!(p.backoff_cap >= p.backoff_base);
         assert_eq!(p.regions.regions(), 1);
         assert_eq!(SimParams::geo().regions.regions(), 4);
+        // Instant capacity by default: every historical decision log was
+        // produced without a provisioning delay, and the parity suites
+        // pin those logs bit-for-bit.
+        assert_eq!(p.provision_lead_time, 0);
     }
 
     #[test]

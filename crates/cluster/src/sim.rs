@@ -518,6 +518,57 @@ impl MigrationPlan {
     }
 }
 
+/// A scheduled-but-not-yet-started migration plan.
+///
+/// Scale-outs are deliberately *deferred*: at order time only the node
+/// slots are reserved (so concurrent orders cannot collide and
+/// observations can report the capacity as pending); the balanced task
+/// list is built when the provisioning lead elapses and the nodes
+/// actually join. Building tasks at order time looks equivalent with
+/// instant provisioning — and is bit-identical then, since no event can
+/// run in between — but under a real lead any migration that commits
+/// during the window invalidates prebuilt tasks (the data-effectiveness
+/// check skips them as stale), leaving the join under-balanced and a
+/// subset of old nodes hot for the rest of the run.
+enum PendingPlan {
+    /// Tasks already built (drain-less rebalances, prepared plans).
+    Built {
+        /// The task queues to run when the plan starts.
+        plan: MigrationPlan,
+        /// Node slots to activate when the plan starts.
+        activate: Vec<u32>,
+    },
+    /// A scale-out whose rebalance tasks are built at start time.
+    ScaleOut {
+        /// Reserved node slots that join when the lead elapses.
+        slots: Vec<u32>,
+        /// Migration worker threads per joining node.
+        threads_per: u32,
+        /// Placement request the order carried.
+        region: Option<RegionId>,
+    },
+}
+
+impl Default for PendingPlan {
+    fn default() -> Self {
+        PendingPlan::Built {
+            plan: MigrationPlan::default(),
+            activate: Vec::new(),
+        }
+    }
+}
+
+impl PendingPlan {
+    /// Slots this pending plan has reserved (they may not be handed to
+    /// another plan, and observations report them as pending capacity).
+    fn reserved_slots(&self) -> &[u32] {
+        match self {
+            PendingPlan::Built { activate, .. } => activate,
+            PendingPlan::ScaleOut { slots, .. } => slots,
+        }
+    }
+}
+
 /// Simulator events.
 enum Event {
     /// A client dispatches its next transaction (or retries).
@@ -579,9 +630,9 @@ pub struct ClusterSim {
     membership_starts: Vec<Option<Nanos>>,
     /// Migration worker state: (queue, cursor, current blocked task).
     workers: Vec<(Vec<MigrationTask>, usize)>,
-    /// Plans scheduled but not yet started, with the node slots each plan
-    /// activates when it fires.
-    pending_plans: Vec<(MigrationPlan, Vec<u32>)>,
+    /// Plans scheduled but not yet started (scale-out task lists are
+    /// built when the plan fires; see [`PendingPlan`]).
+    pending_plans: Vec<PendingPlan>,
     /// Committed user transactions in the recent past: (commit time,
     /// client-perceived latency, client region). Pruned to the
     /// observation window.
@@ -952,6 +1003,17 @@ impl ClusterSim {
         for g in &self.granules {
             owned[g.owner as usize] += 1;
         }
+        // Slots promised to a scheduled-but-unstarted scale-out plan:
+        // capacity ordered whose provisioning lead is still running.
+        // Policies read these as `pending` so they don't re-buy the same
+        // shortfall every tick of the lead (always empty when
+        // `provision_lead_time` is 0 — the plan starts before the next
+        // observation).
+        let pending: std::collections::BTreeSet<u32> = self
+            .pending_plans
+            .iter()
+            .flat_map(|p| p.reserved_slots().iter().copied())
+            .collect();
         let node_loads: Vec<NodeLoad> = self
             .nodes
             .iter()
@@ -960,6 +1022,7 @@ impl ClusterSim {
                 node: NodeId(i as u32),
                 region: n.region,
                 alive: n.alive,
+                pending: pending.contains(&(i as u32)),
                 utilization: n.cpu.observed_rho(now, window),
                 owned_granules: owned[i],
             })
@@ -1131,6 +1194,13 @@ impl ClusterSim {
     /// Schedule a scale-out with an explicit placement request: the new
     /// nodes are provisioned in `region` (when given) and the rebalance
     /// plan drains only that region's members onto them.
+    ///
+    /// The plan *starts* — the new nodes join the membership, begin to
+    /// be billed, and the migrations onto them launch — only after
+    /// [`SimParams::provision_lead_time`] has elapsed past `at`: ordering
+    /// capacity is not the same as having it. With the default lead of
+    /// 0 the behavior (and every event timestamp) is exactly the
+    /// historical instant-capacity one.
     pub fn schedule_scale_out_in(
         &mut self,
         at: Nanos,
@@ -1138,12 +1208,16 @@ impl ClusterSim {
         threads_per_new_node: u32,
         region: Option<RegionId>,
     ) {
-        let (plan, slots) =
-            self.balanced_plan_for_new_nodes(new_nodes, threads_per_new_node, region);
-        self.pending_plans.push((plan, slots));
+        let ready_at = at + self.params.provision_lead_time;
+        let slots = self.allocate_join_slots(new_nodes, region);
+        self.pending_plans.push(PendingPlan::ScaleOut {
+            slots,
+            threads_per: threads_per_new_node,
+            region,
+        });
         let idx = self.pending_plans.len() - 1;
         self.queue
-            .schedule_at(at, ActorId(0), Event::StartPlan { plan_idx: idx });
+            .schedule_at(ready_at, ActorId(0), Event::StartPlan { plan_idx: idx });
     }
 
     /// Schedule a change of the active client count (dynamic workloads).
@@ -1196,28 +1270,19 @@ impl ClusterSim {
         );
     }
 
-    /// Build a balanced migration plan that moves granules from the live
-    /// nodes onto `new_nodes` joining nodes, and the slot indices the plan
-    /// activates. Released (dead) node slots are reused before fresh ones
-    /// are provisioned, so repeated scale-out/in cycles — the closed-loop
-    /// controller's steady diet — don't grow the node table without bound.
-    ///
-    /// With a `target_region`, the joining nodes are placed in that region
-    /// (reused slots are re-homed — a released node is a fresh VM) and
-    /// only that region's live members shed granules, so a hot region's
-    /// scale-out never drags another region's data across the WAN.
-    fn balanced_plan_for_new_nodes(
-        &mut self,
-        new_nodes: u32,
-        threads_per: u32,
-        target_region: Option<RegionId>,
-    ) -> (MigrationPlan, Vec<u32>) {
+    /// Reserve the node slots a scale-out will activate. Released (dead)
+    /// node slots are reused before fresh ones are provisioned, so
+    /// repeated scale-out/in cycles — the closed-loop controller's
+    /// steady diet — don't grow the node table without bound. With a
+    /// `target_region`, the joining nodes are placed in that region
+    /// (reused slots are re-homed — a released node is a fresh VM).
+    fn allocate_join_slots(&mut self, new_nodes: u32, target_region: Option<RegionId>) -> Vec<u32> {
         let regions = self.params.regions.regions() as u16;
         // Slots already promised to a pending plan are not reusable.
         let reserved: std::collections::BTreeSet<u32> = self
             .pending_plans
             .iter()
-            .flat_map(|(_, slots)| slots.iter().copied())
+            .flat_map(|p| p.reserved_slots().iter().copied())
             .collect();
         let mut slots: Vec<u32> = (0..self.nodes.len() as u32)
             .filter(|&i| {
@@ -1244,7 +1309,25 @@ impl ClusterSim {
             });
             slots.push(idx);
         }
+        slots
+    }
 
+    /// Build the balanced migration plan that moves granules from the
+    /// live nodes onto the reserved `slots`, against *current* ownership.
+    /// Called when the plan starts (provisioning complete), not when it
+    /// was ordered: tasks built against order-time ownership go stale the
+    /// moment any other migration commits during the lead, and stale
+    /// tasks are skipped — leaving the join under-balanced.
+    ///
+    /// With a `target_region`, only that region's live members shed
+    /// granules, so a hot region's scale-out never drags another region's
+    /// data across the WAN.
+    fn balanced_tasks_onto(
+        &mut self,
+        slots: &[u32],
+        threads_per: u32,
+        target_region: Option<RegionId>,
+    ) -> MigrationPlan {
         let live: Vec<u32> = (0..self.nodes.len() as u32)
             .filter(|&i| {
                 self.nodes[i as usize].alive
@@ -1310,7 +1393,7 @@ impl ClusterSim {
             dst_cursor[d] += 1;
             queues[thread].push(task);
         }
-        (MigrationPlan { queues }, slots)
+        MigrationPlan { queues }
     }
 
     /// Build a drain plan that empties `victims` (node indices) onto the
@@ -1369,7 +1452,10 @@ impl ClusterSim {
     /// Schedule a prepared plan (used by the dynamic scenario for
     /// scale-in; marks sources as draining so they release once empty).
     pub fn schedule_plan(&mut self, at: Nanos, plan: MigrationPlan, draining: Vec<u32>) {
-        self.pending_plans.push((plan, Vec::new()));
+        self.pending_plans.push(PendingPlan::Built {
+            plan,
+            activate: Vec::new(),
+        });
         let idx = self.pending_plans.len() - 1;
         self.draining.extend(draining);
         self.queue
@@ -1458,7 +1544,21 @@ impl ClusterSim {
             }
             Event::SetRegionClients { region, count } => self.apply_region_clients(region, count),
             Event::StartPlan { plan_idx } => {
-                let (plan, activate) = std::mem::take(&mut self.pending_plans[plan_idx]);
+                let (plan, activate) = match std::mem::take(&mut self.pending_plans[plan_idx]) {
+                    PendingPlan::Built { plan, activate } => (plan, activate),
+                    // Scale-out: provisioning is complete — build the
+                    // balanced task list against *current* ownership
+                    // (the slots are still dead here, exactly as the
+                    // order-time build saw them), then activate.
+                    PendingPlan::ScaleOut {
+                        slots,
+                        threads_per,
+                        region,
+                    } => {
+                        let plan = self.balanced_tasks_onto(&slots, threads_per, region);
+                        (plan, slots)
+                    }
+                };
                 // This plan's nodes join the membership now (AddNodeTxn
                 // cost). Other dead slots stay released — they may belong
                 // to a different pending plan or to a finished drain.

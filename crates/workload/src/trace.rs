@@ -70,7 +70,49 @@ impl LoadTrace {
         LoadTrace::steps(points)
     }
 
-    /// Active clients at time `t`.
+    /// The §6.6 burst shape at paper scale: 400 clients, spiking to 800
+    /// during `[20 s, 80 s)`. One source of truth for every preset built
+    /// on the burst (`dynamic_burst`, `autoscale_spike`, and the CPU
+    /// model comparison derived from it) — the shapes stay comparable
+    /// because they are literally the same trace.
+    #[must_use]
+    pub fn paper_burst() -> Self {
+        LoadTrace::spike(400, 800, 20 * SECOND, 80 * SECOND)
+    }
+
+    /// The two-cycle diurnal curve the closed-loop presets ride: demand
+    /// between 100 and 600 clients over a 120 s period, sampled into 12
+    /// levels, two full cycles. Shared by `autoscale_diurnal` and the
+    /// predictive presets so the forecaster is validated against the
+    /// exact curve the reactive baseline ran.
+    #[must_use]
+    pub fn paper_diurnal() -> Self {
+        let period = 120 * SECOND;
+        LoadTrace::diurnal(100, 600, period, 2 * period, 12)
+    }
+
+    /// A staircase ramp: `from` clients until `start`, then `steps`
+    /// equal increments reaching `to` at `end`, holding `to` afterwards.
+    /// Unlike [`LoadTrace::spike`]'s instantaneous edge, a ramp carries
+    /// advance warning in its slope — the shape trend forecasters can
+    /// anticipate (cloud demand grows over minutes; it rarely teleports).
+    #[must_use]
+    pub fn ramp(from: u32, to: u32, start: Nanos, end: Nanos, steps: u32) -> Self {
+        assert!(start < end, "the ramp must take time");
+        assert!(steps > 0, "a ramp needs at least one step");
+        let mut points = vec![(0, from)];
+        for i in 1..=u64::from(steps) {
+            let t = start + (end - start) * i / u64::from(steps);
+            let c = (i64::from(from)
+                + (i64::from(to) - i64::from(from)) * i as i64 / i64::from(steps))
+                as u32;
+            points.push((t, c));
+        }
+        LoadTrace::steps(points)
+    }
+
+    /// Active clients at time `t` — the *single* step-lookup used by the
+    /// runners' client activation and the forecaster's backtester alike.
     #[must_use]
     pub fn clients_at(&self, t: Nanos) -> u32 {
         match self.points.binary_search_by_key(&t, |&(at, _)| at) {
@@ -78,6 +120,25 @@ impl LoadTrace {
             Err(0) => self.points[0].1,
             Err(i) => self.points[i - 1].1,
         }
+    }
+
+    /// The trace as `(from, until, clients)` segments over `[0, horizon)`
+    /// — the step intervals behind [`LoadTrace::clients_at`], for
+    /// integrators that need dwell times rather than point samples.
+    #[must_use]
+    pub fn segments(&self, horizon: Nanos) -> Vec<(Nanos, Nanos, u32)> {
+        let mut out = Vec::new();
+        for (i, &(t, c)) in self.points.iter().enumerate() {
+            if t >= horizon {
+                break;
+            }
+            let end = self
+                .points
+                .get(i + 1)
+                .map_or(horizon, |&(next, _)| next.min(horizon));
+            out.push((t, end, c));
+        }
+        out
     }
 
     /// The maximum client count anywhere on the trace (runners provision
@@ -97,19 +158,12 @@ impl LoadTrace {
     /// evaluated over `[0, horizon)`.
     #[must_use]
     pub fn seconds_at_or_above(&self, threshold: u32, horizon: Nanos) -> f64 {
-        let mut total = 0u64;
-        for (i, &(t, c)) in self.points.iter().enumerate() {
-            if t >= horizon {
-                break;
-            }
-            let end = self
-                .points
-                .get(i + 1)
-                .map_or(horizon, |&(next, _)| next.min(horizon));
-            if c >= threshold {
-                total += end - t;
-            }
-        }
+        let total: u64 = self
+            .segments(horizon)
+            .iter()
+            .filter(|&&(_, _, c)| c >= threshold)
+            .map(|&(from, until, _)| until - from)
+            .sum();
         total as f64 / SECOND as f64
     }
 }
@@ -155,5 +209,48 @@ mod tests {
         let t = LoadTrace::spike(100, 200, 10 * SECOND, 40 * SECOND);
         let above = t.seconds_at_or_above(150, 60 * SECOND);
         assert!((above - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn segments_tile_the_horizon_and_agree_with_point_lookups() {
+        let t = LoadTrace::spike(100, 200, 10 * SECOND, 40 * SECOND);
+        let segs = t.segments(60 * SECOND);
+        assert_eq!(segs.first().map(|&(from, _, _)| from), Some(0));
+        assert_eq!(segs.last().map(|&(_, until, _)| until), Some(60 * SECOND));
+        for w in segs.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "segments tile with no gaps");
+        }
+        for &(from, until, c) in &segs {
+            assert_eq!(t.clients_at(from), c);
+            assert_eq!(t.clients_at(until - 1), c, "constant within the segment");
+        }
+    }
+
+    #[test]
+    fn ramp_climbs_in_equal_steps_and_holds() {
+        let t = LoadTrace::ramp(100, 200, 20 * SECOND, 70 * SECOND, 10);
+        assert_eq!(t.clients_at(0), 100);
+        assert_eq!(t.clients_at(20 * SECOND), 100, "first step lands later");
+        assert_eq!(t.clients_at(25 * SECOND), 110);
+        assert_eq!(t.clients_at(70 * SECOND), 200);
+        assert_eq!(t.clients_at(100 * SECOND), 200, "holds the top");
+        let counts: Vec<u32> = t.changes().iter().map(|&(_, c)| c).collect();
+        assert!(counts.windows(2).all(|w| w[1] >= w[0]), "monotone ramp");
+    }
+
+    #[test]
+    fn paper_shapes_are_the_preset_curves() {
+        let burst = LoadTrace::paper_burst();
+        assert_eq!(burst.clients_at(0), 400);
+        assert_eq!(burst.clients_at(20 * SECOND), 800);
+        assert_eq!(burst.clients_at(80 * SECOND), 400);
+        let diurnal = LoadTrace::paper_diurnal();
+        assert_eq!(diurnal.clients_at(0), 100, "starts at the trough");
+        assert_eq!(diurnal.peak(), 600);
+        // Periodic over the 120 s cycle.
+        assert_eq!(
+            diurnal.clients_at(30 * SECOND),
+            diurnal.clients_at(150 * SECOND)
+        );
     }
 }

@@ -1,0 +1,127 @@
+//! Predictive vs reactive autoscaling under a provisioning lead time.
+//!
+//! Reactive scaling is optimal when capacity is free and instant. The
+//! moment an `AddNodes` takes real time to land
+//! (`SimParams::provision_lead_time`), react-after-breach eats the whole
+//! lead as queue build-up — while a forecaster that sizes for demand one
+//! lead ahead has the nodes serving *as the demand arrives*.
+//!
+//! This example runs the `predictive_diurnal` preset (the
+//! `autoscale_diurnal` curve with a 10 s provisioning lead under the
+//! per-request CPU model) twice on the same seed: once under the
+//! trend-forecasting `PredictivePolicy` and once under the SLO-armed
+//! reactive baseline. It prints the SLO-violations-vs-node-cost table —
+//! the frontier the cost-intelligent scaling literature frames — plus
+//! each run's forecast accuracy.
+//!
+//! Run with: `cargo run --release --example predictive_vs_reactive`
+//! (`MARLIN_SCALE=<n>` shrinks the simulated granule count by `n`;
+//! `MARLIN_REPORT_JSON=<path>` writes both `RunReport`s, decision logs
+//! and forecast samples included.)
+
+use marlin::autoscaler::ScaleAction;
+use marlin::cluster::harness::{maybe_write_json, run, RunReport, Scenario, SimRunner};
+use marlin::cluster::params::CoordKind;
+use marlin::cluster::report::Table;
+use marlin::sim::SECOND;
+use marlin_bench::scale;
+
+fn main() {
+    println!("== Predictive vs reactive — diurnal ramp, 10 s provisioning lead ==\n");
+    let granules = 20_000 / scale().max(10);
+    let ceiling = Scenario::PRESET_P99_CEILING;
+
+    let mk = |predictive: bool| -> Scenario {
+        let mut s = Scenario::predictive_diurnal(CoordKind::Marlin, granules);
+        if !predictive {
+            // The reactive twin: identical scenario (same trace, lead,
+            // CPU model, seed), only the policy swapped for the
+            // SLO-armed reactive baseline.
+            let baseline = s.slo_reactive_policy(4, 12, ceiling);
+            s = s.policy(baseline);
+            s.name = "predictive-diurnal-reactive".into();
+        }
+        s
+    };
+
+    let mut reports: Vec<RunReport> = Vec::new();
+    for predictive in [false, true] {
+        let scenario = mk(predictive);
+        let mut runner = SimRunner::new(&scenario);
+        reports.push(run(scenario, &mut runner));
+    }
+
+    let first_add =
+        |r: &RunReport| r.first_action_at(0, |a| matches!(a, ScaleAction::AddNodes { .. }));
+    let max_p99 = |r: &RunReport| {
+        r.log
+            .iter()
+            .map(|x| x.observation.p99_latency)
+            .max()
+            .unwrap_or(0)
+    };
+
+    let mut table = Table::new(&[
+        "policy",
+        "first scale-out",
+        "SLO viol. ticks",
+        "max p99",
+        "node-seconds",
+        "total $",
+        "forecast MAPE",
+    ]);
+    for r in &reports {
+        table.row(&[
+            r.policy.clone().unwrap_or_default(),
+            first_add(r).map_or("never".into(), |t| format!("{:.0}s", t as f64 / 1e9)),
+            format!("{}", r.slo_violation_ticks(ceiling)),
+            format!("{:.1}ms", max_p99(r) as f64 / 1e6),
+            format!("{:.0}", r.node_seconds()),
+            format!("{:.4}", r.metrics.total_cost),
+            r.forecast.map_or("-".into(), |f| format!("{:.3}", f.mape)),
+        ]);
+    }
+    print!("{}", table.render());
+
+    let (reactive, predictive) = (&reports[0], &reports[1]);
+
+    // The acceptance bar, asserted so CI catches regressions:
+    // 1. prediction orders capacity at least one control tick earlier;
+    let (r_add, p_add) = (
+        first_add(reactive).expect("reactive scales out"),
+        first_add(predictive).expect("predictive scales out"),
+    );
+    assert!(
+        p_add + 2 * SECOND <= r_add,
+        "predictive must order at least one tick earlier: {p_add} vs {r_add}"
+    );
+    // 2. the reactive run breaches the SLO ceiling, the predictive run
+    //    rides the same two demand cycles without a single violation;
+    assert!(
+        reactive.slo_violation_ticks(ceiling) > 0,
+        "react-after-breach must pay the lead in breaches"
+    );
+    assert_eq!(
+        predictive.slo_violation_ticks(ceiling),
+        0,
+        "provision-before-demand must hold the SLO"
+    );
+    // 3. the forecast was genuinely used and scored.
+    let accuracy = predictive.forecast.expect("predictive runs are scored");
+    assert!(accuracy.samples > 0 && accuracy.mape.is_finite());
+
+    println!(
+        "\nprediction buys the SLO with capacity: {:.0} vs {:.0} node-seconds \
+         ({:+.1}%), {} vs {} violation ticks",
+        predictive.node_seconds(),
+        reactive.node_seconds(),
+        (predictive.node_seconds() / reactive.node_seconds() - 1.0) * 100.0,
+        predictive.slo_violation_ticks(ceiling),
+        reactive.slo_violation_ticks(ceiling),
+    );
+    println!(
+        "forecast accuracy over the run: MAPE {:.3}, bias {:+.3}, {} fallback tick(s)",
+        accuracy.mape, accuracy.bias, accuracy.fallback_ticks
+    );
+    maybe_write_json(&reports);
+}

@@ -18,6 +18,7 @@ use marlin_cluster::report::Table;
 use marlin_sim::SECOND;
 
 fn main() {
+    let started = std::time::Instant::now();
     banner(
         "Closed-loop autoscale — reactive policy, 400→800→400 clients, 8↔16 nodes",
         "the controller reproduces the Figure 14 cycle without scripted scale events",
@@ -71,4 +72,5 @@ fn main() {
     );
     reports.push(report);
     maybe_write_json(&reports);
+    marlin_bench::write_perf_trajectory("autoscale_closed_loop", started, &reports);
 }

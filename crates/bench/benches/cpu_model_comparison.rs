@@ -18,6 +18,7 @@ use marlin_cluster::report::Table;
 use marlin_sim::{Nanos, SECOND};
 
 fn main() {
+    let started = std::time::Instant::now();
     banner(
         "CPU model comparison — autoscale spike, analytic vs per-request stations",
         "latency-accurate station models are what make scaling-policy comparisons credible",
@@ -71,4 +72,5 @@ fn main() {
     );
     let reports: Vec<_> = reports.into_iter().map(|(r, _)| r).collect();
     maybe_write_json(&reports);
+    marlin_bench::write_perf_trajectory("cpu_model_comparison", started, &reports);
 }

@@ -10,6 +10,7 @@ use marlin_cluster::params::CoordKind;
 use marlin_cluster::report::{ratio, render_rate_series, secs, Table};
 
 fn main() {
+    let started = std::time::Instant::now();
     banner(
         "Figure 8 — MigrationTxn throughput over time (YCSB, SO8-16)",
         "Marlin 2.3x/1.9x migration tput vs S-ZK/L-ZK; 2.6x/1.9x faster completion",
@@ -56,4 +57,5 @@ fn main() {
     }
     print!("{}", table.render());
     maybe_write_json(&reports);
+    marlin_bench::write_perf_trajectory("fig08_migration_throughput", started, &reports);
 }

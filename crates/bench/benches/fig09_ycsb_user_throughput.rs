@@ -12,6 +12,7 @@ use marlin_cluster::report::{render_rate_series, secs, Table};
 use marlin_sim::SECOND;
 
 fn main() {
+    let started = std::time::Instant::now();
     banner(
         "Figure 9 — real-time user txn throughput + abort ratio (YCSB, SO8-16)",
         "throughput recovers to ~12k tps fastest under Marlin; lowest abort ratio",
@@ -63,4 +64,5 @@ fn main() {
     }
     print!("{}", table.render());
     maybe_write_json(&reports);
+    marlin_bench::write_perf_trajectory("fig09_ycsb_user_throughput", started, &reports);
 }

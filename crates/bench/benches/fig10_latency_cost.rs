@@ -9,6 +9,7 @@ use marlin_cluster::params::CoordKind;
 use marlin_cluster::report::{ratio, Table};
 
 fn main() {
+    let started = std::time::Instant::now();
     banner(
         "Figure 10 — migration latency & cost of UserTxn (YCSB, SO8-16)",
         "Marlin: 2.57x/1.87x lower migration latency; 1.35x/1.61x lower cost than S-ZK/L-ZK",
@@ -51,4 +52,5 @@ fn main() {
     }
     print!("{}", t.render());
     maybe_write_json(&reports);
+    marlin_bench::write_perf_trajectory("fig10_latency_cost", started, &reports);
 }

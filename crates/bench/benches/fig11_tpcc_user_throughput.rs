@@ -10,6 +10,7 @@ use marlin_cluster::params::CoordKind;
 use marlin_cluster::report::{ratio, render_rate_series, secs, Table};
 
 fn main() {
+    let started = std::time::Instant::now();
     banner(
         "Figure 11 — real-time user txn throughput + abort ratio (TPC-C, SO8-16)",
         "Marlin migrates 2.5x/1.5x faster than S-ZK/L-ZK; less user degradation",
@@ -56,4 +57,5 @@ fn main() {
     }
     print!("{}", table.render());
     maybe_write_json(&reports);
+    marlin_bench::write_perf_trajectory("fig11_tpcc_user_throughput", started, &reports);
 }

@@ -14,6 +14,7 @@ use marlin_cluster::params::CoordKind;
 use marlin_cluster::report::{secs, Table};
 
 fn main() {
+    let started = std::time::Instant::now();
     banner(
         "Figure 12 — cost per Mtxn vs migration duration (SO1-2..SO8-16, single region)",
         "Marlin best on both axes; up to 4.4x cheaper than L-ZK (SO1-2), 2.5x faster than S-ZK (SO8-16)",
@@ -53,4 +54,5 @@ fn main() {
     }
     print!("{}", t.render());
     maybe_write_json(&reports);
+    marlin_bench::write_perf_trajectory("fig12_cost_vs_duration", started, &reports);
 }

@@ -20,6 +20,7 @@ use marlin_cluster::report::{ratio, secs, Table};
 const REGION_NAMES: [&str; 4] = ["US West", "East Asia", "UK South", "Australia East"];
 
 fn main() {
+    let started = std::time::Instant::now();
     banner(
         "Figure 13 — cost per Mtxn vs migration duration (geo-distributed, 4 regions)",
         "Marlin up to 4.9x faster than ZK-based, up to 9.5x faster than FDB; cheapest",
@@ -101,4 +102,5 @@ fn main() {
     );
     reports.push(report);
     maybe_write_json(&reports);
+    marlin_bench::write_perf_trajectory("fig13_geo_distributed", started, &reports);
 }

@@ -12,6 +12,7 @@ use marlin_cluster::report::{render_rate_series, render_time_series, Table};
 use marlin_sim::SECOND;
 
 fn main() {
+    let started = std::time::Instant::now();
     banner(
         "Figure 14 — dynamic workload (400→800→400 clients, 8→16→8 nodes)",
         "Marlin: fastest scale-out/in; releases nodes ~12s after load drop vs 45s/32s",
@@ -82,4 +83,5 @@ fn main() {
     }
     print!("{}", t.render());
     maybe_write_json(&reports);
+    marlin_bench::write_perf_trajectory("fig14_dynamic_workload", started, &reports);
 }

@@ -15,6 +15,7 @@ use marlin_cluster::report::Table;
 use marlin_sim::SECOND;
 
 fn main() {
+    let started = std::time::Instant::now();
     banner(
         "Figure 15 — MTable stress: membership updates vs node count",
         "Marlin comparable to ZK up to ~160 nodes, then OCC retries degrade it",
@@ -49,4 +50,5 @@ fn main() {
     }
     print!("{}", t.render());
     maybe_write_json(&reports);
+    marlin_bench::write_perf_trajectory("fig15_membership_stress", started, &reports);
 }

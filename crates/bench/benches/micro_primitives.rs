@@ -1,15 +1,21 @@
 //! Criterion microbenchmarks of the core protocol primitives: the
 //! conditional-append CAS, MarlinCommit driver stepping, the NO_WAIT lock
-//! table, the clock cache, and GTable materialization.
+//! table, the clock cache, and GTable materialization — plus the
+//! telemetry overhead guard: disabled instrumentation must cost <2% of a
+//! run and leave decision logs bit-identical.
 
 use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use marlin_cluster::harness::{run, RunReport, Scenario, SimRunner};
+use marlin_cluster::params::CoordKind;
 use marlin_common::{GranuleId, KeyRange, LogId, Lsn, NodeId, PageId, TableId, TxnId};
 use marlin_core::drivers::{CommitDriver, Input, Participant, Updates};
 use marlin_core::records::{GRecord, OwnershipSwap};
 use marlin_core::{GTablePartition, LsnTracker};
 use marlin_engine::{ClockCache, LockMode, LockTable, LockTarget};
 use marlin_storage::SharedLog;
+use marlin_telemetry::{BenchReport, BenchSection, Profiler, Tracer, DEFAULT_TRACE_CAPACITY};
+use std::time::Instant;
 
 fn bench_conditional_append(c: &mut Criterion) {
     c.bench_function("shared_log_conditional_append", |b| {
@@ -160,12 +166,117 @@ fn bench_gtable_apply(c: &mut Criterion) {
     });
 }
 
+/// The scenario the overhead guard measures: a short Marlin autoscale
+/// spike at 1/100 granule scale — enough event traffic to be meaningful,
+/// small enough to repeat.
+fn guard_scenario() -> Scenario {
+    Scenario::autoscale_spike(CoordKind::Marlin, 100)
+}
+
+/// `report.to_json()` with the host-dependent parts stripped: actuation
+/// wall times zeroed and the telemetry section dropped, leaving exactly
+/// the deterministic decision-log surface.
+fn stripped_json(mut report: RunReport) -> String {
+    for r in &mut report.log {
+        r.actuation_micros = 0;
+    }
+    report.telemetry = None;
+    report.to_json()
+}
+
+fn timed_run(enable_telemetry: bool) -> (u64, RunReport) {
+    let scenario = guard_scenario();
+    let mut runner = SimRunner::new(&scenario);
+    if enable_telemetry {
+        runner.sim_mut().enable_tracing(DEFAULT_TRACE_CAPACITY);
+        runner.sim_mut().enable_profiling();
+    }
+    let start = Instant::now();
+    let report = run(scenario, &mut runner);
+    (start.elapsed().as_nanos() as u64, report)
+}
+
+/// The telemetry overhead guard (not a criterion timing loop — it pins a
+/// ratio and a bit-identical decision log, so it asserts instead of
+/// sampling).
+///
+/// The disabled-telemetry hot path costs one branch per instrumentation
+/// point. The guard measures that branch cost directly on disabled
+/// instruments, scales it by the run's dispatched-event count, and pins
+/// the total under 2% of the run's wall time — the "disabled telemetry
+/// is free" contract, measured rather than asserted by construction.
+fn telemetry_overhead(_c: &mut Criterion) {
+    // Decision-log parity: two telemetry-off runs and one telemetry-on
+    // run must produce byte-identical deterministic surfaces.
+    let (_, off_a) = timed_run(false);
+    let (_, off_b) = timed_run(false);
+    let (_, on) = timed_run(true);
+    let events = on.telemetry.as_ref().map_or(0, |t| t.profile.events);
+    let off_json = stripped_json(off_a);
+    assert_eq!(
+        off_json,
+        stripped_json(off_b),
+        "telemetry-off runs must be bit-identical"
+    );
+    assert_eq!(
+        off_json,
+        stripped_json(on),
+        "enabling telemetry must not perturb the decision log"
+    );
+
+    // Per-point cost of the disabled instruments (the real hot path:
+    // Profiler::start / record and Tracer::is_enabled per dispatch).
+    let profiler = Profiler::disabled();
+    let tracer = Tracer::disabled();
+    let probe_iters: u64 = 4_000_000;
+    let probe = Instant::now();
+    let mut sink = 0u64;
+    for _ in 0..probe_iters {
+        let t0 = profiler.start();
+        sink += u64::from(t0.is_none());
+        sink += u64::from(tracer.is_enabled());
+    }
+    let per_point = probe.elapsed().as_nanos() as f64 / probe_iters as f64;
+    assert!(sink >= probe_iters, "keep the probe loop observable");
+
+    // Min-of-N wall time of the real telemetry-off run.
+    let t_off = (0..3).map(|_| timed_run(false).0).min().unwrap_or(1).max(1);
+    // Roughly two instrumentation points per dispatched event (prologue
+    // + epilogue), and events dominate the instrumented surface.
+    let overhead_ns = per_point * 2.0 * events as f64;
+    let overhead_pct = overhead_ns / t_off as f64 * 100.0;
+    println!(
+        "telemetry-off overhead: {overhead_pct:.4}% \
+         ({events} events x {per_point:.2} ns/point over {t_off} ns)"
+    );
+    assert!(
+        overhead_pct < 2.0,
+        "disabled telemetry must stay under 2% of run wall time \
+         (measured {overhead_pct:.4}%)"
+    );
+
+    let mut bench = BenchReport::new("micro_primitives", marlin_bench::scale());
+    bench.sections.push(BenchSection {
+        name: "telemetry_overhead_guard".into(),
+        wall_nanos: t_off,
+        virtual_nanos: guard_scenario().horizon,
+        profile: None,
+        values: vec![
+            ("overhead_pct".into(), overhead_pct),
+            ("events".into(), events as f64),
+            ("ns_per_disabled_point".into(), per_point),
+        ],
+    });
+    bench.maybe_write();
+}
+
 criterion_group!(
     benches,
     bench_conditional_append,
     bench_commit_driver,
     bench_lock_table,
     bench_clock_cache,
-    bench_gtable_apply
+    bench_gtable_apply,
+    telemetry_overhead
 );
 criterion_main!(benches);

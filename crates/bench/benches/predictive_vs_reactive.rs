@@ -16,6 +16,7 @@ use marlin_cluster::report::Table;
 use marlin_sim::{Nanos, SECOND};
 
 fn main() {
+    let started = std::time::Instant::now();
     banner(
         "Predictive vs reactive — diurnal curve swept over provisioning lead times",
         "provision-before-demand beats react-after-breach once capacity takes time to land",
@@ -85,4 +86,5 @@ fn main() {
             .collect::<Vec<_>>()
     );
     maybe_write_json(&reports);
+    marlin_bench::write_perf_trajectory("predictive_vs_reactive", started, &reports);
 }

@@ -24,6 +24,7 @@ fn cluster() -> LocalCluster {
 }
 
 fn main() {
+    let started = Instant::now();
     banner(
         "Table 1 — the five reconfiguration transactions",
         "AddNodeTxn / DeleteNodeTxn / MigrationTxn / RecoveryMigrTxn / ScanGTableTxn",
@@ -99,4 +100,13 @@ fn main() {
     c.assert_invariants();
     print!("{}", t.render());
     println!("exclusive-granule-ownership invariant: OK");
+
+    let mut bench =
+        marlin_telemetry::BenchReport::new("table1_reconfig_txns", marlin_bench::scale());
+    bench.sections.push(marlin_telemetry::BenchSection {
+        name: "five_reconfig_txns/local-cluster".into(),
+        wall_nanos: started.elapsed().as_nanos() as u64,
+        ..Default::default()
+    });
+    bench.maybe_write();
 }

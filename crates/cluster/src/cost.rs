@@ -8,6 +8,7 @@
 //! excluded from comparisons due to their negligible impact."
 
 use marlin_sim::{Nanos, TimeSeries, SECOND};
+use marlin_telemetry::{CoordBreakdown, CoordOps};
 
 /// Accumulates node-seconds and coordination-cluster time for one run.
 #[derive(Clone, Debug)]
@@ -96,6 +97,15 @@ impl CostModel {
     pub fn sample_into(&self, series: &mut TimeSeries, now: Nanos) {
         series.push(now, self.total_cost());
     }
+
+    /// Break the accrued scalar Meta Cost into per-subsystem dollars over
+    /// the run's coordination ops. The breakdown always sums back to
+    /// [`CostModel::meta_cost`]; for Marlin (`meta_hourly = 0`) every
+    /// component is exactly zero.
+    #[must_use]
+    pub fn attribute_meta(&self, ops: CoordOps) -> CoordBreakdown {
+        CoordBreakdown::attribute(ops, self.meta_cost())
+    }
 }
 
 #[cfg(test)]
@@ -125,6 +135,21 @@ mod tests {
         c.advance(2 * 3600 * SECOND, 16); // second hour at 16
         assert!((c.db_cost() - (8.0 + 16.0)).abs() < 1e-9);
         assert_eq!(c.hourly_rate_now(), 16.0);
+    }
+
+    #[test]
+    fn meta_attribution_sums_back_to_the_scalar() {
+        let mut c = CostModel::new(0.192, 0.597, 1);
+        c.advance(1800 * SECOND, 1);
+        let ops = CoordOps {
+            service_writes: 30,
+            service_reads: 10,
+            ..CoordOps::default()
+        };
+        let b = c.attribute_meta(ops);
+        assert!((b.meta_dollars() - c.meta_cost()).abs() < 1e-12);
+        assert!(b.write_dollars > b.read_dollars);
+        assert!(b.uptime_dollars > 0.0);
     }
 
     #[test]

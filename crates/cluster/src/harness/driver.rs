@@ -184,6 +184,7 @@ pub fn run(scenario: Scenario, runner: &mut dyn Runner) -> RunReport {
     }
     runner.advance(horizon.saturating_sub(runner.now()));
     runner.finish();
+    maybe_write_trace(runner);
 
     let forecast = ForecastAccuracy::from_log(&log);
     RunReport {
@@ -197,5 +198,27 @@ pub fn run(scenario: Scenario, runner: &mut dyn Runner) -> RunReport {
         log,
         forecast,
         metrics: runner.metrics(),
+        telemetry: runner.telemetry(),
+    }
+}
+
+/// If `MARLIN_TRACE` is set and the runner traced the run, write the
+/// Chrome trace-event JSON there (load it at `ui.perfetto.dev` or
+/// `chrome://tracing`). Each finished run overwrites the file — in a
+/// multi-run bench the artifact holds the *last* run, which keeps every
+/// trace self-consistent instead of interleaving virtual clocks.
+fn maybe_write_trace(runner: &dyn Runner) {
+    let Ok(path) = std::env::var("MARLIN_TRACE") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let Some(json) = runner.trace_json() else {
+        return;
+    };
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("wrote trace to {path}"),
+        Err(e) => eprintln!("MARLIN_TRACE: cannot write {path}: {e}"),
     }
 }

@@ -18,12 +18,13 @@
 //! a regional spike shows up as utilization on that region's members and
 //! region-targeted `AddNodes` place real members into the hot region.
 
-use crate::harness::runner::{Fault, MetricsSnapshot, RegionBreakdown, Runner};
+use crate::harness::runner::{Fault, MetricsSnapshot, RegionBreakdown, Runner, TelemetrySection};
 use crate::harness::scenario::Scenario;
 use crate::sim::Workload;
 use marlin_autoscaler::{Actuator, LocalHarness, Observation, ScaleAction};
-use marlin_common::{GranuleId, NodeId, RegionId};
+use marlin_common::{GranuleId, LogId, NodeId, RegionId};
 use marlin_sim::{Histogram, Nanos, SECOND};
+use marlin_telemetry::{CoordOps, ProfileSummary, Tracer, DEFAULT_TRACE_CAPACITY};
 use marlin_workload::LoadTrace;
 use std::collections::BTreeMap;
 
@@ -48,6 +49,12 @@ pub struct LocalRunner {
     region_node_time: Vec<f64>,
     /// MigrationTxns executed (counted by ownership diff per actuation).
     migrations: u64,
+    /// Real coordination ops, counted by diffing the storage service's
+    /// per-log `Append@LSN` counters around every reconfiguration
+    /// transaction (the same registry the simulator fills).
+    coord: CoordOps,
+    /// Logical-time tracer (enabled by `MARLIN_TRACE`, or explicitly).
+    tracer: Tracer,
 }
 
 impl LocalRunner {
@@ -88,6 +95,8 @@ impl LocalRunner {
             node_time: 0.0,
             region_node_time: vec![0.0; regions as usize],
             migrations: 0,
+            coord: CoordOps::default(),
+            tracer: Tracer::from_env(),
         };
         runner.record_node_count();
         runner
@@ -145,6 +154,57 @@ impl LocalRunner {
     fn offered_now(&self) -> f64 {
         f64::from(self.trace.clients_at(self.now)) * self.offered_per_client
     }
+
+    /// Turn on the tracer explicitly (tests prefer this over mutating the
+    /// process-wide `MARLIN_TRACE` environment).
+    pub fn enable_tracing(&mut self) {
+        self.tracer = Tracer::enabled(DEFAULT_TRACE_CAPACITY);
+    }
+
+    /// The coordination ops counted so far.
+    #[must_use]
+    pub fn coordination(&self) -> CoordOps {
+        self.coord
+    }
+
+    /// Totals of the storage service's `Append@LSN` counters, split
+    /// SysLog vs GLogs: `(sys_attempts, sys_failures, glog_attempts,
+    /// glog_failures)`.
+    fn cas_totals(&self) -> (u64, u64, u64, u64) {
+        let storage = self.harness.cluster.storage();
+        let mut totals = (0, 0, 0, 0);
+        for id in storage.log_ids() {
+            let Ok(stats) = storage.stats(id) else {
+                continue;
+            };
+            match id {
+                LogId::SysLog => {
+                    totals.0 += stats.cas_attempts;
+                    totals.1 += stats.cas_failures;
+                }
+                LogId::GLog(_) => {
+                    totals.2 += stats.cas_attempts;
+                    totals.3 += stats.cas_failures;
+                }
+                // Data WALs carry user-commit appends; the runner has no
+                // load generator, so reconfiguration never touches them.
+                LogId::DataWal(_) => {}
+            }
+        }
+        totals
+    }
+
+    /// Book the `Append@LSN` traffic one reconfiguration step generated:
+    /// SysLog CAS → membership counters, GLog CAS → migration counters.
+    /// (The synchronous runtime runs the Marlin protocol only, so there
+    /// is never service traffic to attribute.)
+    fn account_cas(&mut self, before: (u64, u64, u64, u64)) {
+        let after = self.cas_totals();
+        self.coord.membership_cas_attempts += after.0 - before.0;
+        self.coord.membership_cas_retries += after.1 - before.1;
+        self.coord.migration_cas_attempts += after.2 - before.2;
+        self.coord.migration_cas_retries += after.3 - before.3;
+    }
 }
 
 impl Runner for LocalRunner {
@@ -183,6 +243,16 @@ impl Runner for LocalRunner {
 
     fn actuate(&mut self, action: &ScaleAction) {
         let before = self.ownership();
+        let cas_before = self.cas_totals();
+        if self.tracer.is_enabled() {
+            let (name, n): (&'static str, i64) = match action {
+                ScaleAction::AddNodes { count, .. } => ("add_nodes", i64::from(*count)),
+                ScaleAction::RemoveNodes { victims } => ("remove_nodes", victims.len() as i64),
+                ScaleAction::Rebalance { moves } => ("rebalance", moves.len() as i64),
+            };
+            self.tracer
+                .instant_args("policy", name, self.now, [("count", n), ("", 0)]);
+        }
         match action {
             ScaleAction::AddNodes { count, region } => {
                 self.harness.add_nodes(self.now, *count, *region);
@@ -190,6 +260,7 @@ impl Runner for LocalRunner {
             ScaleAction::RemoveNodes { victims } => self.harness.remove_nodes(self.now, victims),
             ScaleAction::Rebalance { moves } => self.harness.rebalance(self.now, moves),
         }
+        self.account_cas(cas_before);
         // Every actuation must leave the cluster with exclusive granule
         // ownership — the I0–I4 safety net, checked on every step.
         self.harness.cluster.assert_invariants();
@@ -205,7 +276,17 @@ impl Runner for LocalRunner {
         match fault {
             Fault::Crash(node) => {
                 let before = self.ownership();
+                let cas_before = self.cas_totals();
+                if self.tracer.is_enabled() {
+                    self.tracer.instant_args(
+                        "fault",
+                        "crash",
+                        self.now,
+                        [("node", i64::from(node.0)), ("", 0)],
+                    );
+                }
                 self.harness.crash(*node);
+                self.account_cas(cas_before);
                 self.harness.cluster.assert_invariants();
                 let after = self.ownership();
                 self.migrations += before
@@ -243,6 +324,12 @@ impl Runner for LocalRunner {
                 }
             })
             .collect();
+        // The synchronous runtime runs the Marlin protocol itself, so the
+        // coordination registry carries real Append@LSN counts and the
+        // attributed Meta Cost is exactly zero by construction — no more
+        // hard-coded scalar.
+        let coordination = marlin_telemetry::CoordBreakdown::attribute(self.coord, 0.0);
+        let meta_cost = coordination.meta_dollars();
         MetricsSnapshot {
             live_nodes: self.harness.members().len() as u32,
             commits: 0,
@@ -254,14 +341,36 @@ impl Runner for LocalRunner {
             migration_throughput: 0.0,
             migration_latency: Histogram::new().summary(),
             membership_commits: 0,
-            membership_retries: 0,
+            membership_retries: self.coord.membership_cas_retries,
             membership_mean_latency: 0.0,
             db_cost,
-            meta_cost: 0.0,
-            total_cost: db_cost,
+            meta_cost,
+            coordination,
+            total_cost: db_cost + meta_cost,
             cost_per_mtxn: 0.0,
             node_count: self.node_count.clone(),
             region_breakdown,
+        }
+    }
+
+    fn telemetry(&self) -> Option<TelemetrySection> {
+        if !self.tracer.is_enabled() {
+            return None;
+        }
+        Some(TelemetrySection {
+            trace_events: self.tracer.len(),
+            trace_dropped: self.tracer.dropped(),
+            // The synchronous runtime has no event loop to self-profile.
+            profile: ProfileSummary::default(),
+            virtual_nanos: self.now,
+        })
+    }
+
+    fn trace_json(&self) -> Option<String> {
+        if self.tracer.is_enabled() {
+            Some(self.tracer.to_chrome_json())
+        } else {
+            None
         }
     }
 }

@@ -51,7 +51,7 @@ pub use report::{
     action_signature, maybe_write_json, DecisionRecord, DecisionSource, ForecastAccuracy,
     ObservationDigest, RunReport,
 };
-pub use runner::{Fault, MetricsSnapshot, RegionBreakdown, Runner};
+pub use runner::{Fault, MetricsSnapshot, RegionBreakdown, Runner, TelemetrySection};
 pub use scenario::{expected_membership_updates, Scenario, OFFERED_PER_CLIENT};
 pub use sim_runner::SimRunner;
 

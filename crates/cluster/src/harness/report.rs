@@ -10,9 +10,10 @@
 //! `MARLIN_REPORT_JSON=<path>` and every bench target writes its reports
 //! there as a machine-readable artifact.
 
-use crate::harness::runner::MetricsSnapshot;
+use crate::harness::runner::{MetricsSnapshot, TelemetrySection};
 use marlin_autoscaler::{ForecastSample, Observation, RegionLoad, ScaleAction};
 use marlin_sim::Nanos;
+use marlin_telemetry::CoordBreakdown;
 
 /// What produced a log entry.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -209,6 +210,11 @@ pub struct RunReport {
     pub forecast: Option<ForecastAccuracy>,
     /// End-of-run totals.
     pub metrics: MetricsSnapshot,
+    /// Observability numbers, present only when telemetry was enabled
+    /// for the run. `None` keeps the JSON key out entirely, so
+    /// telemetry-off reports stay bit-identical to historical ones (the
+    /// profiler's wall-clock numbers are host-dependent).
+    pub telemetry: Option<TelemetrySection>,
 }
 
 impl RunReport {
@@ -325,6 +331,9 @@ impl RunReport {
         field(&mut out, "forecast_accuracy", &accuracy);
         let log: Vec<String> = self.log.iter().map(record_json).collect();
         field(&mut out, "log", &format!("[{}]", log.join(",")));
+        if let Some(t) = &self.telemetry {
+            field(&mut out, "telemetry", &telemetry_json(t));
+        }
         out.push_str("\"metrics\":");
         out.push_str(&metrics_json(&self.metrics));
         out.push('}');
@@ -582,6 +591,11 @@ fn metrics_json(m: &MetricsSnapshot) -> String {
     );
     field(&mut out, "db_cost", &json_f64(m.db_cost));
     field(&mut out, "meta_cost", &json_f64(m.meta_cost));
+    field(
+        &mut out,
+        "coordination",
+        &coordination_json(&m.coordination),
+    );
     field(&mut out, "total_cost", &json_f64(m.total_cost));
     field(&mut out, "cost_per_mtxn", &json_f64(m.cost_per_mtxn));
     let regions: Vec<String> = m
@@ -609,6 +623,61 @@ fn metrics_json(m: &MetricsSnapshot) -> String {
     out.push_str(&json_pairs_nanos(&m.node_count));
     out.push('}');
     out
+}
+
+fn coordination_json(c: &CoordBreakdown) -> String {
+    let o = &c.ops;
+    format!(
+        "{{\"commit_cas_attempts\":{},\"commit_cas_retries\":{},\
+         \"migration_cas_attempts\":{},\"migration_cas_retries\":{},\
+         \"membership_cas_attempts\":{},\"membership_cas_retries\":{},\
+         \"service_writes\":{},\"service_reads\":{},\
+         \"watch_notifications\":{},\"write_dollars\":{},\
+         \"read_dollars\":{},\"uptime_dollars\":{},\"meta_dollars\":{}}}",
+        o.commit_cas_attempts,
+        o.commit_cas_retries,
+        o.migration_cas_attempts,
+        o.migration_cas_retries,
+        o.membership_cas_attempts,
+        o.membership_cas_retries,
+        o.service_writes,
+        o.service_reads,
+        o.watch_notifications,
+        json_f64(c.write_dollars),
+        json_f64(c.read_dollars),
+        json_f64(c.uptime_dollars),
+        json_f64(c.meta_dollars()),
+    )
+}
+
+fn telemetry_json(t: &TelemetrySection) -> String {
+    let phases: Vec<String> = t
+        .profile
+        .phases
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"name\":{},\"wall_ns\":{},\"calls\":{}}}",
+                json_str(p.name),
+                p.wall_nanos,
+                p.calls
+            )
+        })
+        .collect();
+    format!(
+        "{{\"trace_events\":{},\"trace_dropped\":{},\"virtual_ns\":{},\
+         \"wall_ns\":{},\"virtual_per_wall\":{},\"events\":{},\
+         \"queue_depth_mean\":{},\"queue_depth_max\":{},\"phases\":[{}]}}",
+        t.trace_events,
+        t.trace_dropped,
+        t.virtual_nanos,
+        t.profile.total_wall_nanos,
+        json_f64(t.virtual_per_wall()),
+        t.profile.events,
+        json_f64(t.profile.queue_depth_mean),
+        t.profile.queue_depth_max,
+        phases.join(","),
+    )
 }
 
 #[cfg(test)]
@@ -640,6 +709,15 @@ mod tests {
             membership_mean_latency: 0.0,
             db_cost: 0.12,
             meta_cost: 0.0,
+            coordination: CoordBreakdown::attribute(
+                marlin_telemetry::CoordOps {
+                    commit_cas_attempts: 100,
+                    commit_cas_retries: 3,
+                    migration_cas_attempts: 14,
+                    ..marlin_telemetry::CoordOps::default()
+                },
+                0.0,
+            ),
             total_cost: 0.12,
             cost_per_mtxn: 1.2,
             node_count: vec![(0, 2.0), (1_000_000_000, 4.0), (2_000_000_000, 2.0)],
@@ -701,6 +779,7 @@ mod tests {
             }],
             forecast: None,
             metrics: snapshot(),
+            telemetry: None,
         }
     }
 
@@ -773,6 +852,75 @@ mod tests {
             "balanced braces"
         );
         assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn coordination_breakdown_round_trips_through_metrics_json() {
+        let j = report().to_json();
+        // The coordination object rides inside metrics, raw counters and
+        // attributed dollars alike (all-zero dollars here: Marlin).
+        assert!(j.contains(
+            "\"coordination\":{\"commit_cas_attempts\":100,\"commit_cas_retries\":3,\
+             \"migration_cas_attempts\":14,\"migration_cas_retries\":0,\
+             \"membership_cas_attempts\":0,\"membership_cas_retries\":0,\
+             \"service_writes\":0,\"service_reads\":0,\"watch_notifications\":0,\
+             \"write_dollars\":0,\"read_dollars\":0,\"uptime_dollars\":0,\
+             \"meta_dollars\":0}"
+        ));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn telemetry_section_is_omitted_when_none_and_escaped_when_present() {
+        // Telemetry off: the key must not exist at all, keeping the JSON
+        // bit-identical to pre-telemetry reports.
+        let j = report().to_json();
+        assert!(!j.contains("\"telemetry\""));
+
+        let mut r = report();
+        r.telemetry = Some(TelemetrySection {
+            trace_events: 12,
+            trace_dropped: 0,
+            profile: marlin_telemetry::ProfileSummary {
+                phases: vec![marlin_telemetry::PhaseStat {
+                    // Phase names are static today, but the serializer
+                    // must escape regardless.
+                    name: "event:\"odd\"\nname",
+                    wall_nanos: 1_000,
+                    calls: 2,
+                }],
+                total_wall_nanos: 2_000_000,
+                events: 40,
+                queue_depth_mean: 3.5,
+                queue_depth_max: 9,
+            },
+            virtual_nanos: 3_000_000_000,
+        });
+        let j = r.to_json();
+        assert!(j.contains("\"telemetry\":{\"trace_events\":12,\"trace_dropped\":0,"));
+        assert!(j.contains("\"virtual_ns\":3000000000,\"wall_ns\":2000000"));
+        // 3e9 virtual ns over 2e6 wall ns = 1500x real time.
+        assert!(j.contains("\"virtual_per_wall\":1500,"));
+        assert!(j.contains("\"queue_depth_mean\":3.5,\"queue_depth_max\":9"));
+        assert!(j.contains("{\"name\":\"event:\\\"odd\\\"\\nname\",\"wall_ns\":1000,\"calls\":2}"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn empty_phase_list_serializes_as_an_empty_array() {
+        let mut r = report();
+        r.telemetry = Some(TelemetrySection {
+            trace_events: 0,
+            trace_dropped: 0,
+            profile: marlin_telemetry::ProfileSummary::default(),
+            virtual_nanos: 0,
+        });
+        let j = r.to_json();
+        assert!(j.contains("\"phases\":[]"));
+        // No wall time recorded → speedup reports 0, not NaN/null.
+        assert!(j.contains("\"virtual_per_wall\":0,"));
     }
 
     #[test]

@@ -13,6 +13,7 @@
 use marlin_autoscaler::{Observation, ScaleAction};
 use marlin_common::NodeId;
 use marlin_sim::{Nanos, Summary};
+use marlin_telemetry::{CoordBreakdown, ProfileSummary};
 
 /// A fault the driver can inject mid-run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -77,6 +78,10 @@ pub struct MetricsSnapshot {
     pub db_cost: f64,
     /// Coordination-service spend, $ (§6.1.5 Meta Cost; 0 for Marlin).
     pub meta_cost: f64,
+    /// What the Meta Cost scalar is made of: per-subsystem coordination-op
+    /// counts with the dollars attributed across them (sums back to
+    /// `meta_cost`; all-zero dollars for Marlin).
+    pub coordination: CoordBreakdown,
     /// DB + Meta.
     pub total_cost: f64,
     /// Cost per million committed user transactions.
@@ -116,6 +121,36 @@ impl MetricsSnapshot {
     }
 }
 
+/// Observability numbers a runner attaches to its report when telemetry
+/// was on for the run. `None` (and an omitted JSON key) otherwise, so
+/// telemetry-off reports stay bit-identical to historical ones — the
+/// profiler's wall-clock numbers measure the host, not the model, and
+/// must never leak into the deterministic surface by default.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TelemetrySection {
+    /// Trace events currently buffered (post ring-overwrite).
+    pub trace_events: usize,
+    /// Events the ring buffer overwrote (0 unless the run outgrew it).
+    pub trace_dropped: u64,
+    /// Wall-time self-profile (all zero when only tracing was on).
+    pub profile: ProfileSummary,
+    /// Virtual nanoseconds the run covered.
+    pub virtual_nanos: Nanos,
+}
+
+impl TelemetrySection {
+    /// Virtual seconds simulated per wall second — the sim's speedup
+    /// factor (0 when no wall time was recorded).
+    #[must_use]
+    pub fn virtual_per_wall(&self) -> f64 {
+        if self.profile.total_wall_nanos == 0 {
+            0.0
+        } else {
+            self.virtual_nanos as f64 / self.profile.total_wall_nanos as f64
+        }
+    }
+}
+
 /// One execution backend for [`run`](crate::harness::run).
 pub trait Runner {
     /// Short name for reports ("cluster-sim", "local-cluster").
@@ -141,4 +176,16 @@ pub trait Runner {
 
     /// End-of-run totals.
     fn metrics(&self) -> MetricsSnapshot;
+
+    /// Telemetry numbers for the report, when tracing/profiling was on
+    /// for the run (`None` otherwise — the JSON key is then omitted).
+    fn telemetry(&self) -> Option<TelemetrySection> {
+        None
+    }
+
+    /// The run's Chrome trace-event JSON, when tracing was on (the
+    /// driver writes it to the `MARLIN_TRACE` path after `finish`).
+    fn trace_json(&self) -> Option<String> {
+        None
+    }
 }

@@ -2,7 +2,7 @@
 //! runner, where decisions play out against queueing, cold caches, and
 //! migration contention in virtual time.
 
-use crate::harness::runner::{Fault, MetricsSnapshot, RegionBreakdown, Runner};
+use crate::harness::runner::{Fault, MetricsSnapshot, RegionBreakdown, Runner, TelemetrySection};
 use crate::harness::scenario::Scenario;
 use crate::sim::ClusterSim;
 use marlin_autoscaler::{Observation, ScaleAction};
@@ -84,6 +84,12 @@ impl SimRunner {
     pub fn sim(&self) -> &ClusterSim {
         &self.sim
     }
+
+    /// Mutable access to the simulator (tests enable telemetry through
+    /// this instead of mutating process-wide environment variables).
+    pub fn sim_mut(&mut self) -> &mut ClusterSim {
+        &mut self.sim
+    }
 }
 
 impl Runner for SimRunner {
@@ -114,6 +120,7 @@ impl Runner for SimRunner {
             // The recovery storm is modeled as an immediate drain of the
             // victim onto the survivors at migration speed.
             Fault::Crash(node) => {
+                self.sim.trace_fault(self.now, node.0);
                 let alive = self.sim.live_node_ids();
                 if alive.contains(&node.0) && alive.len() > 1 {
                     self.sim
@@ -164,10 +171,31 @@ impl Runner for SimRunner {
             membership_mean_latency: self.sim.membership_mean_latency(),
             db_cost: self.sim.cost.db_cost(),
             meta_cost: self.sim.cost.meta_cost(),
+            coordination: self.sim.coordination_breakdown(),
             total_cost: self.sim.cost.total_cost(),
             cost_per_mtxn: self.sim.cost.per_million_txns(m.total_commits()),
             node_count: m.node_count.points().to_vec(),
             region_breakdown,
+        }
+    }
+
+    fn telemetry(&self) -> Option<TelemetrySection> {
+        if !self.sim.telemetry_active() {
+            return None;
+        }
+        Some(TelemetrySection {
+            trace_events: self.sim.tracer().len(),
+            trace_dropped: self.sim.tracer().dropped(),
+            profile: self.sim.profile_summary(),
+            virtual_nanos: self.now,
+        })
+    }
+
+    fn trace_json(&self) -> Option<String> {
+        if self.sim.tracer().is_enabled() {
+            Some(self.sim.tracer().to_chrome_json())
+        } else {
+            None
         }
     }
 }

@@ -1,6 +1,7 @@
 //! Measurement state collected during a run, feeding every figure.
 
 use marlin_sim::{Histogram, Nanos, RateSeries, Summary, TimeSeries, SECOND};
+use marlin_telemetry::CoordOps;
 
 /// All instruments for one simulated run.
 #[derive(Debug)]
@@ -29,6 +30,10 @@ pub struct RunMetrics {
     pub node_count: TimeSeries,
     /// First and last migration completion (reconfiguration window).
     pub migration_window: Option<(Nanos, Nanos)>,
+    /// Coordination-op counters: what the scalar Meta Cost is made of
+    /// (Append@LSN CAS traffic for Marlin, service writes/reads for the
+    /// ZK/FDB baselines, route-watch notifications for all).
+    pub coord: CoordOps,
 }
 
 impl RunMetrics {
@@ -53,6 +58,7 @@ impl RunMetrics {
             membership_retries: 0,
             node_count: TimeSeries::new(),
             migration_window: None,
+            coord: CoordOps::default(),
         }
     }
 

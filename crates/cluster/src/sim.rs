@@ -37,6 +37,7 @@ use marlin_common::{GranuleId, LogId, NodeId, RegionId, StorageError};
 use marlin_core::LsnTracker;
 use marlin_sim::{ActorId, DetRng, EventQueue, Nanos, TimeSeries, SECOND};
 use marlin_storage::SharedLog;
+use marlin_telemetry::{CoordBreakdown, CoordOps, ProfileSummary, Profiler, Tracer};
 use marlin_workload::{TpccConfig, TpccGenerator, TxnTemplate, YcsbConfig, YcsbGenerator};
 
 /// Analytic (EMA) CPU congestion station — [`CpuModel::Analytic`].
@@ -546,6 +547,9 @@ enum PendingPlan {
         threads_per: u32,
         /// Placement request the order carried.
         region: Option<RegionId>,
+        /// When the capacity was ordered (the provision-lead trace span
+        /// runs from here to the plan start).
+        ordered_at: Nanos,
     },
 }
 
@@ -660,6 +664,12 @@ pub struct ClusterSim {
     pub cost: CostModel,
     /// Cumulative cost over time (Figure 14b).
     pub cost_series: TimeSeries,
+    /// Virtual-time tracer (enabled by `MARLIN_TRACE`, or explicitly).
+    tracer: Tracer,
+    /// Wall-time self-profiler (enabled by `MARLIN_BENCH_JSON`, or
+    /// explicitly). Its numbers measure the host and are therefore kept
+    /// out of the deterministic report surface unless requested.
+    profiler: Profiler,
     /// End of simulated time.
     horizon: Nanos,
 }
@@ -858,6 +868,8 @@ impl ClusterSim {
             region_granules,
             metrics: RunMetrics::new(),
             cost_series: TimeSeries::new(),
+            tracer: Tracer::from_env(),
+            profiler: Profiler::from_env(),
             horizon,
         };
         // Kick off the client loops (staggered within the first 100 ms so
@@ -934,6 +946,60 @@ impl ClusterSim {
             .collect()
     }
 
+    /// The coordination-op counters accumulated so far (they live in
+    /// [`RunMetrics`] with the rest of the run instruments).
+    #[must_use]
+    pub fn coordination(&self) -> CoordOps {
+        self.metrics.coord
+    }
+
+    /// The coordination-op counters with the accrued Meta Cost dollars
+    /// attributed across them (sums back to `cost.meta_cost()`; exactly
+    /// 0 for Marlin).
+    #[must_use]
+    pub fn coordination_breakdown(&self) -> CoordBreakdown {
+        self.cost.attribute_meta(self.metrics.coord)
+    }
+
+    /// Record a fault-injection marker in the trace (the runner calls
+    /// this when the driver injects a crash).
+    pub fn trace_fault(&mut self, at: Nanos, node: u32) {
+        if self.tracer.is_enabled() {
+            self.tracer
+                .instant_args("fault", "crash", at, [("node", i64::from(node)), ("", 0)]);
+        }
+    }
+
+    /// Turn on the virtual-time tracer with room for `capacity` events
+    /// (tests enable tracing explicitly instead of mutating the
+    /// process-wide `MARLIN_TRACE` environment).
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.tracer = Tracer::enabled(capacity);
+    }
+
+    /// Turn on the wall-time self-profiler explicitly.
+    pub fn enable_profiling(&mut self) {
+        self.profiler = Profiler::enabled();
+    }
+
+    /// The tracer (export via [`Tracer::to_chrome_json`]).
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Is either telemetry instrument (tracer/profiler) live?
+    #[must_use]
+    pub fn telemetry_active(&self) -> bool {
+        self.tracer.is_enabled() || self.profiler.is_enabled()
+    }
+
+    /// The profiler's numbers so far.
+    #[must_use]
+    pub fn profile_summary(&self) -> ProfileSummary {
+        self.profiler.summary()
+    }
+
     /// Bring the per-region node-time accrual current. Must run *before*
     /// any `alive` flag flips, mirroring `CostModel::advance`.
     fn accrue_region_time(&mut self, now: Nanos) {
@@ -986,6 +1052,7 @@ impl ClusterSim {
             window <= Self::MAX_OBSERVE_WINDOW,
             "observation window exceeds the retained commit history"
         );
+        let prof = self.profiler.start();
         let cutoff = now.saturating_sub(window);
         self.recent_commits.retain(|&(t, _, _)| t >= cutoff);
         let window_s = (window as f64 / SECOND as f64).max(1e-9);
@@ -1120,6 +1187,19 @@ impl ClusterSim {
                 r.queue_depth = region_queues.iter().sum::<f64>() / region_queues.len() as f64;
             }
         }
+        if self.tracer.is_enabled() {
+            self.tracer.instant_args(
+                "control",
+                "observe",
+                now,
+                [
+                    ("live_nodes", i64::from(obs.live_nodes)),
+                    ("tps", obs.throughput_tps as i64),
+                ],
+            );
+        }
+        self.profiler.record("observe", prof);
+        self.profiler.record_total(prof);
         obs
     }
 
@@ -1131,6 +1211,26 @@ impl ClusterSim {
     /// ownership (the observation the planner saw may be a control
     /// interval old).
     pub fn apply_action(&mut self, at: Nanos, action: &ScaleAction, threads_per_node: u32) {
+        let prof = self.profiler.start();
+        if self.tracer.is_enabled() {
+            let (name, count, region) = match action {
+                ScaleAction::AddNodes { count, region } => (
+                    "add_nodes",
+                    i64::from(*count),
+                    region.map_or(-1, |r| i64::from(r.0)),
+                ),
+                ScaleAction::RemoveNodes { victims } => ("remove_nodes", victims.len() as i64, -1),
+                ScaleAction::Rebalance { moves } => ("rebalance", moves.len() as i64, -1),
+            };
+            self.tracer
+                .instant_args("policy", name, at, [("count", count), ("region", region)]);
+        }
+        self.apply_action_inner(at, action, threads_per_node);
+        self.profiler.record("actuate", prof);
+        self.profiler.record_total(prof);
+    }
+
+    fn apply_action_inner(&mut self, at: Nanos, action: &ScaleAction, threads_per_node: u32) {
         match action {
             ScaleAction::AddNodes { count, region } => {
                 if *count > 0 {
@@ -1210,10 +1310,25 @@ impl ClusterSim {
     ) {
         let ready_at = at + self.params.provision_lead_time;
         let slots = self.allocate_join_slots(new_nodes, region);
+        if self.tracer.is_enabled() {
+            self.tracer.instant_args(
+                "provision",
+                "scale_out_ordered",
+                at,
+                [
+                    ("count", i64::from(new_nodes)),
+                    (
+                        "lead_ms",
+                        (self.params.provision_lead_time / 1_000_000) as i64,
+                    ),
+                ],
+            );
+        }
         self.pending_plans.push(PendingPlan::ScaleOut {
             slots,
             threads_per: threads_per_new_node,
             region,
+            ordered_at: at,
         });
         let idx = self.pending_plans.len() - 1;
         self.queue
@@ -1494,11 +1609,13 @@ impl ClusterSim {
     /// closed-loop runners interleave `run_until` with
     /// [`ClusterSim::observe`] / [`ClusterSim::apply_action`].
     pub fn run_until(&mut self, t: Nanos) {
+        let prof = self.profiler.start();
         let t = t.min(self.horizon);
         while self.queue.next_time().is_some_and(|next| next <= t) {
             let ev = self.queue.pop().expect("peeked event exists");
             self.dispatch(ev.at, ev.msg);
         }
+        self.profiler.record_total(prof);
     }
 
     /// Final cost accounting once the horizon is reached.
@@ -1512,7 +1629,26 @@ impl ClusterSim {
     // ---------------------------------------------------------------------
     // event handlers
 
+    /// The profiler phase an event books under.
+    fn phase_of(ev: &Event) -> &'static str {
+        match ev {
+            Event::ClientTxn { .. } => "event:client_txn",
+            Event::MigWorker { .. } => "event:mig_worker",
+            Event::WarmupDone { .. } => "event:warmup",
+            Event::RouteUpdate { .. } => "event:route_update",
+            Event::CostTick => "event:cost_tick",
+            Event::MembershipTick { .. } => "event:membership",
+            Event::SetClients { .. } | Event::SetRegionClients { .. } => "event:set_clients",
+            Event::StartPlan { .. } => "event:start_plan",
+            Event::StartDrain { .. } => "event:start_drain",
+            Event::ReleaseDrained => "event:release_drained",
+        }
+    }
+
     fn dispatch(&mut self, now: Nanos, ev: Event) {
+        let prof = self.profiler.start();
+        let phase = Self::phase_of(&ev);
+        self.profiler.count_event();
         match ev {
             Event::ClientTxn { client } => self.handle_client_txn(now, client),
             Event::MigWorker { worker } => self.handle_mig_worker(now, worker),
@@ -1520,6 +1656,9 @@ impl ClusterSim {
                 self.granules[granule as usize].cold_left = 0;
             }
             Event::RouteUpdate { granule } => {
+                // The ownership broadcast reaching the routing tier — a
+                // watch notification in service-backed deployments.
+                self.metrics.coord.watch_notifications += 1;
                 self.routes[granule as usize] = self.granules[granule as usize].owner;
             }
             Event::CostTick => {
@@ -1528,6 +1667,8 @@ impl ClusterSim {
                 self.accrue_region_time(now);
                 self.cost.sample_into(&mut self.cost_series, now);
                 self.metrics.node_count.push(now, f64::from(live));
+                let depth = self.queue.pending() as u64;
+                self.profiler.sample_depth(depth);
                 self.queue.schedule(SECOND, ActorId(0), Event::CostTick);
             }
             Event::MembershipTick { member } => self.handle_membership(now, member),
@@ -1554,11 +1695,32 @@ impl ClusterSim {
                         slots,
                         threads_per,
                         region,
+                        ordered_at,
                     } => {
+                        // Order → provision → join: the lead the capacity
+                        // order waited before the nodes could join.
+                        self.tracer.span_args(
+                            "provision",
+                            "provision_lead",
+                            ordered_at,
+                            now,
+                            [("nodes", slots.len() as i64), ("", 0)],
+                        );
+                        let build = self.profiler.start();
                         let plan = self.balanced_tasks_onto(&slots, threads_per, region);
+                        self.profiler.record("plan:build", build);
                         (plan, slots)
                     }
                 };
+                if self.tracer.is_enabled() {
+                    let tasks: usize = plan.queues.iter().map(Vec::len).sum();
+                    self.tracer.instant_args(
+                        "migration",
+                        "plan_started",
+                        now,
+                        [("tasks", tasks as i64), ("joining", activate.len() as i64)],
+                    );
+                }
                 // This plan's nodes join the membership now (AddNodeTxn
                 // cost). Other dead slots stay released — they may belong
                 // to a different pending plan or to a finished drain.
@@ -1585,7 +1747,18 @@ impl ClusterSim {
                 victims,
                 threads_per_victim,
             } => {
+                let build = self.profiler.start();
                 let plan = self.drain_plan(&victims, threads_per_victim);
+                self.profiler.record("plan:drain", build);
+                if self.tracer.is_enabled() {
+                    let tasks: usize = plan.queues.iter().map(Vec::len).sum();
+                    self.tracer.instant_args(
+                        "migration",
+                        "drain_started",
+                        now,
+                        [("victims", victims.len() as i64), ("tasks", tasks as i64)],
+                    );
+                }
                 self.draining.extend(victims);
                 let base = self.workers.len() as u32;
                 for (i, q) in plan.queues.into_iter().enumerate() {
@@ -1601,6 +1774,7 @@ impl ClusterSim {
             }
             Event::ReleaseDrained => self.release_drained(now),
         }
+        self.profiler.record(phase, prof);
     }
 
     fn one_way(&mut self, a: RegionId, b: RegionId) -> Nanos {
@@ -1673,6 +1847,12 @@ impl ClusterSim {
         let owner = self.granules[ag].owner;
         if route != owner {
             // Misroute: one round trip to learn the redirect, abort, retry.
+            // Service-backed routers refresh ownership from the external
+            // coordination service (a metered read); Marlin's redirect
+            // comes from the node itself (§4.2) — no coordination op.
+            if !matches!(self.backend, CoordBackend::Marlin) {
+                self.metrics.coord.service_reads += 1;
+            }
             let rtt = 2 * self.one_way(self.clients[c].region, self.nodes[route as usize].region);
             self.routes[ag] = owner;
             self.metrics.abort(now);
@@ -1746,6 +1926,7 @@ impl ClusterSim {
         let mut cas_failed = false;
         for &p in &participants {
             let expected = self.nodes[p].tracker.get(LogId::GLog(NodeId(p as u32)));
+            self.metrics.coord.commit_cas_attempts += 1;
             match self.nodes[p]
                 .glog
                 .conditional_append(vec![Bytes::new()], expected)
@@ -1759,6 +1940,7 @@ impl ClusterSim {
                     self.nodes[p]
                         .tracker
                         .observe(LogId::GLog(NodeId(p as u32)), current);
+                    self.metrics.coord.commit_cas_retries += 1;
                     cas_failed = true;
                 }
                 Err(_) => cas_failed = true,
@@ -1877,6 +2059,10 @@ impl ClusterSim {
         // Metadata commit.
         let commit_done = match &mut self.backend {
             CoordBackend::Marlin => {
+                // Two prepared Append@LSN CAS ops (src + dst GLogs). Both
+                // succeed here — the granule lock serializes writers — but
+                // they are coordination ops all the same.
+                self.metrics.coord.migration_cas_attempts += 2;
                 // MarlinCommit 2PC: prepared appends on both GLogs in
                 // parallel (the vote request to src rides the RPC already
                 // made); decisions are asynchronous (off the latency path).
@@ -1922,6 +2108,7 @@ impl ClusterSim {
                 decide_at
             }
             CoordBackend::Zk(svc) => {
+                self.metrics.coord.service_writes += 1;
                 let req = CoordRequest::UpdateOwner {
                     granule: GranuleId(task.granule),
                     from: NodeId(task.src),
@@ -1937,6 +2124,7 @@ impl ClusterSim {
                 completion.done_at + to_svc / 2
             }
             CoordBackend::Fdb(svc) => {
+                self.metrics.coord.service_writes += 1;
                 let req = CoordRequest::UpdateOwner {
                     granule: GranuleId(task.granule),
                     from: NodeId(task.src),
@@ -1972,6 +2160,18 @@ impl ClusterSim {
                 granule: task.granule,
             },
         );
+        if self.tracer.is_enabled() {
+            self.tracer.span_args(
+                "migration",
+                "migrate",
+                now,
+                commit_done,
+                [
+                    ("granule", task.granule as i64),
+                    ("dst", i64::from(task.dst)),
+                ],
+            );
+        }
         self.metrics.migration(commit_done, commit_done - now);
         self.workers[w].1 += 1;
         self.queue
@@ -2009,6 +2209,7 @@ impl ClusterSim {
         let done = match &mut self.backend {
             CoordBackend::Marlin => {
                 let expected = self.member_trackers[m].get(LogId::SysLog);
+                self.metrics.coord.membership_cas_attempts += 1;
                 match self.syslog.conditional_append(vec![Bytes::new()], expected) {
                     Ok(out) => {
                         self.member_trackers[m].observe(LogId::SysLog, out.new_lsn);
@@ -2022,6 +2223,7 @@ impl ClusterSim {
                         // retry after backoff (the OCC contention path of
                         // Figure 15).
                         self.member_trackers[m].observe(LogId::SysLog, current);
+                        self.metrics.coord.membership_cas_retries += 1;
                         self.metrics.membership_retries += 1;
                         let retry = self.params.storage_rtt
                             + self.params.mtable_refresh
@@ -2043,6 +2245,7 @@ impl ClusterSim {
                         node: NodeId(10_000 + member),
                     }
                 };
+                self.metrics.coord.service_writes += 1;
                 Some(svc.submit(now, &req, &mut self.rng).done_at + self.params.intra_rtt)
             }
             CoordBackend::Fdb(svc) => {
@@ -2055,6 +2258,7 @@ impl ClusterSim {
                         node: NodeId(10_000 + member),
                     }
                 };
+                self.metrics.coord.service_writes += 1;
                 Some(svc.submit(now, &req, &mut self.rng).done_at + 2 * self.params.intra_rtt)
             }
         };

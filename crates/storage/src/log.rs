@@ -52,6 +52,9 @@ struct LogInner {
     bytes: u64,
     /// Failed CAS attempts observed (contention signal, Figure 15).
     cas_failures: u64,
+    /// Conditional appends attempted (successes + failures) — the
+    /// coordination-op count `Append@LSN` accounting reads.
+    cas_attempts: u64,
 }
 
 /// A shared, append-only log in disaggregated storage.
@@ -102,6 +105,7 @@ impl SharedLog {
         expected: Lsn,
     ) -> Result<AppendOutcome, StorageError> {
         let mut inner = self.inner.lock();
+        inner.cas_attempts += 1;
         let current = Lsn(inner.records.len() as u64);
         if current != expected {
             inner.cas_failures += 1;
@@ -156,6 +160,12 @@ impl SharedLog {
     #[must_use]
     pub fn cas_failures(&self) -> u64 {
         self.inner.lock().cas_failures
+    }
+
+    /// Number of conditional appends attempted (successes + failures).
+    #[must_use]
+    pub fn cas_attempts(&self) -> u64 {
+        self.inner.lock().cas_attempts
     }
 }
 

@@ -25,6 +25,8 @@ pub struct LogStats {
     pub bytes_appended: u64,
     /// Failed conditional appends (cross-node contention).
     pub cas_failures: u64,
+    /// Conditional appends attempted (successes + failures).
+    pub cas_attempts: u64,
 }
 
 #[derive(Debug, Default)]
@@ -150,6 +152,7 @@ impl StorageService {
             end_lsn: log.end_lsn(),
             bytes_appended: log.bytes_appended(),
             cas_failures: log.cas_failures(),
+            cas_attempts: log.cas_attempts(),
         })
     }
 

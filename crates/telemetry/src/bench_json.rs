@@ -1,0 +1,194 @@
+//! `BENCH_<target>.json`: the perf-trajectory artifact each bench target
+//! emits when `MARLIN_BENCH_JSON=<dir>` is set, so successive PRs can
+//! compare wall-time and virtual-throughput against a recorded baseline.
+
+use crate::profile::ProfileSummary;
+use crate::{json_escape, json_f64};
+
+/// One measured section of a bench target — typically one scenario run.
+#[derive(Clone, Debug, Default)]
+pub struct BenchSection {
+    /// Section label (scenario + backend, or a microbench name).
+    pub name: String,
+    /// Wall-clock nanoseconds the section took.
+    pub wall_nanos: u64,
+    /// Virtual nanoseconds simulated (0 for non-sim sections).
+    pub virtual_nanos: u64,
+    /// Profiler numbers, when the section ran a profiled sim.
+    pub profile: Option<ProfileSummary>,
+    /// Free-form scalar results (`("overhead_pct", 0.4)`, ...).
+    pub values: Vec<(String, f64)>,
+}
+
+impl BenchSection {
+    /// Virtual-seconds simulated per wall-second — the sim's speedup
+    /// over real time (0 when nothing was simulated or measured).
+    #[must_use]
+    pub fn virtual_per_wall(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            0.0
+        } else {
+            self.virtual_nanos as f64 / self.wall_nanos as f64
+        }
+    }
+}
+
+/// The whole artifact: one per bench target per run.
+#[derive(Clone, Debug, Default)]
+pub struct BenchReport {
+    /// Bench target name (`autoscale_closed_loop`, ...); becomes the
+    /// `BENCH_<target>.json` filename.
+    pub target: String,
+    /// The `MARLIN_SCALE` the run used.
+    pub scale: u64,
+    /// Measured sections in run order.
+    pub sections: Vec<BenchSection>,
+}
+
+impl BenchReport {
+    /// An empty report for `target` at `scale`.
+    #[must_use]
+    pub fn new(target: &str, scale: u64) -> Self {
+        BenchReport {
+            target: target.to_string(),
+            scale,
+            sections: Vec::new(),
+        }
+    }
+
+    /// Serialize to JSON (hand-rolled; no serde in the offline build).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512 + 256 * self.sections.len());
+        out.push_str("{\"target\":");
+        out.push_str(&json_escape(&self.target));
+        out.push_str(&format!(",\"scale\":{}", self.scale));
+        out.push_str(",\"sections\":[");
+        for (i, s) in self.sections.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            out.push_str(&json_escape(&s.name));
+            out.push_str(&format!(
+                ",\"wall_ns\":{},\"virtual_ns\":{},\"virtual_per_wall\":{}",
+                s.wall_nanos,
+                s.virtual_nanos,
+                json_f64(s.virtual_per_wall())
+            ));
+            if let Some(p) = &s.profile {
+                out.push_str(&format!(
+                    ",\"profile\":{{\"total_wall_ns\":{},\"events\":{},\
+                     \"queue_depth_mean\":{},\"queue_depth_max\":{},\"phases\":[",
+                    p.total_wall_nanos,
+                    p.events,
+                    json_f64(p.queue_depth_mean),
+                    p.queue_depth_max
+                ));
+                for (j, ph) in p.phases.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!(
+                        "{{\"name\":{},\"wall_ns\":{},\"calls\":{}}}",
+                        json_escape(ph.name),
+                        ph.wall_nanos,
+                        ph.calls
+                    ));
+                }
+                out.push_str("]}");
+            }
+            if !s.values.is_empty() {
+                out.push_str(",\"values\":{");
+                for (j, (k, v)) in s.values.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&json_escape(k));
+                    out.push(':');
+                    out.push_str(&json_f64(*v));
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// If `MARLIN_BENCH_JSON=<dir>` is set, write the artifact there as
+    /// `BENCH_<target>.json` (creating the directory) and return the
+    /// path. Silent no-op otherwise, so bench targets call this
+    /// unconditionally.
+    pub fn maybe_write(&self) -> Option<String> {
+        let dir = std::env::var("MARLIN_BENCH_JSON")
+            .ok()
+            .filter(|d| !d.is_empty())?;
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("MARLIN_BENCH_JSON: cannot create {dir}: {e}");
+            return None;
+        }
+        let path = format!("{dir}/BENCH_{}.json", self.target);
+        match std::fs::write(&path, self.to_json()) {
+            Ok(()) => {
+                println!("wrote perf trajectory to {path}");
+                Some(path)
+            }
+            Err(e) => {
+                eprintln!("MARLIN_BENCH_JSON: cannot write {path}: {e}");
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::PhaseStat;
+
+    #[test]
+    fn bench_json_is_wellformed() {
+        let mut r = BenchReport::new("micro \"quoted\"", 100);
+        r.sections.push(BenchSection {
+            name: "ycsb/Marlin".into(),
+            wall_nanos: 2_000_000,
+            virtual_nanos: 4_000_000,
+            profile: Some(ProfileSummary {
+                phases: vec![PhaseStat {
+                    name: "event:client_txn",
+                    wall_nanos: 1_500_000,
+                    calls: 42,
+                }],
+                total_wall_nanos: 1_900_000,
+                events: 43,
+                queue_depth_mean: 3.5,
+                queue_depth_max: 9,
+            }),
+            values: vec![("overhead_pct".into(), 0.4)],
+        });
+        let j = r.to_json();
+        assert!(j.contains("\"target\":\"micro \\\"quoted\\\"\""));
+        assert!(j.contains("\"virtual_per_wall\":2"));
+        assert!(j.contains(
+            "\"phases\":[{\"name\":\"event:client_txn\",\"wall_ns\":1500000,\"calls\":42}]"
+        ));
+        assert!(j.contains("\"values\":{\"overhead_pct\":0.4}"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn sections_without_profile_omit_the_key() {
+        let mut r = BenchReport::new("t", 1);
+        r.sections.push(BenchSection {
+            name: "plain".into(),
+            wall_nanos: 10,
+            ..BenchSection::default()
+        });
+        let j = r.to_json();
+        assert!(!j.contains("\"profile\""));
+        assert!(!j.contains("\"values\""));
+        assert!(j.contains("\"virtual_per_wall\":0"));
+    }
+}

@@ -1,0 +1,306 @@
+//! The structured tracer: virtual-time spans and instants in a
+//! preallocated ring buffer, exported as Chrome trace-event JSON.
+
+use crate::{json_escape, nanos_as_micros, Nanos};
+
+/// Default ring capacity when `MARLIN_TRACE` enables tracing without an
+/// explicit `MARLIN_TRACE_EVENTS` override (~256k events, a few MB).
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 18;
+
+/// How an event renders in the trace viewer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TracePhase {
+    /// A complete span (`ph:"X"`): has a duration.
+    Span,
+    /// A point-in-time marker (`ph:"i"`).
+    Instant,
+}
+
+/// One recorded event. Fixed-size (names are `&'static str`) so the ring
+/// buffer allocates once up front and recording never touches the heap.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceEvent {
+    /// Category (Perfetto lets you filter on it): "migration",
+    /// "membership", "policy", "provision", ...
+    pub cat: &'static str,
+    /// Event name.
+    pub name: &'static str,
+    /// Span or instant.
+    pub phase: TracePhase,
+    /// Virtual start time, ns.
+    pub start: Nanos,
+    /// Virtual duration, ns (0 for instants).
+    pub dur: Nanos,
+    /// Up to two integer arguments; a key of `""` means unused.
+    pub args: [(&'static str, i64); 2],
+}
+
+const NO_ARGS: [(&str, i64); 2] = [("", 0), ("", 0)];
+
+/// Ring-buffered trace recorder.
+///
+/// Disabled tracers record nothing and allocate nothing; the per-call
+/// cost is one branch. Enabled tracers overwrite the oldest events once
+/// the ring fills (the dropped count is reported), so a bounded memory
+/// footprint holds for arbitrarily long runs.
+#[derive(Debug)]
+pub struct Tracer {
+    enabled: bool,
+    buf: Vec<TraceEvent>,
+    capacity: usize,
+    /// Next slot to overwrite once the ring is full.
+    head: usize,
+    /// Total events ever recorded (≥ `buf.len()` after wrap).
+    recorded: u64,
+}
+
+impl Tracer {
+    /// A tracer that records nothing.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Tracer {
+            enabled: false,
+            buf: Vec::new(),
+            capacity: 0,
+            head: 0,
+            recorded: 0,
+        }
+    }
+
+    /// An enabled tracer with room for `capacity` events, preallocated.
+    #[must_use]
+    pub fn enabled(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Tracer {
+            enabled: true,
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            recorded: 0,
+        }
+    }
+
+    /// Enabled iff `MARLIN_TRACE` is set (to the export path); ring
+    /// capacity from `MARLIN_TRACE_EVENTS` when present.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var("MARLIN_TRACE") {
+            Ok(p) if !p.is_empty() => {
+                let capacity = std::env::var("MARLIN_TRACE_EVENTS")
+                    .ok()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or(DEFAULT_TRACE_CAPACITY);
+                Tracer::enabled(capacity)
+            }
+            _ => Tracer::disabled(),
+        }
+    }
+
+    /// Is the tracer recording? Callers building non-trivial arguments
+    /// should gate on this first.
+    #[inline]
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record a complete span `[start, end)` (no-op when disabled).
+    #[inline]
+    pub fn span(&mut self, cat: &'static str, name: &'static str, start: Nanos, end: Nanos) {
+        self.span_args(cat, name, start, end, NO_ARGS);
+    }
+
+    /// Record a complete span with arguments.
+    #[inline]
+    pub fn span_args(
+        &mut self,
+        cat: &'static str,
+        name: &'static str,
+        start: Nanos,
+        end: Nanos,
+        args: [(&'static str, i64); 2],
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.push(TraceEvent {
+            cat,
+            name,
+            phase: TracePhase::Span,
+            start,
+            dur: end.saturating_sub(start),
+            args,
+        });
+    }
+
+    /// Record an instant marker (no-op when disabled).
+    #[inline]
+    pub fn instant(&mut self, cat: &'static str, name: &'static str, at: Nanos) {
+        self.instant_args(cat, name, at, NO_ARGS);
+    }
+
+    /// Record an instant marker with arguments.
+    #[inline]
+    pub fn instant_args(
+        &mut self,
+        cat: &'static str,
+        name: &'static str,
+        at: Nanos,
+        args: [(&'static str, i64); 2],
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.push(TraceEvent {
+            cat,
+            name,
+            phase: TracePhase::Instant,
+            start: at,
+            dur: 0,
+            args,
+        });
+    }
+
+    fn push(&mut self, ev: TraceEvent) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
+        }
+        self.recorded += 1;
+    }
+
+    /// Events currently held in the ring.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been recorded (or the tracer is disabled).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events ever recorded, including overwritten ones.
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events lost to ring overwrite.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.recorded - self.buf.len() as u64
+    }
+
+    /// Events in recording order (oldest surviving first).
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf[self.head..]
+            .iter()
+            .chain(self.buf[..self.head].iter())
+    }
+
+    /// Export as a Chrome trace-event JSON document (the
+    /// `{"traceEvents":[...]}` object form Perfetto and
+    /// `chrome://tracing` load directly). Timestamps are virtual time
+    /// rendered as microseconds, so the document is byte-identical for a
+    /// fixed scenario + seed.
+    #[must_use]
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::with_capacity(64 + 128 * self.buf.len());
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        for (i, ev) in self.events().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            out.push_str(&json_escape(ev.name));
+            out.push_str(",\"cat\":");
+            out.push_str(&json_escape(ev.cat));
+            match ev.phase {
+                TracePhase::Span => {
+                    out.push_str(",\"ph\":\"X\",\"ts\":");
+                    out.push_str(&nanos_as_micros(ev.start));
+                    out.push_str(",\"dur\":");
+                    out.push_str(&nanos_as_micros(ev.dur));
+                }
+                TracePhase::Instant => {
+                    out.push_str(",\"ph\":\"i\",\"s\":\"g\",\"ts\":");
+                    out.push_str(&nanos_as_micros(ev.start));
+                }
+            }
+            out.push_str(",\"pid\":1,\"tid\":1");
+            let used: Vec<&(&'static str, i64)> =
+                ev.args.iter().filter(|(k, _)| !k.is_empty()).collect();
+            if !used.is_empty() {
+                out.push_str(",\"args\":{");
+                for (j, (k, v)) in used.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&json_escape(k));
+                    out.push(':');
+                    out.push_str(&v.to_string());
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing_and_never_allocates() {
+        let mut t = Tracer::disabled();
+        t.span("cat", "ev", 0, 10);
+        t.instant("cat", "mark", 5);
+        assert!(t.is_empty());
+        assert_eq!(t.recorded(), 0);
+        assert_eq!(t.buf.capacity(), 0);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let mut t = Tracer::enabled(3);
+        for i in 0..5u64 {
+            t.instant("c", "e", i);
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.recorded(), 5);
+        assert_eq!(t.dropped(), 2);
+        let order: Vec<Nanos> = t.events().map(|e| e.start).collect();
+        assert_eq!(order, vec![2, 3, 4], "oldest surviving first");
+    }
+
+    #[test]
+    fn chrome_export_is_wellformed_and_deterministic() {
+        let make = || {
+            let mut t = Tracer::enabled(16);
+            t.span_args(
+                "migration",
+                "migrate",
+                1_000,
+                2_500,
+                [("granule", 7), ("", 0)],
+            );
+            t.instant("membership", "commit", 3_000);
+            t.to_chrome_json()
+        };
+        let j = make();
+        assert_eq!(j, make(), "byte-identical across runs");
+        assert!(j.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(j.contains("\"ph\":\"X\",\"ts\":1.000,\"dur\":1.500"));
+        assert!(j.contains("\"args\":{\"granule\":7}"));
+        assert!(j.contains("\"ph\":\"i\",\"s\":\"g\",\"ts\":3.000"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+}

@@ -17,6 +17,7 @@ fn main() {
         "{:>8} {:>10} {:>10} {:>10} {:>9} {:>9}",
         "system", "duration", "mig tput", "mig lat", "$/Mtxn", "Meta $"
     );
+    let mut breakdowns = Vec::new();
     for kind in CoordKind::all() {
         // One spec, four backends: the coordination mechanism is just a
         // `Scenario` knob.
@@ -39,6 +40,26 @@ fn main() {
             m.migration_latency.mean / 1e6,
             m.cost_per_mtxn,
             m.meta_cost,
+        );
+        breakdowns.push((report.backend.clone(), m.coordination));
+    }
+
+    // What the Meta $ column is *made of*: the coordination-op registry
+    // (docs/OBSERVABILITY.md has the full glossary).
+    println!(
+        "\n{:>8} {:>10} {:>10} {:>10} {:>10} {:>9} {:>9}",
+        "system", "mig CAS", "svc wr", "svc rd", "watches", "write $", "uptime $"
+    );
+    for (backend, c) in &breakdowns {
+        println!(
+            "{:>8} {:>10} {:>10} {:>10} {:>10} {:>9.4} {:>9.4}",
+            backend,
+            c.ops.migration_cas_attempts,
+            c.ops.service_writes,
+            c.ops.service_reads,
+            c.ops.watch_notifications,
+            c.write_dollars + c.read_dollars,
+            c.uptime_dollars,
         );
     }
     println!("\nMarlin wins on both axes: no coordination cluster to pay for, and");

@@ -6,6 +6,10 @@
 //!
 //! - [`common`] — shared identifiers, key ranges, errors, configuration.
 //! - [`sim`] — deterministic discrete-event simulation kernel.
+//! - [`telemetry`] — deterministic observability: virtual-time tracing
+//!   (`MARLIN_TRACE`), coordination-op accounting, and the sim
+//!   self-profiler behind the `BENCH_*.json` perf trajectory
+//!   (`MARLIN_BENCH_JSON`).
 //! - [`storage`] — disaggregated storage: shared logs with conditional
 //!   append (`Append@LSN`), page store (`GetPage@LSN`), log replay.
 //! - [`engine`] — per-node database engine: 2PL `NO_WAIT` locking, clock
@@ -39,4 +43,5 @@ pub use marlin_core as core;
 pub use marlin_engine as engine;
 pub use marlin_sim as sim;
 pub use marlin_storage as storage;
+pub use marlin_telemetry as telemetry;
 pub use marlin_workload as workload;

@@ -1,0 +1,165 @@
+//! The observability layer's contracts.
+//!
+//! Determinism: the tracer records only virtual-time data, so the same
+//! scenario and seed must produce a byte-identical Chrome-trace JSON
+//! export across runs — on both the discrete-event simulator and the
+//! synchronous local cluster.
+//!
+//! Accounting: the coordination-op breakdown must sum back to the scalar
+//! Meta Cost (§6.1.5) for the service-backed baselines and to exactly
+//! zero for Marlin, and the `LocalRunner` must report *real* Append@LSN
+//! CAS counts from its storage logs rather than a hard-coded zero.
+
+use marlin::cluster::harness::{run, LocalRunner, Runner, Scenario, SimRunner};
+use marlin::cluster::params::CoordKind;
+use marlin::telemetry::DEFAULT_TRACE_CAPACITY;
+
+fn spike(kind: CoordKind, granule_scale: u64) -> Scenario {
+    Scenario::autoscale_spike(kind, granule_scale)
+}
+
+fn sim_trace(kind: CoordKind, seed: u64) -> String {
+    let scenario = spike(kind, 100).seed(seed);
+    let mut runner = SimRunner::new(&scenario);
+    runner.sim_mut().enable_tracing(DEFAULT_TRACE_CAPACITY);
+    run(scenario, &mut runner);
+    runner.trace_json().expect("tracing was enabled")
+}
+
+fn local_trace(seed: u64) -> String {
+    let scenario = spike(CoordKind::Marlin, 400).seed(seed);
+    let mut runner = LocalRunner::new(&scenario);
+    runner.enable_tracing();
+    run(scenario, &mut runner);
+    runner.trace_json().expect("tracing was enabled")
+}
+
+#[test]
+fn sim_trace_is_byte_identical_across_runs_of_the_same_seed() {
+    let a = sim_trace(CoordKind::Marlin, 42);
+    let b = sim_trace(CoordKind::Marlin, 42);
+    assert_eq!(a, b, "same scenario+seed must trace identically");
+    // The export is a loadable Chrome trace with real content.
+    assert!(a.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+    assert!(a.trim_end().ends_with("]}"));
+    assert!(a.contains("\"ph\":\"X\""), "spans present");
+    assert!(a.contains("\"ph\":\"i\""), "instants present");
+    assert!(a.contains("provision_lead"), "scale-out lead-time spans");
+}
+
+#[test]
+fn sim_traces_differ_across_seeds_but_not_across_identical_runs() {
+    let a = sim_trace(CoordKind::Marlin, 7);
+    let b = sim_trace(CoordKind::Marlin, 1234);
+    assert_ne!(a, b, "different seeds should shift event timings");
+}
+
+#[test]
+fn local_trace_is_byte_identical_across_runs_of_the_same_seed() {
+    let a = local_trace(42);
+    let b = local_trace(42);
+    assert_eq!(a, b, "same scenario+seed must trace identically");
+    assert!(a.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+    assert!(a.contains("\"policy\""), "policy actuations are traced");
+}
+
+#[test]
+fn coordination_breakdown_sums_to_meta_cost_for_service_backends() {
+    for kind in [CoordKind::ZkSmall, CoordKind::ZkLarge, CoordKind::Fdb] {
+        let scenario = spike(kind, 100);
+        let mut runner = SimRunner::new(&scenario);
+        let report = run(scenario, &mut runner);
+        let c = &report.metrics.coordination;
+        assert!(
+            report.metrics.meta_cost > 0.0,
+            "{}: service backends pay a Meta Cost",
+            kind.name()
+        );
+        assert!(
+            (c.meta_dollars() - report.metrics.meta_cost).abs() < 1e-12,
+            "{}: breakdown {} must sum to the scalar {}",
+            kind.name(),
+            c.meta_dollars(),
+            report.metrics.meta_cost
+        );
+        assert!(
+            c.ops.service_writes > 0,
+            "{}: reconfiguration writes go through the service",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn marlin_pays_exactly_zero_meta_cost_in_the_breakdown() {
+    let scenario = spike(CoordKind::Marlin, 100);
+    let mut runner = SimRunner::new(&scenario);
+    let report = run(scenario, &mut runner);
+    let c = &report.metrics.coordination;
+    assert_eq!(c.write_dollars, 0.0);
+    assert_eq!(c.read_dollars, 0.0);
+    assert_eq!(c.uptime_dollars, 0.0);
+    assert_eq!(c.meta_dollars(), 0.0);
+    assert_eq!(report.metrics.meta_cost, 0.0);
+    // Coordination still *happened* — through the database's own logs:
+    // user commits CAS their GLogs, and the scale-in drain migrates
+    // granules through 2PC MigrationTxns.
+    assert!(
+        c.ops.commit_cas_attempts > 0,
+        "user commits drive GLog CAS: {:?}",
+        c.ops
+    );
+    assert!(
+        c.ops.migration_cas_attempts > 0,
+        "drain migrations drive MigrationTxn CAS: {:?}",
+        c.ops
+    );
+    assert_eq!(c.ops.service_writes, 0, "no external service");
+    assert_eq!(c.ops.service_reads, 0, "routing repairs from own logs");
+}
+
+#[test]
+fn local_runner_reports_real_cas_counts_not_a_hardcoded_zero() {
+    let scenario = spike(CoordKind::Marlin, 400).seed(42);
+    let mut runner = LocalRunner::new(&scenario);
+    let report = run(scenario, &mut runner);
+    let ops = runner.coordination();
+    assert!(
+        ops.membership_cas_attempts > 0,
+        "add/remove actuations append to the SysLog via CAS: {ops:?}"
+    );
+    assert_eq!(
+        report.metrics.coordination.ops, ops,
+        "the snapshot must carry the runner's measured ops"
+    );
+    assert_eq!(
+        report.metrics.meta_cost, 0.0,
+        "Marlin's own-log coordination is free"
+    );
+}
+
+#[test]
+fn report_json_omits_telemetry_when_disabled_and_includes_it_when_enabled() {
+    let scenario = spike(CoordKind::Marlin, 100).seed(42);
+    let mut off = SimRunner::new(&scenario);
+    let off_report = run(scenario, &mut off);
+    let off_json = off_report.to_json();
+    assert!(
+        !off_json.contains("\"telemetry\""),
+        "telemetry-off JSON must not carry host-dependent fields"
+    );
+    assert!(
+        off_json.contains("\"coordination\""),
+        "the deterministic coordination breakdown is always present"
+    );
+
+    let scenario = spike(CoordKind::Marlin, 100).seed(42);
+    let mut on = SimRunner::new(&scenario);
+    on.sim_mut().enable_tracing(DEFAULT_TRACE_CAPACITY);
+    on.sim_mut().enable_profiling();
+    let on_report = run(scenario, &mut on);
+    let on_json = on_report.to_json();
+    assert!(on_json.contains("\"telemetry\""));
+    assert!(on_json.contains("\"virtual_per_wall\""));
+    assert!(on_json.contains("\"phases\""));
+}

@@ -1,0 +1,163 @@
+//! Structured invariant-violation reports for the control loop.
+//!
+//! The synchronous runtime checks the paper's I0–I4 invariants after
+//! every control step (`LocalCluster::check_invariants`). Its violations
+//! are raw [`marlin_core::invariants::Violation`] values tied to the
+//! GTable model; this module lifts them into [`InvariantViolation`] — a
+//! self-describing record (which invariant, which granule, which nodes,
+//! when) that a fuzzing harness can collect, serialize into a repro
+//! artifact, and compare across a shrink/replay cycle without dragging
+//! the whole partition model along.
+
+use marlin_common::{GranuleId, NodeId};
+use marlin_core::invariants::Violation;
+use marlin_sim::Nanos;
+use std::fmt;
+
+/// Which paper invariant (§4.5, Appendix A) a violation breaks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InvariantId {
+    /// I2/"HasOneOwnership": a granule no node's own partition claims.
+    I2HasOwner,
+    /// I3/"NoDualOwnership": two nodes' own partitions both claim a
+    /// granule.
+    I3NoDual,
+    /// I4/"RangeAgreement": two views disagree about a granule's
+    /// immutable key range (metadata corruption).
+    I4RangeAgreement,
+}
+
+impl InvariantId {
+    /// Stable short name used in reports and repro artifacts.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            InvariantId::I2HasOwner => "I2",
+            InvariantId::I3NoDual => "I3",
+            InvariantId::I4RangeAgreement => "I4",
+        }
+    }
+}
+
+/// One structured invariant violation: which invariant broke, on which
+/// granule, which nodes were involved, and the control-loop time that
+/// surfaced it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// Which invariant broke.
+    pub invariant: InvariantId,
+    /// The granule the violation is about.
+    pub granule: GranuleId,
+    /// The nodes involved (both claimants for I3; empty when no node is
+    /// implicated, e.g. an orphaned granule).
+    pub nodes: Vec<NodeId>,
+    /// Virtual time of the control step whose check surfaced it.
+    pub at: Nanos,
+}
+
+impl InvariantViolation {
+    /// Lift a core model violation into the structured record, stamping
+    /// it with the control-step time `at`.
+    #[must_use]
+    pub fn from_core(v: &Violation, at: Nanos) -> Self {
+        match *v {
+            Violation::NoOwner { granule } => InvariantViolation {
+                invariant: InvariantId::I2HasOwner,
+                granule,
+                nodes: Vec::new(),
+                at,
+            },
+            Violation::DualOwner { granule, a, b } => InvariantViolation {
+                invariant: InvariantId::I3NoDual,
+                granule,
+                nodes: vec![a, b],
+                at,
+            },
+            Violation::RangeMismatch { granule } => InvariantViolation {
+                invariant: InvariantId::I4RangeAgreement,
+                granule,
+                nodes: Vec::new(),
+                at,
+            },
+        }
+    }
+
+    /// Lift every violation of one check into structured records.
+    #[must_use]
+    pub fn from_core_all(violations: &[Violation], at: Nanos) -> Vec<Self> {
+        violations
+            .iter()
+            .map(|v| InvariantViolation::from_core(v, at))
+            .collect()
+    }
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} granule={} at={}ns",
+            self.invariant.name(),
+            self.granule.0,
+            self.at
+        )?;
+        if !self.nodes.is_empty() {
+            let ids: Vec<String> = self.nodes.iter().map(|n| n.0.to_string()).collect();
+            write!(f, " nodes=[{}]", ids.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_violations_lift_to_structured_records() {
+        let dual = Violation::DualOwner {
+            granule: GranuleId(7),
+            a: NodeId(1),
+            b: NodeId(2),
+        };
+        let v = InvariantViolation::from_core(&dual, 5_000);
+        assert_eq!(v.invariant, InvariantId::I3NoDual);
+        assert_eq!(v.granule, GranuleId(7));
+        assert_eq!(v.nodes, vec![NodeId(1), NodeId(2)]);
+        assert_eq!(v.at, 5_000);
+        assert_eq!(v.to_string(), "I3 granule=7 at=5000ns nodes=[1,2]");
+
+        let orphan = Violation::NoOwner {
+            granule: GranuleId(3),
+        };
+        let v = InvariantViolation::from_core(&orphan, 1);
+        assert_eq!(v.invariant, InvariantId::I2HasOwner);
+        assert!(v.nodes.is_empty());
+        assert_eq!(v.to_string(), "I2 granule=3 at=1ns");
+
+        let range = Violation::RangeMismatch {
+            granule: GranuleId(9),
+        };
+        assert_eq!(
+            InvariantViolation::from_core(&range, 0).invariant,
+            InvariantId::I4RangeAgreement
+        );
+    }
+
+    #[test]
+    fn from_core_all_preserves_order() {
+        let vs = vec![
+            Violation::NoOwner {
+                granule: GranuleId(0),
+            },
+            Violation::NoOwner {
+                granule: GranuleId(1),
+            },
+        ];
+        let lifted = InvariantViolation::from_core_all(&vs, 42);
+        assert_eq!(lifted.len(), 2);
+        assert_eq!(lifted[0].granule, GranuleId(0));
+        assert_eq!(lifted[1].granule, GranuleId(1));
+        assert!(lifted.iter().all(|v| v.at == 42));
+    }
+}

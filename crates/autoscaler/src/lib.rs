@@ -78,6 +78,7 @@
 
 pub mod controller;
 pub mod forecast;
+pub mod invariant;
 pub mod local;
 pub mod observe;
 pub mod policy;
@@ -90,6 +91,7 @@ pub use forecast::{
     Forecaster, HoltWintersForecaster, LinearTrendForecaster, NaiveForecaster, PredictiveConfig,
     PredictivePolicy, MAPE_FLOOR,
 };
+pub use invariant::{InvariantId, InvariantViolation};
 pub use local::LocalHarness;
 pub use observe::{GranuleLoad, NodeLoad, Observation, RegionLoad};
 pub use policy::{

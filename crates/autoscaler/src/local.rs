@@ -17,6 +17,7 @@
 //! [`Observation`] shape the simulator emits.
 
 use crate::controller::Actuator;
+use crate::invariant::InvariantViolation;
 use crate::observe::{GranuleLoad, NodeLoad, Observation};
 use crate::rebalance::GranuleMove;
 use marlin_common::{ClusterConfig, GranuleId, GranuleLayout, KeyRange, NodeId, RegionId, TableId};
@@ -299,6 +300,25 @@ impl LocalHarness {
             .delete_node(coordinator, victim)
             .expect("DeleteNodeTxn removes the dead member");
         self.members.retain(|&m| m != victim);
+    }
+
+    /// Run the I0–I4 invariant checks and surface violations as values,
+    /// stamped with the control-step time `at`.
+    ///
+    /// This is the non-panicking face of
+    /// `LocalCluster::assert_invariants`, built for harnesses (the
+    /// scenario fuzzer in particular) that want to *collect* violations
+    /// into a report or repro artifact instead of unwinding mid-run.
+    ///
+    /// # Errors
+    ///
+    /// Returns every [`InvariantViolation`] found in the current GTable
+    /// views, in deterministic (granule-ordered) order.
+    pub fn check_invariants(&self, at: Nanos) -> Result<(), Vec<InvariantViolation>> {
+        match self.cluster.check_invariants() {
+            Ok(()) => Ok(()),
+            Err(raw) => Err(InvariantViolation::from_core_all(&raw, at)),
+        }
     }
 
     /// The least-loaded live members excluding `not`, round-robin targets

@@ -21,7 +21,7 @@
 use crate::harness::runner::{Fault, MetricsSnapshot, RegionBreakdown, Runner, TelemetrySection};
 use crate::harness::scenario::Scenario;
 use crate::sim::Workload;
-use marlin_autoscaler::{Actuator, LocalHarness, Observation, ScaleAction};
+use marlin_autoscaler::{Actuator, InvariantViolation, LocalHarness, Observation, ScaleAction};
 use marlin_common::{GranuleId, LogId, NodeId, RegionId};
 use marlin_sim::{Histogram, Nanos, SECOND};
 use marlin_telemetry::{CoordOps, ProfileSummary, Tracer, DEFAULT_TRACE_CAPACITY};
@@ -55,6 +55,11 @@ pub struct LocalRunner {
     coord: CoordOps,
     /// Logical-time tracer (enabled by `MARLIN_TRACE`, or explicitly).
     tracer: Tracer,
+    /// Every I0–I4 violation found after an actuation or fault, as
+    /// values: the run keeps going and harnesses (the scenario fuzzer)
+    /// inspect [`violations`](LocalRunner::violations) afterwards
+    /// instead of catching a panic mid-run.
+    violations: Vec<InvariantViolation>,
 }
 
 impl LocalRunner {
@@ -97,6 +102,7 @@ impl LocalRunner {
             migrations: 0,
             coord: CoordOps::default(),
             tracer: Tracer::from_env(),
+            violations: Vec::new(),
         };
         runner.record_node_count();
         runner
@@ -165,6 +171,24 @@ impl LocalRunner {
     #[must_use]
     pub fn coordination(&self) -> CoordOps {
         self.coord
+    }
+
+    /// Every invariant violation the run surfaced so far (empty on a
+    /// healthy run). The runner checks I0–I4 after every actuation and
+    /// fault but *collects* violations instead of panicking, so a
+    /// fuzzing harness can finish the run, report the violation with its
+    /// seed, and shrink the scenario.
+    #[must_use]
+    pub fn violations(&self) -> &[InvariantViolation] {
+        &self.violations
+    }
+
+    /// Run the invariant checks at the current time and collect any
+    /// violations.
+    fn check_invariants(&mut self) {
+        if let Err(mut found) = self.harness.check_invariants(self.now) {
+            self.violations.append(&mut found);
+        }
     }
 
     /// Totals of the storage service's `Append@LSN` counters, split
@@ -257,13 +281,29 @@ impl Runner for LocalRunner {
             ScaleAction::AddNodes { count, region } => {
                 self.harness.add_nodes(self.now, *count, *region);
             }
-            ScaleAction::RemoveNodes { victims } => self.harness.remove_nodes(self.now, victims),
+            ScaleAction::RemoveNodes { victims } => {
+                // Mirror the simulator's guard: drop victims that are not
+                // current members and refuse a removal that would empty the
+                // membership. Fuzzed scripts routinely name stale or
+                // wholesale victim sets; the harness itself asserts on an
+                // empty survivor set, so filter before delegating.
+                let members = self.harness.members();
+                let victims: Vec<_> = victims
+                    .iter()
+                    .copied()
+                    .filter(|v| members.contains(v))
+                    .collect();
+                if !victims.is_empty() && victims.len() < members.len() {
+                    self.harness.remove_nodes(self.now, &victims);
+                }
+            }
             ScaleAction::Rebalance { moves } => self.harness.rebalance(self.now, moves),
         }
         self.account_cas(cas_before);
         // Every actuation must leave the cluster with exclusive granule
         // ownership — the I0–I4 safety net, checked on every step.
-        self.harness.cluster.assert_invariants();
+        // Violations are collected, not panicked on (see `violations`).
+        self.check_invariants();
         let after = self.ownership();
         self.migrations += before
             .iter()
@@ -287,13 +327,52 @@ impl Runner for LocalRunner {
                 }
                 self.harness.crash(*node);
                 self.account_cas(cas_before);
-                self.harness.cluster.assert_invariants();
+                self.check_invariants();
                 let after = self.ownership();
                 self.migrations += before
                     .iter()
                     .filter(|(g, owner)| after.get(g).is_some_and(|now| now != *owner))
                     .count() as u64;
                 self.record_node_count();
+            }
+            // The synchronous runtime has no network or provisioning
+            // model: region degradations and lead jitter are traced
+            // no-ops here (the invariants are still checked, so a fuzzed
+            // schedule exercises the same control flow on both runners).
+            Fault::RegionLatencySpike { region, extra, .. } => {
+                if self.tracer.is_enabled() {
+                    self.tracer.instant_args(
+                        "fault",
+                        "latency_spike",
+                        self.now,
+                        [
+                            ("region", i64::from(region.0)),
+                            ("extra_ms", (extra / 1_000_000) as i64),
+                        ],
+                    );
+                }
+                self.check_invariants();
+            }
+            Fault::RegionPartition { region, .. } => {
+                if self.tracer.is_enabled() {
+                    self.tracer.instant_args(
+                        "fault",
+                        "region_partition",
+                        self.now,
+                        [("region", i64::from(region.0)), ("", 0)],
+                    );
+                }
+                self.check_invariants();
+            }
+            Fault::ProvisionLeadJitter { extra } => {
+                if self.tracer.is_enabled() {
+                    self.tracer.instant_args(
+                        "fault",
+                        "lead_jitter",
+                        self.now,
+                        [("extra_ms", (extra / 1_000_000) as i64), ("", 0)],
+                    );
+                }
             }
         }
     }

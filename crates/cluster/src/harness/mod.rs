@@ -389,6 +389,9 @@ mod tests {
         assert_eq!(report.metrics.live_nodes, 2);
         assert!(report.metrics.migrations > 0);
         assert!(report.metrics.db_cost > 0.0);
+        // Invariants are checked after every actuation and surfaced as
+        // values: a healthy closed loop collects none.
+        assert!(runner.violations().is_empty(), "{:?}", runner.violations());
     }
 
     /// Events scripted past the horizon never fire — on either the

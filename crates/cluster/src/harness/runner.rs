@@ -11,7 +11,7 @@
 //! contention).
 
 use marlin_autoscaler::{Observation, ScaleAction};
-use marlin_common::NodeId;
+use marlin_common::{NodeId, RegionId};
 use marlin_sim::{Nanos, Summary};
 use marlin_telemetry::{CoordBreakdown, ProfileSummary};
 
@@ -23,6 +23,38 @@ pub enum Fault {
     /// `DeleteNodeTxn`); the simulator models the recovery storm as an
     /// immediate drain of the victim onto the survivors.
     Crash(NodeId),
+    /// Every network hop touching `region` (including intra-region hops)
+    /// takes `extra` additional one-way latency until the absolute
+    /// virtual time `until`. Models a degraded AZ or an overloaded
+    /// inter-region link. Only the simulator has a network model; the
+    /// synchronous runtime records the fault as a traced no-op.
+    RegionLatencySpike {
+        /// The degraded region.
+        region: RegionId,
+        /// Extra one-way latency per hop, ns.
+        extra: Nanos,
+        /// Absolute virtual time the degradation heals.
+        until: Nanos,
+    },
+    /// Cross-region traffic to/from `region` is effectively severed
+    /// until the absolute virtual time `until`: such hops take a
+    /// multi-second penalty so in-flight coordination stalls but the
+    /// simulation keeps making progress. Intra-region traffic is
+    /// unaffected. A traced no-op on the synchronous runtime.
+    RegionPartition {
+        /// The partitioned region.
+        region: RegionId,
+        /// Absolute virtual time the partition heals.
+        until: Nanos,
+    },
+    /// The next provisioning order (scale-out) takes `extra` additional
+    /// lead time before its nodes come up — a one-shot "the cloud
+    /// control plane is slow today" jitter. A traced no-op on the
+    /// synchronous runtime, which provisions instantly.
+    ProvisionLeadJitter {
+        /// Extra lead time added to the next scale-out, ns.
+        extra: Nanos,
+    },
 }
 
 /// One region's slice of the end-of-run totals: where the nodes ended

@@ -643,6 +643,98 @@ impl Scenario {
         let policy = s.regional_predictive_policy(2, 4);
         s.policy(policy)
     }
+
+    // -- serialization ------------------------------------------------------
+
+    /// A one-line JSON description of everything the scenario will do:
+    /// workload, backend, sizes, trace steps, scripted actions, and
+    /// faults. Policies are trait objects and are described by presence
+    /// only — a repro file regenerates them from the recorded generation
+    /// choices, not from this manifest. Used by the fuzzer to embed a
+    /// human-readable summary in repro artifacts.
+    #[must_use]
+    pub fn manifest_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str("{\"name\":\"");
+        out.push_str(&self.name);
+        out.push_str("\",\"backend\":\"");
+        out.push_str(match self.backend {
+            CoordKind::Marlin => "marlin",
+            CoordKind::ZkSmall => "zk-small",
+            CoordKind::ZkLarge => "zk-large",
+            CoordKind::Fdb => "fdb",
+        });
+        out.push_str("\",\"granules\":");
+        out.push_str(&self.workload.granule_count().to_string());
+        out.push_str(",\"initial_nodes\":");
+        out.push_str(&self.initial_nodes.to_string());
+        out.push_str(",\"regions\":");
+        out.push_str(&self.params.regions.regions().to_string());
+        out.push_str(",\"horizon_ms\":");
+        out.push_str(&(self.horizon / 1_000_000).to_string());
+        out.push_str(",\"control_interval_ms\":");
+        out.push_str(&(self.control_interval / 1_000_000).to_string());
+        out.push_str(",\"provision_lead_ms\":");
+        out.push_str(&(self.params.provision_lead_time / 1_000_000).to_string());
+        out.push_str(",\"seed\":");
+        out.push_str(&self.params.seed.to_string());
+        out.push_str(",\"policy\":");
+        out.push_str(if self.policy.is_some() {
+            "true"
+        } else {
+            "false"
+        });
+        out.push_str(",\"trace\":[");
+        for (i, &(t, c)) in self.trace.changes().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{},{}]", t / 1_000_000, c));
+        }
+        out.push_str("],\"script\":[");
+        for (i, (t, a)) in self.script.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let desc = match a {
+                ScaleAction::AddNodes { count, region } => match region {
+                    Some(r) => format!("add {count} @r{}", r.0),
+                    None => format!("add {count}"),
+                },
+                ScaleAction::RemoveNodes { victims } => format!("remove {}", victims.len()),
+                ScaleAction::Rebalance { moves } => format!("rebalance {}", moves.len()),
+            };
+            out.push_str(&format!("[{},\"{}\"]", t / 1_000_000, desc));
+        }
+        out.push_str("],\"faults\":[");
+        for (i, (t, f)) in self.faults.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let desc = match f {
+                Fault::Crash(n) => format!("crash n{}", n.0),
+                Fault::RegionLatencySpike {
+                    region,
+                    extra,
+                    until,
+                } => format!(
+                    "latency_spike r{} +{}ms until {}ms",
+                    region.0,
+                    extra / 1_000_000,
+                    until / 1_000_000
+                ),
+                Fault::RegionPartition { region, until } => {
+                    format!("partition r{} until {}ms", region.0, until / 1_000_000)
+                }
+                Fault::ProvisionLeadJitter { extra } => {
+                    format!("lead_jitter +{}ms", extra / 1_000_000)
+                }
+            };
+            out.push_str(&format!("[{},\"{}\"]", t / 1_000_000, desc));
+        }
+        out.push_str("]}");
+        out
+    }
 }
 
 /// Membership updates expected over a stress run (bursts fully inside

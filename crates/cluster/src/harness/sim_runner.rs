@@ -127,6 +127,26 @@ impl Runner for SimRunner {
                         .schedule_scale_in(self.now, vec![node.0], self.threads_per_node);
                 }
             }
+            Fault::RegionLatencySpike {
+                region,
+                extra,
+                until,
+            } => {
+                self.sim
+                    .inject_latency_overlay(self.now, region.0, *extra, false, *until);
+            }
+            Fault::RegionPartition { region, until } => {
+                self.sim.inject_latency_overlay(
+                    self.now,
+                    region.0,
+                    ClusterSim::PARTITION_ONE_WAY,
+                    true,
+                    *until,
+                );
+            }
+            Fault::ProvisionLeadJitter { extra } => {
+                self.sim.jitter_provision_lead(self.now, *extra);
+            }
         }
     }
 

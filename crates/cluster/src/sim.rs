@@ -604,6 +604,9 @@ enum Event {
     },
     /// Scale-in bookkeeping: remove nodes that have been fully drained.
     ReleaseDrained,
+    /// An injected network-latency overlay (region latency spike or
+    /// partition) heals: drop the overlay with this token.
+    EndNetworkOverlay { token: u64 },
 }
 
 /// The simulated cluster.
@@ -654,6 +657,16 @@ pub struct ClusterSim {
     granule_hits: Vec<u32>,
     /// Nodes being drained for scale-in.
     draining: Vec<u32>,
+    /// Active network overlays from injected region faults:
+    /// `(token, region, extra one-way latency, cross_region_only)`.
+    /// Empty in every non-fuzzed run, so `one_way` costs one `is_empty`
+    /// check and existing timestamp streams stay bit-identical.
+    net_overlays: Vec<(u64, u16, Nanos, bool)>,
+    /// Monotonic token source for overlay heal events.
+    overlay_seq: u64,
+    /// One-shot extra provisioning lead consumed by the next scale-out
+    /// order (injected [`jitter_provision_lead`](Self::jitter_provision_lead)).
+    lead_extra_once: Nanos,
     /// Granules initially owned by each region's nodes (geo deployments
     /// keep clients local: "each client accessing only local compute
     /// nodes", §6.5 — and migrations stay within a region).
@@ -865,6 +878,9 @@ impl ClusterSim {
             region_accrued_at: 0,
             granule_hits: vec![0; granule_count as usize],
             draining: Vec::new(),
+            net_overlays: Vec::new(),
+            overlay_seq: 0,
+            lead_extra_once: 0,
             region_granules,
             metrics: RunMetrics::new(),
             cost_series: TimeSeries::new(),
@@ -968,6 +984,86 @@ impl ClusterSim {
             self.tracer
                 .instant_args("fault", "crash", at, [("node", i64::from(node)), ("", 0)]);
         }
+    }
+
+    /// One-way penalty a hop pays when sent over a partitioned link: long
+    /// enough that cross-region coordination visibly stalls, short enough
+    /// that clients keep retrying and the run completes.
+    pub const PARTITION_ONE_WAY: Nanos = 5 * SECOND;
+
+    /// Inject a network-latency overlay on `region` at `now`, healing at
+    /// the absolute time `until`: every affected one-way hop pays `extra`
+    /// additional latency. With `cross_only` the overlay hits only
+    /// cross-region hops (a partition); otherwise it hits every hop
+    /// touching the region (a latency spike, meaningful even in
+    /// single-region runs).
+    ///
+    /// The overlay is pure arithmetic — it draws no randomness and costs
+    /// nothing while no overlay is active, so runs that never inject one
+    /// keep bit-identical event streams.
+    pub fn inject_latency_overlay(
+        &mut self,
+        now: Nanos,
+        region: u16,
+        extra: Nanos,
+        cross_only: bool,
+        until: Nanos,
+    ) {
+        let token = self.overlay_seq;
+        self.overlay_seq += 1;
+        self.net_overlays.push((token, region, extra, cross_only));
+        self.queue.schedule_at(
+            until.max(now),
+            ActorId(0),
+            Event::EndNetworkOverlay { token },
+        );
+        if self.tracer.is_enabled() {
+            let kind = if cross_only {
+                "region_partition"
+            } else {
+                "latency_spike"
+            };
+            self.tracer.instant_args(
+                "fault",
+                kind,
+                now,
+                [
+                    ("region", i64::from(region)),
+                    ("extra_ms", (extra / 1_000_000) as i64),
+                ],
+            );
+        }
+    }
+
+    /// Add a one-shot `extra` to the provisioning lead of the *next*
+    /// scale-out order — the injected "cloud control plane is slow today"
+    /// fault. Consumed by the next `schedule_scale_out_in`; zero effect
+    /// on runs that never inject it.
+    pub fn jitter_provision_lead(&mut self, now: Nanos, extra: Nanos) {
+        self.lead_extra_once += extra;
+        if self.tracer.is_enabled() {
+            self.tracer.instant_args(
+                "fault",
+                "lead_jitter",
+                now,
+                [("extra_ms", (extra / 1_000_000) as i64), ("", 0)],
+            );
+        }
+    }
+
+    /// The extra one-way latency active overlays impose on an `a → b` hop.
+    fn overlay_penalty(&self, a: RegionId, b: RegionId) -> Nanos {
+        if self.net_overlays.is_empty() {
+            return 0;
+        }
+        let mut extra = 0;
+        for &(_, region, pen, cross_only) in &self.net_overlays {
+            let touches = a.0 == region || b.0 == region;
+            if touches && (!cross_only || a != b) {
+                extra += pen;
+            }
+        }
+        extra
     }
 
     /// Turn on the virtual-time tracer with room for `capacity` events
@@ -1308,7 +1404,8 @@ impl ClusterSim {
         threads_per_new_node: u32,
         region: Option<RegionId>,
     ) {
-        let ready_at = at + self.params.provision_lead_time;
+        let ready_at =
+            at + self.params.provision_lead_time + std::mem::take(&mut self.lead_extra_once);
         let slots = self.allocate_join_slots(new_nodes, region);
         if self.tracer.is_enabled() {
             self.tracer.instant_args(
@@ -1642,6 +1739,7 @@ impl ClusterSim {
             Event::StartPlan { .. } => "event:start_plan",
             Event::StartDrain { .. } => "event:start_drain",
             Event::ReleaseDrained => "event:release_drained",
+            Event::EndNetworkOverlay { .. } => "event:overlay",
         }
     }
 
@@ -1773,18 +1871,22 @@ impl ClusterSim {
                 }
             }
             Event::ReleaseDrained => self.release_drained(now),
+            Event::EndNetworkOverlay { token } => {
+                self.net_overlays.retain(|&(t, ..)| t != token);
+            }
         }
         self.profiler.record(phase, prof);
     }
 
     fn one_way(&mut self, a: RegionId, b: RegionId) -> Nanos {
-        if a == b {
+        let base = if a == b {
             // Intra-region RTT/2 with 10% jitter.
             let base = self.params.intra_rtt / 2;
             base + self.rng.range(0, base / 5 + 1)
         } else {
             self.params.regions.link(a, b).sample(&mut self.rng)
-        }
+        };
+        base + self.overlay_penalty(a, b)
     }
 
     fn jittered(&mut self, base: Nanos) -> Nanos {
@@ -1824,22 +1926,26 @@ impl ClusterSim {
         let (mut anchor_granule, mut touched) = self.granules_of(&template);
         // Geo deployment: clients only touch data homed in their own
         // region (§6.5). Remap each granule into the region's set; the
-        // same mapping applies to per-op granules during execution.
-        let remap: Option<std::collections::HashMap<u64, u64>> = (self.region_granules.len() > 1)
-            .then(|| {
-                let local = &self.region_granules[self.clients[c].region.0 as usize];
-                let map: std::collections::HashMap<u64, u64> = touched
-                    .iter()
-                    .map(|&g| (g, local[(g % local.len() as u64) as usize]))
-                    .collect();
-                anchor_granule = map[&anchor_granule];
-                for g in &mut touched {
-                    *g = map[g];
-                }
-                touched.sort_unstable();
-                touched.dedup();
-                map
-            });
+        // same mapping applies to per-op granules during execution. A
+        // region with no initial nodes owns no granules — its clients
+        // fall back to the global granule space rather than remapping
+        // into an empty set (found by fuzzing: `g % 0` panicked).
+        let remap: Option<std::collections::HashMap<u64, u64>> = (self.region_granules.len() > 1
+            && !self.region_granules[self.clients[c].region.0 as usize].is_empty())
+        .then(|| {
+            let local = &self.region_granules[self.clients[c].region.0 as usize];
+            let map: std::collections::HashMap<u64, u64> = touched
+                .iter()
+                .map(|&g| (g, local[(g % local.len() as u64) as usize]))
+                .collect();
+            anchor_granule = map[&anchor_granule];
+            for g in &mut touched {
+                *g = map[g];
+            }
+            touched.sort_unstable();
+            touched.dedup();
+            map
+        });
         let ag = anchor_granule as usize;
 
         // Routing (stale cache + redirect, §4.2).

@@ -618,9 +618,17 @@ impl LocalCluster {
     // -- invariant checking ---------------------------------------------------
 
     /// Materialize every node's partition from the **storage logs** (the
-    /// ground truth) and check Exclusive Granule Ownership over the full
-    /// granule universe. Panics on violation.
-    pub fn assert_invariants(&self) {
+    /// ground truth) and check Exclusive Granule Ownership and range
+    /// agreement over the full granule universe, returning every
+    /// violation as a value (`Ok(())` means the invariants hold).
+    ///
+    /// Violations must surface as data — which invariant, which granule,
+    /// which nodes — rather than as a panic, so a fuzzing harness can
+    /// record the failing scenario, shrink it, and replay it. The
+    /// historical panicking behavior lives on in the thin
+    /// [`LocalCluster::assert_invariants`] wrapper that existing call
+    /// sites keep using.
+    pub fn check_invariants(&self) -> Result<(), Vec<crate::invariants::Violation>> {
         let mut views: BTreeMap<NodeId, GTablePartition> = BTreeMap::new();
         for &id in self.nodes.keys() {
             let Ok(log) = self.storage.log(LogId::GLog(id)) else {
@@ -638,12 +646,25 @@ impl LocalCluster {
             .flat_map(GranuleLayout::granules)
             .collect();
         let refs: BTreeMap<NodeId, &GTablePartition> = views.iter().map(|(n, p)| (*n, p)).collect();
-        crate::invariants::assert_exclusive_ownership(&refs, &universe);
-        let range_violations = crate::invariants::check_range_agreement(&refs);
-        assert!(
-            range_violations.is_empty(),
-            "range agreement violated: {range_violations:?}"
-        );
+        let mut violations = crate::invariants::check_exclusive_ownership(&refs, &universe);
+        violations.extend(crate::invariants::check_range_agreement(&refs));
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(violations)
+        }
+    }
+
+    /// Panicking wrapper over [`LocalCluster::check_invariants`] for
+    /// tests and walkthroughs where a violation should tear the run down
+    /// immediately.
+    ///
+    /// # Panics
+    /// If any I0–I4 violation is found.
+    pub fn assert_invariants(&self) {
+        if let Err(violations) = self.check_invariants() {
+            panic!("Exclusive Granule Ownership violated: {violations:?}");
+        }
     }
 
     // -- cache refresh helpers -------------------------------------------------

@@ -1,0 +1,41 @@
+//! Deterministic scenario fuzzer for the Marlin reproduction.
+//!
+//! FoundationDB-style simulation testing: from a single `u64` seed,
+//! [`generate`] samples a complete randomized [`FuzzCase`] — composite
+//! load traces, fault schedules (crashes, region latency spikes and
+//! partitions, provisioning-lead jitter), membership churn, and a
+//! policy/CPU-model/backend configuration — which lowers into the
+//! harness [`Scenario`](marlin_cluster::harness::Scenario) and runs
+//! with every invariant armed. A violation triggers automatic
+//! shrinking ([`shrink_case`]) and yields a replayable repro artifact
+//! ([`FuzzCase::to_repro`]) that reproduces the identical decision log
+//! byte for byte.
+//!
+//! The pipeline is pure end to end: seed → case → scenario → report
+//! digest involves no wall clock, no ambient randomness, and no
+//! thread-order dependence, so `swarm` results are stable across
+//! machines and a failing seed from CI replays locally unchanged.
+//!
+//! Entry points:
+//!
+//! - [`generate`]`(seed, scale)` — seed to case, pure.
+//! - [`run_case`] — execute one case, collect violations.
+//! - [`fuzz_seed`] — generate + run + shrink + package, one seed.
+//! - [`swarm()`] — fan a seed list over threads (`examples/fuzz_swarm.rs`
+//!   wires this to `MARLIN_FUZZ_SEEDS` / `MARLIN_FUZZ_REPRO`).
+//! - [`FuzzCase::from_repro`] — parse an artifact for replay.
+
+#![warn(missing_docs)]
+
+pub mod case;
+pub mod gen;
+pub mod shrink;
+pub mod swarm;
+
+pub use case::{FuzzCase, FuzzEvent, PolicyKind, RunnerKind, TimedEvent};
+pub use gen::generate;
+pub use shrink::{shrink_case, ShrinkOutcome};
+pub use swarm::{
+    fuzz_seed, report_digest, run_case, swarm, CaseOutcome, Failure, FuzzConfig, Oracle,
+    SwarmOutcome,
+};

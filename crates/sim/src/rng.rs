@@ -27,6 +27,12 @@ fn splitmix64(state: &mut u64) -> u64 {
 
 impl DetRng {
     /// Create a generator from a 64-bit seed.
+    ///
+    /// Every seed — including the degenerate-looking `0` and `u64::MAX` —
+    /// yields a healthy stream: the SplitMix64 expansion decorrelates the
+    /// four xoshiro256++ state words, and SplitMix64 maps no input to
+    /// four zero outputs in a row, so the all-zero state (the one input
+    /// xoshiro cannot escape) is unreachable from `seed`.
     #[must_use]
     pub fn seed(seed: u64) -> Self {
         let mut sm = seed;
@@ -53,6 +59,14 @@ impl DetRng {
     /// Forking is pure: it does not consume randomness from `self`, so the
     /// child streams of a given parent seed are stable even if components
     /// are created in a different order.
+    ///
+    /// Label collisions are well-defined: two forks with the same label
+    /// from the same parent are *identical* streams (purity makes that a
+    /// feature — replays reconstruct components independently), and every
+    /// fork — including `fork(0)`, whose label contributes nothing to the
+    /// mix — still diverges from the parent's own output stream, because
+    /// the child's state is a fresh SplitMix64 expansion of the finalized
+    /// seed rather than a copy of the parent's xoshiro state.
     #[must_use]
     pub fn fork(&self, label: u64) -> DetRng {
         // SplitMix64 finalizer mixes the label into a fresh seed.
@@ -164,6 +178,46 @@ mod tests {
         let mut b = parent.fork(5);
         for _ in 0..20 {
             assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seed_zero_is_not_degenerate() {
+        // xoshiro's one pathological state is all-zero; the SplitMix64
+        // expansion must keep seed(0) (and other "degenerate" seeds)
+        // away from it and producing varied output.
+        for seed in [0, 1, u64::MAX] {
+            let mut r = DetRng::seed(seed);
+            let draws: Vec<u64> = (0..64).map(|_| r.next_u64()).collect();
+            assert!(draws.iter().any(|&d| d != 0), "seed {seed} stuck at zero");
+            assert!(
+                draws.windows(2).any(|w| w[0] != w[1]),
+                "seed {seed} produced a constant stream"
+            );
+        }
+        // And distinct degenerate seeds give distinct streams.
+        let mut a = DetRng::seed(0);
+        let mut b = DetRng::seed(u64::MAX);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn same_label_forks_are_identical_but_diverge_from_parent() {
+        let parent = DetRng::seed(42);
+        // A label collision yields the *same* child stream (fork is pure),
+        // not a silently different one.
+        let mut c1 = parent.fork(5);
+        let mut c2 = parent.fork(5);
+        for _ in 0..50 {
+            assert_eq!(c1.next_u64(), c2.next_u64());
+        }
+        // Every fork — label 0 included, whose mixed-in contribution is
+        // zero — must still diverge from the parent's own output stream.
+        for label in [0, 5, u64::MAX] {
+            let mut p = DetRng::seed(42);
+            let mut child = p.fork(label);
+            let diverged = (0..20).any(|_| p.next_u64() != child.next_u64());
+            assert!(diverged, "fork({label}) shadowed the parent stream");
         }
     }
 

@@ -15,9 +15,12 @@
 //!
 //! Differences from the real crate: cases are generated from a seed
 //! derived deterministically from the test name (every run explores the
-//! same cases), and failing cases are *not* shrunk — the failing values
-//! simply panic out through `prop_assert!`. That trade keeps the engine a
-//! few hundred lines while preserving the tests' exploratory power.
+//! same cases), and the `proptest!` macro's failing cases are *not*
+//! shrunk — the failing values simply panic out through `prop_assert!`.
+//! That trade keeps the engine a few hundred lines while preserving the
+//! tests' exploratory power. Harnesses that need shrinking (the
+//! `marlin-fuzz` scenario fuzzer) build it from the deterministic
+//! candidate enumerators in [`shrink`].
 
 use std::ops::Range;
 
@@ -302,6 +305,117 @@ impl<V> Strategy for Union<V> {
     fn sample(&self, rng: &mut TestRng) -> V {
         let i = rng.range_u64(0, self.arms.len() as u64) as usize;
         self.arms[i].sample(rng)
+    }
+}
+
+/// Deterministic shrinking primitives.
+///
+/// Shrinking here is *candidate enumeration*: given a failing value,
+/// propose a fixed, deterministically ordered list of strictly smaller
+/// values; the caller re-runs its oracle on each candidate and recurses
+/// into the first that still fails. Because the candidate order is a pure
+/// function of the input, a shrink run is exactly reproducible — which is
+/// what lets `marlin-fuzz` replay a shrunk repro artifact bit-identically.
+pub mod shrink {
+    /// Candidate smaller magnitudes for `value`, largest first, never
+    /// going below `floor`: the classic halving ladder
+    /// (`floor`, then midpoints approaching `value`). Empty when `value`
+    /// is already at the floor.
+    ///
+    /// Trying candidates in this order finds the smallest still-failing
+    /// magnitude in O(log) oracle runs when failure is monotone in the
+    /// value, and still terminates (just less minimally) when it is not.
+    #[must_use]
+    pub fn halves_toward(value: u64, floor: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        if value <= floor {
+            return out;
+        }
+        out.push(floor);
+        let mut delta = (value - floor) / 2;
+        while delta > 0 {
+            let candidate = value - delta;
+            if candidate != floor {
+                out.push(candidate);
+            }
+            delta /= 2;
+        }
+        out.dedup();
+        out
+    }
+
+    /// Candidate sublists of `items`, in ddmin order: first halves, then
+    /// quarters, ... then every single-element removal. Each candidate is
+    /// strictly shorter than the input; the list is empty when `items` is
+    /// empty.
+    #[must_use]
+    pub fn list_candidates<T: Clone>(items: &[T]) -> Vec<Vec<T>> {
+        let n = items.len();
+        let mut out: Vec<Vec<T>> = Vec::new();
+        if n == 0 {
+            return out;
+        }
+        // Remove progressively smaller chunks (delta debugging's
+        // complement pass): chunk sizes n/2, n/4, ..., 2.
+        let mut chunk = n / 2;
+        while chunk > 1 {
+            let mut start = 0;
+            while start < n {
+                let end = (start + chunk).min(n);
+                let mut candidate = Vec::with_capacity(n - (end - start));
+                candidate.extend_from_slice(&items[..start]);
+                candidate.extend_from_slice(&items[end..]);
+                out.push(candidate);
+                start = end;
+            }
+            chunk /= 2;
+        }
+        // Finally every single-element removal.
+        for i in 0..n {
+            let mut candidate = Vec::with_capacity(n - 1);
+            candidate.extend_from_slice(&items[..i]);
+            candidate.extend_from_slice(&items[i + 1..]);
+            out.push(candidate);
+        }
+        out
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn halving_ladder_is_ordered_and_bounded() {
+            // delta walks (16-2)/2 = 7 → 3 → 1, giving 9, 13, 15.
+            assert_eq!(halves_toward(16, 2), vec![2, 9, 13, 15]);
+            assert!(halves_toward(5, 5).is_empty());
+            assert!(halves_toward(3, 5).is_empty());
+            // Every candidate is in [floor, value).
+            for c in halves_toward(1000, 10) {
+                assert!((10..1000).contains(&c));
+            }
+        }
+
+        #[test]
+        fn list_candidates_are_strictly_smaller() {
+            let items: Vec<u32> = (0..8).collect();
+            let cands = list_candidates(&items);
+            assert!(!cands.is_empty());
+            for c in &cands {
+                assert!(c.len() < items.len());
+            }
+            // Single-element removals are all present at the tail.
+            let singles: Vec<&Vec<u32>> = cands
+                .iter()
+                .filter(|c| c.len() == items.len() - 1)
+                .collect();
+            assert_eq!(singles.len(), items.len());
+        }
+
+        #[test]
+        fn list_candidates_of_empty_is_empty() {
+            assert!(list_candidates::<u32>(&[]).is_empty());
+        }
     }
 }
 

@@ -25,6 +25,10 @@
 //!   scaling policies (reactive hysteresis, target-utilization PI,
 //!   cost-bounded) and a hot-granule rebalance planner, actuated through
 //!   the reconfiguration drivers on both runners.
+//! - [`fuzz`] — deterministic scenario fuzzer (`docs/TESTING.md`):
+//!   seed → randomized fault/load/churn scenario, swarm execution
+//!   (`MARLIN_FUZZ_SEEDS`), automatic shrinking, and replayable repro
+//!   artifacts (`MARLIN_FUZZ_REPRO`).
 //! - [`cluster`] — the full simulated cloud DBMS testbed plus the
 //!   unified experiment harness (`cluster::harness`): declarative
 //!   `Scenario`s, the `Runner` trait over both execution backends, and
@@ -41,6 +45,7 @@ pub use marlin_cluster as cluster;
 pub use marlin_common as common;
 pub use marlin_core as core;
 pub use marlin_engine as engine;
+pub use marlin_fuzz as fuzz;
 pub use marlin_sim as sim;
 pub use marlin_storage as storage;
 pub use marlin_telemetry as telemetry;

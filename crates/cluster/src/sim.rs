@@ -1930,10 +1930,11 @@ impl ClusterSim {
         // region with no initial nodes owns no granules — its clients
         // fall back to the global granule space rather than remapping
         // into an empty set (found by fuzzing: `g % 0` panicked).
-        let remap: Option<std::collections::HashMap<u64, u64>> = (self.region_granules.len() > 1
+        let remap = (self.region_granules.len() > 1
             && !self.region_granules[self.clients[c].region.0 as usize].is_empty())
         .then(|| {
             let local = &self.region_granules[self.clients[c].region.0 as usize];
+            // marlin-lint: allow(no-hash-collections, lookup-only: built per txn, indexed by granule id, never iterated)
             let map: std::collections::HashMap<u64, u64> = touched
                 .iter()
                 .map(|&g| (g, local[(g % local.len() as u64) as usize]))

@@ -26,7 +26,7 @@
 //! the test suite runs a smaller instance exhaustively and the full
 //! instance is available behind [`ModelConfig`].
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 
 /// Model parameters (the TLA+ `CONSTANTS`).
 #[derive(Clone, Copy, Debug)]
@@ -53,7 +53,7 @@ impl Default for ModelConfig {
 }
 
 /// One ownership update action (the spec's `Update(id, gran, old, new)`).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
 struct Update {
     gran: u8,
     old: u8,
@@ -62,7 +62,12 @@ struct Update {
 
 /// A model state: per-node views, per-node log *sets* (order is irrelevant
 /// to enabledness), the update table, and the migration counter.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+///
+/// `Ord` (lexicographic over the fields) keys the explorer's
+/// [`BTreeSet`] seen-set, so dedup order — and therefore the visit-order
+/// [`ModelReport::digest`] — is deterministic by construction rather
+/// than by hasher seed.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
 struct State {
     /// `gtabs[n][g]` = node `n`'s believed owner of granule `g`.
     gtabs: Vec<Vec<u8>>,
@@ -82,8 +87,54 @@ pub struct ModelReport {
     pub states: usize,
     /// Terminated states (migrations done, views converged).
     pub terminated_states: usize,
+    /// FNV-1a digest over every visited state in BFS visit order — a
+    /// fingerprint of the explored state space. Stable across runs,
+    /// platforms, and std hasher seeds (the seen-set is a `BTreeSet`);
+    /// any change to the protocol model or the exploration order moves
+    /// it, which the regression tests pin.
+    pub digest: u64,
     /// First invariant violation found, if any.
     pub violation: Option<String>,
+}
+
+/// FNV-1a accumulator for the visit-order state digest.
+#[derive(Clone, Copy, Debug)]
+struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Fnv {
+        Fnv(Self::OFFSET)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 = (self.0 ^ u64::from(b)).wrapping_mul(Self::PRIME);
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn state(&mut self, s: &State) {
+        for view in &s.gtabs {
+            for &owner in view {
+                self.byte(owner);
+            }
+        }
+        for &log in &s.glogs {
+            self.u64(log);
+        }
+        for u in &s.updates {
+            self.byte(u.gran);
+            self.byte(u.old);
+            self.byte(u.new);
+        }
+        self.byte(s.done);
+    }
 }
 
 impl ModelReport {
@@ -196,18 +247,25 @@ pub fn explore(cfg: &ModelConfig) -> ModelReport {
         "update IDs are stored in a u64 bitmask"
     );
 
+    // The seen-set is a BTreeSet, not a HashSet: membership order (and
+    // hence the digest below) depends only on `State: Ord`, never on the
+    // per-process hasher seed. Visit order itself is BFS over the
+    // deterministic `successors` enumeration.
     let init = initial_state(cfg);
-    let mut seen: HashSet<State> = HashSet::new();
+    let mut seen: BTreeSet<State> = BTreeSet::new();
     let mut queue: VecDeque<State> = VecDeque::new();
+    let mut digest = Fnv::new();
     seen.insert(init.clone());
     queue.push_back(init);
 
     let mut terminated = 0;
     while let Some(state) = queue.pop_front() {
+        digest.state(&state);
         if let Some(v) = check_invariants(cfg, &state) {
             return ModelReport {
                 states: seen.len(),
                 terminated_states: terminated,
+                digest: digest.0,
                 violation: Some(v),
             };
         }
@@ -219,6 +277,7 @@ pub fn explore(cfg: &ModelConfig) -> ModelReport {
                 return ModelReport {
                     states: seen.len(),
                     terminated_states: terminated,
+                    digest: digest.0,
                     violation: Some(format!("deadlock in non-terminated state {state:?}")),
                 };
             }
@@ -228,6 +287,7 @@ pub fn explore(cfg: &ModelConfig) -> ModelReport {
                 return ModelReport {
                     states: seen.len(),
                     terminated_states: terminated,
+                    digest: digest.0,
                     violation: Some("state budget exhausted".into()),
                 };
             }
@@ -240,6 +300,7 @@ pub fn explore(cfg: &ModelConfig) -> ModelReport {
     ModelReport {
         states: seen.len(),
         terminated_states: terminated,
+        digest: digest.0,
         violation: None,
     }
 }
@@ -284,6 +345,46 @@ mod tests {
             report.terminated_states > 0,
             "termination must be reachable"
         );
+    }
+
+    /// Pin the explored-state digest for the standard small instances.
+    ///
+    /// The digest folds every visited state, in BFS visit order, into an
+    /// FNV-1a accumulator. With the `BTreeSet` seen-set it depends only
+    /// on the protocol model and the successor enumeration — not on the
+    /// per-process hasher seed — so these constants must hold on every
+    /// platform, every run. A change here means the explored state space
+    /// (or its visit order) changed: deliberate model edits re-pin, any
+    /// other cause is a determinism regression.
+    #[test]
+    fn explored_state_digest_is_pinned() {
+        let cases = [
+            (2, 2, 3, 15, 0x1f08_7551_d456_18ca_u64),
+            (3, 3, 3, 1333, 0x6053_c3c5_a457_7aa0),
+            (3, 4, 4, 42_257, 0x5df4_21d9_d006_0c2e),
+        ];
+        for (nodes, granules, migrations, states, digest) in cases {
+            let report = explore(&ModelConfig {
+                nodes,
+                granules,
+                migrations,
+                max_states: 50_000_000,
+            });
+            assert!(report.holds(), "{:?}", report.violation);
+            assert_eq!(
+                (report.states, report.digest),
+                (states, digest),
+                "explored-state digest moved for ({nodes},{granules},{migrations})"
+            );
+            // Re-running must be bit-identical (no ambient state).
+            let again = explore(&ModelConfig {
+                nodes,
+                granules,
+                migrations,
+                max_states: 50_000_000,
+            });
+            assert_eq!(report, again, "exploration must be a pure function");
+        }
     }
 
     /// A deliberately broken variant (refresh applies updates without the

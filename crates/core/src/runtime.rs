@@ -134,7 +134,7 @@ impl LocalCluster {
             .storage
             .append(log, payloads)
             .expect("owner GLog exists");
-        let node = self.nodes.get_mut(&owner).expect("owner exists");
+        let node = self.nodes.get_mut(&owner).expect("owner admitted");
         let suffix = self
             .storage
             .log(log)
@@ -170,7 +170,9 @@ impl LocalCluster {
 
     /// Mutably borrow a node's runtime.
     pub fn node_mut(&mut self, id: NodeId) -> &mut NodeRuntime {
-        self.nodes.get_mut(&id).expect("node exists")
+        self.nodes
+            .get_mut(&id)
+            .expect("NodeId not in the runtime map: ids come from membership and runtimes persist for ex-members, so every id ever admitted resolves")
     }
 
     /// Node IDs with runtimes (members and ex-members).
@@ -199,12 +201,7 @@ impl LocalCluster {
         self.nodes.entry(id).or_insert_with(|| NodeRuntime::new(id));
         for _ in 0..MAX_RETRIES {
             self.refresh_mtable(id);
-            let txn = self
-                .nodes
-                .get_mut(&id)
-                .expect("node exists")
-                .marlin
-                .next_txn();
+            let txn = self.node_mut(id).marlin.next_txn();
             let (mut driver, effects) = {
                 let node = &self.nodes[&id];
                 AddNodeDriver::new(
@@ -232,12 +229,7 @@ impl LocalCluster {
     pub fn delete_node(&mut self, coordinator: NodeId, victim: NodeId) -> Result<(), CoordError> {
         for _ in 0..MAX_RETRIES {
             self.refresh_mtable(coordinator);
-            let txn = self
-                .nodes
-                .get_mut(&coordinator)
-                .expect("node")
-                .marlin
-                .next_txn();
+            let txn = self.node_mut(coordinator).marlin.next_txn();
             let (mut driver, effects) = {
                 let node = &self.nodes[&coordinator];
                 DeleteNodeDriver::new(
@@ -272,12 +264,7 @@ impl LocalCluster {
         table: TableId,
         granules: Vec<GranuleId>,
     ) -> Result<(), CoordError> {
-        let txn = self
-            .nodes
-            .get_mut(&dst)
-            .expect("dst exists")
-            .marlin
-            .next_txn();
+        let txn = self.node_mut(dst).marlin.next_txn();
         let (mut driver, effects) = MigrationDriver::new(txn, src, dst, granules.clone());
         let mut queue: VecDeque<Effect> = effects.into();
         while let Some(effect) = queue.pop_front() {
@@ -295,11 +282,7 @@ impl LocalCluster {
                         .get_mut(&src)
                         .and_then(|n| n.data.remove(table, *granule));
                     if let Some(g) = moved {
-                        self.nodes
-                            .get_mut(&dst)
-                            .expect("dst")
-                            .data
-                            .install(table, *granule, g);
+                        self.node_mut(dst).data.install(table, *granule, g);
                     }
                 }
                 Ok(())
@@ -321,7 +304,7 @@ impl LocalCluster {
         // Refresh the destination's copy of the source partition from
         // storage (the source is unresponsive; the log is the truth).
         self.refresh_foreign(dst, src);
-        let txn = self.nodes.get_mut(&dst).expect("dst").marlin.next_txn();
+        let txn = self.node_mut(dst).marlin.next_txn();
         let (mut driver, effects) = {
             let node = &self.nodes[&dst];
             let partition = node
@@ -359,7 +342,7 @@ impl LocalCluster {
         let src_log = LogId::GLog(src);
         let store = self.storage.page_store();
         let as_of = store.replayed_lsn(src_log);
-        let node = self.nodes.get_mut(&dst).expect("dst");
+        let node = self.nodes.get_mut(&dst).expect("dst admitted");
         for granule in granules {
             let Some(meta) = node.marlin.gtable().get(*granule).copied() else {
                 continue;
@@ -388,7 +371,7 @@ impl LocalCluster {
     ) -> Result<Vec<(GranuleId, GranuleMeta)>, CoordError> {
         for _ in 0..MAX_RETRIES {
             self.refresh_mtable(node);
-            let txn = self.nodes.get_mut(&node).expect("node").marlin.next_txn();
+            let txn = self.node_mut(node).marlin.next_txn();
             let (mut driver, effects) = {
                 let rt = &self.nodes[&node];
                 ScanGTableDriver::new(
@@ -433,13 +416,18 @@ impl LocalCluster {
             .find(|l| l.table == table)
             .expect("table exists");
         let pages_per_granule = layout.pages_per_granule(self.page_bytes);
-        let txn = self.nodes.get_mut(&node).expect("node").marlin.next_txn();
+        let txn = self
+            .nodes
+            .get_mut(&node)
+            .expect("node admitted")
+            .marlin
+            .next_txn();
 
         // Execution phase: guard + locks + buffered accesses.
         let mut result_reads = Vec::with_capacity(reads.len());
         let mut row_writes = Vec::with_capacity(writes.len());
         {
-            let rt = self.nodes.get_mut(&node).expect("node");
+            let rt = self.nodes.get_mut(&node).expect("node admitted");
             let access = |key: u64, exclusive: bool| -> Result<GranuleId, TxnError> {
                 let granule = layout.granule_of(key).expect("key in keyspace");
                 rt.marlin.check_user_access(granule)?;
@@ -484,11 +472,7 @@ impl LocalCluster {
         // Commit phase: one-phase MarlinCommit on the node's own GLog
         // (which is also its data WAL — Figure 7's detection mechanism).
         if row_writes.is_empty() {
-            self.nodes
-                .get_mut(&node)
-                .expect("node")
-                .locks
-                .release_all(txn);
+            self.node_mut(node).locks.release_all(txn);
             return Ok(result_reads);
         }
         let record = TxnUpdateRecord {
@@ -510,7 +494,7 @@ impl LocalCluster {
             .outcome()
             .cloned()
             .expect("synchronous pump completes");
-        let rt = self.nodes.get_mut(&node).expect("node");
+        let rt = self.node_mut(node);
         match outcome {
             CommitOutcome::Committed => {
                 for w in row_writes {
@@ -527,7 +511,7 @@ impl LocalCluster {
                 // driver emitted ClearMetaCache). Refresh and drop rows of
                 // granules that moved away (Figure 7 step 3).
                 let lost = self.refresh_own_gtable(node);
-                let rt = self.nodes.get_mut(&node).expect("node");
+                let rt = self.node_mut(node);
                 for g in &lost {
                     for (t, held) in rt.data.held() {
                         if held == *g {
@@ -672,7 +656,7 @@ impl LocalCluster {
     /// Refresh a node's MTable cache from the SysLog suffix.
     pub fn refresh_mtable(&mut self, id: NodeId) {
         let log = self.storage.log(LogId::SysLog).expect("syslog");
-        let node = self.nodes.get_mut(&id).expect("node");
+        let node = self.node_mut(id);
         let suffix = log.read_after(node.marlin.mtable().applied_lsn());
         node.marlin
             .refresh_mtable(suffix.into_iter().map(|r| (r.lsn, r.payload)));
@@ -686,7 +670,7 @@ impl LocalCluster {
             return;
         }
         let lost = self.refresh_own_gtable(id);
-        let rt = self.nodes.get_mut(&id).expect("node");
+        let rt = self.node_mut(id);
         for g in &lost {
             for (t, held) in rt.data.held() {
                 if held == *g {
@@ -699,7 +683,7 @@ impl LocalCluster {
     /// Refresh a node's own-partition cache; returns granules lost.
     pub fn refresh_own_gtable(&mut self, id: NodeId) -> Vec<GranuleId> {
         let log = self.storage.log(LogId::GLog(id)).expect("glog");
-        let node = self.nodes.get_mut(&id).expect("node");
+        let node = self.node_mut(id);
         let suffix = log.read_after(node.marlin.gtable().applied_lsn());
         node.marlin
             .refresh_own_gtable(suffix.into_iter().map(|r| (r.lsn, r.payload)))
@@ -710,7 +694,7 @@ impl LocalCluster {
         let Ok(log) = self.storage.log(LogId::GLog(target)) else {
             return;
         };
-        let node = self.nodes.get_mut(&viewer).expect("viewer");
+        let node = self.node_mut(viewer);
         let from = node
             .marlin
             .foreign_partition(target)
@@ -766,9 +750,7 @@ impl LocalCluster {
                         })
                     }
                     Err(StorageError::LsnMismatch { current, .. }) => {
-                        self.nodes
-                            .get_mut(&coordinator)
-                            .expect("coordinator")
+                        self.node_mut(coordinator)
                             .marlin
                             .tracker
                             .observe(*log, current);
@@ -794,9 +776,7 @@ impl LocalCluster {
                 if current == *expected {
                     Some(Input::ValidateOk { log: *log })
                 } else {
-                    self.nodes
-                        .get_mut(&coordinator)
-                        .expect("coordinator")
+                    self.node_mut(coordinator)
                         .marlin
                         .tracker
                         .observe(*log, current);
@@ -804,11 +784,7 @@ impl LocalCluster {
                 }
             }
             Effect::ClearMetaCache { log } => {
-                self.nodes
-                    .get_mut(&coordinator)
-                    .expect("coordinator")
-                    .marlin
-                    .clear_meta_cache(*log);
+                self.node_mut(coordinator).marlin.clear_meta_cache(*log);
                 None
             }
             Effect::SendVoteReq { to, txn, payload } => {
@@ -846,7 +822,7 @@ impl LocalCluster {
     /// observe the LSN and bring the matching local view up to date.
     fn after_local_append(&mut self, coordinator: NodeId, log: LogId, new_lsn: Lsn) {
         {
-            let node = self.nodes.get_mut(&coordinator).expect("coordinator");
+            let node = self.node_mut(coordinator);
             node.marlin.tracker.observe(log, new_lsn);
         }
         match log {
@@ -887,7 +863,7 @@ impl LocalCluster {
         };
         // Acquire the granule + GTable-entry locks (NO_WAIT).
         {
-            let rt = self.nodes.get_mut(&to).expect("node");
+            let rt = self.node_mut(to);
             for s in &swaps {
                 let locked = rt
                     .locks
@@ -935,7 +911,7 @@ impl LocalCluster {
                 }
             }
             Err(StorageError::LsnMismatch { current, .. }) => {
-                let rt = self.nodes.get_mut(&to).expect("node");
+                let rt = self.node_mut(to);
                 rt.marlin.tracker.observe(log, current);
                 rt.marlin.clear_meta_cache(log);
                 rt.locks.release_all(txn);
@@ -963,14 +939,14 @@ impl LocalCluster {
             .storage
             .append(log, vec![payload.clone()])
             .expect("own glog");
-        let rt = self.nodes.get_mut(&to).expect("node");
+        let rt = self.node_mut(to);
         rt.marlin.tracker.observe(log, out.new_lsn);
         // Apply via the suffix so any records this node has not yet seen
         // (e.g. a recovery that wrote to this log while it was slow) are
         // materialized too — a tail-skip would advance the watermark past
         // them and permanently hide their GTable effects.
         self.refresh_own_gtable(to);
-        let rt = self.nodes.get_mut(&to).expect("node");
+        let rt = self.node_mut(to);
         rt.locks.release_all(txn);
         // Rows of granules that migrated away are transferred by the
         // migrate() wrapper (warm-up shipping) after the commit.
@@ -991,7 +967,7 @@ impl LocalCluster {
             return Input::Timeout { from: at };
         }
         self.ensure_gtable_fresh(at);
-        let rt = self.nodes.get_mut(&at).expect("node");
+        let rt = self.node_mut(at);
         let mut owners = Vec::with_capacity(granules.len());
         for g in granules {
             let meta = rt.marlin.gtable().get(*g).copied();

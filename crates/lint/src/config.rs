@@ -1,0 +1,179 @@
+//! `lint.toml` parsing — a minimal, hand-rolled TOML subset.
+//!
+//! The build environment has no crates.io access, so instead of a TOML
+//! crate this parses exactly the subset the lint configuration uses:
+//! `[section]` headers, `key = <integer>`, `key = "<string>"`, and
+//! `key = [ "a", "b" ]` string arrays (single- or multi-line).
+//! Anything else is a hard configuration error — a config that cannot
+//! be trusted must not silently weaken the gate.
+
+use std::collections::BTreeMap;
+
+/// Parsed configuration for one rule section.
+#[derive(Clone, Debug, Default)]
+pub struct RuleConfig {
+    /// Root-relative path prefixes exempt from the rule.
+    pub allow: Vec<String>,
+    /// Crate names the rule is scoped to (rule-specific meaning).
+    pub crates: Vec<String>,
+    /// Ratchet budget (only meaningful for budgeted rules).
+    pub budget: Option<u64>,
+}
+
+/// The whole `lint.toml`.
+#[derive(Clone, Debug, Default)]
+pub struct Config {
+    /// Root-relative path prefixes excluded from every rule.
+    pub exclude: Vec<String>,
+    /// Per-rule sections, keyed by rule name.
+    pub rules: BTreeMap<String, RuleConfig>,
+}
+
+impl Config {
+    /// Look up a rule section; absent sections behave as all-default.
+    #[must_use]
+    pub fn rule(&self, name: &str) -> RuleConfig {
+        self.rules.get(name).cloned().unwrap_or_default()
+    }
+}
+
+/// Parse `lint.toml` text. Errors carry a line number and reason.
+pub fn parse(text: &str) -> Result<Config, String> {
+    let mut cfg = Config::default();
+    let mut section: Option<String> = None;
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            let name = name.trim().to_string();
+            cfg.rules.entry(name.clone()).or_default();
+            section = Some(name);
+            continue;
+        }
+        let (key, mut value) = line
+            .split_once('=')
+            .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+            .ok_or_else(|| format!("lint.toml:{}: expected `key = value`", idx + 1))?;
+        // Multi-line array: keep consuming lines until the closing `]`.
+        while value.starts_with('[') && !value.ends_with(']') {
+            let (_, cont) = lines
+                .next()
+                .ok_or_else(|| format!("lint.toml:{}: unterminated array", idx + 1))?;
+            value.push(' ');
+            value.push_str(strip_comment(cont).trim());
+        }
+        let parsed = parse_value(&value).map_err(|e| format!("lint.toml:{}: {e}", idx + 1))?;
+        apply(&mut cfg, section.as_deref(), &key, parsed)
+            .map_err(|e| format!("lint.toml:{}: {e}", idx + 1))?;
+    }
+    Ok(cfg)
+}
+
+enum Value {
+    Int(u64),
+    Strings(Vec<String>),
+}
+
+fn strip_comment(line: &str) -> &str {
+    // `#` starts a comment unless inside a quoted string.
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(value: &str) -> Result<Value, String> {
+    if let Some(body) = value.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+        let mut items = Vec::new();
+        for part in body.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue; // trailing comma
+            }
+            let s = part
+                .strip_prefix('"')
+                .and_then(|s| s.strip_suffix('"'))
+                .ok_or_else(|| format!("array items must be quoted strings, got `{part}`"))?;
+            items.push(s.to_string());
+        }
+        return Ok(Value::Strings(items));
+    }
+    if let Some(s) = value.strip_prefix('"').and_then(|s| s.strip_suffix('"')) {
+        return Ok(Value::Strings(vec![s.to_string()]));
+    }
+    value
+        .parse::<u64>()
+        .map(Value::Int)
+        .map_err(|_| format!("unsupported value `{value}` (integer, string, or string array)"))
+}
+
+fn apply(cfg: &mut Config, section: Option<&str>, key: &str, value: Value) -> Result<(), String> {
+    match (section, key, value) {
+        (None, "exclude", Value::Strings(v)) => cfg.exclude = v,
+        (Some(rule), "allow", Value::Strings(v)) => {
+            cfg.rules.entry(rule.to_string()).or_default().allow = v;
+        }
+        (Some(rule), "crates", Value::Strings(v)) => {
+            cfg.rules.entry(rule.to_string()).or_default().crates = v;
+        }
+        (Some(rule), "budget", Value::Int(n)) => {
+            cfg.rules.entry(rule.to_string()).or_default().budget = Some(n);
+        }
+        (section, key, _) => {
+            return Err(format!(
+                "unknown key `{key}` in section {:?}",
+                section.unwrap_or("<root>")
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_shipped_shape() {
+        let cfg = parse(
+            r#"
+            # global excludes
+            exclude = ["shims", "target"]
+
+            [no-hash-collections]
+            crates = ["core", "sim"]
+            allow = []
+
+            [no-panic-in-lib]
+            budget = 42
+            allow = [
+                "crates/bench",  # multi-line with comment
+            ]
+            "#,
+        )
+        .expect("config must parse");
+        assert_eq!(cfg.exclude, vec!["shims", "target"]);
+        assert_eq!(cfg.rule("no-hash-collections").crates, vec!["core", "sim"]);
+        assert_eq!(cfg.rule("no-panic-in-lib").budget, Some(42));
+        assert_eq!(cfg.rule("no-panic-in-lib").allow, vec!["crates/bench"]);
+        assert!(cfg.rule("absent").allow.is_empty());
+    }
+
+    #[test]
+    fn rejects_garbage_with_line_numbers() {
+        let err = parse("exclude = nonsense").expect_err("must fail");
+        assert!(err.contains("lint.toml:1"), "{err}");
+        let err = parse("[s]\nflag = true").expect_err("must fail");
+        assert!(err.contains("unsupported value"), "{err}");
+        let err = parse("[s]\nunknown = 3").expect_err("must fail");
+        assert!(err.contains("unknown key"), "{err}");
+    }
+}

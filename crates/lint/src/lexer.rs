@@ -1,0 +1,450 @@
+//! A comment- and string-aware Rust tokenizer.
+//!
+//! The lint rules only need a faithful *token stream*: identifiers,
+//! integer literals, and punctuation, each tagged with a 1-based line
+//! number — with comments and string/char literals either skipped or
+//! produced as opaque tokens so rule patterns can never match inside
+//! them. This is deliberately not a full Rust lexer (no float
+//! disambiguation, no multi-character operators): rules pattern-match
+//! on identifier/punct sequences, for which single-character puncts
+//! are sufficient and simpler to reason about.
+//!
+//! Handled faithfully, because real sources in this workspace use them:
+//! line comments (`//`, `///`, `//!`), nested block comments, string
+//! escapes, raw strings (`r"…"`, `r#"…"#`, any number of `#`s), byte
+//! and C strings (`b"…"`, `br#"…"#`, `c"…"`), char and byte-char
+//! literals (`'a'`, `b'\n'`), lifetimes (`'a`), and raw identifiers
+//! (`r#type`).
+
+/// One lexed token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// 1-based line on which the token *starts*.
+    pub line: usize,
+}
+
+/// Token classification; carries text only where a rule needs it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (raw identifiers are stored without `r#`).
+    Ident(String),
+    /// Integer literal, raw spelling (`0x1F`, `1_000u64`, …).
+    Int(String),
+    /// String literal of any flavor; contents are opaque to rules.
+    Str,
+    /// Char or byte-char literal; contents are opaque to rules.
+    Char,
+    /// Lifetime such as `'a` (label text not needed by any rule).
+    Lifetime,
+    /// A single punctuation character.
+    Punct(char),
+}
+
+/// A comment with its location, kept for waiver-directive parsing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line on which the comment starts.
+    pub line: usize,
+    /// Comment text without the `//` / `/*` framing.
+    pub text: String,
+    /// Whether anything other than whitespace preceded it on its line.
+    pub trailing: bool,
+}
+
+/// Result of lexing one file.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// The token stream, comments and whitespace removed.
+    pub tokens: Vec<Token>,
+    /// All comments, for `marlin-lint: allow(...)` directive parsing.
+    pub comments: Vec<Comment>,
+}
+
+/// Lex `src` into tokens and comments. Never fails: unrecognized bytes
+/// are dropped (the lint only needs the constructs listed above, and a
+/// file that does not compile will be caught by the build anyway).
+#[must_use]
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        line_has_code: false,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    /// Whether a token has already been produced on the current line
+    /// (distinguishes trailing comments from whole-line comments).
+    line_has_code: bool,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+                self.line_has_code = false;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind, line: usize) {
+        self.out.tokens.push(Token { kind, line });
+        self.line_has_code = true;
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_body(),
+                '\'' => self.char_or_lifetime(),
+                c if c.is_ascii_digit() => self.number(),
+                c if c.is_alphabetic() || c == '_' => self.ident_or_prefixed(),
+                _ => {
+                    let line = self.line;
+                    self.bump();
+                    self.push(TokenKind::Punct(c), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let trailing = self.line_has_code;
+        self.bump();
+        self.bump(); // consume `//`
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            line,
+            text,
+            trailing,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let trailing = self.line_has_code;
+        self.bump();
+        self.bump(); // consume `/*`
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(c), _) => {
+                    text.push(c);
+                    self.bump();
+                }
+                (None, _) => break, // unterminated; tolerate
+            }
+        }
+        self.out.comments.push(Comment {
+            line,
+            text,
+            trailing,
+        });
+    }
+
+    /// Consume a `"…"` body with escapes; emits [`TokenKind::Str`].
+    fn string_body(&mut self) {
+        let line = self.line;
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump(); // escaped char (covers \" and \\)
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::Str, line);
+    }
+
+    /// Consume `r"…"` / `r#"…"#` style raw strings; caller has consumed
+    /// the prefix up to (not including) the first `#` or `"`.
+    fn raw_string_body(&mut self) {
+        let line = self.line;
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(TokenKind::Str, line);
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        // `'a` (lifetime) vs `'a'` (char): after the quote, an
+        // identifier-start char NOT followed by a closing quote is a
+        // lifetime. Everything else (escapes, punctuation) is a char.
+        let c1 = self.peek(1);
+        let c2 = self.peek(2);
+        let is_lifetime =
+            matches!(c1, Some(c) if c.is_alphabetic() || c == '_') && c2 != Some('\'');
+        self.bump(); // the quote
+        if is_lifetime {
+            while matches!(self.peek(0), Some(c) if c.is_alphanumeric() || c == '_') {
+                self.bump();
+            }
+            self.push(TokenKind::Lifetime, line);
+            return;
+        }
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::Char, line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Int(text), line);
+    }
+
+    /// Identifier, or one of the literal prefixes (`r"`, `r#"`, `b"`,
+    /// `br"`, `c"`, `b'`) that share an identifier-start character.
+    fn ident_or_prefixed(&mut self) {
+        let line = self.line;
+        let c = self.peek(0).unwrap_or(' ');
+        let next = self.peek(1);
+        // Raw string `r"…"` or `r#"…"#` — but `r#ident` is a raw ident.
+        if c == 'r' && next == Some('"') {
+            self.bump();
+            self.raw_string_body();
+            return;
+        }
+        if c == 'r' && next == Some('#') {
+            // `r#"` raw string vs `r#ident` raw identifier.
+            let mut i = 1;
+            while self.peek(i) == Some('#') {
+                i += 1;
+            }
+            if self.peek(i) == Some('"') {
+                self.bump();
+                self.raw_string_body();
+                return;
+            }
+            // Raw identifier: skip `r#`, lex the identifier normally.
+            self.bump();
+            self.bump();
+        } else if (c == 'b' || c == 'c') && next == Some('"') {
+            self.bump();
+            self.string_body();
+            return;
+        } else if c == 'b' && next == Some('r') && matches!(self.peek(2), Some('"') | Some('#')) {
+            self.bump();
+            self.bump();
+            self.raw_string_body();
+            return;
+        } else if c == 'b' && next == Some('\'') {
+            self.bump();
+            self.char_or_lifetime();
+            return;
+        }
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident(text), line);
+    }
+}
+
+/// Parse an integer-literal spelling (as produced by the lexer) into a
+/// value: handles `0x`/`0o`/`0b` radixes, `_` separators, and trailing
+/// type suffixes (`u64`, `usize`, …). Returns `None` for floats or
+/// malformed spellings.
+#[must_use]
+pub fn parse_int(spelling: &str) -> Option<u64> {
+    let s: String = spelling.chars().filter(|&c| c != '_').collect();
+    let (radix, digits) = if let Some(rest) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X"))
+    {
+        (16, rest)
+    } else if let Some(rest) = s.strip_prefix("0o") {
+        (8, rest)
+    } else if let Some(rest) = s.strip_prefix("0b") {
+        (2, rest)
+    } else {
+        (10, s.as_str())
+    };
+    // Strip a type suffix (`u64`, `usize`, `i32`, …): cut at the first
+    // `u`/`i`, provided some digits precede it.
+    let digits = match digits.find(['u', 'i']) {
+        Some(at) if at > 0 => &digits[..at],
+        _ => digits,
+    };
+    if digits.is_empty() {
+        return None;
+    }
+    u64::from_str_radix(digits, radix).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_opaque() {
+        let src = r##"
+            // HashMap in a comment
+            /* nested /* HashMap */ still comment */
+            let s = "HashMap::new()";
+            let r = r#"HashSet"#;
+            let b = b"HashMap";
+            let map = BTreeMap::new();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "HashMap" || i == "HashSet"));
+        assert!(ids.iter().any(|i| i == "BTreeMap"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let ids = idents("fn f<'a>(x: &'a str) -> Instant { x }");
+        assert!(ids.iter().any(|i| i == "Instant"));
+        assert!(ids.iter().any(|i| i == "str"));
+    }
+
+    #[test]
+    fn char_literals_are_opaque() {
+        let ids = idents("let c = 'H'; let d = '\\n'; let e = b'x'; after()");
+        assert!(ids.iter().any(|i| i == "after"));
+        assert_eq!(ids, vec!["let", "c", "let", "d", "let", "e", "after"]);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let ids = idents("let r#type = 1; r#fork(2)");
+        assert!(ids.iter().any(|i| i == "type"));
+        assert!(ids.iter().any(|i| i == "fork"));
+    }
+
+    #[test]
+    fn line_numbers_are_accurate() {
+        let lexed = lex("a\nb\n\nc");
+        let lines: Vec<(String, usize)> = lexed
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some((s, t.line)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            lines,
+            vec![("a".into(), 1), ("b".into(), 2), ("c".into(), 4)]
+        );
+    }
+
+    #[test]
+    fn trailing_flag_distinguishes_comment_position() {
+        let lexed = lex("let x = 1; // trailing\n// own line\nlet y = 2;");
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].trailing);
+        assert!(!lexed.comments[1].trailing);
+    }
+
+    #[test]
+    fn multiline_strings_track_lines() {
+        let lexed = lex("let s = \"line1\nline2\";\nnext");
+        let next = lexed
+            .tokens
+            .iter()
+            .find(|t| matches!(&t.kind, TokenKind::Ident(s) if s == "next"))
+            .expect("`next` token must survive the multiline string");
+        assert_eq!(next.line, 3);
+    }
+
+    #[test]
+    fn int_parsing_handles_radixes_and_suffixes() {
+        assert_eq!(parse_int("42"), Some(42));
+        assert_eq!(parse_int("1_000u64"), Some(1000));
+        assert_eq!(parse_int("0x1F"), Some(31));
+        assert_eq!(parse_int("0b101"), Some(5));
+        assert_eq!(parse_int("9001"), Some(9001));
+        assert_eq!(parse_int("banana"), None);
+    }
+}

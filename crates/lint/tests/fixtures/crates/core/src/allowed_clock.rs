@@ -1,0 +1,5 @@
+//! Wall-clock reads exempted by the fixture lint.toml path allowlist.
+
+pub fn measured() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,12 @@
+//! Planted `no-wallclock` violations (lint fixture, never compiled).
+
+pub fn now_ms() -> u128 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap_or_default()
+        .as_millis()
+}
+
+pub fn tick() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,9 @@
+//! Planted `fork-label-uniqueness` collision (lint fixture, never compiled).
+
+const STREAM_A: u64 = 7;
+
+pub fn forks(rng: &mut DetRng) {
+    let _a = rng.fork(7);
+    let _b = rng.fork(STREAM_A);
+    let _c = rng.fork(8);
+}

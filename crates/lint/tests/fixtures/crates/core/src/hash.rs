@@ -1,0 +1,21 @@
+//! Planted `no-hash-collections` violations (lint fixture, never compiled).
+use std::collections::HashMap;
+
+pub fn bad() -> HashMap<u32, u32> {
+    HashMap::new()
+}
+
+// marlin-lint: allow(no-hash-collections, fixture: lookup-only, never iterated)
+pub fn waived(set: std::collections::HashSet<u8>) -> usize {
+    set.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn test_only_hash_is_fine() {
+        let _ = HashSet::<u8>::new();
+    }
+}

@@ -1,0 +1,21 @@
+//! Planted `no-panic-in-lib` findings (lint fixture, never compiled).
+
+pub fn first(v: Option<u8>) -> u8 {
+    v.unwrap()
+}
+
+pub fn second(v: Option<u8>) -> u8 {
+    v.expect("fixture")
+}
+
+pub fn third() {
+    panic!("fixture")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn in_tests_is_fine() {
+        let _ = super::first(Some(1));
+    }
+}

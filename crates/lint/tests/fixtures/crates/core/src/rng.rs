@@ -1,0 +1,8 @@
+//! Planted `no-ambient-rng` violations (lint fixture, never compiled).
+
+pub fn seed() -> u64 {
+    let _rng = thread_rng();
+    0
+}
+
+pub struct Keyed(std::collections::hash_map::RandomState);

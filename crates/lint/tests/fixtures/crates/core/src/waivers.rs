@@ -1,0 +1,7 @@
+//! Waiver edge cases (lint fixture, never compiled).
+
+// marlin-lint: allow(bogus-rule, not a real rule)
+pub fn nothing() {}
+
+// marlin-lint: allow(no-wallclock, nothing on the next line to waive)
+pub fn also_nothing() {}

@@ -1,0 +1,6 @@
+//! Under the fixture lint.toml `exclude` — never scanned.
+use std::collections::HashMap;
+
+pub fn invisible() -> HashMap<u8, u8> {
+    HashMap::new()
+}

@@ -62,6 +62,13 @@ pub struct GranuleLoad {
     pub owner: NodeId,
     /// Access heat in arbitrary but mutually comparable units
     /// (e.g. transactions touching the granule in the sampling window).
+    ///
+    /// When the runner tracks heat with the count-min sketch (the cohort
+    /// scale engine's default), this is an *estimate* that never
+    /// undercounts the true heat but may overcount within the sketch's
+    /// error envelope. Planners must treat loads as ranking signals, not
+    /// exact tallies — the rebalance planner's threshold-and-spread
+    /// logic already does.
     pub load: f64,
 }
 
@@ -336,7 +343,11 @@ impl Observation {
             .filter(|n| n.region == region)
             .cloned()
             .collect();
-        let region_nodes: Vec<NodeId> = node_loads.iter().map(|n| n.node).collect();
+        // Set lookup: the scale engine's observations carry hottest-K
+        // granule samples across hundreds of nodes, and a linear
+        // `contains` per granule makes the filter O(G×N).
+        let region_nodes: std::collections::BTreeSet<NodeId> =
+            node_loads.iter().map(|n| n.node).collect();
         let live: Vec<&NodeLoad> = node_loads.iter().filter(|n| n.alive).collect();
         let digest = self.region_load(region);
         let (mean_utilization, queue_depth) = match digest {
@@ -439,6 +450,15 @@ mod tests {
         obs.node_loads[3].utilization = 0.1;
         obs.throughput_tps = 100.0;
         obs.dollars_per_hour = 4.0;
+        // One sampled hot granule per node, so views can prove their
+        // granule filter follows the owner's placement.
+        obs.granule_loads = (0..4)
+            .map(|i| GranuleLoad {
+                granule: GranuleId(i),
+                owner: NodeId(i as u32),
+                load: 10.0 + i as f64,
+            })
+            .collect();
         obs.derive_region_loads();
         obs
     }
@@ -473,6 +493,15 @@ mod tests {
         assert_eq!(
             obs.coolest_live_nodes_in(RegionId(1)),
             vec![NodeId(3), NodeId(1)]
+        );
+        // Granule samples follow their owner's placement: only the
+        // granules owned by region-1 nodes (odd ids) survive the view.
+        assert_eq!(
+            v.granule_loads
+                .iter()
+                .map(|g| g.granule)
+                .collect::<Vec<_>>(),
+            vec![GranuleId(1), GranuleId(3)]
         );
     }
 }

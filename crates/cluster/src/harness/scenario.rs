@@ -9,7 +9,7 @@
 //! §6 is one preset constructor below instead of a bespoke driver file.
 
 use crate::harness::runner::Fault;
-use crate::params::{CoordKind, CpuModel, SimParams};
+use crate::params::{ClientEngine, CoordKind, CpuModel, SimParams};
 use crate::sim::Workload;
 use marlin_autoscaler::{
     LinearTrendForecaster, PredictiveConfig, PredictivePolicy, ReactiveConfig, ReactivePolicy,
@@ -221,6 +221,35 @@ impl Scenario {
     #[must_use]
     pub fn cpu_model(mut self, model: CpuModel) -> Self {
         self.params.cpu_model = model;
+        self
+    }
+
+    /// Select the client engine ([`ClientEngine::Exact`] one event per
+    /// client vs [`ClientEngine::Cohort`] flow-level batching; simulator
+    /// only). The cohort engine activates only at or above
+    /// [`SimParams::cohort_min_clients`] — below the threshold a
+    /// `Cohort` run takes the exact per-client path and is bit-identical
+    /// to `Exact`.
+    #[must_use]
+    pub fn client_engine(mut self, engine: ClientEngine) -> Self {
+        self.params.client_engine = engine;
+        self
+    }
+
+    /// Override the cohort-activation threshold (parity tests force the
+    /// aggregate path at small scale by passing 0).
+    #[must_use]
+    pub fn cohort_min_clients(mut self, min: u32) -> Self {
+        self.params.cohort_min_clients = min;
+        self
+    }
+
+    /// Toggle the count-min heat sketch (simulator only; granule heat
+    /// falls back to exact counters below
+    /// [`SimParams::sketch_min_granules`]).
+    #[must_use]
+    pub fn heat_sketch(mut self, on: bool) -> Self {
+        self.params.heat_sketch = on;
         self
     }
 
@@ -644,6 +673,34 @@ impl Scenario {
         s.policy(policy)
     }
 
+    /// The scale-engine showcase: one million closed-loop clients over a
+    /// Zipfian-skewed table, run by the cohort client engine with the
+    /// count-min heat sketch and a hold-policy + rebalance-planner loop,
+    /// so the full observation surface — weighted throughput and p99,
+    /// sketched hot granules — sits on the hot path. `scale` divides the
+    /// client and granule counts for quick runs (1 = the full million).
+    ///
+    /// The same scenario with [`ClientEngine::Exact`] is the oracle the
+    /// cohort engine's throughput advantage is measured against
+    /// (`benches/million_clients.rs` probes it for a wall-time slice and
+    /// reports virtual-seconds-per-wall-second for both engines).
+    #[must_use]
+    pub fn million_clients(scale: u64) -> Self {
+        let scale = scale.max(1);
+        Scenario::new("million-clients")
+            .workload(Workload::ycsb_zipfian(200_000 / scale, 0.9))
+            .trace(LoadTrace::constant((1_000_000 / scale) as u32))
+            .initial_nodes(16)
+            .threads_per_node(8)
+            .control_interval(5 * SECOND)
+            .observe_window(4 * SECOND)
+            .duration(60 * SECOND)
+            .client_engine(ClientEngine::Cohort)
+            .heat_sketch(true)
+            .policy(Box::new(marlin_autoscaler::HoldPolicy))
+            .planner(RebalanceConfig::default())
+    }
+
     // -- serialization ------------------------------------------------------
 
     /// A one-line JSON description of everything the scenario will do:
@@ -898,6 +955,30 @@ mod tests {
             Scenario::cpu_model_comparison(CoordKind::Marlin, 10, CpuModel::PerRequest).trace,
             burst
         );
+    }
+
+    #[test]
+    fn million_clients_preset_pins_the_scale_engine() {
+        let s = Scenario::million_clients(1);
+        assert_eq!(s.name, "million-clients");
+        assert_eq!(s.trace.peak(), 1_000_000);
+        assert_eq!(s.workload.granule_count(), 200_000);
+        assert_eq!(s.params.client_engine, ClientEngine::Cohort);
+        assert!(s.params.heat_sketch);
+        assert!(s.policy.is_some() && s.planner.is_some());
+        // Scaled-down runs stay above the cohort threshold, so the
+        // engine under test is the one the bench measures.
+        let scaled = Scenario::million_clients(10);
+        assert_eq!(scaled.trace.peak(), 100_000);
+        assert!(scaled.trace.peak() >= scaled.params.cohort_min_clients);
+        // The builder knobs reach params for hand-rolled scenarios too.
+        let s = Scenario::new("t")
+            .client_engine(ClientEngine::Cohort)
+            .cohort_min_clients(0)
+            .heat_sketch(true);
+        assert_eq!(s.params.client_engine, ClientEngine::Cohort);
+        assert_eq!(s.params.cohort_min_clients, 0);
+        assert!(s.params.heat_sketch);
     }
 
     #[test]

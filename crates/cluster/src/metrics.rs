@@ -64,13 +64,26 @@ impl RunMetrics {
 
     /// Record a committed user transaction.
     pub fn commit(&mut self, at: Nanos, latency: Nanos) {
-        self.user_commits.record(at);
-        self.user_latency.record(latency);
+        self.commit_n(at, latency, 1);
+    }
+
+    /// Record `n` committed user transactions sharing one timeline.
+    ///
+    /// Exactly `n` repetitions of [`RunMetrics::commit`] — the cohort
+    /// engine's bulk path for a batch of clients advanced as one flow.
+    pub fn commit_n(&mut self, at: Nanos, latency: Nanos, n: u64) {
+        self.user_commits.record_n(at, n);
+        self.user_latency.record_n(latency, n);
     }
 
     /// Record a user abort.
     pub fn abort(&mut self, at: Nanos) {
-        self.user_aborts.record(at);
+        self.abort_n(at, 1);
+    }
+
+    /// Record `n` user aborts at one instant (cohort bulk path).
+    pub fn abort_n(&mut self, at: Nanos, n: u64) {
+        self.user_aborts.record_n(at, n);
     }
 
     /// Record a completed migration.
@@ -162,6 +175,24 @@ mod tests {
         assert!((m.abort_ratio() - 1.0 / 3.0).abs() < 1e-9);
         assert!((m.abort_ratio_at(SECOND) - 1.0 / 3.0).abs() < 1e-9);
         assert_eq!(m.abort_ratio_at(10 * SECOND), 0.0);
+    }
+
+    #[test]
+    fn bulk_commit_equals_repeated_commit() {
+        let mut a = RunMetrics::new();
+        let mut b = RunMetrics::new();
+        for _ in 0..7 {
+            a.commit(SECOND, 10 * 1_000_000);
+        }
+        for _ in 0..3 {
+            a.abort(SECOND + 1);
+        }
+        b.commit_n(SECOND, 10 * 1_000_000, 7);
+        b.abort_n(SECOND + 1, 3);
+        assert_eq!(a.total_commits(), b.total_commits());
+        assert_eq!(a.user_latency.count(), b.user_latency.count());
+        assert!((a.user_latency.mean() - b.user_latency.mean()).abs() < 1e-9);
+        assert!((a.abort_ratio() - b.abort_ratio()).abs() < 1e-12);
     }
 
     #[test]

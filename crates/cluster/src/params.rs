@@ -126,6 +126,58 @@ impl CpuModel {
     }
 }
 
+/// How simulated clients are advanced by `ClusterSim`.
+///
+/// The simulator's historical hot loop schedules one `ClientTxn` event
+/// per client per transaction, which is exact but caps throughput at a
+/// few hundred thousand clients. The cohort engine replaces that loop
+/// with flow-level batching at large scale:
+///
+/// - [`ClientEngine::Exact`] (the default) — one event per client
+///   transaction. Every decision log and report digest produced before
+///   this enum existed came from this path; it remains the oracle.
+/// - [`ClientEngine::Cohort`] — clients sharing a region are advanced as
+///   one cohort. Below [`SimParams::cohort_min_clients`] peak clients
+///   the engine is *parity-pinned*: it routes through the literal exact
+///   path (same events, same RNG draws), so §6-preset decision logs are
+///   bit-identical under either engine. At or above the threshold a
+///   flow-level engine takes over: each cohort advances in fixed virtual
+///   steps, samples a handful of representative transaction walks with
+///   the cohort's own forked [`DetRng`](marlin_sim::DetRng) stream, and
+///   offers the remaining aggregate demand to the CPU stations in bulk.
+///   Route/ownership changes are picked up by the per-step resampling,
+///   so demand redistributes on the next step after any migration.
+///
+/// Use `Exact` whenever historical parity matters; use `Cohort` for
+/// `million_clients`-scale scenarios where per-client events dominate
+/// wall time. See `docs/ARCHITECTURE.md` ("Scale engine").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ClientEngine {
+    /// One event per client transaction (historical behavior, exact).
+    #[default]
+    Exact,
+    /// Flow-level cohort batching above `cohort_min_clients`; the exact
+    /// path below it (parity-pinned).
+    Cohort,
+}
+
+impl ClientEngine {
+    /// Stable lowercase name used in reports and repro artifacts.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ClientEngine::Exact => "exact",
+            ClientEngine::Cohort => "cohort",
+        }
+    }
+
+    /// Both engines, in comparison order (exact first: it is the oracle).
+    #[must_use]
+    pub fn all() -> [ClientEngine; 2] {
+        [ClientEngine::Exact, ClientEngine::Cohort]
+    }
+}
+
 /// All tunable constants of the simulated testbed.
 #[derive(Clone, Debug)]
 pub struct SimParams {
@@ -205,6 +257,25 @@ pub struct SimParams {
     /// Hourly price of one compute node (Standard D4s v3, $0.192/h).
     pub node_hourly: f64,
 
+    // -- scale engine (docs/ARCHITECTURE.md, "Scale engine") ----------------------
+    /// How simulated clients are advanced (see [`ClientEngine`]).
+    pub client_engine: ClientEngine,
+    /// Peak client count at which [`ClientEngine::Cohort`] switches from
+    /// the parity-pinned exact path to flow-level batching. Decided once
+    /// at construction from the scenario's peak client count. Tests
+    /// lower it to force the aggregate path at small scale.
+    pub cohort_min_clients: u32,
+    /// Track granule heat with a deterministic count-min sketch instead
+    /// of the exact per-granule vector. Only engaged when the granule
+    /// count is at least [`SimParams::sketch_min_granules`]; below that
+    /// the exact vector is used regardless (sketch overhead would exceed
+    /// the vector it replaces). Default off: every historical decision
+    /// log was produced by the exact counter.
+    pub heat_sketch: bool,
+    /// Granule count below which `heat_sketch` falls back to the exact
+    /// vector.
+    pub sketch_min_granules: usize,
+
     /// RNG seed for the run.
     pub seed: u64,
 }
@@ -233,6 +304,10 @@ impl Default for SimParams {
             mtable_refresh: 900 * MICROSECOND,
             provision_lead_time: 0,
             node_hourly: 0.192,
+            client_engine: ClientEngine::default(),
+            cohort_min_clients: 10_000,
+            heat_sketch: false,
+            sketch_min_granules: 4_096,
             seed: 42,
         }
     }
@@ -282,6 +357,25 @@ mod tests {
         // produced without a provisioning delay, and the parity suites
         // pin those logs bit-for-bit.
         assert_eq!(p.provision_lead_time, 0);
+    }
+
+    #[test]
+    fn client_engine_defaults_to_exact_for_decision_log_parity() {
+        // The default must stay `Exact` with the sketch off: every
+        // historical decision log and fuzz digest was produced by the
+        // per-client event loop over the exact heat vector.
+        let p = SimParams::default();
+        assert_eq!(p.client_engine, ClientEngine::Exact);
+        assert!(!p.heat_sketch);
+        assert_eq!(ClientEngine::Exact.name(), "exact");
+        assert_eq!(ClientEngine::Cohort.name(), "cohort");
+        assert_eq!(
+            ClientEngine::all(),
+            [ClientEngine::Exact, ClientEngine::Cohort]
+        );
+        // The activation threshold must sit above every §6 preset's peak
+        // client count (max 2 000) so `Cohort` stays parity-pinned there.
+        assert!(p.cohort_min_clients > 2_000);
     }
 
     #[test]

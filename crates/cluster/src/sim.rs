@@ -29,16 +29,27 @@
 
 use crate::cost::CostModel;
 use crate::metrics::RunMetrics;
-use crate::params::{CoordKind, CpuModel, SimParams};
+use crate::params::{ClientEngine, CoordKind, CpuModel, SimParams};
 use bytes::Bytes;
 use marlin_autoscaler::{GranuleLoad, NodeLoad, Observation, ScaleAction};
 use marlin_baselines::{CoordReply, CoordRequest, CoordinationService, FdbService, ZkService};
 use marlin_common::{GranuleId, LogId, NodeId, RegionId, StorageError};
 use marlin_core::LsnTracker;
-use marlin_sim::{ActorId, DetRng, EventQueue, Nanos, TimeSeries, SECOND};
+use marlin_sim::{ActorId, DetRng, EventQueue, HeatTracker, Nanos, TimeSeries, SECOND};
 use marlin_storage::SharedLog;
 use marlin_telemetry::{CoordBreakdown, CoordOps, ProfileSummary, Profiler, Tracer};
-use marlin_workload::{TpccConfig, TpccGenerator, TxnTemplate, YcsbConfig, YcsbGenerator};
+use marlin_workload::{
+    interleaved_share, TpccConfig, TpccGenerator, TxnTemplate, YcsbConfig, YcsbGenerator,
+};
+
+/// Fork label of the heat sketch's row-seed stream (pure fork: drawing
+/// it consumes nothing from the main stream, so exact-path RNG
+/// trajectories are unchanged whether or not the sketch is on).
+const FORK_SKETCH: u64 = 7001;
+
+/// Fork label of the cohort engine's generator base stream; per-cohort
+/// generator streams are derived from it by region index.
+const FORK_COHORT: u64 = 7002;
 
 /// Analytic (EMA) CPU congestion station — [`CpuModel::Analytic`].
 ///
@@ -90,6 +101,21 @@ impl CpuStation {
         let rho = (self.load / self.workers).min(0.98);
         let delay = service as f64 * rho / (1.0 - rho);
         service + delay as Nanos
+    }
+
+    /// Deposit `service` offered work at `at` without pricing a sojourn —
+    /// the cohort engine's bulk path for the unmaterialized copies of a
+    /// sampled walk. The load EMA is linear in offered work, so this has
+    /// exactly the effect of charging each copy individually at `at`;
+    /// only the per-copy congestion delay (which no materialized request
+    /// is waiting on) is skipped.
+    pub fn offer(&mut self, at: Nanos, service: Nanos) {
+        if at > self.last {
+            let dt = (at - self.last) as f64;
+            self.load *= (-dt / CPU_TAU).exp();
+            self.last = at;
+        }
+        self.load += service as f64 / CPU_TAU;
     }
 
     /// Read-only utilization estimate at `at` (load decayed to the
@@ -306,6 +332,15 @@ impl PerRequestStation {
         end - at
     }
 
+    /// Deposit `service` offered work at `at` without booking a slot —
+    /// the cohort engine's bulk path. The windowed offered-load
+    /// observable (what the autoscaler watches) sees the full aggregate
+    /// demand; the reservation calendars see only the sampled walks, so
+    /// sojourn congestion in cohort runs is sampled rather than exact.
+    pub fn offer(&mut self, at: Nanos, service: Nanos) {
+        *ring_slot(&mut self.offered_ring, at / BUCKET) += service;
+    }
+
     /// Requests in the system at `at`: arrived (admitted at or before
     /// `at`) and not yet departed.
     #[must_use]
@@ -404,6 +439,17 @@ impl NodeCpu {
         }
     }
 
+    /// Bulk-deposit offered work without pricing a sojourn (cohort
+    /// engine): the EMA estimator (analytic) or the offered-load ring
+    /// (per-request) absorbs the aggregate demand of a sampled walk's
+    /// unmaterialized copies.
+    fn offer(&mut self, at: Nanos, service: Nanos) {
+        match self {
+            NodeCpu::Analytic(s) => s.offer(at, service),
+            NodeCpu::PerRequest(s) => s.offer(at, service),
+        }
+    }
+
     /// The measured queue length per worker over the window, when the
     /// model can measure one (`None` tells the observation to fall back
     /// to the modeled utilization excess).
@@ -476,6 +522,92 @@ struct ClientSim {
     /// First dispatch time of the transaction currently being retried
     /// (client-perceived latency includes retries).
     attempt_started: Option<Nanos>,
+}
+
+/// One flow-level client cohort: every client of one region, advanced
+/// together by [`Event::CohortStep`] instead of one event per client
+/// ([`ClientEngine::Cohort`] at or above the activation threshold).
+struct Cohort {
+    /// The region whose clients this cohort aggregates.
+    region: RegionId,
+    /// Clients the cohort *could* activate (its share of the peak).
+    members: u32,
+    /// Currently active clients.
+    active: u32,
+    /// Representative workload stream (forked per cohort, so workload
+    /// draws are independent of every other deterministic stream).
+    gen: ClientGen,
+    /// Fractional transactions carried between steps, so the long-run
+    /// rate is exact despite integer per-step counts.
+    carry: f64,
+}
+
+/// One sampled representative transaction walk of a cohort step. The
+/// walk prices a full timeline through the real stations/logs exactly
+/// like a per-client transaction; the step handler then replays its
+/// outcome with an aggregate weight.
+enum CohortWalk {
+    /// The walk committed.
+    Commit {
+        /// Response time back at the client.
+        t_end: Nanos,
+        /// Granules the transaction touched (post-remap, deduped).
+        touched: Vec<u64>,
+        /// Commit participants (node indices, deduped).
+        participants: Vec<usize>,
+        /// Per-op CPU service charged, as `(node, service)` pairs — the
+        /// demand bulk-offered on behalf of the walk's weighted copies.
+        node_service: Vec<(usize, Nanos)>,
+    },
+    /// The walk aborted (misroute, NO_WAIT, or commit CAS conflict).
+    Abort {
+        /// When the abort is observed.
+        at: Nanos,
+        /// The abort consumed a metered coordination-service read
+        /// (misroute refresh on a service-backed deployment).
+        coord_read: bool,
+        /// The abort was a commit-time CAS conflict (counted as a
+        /// retry in the coordination-op breakdown).
+        cas_retry: bool,
+        /// Virtual time until the client would retry (the closed-loop
+        /// cycle this walk contributes to the step's mean).
+        cycle: Nanos,
+        /// CPU service charged before the abort (bulk-offered like the
+        /// commit arm's).
+        node_service: Vec<(usize, Nanos)>,
+    },
+}
+
+impl CohortWalk {
+    /// The closed-loop cycle time this walk observed: dispatch →
+    /// response for commits, dispatch → scheduled retry for aborts.
+    fn cycle(&self, now: Nanos) -> Nanos {
+        match self {
+            CohortWalk::Commit { t_end, .. } => t_end - now,
+            CohortWalk::Abort { cycle, .. } => *cycle,
+        }
+    }
+}
+
+/// Weighted p99 over `(latency, weight)` samples. With unit weights
+/// this reduces exactly to the historical `sorted[(len - 1) * 99 / 100]`
+/// index rule: the first sample whose cumulative weight exceeds
+/// `(total - 1) * 99 / 100` is the one at that index.
+fn weighted_p99(lat: &mut [(Nanos, u64)]) -> Nanos {
+    if lat.is_empty() {
+        return 0;
+    }
+    lat.sort_unstable();
+    let total: u64 = lat.iter().map(|&(_, w)| w).sum();
+    let target = total.saturating_sub(1) * 99 / 100;
+    let mut cum = 0u64;
+    for &(l, w) in lat.iter() {
+        cum += w;
+        if cum > target {
+            return l;
+        }
+    }
+    lat.last().map_or(0, |&(l, _)| l)
 }
 
 /// The external coordination service, if any.
@@ -577,6 +709,8 @@ impl PendingPlan {
 enum Event {
     /// A client dispatches its next transaction (or retries).
     ClientTxn { client: u32 },
+    /// A client cohort advances one flow-level step (cohort engine).
+    CohortStep { cohort: u32 },
     /// A migration worker thread picks up its next task.
     MigWorker { worker: u32 },
     /// A granule's proactive warm-up finished.
@@ -640,10 +774,19 @@ pub struct ClusterSim {
     /// Plans scheduled but not yet started (scale-out task lists are
     /// built when the plan fires; see [`PendingPlan`]).
     pending_plans: Vec<PendingPlan>,
+    /// Flow-level client cohorts (cohort engine only; empty otherwise).
+    cohorts: Vec<Cohort>,
+    /// Whether this run batches clients into cohorts. Decided once at
+    /// construction: `Cohort` runs below
+    /// [`SimParams::cohort_min_clients`] take the exact per-client path
+    /// and are bit-identical to `Exact`.
+    cohort_active: bool,
     /// Committed user transactions in the recent past: (commit time,
-    /// client-perceived latency, client region). Pruned to the
-    /// observation window.
-    recent_commits: std::collections::VecDeque<(Nanos, Nanos, u16)>,
+    /// client-perceived latency, client region, weight). The exact
+    /// engine records weight 1 per commit; the cohort engine records
+    /// one weighted entry per sampled walk. Pruned to the observation
+    /// window.
+    recent_commits: std::collections::VecDeque<(Nanos, Nanos, u16, u32)>,
     /// Committed user transactions per client region (the §6.5 per-region
     /// throughput split).
     region_commits: Vec<u64>,
@@ -652,9 +795,11 @@ pub struct ClusterSim {
     region_node_ns: Vec<f64>,
     /// Last time `region_node_ns` was brought current.
     region_accrued_at: Nanos,
-    /// Accesses per granule since the last observation (heat sampling for
-    /// the rebalance planner).
-    granule_hits: Vec<u32>,
+    /// Accesses per granule since the last observation (heat sampling
+    /// for the rebalance planner): exact counters, or a deterministic
+    /// count-min sketch when [`SimParams::heat_sketch`] is on and the
+    /// granule table is large enough.
+    heat: HeatTracker,
     /// Nodes being drained for scale-in.
     draining: Vec<u32>,
     /// Active network overlays from injected region faults:
@@ -791,34 +936,63 @@ impl ClusterSim {
             region_granules[r].push(g as u64);
         }
 
-        // Clients: one generator stream each, distributed over regions.
-        let client_sims: Vec<ClientSim> = (0..clients)
-            .map(|c| {
-                let gen = match workload {
-                    Workload::Ycsb { granules, zipfian } => ClientGen::Ycsb(YcsbGenerator::new(
-                        YcsbConfig {
-                            zipfian: *zipfian,
-                            ..YcsbConfig::paper_default(YcsbConfig::paper_layout(
-                                marlin_common::TableId(0),
-                                *granules,
-                            ))
-                        },
-                        rng.fork(1000 + u64::from(c)),
-                    )),
-                    Workload::Tpcc { warehouses } => ClientGen::Tpcc(TpccGenerator::new(
-                        TpccConfig::paper_default(*warehouses),
-                        rng.fork(1000 + u64::from(c)),
-                    )),
-                };
-                ClientSim {
+        // Engine selection happens once, here: a `Cohort` run below the
+        // activation threshold takes the exact per-client path and is
+        // bit-identical to `Exact` (the parity pin the §6 presets and
+        // the fuzz digest oracle rely on).
+        let cohort_active =
+            params.client_engine == ClientEngine::Cohort && clients >= params.cohort_min_clients;
+
+        let make_gen = |stream: DetRng| match workload {
+            Workload::Ycsb { granules, zipfian } => ClientGen::Ycsb(YcsbGenerator::new(
+                YcsbConfig {
+                    zipfian: *zipfian,
+                    ..YcsbConfig::paper_default(YcsbConfig::paper_layout(
+                        marlin_common::TableId(0),
+                        *granules,
+                    ))
+                },
+                stream,
+            )),
+            Workload::Tpcc { warehouses } => ClientGen::Tpcc(TpccGenerator::new(
+                TpccConfig::paper_default(*warehouses),
+                stream,
+            )),
+        };
+
+        // Clients: one generator stream each, distributed over regions —
+        // unless the cohort engine aggregates them, in which case no
+        // per-client state is materialized at all.
+        let client_sims: Vec<ClientSim> = if cohort_active {
+            Vec::new()
+        } else {
+            (0..clients)
+                .map(|c| ClientSim {
                     region: RegionId(c as u16 % regions),
-                    gen,
+                    gen: make_gen(rng.fork(1000 + u64::from(c))),
                     strikes: 0,
                     active: true,
                     attempt_started: None,
-                }
-            })
-            .collect();
+                })
+                .collect()
+        };
+        // Cohorts: one per region, sized by the same round-robin deal
+        // the exact engine uses (`client % regions`), with generator
+        // streams forked off a dedicated label.
+        let cohorts: Vec<Cohort> = if cohort_active {
+            let base = rng.fork(FORK_COHORT);
+            (0..regions)
+                .map(|r| Cohort {
+                    region: RegionId(r),
+                    members: interleaved_share(clients, u32::from(regions), u32::from(r)),
+                    active: interleaved_share(clients, u32::from(regions), u32::from(r)),
+                    gen: make_gen(base.fork(u64::from(r))),
+                    carry: 0.0,
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
 
         let backend = match kind {
             CoordKind::Marlin => CoordBackend::Marlin,
@@ -851,6 +1025,17 @@ impl ClusterSim {
             CoordBackend::Fdb(s) => s.hourly_rate(),
         };
 
+        // Heat-sketch seeding uses a *pure* fork: it consumes nothing
+        // from the main stream, so every exact-path RNG trajectory is
+        // unchanged whether or not the sketch is on.
+        let mut sketch_rng = rng.fork(FORK_SKETCH);
+        let heat = HeatTracker::new(
+            granule_count as usize,
+            params.heat_sketch,
+            params.sketch_min_granules,
+            &mut sketch_rng,
+        );
+
         let mut sim = ClusterSim {
             cost: CostModel::new(params.node_hourly, meta_hourly, initial_nodes),
             params,
@@ -872,11 +1057,13 @@ impl ClusterSim {
             membership_starts: Vec::new(),
             workers: Vec::new(),
             pending_plans: Vec::new(),
+            cohorts,
+            cohort_active,
             recent_commits: std::collections::VecDeque::new(),
             region_commits: vec![0; regions as usize],
             region_node_ns: vec![0.0; regions as usize],
             region_accrued_at: 0,
-            granule_hits: vec![0; granule_count as usize],
+            heat,
             draining: Vec::new(),
             net_overlays: Vec::new(),
             overlay_seq: 0,
@@ -889,11 +1076,21 @@ impl ClusterSim {
             horizon,
         };
         // Kick off the client loops (staggered within the first 100 ms so
-        // the closed loops don't phase-lock) and cost sampling.
-        for c in 0..clients {
-            let jitter = sim.rng.range(0, 100 * 1_000_000);
-            sim.queue
-                .schedule(jitter, ActorId(0), Event::ClientTxn { client: c });
+        // the closed loops don't phase-lock) and cost sampling. The
+        // cohort engine instead starts one step loop per cohort, phased
+        // across the step so region steps don't all land on one event.
+        if sim.cohort_active {
+            for r in 0..sim.cohorts.len() as u32 {
+                let phase = Self::COHORT_STEP * u64::from(r + 1) / sim.cohorts.len().max(1) as u64;
+                sim.queue
+                    .schedule(phase, ActorId(0), Event::CohortStep { cohort: r });
+            }
+        } else {
+            for c in 0..clients {
+                let jitter = sim.rng.range(0, 100 * 1_000_000);
+                sim.queue
+                    .schedule(jitter, ActorId(0), Event::ClientTxn { client: c });
+            }
         }
         sim.queue.schedule(SECOND, ActorId(0), Event::CostTick);
         sim.metrics.node_count.push(0, f64::from(initial_nodes));
@@ -910,6 +1107,34 @@ impl ClusterSim {
     #[must_use]
     pub fn cpu_model(&self) -> CpuModel {
         self.params.cpu_model
+    }
+
+    /// Which client engine this run was configured with.
+    #[must_use]
+    pub fn client_engine(&self) -> ClientEngine {
+        self.params.client_engine
+    }
+
+    /// Whether clients actually run as flow-level cohorts: `Cohort` at
+    /// or above [`SimParams::cohort_min_clients`]. Below the threshold
+    /// the run takes the exact per-client path (the parity pin).
+    #[must_use]
+    pub fn cohort_active(&self) -> bool {
+        self.cohort_active
+    }
+
+    /// Whether granule heat is tracked by the count-min sketch rather
+    /// than exact counters.
+    #[must_use]
+    pub fn heat_sketched(&self) -> bool {
+        self.heat.is_sketched()
+    }
+
+    /// Currently active clients (exact per-client state or cohort
+    /// aggregate, whichever engine runs).
+    #[must_use]
+    pub fn active_clients(&self) -> u32 {
+        self.active_clients
     }
 
     /// Live node count.
@@ -1150,16 +1375,20 @@ impl ClusterSim {
         );
         let prof = self.profiler.start();
         let cutoff = now.saturating_sub(window);
-        self.recent_commits.retain(|&(t, _, _)| t >= cutoff);
+        self.recent_commits.retain(|&(t, _, _, _)| t >= cutoff);
         let window_s = (window as f64 / SECOND as f64).max(1e-9);
-        let throughput_tps = self.recent_commits.len() as f64 / window_s;
-        let p99_latency = if self.recent_commits.is_empty() {
-            0
-        } else {
-            let mut lat: Vec<Nanos> = self.recent_commits.iter().map(|&(_, l, _)| l).collect();
-            lat.sort_unstable();
-            lat[(lat.len() - 1) * 99 / 100]
-        };
+        let total_weight: u64 = self
+            .recent_commits
+            .iter()
+            .map(|&(_, _, _, w)| u64::from(w))
+            .sum();
+        let throughput_tps = total_weight as f64 / window_s;
+        let mut lat: Vec<(Nanos, u64)> = self
+            .recent_commits
+            .iter()
+            .map(|&(_, l, _, w)| (l, u64::from(w)))
+            .collect();
+        let p99_latency = weighted_p99(&mut lat);
 
         // Per-node load and placement.
         let mut owned = vec![0u64; self.nodes.len()];
@@ -1218,25 +1447,20 @@ impl ClusterSim {
         };
 
         // Hottest granules since the last observation; counters reset so
-        // each observation sees one window's heat.
-        let mut hot: Vec<(u32, u64)> = self
-            .granule_hits
-            .iter()
-            .enumerate()
-            .filter(|(_, &h)| h > 0)
-            .map(|(g, &h)| (h, g as u64))
-            .collect();
-        hot.sort_unstable_by(|a, b| b.cmp(a));
-        hot.truncate(Self::OBSERVED_HOT_GRANULES);
-        let granule_loads: Vec<GranuleLoad> = hot
+        // each observation sees one window's heat. The tracker's exact
+        // mode reproduces the historical scan (same sort, same ties);
+        // sketch mode estimates over its candidate set.
+        let granule_loads: Vec<GranuleLoad> = self
+            .heat
+            .hottest(Self::OBSERVED_HOT_GRANULES)
             .into_iter()
-            .map(|(hits, g)| GranuleLoad {
-                granule: GranuleId(g),
-                owner: NodeId(self.granules[g as usize].owner),
+            .map(|(g, hits)| GranuleLoad {
+                granule: GranuleId(g as u64),
+                owner: NodeId(self.granules[g].owner),
                 load: f64::from(hits),
             })
             .collect();
-        self.granule_hits.iter_mut().for_each(|h| *h = 0);
+        self.heat.reset();
 
         let mut obs = Observation {
             at: now,
@@ -1259,19 +1483,14 @@ impl ClusterSim {
         obs.derive_region_loads();
         let meta_hourly = self.cost.meta_hourly();
         for r in &mut obs.region_loads {
-            let mut lat: Vec<Nanos> = self
+            let mut lat: Vec<(Nanos, u64)> = self
                 .recent_commits
                 .iter()
-                .filter(|&&(_, _, creg)| creg == r.region.0)
-                .map(|&(_, l, _)| l)
+                .filter(|&&(_, _, creg, _)| creg == r.region.0)
+                .map(|&(_, l, _, w)| (l, u64::from(w)))
                 .collect();
-            r.throughput_tps = lat.len() as f64 / window_s;
-            r.p99_latency = if lat.is_empty() {
-                0
-            } else {
-                lat.sort_unstable();
-                lat[(lat.len() - 1) * 99 / 100]
-            };
+            r.throughput_tps = lat.iter().map(|&(_, w)| w).sum::<u64>() as f64 / window_s;
+            r.p99_latency = weighted_p99(&mut lat);
             r.dollars_per_hour = f64::from(r.live_nodes) * self.params.node_hourly
                 + if r.region.0 == 0 { meta_hourly } else { 0.0 };
             let region_queues: Vec<f64> = measured_queues
@@ -1453,6 +1672,13 @@ impl ClusterSim {
     }
 
     fn apply_region_clients(&mut self, region: u16, count: u32) {
+        if self.cohort_active {
+            if let Some(cohort) = self.cohorts.iter_mut().find(|c| c.region.0 == region) {
+                cohort.active = count.min(cohort.members);
+            }
+            self.active_clients = self.cohorts.iter().map(|c| c.active).sum();
+            return;
+        }
         let regions = self.params.regions.regions() as u32;
         for (i, c) in self.clients.iter_mut().enumerate() {
             if c.region.0 != region {
@@ -1730,6 +1956,7 @@ impl ClusterSim {
     fn phase_of(ev: &Event) -> &'static str {
         match ev {
             Event::ClientTxn { .. } => "event:client_txn",
+            Event::CohortStep { .. } => "event:cohort_step",
             Event::MigWorker { .. } => "event:mig_worker",
             Event::WarmupDone { .. } => "event:warmup",
             Event::RouteUpdate { .. } => "event:route_update",
@@ -1749,6 +1976,7 @@ impl ClusterSim {
         self.profiler.count_event();
         match ev {
             Event::ClientTxn { client } => self.handle_client_txn(now, client),
+            Event::CohortStep { cohort } => self.handle_cohort_step(now, cohort),
             Event::MigWorker { worker } => self.handle_mig_worker(now, worker),
             Event::WarmupDone { granule } => {
                 self.granules[granule as usize].cold_left = 0;
@@ -1771,13 +1999,28 @@ impl ClusterSim {
             }
             Event::MembershipTick { member } => self.handle_membership(now, member),
             Event::SetClients { count } => {
-                self.active_clients = count.min(self.clients.len() as u32);
-                for (i, c) in self.clients.iter_mut().enumerate() {
-                    let was = c.active;
-                    c.active = (i as u32) < self.active_clients;
-                    if !was && c.active {
-                        self.queue
-                            .schedule(0, ActorId(0), Event::ClientTxn { client: i as u32 });
+                if self.cohort_active {
+                    // The round-robin deal means the first `count`
+                    // clients split over regions exactly as
+                    // `interleaved_share` computes.
+                    let capacity: u32 = self.cohorts.iter().map(|c| c.members).sum();
+                    self.active_clients = count.min(capacity);
+                    let groups = self.cohorts.len() as u32;
+                    for (r, cohort) in self.cohorts.iter_mut().enumerate() {
+                        cohort.active = interleaved_share(self.active_clients, groups, r as u32);
+                    }
+                } else {
+                    self.active_clients = count.min(self.clients.len() as u32);
+                    for (i, c) in self.clients.iter_mut().enumerate() {
+                        let was = c.active;
+                        c.active = (i as u32) < self.active_clients;
+                        if !was && c.active {
+                            self.queue.schedule(
+                                0,
+                                ActorId(0),
+                                Event::ClientTxn { client: i as u32 },
+                            );
+                        }
                     }
                 }
             }
@@ -2068,28 +2311,282 @@ impl ClusterSim {
         for &g in &touched {
             let gran = &mut self.granules[g as usize];
             gran.busy_until = gran.busy_until.max(t_end);
-            self.granule_hits[g as usize] += 1;
+            self.heat.record(g as usize, 1);
         }
         self.metrics.commit(t_end, t_end - started);
         self.recent_commits
-            .push_back((t_end, t_end - started, client_region.0));
+            .push_back((t_end, t_end - started, client_region.0, 1));
         self.region_commits[client_region.0 as usize] += 1;
-        // Keep the window bounded here, not only in observe(): scripted
-        // scenarios and the figure benches never observe, and a
-        // paper-scale run commits tens of millions of transactions.
-        let floor = t_end.saturating_sub(Self::MAX_OBSERVE_WINDOW);
-        while self
-            .recent_commits
-            .front()
-            .is_some_and(|&(t, _, _)| t < floor)
-        {
-            self.recent_commits.pop_front();
-        }
+        self.prune_recent_commits(t_end);
         self.clients[c].strikes = 0;
         self.clients[c].attempt_started = None;
         // Closed loop: next transaction immediately after the response.
         self.queue
             .schedule_at(t_end, ActorId(0), Event::ClientTxn { client });
+    }
+
+    /// Keep the commit window bounded here, not only in observe():
+    /// scripted scenarios and the figure benches never observe, and a
+    /// paper-scale run commits tens of millions of transactions.
+    fn prune_recent_commits(&mut self, latest: Nanos) {
+        let floor = latest.saturating_sub(Self::MAX_OBSERVE_WINDOW);
+        while self
+            .recent_commits
+            .front()
+            .is_some_and(|&(t, _, _, _)| t < floor)
+        {
+            self.recent_commits.pop_front();
+        }
+    }
+
+    /// Cohort step cadence: each cohort advances its whole client batch
+    /// once per 100 ms of virtual time.
+    const COHORT_STEP: Nanos = 100 * 1_000_000;
+
+    /// Representative transaction walks priced per cohort step. Each
+    /// walk runs the exact per-client timeline (same stations, same
+    /// logs); the batch's remaining transactions ride the walks as
+    /// weights.
+    const COHORT_SAMPLES: u32 = 8;
+
+    /// Advance one cohort by a full step: price [`COHORT_SAMPLES`]
+    /// representative walks, derive the step's transaction count from
+    /// the closed-loop rate (`active clients × step / mean cycle`, with
+    /// a fractional carry so the long-run rate is exact), then replay
+    /// each walk's outcome with its share of that count — weighted
+    /// metrics, weighted heat, and bulk offered-load deposits on the
+    /// stations the walk visited.
+    ///
+    /// [`COHORT_SAMPLES`]: Self::COHORT_SAMPLES
+    fn handle_cohort_step(&mut self, now: Nanos, cohort: u32) {
+        self.queue
+            .schedule(Self::COHORT_STEP, ActorId(0), Event::CohortStep { cohort });
+        let i = cohort as usize;
+        let active = self.cohorts[i].active;
+        if active == 0 {
+            self.cohorts[i].carry = 0.0;
+            return;
+        }
+        let region = self.cohorts[i].region;
+
+        let walks: Vec<CohortWalk> = (0..Self::COHORT_SAMPLES)
+            .map(|_| self.cohort_walk(now, i, region))
+            .collect();
+        let mean_cycle =
+            (walks.iter().map(|w| w.cycle(now) as f64).sum::<f64>() / walks.len() as f64).max(1.0);
+        let offered =
+            f64::from(active) * (Self::COHORT_STEP as f64 / mean_cycle) + self.cohorts[i].carry;
+        let txns = offered.floor();
+        self.cohorts[i].carry = offered - txns;
+        let txns = txns as u64;
+        let base = txns / u64::from(Self::COHORT_SAMPLES);
+        let rem = (txns % u64::from(Self::COHORT_SAMPLES)) as usize;
+
+        let mut latest_commit = 0;
+        for (s, walk) in walks.iter().enumerate() {
+            let w = base + u64::from(s < rem);
+            if w == 0 {
+                continue;
+            }
+            match walk {
+                CohortWalk::Commit {
+                    t_end,
+                    touched,
+                    participants,
+                    node_service,
+                } => {
+                    let latency = t_end - now;
+                    self.metrics.commit_n(*t_end, latency, w);
+                    self.metrics.coord.commit_cas_attempts += w * participants.len() as u64;
+                    // Weight entries saturate at u32::MAX per sample —
+                    // ~4 billion commits in one 100 ms step is beyond
+                    // any modeled scale.
+                    let w32 = u32::try_from(w).unwrap_or(u32::MAX);
+                    self.recent_commits
+                        .push_back((*t_end, latency, region.0, w32));
+                    self.region_commits[region.0 as usize] += w;
+                    for &g in touched {
+                        let gran = &mut self.granules[g as usize];
+                        gran.busy_until = gran.busy_until.max(*t_end);
+                        self.heat.record(g as usize, w32);
+                    }
+                    if w > 1 {
+                        for &(n, svc) in node_service {
+                            self.nodes[n].cpu.offer(now, svc.saturating_mul(w - 1));
+                        }
+                        let append = self.params.append_service;
+                        for &p in participants {
+                            self.nodes[p]
+                                .append_station
+                                .offer(now, append.saturating_mul(w - 1));
+                        }
+                    }
+                    latest_commit = latest_commit.max(*t_end);
+                }
+                CohortWalk::Abort {
+                    at,
+                    coord_read,
+                    cas_retry,
+                    node_service,
+                    ..
+                } => {
+                    self.metrics.abort_n(*at, w);
+                    if *coord_read {
+                        self.metrics.coord.service_reads += w;
+                    }
+                    if *cas_retry {
+                        self.metrics.coord.commit_cas_attempts += w;
+                        self.metrics.coord.commit_cas_retries += w;
+                    }
+                    if w > 1 {
+                        for &(n, svc) in node_service {
+                            self.nodes[n].cpu.offer(now, svc.saturating_mul(w - 1));
+                        }
+                    }
+                }
+            }
+        }
+        if latest_commit > 0 {
+            self.prune_recent_commits(latest_commit);
+        }
+    }
+
+    /// Price one representative transaction for a cohort: the exact
+    /// per-client timeline (routing, NO_WAIT, per-op hops and CPU
+    /// charges, group commit, real GLog CAS appends) without per-client
+    /// state. Strikes don't exist at cohort granularity, so retry
+    /// backoff uses the first-strike floor.
+    fn cohort_walk(&mut self, now: Nanos, cohort: usize, region: RegionId) -> CohortWalk {
+        let template = self.cohorts[cohort].gen.next_txn();
+        let (mut anchor_granule, mut touched) = self.granules_of(&template);
+        // Geo deployment: same remap as the exact engine (see
+        // `handle_client_txn`).
+        let remap = (self.region_granules.len() > 1
+            && !self.region_granules[region.0 as usize].is_empty())
+        .then(|| {
+            let local = &self.region_granules[region.0 as usize];
+            // marlin-lint: allow(no-hash-collections, lookup-only: built per walk, indexed by granule id, never iterated)
+            let map: std::collections::HashMap<u64, u64> = touched
+                .iter()
+                .map(|&g| (g, local[(g % local.len() as u64) as usize]))
+                .collect();
+            anchor_granule = map[&anchor_granule];
+            for g in &mut touched {
+                *g = map[g];
+            }
+            touched.sort_unstable();
+            touched.dedup();
+            map
+        });
+        let ag = anchor_granule as usize;
+
+        let route = self.routes[ag];
+        let owner = self.granules[ag].owner;
+        if route != owner {
+            let rtt = 2 * self.one_way(region, self.nodes[route as usize].region);
+            self.routes[ag] = owner;
+            let delay = rtt + self.backoff(0);
+            return CohortWalk::Abort {
+                at: now,
+                coord_read: !matches!(self.backend, CoordBackend::Marlin),
+                cas_retry: false,
+                cycle: delay,
+                node_service: Vec::new(),
+            };
+        }
+        if touched.iter().any(|&g| self.granules[g as usize].migrating) {
+            let rtt = 2 * self.one_way(region, self.nodes[owner as usize].region);
+            let delay = rtt + self.backoff(0);
+            return CohortWalk::Abort {
+                at: now,
+                coord_read: false,
+                cas_retry: false,
+                cycle: delay,
+                node_service: Vec::new(),
+            };
+        }
+
+        let home = owner as usize;
+        let home_region = self.nodes[home].region;
+        let mut t = now;
+        let mut node_service: Vec<(usize, Nanos)> = Vec::with_capacity(template.ops.len());
+        for op in &template.ops {
+            let mut g = self.granule_of_key(&template, op.key);
+            if let Some(map) = &remap {
+                g = map[&g];
+            }
+            let g = g as usize;
+            let serve_node = self.granules[g].owner as usize;
+            t += self.one_way(region, home_region);
+            if serve_node != home {
+                t += self.one_way(home_region, self.nodes[serve_node].region);
+            }
+            let service = self.jittered(self.params.req_service);
+            node_service.push((serve_node, service));
+            t += self.nodes[serve_node].cpu.charge(now, t, service);
+            if self.granules[g].cold_left > 0 {
+                t += self.params.storage_rtt + self.jittered(self.params.get_page_service);
+                self.granules[g].cold_left -= 1;
+            }
+            if serve_node != home {
+                t += self.one_way(self.nodes[serve_node].region, home_region);
+            }
+            t += self.one_way(home_region, region);
+        }
+
+        t += self.jittered(self.params.group_commit_wait);
+        let participants: Vec<usize> = {
+            let mut p: Vec<usize> = touched
+                .iter()
+                .map(|&g| self.granules[g as usize].owner as usize)
+                .collect();
+            p.sort_unstable();
+            p.dedup();
+            p
+        };
+        if participants.len() > 1 {
+            t += 2 * self.one_way(home_region, self.nodes[participants[1]].region);
+        }
+        let mut commit_done = t;
+        let mut cas_failed = false;
+        for &p in &participants {
+            let expected = self.nodes[p].tracker.get(LogId::GLog(NodeId(p as u32)));
+            match self.nodes[p]
+                .glog
+                .conditional_append(vec![Bytes::new()], expected)
+            {
+                Ok(out) => {
+                    self.nodes[p]
+                        .tracker
+                        .observe(LogId::GLog(NodeId(p as u32)), out.new_lsn);
+                }
+                Err(StorageError::LsnMismatch { current, .. }) => {
+                    self.nodes[p]
+                        .tracker
+                        .observe(LogId::GLog(NodeId(p as u32)), current);
+                    cas_failed = true;
+                }
+                Err(_) => cas_failed = true,
+            }
+            commit_done = commit_done.max(self.storage_append_done(p, t));
+        }
+        if cas_failed {
+            let delay = (commit_done - now) + self.backoff(0);
+            return CohortWalk::Abort {
+                at: commit_done,
+                coord_read: false,
+                cas_retry: true,
+                cycle: delay,
+                node_service,
+            };
+        }
+        let t_end = commit_done + self.one_way(home_region, region);
+        CohortWalk::Commit {
+            t_end,
+            touched,
+            participants,
+            node_service,
+        }
     }
 
     fn granules_of(&self, template: &TxnTemplate) -> (u64, Vec<u64>) {

@@ -14,6 +14,7 @@ pub mod metrics;
 pub mod queue;
 pub mod rng;
 pub mod server;
+pub mod sketch;
 pub mod time;
 
 pub use latency::{LatencyModel, RegionMatrix};
@@ -21,4 +22,5 @@ pub use metrics::{Histogram, RateSeries, Summary, TimeSeries};
 pub use queue::{ActorId, EventQueue, ScheduledEvent};
 pub use rng::DetRng;
 pub use server::QueueServer;
+pub use sketch::{CountMinSketch, HeatTracker};
 pub use time::{Nanos, MICROSECOND, MILLISECOND, SECOND};

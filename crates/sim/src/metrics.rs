@@ -184,9 +184,22 @@ impl Histogram {
 
     /// Record one latency observation.
     pub fn record(&mut self, v: Nanos) {
-        self.counts[bucket_of(v)] += 1;
-        self.total += 1;
-        self.sum += u128::from(v);
+        self.record_n(v, 1);
+    }
+
+    /// Record `n` identical observations of `v` in one call.
+    ///
+    /// Arithmetic is exactly `n` repetitions of [`Histogram::record`] —
+    /// the cohort client engine uses this to fold a whole batch of
+    /// equal-latency commits into one update without changing any
+    /// derived statistic.
+    pub fn record_n(&mut self, v: Nanos, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_of(v)] += n;
+        self.total += n;
+        self.sum += u128::from(v) * u128::from(n);
         self.max = self.max.max(v);
         self.min = self.min.min(v);
     }

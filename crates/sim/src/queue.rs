@@ -1,10 +1,36 @@
-//! The event calendar: a priority queue of `(time, actor, message)` entries.
+//! The event calendar: a two-tier ring-bucket queue of `(time, actor,
+//! message)` entries.
 //!
 //! The queue is generic over the message type so protocol crates can define
 //! their own message enums. Determinism is guaranteed by breaking timestamp
 //! ties with a monotonically increasing sequence number: two events scheduled
 //! for the same instant are delivered in scheduling order, independent of
-//! heap internals.
+//! container internals.
+//!
+//! # Structure
+//!
+//! Earlier versions used a single `BinaryHeap`, which at million-client
+//! scale spends its time on `O(log n)` sift operations and allocator
+//! churn. This version is a classic calendar queue with an overflow tier:
+//!
+//! - a **ring** of `RING_BUCKETS` time buckets, each `BUCKET_WIDTH`
+//!   virtual nanoseconds wide, covering the window starting at the
+//!   current time. Each bucket is a `Vec` kept sorted by `(at, seq)`
+//!   descending, so the next event pops from the back in O(1). Bucket
+//!   vectors are reused across laps (capacity is retained), so the
+//!   steady-state hot path allocates nothing.
+//! - an **occupancy bitmap** (one bit per bucket) so finding the next
+//!   non-empty bucket is a handful of `trailing_zeros` scans instead of
+//!   a linear walk.
+//! - an **overflow** `BinaryHeap` for events scheduled beyond the ring
+//!   window. Overflow entries migrate into the ring lazily as virtual
+//!   time advances.
+//!
+//! All ring entries are strictly earlier than all (migrated-invariant
+//! respecting) overflow entries, and equal-timestamp entries always land
+//! in the same bucket, so the pop order is the exact `(at, seq)` total
+//! order of the historical heap — the property suite pins this against a
+//! reference `BinaryHeap` implementation.
 
 use crate::time::Nanos;
 use std::cmp::Ordering;
@@ -26,6 +52,20 @@ pub struct ScheduledEvent<M> {
     pub dest: ActorId,
     /// The message payload.
     pub msg: M,
+}
+
+/// log2 of the bucket width: 2^21 ns ≈ 2.1 ms per bucket.
+const BUCKET_SHIFT: u32 = 21;
+/// Virtual width of one ring bucket in nanoseconds.
+const BUCKET_WIDTH: Nanos = 1 << BUCKET_SHIFT;
+/// Ring size (power of two): 2048 buckets ≈ 4.3 s of lookahead.
+const RING_BUCKETS: usize = 2048;
+/// Words in the occupancy bitmap.
+const RING_WORDS: usize = RING_BUCKETS / 64;
+
+/// Absolute bucket index of a timestamp.
+fn bucket_of(at: Nanos) -> u64 {
+    at / BUCKET_WIDTH
 }
 
 struct Entry<M> {
@@ -60,10 +100,17 @@ impl<M> Ord for Entry<M> {
 
 /// A deterministic discrete-event queue.
 pub struct EventQueue<M> {
-    heap: BinaryHeap<Entry<M>>,
+    /// Ring buckets, indexed by `bucket % RING_BUCKETS`. Each bucket is
+    /// sorted by `(at, seq)` descending so the minimum pops from the back.
+    ring: Vec<Vec<Entry<M>>>,
+    /// One occupancy bit per ring bucket.
+    occupied: [u64; RING_WORDS],
+    /// Events beyond the ring window, migrated in lazily.
+    overflow: BinaryHeap<Entry<M>>,
     now: Nanos,
     seq: u64,
     delivered: u64,
+    pending: usize,
 }
 
 impl<M> Default for EventQueue<M> {
@@ -77,10 +124,13 @@ impl<M> EventQueue<M> {
     #[must_use]
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            ring: (0..RING_BUCKETS).map(|_| Vec::new()).collect(),
+            occupied: [0; RING_WORDS],
+            overflow: BinaryHeap::new(),
             now: 0,
             seq: 0,
             delivered: 0,
+            pending: 0,
         }
     }
 
@@ -99,7 +149,7 @@ impl<M> EventQueue<M> {
     /// Number of events still pending.
     #[must_use]
     pub fn pending(&self) -> usize {
-        self.heap.len()
+        self.pending
     }
 
     /// Schedule `msg` for delivery to `dest` after `delay` virtual time.
@@ -115,15 +165,82 @@ impl<M> EventQueue<M> {
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { at, seq, dest, msg });
+        self.pending += 1;
+        let e = Entry { at, seq, dest, msg };
+        if bucket_of(at) < bucket_of(self.now) + RING_BUCKETS as u64 {
+            self.ring_insert(e);
+        } else {
+            self.overflow.push(e);
+        }
+    }
+
+    /// Insert into the ring bucket for `e.at`, keeping the bucket sorted
+    /// by `(at, seq)` descending.
+    fn ring_insert(&mut self, e: Entry<M>) {
+        let slot = (bucket_of(e.at) as usize) & (RING_BUCKETS - 1);
+        let bucket = &mut self.ring[slot];
+        let pos = bucket.partition_point(|x| (x.at, x.seq) > (e.at, e.seq));
+        bucket.insert(pos, e);
+        self.occupied[slot / 64] |= 1 << (slot % 64);
+    }
+
+    /// Move every overflow entry whose bucket has entered the ring window
+    /// into the ring. Called before popping so the ring-before-overflow
+    /// time ordering invariant holds at the current window position.
+    fn migrate(&mut self) {
+        let horizon = bucket_of(self.now) + RING_BUCKETS as u64;
+        while self
+            .overflow
+            .peek()
+            .is_some_and(|head| bucket_of(head.at) < horizon)
+        {
+            let Some(e) = self.overflow.pop() else { break };
+            self.ring_insert(e);
+        }
+    }
+
+    /// First occupied ring slot at or (circularly) after `start`, in
+    /// window order.
+    fn first_occupied(&self, start: usize) -> Option<usize> {
+        let mut word = start / 64;
+        let mut mask = !0u64 << (start % 64);
+        // One extra iteration re-covers the starting word's low bits,
+        // which map to the far end of the window.
+        for _ in 0..=RING_WORDS {
+            let bits = self.occupied[word] & mask;
+            if bits != 0 {
+                return Some(word * 64 + bits.trailing_zeros() as usize);
+            }
+            mask = !0;
+            word = (word + 1) % RING_WORDS;
+        }
+        None
     }
 
     /// Pop the next event, advancing virtual time to its timestamp.
     pub fn pop(&mut self) -> Option<ScheduledEvent<M>> {
-        let e = self.heap.pop()?;
+        if self.pending == 0 {
+            return None;
+        }
+        self.migrate();
+        let start = (bucket_of(self.now) as usize) & (RING_BUCKETS - 1);
+        let from_ring = self.first_occupied(start).and_then(|slot| {
+            let bucket = &mut self.ring[slot];
+            let e = bucket.pop();
+            if bucket.is_empty() {
+                self.occupied[slot / 64] &= !(1 << (slot % 64));
+            }
+            e
+        });
+        let e = match from_ring {
+            Some(e) => e,
+            // Ring empty: the next event is beyond the window.
+            None => self.overflow.pop()?,
+        };
         debug_assert!(e.at >= self.now, "event queue time went backwards");
         self.now = e.at;
         self.delivered += 1;
+        self.pending -= 1;
         Some(ScheduledEvent {
             at: e.at,
             dest: e.dest,
@@ -134,7 +251,16 @@ impl<M> EventQueue<M> {
     /// Peek at the timestamp of the next event without popping.
     #[must_use]
     pub fn next_time(&self) -> Option<Nanos> {
-        self.heap.peek().map(|e| e.at)
+        let start = (bucket_of(self.now) as usize) & (RING_BUCKETS - 1);
+        let ring_min = self
+            .first_occupied(start)
+            .and_then(|slot| self.ring[slot].last())
+            .map(|e| e.at);
+        let overflow_min = self.overflow.peek().map(|e| e.at);
+        match (ring_min, overflow_min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 }
 
@@ -187,6 +313,73 @@ mod tests {
         assert_eq!(q.next_time(), Some(15));
     }
 
+    #[test]
+    fn overflow_events_migrate_into_the_ring() {
+        let mut q = EventQueue::new();
+        // Far beyond the ring window: lands in overflow.
+        let far = BUCKET_WIDTH * (RING_BUCKETS as u64) * 3 + 17;
+        q.schedule_at(far, ActorId(0), "far");
+        q.schedule_at(5, ActorId(0), "near");
+        assert_eq!(q.next_time(), Some(5));
+        assert_eq!(q.pop().unwrap().msg, "near");
+        assert_eq!(q.next_time(), Some(far));
+        // After popping "near", scheduling between now and `far` still
+        // pops in time order even though `far` sits in overflow.
+        q.schedule_at(far - 1, ActorId(0), "just-before");
+        assert_eq!(q.pop().unwrap().msg, "just-before");
+        assert_eq!(q.pop().unwrap().msg, "far");
+        assert_eq!(q.now(), far);
+        assert!(q.pop().is_none());
+        assert_eq!(q.pending(), 0);
+    }
+
+    #[test]
+    fn equal_times_across_tiers_preserve_scheduling_order() {
+        let mut q = EventQueue::new();
+        let t = BUCKET_WIDTH * (RING_BUCKETS as u64) + 100; // overflow at t=0
+        q.schedule_at(t, ActorId(0), 0);
+        // Advance time so `t` enters the ring window, then schedule a
+        // second event at the same instant (ring tier this time).
+        q.schedule_at(t - BUCKET_WIDTH, ActorId(0), 99);
+        assert_eq!(q.pop().unwrap().msg, 99);
+        q.schedule_at(t, ActorId(0), 1);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.msg).collect();
+        assert_eq!(order, vec![0, 1]);
+    }
+
+    /// Reference implementation: the historical single-`BinaryHeap` queue.
+    struct RefQueue {
+        heap: BinaryHeap<Entry<usize>>,
+        now: Nanos,
+        seq: u64,
+    }
+
+    impl RefQueue {
+        fn new() -> Self {
+            RefQueue {
+                heap: BinaryHeap::new(),
+                now: 0,
+                seq: 0,
+            }
+        }
+        fn schedule_at(&mut self, at: Nanos, msg: usize) {
+            let at = at.max(self.now);
+            let seq = self.seq;
+            self.seq += 1;
+            self.heap.push(Entry {
+                at,
+                seq,
+                dest: ActorId(0),
+                msg,
+            });
+        }
+        fn pop(&mut self) -> Option<(Nanos, usize)> {
+            let e = self.heap.pop()?;
+            self.now = e.at;
+            Some((e.at, e.msg))
+        }
+    }
+
     proptest! {
         /// Pop order is always non-decreasing in time, regardless of the
         /// insertion pattern, and every event is delivered exactly once.
@@ -204,6 +397,41 @@ mod tests {
                 count += 1;
             }
             prop_assert_eq!(count, delays.len());
+        }
+
+        /// The ring/overflow queue pops the exact `(at, seq)` order of the
+        /// reference heap under interleaved schedule/pop traffic that
+        /// crosses bucket and window boundaries.
+        #[test]
+        fn matches_reference_heap(
+            ops in proptest::collection::vec(
+                (0u64..(BUCKET_WIDTH * RING_BUCKETS as u64 * 2), 0u8..4),
+                1..300,
+            ),
+        ) {
+            let mut q = EventQueue::new();
+            let mut r = RefQueue::new();
+            let mut id = 0usize;
+            for (at, kind) in ops {
+                if kind == 0 {
+                    // Interleave pops with schedules.
+                    let a = q.pop().map(|e| (e.at, e.msg));
+                    let b = r.pop();
+                    prop_assert_eq!(a, b);
+                } else {
+                    q.schedule_at(at, ActorId(0), id);
+                    r.schedule_at(at, id);
+                    id += 1;
+                }
+            }
+            loop {
+                let a = q.pop().map(|e| (e.at, e.msg));
+                let b = r.pop();
+                prop_assert_eq!(a, b);
+                if b.is_none() {
+                    break;
+                }
+            }
         }
     }
 }

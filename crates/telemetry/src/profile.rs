@@ -30,6 +30,15 @@ pub struct ProfileSummary {
     pub queue_depth_max: u64,
 }
 
+impl ProfileSummary {
+    /// The stat recorded under `name`, if that phase ever ran — e.g.
+    /// `"event:cohort_step"` to see what the cohort scale engine cost.
+    #[must_use]
+    pub fn phase(&self, name: &str) -> Option<&PhaseStat> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+}
+
 /// Wall-clock profiler. Disabled profilers never call `Instant::now`,
 /// so the hot path pays one branch per instrumentation point.
 #[derive(Debug)]
@@ -213,5 +222,7 @@ mod tests {
         );
         assert!((s.queue_depth_mean - 6.0).abs() < 1e-9);
         assert_eq!(s.queue_depth_max, 8);
+        assert_eq!(s.phase("b_phase").map(|p| p.calls), Some(3));
+        assert!(s.phase("missing").is_none());
     }
 }

@@ -28,6 +28,6 @@ pub mod zipf;
 
 pub use access::{AccessOp, TxnTemplate};
 pub use tpcc::{TpccConfig, TpccGenerator, TpccTxnKind};
-pub use trace::LoadTrace;
+pub use trace::{interleaved_share, LoadTrace};
 pub use ycsb::{YcsbConfig, YcsbGenerator};
 pub use zipf::ZipfSampler;

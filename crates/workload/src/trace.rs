@@ -168,9 +168,40 @@ impl LoadTrace {
     }
 }
 
+/// How many of the first `count` round-robin-assigned clients land in
+/// group `group` out of `groups`.
+///
+/// The cluster runners deal clients to regions by `client % regions`
+/// and activate the first `count` of them; this is the closed form of
+/// that interleaving, used by the cohort client engine to size each
+/// region's cohort without materializing per-client state. For any
+/// `count`, summing over all groups returns exactly `count`.
+#[must_use]
+pub fn interleaved_share(count: u32, groups: u32, group: u32) -> u32 {
+    assert!(group < groups, "group index out of range");
+    count / groups + u32::from(count % groups > group)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn interleaved_share_partitions_exactly() {
+        for groups in 1..6u32 {
+            for count in 0..50u32 {
+                let total: u32 = (0..groups)
+                    .map(|g| interleaved_share(count, groups, g))
+                    .sum();
+                assert_eq!(total, count);
+                // The closed form matches the definitional count.
+                for g in 0..groups {
+                    let direct = (0..count).filter(|c| c % groups == g).count() as u32;
+                    assert_eq!(interleaved_share(count, groups, g), direct);
+                }
+            }
+        }
+    }
 
     #[test]
     fn spike_steps_up_and_down() {

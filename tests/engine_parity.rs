@@ -1,0 +1,230 @@
+//! Client-engine parity: `Exact` vs `Cohort` on every §6 preset.
+//!
+//! The cohort scale engine is opt-in (`SimParams::client_engine`) and
+//! **parity-pinned**: below `cohort_min_clients` (default 10,000 — above
+//! every §6 preset's peak) a `Cohort` run routes through the literal
+//! exact per-client path, so its decision log and full report digest
+//! must be *bit-identical* to an `Exact` run of the same scenario. That
+//! pin is what lets the fuzz swarm sample the engine freely without
+//! forking its digest corpus, and what keeps the historical §6 digests
+//! authoritative.
+//!
+//! The file also pins the two approximating components when they *are*
+//! active: the count-min heat sketch must produce the same rebalance
+//! plan as the exact heat vector on the skewed-access preset, and the
+//! aggregate cohort path (forced on by `cohort_min_clients(0)`) must
+//! still drive the closed autoscaling loop sensibly.
+
+use marlin::cluster::harness::{run, RunReport, Scenario, SimRunner};
+use marlin::cluster::params::{ClientEngine, CoordKind, CpuModel};
+use marlin::fuzz::report_digest;
+use marlin::sim::SECOND;
+
+/// Run `make()`'s scenario once per engine and return both reports,
+/// asserting the cohort leg actually took the pinned exact path.
+fn parity_pair(make: impl Fn() -> Scenario) -> (RunReport, RunReport) {
+    let exact_s = make().client_engine(ClientEngine::Exact);
+    let mut exact_r = SimRunner::new(&exact_s);
+    let exact = run(exact_s, &mut exact_r);
+
+    let cohort_s = make().client_engine(ClientEngine::Cohort);
+    let mut cohort_r = SimRunner::new(&cohort_s);
+    assert!(
+        !cohort_r.sim().cohort_active(),
+        "§6 presets sit below the activation threshold — the parity pin"
+    );
+    let cohort = run(cohort_s, &mut cohort_r);
+    (exact, cohort)
+}
+
+/// The parity oracle: identical decision logs, identical report digests
+/// (FNV over the full JSON with wall-clock actuation times zeroed).
+fn assert_parity(name: &str, make: impl Fn() -> Scenario) {
+    let (exact, cohort) = parity_pair(make);
+    assert_eq!(
+        exact.decision_signature(),
+        cohort.decision_signature(),
+        "{name}: decision logs diverge across engines"
+    );
+    assert_eq!(
+        report_digest(&exact),
+        report_digest(&cohort),
+        "{name}: report digests diverge across engines"
+    );
+}
+
+#[test]
+fn ycsb_scale_out_is_engine_invariant() {
+    assert_parity("ycsb_scale_out", || {
+        Scenario::ycsb_scale_out(CoordKind::Marlin, 10)
+    });
+}
+
+#[test]
+fn tpcc_scale_out_is_engine_invariant() {
+    assert_parity("tpcc_scale_out", || {
+        Scenario::tpcc_scale_out(CoordKind::Marlin, 10)
+    });
+}
+
+#[test]
+fn sweep_point_is_engine_invariant() {
+    assert_parity("sweep_point", || {
+        Scenario::sweep_point(CoordKind::Fdb, 2, 10)
+    });
+}
+
+#[test]
+fn dynamic_burst_is_engine_invariant() {
+    assert_parity("dynamic_burst", || {
+        Scenario::dynamic_burst(CoordKind::ZkSmall, 10)
+    });
+}
+
+#[test]
+fn membership_is_engine_invariant() {
+    assert_parity("membership", || {
+        Scenario::membership(CoordKind::Marlin, 8, 5 * SECOND, 20 * SECOND)
+    });
+}
+
+#[test]
+fn autoscale_spike_is_engine_invariant() {
+    assert_parity("autoscale_spike", || {
+        Scenario::autoscale_spike(CoordKind::Marlin, 10)
+    });
+}
+
+#[test]
+fn autoscale_diurnal_is_engine_invariant() {
+    assert_parity("autoscale_diurnal", || {
+        Scenario::autoscale_diurnal(CoordKind::Marlin, 2_000)
+    });
+}
+
+#[test]
+fn cpu_model_comparison_is_engine_invariant() {
+    assert_parity("cpu_model_comparison", || {
+        Scenario::cpu_model_comparison(CoordKind::Marlin, 10, CpuModel::PerRequest)
+    });
+}
+
+#[test]
+fn geo_autoscale_is_engine_invariant() {
+    assert_parity("geo_autoscale", || {
+        Scenario::geo_autoscale(CoordKind::Marlin, 1_600)
+    });
+}
+
+#[test]
+fn zipfian_rebalance_is_engine_invariant() {
+    assert_parity("zipfian_rebalance", || {
+        Scenario::zipfian_rebalance(CoordKind::Marlin, 2_000, 0.9)
+    });
+}
+
+#[test]
+fn predictive_diurnal_is_engine_invariant() {
+    assert_parity("predictive_diurnal", || {
+        Scenario::predictive_diurnal(CoordKind::Marlin, 2_000)
+    });
+}
+
+#[test]
+fn predictive_geo_is_engine_invariant() {
+    assert_parity("predictive_geo", || {
+        Scenario::predictive_geo(CoordKind::Marlin, 1_600)
+    });
+}
+
+// ---------------------------------------------------------------------------
+// The approximating components, active.
+
+/// The count-min sketch must agree with the exact heat vector where it
+/// matters: the rebalance plan the planner derives from the observed hot
+/// granules. Zipfian skew separates the head granules by orders of
+/// magnitude, so the sketch's bounded overestimate cannot reorder them.
+#[test]
+fn sketched_heat_reproduces_the_exact_rebalance_plan() {
+    let build = |sketch: bool| {
+        let mut s = Scenario::zipfian_rebalance(CoordKind::Marlin, 2_000, 0.9).heat_sketch(sketch);
+        // The preset's 2,000 granules sit below the default exact-mode
+        // cutoff; lower it so the sketch is genuinely exercised.
+        s.params.sketch_min_granules = 1_024;
+        s
+    };
+    let run_one = |sketch: bool| {
+        let s = build(sketch);
+        let mut r = SimRunner::new(&s);
+        let report = run(s, &mut r);
+        assert_eq!(r.sim().heat_sketched(), sketch);
+        report
+    };
+    let exact = run_one(false);
+    let sketched = run_one(true);
+    let plans = |r: &RunReport| -> Vec<(u64, String)> {
+        r.decision_signature()
+            .into_iter()
+            .filter(|(_, a)| a.starts_with("rebalance"))
+            .collect()
+    };
+    assert!(
+        !plans(&exact).is_empty(),
+        "the skew must provoke rebalance plans"
+    );
+    assert_eq!(
+        plans(&exact),
+        plans(&sketched),
+        "sketched heat must yield the exact heat's rebalance plan"
+    );
+}
+
+/// Force the aggregate path on at §6 scale (no bit-parity expected —
+/// cohorts approximate) and check the closed loop still works: the
+/// spike provokes a scale-out, the calm drains it, and the run commits.
+#[test]
+fn forced_cohort_engine_still_drives_the_autoscaling_loop() {
+    let scenario = Scenario::autoscale_spike(CoordKind::Marlin, 10)
+        .client_engine(ClientEngine::Cohort)
+        .cohort_min_clients(0);
+    let initial = scenario.initial_nodes;
+    let mut runner = SimRunner::new(&scenario);
+    assert!(
+        runner.sim().cohort_active(),
+        "threshold 0 forces cohorts on"
+    );
+    let report = run(scenario, &mut runner);
+    assert!(report.metrics.commits > 0, "the cohort engine must commit");
+    assert!(
+        report.peak_nodes() > initial,
+        "the spike must provoke a scale-out under cohort load (peak {} vs initial {initial})",
+        report.peak_nodes()
+    );
+    assert_eq!(
+        report.metrics.live_nodes, initial,
+        "the calm must drain back to the floor"
+    );
+}
+
+/// The cohort engine tracks trace-driven client changes: active counts
+/// follow the trace through the spike and back.
+#[test]
+fn cohort_engine_follows_the_load_trace() {
+    let scenario = Scenario::autoscale_spike(CoordKind::Marlin, 10)
+        .client_engine(ClientEngine::Cohort)
+        .cohort_min_clients(0);
+    let mut runner = SimRunner::new(&scenario);
+    // The runner provisions at the trace *peak*; the t=0 step down to
+    // the base count is itself a scheduled event, so advance past it.
+    runner.sim_mut().run_until(SECOND);
+    let base = runner.sim().active_clients();
+    runner.sim_mut().run_until(25 * SECOND);
+    let at_spike = runner.sim().active_clients();
+    runner.sim_mut().run_until(85 * SECOND);
+    let after_calm = runner.sim().active_clients();
+    assert!(
+        at_spike > base,
+        "spike must raise active clients ({base} -> {at_spike})"
+    );
+    assert_eq!(after_calm, base, "calm must restore the base count");
+}

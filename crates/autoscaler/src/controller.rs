@@ -62,6 +62,14 @@ impl Controller {
         self.policy.name()
     }
 
+    /// The p99 ceiling the active policy is armed with, if any —
+    /// delegated through decorators so the harness can derive SLO
+    /// error-budget and burn-rate series for the metrics timeline.
+    #[must_use]
+    pub fn p99_ceiling(&self) -> Option<Nanos> {
+        self.policy.p99_ceiling()
+    }
+
     /// The policy's forecast snapshots behind the most recent tick
     /// (empty for non-forecasting policies). The harness driver copies
     /// them into each decision record.

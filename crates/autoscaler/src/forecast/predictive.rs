@@ -275,6 +275,10 @@ impl ScalingPolicy for PredictivePolicy {
     fn forecasts(&self) -> Vec<ForecastSample> {
         self.last_sample.iter().cloned().collect()
     }
+
+    fn p99_ceiling(&self) -> Option<Nanos> {
+        self.inner.p99_ceiling()
+    }
 }
 
 #[cfg(test)]

@@ -92,6 +92,14 @@ pub trait ScalingPolicy {
     fn forecasts(&self) -> Vec<crate::forecast::ForecastSample> {
         Vec::new()
     }
+
+    /// The p99 latency ceiling this policy is armed with, if any — the
+    /// SLO the harness derives error-budget and burn-rate series from.
+    /// Decorators delegate to their inner policy; policies without a
+    /// latency objective return `None` (the default).
+    fn p99_ceiling(&self) -> Option<Nanos> {
+        None
+    }
 }
 
 /// Shared sizing bounds for the shipped policies.
@@ -218,6 +226,10 @@ impl ReactivePolicy {
 impl ScalingPolicy for ReactivePolicy {
     fn name(&self) -> &'static str {
         "reactive"
+    }
+
+    fn p99_ceiling(&self) -> Option<Nanos> {
+        self.cfg.p99_ceiling
     }
 
     fn decide(&mut self, obs: &Observation) -> Option<ScaleAction> {
@@ -521,6 +533,10 @@ impl<P: ScalingPolicy> ScalingPolicy for CostBoundedPolicy<P> {
 
     fn forecasts(&self) -> Vec<crate::forecast::ForecastSample> {
         self.inner.forecasts()
+    }
+
+    fn p99_ceiling(&self) -> Option<Nanos> {
+        self.inner.p99_ceiling()
     }
 }
 

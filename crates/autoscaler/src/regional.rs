@@ -137,6 +137,12 @@ impl ScalingPolicy for RegionalPolicy {
             })
             .collect()
     }
+
+    fn p99_ceiling(&self) -> Option<marlin_sim::Nanos> {
+        // The per-region instances are built identically, so the first
+        // armed ceiling is *the* SLO.
+        self.inner.iter().find_map(|(_, p)| p.p99_ceiling())
+    }
 }
 
 #[cfg(test)]

@@ -260,6 +260,7 @@ fn telemetry_overhead(_c: &mut Criterion) {
         name: "telemetry_overhead_guard".into(),
         wall_nanos: t_off,
         virtual_nanos: guard_scenario().horizon,
+        wall_bounded: false,
         profile: None,
         values: vec![
             ("overhead_pct".into(), overhead_pct),

@@ -119,6 +119,7 @@ fn main() {
         name: format!("{}/{}/cohort", report.scenario, report.backend),
         wall_nanos: cohort_wall.as_nanos() as u64,
         virtual_nanos: horizon,
+        wall_bounded: false,
         profile: report.telemetry.as_ref().map(|t| t.profile.clone()),
         values: vec![
             ("active_clients".into(), active as f64),
@@ -130,6 +131,9 @@ fn main() {
         name: format!("{}/{}/exact-probe", report.scenario, report.backend),
         wall_nanos: exact_wall.as_nanos() as u64,
         virtual_nanos: virt,
+        // The probe covers as much virtual time as its wall budget
+        // allows: virt here is wall-dependent, only the rate is stable.
+        wall_bounded: true,
         profile: None,
         values: vec![("probe_clients".into(), f64::from(probe_clients))],
     });

@@ -1,0 +1,144 @@
+//! `bench-diff`: compare `BENCH_*.json` perf-trajectory trees with
+//! noise-aware thresholds and gate CI on the verdict.
+//!
+//! ```text
+//! bench-diff <baseline-dir> <current-dir>... [--out <verdict.json>]
+//!            [--trajectory <path>] [--wall-tol <pct>] [--vpw-floor-div <f>]
+//! ```
+//!
+//! Deterministic fields (scale, sections, virtual time, commit counts)
+//! must match the baseline exactly; wall-clock fields are compared
+//! min-of-N across the current directories and only hard-fail when
+//! virtual-seconds-per-wall-second collapses below `baseline / 8`.
+//! Exit status: 0 = pass, 1 = regression, 2 = usage or I/O error.
+//! The baseline-refresh workflow lives in docs/OBSERVABILITY.md.
+
+use marlin_bench::diff::{diff_dirs, write_trajectory, CheckStatus, DiffConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+const USAGE: &str = "usage: bench-diff <baseline-dir> <current-dir>... \
+                     [--out <verdict.json>] [--trajectory <path>] \
+                     [--wall-tol <pct>] [--vpw-floor-div <f>]";
+
+struct Args {
+    baseline: PathBuf,
+    currents: Vec<PathBuf>,
+    out: Option<PathBuf>,
+    trajectory: Option<PathBuf>,
+    cfg: DiffConfig,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let mut out = None;
+    let mut trajectory = None;
+    let mut cfg = DiffConfig::default();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut flag_value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--out" => out = Some(PathBuf::from(flag_value("--out")?)),
+            "--trajectory" => trajectory = Some(PathBuf::from(flag_value("--trajectory")?)),
+            "--wall-tol" => {
+                let v = flag_value("--wall-tol")?;
+                cfg.wall_tol_pct = Some(
+                    v.parse::<f64>()
+                        .map_err(|_| format!("--wall-tol: invalid percentage '{v}'"))?,
+                );
+            }
+            "--vpw-floor-div" => {
+                let v = flag_value("--vpw-floor-div")?;
+                cfg.vpw_floor_div = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|f| *f >= 1.0)
+                    .ok_or_else(|| format!("--vpw-floor-div: invalid divisor '{v}'"))?;
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag {flag}\n{USAGE}"));
+            }
+            dir => dirs.push(PathBuf::from(dir)),
+        }
+    }
+    if dirs.len() < 2 {
+        return Err(format!(
+            "need a baseline and at least one current dir\n{USAGE}"
+        ));
+    }
+    let baseline = dirs.remove(0);
+    Ok(Args {
+        baseline,
+        currents: dirs,
+        out,
+        trajectory,
+        cfg,
+    })
+}
+
+fn run(args: &Args) -> Result<bool, String> {
+    let started = Instant::now();
+    let currents: Vec<&std::path::Path> = args.currents.iter().map(PathBuf::as_path).collect();
+    let verdict = diff_dirs(&args.baseline, &currents, &args.cfg)?;
+    for c in &verdict.checks {
+        let tag = match c.status {
+            CheckStatus::Pass => "PASS",
+            CheckStatus::Fail => "FAIL",
+            CheckStatus::Info => "info",
+        };
+        let section = if c.section.is_empty() {
+            String::new()
+        } else {
+            format!(" [{}]", c.section)
+        };
+        println!("{tag}  {}{section} {}: {}", c.target, c.name, c.detail);
+    }
+    if let Some(out) = &args.out {
+        std::fs::write(out, verdict.to_json())
+            .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+        println!("wrote verdict to {}", out.display());
+    }
+    if let Some(path) = &args.trajectory {
+        // Aggregate the first (primary) current tree: that's the run
+        // whose artifacts CI uploads.
+        let n = write_trajectory(&args.currents[0], path)?;
+        println!("wrote {n}-target trajectory to {}", path.display());
+    }
+    let outcome = if verdict.pass() {
+        "no perf regression"
+    } else {
+        "PERF REGRESSION"
+    };
+    println!(
+        "bench-diff: {outcome} ({} checks, {} failures, {:.0}ms)",
+        verdict.checks.len(),
+        verdict.failures(),
+        started.elapsed().as_secs_f64() * 1e3
+    );
+    Ok(verdict.pass())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("bench-diff: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -13,6 +13,8 @@
 //! `BENCH_<target>.json` perf-trajectory artifact there (wall time,
 //! virtual-seconds-per-wall-second, and the sim self-profile per run).
 
+pub mod diff;
+
 use marlin_cluster::harness::RunReport;
 use marlin_telemetry::{BenchReport, BenchSection};
 use std::time::Instant;
@@ -67,6 +69,7 @@ pub fn write_perf_trajectory(
             name: format!("{}/{}/{}", r.scenario, r.backend, r.runner),
             wall_nanos: wall,
             virtual_nanos: r.horizon,
+            wall_bounded: false,
             profile,
             values: vec![
                 ("commits".into(), r.metrics.commits as f64),

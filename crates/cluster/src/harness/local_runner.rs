@@ -20,11 +20,12 @@
 
 use crate::harness::runner::{Fault, MetricsSnapshot, RegionBreakdown, Runner, TelemetrySection};
 use crate::harness::scenario::Scenario;
+use crate::metrics::Blame;
 use crate::sim::Workload;
 use marlin_autoscaler::{Actuator, InvariantViolation, LocalHarness, Observation, ScaleAction};
 use marlin_common::{GranuleId, LogId, NodeId, RegionId};
 use marlin_sim::{Histogram, Nanos, SECOND};
-use marlin_telemetry::{CoordOps, ProfileSummary, Tracer, DEFAULT_TRACE_CAPACITY};
+use marlin_telemetry::{CoordOps, MetricsSeries, ProfileSummary, Tracer, DEFAULT_TRACE_CAPACITY};
 use marlin_workload::LoadTrace;
 use std::collections::BTreeMap;
 
@@ -429,7 +430,25 @@ impl Runner for LocalRunner {
             cost_per_mtxn: 0.0,
             node_count: self.node_count.clone(),
             region_breakdown,
+            // No load generator: no commits to attribute.
+            blame: Blame::default(),
+            tail_exemplars: Vec::new(),
         }
+    }
+
+    fn metrics_tick(&mut self, _at: Nanos, series: &mut MetricsSeries) {
+        if !series.is_enabled() {
+            return;
+        }
+        series.counter("live_nodes", self.harness.members().len() as u64);
+        series.counter("migrations", self.migrations);
+        series.counter(
+            "membership_cas_attempts",
+            self.coord.membership_cas_attempts,
+        );
+        series.counter("membership_cas_retries", self.coord.membership_cas_retries);
+        series.counter("migration_cas_attempts", self.coord.migration_cas_attempts);
+        series.counter("invariant_violations", self.violations.len() as u64);
     }
 
     fn telemetry(&self) -> Option<TelemetrySection> {

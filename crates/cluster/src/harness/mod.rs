@@ -45,7 +45,7 @@ pub mod runner;
 pub mod scenario;
 pub mod sim_runner;
 
-pub use driver::run;
+pub use driver::{run, run_with_series};
 pub use local_runner::LocalRunner;
 pub use report::{
     action_signature, maybe_write_json, DecisionRecord, DecisionSource, ForecastAccuracy,

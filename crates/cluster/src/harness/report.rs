@@ -619,10 +619,46 @@ fn metrics_json(m: &MetricsSnapshot) -> String {
         "region_breakdown",
         &format!("[{}]", regions.join(",")),
     );
+    field(&mut out, "blame", &blame_json(&m.blame));
+    let exemplars: Vec<String> = m.tail_exemplars.iter().map(exemplar_json).collect();
+    field(
+        &mut out,
+        "tail_exemplars",
+        &format!("[{}]", exemplars.join(",")),
+    );
     out.push_str("\"node_count\":");
     out.push_str(&json_pairs_nanos(&m.node_count));
     out.push('}');
     out
+}
+
+fn blame_json(b: &crate::metrics::Blame) -> String {
+    format!(
+        "{{\"queue_wait_ns\":{},\"service_ns\":{},\"network_ns\":{},\
+         \"network_overlay_ns\":{},\"migration_stall_ns\":{},\
+         \"provision_lead_ns\":{},\"retry_backoff_ns\":{}}}",
+        b.queue_wait,
+        b.service,
+        b.network,
+        b.network_overlay,
+        b.migration_stall,
+        b.provision_lead,
+        b.retry_backoff,
+    )
+}
+
+fn exemplar_json(e: &crate::metrics::TailExemplar) -> String {
+    format!(
+        "{{\"at_ns\":{},\"latency_ns\":{},\"granule\":{},\"node\":{},\
+         \"region\":{},\"weight\":{},\"blame\":{}}}",
+        e.at,
+        e.latency,
+        e.granule,
+        e.node,
+        e.region,
+        e.weight,
+        blame_json(&e.blame),
+    )
 }
 
 fn coordination_json(c: &CoordBreakdown) -> String {
@@ -737,6 +773,28 @@ mod tests {
                     db_cost: 0.04,
                 },
             ],
+            blame: crate::metrics::Blame {
+                queue_wait: 10,
+                service: 20,
+                network: 30,
+                network_overlay: 4,
+                migration_stall: 5,
+                provision_lead: 6,
+                retry_backoff: 25,
+            },
+            tail_exemplars: vec![crate::metrics::TailExemplar {
+                at: 2_500_000_000,
+                latency: 5_000_000,
+                granule: 42,
+                node: 1,
+                region: 0,
+                weight: 1,
+                blame: crate::metrics::Blame {
+                    queue_wait: 1_000_000,
+                    service: 4_000_000,
+                    ..crate::metrics::Blame::default()
+                },
+            }],
         }
     }
 
@@ -845,6 +903,18 @@ mod tests {
              \"commits\":60,\"db_cost\":0.08}"
         ));
         assert!(j.contains("\"node_count\":[[0,2],[1000000000,4],[2000000000,2]]"));
+        // The attribution section sits between region_breakdown and
+        // node_count: cumulative blame plus the slowest-commit exemplars.
+        assert!(j.contains(
+            "\"blame\":{\"queue_wait_ns\":10,\"service_ns\":20,\"network_ns\":30,\
+             \"network_overlay_ns\":4,\"migration_stall_ns\":5,\
+             \"provision_lead_ns\":6,\"retry_backoff_ns\":25}"
+        ));
+        assert!(j.contains(
+            "\"tail_exemplars\":[{\"at_ns\":2500000000,\"latency_ns\":5000000,\
+             \"granule\":42,\"node\":1,\"region\":0,\"weight\":1,\
+             \"blame\":{\"queue_wait_ns\":1000000,\"service_ns\":4000000,"
+        ));
         // Structural sanity: balanced braces/brackets.
         assert_eq!(
             j.matches('{').count(),

@@ -10,10 +10,11 @@
 //! on the discrete-event `ClusterSim` (queueing, cold caches, migration
 //! contention).
 
+use crate::metrics::{Blame, TailExemplar};
 use marlin_autoscaler::{Observation, ScaleAction};
 use marlin_common::{NodeId, RegionId};
 use marlin_sim::{Nanos, Summary};
-use marlin_telemetry::{CoordBreakdown, ProfileSummary};
+use marlin_telemetry::{CoordBreakdown, MetricsSeries, ProfileSummary};
 
 /// A fault the driver can inject mid-run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -123,6 +124,13 @@ pub struct MetricsSnapshot {
     /// Per-region node/throughput/cost split (one entry per region the
     /// runner placed nodes in; a single entry for region 0 otherwise).
     pub region_breakdown: Vec<RegionBreakdown>,
+    /// Cumulative commit-latency attribution across every committed user
+    /// transaction: where the run's latency went, component by component
+    /// (all-zero where the runner has no load generator).
+    pub blame: Blame,
+    /// The run's slowest commits with their blame breakdowns, slowest
+    /// first (empty where the runner has no load generator).
+    pub tail_exemplars: Vec<TailExemplar>,
 }
 
 impl MetricsSnapshot {
@@ -208,6 +216,15 @@ pub trait Runner {
 
     /// End-of-run totals.
     fn metrics(&self) -> MetricsSnapshot;
+
+    /// Append this backend's vitals to the current tick row of the run's
+    /// metrics recorder. The driver opens the row (one per control tick,
+    /// after `observe`) and appends its own SLO series afterwards; the
+    /// default emits nothing. Implementations must emit a deterministic
+    /// point set — static names, fixed order, values derived only from
+    /// virtual-time state — so the exported timeline is byte-identical
+    /// for a fixed (Scenario, seed).
+    fn metrics_tick(&mut self, _at: Nanos, _series: &mut MetricsSeries) {}
 
     /// Telemetry numbers for the report, when tracing/profiling was on
     /// for the run (`None` otherwise — the JSON key is then omitted).

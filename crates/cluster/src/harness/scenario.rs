@@ -253,6 +253,24 @@ impl Scenario {
         self
     }
 
+    /// Toggle the log-bucketed latency histogram for windowed p99
+    /// derivation (simulator only; falls back to the exact tuple window
+    /// below [`SimParams::hist_min_clients`] peak clients, so decision
+    /// logs stay bit-identical there).
+    #[must_use]
+    pub fn latency_hist(mut self, on: bool) -> Self {
+        self.params.latency_hist = on;
+        self
+    }
+
+    /// Override the histogram-activation threshold (tests force the
+    /// bucketed path at small scale by passing 0).
+    #[must_use]
+    pub fn hist_min_clients(mut self, min: u32) -> Self {
+        self.params.hist_min_clients = min;
+        self
+    }
+
     /// Set the deterministic seed.
     #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
@@ -697,6 +715,7 @@ impl Scenario {
             .duration(60 * SECOND)
             .client_engine(ClientEngine::Cohort)
             .heat_sketch(true)
+            .latency_hist(true)
             .policy(Box::new(marlin_autoscaler::HoldPolicy))
             .planner(RebalanceConfig::default())
     }
@@ -965,20 +984,26 @@ mod tests {
         assert_eq!(s.workload.granule_count(), 200_000);
         assert_eq!(s.params.client_engine, ClientEngine::Cohort);
         assert!(s.params.heat_sketch);
+        assert!(s.params.latency_hist, "p99 comes from the histogram");
         assert!(s.policy.is_some() && s.planner.is_some());
         // Scaled-down runs stay above the cohort threshold, so the
         // engine under test is the one the bench measures.
         let scaled = Scenario::million_clients(10);
         assert_eq!(scaled.trace.peak(), 100_000);
         assert!(scaled.trace.peak() >= scaled.params.cohort_min_clients);
+        assert!(scaled.trace.peak() >= scaled.params.hist_min_clients);
         // The builder knobs reach params for hand-rolled scenarios too.
         let s = Scenario::new("t")
             .client_engine(ClientEngine::Cohort)
             .cohort_min_clients(0)
-            .heat_sketch(true);
+            .heat_sketch(true)
+            .latency_hist(true)
+            .hist_min_clients(0);
         assert_eq!(s.params.client_engine, ClientEngine::Cohort);
         assert_eq!(s.params.cohort_min_clients, 0);
         assert!(s.params.heat_sketch);
+        assert!(s.params.latency_hist);
+        assert_eq!(s.params.hist_min_clients, 0);
     }
 
     #[test]

@@ -7,6 +7,7 @@ use crate::harness::scenario::Scenario;
 use crate::sim::ClusterSim;
 use marlin_autoscaler::{Observation, ScaleAction};
 use marlin_sim::Nanos;
+use marlin_telemetry::MetricsSeries;
 use marlin_workload::LoadTrace;
 
 /// The simulator wrapped as a [`Runner`].
@@ -196,6 +197,33 @@ impl Runner for SimRunner {
             cost_per_mtxn: self.sim.cost.per_million_txns(m.total_commits()),
             node_count: m.node_count.points().to_vec(),
             region_breakdown,
+            blame: m.blame,
+            tail_exemplars: self.sim.tail_exemplars().to_vec(),
+        }
+    }
+
+    fn metrics_tick(&mut self, _at: Nanos, series: &mut MetricsSeries) {
+        if !series.is_enabled() {
+            return;
+        }
+        let m = &self.sim.metrics;
+        series.counter("commits", m.total_commits());
+        series.counter("aborts", m.user_aborts.total());
+        series.counter("migrations", m.migrations.total());
+        series.counter("migration_retries", m.migration_retries);
+        series.counter("membership_commits", m.membership_commits);
+        series.counter("live_nodes", u64::from(self.sim.live_nodes()));
+        // The cumulative blame decomposition: the per-tick delta of each
+        // component is where that tick's commit latency went.
+        series.counter("blame_queue_wait_ns", m.blame.queue_wait);
+        series.counter("blame_service_ns", m.blame.service);
+        series.counter("blame_network_ns", m.blame.network);
+        series.counter("blame_network_overlay_ns", m.blame.network_overlay);
+        series.counter("blame_migration_stall_ns", m.blame.migration_stall);
+        series.counter("blame_provision_lead_ns", m.blame.provision_lead);
+        series.counter("blame_retry_backoff_ns", m.blame.retry_backoff);
+        for (r, &commits) in self.sim.region_commits().iter().enumerate() {
+            series.counter_region("commits", r as u16, commits);
         }
     }
 

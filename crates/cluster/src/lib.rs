@@ -43,6 +43,6 @@ pub mod sim;
 
 pub use cost::CostModel;
 pub use harness::{run, LocalRunner, RunReport, Runner, Scenario, SimRunner};
-pub use metrics::RunMetrics;
+pub use metrics::{Blame, RunMetrics, TailExemplar, TailExemplars};
 pub use params::{CoordKind, CpuModel, SimParams};
 pub use sim::{ClusterSim, CpuStation, MigrationPlan, PerRequestStation, Workload};

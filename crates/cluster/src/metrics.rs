@@ -3,6 +3,165 @@
 use marlin_sim::{Histogram, Nanos, RateSeries, Summary, TimeSeries, SECOND};
 use marlin_telemetry::CoordOps;
 
+/// Where a committed transaction's sojourn went: the tail-latency
+/// attribution record. Every nanosecond between a transaction's start
+/// and its commit acknowledgement lands in exactly one component, so
+/// the components sum to the commit latency (the instrumentation sites
+/// in `ClusterSim` maintain that invariant; the cohort engine's
+/// sampled walks carry the same decomposition per weighted walk).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Blame {
+    /// Time queued behind other requests at CPU and append stations
+    /// (sojourn minus service).
+    pub queue_wait: Nanos,
+    /// Productive service time: CPU request processing, page fetch
+    /// service, storage append service.
+    pub service: Nanos,
+    /// Base network time: intra/cross-region hops, storage round trips,
+    /// group-commit batching wait.
+    pub network: Nanos,
+    /// The migration-overlay surcharge on network hops (warm-up
+    /// interference windows) — separated from `network` so overlay
+    /// pressure is visible in the tail.
+    pub network_overlay: Nanos,
+    /// Time lost to migration-induced aborts: NO_WAIT conflicts against
+    /// migration locks and the misroute window after an ownership move.
+    pub migration_stall: Nanos,
+    /// Queue wait accrued while a scale-out was ordered but its nodes
+    /// had not yet joined (the provisioning lead): backlog the policy
+    /// already paid for but capacity hasn't absorbed.
+    pub provision_lead: Nanos,
+    /// Client-side exponential backoff between abort and retry.
+    pub retry_backoff: Nanos,
+}
+
+impl Blame {
+    /// Sum of all components (equals the commit latency for a committed
+    /// transaction's accumulated blame).
+    #[must_use]
+    pub fn total(&self) -> Nanos {
+        self.queue_wait
+            .saturating_add(self.service)
+            .saturating_add(self.network)
+            .saturating_add(self.network_overlay)
+            .saturating_add(self.migration_stall)
+            .saturating_add(self.provision_lead)
+            .saturating_add(self.retry_backoff)
+    }
+
+    /// Accumulate another record, component-wise and saturating.
+    pub fn add(&mut self, other: &Blame) {
+        self.add_weighted(other, 1);
+    }
+
+    /// Accumulate `weight` copies of another record (the cohort
+    /// engine's bulk path), component-wise and saturating.
+    pub fn add_weighted(&mut self, other: &Blame, weight: u64) {
+        self.queue_wait = self
+            .queue_wait
+            .saturating_add(other.queue_wait.saturating_mul(weight));
+        self.service = self
+            .service
+            .saturating_add(other.service.saturating_mul(weight));
+        self.network = self
+            .network
+            .saturating_add(other.network.saturating_mul(weight));
+        self.network_overlay = self
+            .network_overlay
+            .saturating_add(other.network_overlay.saturating_mul(weight));
+        self.migration_stall = self
+            .migration_stall
+            .saturating_add(other.migration_stall.saturating_mul(weight));
+        self.provision_lead = self
+            .provision_lead
+            .saturating_add(other.provision_lead.saturating_mul(weight));
+        self.retry_backoff = self
+            .retry_backoff
+            .saturating_add(other.retry_backoff.saturating_mul(weight));
+    }
+}
+
+/// One of the run's slowest commits, with its blame breakdown — the
+/// "why did p99 breach at tick T" record carried in the report JSON.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TailExemplar {
+    /// Commit time (virtual ns).
+    pub at: Nanos,
+    /// Commit latency (virtual ns).
+    pub latency: Nanos,
+    /// The transaction's anchor granule (its first access).
+    pub granule: u64,
+    /// The home node that served the transaction.
+    pub node: u32,
+    /// The client's region.
+    pub region: u16,
+    /// Commits sharing this timeline (1 on the exact path; the cohort
+    /// walk weight on the aggregate path).
+    pub weight: u64,
+    /// Where the latency went.
+    pub blame: Blame,
+}
+
+/// Deterministic top-K table of the slowest commits.
+///
+/// Ordering is total: latency descending, then commit time ascending,
+/// then anchor granule ascending — so the table is identical for a
+/// fixed (scenario, seed) regardless of offer batching.
+#[derive(Clone, Debug)]
+pub struct TailExemplars {
+    k: usize,
+    entries: Vec<TailExemplar>,
+}
+
+impl TailExemplars {
+    /// The report's exemplar-table size.
+    pub const DEFAULT_K: usize = 8;
+
+    /// An empty table keeping the `k` slowest offers.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        TailExemplars {
+            k,
+            entries: Vec::with_capacity(k + 1),
+        }
+    }
+
+    /// Offer a commit; it is kept iff it ranks among the `k` slowest
+    /// seen so far.
+    pub fn offer(&mut self, e: TailExemplar) {
+        if self.k == 0 {
+            return;
+        }
+        let rank = |x: &TailExemplar| {
+            (
+                core::cmp::Reverse(x.latency),
+                x.at,
+                x.granule,
+                x.node,
+                x.region,
+            )
+        };
+        let pos = self.entries.partition_point(|have| rank(have) <= rank(&e));
+        if pos >= self.k {
+            return;
+        }
+        self.entries.insert(pos, e);
+        self.entries.truncate(self.k);
+    }
+
+    /// The kept exemplars, slowest first.
+    #[must_use]
+    pub fn entries(&self) -> &[TailExemplar] {
+        &self.entries
+    }
+}
+
+impl Default for TailExemplars {
+    fn default() -> Self {
+        TailExemplars::new(Self::DEFAULT_K)
+    }
+}
+
 /// All instruments for one simulated run.
 #[derive(Debug)]
 pub struct RunMetrics {
@@ -34,6 +193,10 @@ pub struct RunMetrics {
     /// (Append@LSN CAS traffic for Marlin, service writes/reads for the
     /// ZK/FDB baselines, route-watch notifications for all).
     pub coord: CoordOps,
+    /// Cumulative commit-latency blame across all committed user
+    /// transactions (each commit's decomposition summed, weighted by
+    /// cohort walk weight on the aggregate path).
+    pub blame: Blame,
 }
 
 impl RunMetrics {
@@ -59,7 +222,14 @@ impl RunMetrics {
             node_count: TimeSeries::new(),
             migration_window: None,
             coord: CoordOps::default(),
+            blame: Blame::default(),
         }
+    }
+
+    /// Accumulate a committed transaction's blame decomposition,
+    /// weighted (the cohort engine's bulk path passes the walk weight).
+    pub fn blame_n(&mut self, blame: &Blame, n: u64) {
+        self.blame.add_weighted(blame, n);
     }
 
     /// Record a committed user transaction.
@@ -193,6 +363,72 @@ mod tests {
         assert_eq!(a.user_latency.count(), b.user_latency.count());
         assert!((a.user_latency.mean() - b.user_latency.mean()).abs() < 1e-9);
         assert!((a.abort_ratio() - b.abort_ratio()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blame_components_sum_and_accumulate() {
+        let b = Blame {
+            queue_wait: 10,
+            service: 20,
+            network: 30,
+            network_overlay: 5,
+            migration_stall: 7,
+            provision_lead: 3,
+            retry_backoff: 25,
+        };
+        assert_eq!(b.total(), 100);
+        let mut acc = Blame::default();
+        acc.add(&b);
+        acc.add_weighted(&b, 3);
+        assert_eq!(acc.total(), 400);
+        assert_eq!(acc.queue_wait, 40);
+        let mut m = RunMetrics::new();
+        m.blame_n(&b, 2);
+        assert_eq!(m.blame.total(), 200);
+    }
+
+    #[test]
+    fn exemplar_table_keeps_the_k_slowest_in_total_order() {
+        let mk = |latency: Nanos, at: Nanos, granule: u64| TailExemplar {
+            at,
+            latency,
+            granule,
+            node: 0,
+            region: 0,
+            weight: 1,
+            blame: Blame::default(),
+        };
+        let mut t = TailExemplars::new(3);
+        for &(l, at, g) in &[
+            (50, 9, 1),
+            (90, 5, 2),
+            (10, 1, 3),
+            (90, 2, 4),
+            (70, 3, 5),
+            (90, 2, 1),
+        ] {
+            t.offer(mk(l, at, g));
+        }
+        let got: Vec<(Nanos, Nanos, u64)> = t
+            .entries()
+            .iter()
+            .map(|e| (e.latency, e.at, e.granule))
+            .collect();
+        // Latency desc, then at asc, then granule asc.
+        assert_eq!(got, vec![(90, 2, 1), (90, 2, 4), (90, 5, 2)]);
+        // Offer order must not matter: re-offer in reverse.
+        let mut r = TailExemplars::new(3);
+        for &(l, at, g) in &[
+            (90, 2, 1),
+            (70, 3, 5),
+            (90, 2, 4),
+            (10, 1, 3),
+            (90, 5, 2),
+            (50, 9, 1),
+        ] {
+            r.offer(mk(l, at, g));
+        }
+        assert_eq!(t.entries(), r.entries());
     }
 
     #[test]

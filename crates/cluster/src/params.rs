@@ -275,6 +275,18 @@ pub struct SimParams {
     /// Granule count below which `heat_sketch` falls back to the exact
     /// vector.
     pub sketch_min_granules: usize,
+    /// Derive windowed p99 latency from a log-bucketed histogram
+    /// ([`marlin_telemetry::LatencyHist`]) instead of the exact
+    /// per-commit tuple window. Only engaged when the peak client count
+    /// is at least [`SimParams::hist_min_clients`]; below that the exact
+    /// tuple window is used regardless, so decision logs stay
+    /// bit-identical (the same parity discipline as `heat_sketch` and
+    /// the cohort engine). Default off: every historical decision log
+    /// was produced by the exact tuple derivation.
+    pub latency_hist: bool,
+    /// Peak client count below which `latency_hist` falls back to the
+    /// exact tuple window.
+    pub hist_min_clients: u32,
 
     /// RNG seed for the run.
     pub seed: u64,
@@ -308,6 +320,8 @@ impl Default for SimParams {
             cohort_min_clients: 10_000,
             heat_sketch: false,
             sketch_min_granules: 4_096,
+            latency_hist: false,
+            hist_min_clients: 10_000,
             seed: 42,
         }
     }
@@ -376,6 +390,10 @@ mod tests {
         // The activation threshold must sit above every §6 preset's peak
         // client count (max 2 000) so `Cohort` stays parity-pinned there.
         assert!(p.cohort_min_clients > 2_000);
+        // Same discipline for the latency histogram: off by default, and
+        // its threshold above every §6 preset's peak client count.
+        assert!(!p.latency_hist);
+        assert!(p.hist_min_clients > 2_000);
     }
 
     #[test]

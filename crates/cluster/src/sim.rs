@@ -28,7 +28,7 @@
 //! [`crate::params::CpuModel`] for the trade-off.
 
 use crate::cost::CostModel;
-use crate::metrics::RunMetrics;
+use crate::metrics::{Blame, RunMetrics, TailExemplar, TailExemplars};
 use crate::params::{ClientEngine, CoordKind, CpuModel, SimParams};
 use bytes::Bytes;
 use marlin_autoscaler::{GranuleLoad, NodeLoad, Observation, ScaleAction};
@@ -37,7 +37,7 @@ use marlin_common::{GranuleId, LogId, NodeId, RegionId, StorageError};
 use marlin_core::LsnTracker;
 use marlin_sim::{ActorId, DetRng, EventQueue, HeatTracker, Nanos, TimeSeries, SECOND};
 use marlin_storage::SharedLog;
-use marlin_telemetry::{CoordBreakdown, CoordOps, ProfileSummary, Profiler, Tracer};
+use marlin_telemetry::{CoordBreakdown, CoordOps, LatencyHist, ProfileSummary, Profiler, Tracer};
 use marlin_workload::{
     interleaved_share, TpccConfig, TpccGenerator, TxnTemplate, YcsbConfig, YcsbGenerator,
 };
@@ -522,6 +522,10 @@ struct ClientSim {
     /// First dispatch time of the transaction currently being retried
     /// (client-perceived latency includes retries).
     attempt_started: Option<Nanos>,
+    /// Blame accrued by aborted attempts of the in-flight transaction;
+    /// folded into the commit's attribution so the components sum to
+    /// the client-perceived latency (which includes retries).
+    attempt_blame: Blame,
 }
 
 /// One flow-level client cohort: every client of one region, advanced
@@ -558,6 +562,13 @@ enum CohortWalk {
         /// Per-op CPU service charged, as `(node, service)` pairs — the
         /// demand bulk-offered on behalf of the walk's weighted copies.
         node_service: Vec<(usize, Nanos)>,
+        /// Where the walk's sojourn went (components sum to
+        /// `t_end - now`; replayed per weighted copy).
+        blame: Blame,
+        /// The walk's anchor granule (exemplar attribution).
+        anchor: u64,
+        /// The home node that served the walk (exemplar attribution).
+        home: u32,
     },
     /// The walk aborted (misroute, NO_WAIT, or commit CAS conflict).
     Abort {
@@ -608,6 +619,81 @@ fn weighted_p99(lat: &mut [(Nanos, u64)]) -> Nanos {
         }
     }
     lat.last().map_or(0, |&(l, _)| l)
+}
+
+/// Windowed per-region commit-latency histograms — the `latency_hist`
+/// scale path replacing the exact `(latency, weight)` tuple window.
+///
+/// One slot per virtual second of *commit time*, recycled lazily: a
+/// write whose second differs from the slot's tag clears the slot
+/// first. [`LatencyWindow::SLOTS`] exceeds
+/// `ClusterSim::MAX_OBSERVE_WINDOW` in seconds, so no slot still inside
+/// an observation window is ever recycled (commit timestamps run at
+/// most a few seconds ahead of the event clock — client latencies are
+/// bounded far below the ~68 s of recycle slack).
+///
+/// Observation windows in the presets are whole seconds and control
+/// ticks fire on whole-second boundaries, so the window cutoff lands on
+/// a slot boundary and the merged histogram covers exactly the commit
+/// multiset the exact tuple window retains — any p99 difference is
+/// purely the histogram's documented bucketing error.
+struct LatencyWindow {
+    /// `(second tag, one histogram per region)`; slot index is
+    /// `second % SLOTS`. Empty when the hist path is inactive.
+    slots: Vec<(u64, Vec<LatencyHist>)>,
+}
+
+impl LatencyWindow {
+    /// Retained slots (seconds); must exceed `MAX_OBSERVE_WINDOW / SECOND`.
+    const SLOTS: u64 = 128;
+
+    /// A window for `regions` regions, or a zero-footprint stub when
+    /// `regions == 0` (the hist path is inactive).
+    fn new(regions: usize) -> Self {
+        let slots = if regions == 0 {
+            Vec::new()
+        } else {
+            (0..Self::SLOTS)
+                .map(|_| (0u64, vec![LatencyHist::new(); regions]))
+                .collect()
+        };
+        LatencyWindow { slots }
+    }
+
+    /// Record a commit at `at` with client-perceived `latency`.
+    fn record(&mut self, at: Nanos, latency: Nanos, region: u16, weight: u64) {
+        let sec = at / SECOND;
+        let slot = &mut self.slots[(sec % Self::SLOTS) as usize];
+        if slot.0 != sec {
+            slot.0 = sec;
+            for h in &mut slot.1 {
+                h.clear();
+            }
+        }
+        slot.1[region as usize].record_n(latency, weight);
+    }
+
+    /// Merge every slot overlapping `[cutoff, ∞)` — all regions, or one.
+    /// Merge order never affects the result (bucket counts add; exact
+    /// tuples are re-sorted by value before quantile selection), so the
+    /// derived stats are deterministic.
+    fn merged(&self, cutoff: Nanos, region: Option<u16>) -> LatencyHist {
+        let mut out = LatencyHist::new();
+        for (sec, hists) in &self.slots {
+            if sec.saturating_add(1).saturating_mul(SECOND) <= cutoff {
+                continue;
+            }
+            match region {
+                Some(r) => out.merge(&hists[r as usize]),
+                None => {
+                    for h in hists {
+                        out.merge(h);
+                    }
+                }
+            }
+        }
+        out
+    }
 }
 
 /// The external coordination service, if any.
@@ -787,6 +873,18 @@ pub struct ClusterSim {
     /// one weighted entry per sampled walk. Pruned to the observation
     /// window.
     recent_commits: std::collections::VecDeque<(Nanos, Nanos, u16, u32)>,
+    /// Whether windowed p99 comes from the log-bucketed histogram
+    /// rather than the exact tuple window. Decided once at
+    /// construction: `latency_hist` runs below
+    /// [`SimParams::hist_min_clients`] keep the exact window and are
+    /// bit-identical to histogram-off runs (the same parity discipline
+    /// as `cohort_active`).
+    hist_active: bool,
+    /// The histogram-backed commit-latency window (empty stub unless
+    /// `hist_active`).
+    lat_window: LatencyWindow,
+    /// The run's slowest commits with their blame breakdowns.
+    exemplars: TailExemplars,
     /// Committed user transactions per client region (the §6.5 per-region
     /// throughput split).
     region_commits: Vec<u64>,
@@ -942,6 +1040,10 @@ impl ClusterSim {
         // the fuzz digest oracle rely on).
         let cohort_active =
             params.client_engine == ClientEngine::Cohort && clients >= params.cohort_min_clients;
+        // Same once-at-construction discipline for the latency
+        // histogram: below the threshold the exact tuple window runs
+        // and decision logs are bit-identical to histogram-off runs.
+        let hist_active = params.latency_hist && clients >= params.hist_min_clients;
 
         let make_gen = |stream: DetRng| match workload {
             Workload::Ycsb { granules, zipfian } => ClientGen::Ycsb(YcsbGenerator::new(
@@ -973,6 +1075,7 @@ impl ClusterSim {
                     strikes: 0,
                     active: true,
                     attempt_started: None,
+                    attempt_blame: Blame::default(),
                 })
                 .collect()
         };
@@ -1060,6 +1163,9 @@ impl ClusterSim {
             cohorts,
             cohort_active,
             recent_commits: std::collections::VecDeque::new(),
+            hist_active,
+            lat_window: LatencyWindow::new(if hist_active { regions as usize } else { 0 }),
+            exemplars: TailExemplars::default(),
             region_commits: vec![0; regions as usize],
             region_node_ns: vec![0.0; regions as usize],
             region_accrued_at: 0,
@@ -1128,6 +1234,22 @@ impl ClusterSim {
     #[must_use]
     pub fn heat_sketched(&self) -> bool {
         self.heat.is_sketched()
+    }
+
+    /// Whether windowed p99 latency is derived from the log-bucketed
+    /// histogram: `latency_hist` at or above
+    /// [`SimParams::hist_min_clients`]. Below the threshold the exact
+    /// tuple window runs (the parity pin).
+    #[must_use]
+    pub fn hist_active(&self) -> bool {
+        self.hist_active
+    }
+
+    /// The run's slowest commits with their blame breakdowns, slowest
+    /// first.
+    #[must_use]
+    pub fn tail_exemplars(&self) -> &[TailExemplar] {
+        self.exemplars.entries()
     }
 
     /// Currently active clients (exact per-client state or cohort
@@ -1375,20 +1497,25 @@ impl ClusterSim {
         );
         let prof = self.profiler.start();
         let cutoff = now.saturating_sub(window);
-        self.recent_commits.retain(|&(t, _, _, _)| t >= cutoff);
         let window_s = (window as f64 / SECOND as f64).max(1e-9);
-        let total_weight: u64 = self
-            .recent_commits
-            .iter()
-            .map(|&(_, _, _, w)| u64::from(w))
-            .sum();
+        let (total_weight, p99_latency) = if self.hist_active {
+            let h = self.lat_window.merged(cutoff, None);
+            (h.total_weight(), h.p99())
+        } else {
+            self.recent_commits.retain(|&(t, _, _, _)| t >= cutoff);
+            let total_weight: u64 = self
+                .recent_commits
+                .iter()
+                .map(|&(_, _, _, w)| u64::from(w))
+                .sum();
+            let mut lat: Vec<(Nanos, u64)> = self
+                .recent_commits
+                .iter()
+                .map(|&(_, l, _, w)| (l, u64::from(w)))
+                .collect();
+            (total_weight, weighted_p99(&mut lat))
+        };
         let throughput_tps = total_weight as f64 / window_s;
-        let mut lat: Vec<(Nanos, u64)> = self
-            .recent_commits
-            .iter()
-            .map(|&(_, l, _, w)| (l, u64::from(w)))
-            .collect();
-        let p99_latency = weighted_p99(&mut lat);
 
         // Per-node load and placement.
         let mut owned = vec![0u64; self.nodes.len()];
@@ -1483,14 +1610,20 @@ impl ClusterSim {
         obs.derive_region_loads();
         let meta_hourly = self.cost.meta_hourly();
         for r in &mut obs.region_loads {
-            let mut lat: Vec<(Nanos, u64)> = self
-                .recent_commits
-                .iter()
-                .filter(|&&(_, _, creg, _)| creg == r.region.0)
-                .map(|&(_, l, _, w)| (l, u64::from(w)))
-                .collect();
-            r.throughput_tps = lat.iter().map(|&(_, w)| w).sum::<u64>() as f64 / window_s;
-            r.p99_latency = weighted_p99(&mut lat);
+            if self.hist_active {
+                let h = self.lat_window.merged(cutoff, Some(r.region.0));
+                r.throughput_tps = h.total_weight() as f64 / window_s;
+                r.p99_latency = h.p99();
+            } else {
+                let mut lat: Vec<(Nanos, u64)> = self
+                    .recent_commits
+                    .iter()
+                    .filter(|&&(_, _, creg, _)| creg == r.region.0)
+                    .map(|&(_, l, _, w)| (l, u64::from(w)))
+                    .collect();
+                r.throughput_tps = lat.iter().map(|&(_, w)| w).sum::<u64>() as f64 / window_s;
+                r.p99_latency = weighted_p99(&mut lat);
+            }
             r.dollars_per_hour = f64::from(r.live_nodes) * self.params.node_hourly
                 + if r.region.0 == 0 { meta_hourly } else { 0.0 };
             let region_queues: Vec<f64> = measured_queues
@@ -2132,6 +2265,19 @@ impl ClusterSim {
         base + self.overlay_penalty(a, b)
     }
 
+    /// [`Self::one_way`] with blame attribution: the overlay surcharge
+    /// (pure arithmetic, recomputed — no extra randomness) lands in
+    /// `network_overlay`, the rest in `network`. RNG draws are
+    /// identical to a bare `one_way` call, so instrumented paths keep
+    /// bit-identical event streams.
+    fn hop(&mut self, a: RegionId, b: RegionId, blame: &mut Blame) -> Nanos {
+        let hop = self.one_way(a, b);
+        let overlay = self.overlay_penalty(a, b);
+        blame.network = blame.network.saturating_add(hop - overlay);
+        blame.network_overlay = blame.network_overlay.saturating_add(overlay);
+        hop
+    }
+
     fn jittered(&mut self, base: Nanos) -> Nanos {
         let span = base / 5;
         if span == 0 {
@@ -2142,11 +2288,19 @@ impl ClusterSim {
     }
 
     /// Storage append completion for node `n`'s log: half RTT out, station
-    /// service, half RTT back.
-    fn storage_append_done(&mut self, n: usize, at: Nanos) -> Nanos {
+    /// service, half RTT back. Returns `(done, service, sojourn)` so the
+    /// caller can attribute the append's time: `done - at` is the full
+    /// round trip (`storage_rtt + sojourn`), of which `service` is
+    /// productive and `sojourn - service` is station queueing.
+    fn storage_append_done(&mut self, n: usize, at: Nanos) -> (Nanos, Nanos, Nanos) {
         let service = self.jittered(self.params.append_service);
         let out = at + self.params.storage_rtt / 2;
-        out + self.nodes[n].append_station.charge(out, service) + self.params.storage_rtt / 2
+        let sojourn = self.nodes[n].append_station.charge(out, service);
+        (
+            out + sojourn + self.params.storage_rtt / 2,
+            service,
+            sojourn,
+        )
     }
 
     fn backoff(&mut self, strikes: u32) -> Nanos {
@@ -2162,9 +2316,21 @@ impl ClusterSim {
         let c = client as usize;
         if !self.clients[c].active {
             self.clients[c].attempt_started = None;
+            self.clients[c].attempt_blame = Blame::default();
             return;
         }
         let started = *self.clients[c].attempt_started.get_or_insert(now);
+        // Blame accrual for this attempt. Every virtual-time increment
+        // below has a matching component add, so the components sum to
+        // the attempt's duration exactly (asserted at commit).
+        let mut blame = Blame::default();
+        // Station queueing while ordered capacity is still provisioning
+        // is the policy's lead showing up in the tail — reclassified
+        // from `queue_wait` to `provision_lead` for the whole attempt.
+        let lead_pending = self
+            .pending_plans
+            .iter()
+            .any(|p| matches!(p, PendingPlan::ScaleOut { .. }));
         let template = self.clients[c].gen.next_txn();
         let (mut anchor_granule, mut touched) = self.granules_of(&template);
         // Geo deployment: clients only touch data homed in their own
@@ -2208,7 +2374,19 @@ impl ClusterSim {
             self.metrics.abort(now);
             let strikes = self.clients[c].strikes;
             self.clients[c].strikes = strikes.saturating_add(1);
-            let delay = rtt + self.backoff(strikes);
+            let backoff = self.backoff(strikes);
+            let delay = rtt + backoff;
+            // The wasted redirect round trip is migration fallout (the
+            // routing tier lags the ownership move); the backoff is the
+            // client's own retry throttle.
+            self.clients[c].attempt_blame.migration_stall = self.clients[c]
+                .attempt_blame
+                .migration_stall
+                .saturating_add(rtt);
+            self.clients[c].attempt_blame.retry_backoff = self.clients[c]
+                .attempt_blame
+                .retry_backoff
+                .saturating_add(backoff);
             self.queue
                 .schedule(delay, ActorId(0), Event::ClientTxn { client });
             return;
@@ -2219,7 +2397,16 @@ impl ClusterSim {
             self.metrics.abort(now);
             let strikes = self.clients[c].strikes;
             self.clients[c].strikes = strikes.saturating_add(1);
-            let delay = rtt + self.backoff(strikes);
+            let backoff = self.backoff(strikes);
+            let delay = rtt + backoff;
+            self.clients[c].attempt_blame.migration_stall = self.clients[c]
+                .attempt_blame
+                .migration_stall
+                .saturating_add(rtt);
+            self.clients[c].attempt_blame.retry_backoff = self.clients[c]
+                .attempt_blame
+                .retry_backoff
+                .saturating_add(backoff);
             self.queue
                 .schedule(delay, ActorId(0), Event::ClientTxn { client });
             return;
@@ -2237,28 +2424,41 @@ impl ClusterSim {
             }
             let g = g as usize;
             let serve_node = self.granules[g].owner as usize;
-            t += self.one_way(client_region, home_region);
+            t += self.hop(client_region, home_region, &mut blame);
             if serve_node != home {
                 // Multi-site access (TPC-C remote warehouse): forwarded
                 // through the home node to the participant.
-                t += self.one_way(home_region, self.nodes[serve_node].region);
+                t += self.hop(home_region, self.nodes[serve_node].region, &mut blame);
             }
             let service = self.jittered(self.params.req_service);
-            t += self.nodes[serve_node].cpu.charge(now, t, service);
+            let sojourn = self.nodes[serve_node].cpu.charge(now, t, service);
+            t += sojourn;
+            blame.service = blame.service.saturating_add(service);
+            let wait = sojourn.saturating_sub(service);
+            if lead_pending {
+                blame.provision_lead = blame.provision_lead.saturating_add(wait);
+            } else {
+                blame.queue_wait = blame.queue_wait.saturating_add(wait);
+            }
             if self.granules[g].cold_left > 0 {
                 // Cold cache: GetPage@LSN from the page store.
-                t += self.params.storage_rtt + self.jittered(self.params.get_page_service);
+                let fetch = self.jittered(self.params.get_page_service);
+                t += self.params.storage_rtt + fetch;
+                blame.network = blame.network.saturating_add(self.params.storage_rtt);
+                blame.service = blame.service.saturating_add(fetch);
                 self.granules[g].cold_left -= 1;
             }
             if serve_node != home {
-                t += self.one_way(self.nodes[serve_node].region, home_region);
+                t += self.hop(self.nodes[serve_node].region, home_region, &mut blame);
             }
-            t += self.one_way(home_region, client_region);
+            t += self.hop(home_region, client_region, &mut blame);
         }
 
         // Commit: group commit wait, then the conditional append on the
         // home node's GLog — a *real* CAS against real LSN state.
-        t += self.jittered(self.params.group_commit_wait);
+        let gc_wait = self.jittered(self.params.group_commit_wait);
+        t += gc_wait;
+        blame.network = blame.network.saturating_add(gc_wait);
         let participants: Vec<usize> = {
             let mut p: Vec<usize> = touched
                 .iter()
@@ -2270,9 +2470,17 @@ impl ClusterSim {
         };
         if participants.len() > 1 {
             // Two-phase commit across sites: one vote round trip.
-            t += 2 * self.one_way(home_region, self.nodes[participants[1]].region);
+            let vote = self.hop(home_region, self.nodes[participants[1]].region, &mut blame);
+            t += 2 * vote;
+            // `hop` attributed one leg; mirror the second.
+            let overlay = self.overlay_penalty(home_region, self.nodes[participants[1]].region);
+            blame.network = blame.network.saturating_add(vote - overlay);
+            blame.network_overlay = blame.network_overlay.saturating_add(overlay);
         }
         let mut commit_done = t;
+        // Service/sojourn split of the append on the critical path (the
+        // slowest participant defines `commit_done`).
+        let mut append_split: Option<(Nanos, Nanos)> = None;
         let mut cas_failed = false;
         for &p in &participants {
             let expected = self.nodes[p].tracker.get(LogId::GLog(NodeId(p as u32)));
@@ -2295,31 +2503,77 @@ impl ClusterSim {
                 }
                 Err(_) => cas_failed = true,
             }
-            commit_done = commit_done.max(self.storage_append_done(p, t));
+            let (done, service, sojourn) = self.storage_append_done(p, t);
+            if done > commit_done {
+                commit_done = done;
+                append_split = Some((service, sojourn));
+            }
+        }
+        if let Some((service, sojourn)) = append_split {
+            blame.network = blame.network.saturating_add(self.params.storage_rtt);
+            blame.service = blame.service.saturating_add(service);
+            let wait = sojourn.saturating_sub(service);
+            if lead_pending {
+                blame.provision_lead = blame.provision_lead.saturating_add(wait);
+            } else {
+                blame.queue_wait = blame.queue_wait.saturating_add(wait);
+            }
         }
         if cas_failed {
             // Cross-node modification detected at commit (Figure 7 race).
             self.metrics.abort(commit_done);
             let strikes = self.clients[c].strikes;
             self.clients[c].strikes = strikes.saturating_add(1);
-            let delay = (commit_done - now) + self.backoff(strikes);
+            let backoff = self.backoff(strikes);
+            let delay = (commit_done - now) + backoff;
+            // The wasted attempt keeps its component split; only the
+            // backoff is the retry's own cost.
+            blame.retry_backoff = blame.retry_backoff.saturating_add(backoff);
+            self.clients[c].attempt_blame.add(&blame);
             self.queue
                 .schedule(delay, ActorId(0), Event::ClientTxn { client });
             return;
         }
-        let t_end = commit_done + self.one_way(home_region, client_region);
+        let t_end = commit_done + self.hop(home_region, client_region, &mut blame);
         for &g in &touched {
             let gran = &mut self.granules[g as usize];
             gran.busy_until = gran.busy_until.max(t_end);
             self.heat.record(g as usize, 1);
         }
-        self.metrics.commit(t_end, t_end - started);
-        self.recent_commits
-            .push_back((t_end, t_end - started, client_region.0, 1));
+        let latency = t_end - started;
+        self.metrics.commit(t_end, latency);
+        // Every time increment of this attempt has a matching component
+        // add (the cross-attempt sum then matches the client-perceived
+        // latency, since each aborted attempt contributed exactly its
+        // retry delay).
+        debug_assert_eq!(
+            blame.total(),
+            t_end - now,
+            "attempt blame must sum to the attempt's duration"
+        );
+        let mut txn_blame = self.clients[c].attempt_blame;
+        txn_blame.add(&blame);
+        self.metrics.blame_n(&txn_blame, 1);
+        self.exemplars.offer(TailExemplar {
+            at: t_end,
+            latency,
+            granule: anchor_granule,
+            node: owner,
+            region: client_region.0,
+            weight: 1,
+            blame: txn_blame,
+        });
+        if self.hist_active {
+            self.lat_window.record(t_end, latency, client_region.0, 1);
+        } else {
+            self.recent_commits
+                .push_back((t_end, latency, client_region.0, 1));
+            self.prune_recent_commits(t_end);
+        }
         self.region_commits[client_region.0 as usize] += 1;
-        self.prune_recent_commits(t_end);
         self.clients[c].strikes = 0;
         self.clients[c].attempt_started = None;
+        self.clients[c].attempt_blame = Blame::default();
         // Closed loop: next transaction immediately after the response.
         self.queue
             .schedule_at(t_end, ActorId(0), Event::ClientTxn { client });
@@ -2394,16 +2648,34 @@ impl ClusterSim {
                     touched,
                     participants,
                     node_service,
+                    blame,
+                    anchor,
+                    home,
                 } => {
                     let latency = t_end - now;
                     self.metrics.commit_n(*t_end, latency, w);
                     self.metrics.coord.commit_cas_attempts += w * participants.len() as u64;
+                    self.metrics.blame_n(blame, w);
+                    self.exemplars.offer(TailExemplar {
+                        at: *t_end,
+                        latency,
+                        granule: *anchor,
+                        node: *home,
+                        region: region.0,
+                        weight: w,
+                        blame: *blame,
+                    });
                     // Weight entries saturate at u32::MAX per sample —
                     // ~4 billion commits in one 100 ms step is beyond
                     // any modeled scale.
                     let w32 = u32::try_from(w).unwrap_or(u32::MAX);
-                    self.recent_commits
-                        .push_back((*t_end, latency, region.0, w32));
+                    if self.hist_active {
+                        self.lat_window
+                            .record(*t_end, latency, region.0, u64::from(w32));
+                    } else {
+                        self.recent_commits
+                            .push_back((*t_end, latency, region.0, w32));
+                    }
                     self.region_commits[region.0 as usize] += w;
                     for &g in touched {
                         let gran = &mut self.granules[g as usize];
@@ -2446,7 +2718,7 @@ impl ClusterSim {
                 }
             }
         }
-        if latest_commit > 0 {
+        if latest_commit > 0 && !self.hist_active {
             self.prune_recent_commits(latest_commit);
         }
     }
@@ -2510,6 +2782,13 @@ impl ClusterSim {
         let home_region = self.nodes[home].region;
         let mut t = now;
         let mut node_service: Vec<(usize, Nanos)> = Vec::with_capacity(template.ops.len());
+        // Same blame accrual as the exact path (each weighted copy of
+        // the walk replays this decomposition).
+        let mut blame = Blame::default();
+        let lead_pending = self
+            .pending_plans
+            .iter()
+            .any(|p| matches!(p, PendingPlan::ScaleOut { .. }));
         for op in &template.ops {
             let mut g = self.granule_of_key(&template, op.key);
             if let Some(map) = &remap {
@@ -2517,24 +2796,37 @@ impl ClusterSim {
             }
             let g = g as usize;
             let serve_node = self.granules[g].owner as usize;
-            t += self.one_way(region, home_region);
+            t += self.hop(region, home_region, &mut blame);
             if serve_node != home {
-                t += self.one_way(home_region, self.nodes[serve_node].region);
+                t += self.hop(home_region, self.nodes[serve_node].region, &mut blame);
             }
             let service = self.jittered(self.params.req_service);
             node_service.push((serve_node, service));
-            t += self.nodes[serve_node].cpu.charge(now, t, service);
+            let sojourn = self.nodes[serve_node].cpu.charge(now, t, service);
+            t += sojourn;
+            blame.service = blame.service.saturating_add(service);
+            let wait = sojourn.saturating_sub(service);
+            if lead_pending {
+                blame.provision_lead = blame.provision_lead.saturating_add(wait);
+            } else {
+                blame.queue_wait = blame.queue_wait.saturating_add(wait);
+            }
             if self.granules[g].cold_left > 0 {
-                t += self.params.storage_rtt + self.jittered(self.params.get_page_service);
+                let fetch = self.jittered(self.params.get_page_service);
+                t += self.params.storage_rtt + fetch;
+                blame.network = blame.network.saturating_add(self.params.storage_rtt);
+                blame.service = blame.service.saturating_add(fetch);
                 self.granules[g].cold_left -= 1;
             }
             if serve_node != home {
-                t += self.one_way(self.nodes[serve_node].region, home_region);
+                t += self.hop(self.nodes[serve_node].region, home_region, &mut blame);
             }
-            t += self.one_way(home_region, region);
+            t += self.hop(home_region, region, &mut blame);
         }
 
-        t += self.jittered(self.params.group_commit_wait);
+        let gc_wait = self.jittered(self.params.group_commit_wait);
+        t += gc_wait;
+        blame.network = blame.network.saturating_add(gc_wait);
         let participants: Vec<usize> = {
             let mut p: Vec<usize> = touched
                 .iter()
@@ -2545,9 +2837,14 @@ impl ClusterSim {
             p
         };
         if participants.len() > 1 {
-            t += 2 * self.one_way(home_region, self.nodes[participants[1]].region);
+            let vote = self.hop(home_region, self.nodes[participants[1]].region, &mut blame);
+            t += 2 * vote;
+            let overlay = self.overlay_penalty(home_region, self.nodes[participants[1]].region);
+            blame.network = blame.network.saturating_add(vote - overlay);
+            blame.network_overlay = blame.network_overlay.saturating_add(overlay);
         }
         let mut commit_done = t;
+        let mut append_split: Option<(Nanos, Nanos)> = None;
         let mut cas_failed = false;
         for &p in &participants {
             let expected = self.nodes[p].tracker.get(LogId::GLog(NodeId(p as u32)));
@@ -2568,7 +2865,11 @@ impl ClusterSim {
                 }
                 Err(_) => cas_failed = true,
             }
-            commit_done = commit_done.max(self.storage_append_done(p, t));
+            let (done, service, sojourn) = self.storage_append_done(p, t);
+            if done > commit_done {
+                commit_done = done;
+                append_split = Some((service, sojourn));
+            }
         }
         if cas_failed {
             let delay = (commit_done - now) + self.backoff(0);
@@ -2580,12 +2881,30 @@ impl ClusterSim {
                 node_service,
             };
         }
-        let t_end = commit_done + self.one_way(home_region, region);
+        if let Some((service, sojourn)) = append_split {
+            blame.network = blame.network.saturating_add(self.params.storage_rtt);
+            blame.service = blame.service.saturating_add(service);
+            let wait = sojourn.saturating_sub(service);
+            if lead_pending {
+                blame.provision_lead = blame.provision_lead.saturating_add(wait);
+            } else {
+                blame.queue_wait = blame.queue_wait.saturating_add(wait);
+            }
+        }
+        let t_end = commit_done + self.hop(home_region, region, &mut blame);
+        debug_assert_eq!(
+            blame.total(),
+            t_end - now,
+            "walk blame must sum to the walk's duration"
+        );
         CohortWalk::Commit {
             t_end,
             touched,
             participants,
             node_service,
+            blame,
+            anchor: anchor_granule,
+            home: owner,
         }
     }
 
@@ -2682,7 +3001,7 @@ impl ClusterSim {
                     // The VOTE-REQ/response legs to the source ride the
                     // network (Algorithm 2 line 10).
                     let vote_rtt = 2 * self.one_way(dst_region, src_region);
-                    self.storage_append_done(src, t + vote_rtt / 2) + vote_rtt / 2
+                    self.storage_append_done(src, t + vote_rtt / 2).0 + vote_rtt / 2
                 };
                 let d_dst = {
                     let expected = self.nodes[dst].tracker.get(LogId::GLog(NodeId(dst as u32)));
@@ -2693,7 +3012,7 @@ impl ClusterSim {
                     self.nodes[dst]
                         .tracker
                         .observe(LogId::GLog(NodeId(dst as u32)), out.new_lsn);
-                    self.storage_append_done(dst, t)
+                    self.storage_append_done(dst, t).0
                 };
                 // Async decisions still consume storage bandwidth.
                 let decide_at = d_src.max(d_dst);

@@ -14,6 +14,11 @@ pub struct BenchSection {
     pub wall_nanos: u64,
     /// Virtual nanoseconds simulated (0 for non-sim sections).
     pub virtual_nanos: u64,
+    /// Whether the section ran under a *wall-clock budget* (a probe
+    /// that covers as much virtual time as the budget allows), making
+    /// `virtual_nanos` wall-dependent. Comparators must then gate the
+    /// virtual-per-wall *rate*, never the virtual total.
+    pub wall_bounded: bool,
     /// Profiler numbers, when the section ran a profiled sim.
     pub profile: Option<ProfileSummary>,
     /// Free-form scalar results (`("overhead_pct", 0.4)`, ...).
@@ -76,6 +81,9 @@ impl BenchReport {
                 s.virtual_nanos,
                 json_f64(s.virtual_per_wall())
             ));
+            if s.wall_bounded {
+                out.push_str(",\"wall_bounded\":true");
+            }
             if let Some(p) = &s.profile {
                 out.push_str(&format!(
                     ",\"profile\":{{\"total_wall_ns\":{},\"events\":{},\
@@ -154,6 +162,7 @@ mod tests {
             name: "ycsb/Marlin".into(),
             wall_nanos: 2_000_000,
             virtual_nanos: 4_000_000,
+            wall_bounded: false,
             profile: Some(ProfileSummary {
                 phases: vec![PhaseStat {
                     name: "event:client_txn",

@@ -1,0 +1,394 @@
+//! [`LatencyHist`]: a deterministic log-bucketed latency histogram.
+//!
+//! The exact observation path keeps one `(latency, weight)` tuple per
+//! committed transaction in the observation window and derives p99 by
+//! sorting — exact, but linear in commits, which does not survive
+//! million-client cohort scale. The histogram replaces that derivation
+//! with the same parity discipline as the count-min heat sketch:
+//!
+//! - **Exact below a small-count threshold.** Until
+//!   [`LatencyHist::EXACT_CAPACITY`] recorded samples, values are kept
+//!   as literal `(value, weight)` tuples and [`LatencyHist::p99`]
+//!   replays the exact engine's weighted-p99 rule (`sort_unstable`,
+//!   first sample whose cumulative weight exceeds
+//!   `(total - 1) * 99 / 100`) — bit-identical to the tuple path.
+//! - **Log-bucketed above it.** Values spill into log-linear buckets:
+//!   values below 32 are exact (one bucket per value); above, each
+//!   power-of-two octave is split into 32 sub-buckets, so every bucket's
+//!   width is at most 1/32 (3.125%) of its lower bound. Quantiles
+//!   report the bucket's lower bound — a deterministic *underestimate*
+//!   of the exact quantile by at most that relative error:
+//!   `exact >= hist && exact - hist <= hist / 32`.
+//!
+//! Histograms merge by bucket addition (exact tuples concatenate while
+//! both sides fit), so windowed observation can keep one small histogram
+//! per time slot and merge slots on demand. Everything is integer
+//! arithmetic over deterministic inputs: no RNG, no wall clock, no
+//! iteration-order dependence.
+
+use crate::Nanos;
+
+/// Sub-buckets per power-of-two octave. Bucket width is at most
+/// `lower_bound / SUBBUCKETS`, which bounds the quantile underestimate
+/// to a 1/32 (3.125%) relative error.
+const SUBBUCKETS: u64 = 32;
+/// log2 of [`SUBBUCKETS`].
+const SUBBUCKET_BITS: u32 = 5;
+/// Octaves above the exact range (values are u64, so 64 - 5 = 59
+/// octaves starting at 2^5), plus the exact 0..32 range.
+const BUCKETS: usize = (SUBBUCKETS as usize) + 59 * (SUBBUCKETS as usize);
+
+/// A mergeable log-bucketed latency histogram with a documented
+/// relative-error bound and an exact small-count mode (see the module
+/// docs for the parity discipline).
+#[derive(Clone, Debug)]
+pub struct LatencyHist {
+    /// Exact `(value, weight)` tuples while the sample count is small;
+    /// `None` once spilled into buckets.
+    exact: Option<Vec<(Nanos, u64)>>,
+    /// Log-linear bucket weights (allocated on spill).
+    buckets: Vec<u64>,
+    /// Total recorded weight.
+    total: u64,
+}
+
+impl Default for LatencyHist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHist {
+    /// Recorded samples kept as exact tuples before spilling to buckets.
+    /// Below this count the histogram's p99 is bit-identical to the
+    /// exact tuple derivation.
+    pub const EXACT_CAPACITY: usize = 128;
+
+    /// The documented relative-error denominator: bucketed quantiles
+    /// underestimate the exact quantile by at most `value / 32`.
+    pub const RELATIVE_ERROR_DENOM: u64 = SUBBUCKETS;
+
+    /// An empty histogram in exact mode.
+    #[must_use]
+    pub fn new() -> Self {
+        LatencyHist {
+            exact: Some(Vec::new()),
+            buckets: Vec::new(),
+            total: 0,
+        }
+    }
+
+    /// Whether the histogram still holds exact tuples (p99 is then
+    /// bit-identical to the exact derivation).
+    #[must_use]
+    pub fn is_exact(&self) -> bool {
+        self.exact.is_some()
+    }
+
+    /// Total recorded weight.
+    #[must_use]
+    pub fn total_weight(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Record one sample of weight 1.
+    pub fn record(&mut self, value: Nanos) {
+        self.record_n(value, 1);
+    }
+
+    /// Record one sample with an aggregate weight (the cohort engine's
+    /// weighted walks). Zero-weight records are ignored.
+    pub fn record_n(&mut self, value: Nanos, weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        self.total = self.total.saturating_add(weight);
+        if let Some(tuples) = &mut self.exact {
+            if tuples.len() < Self::EXACT_CAPACITY {
+                tuples.push((value, weight));
+                return;
+            }
+            self.spill();
+        }
+        self.buckets[bucket_index(value)] += weight;
+    }
+
+    /// Merge another histogram into this one. Exact tuples concatenate
+    /// while the combined count fits the exact capacity; otherwise both
+    /// sides land in buckets.
+    pub fn merge(&mut self, other: &LatencyHist) {
+        if other.total == 0 {
+            return;
+        }
+        self.total = self.total.saturating_add(other.total);
+        match (&mut self.exact, &other.exact) {
+            (Some(mine), Some(theirs)) if mine.len() + theirs.len() <= Self::EXACT_CAPACITY => {
+                mine.extend_from_slice(theirs);
+                return;
+            }
+            _ => {}
+        }
+        self.spill();
+        match &other.exact {
+            Some(theirs) => {
+                for &(v, w) in theirs {
+                    self.buckets[bucket_index(v)] += w;
+                }
+            }
+            None => {
+                for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+                    *mine += theirs;
+                }
+            }
+        }
+    }
+
+    /// Reset to an empty exact-mode histogram, keeping allocations.
+    pub fn clear(&mut self) {
+        self.total = 0;
+        match &mut self.exact {
+            Some(tuples) => tuples.clear(),
+            None => self.exact = Some(Vec::new()),
+        }
+        self.buckets.fill(0);
+    }
+
+    /// The weighted p99. In exact mode this replays the exact engine's
+    /// rule bit-for-bit (lexicographic tuple sort, first sample whose
+    /// cumulative weight exceeds `(total - 1) * 99 / 100`); in bucketed
+    /// mode it returns the lower bound of the bucket holding that
+    /// sample — an underestimate by at most `p99 / 32`.
+    #[must_use]
+    pub fn p99(&self) -> Nanos {
+        if self.total == 0 {
+            return 0;
+        }
+        let target = self.total.saturating_sub(1) * 99 / 100;
+        match &self.exact {
+            Some(tuples) => {
+                let mut lat = tuples.clone();
+                lat.sort_unstable();
+                let mut cum = 0u64;
+                for &(l, w) in &lat {
+                    cum += w;
+                    if cum > target {
+                        return l;
+                    }
+                }
+                lat.last().map_or(0, |&(l, _)| l)
+            }
+            None => {
+                let mut cum = 0u64;
+                let mut last_nonempty = 0;
+                for (i, &w) in self.buckets.iter().enumerate() {
+                    if w == 0 {
+                        continue;
+                    }
+                    cum += w;
+                    last_nonempty = i;
+                    if cum > target {
+                        return bucket_lower_bound(i);
+                    }
+                }
+                bucket_lower_bound(last_nonempty)
+            }
+        }
+    }
+
+    /// Move the exact tuples into buckets (no-op if already bucketed).
+    fn spill(&mut self) {
+        let Some(tuples) = self.exact.take() else {
+            return;
+        };
+        if self.buckets.is_empty() {
+            self.buckets = vec![0u64; BUCKETS];
+        }
+        for (v, w) in tuples {
+            self.buckets[bucket_index(v)] += w;
+        }
+    }
+}
+
+/// Bucket index of a value: exact below [`SUBBUCKETS`], log-linear
+/// above (32 sub-buckets per power-of-two octave).
+fn bucket_index(v: Nanos) -> usize {
+    if v < SUBBUCKETS {
+        return v as usize;
+    }
+    let octave = 63 - v.leading_zeros(); // >= SUBBUCKET_BITS
+    let sub = (v - (1u64 << octave)) >> (octave - SUBBUCKET_BITS);
+    (SUBBUCKETS as usize)
+        + ((octave - SUBBUCKET_BITS) as usize) * (SUBBUCKETS as usize)
+        + sub as usize
+}
+
+/// Smallest value mapping to bucket `i` (what quantiles report).
+fn bucket_lower_bound(i: usize) -> Nanos {
+    let i = i as u64;
+    if i < SUBBUCKETS {
+        return i;
+    }
+    let octave = SUBBUCKET_BITS + ((i - SUBBUCKETS) / SUBBUCKETS) as u32;
+    let sub = (i - SUBBUCKETS) % SUBBUCKETS;
+    (1u64 << octave) + (sub << (octave - SUBBUCKET_BITS))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The exact engine's rule, verbatim, as the oracle.
+    fn exact_weighted_p99(lat: &mut [(Nanos, u64)]) -> Nanos {
+        if lat.is_empty() {
+            return 0;
+        }
+        lat.sort_unstable();
+        let total: u64 = lat.iter().map(|&(_, w)| w).sum();
+        let target = total.saturating_sub(1) * 99 / 100;
+        let mut cum = 0u64;
+        for &(l, w) in lat.iter() {
+            cum += w;
+            if cum > target {
+                return l;
+            }
+        }
+        lat.last().map_or(0, |&(l, _)| l)
+    }
+
+    #[test]
+    fn bucket_bounds_round_trip() {
+        for v in [0u64, 1, 31, 32, 33, 63, 64, 100, 1 << 20, u64::MAX / 2] {
+            let i = bucket_index(v);
+            let lo = bucket_lower_bound(i);
+            assert!(lo <= v, "lower bound {lo} must not exceed {v}");
+            assert_eq!(bucket_index(lo), i, "lower bound stays in bucket");
+            // Relative error bound: v - lo <= lo / 32 for v >= 32 (exact
+            // below), which is the documented quantile guarantee.
+            if v >= SUBBUCKETS {
+                assert!(v - lo <= lo / SUBBUCKETS, "{v} vs {lo}");
+            } else {
+                assert_eq!(lo, v);
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_in_range() {
+        let mut prev = 0usize;
+        for v in (0u64..4096).chain((0..54).map(|s| 1u64 << s)) {
+            let i = bucket_index(v);
+            assert!(i < BUCKETS);
+            assert!(i >= prev || v < 4096, "monotone over the scan");
+            if v < 4096 {
+                prev = i;
+            }
+        }
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn exact_mode_is_bit_identical_to_the_tuple_rule() {
+        // Deterministic pseudo-random tuples, below the spill threshold.
+        let mut h = LatencyHist::new();
+        let mut tuples: Vec<(Nanos, u64)> = Vec::new();
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for _ in 0..100 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = x % 50_000_000;
+            let w = 1 + (x >> 32) % 7;
+            tuples.push((v, w));
+            h.record_n(v, w);
+        }
+        assert!(h.is_exact());
+        assert_eq!(h.p99(), exact_weighted_p99(&mut tuples));
+        assert_eq!(h.total_weight(), tuples.iter().map(|&(_, w)| w).sum());
+    }
+
+    #[test]
+    fn bucketed_p99_underestimates_within_the_documented_bound() {
+        let mut h = LatencyHist::new();
+        let mut tuples: Vec<(Nanos, u64)> = Vec::new();
+        let mut x = 42u64;
+        for _ in 0..10_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = 1_000_000 + x % 300_000_000; // 1 ms .. 301 ms
+            tuples.push((v, 1));
+            h.record(v);
+        }
+        assert!(!h.is_exact(), "10k samples must have spilled");
+        let exact = exact_weighted_p99(&mut tuples);
+        let approx = h.p99();
+        assert!(approx <= exact, "bucketed p99 underestimates");
+        assert!(
+            exact - approx <= approx / LatencyHist::RELATIVE_ERROR_DENOM,
+            "error {} exceeds {}/32",
+            exact - approx,
+            approx
+        );
+    }
+
+    #[test]
+    fn merge_matches_recording_everything_into_one() {
+        let mut parts: Vec<LatencyHist> = (0..4).map(|_| LatencyHist::new()).collect();
+        let mut whole = LatencyHist::new();
+        let mut x = 7u64;
+        for i in 0..2_000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = x % 100_000_000;
+            parts[(i % 4) as usize].record(v);
+            whole.record(v);
+        }
+        let mut merged = LatencyHist::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        assert_eq!(merged.total_weight(), whole.total_weight());
+        assert_eq!(merged.p99(), whole.p99());
+    }
+
+    #[test]
+    fn merge_of_small_exact_parts_stays_exact() {
+        let mut a = LatencyHist::new();
+        let mut b = LatencyHist::new();
+        for v in 0..40u64 {
+            a.record(v * 1000);
+            b.record(v * 977);
+        }
+        let mut m = LatencyHist::new();
+        m.merge(&a);
+        m.merge(&b);
+        assert!(m.is_exact(), "80 tuples fit the exact capacity");
+        let mut tuples: Vec<(Nanos, u64)> = (0..40u64)
+            .flat_map(|v| [(v * 1000, 1), (v * 977, 1)])
+            .collect();
+        assert_eq!(m.p99(), exact_weighted_p99(&mut tuples));
+    }
+
+    #[test]
+    fn empty_and_clear_behave_like_the_tuple_path() {
+        let mut h = LatencyHist::new();
+        assert_eq!(h.p99(), 0, "empty matches the tuple rule's 0");
+        assert!(h.is_empty());
+        for _ in 0..(LatencyHist::EXACT_CAPACITY + 10) {
+            h.record(1_000_000);
+        }
+        assert!(!h.is_exact());
+        h.clear();
+        assert!(h.is_empty() && h.is_exact());
+        assert_eq!(h.p99(), 0);
+        h.record(5);
+        assert_eq!(h.p99(), 5);
+    }
+}

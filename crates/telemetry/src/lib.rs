@@ -23,6 +23,13 @@
 //! - [`BenchReport`] — the `BENCH_<target>.json` perf-trajectory
 //!   artifact each bench target emits under `MARLIN_BENCH_JSON=<dir>`,
 //!   so successive PRs can pin speedups against a recorded baseline.
+//! - [`MetricsSeries`] — the per-tick metrics timeline (counters and
+//!   gauges, optionally region-labelled, ring-buffered). Enabled by
+//!   setting `MARLIN_METRICS=<path>`; virtual timestamps make the
+//!   exported timeline byte-identical per (scenario, seed).
+//! - [`LatencyHist`] — a deterministic log-bucketed latency histogram
+//!   (mergeable, ≤ 1/32 relative error, exact below a small-count
+//!   threshold) backing p99 derivation at cohort scale.
 //!
 //! The crate is dependency-free and knows nothing about the simulator;
 //! the cluster crate owns the instrumentation points.
@@ -31,12 +38,16 @@
 
 mod bench_json;
 mod coord;
+mod hist;
 mod profile;
+mod series;
 mod trace;
 
 pub use bench_json::{BenchReport, BenchSection};
 pub use coord::{CoordBreakdown, CoordOps};
+pub use hist::LatencyHist;
 pub use profile::{PhaseStat, ProfileSummary, Profiler};
+pub use series::{MetricPoint, MetricsSeries, PointValue, TickRow, DEFAULT_METRICS_TICKS};
 pub use trace::{TraceEvent, TracePhase, Tracer, DEFAULT_TRACE_CAPACITY};
 
 /// Virtual nanoseconds (mirrors `marlin_sim::Nanos`; redefined here so

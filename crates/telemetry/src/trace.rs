@@ -281,6 +281,54 @@ mod tests {
     }
 
     #[test]
+    fn overflow_keeps_recorded_monotone_and_dropped_exact() {
+        let mut t = Tracer::enabled(4);
+        let mut prev = t.recorded();
+        for i in 0..25u64 {
+            if i % 2 == 0 {
+                t.span("c", "s", i, i + 1);
+            } else {
+                t.instant("c", "m", i);
+            }
+            assert!(t.recorded() > prev, "recorded() must grow on every record");
+            prev = t.recorded();
+            assert_eq!(
+                t.dropped(),
+                t.recorded() - t.len() as u64,
+                "dropped() is exactly the overwritten count"
+            );
+        }
+        assert_eq!(t.recorded(), 25);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.dropped(), 21);
+    }
+
+    #[test]
+    fn chrome_export_stays_valid_json_after_the_ring_wraps() {
+        let mut t = Tracer::enabled(3);
+        for i in 0..10u64 {
+            t.span_args(
+                "cat",
+                "ev",
+                i * 100,
+                i * 100 + 50,
+                [("i", i as i64), ("", 0)],
+            );
+        }
+        assert!(t.dropped() > 0, "the ring must have wrapped");
+        let j = t.to_chrome_json();
+        assert!(j.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(j.ends_with("]}\n"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        // Exactly the three surviving events, oldest first, comma-separated.
+        assert_eq!(j.matches("\"name\":\"ev\"").count(), 3);
+        assert!(j.contains("\"ts\":0.700"));
+        assert!(j.contains("\"ts\":0.900"));
+        assert!(!j.contains(",,"), "no empty elements from the wrap seam");
+    }
+
+    #[test]
     fn chrome_export_is_wellformed_and_deterministic() {
         let make = || {
             let mut t = Tracer::enabled(16);

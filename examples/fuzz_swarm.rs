@@ -109,6 +109,7 @@ fn swarm_main() -> bool {
         name: "swarm".to_string(),
         wall_nanos: elapsed.as_nanos() as u64,
         virtual_nanos: 0,
+        wall_bounded: false,
         profile: None,
         values: vec![
             ("seeds".to_string(), n as f64),

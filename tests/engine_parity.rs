@@ -9,11 +9,18 @@
 //! forking its digest corpus, and what keeps the historical §6 digests
 //! authoritative.
 //!
-//! The file also pins the two approximating components when they *are*
+//! The latency histogram rides the same pin: the cohort leg of every
+//! preset runs with `latency_hist(true)`, which below `hist_min_clients`
+//! must route through the literal exact tuple window — so the digests
+//! above also certify the histogram knob is inert at §6 scale.
+//!
+//! The file also pins the approximating components when they *are*
 //! active: the count-min heat sketch must produce the same rebalance
-//! plan as the exact heat vector on the skewed-access preset, and the
-//! aggregate cohort path (forced on by `cohort_min_clients(0)`) must
-//! still drive the closed autoscaling loop sensibly.
+//! plan as the exact heat vector on the skewed-access preset, the
+//! log-bucketed histogram's p99 must stay within its documented 1/32
+//! relative-error bound at `million_clients` scale, and the aggregate
+//! cohort path (forced on by `cohort_min_clients(0)`) must still drive
+//! the closed autoscaling loop sensibly.
 
 use marlin::cluster::harness::{run, RunReport, Scenario, SimRunner};
 use marlin::cluster::params::{ClientEngine, CoordKind, CpuModel};
@@ -21,17 +28,26 @@ use marlin::fuzz::report_digest;
 use marlin::sim::SECOND;
 
 /// Run `make()`'s scenario once per engine and return both reports,
-/// asserting the cohort leg actually took the pinned exact path.
+/// asserting the cohort leg actually took the pinned exact path. The
+/// cohort leg also arms the latency histogram: every §6 preset peaks
+/// below `hist_min_clients`, so the histogram must stay parity-pinned
+/// to the exact tuple window — same discipline, same digest.
 fn parity_pair(make: impl Fn() -> Scenario) -> (RunReport, RunReport) {
     let exact_s = make().client_engine(ClientEngine::Exact);
     let mut exact_r = SimRunner::new(&exact_s);
     let exact = run(exact_s, &mut exact_r);
 
-    let cohort_s = make().client_engine(ClientEngine::Cohort);
+    let cohort_s = make()
+        .client_engine(ClientEngine::Cohort)
+        .latency_hist(true);
     let mut cohort_r = SimRunner::new(&cohort_s);
     assert!(
         !cohort_r.sim().cohort_active(),
         "§6 presets sit below the activation threshold — the parity pin"
+    );
+    assert!(
+        !cohort_r.sim().hist_active(),
+        "§6 presets sit below hist_min_clients — the histogram parity pin"
     );
     let cohort = run(cohort_s, &mut cohort_r);
     (exact, cohort)
@@ -177,6 +193,57 @@ fn sketched_heat_reproduces_the_exact_rebalance_plan() {
         plans(&sketched),
         "sketched heat must yield the exact heat's rebalance plan"
     );
+}
+
+/// Above `hist_min_clients` the log-bucketed histogram genuinely runs,
+/// and its p99 must honor the documented bound: an underestimate within
+/// one sub-bucket, `exact - hist <= hist / 32`. The hold policy and the
+/// planner never read p99, so the two runs' event streams are identical
+/// and every control tick's observation pairs an exact p99 with its
+/// histogram estimate of the *same* window.
+#[test]
+fn histogram_p99_stays_within_the_documented_error_bound_at_scale() {
+    // Scale 100 ⇒ 10,000 clients — exactly the activation threshold.
+    let run_one = |hist: bool| {
+        let s = Scenario::million_clients(100).latency_hist(hist);
+        let mut r = SimRunner::new(&s);
+        assert!(r.sim().cohort_active(), "the preset pins the scale engine");
+        assert_eq!(r.sim().hist_active(), hist);
+        run(s, &mut r)
+    };
+    let exact = run_one(false);
+    let hist = run_one(true);
+    assert_eq!(
+        exact.decision_signature(),
+        hist.decision_signature(),
+        "p99 derivation must not perturb the decision stream"
+    );
+    assert_eq!(exact.metrics.commits, hist.metrics.commits);
+    let mut checked = 0u32;
+    for (e, h) in exact.log.iter().zip(&hist.log) {
+        assert_eq!(e.at, h.at);
+        assert_eq!(
+            e.observation.throughput_tps, h.observation.throughput_tps,
+            "tick {}: identical event streams must agree on throughput",
+            e.tick
+        );
+        let (ep, hp) = (e.observation.p99_latency, h.observation.p99_latency);
+        if ep == 0 && hp == 0 {
+            continue; // warm-up tick with an empty window
+        }
+        assert!(
+            hp <= ep,
+            "tick {}: bucket lower bounds underestimate (hist {hp} > exact {ep})",
+            e.tick
+        );
+        assert!(
+            ep - hp <= hp / 32,
+            "tick {}: histogram p99 {hp} misses exact {ep} by more than 1/32",
+            e.tick
+        );
+        checked += 1;
+    }
+    assert!(checked > 0, "the run must produce non-empty p99 windows");
 }
 
 /// Force the aggregate path on at §6 scale (no bit-parity expected —

@@ -10,9 +10,9 @@
 //! zero for Marlin, and the `LocalRunner` must report *real* Append@LSN
 //! CAS counts from its storage logs rather than a hard-coded zero.
 
-use marlin::cluster::harness::{run, LocalRunner, Runner, Scenario, SimRunner};
+use marlin::cluster::harness::{run, run_with_series, LocalRunner, Runner, Scenario, SimRunner};
 use marlin::cluster::params::CoordKind;
-use marlin::telemetry::DEFAULT_TRACE_CAPACITY;
+use marlin::telemetry::{MetricsSeries, DEFAULT_TRACE_CAPACITY};
 
 fn spike(kind: CoordKind, granule_scale: u64) -> Scenario {
     Scenario::autoscale_spike(kind, granule_scale)
@@ -135,6 +135,84 @@ fn local_runner_reports_real_cas_counts_not_a_hardcoded_zero() {
     assert_eq!(
         report.metrics.meta_cost, 0.0,
         "Marlin's own-log coordination is free"
+    );
+}
+
+fn sim_timeline(seed: u64) -> String {
+    let scenario = spike(CoordKind::Marlin, 100).seed(seed);
+    let mut runner = SimRunner::new(&scenario);
+    let mut series = MetricsSeries::enabled(1 << 12);
+    run_with_series(scenario, &mut runner, &mut series);
+    series.to_json()
+}
+
+fn local_timeline(seed: u64) -> String {
+    let scenario = spike(CoordKind::Marlin, 400).seed(seed);
+    let mut runner = LocalRunner::new(&scenario);
+    let mut series = MetricsSeries::enabled(1 << 12);
+    run_with_series(scenario, &mut runner, &mut series);
+    series.to_json()
+}
+
+#[test]
+fn sim_metrics_timeline_is_byte_identical_across_runs_of_the_same_seed() {
+    let a = sim_timeline(42);
+    let b = sim_timeline(42);
+    assert_eq!(a, b, "same scenario+seed must record identical timelines");
+    assert_ne!(a, sim_timeline(7), "seeds shift the recorded vitals");
+    // One row per control tick, carrying the driver vitals, the
+    // runner's own counters, and the tail-blame decomposition.
+    assert!(a.starts_with("{\"ticks\":"));
+    assert!(a.contains("\"throughput_tps\""));
+    assert!(a.contains("\"p99_latency_ns\""));
+    assert!(a.contains("\"dollars_per_hour\""));
+    assert!(a.contains("\"blame_queue_wait_ns\""));
+    assert!(a.contains("\"blame_service_ns\""));
+    // The spike preset's reactive policy has no p99 ceiling armed, so
+    // no SLO series appear — they exist only when an SLO exists.
+    assert!(!a.contains("\"slo_burn_rate\""));
+}
+
+#[test]
+fn slo_series_derive_from_the_policys_armed_p99_ceiling() {
+    use marlin::cluster::params::CpuModel;
+    // The CPU-model preset arms the reactive policy's 150 ms escape
+    // hatch, so every tick carries burn-rate and error-budget gauges.
+    let scenario = Scenario::cpu_model_comparison(CoordKind::Marlin, 100, CpuModel::PerRequest);
+    let mut runner = SimRunner::new(&scenario);
+    let mut series = MetricsSeries::enabled(1 << 12);
+    run_with_series(scenario, &mut runner, &mut series);
+    let json = series.to_json();
+    assert!(json.contains("\"slo_burn_rate\""));
+    assert!(json.contains("\"slo_error_budget\""));
+}
+
+#[test]
+fn local_metrics_timeline_is_byte_identical_across_runs_of_the_same_seed() {
+    let a = local_timeline(42);
+    let b = local_timeline(42);
+    assert_eq!(a, b, "same scenario+seed must record identical timelines");
+    assert!(a.contains("\"live_nodes\""));
+    assert!(a.contains("\"membership_cas_attempts\""));
+}
+
+#[test]
+fn recording_the_timeline_leaves_the_report_untouched() {
+    let scenario = spike(CoordKind::Marlin, 100).seed(42);
+    let mut plain_r = SimRunner::new(&scenario);
+    let plain = run(scenario, &mut plain_r);
+
+    let scenario = spike(CoordKind::Marlin, 100).seed(42);
+    let mut recorded_r = SimRunner::new(&scenario);
+    let mut series = MetricsSeries::enabled(1 << 12);
+    let recorded = run_with_series(scenario, &mut recorded_r, &mut series);
+    assert!(!series.is_empty(), "the spike run has control ticks");
+    // Digest comparison: FNV over the full report JSON with the
+    // wall-clock actuation times zeroed — everything deterministic.
+    assert_eq!(
+        marlin::fuzz::report_digest(&plain),
+        marlin::fuzz::report_digest(&recorded),
+        "the timeline is an observer: the report must not change"
     );
 }
 
